@@ -1,0 +1,33 @@
+//! The cost of constructing the maximal mechanism (Theorem 2) as the
+//! domain grows — the wall Theorem 4 turns into an impossibility for
+//! unbounded domains.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enf_core::{Allow, Grid, MaximalMechanism, Mechanism};
+use enf_flowchart::parse;
+use enf_flowchart::program::FlowchartProgram;
+use std::hint::black_box;
+
+fn bench_maximal(c: &mut Criterion) {
+    let fc = parse("program(2) { if x2 == 0 { y := x1; } else { y := x2; } }").unwrap();
+    let p = FlowchartProgram::new(fc);
+    let policy = Allow::new(2, [2]);
+
+    let mut group = c.benchmark_group("maximal_build");
+    for span in [4i64, 16, 64] {
+        let g = Grid::hypercube(2, -span..=span);
+        group.bench_with_input(BenchmarkId::from_parameter(span), &g, |b, g| {
+            b.iter(|| black_box(MaximalMechanism::build(&p, &policy, g)))
+        });
+    }
+    group.finish();
+
+    // Query cost after construction is a hash lookup — the build cost is
+    // the story.
+    let g = Grid::hypercube(2, -16..=16);
+    let m = MaximalMechanism::build(&p, &policy, &g);
+    c.bench_function("maximal_query", |b| b.iter(|| black_box(m.run(&[3, 5]))));
+}
+
+criterion_group!(benches, bench_maximal);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Enforcement overhead: plain interpretation vs the dynamic mechanisms
+//! vs the paper's instrumented-flowchart mechanism (E17b's time-domain
+//! companion).
+//!
+//! Expected shape: plain < surveillance ≈ high-water < instrumented
+//! (the instrumented form executes roughly twice the boxes through the
+//! same interpreter); the timed variant M′ adds a per-decision check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enf_core::{IndexSet, Mechanism};
+use enf_flowchart::generate::loop_program;
+use enf_flowchart::interp::{run, ExecConfig};
+use enf_flowchart::program::FlowchartProgram;
+use enf_surveillance::dynamic::{run_surveillance, SurvConfig};
+use enf_surveillance::instrument;
+use enf_surveillance::mechanism::{HighWater, Surveillance};
+use std::hint::black_box;
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enforcement_overhead");
+    for iters in [100i64, 1000] {
+        let fc = loop_program(iters, 2);
+        let j = IndexSet::single(1);
+        let cfg = ExecConfig::default();
+        group.bench_with_input(BenchmarkId::new("plain_interp", iters), &fc, |b, fc| {
+            b.iter(|| black_box(run(fc, &[0], &cfg)))
+        });
+        let scfg = SurvConfig::surveillance(j);
+        group.bench_with_input(BenchmarkId::new("surveillance", iters), &fc, |b, fc| {
+            b.iter(|| black_box(run_surveillance(fc, &[0], &scfg)))
+        });
+        let hcfg = SurvConfig::highwater(j);
+        group.bench_with_input(BenchmarkId::new("highwater", iters), &fc, |b, fc| {
+            b.iter(|| black_box(run_surveillance(fc, &[0], &hcfg)))
+        });
+        let tcfg = SurvConfig::timed(j);
+        group.bench_with_input(BenchmarkId::new("timed_m_prime", iters), &fc, |b, fc| {
+            b.iter(|| black_box(run_surveillance(fc, &[0], &tcfg)))
+        });
+        let inst = instrument(&fc, j, false);
+        group.bench_with_input(
+            BenchmarkId::new("instrumented_flowchart", iters),
+            &inst,
+            |b, inst| b.iter(|| black_box(inst.run_mech(&[0]))),
+        );
+    }
+    group.finish();
+
+    // Mechanism-adapter overhead on a mid-sized program.
+    let mut group = c.benchmark_group("mechanism_adapters");
+    let fc = loop_program(500, 2);
+    let p = FlowchartProgram::new(fc);
+    let ms = Surveillance::new(p.clone(), IndexSet::single(1));
+    let mh = HighWater::new(p, IndexSet::single(1));
+    group.bench_function("surveillance_adapter", |b| {
+        b.iter(|| black_box(ms.run(&[0])))
+    });
+    group.bench_function("highwater_adapter", |b| b.iter(|| black_box(mh.run(&[0]))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

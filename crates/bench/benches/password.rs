@@ -1,0 +1,29 @@
+//! The password work factor (E14): brute force (n^k) vs the page-boundary
+//! attack (n·k). The crossover the paper reports is the whole point — the
+//! paged attack's cost is flat where brute force explodes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enf_channels::password::{brute_force_attack, page_boundary_attack, PasswordSystem};
+use std::hint::black_box;
+
+fn bench_password(c: &mut Criterion) {
+    let mut group = c.benchmark_group("password_attacks");
+    for (n, k) in [(4u8, 3usize), (6, 4), (8, 4)] {
+        let worst = vec![n - 1; k];
+        let sys = PasswordSystem::new(worst, n);
+        group.bench_with_input(
+            BenchmarkId::new("brute_force", format!("n{n}k{k}")),
+            &sys,
+            |b, sys| b.iter(|| black_box(brute_force_attack(sys))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("page_boundary", format!("n{n}k{k}")),
+            &sys,
+            |b, sys| b.iter(|| black_box(page_boundary_attack(sys, 4096))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_password);
+criterion_main!(benches);

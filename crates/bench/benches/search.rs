@@ -1,0 +1,54 @@
+//! The transform-search pipeline's cost (E10): what replacing Theorem 4's
+//! impossible optimum with greedy measured search actually costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enf_core::{Grid, IndexSet};
+use enf_flowchart::parser::parse_structured;
+use enf_static::search::improve;
+use enf_static::transform::all_transforms;
+use std::hint::black_box;
+
+fn bench_search(c: &mut Criterion) {
+    let cases = [
+        (
+            "example7",
+            "program(2) { if x1 == 1 { r1 := 1; } else { r1 := 2; } y := 1; }",
+        ),
+        (
+            "example8",
+            "program(2) { if x2 == 1 { y := 1; } else { y := x1; } }",
+        ),
+        (
+            "nested",
+            "program(2) {
+                if x1 == 0 { r1 := 1; } else { r1 := 2; }
+                if x2 == 0 { y := 0; } else { y := x2; }
+                r2 := 2;
+                while r2 > 0 { r2 := r2 - 1; }
+            }",
+        ),
+    ];
+    let grid = Grid::hypercube(2, -2..=2);
+    let mut group = c.benchmark_group("transform_search");
+    for (name, src) in cases {
+        let sp = parse_structured(src).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sp, |b, sp| {
+            b.iter(|| black_box(improve(sp, IndexSet::single(2), &grid, 5)))
+        });
+    }
+    group.finish();
+
+    // Single-transform application cost, no scoring.
+    let sp = parse_structured(
+        "program(2) { if x1 == 1 { r1 := 1; } else { r1 := 2; } y := r1; r2 := 3; while r2 > 0 { r2 := r2 - 1; } }",
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("single_transform");
+    for t in all_transforms() {
+        group.bench_function(t.name(), |b| b.iter(|| black_box(t.apply(&sp))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! The verifier's own cost: empirical soundness checking and the join
+//! combinator (Theorem 1) as domains grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enf_core::{
+    check_soundness, Allow, FnMechanism, Grid, IndexSet, InputDomain, Join, MechOutput, Mechanism,
+    Notice,
+};
+use enf_flowchart::parse;
+use enf_flowchart::program::FlowchartProgram;
+use enf_surveillance::mechanism::Surveillance;
+use std::hint::black_box;
+
+fn bench_soundness(c: &mut Criterion) {
+    let fc = parse("program(2) { y := x1; if x2 == 0 { y := 0; } }").unwrap();
+    let p = FlowchartProgram::new(fc);
+    let m = Surveillance::new(p, IndexSet::single(2));
+    let policy = Allow::new(2, [2]);
+
+    let mut group = c.benchmark_group("check_soundness");
+    for span in [4i64, 16, 64] {
+        let g = Grid::hypercube(2, -span..=span);
+        group.bench_with_input(BenchmarkId::from_parameter(g.len()), &g, |b, g| {
+            b.iter(|| black_box(check_soundness(&m, &policy, g, false)))
+        });
+    }
+    group.finish();
+
+    // Join overhead: M1 ∨ M2 where M1 usually answers.
+    let m1 = FnMechanism::new(2, |a: &[i64]| {
+        if a[0] % 2 == 0 {
+            MechOutput::Value(a[0])
+        } else {
+            MechOutput::Violation(Notice::lambda())
+        }
+    });
+    let m2 = FnMechanism::new(2, |a: &[i64]| MechOutput::Value(a[0]));
+    let j = Join::new(&m1, &m2);
+    let mut group = c.benchmark_group("join_combinator");
+    group.bench_function("first_accepts", |b| b.iter(|| black_box(j.run(&[2, 0]))));
+    group.bench_function("fallback_to_second", |b| {
+        b.iter(|| black_box(j.run(&[3, 0])))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_soundness);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Static analysis scaling (E17d's time-domain companion): the dataflow
+//! fixed point and full certification as the CFG grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enf_core::IndexSet;
+use enf_flowchart::generate::{chain, diamond_chain};
+use enf_static::certify::{certify, Analysis};
+use enf_static::dataflow::{analyze, PcDiscipline};
+use std::hint::black_box;
+
+fn bench_static(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dataflow_analysis");
+    for d in [8usize, 32, 128] {
+        let fc = diamond_chain(d);
+        group.bench_with_input(BenchmarkId::new("monotone_pc", d), &fc, |b, fc| {
+            b.iter(|| black_box(analyze(fc, PcDiscipline::Monotone)))
+        });
+        group.bench_with_input(BenchmarkId::new("scoped_pc", d), &fc, |b, fc| {
+            b.iter(|| black_box(analyze(fc, PcDiscipline::Scoped)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("restructure");
+    for d in [8usize, 32, 128] {
+        let fc = diamond_chain(d);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &fc, |b, fc| {
+            b.iter(|| black_box(enf_flowchart::restructure::restructure(fc)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("certification");
+    for n in [100usize, 1000] {
+        let fc = chain(n);
+        group.bench_with_input(BenchmarkId::new("straight_line", n), &fc, |b, fc| {
+            b.iter(|| black_box(certify(fc, IndexSet::single(1), Analysis::Surveillance)))
+        });
+    }
+    for d in [8usize, 64] {
+        let fc = diamond_chain(d);
+        group.bench_with_input(BenchmarkId::new("diamonds_scoped", d), &fc, |b, fc| {
+            b.iter(|| black_box(certify(fc, IndexSet::single(2), Analysis::Scoped)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_static);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Substrate costs: the Minsky compiler and machine, the data-mark layer,
+//! and the information-theoretic estimators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enf_channels::info::mutual_information;
+use enf_flowchart::parser::parse_structured;
+use enf_minsky::compile::compile;
+use enf_minsky::datamark::HaltSemantics;
+use enf_minsky::programs::{copy_machine, negative_inference_machine};
+use std::hint::black_box;
+
+fn bench_substrates(c: &mut Criterion) {
+    // Compiling the counted-loop template.
+    let sp = parse_structured(
+        "program(2) {
+            r1 := x1;
+            while r1 > 0 { y := y + x2 + 1; r1 := r1 - 1; }
+        }",
+    )
+    .unwrap();
+    c.bench_function("minsky_compile", |b| b.iter(|| black_box(compile(&sp))));
+
+    // Machine execution cost scales with the copied magnitude.
+    let copy = copy_machine();
+    let mut group = c.benchmark_group("minsky_run_copy");
+    for x in [10u64, 100, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(x), &x, |b, &x| {
+            b.iter(|| black_box(copy.run(&[0, x], 1_000_000)))
+        });
+    }
+    group.finish();
+
+    // Data-mark overhead relative to the plain machine.
+    let dm = negative_inference_machine(HaltSemantics::Notice);
+    c.bench_function("datamark_run", |b| {
+        b.iter(|| black_box(dm.run(&[0, 5], 1000)))
+    });
+
+    // Mutual-information estimation over sample sizes.
+    let mut group = c.benchmark_group("mutual_information");
+    for n in [100usize, 1000, 10_000] {
+        let pairs: Vec<(u64, u64)> = (0..n as u64).map(|i| (i % 16, (i * 7) % 4)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pairs, |b, pairs| {
+            b.iter(|| black_box(mutual_information(pairs)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrates);
+criterion_main!(benches);

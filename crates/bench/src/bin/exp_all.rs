@@ -1,0 +1,28 @@
+//! Runs every experiment (E1–E18) and prints the tables EXPERIMENTS.md
+//! records. `--markdown` emits GitHub-flavored markdown instead of the
+//! aligned terminal form.
+
+fn main() {
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    let tables = enf_bench::experiments::run_all();
+    let mut failures = 0;
+    for t in &tables {
+        if markdown {
+            println!("{}", t.to_markdown());
+        } else {
+            println!("{t}");
+        }
+        if !t.verdict.starts_with("reproduced") {
+            failures += 1;
+        }
+    }
+    println!(
+        "{} experiments, {} reproduced, {} failed",
+        tables.len(),
+        tables.len() - failures,
+        failures
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

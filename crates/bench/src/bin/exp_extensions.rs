@@ -1,0 +1,8 @@
+//! Runs the `extensions` experiment family (X1–X3); see DESIGN.md for the
+//! experiment index and EXPERIMENTS.md for recorded results.
+
+fn main() {
+    for t in enf_bench::experiments::extensions::run() {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Runs the `fenton` experiment family; see DESIGN.md for the experiment
+//! index and EXPERIMENTS.md for recorded results.
+
+fn main() {
+    for t in enf_bench::experiments::fenton::run() {
+        println!("{t}");
+    }
+}

@@ -1,0 +1,8 @@
+//! Runs the `filesys` experiment family; see DESIGN.md for the experiment
+//! index and EXPERIMENTS.md for recorded results.
+
+fn main() {
+    for t in enf_bench::experiments::filesys::run() {
+        println!("{t}");
+    }
+}

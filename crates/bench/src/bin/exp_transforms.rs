@@ -1,0 +1,8 @@
+//! Runs the `transforms` experiment family; see DESIGN.md for the experiment
+//! index and EXPERIMENTS.md for recorded results.
+
+fn main() {
+    for t in enf_bench::experiments::transforms::run() {
+        println!("{t}");
+    }
+}

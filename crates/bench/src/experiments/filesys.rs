@@ -1,0 +1,87 @@
+//! E12: the file system of Example 2 — content-dependent enforcement and
+//! the leaky-notice pitfall of Example 4.
+
+use crate::report::Table;
+use enf_core::{check_protection, check_soundness, Identity, Mechanism as _};
+use enf_filesys::policy::{small_domain, GatedFilePolicy};
+use enf_filesys::query::{count_above_program, read_program, sum_permitted_program};
+use enf_filesys::{LeakyMonitor, ReferenceMonitor};
+
+/// E12: monitors and aggregates, judged against the gated policy.
+pub fn e12_filesys() -> Table {
+    let mut t = Table::new(
+        "E12 — Example 2/4: the file system",
+        "the directory-gated policy is enforceable by a reference monitor; mechanisms that leak via violation notices are unsound (Example 4)",
+        vec!["mechanism", "protection mech for Q", "sound", "expected"],
+    );
+    let k = 2;
+    let policy = GatedFilePolicy::new(k);
+    let g = small_domain(k, 3);
+    let q = read_program(k, 1);
+    let mut ok = true;
+
+    let monitor = ReferenceMonitor::new(k, 1);
+    let leaky = LeakyMonitor::new(k, 1);
+    let sum = Identity::new(sum_permitted_program(k));
+    let count = Identity::new(count_above_program(k, 1));
+
+    let rows: Vec<(&str, bool, bool, bool)> = vec![
+        (
+            "reference monitor (fixed notice)",
+            check_protection(&monitor, &q, &g).is_ok(),
+            check_soundness(&monitor, &policy, &g, false).is_sound(),
+            true,
+        ),
+        (
+            "leaky-notice monitor (Example 4)",
+            check_protection(&leaky, &q, &g).is_ok(),
+            check_soundness(&leaky, &policy, &g, false).is_sound(),
+            false,
+        ),
+        (
+            "sum-of-permitted as own mechanism",
+            true,
+            check_soundness(&sum, &policy, &g, false).is_sound(),
+            true,
+        ),
+        (
+            "count-above-threshold as own mechanism",
+            true,
+            check_soundness(&count, &policy, &g, false).is_sound(),
+            false,
+        ),
+    ];
+    for (name, prot, sound, expected) in rows {
+        ok &= sound == expected && prot;
+        t.row(vec![
+            name.into(),
+            prot.to_string(),
+            sound.to_string(),
+            expected.to_string(),
+        ]);
+    }
+    // The leak is concretely about denied content.
+    let distinguish = leaky.run(&[0, 0, 0, 0]) != leaky.run(&[0, 0, 3, 0]);
+    ok &= distinguish;
+    t.set_verdict(if ok {
+        "reproduced: the monitor is sound; leaky notices and permission-blind aggregates are caught"
+    } else {
+        "FAILED"
+    });
+    t
+}
+
+/// Runs the family.
+pub fn run() -> Vec<Table> {
+    vec![e12_filesys()]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn family_reproduces() {
+        for t in super::run() {
+            assert!(t.verdict.starts_with("reproduced"), "{}", t.title);
+        }
+    }
+}

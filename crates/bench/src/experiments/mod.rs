@@ -1,0 +1,47 @@
+//! The experiments, one module per family (ids E1–E18 and extensions
+//! X1–X3, per DESIGN.md).
+
+pub mod completeness;
+pub mod extensions;
+pub mod fenton;
+pub mod filesys;
+pub mod foundations;
+pub mod instrument;
+pub mod password;
+pub mod staticexp;
+pub mod timing;
+pub mod transforms;
+
+use crate::report::Table;
+
+/// Runs every experiment, in id order.
+pub fn run_all() -> Vec<Table> {
+    let mut out = Vec::new();
+    out.extend(foundations::run());
+    out.extend(timing::run());
+    out.extend(completeness::run());
+    out.extend(transforms::run());
+    out.extend(fenton::run());
+    out.extend(filesys::run());
+    out.extend(password::run());
+    out.extend(staticexp::run());
+    out.extend(instrument::run());
+    out.extend(extensions::run());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_experiment_reproduces_its_claim() {
+        for t in super::run_all() {
+            assert!(
+                t.verdict.starts_with("reproduced"),
+                "{} failed: {}",
+                t.title,
+                t.verdict
+            );
+            assert!(!t.rows.is_empty(), "{} has no data", t.title);
+        }
+    }
+}

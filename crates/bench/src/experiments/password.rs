@@ -1,0 +1,90 @@
+//! E13 (the logon program's small leak) and E14 (the page-boundary attack:
+//! work factor n^k → n·k).
+
+use crate::report::Table;
+use enf_channels::adversary::mean_random_brute_force;
+use enf_channels::password::{
+    brute_force_attack, failed_probe_information, page_boundary_attack, PasswordSystem,
+};
+
+/// E13: Example 5 — the logon program leaks, but a failed probe leaks
+/// little.
+pub fn e13_logon_leak() -> Table {
+    let mut t = Table::new(
+        "E13 — Example 5: the logon program's small leak",
+        "\"Q, as its own protection mechanism, is unsound. The reason this program is workable in practice is that the amount of information obtained by the user is 'small'\"",
+        vec!["n", "k", "candidates n^k", "bits per failed probe"],
+    );
+    let mut ok = true;
+    let mut last = f64::INFINITY;
+    for (n, k) in [(2u8, 2u32), (4, 4), (8, 6), (26, 8)] {
+        let bits = failed_probe_information(n, k);
+        ok &= bits > 0.0 && bits < last;
+        last = bits;
+        t.row(vec![
+            n.to_string(),
+            k.to_string(),
+            format!("{:.0}", (n as f64).powi(k as i32)),
+            format!("{bits:.3e}"),
+        ]);
+    }
+    t.set_verdict(if ok {
+        "reproduced: positive but vanishing leak as the candidate space grows"
+    } else {
+        "FAILED"
+    });
+    t
+}
+
+/// E14: the classic attack — brute force n^k vs page-boundary n·k.
+pub fn e14_page_attack() -> Table {
+    let mut t = Table::new(
+        "E14 — the page-boundary attack",
+        "\"the work factor can be reduced to n · k by appropriately placing candidate passwords across page boundaries and observing page movement\"",
+        vec!["n", "k", "brute (worst)", "brute (mean, 50 trials)", "n^k", "paged (worst)", "n·k bound", "speedup vs mean"],
+    );
+    let mut ok = true;
+    for (n, k) in [(4u8, 3usize), (6, 4), (8, 4), (8, 5), (10, 5)] {
+        let worst = vec![n - 1; k];
+        let sys = PasswordSystem::new(worst, n);
+        let brute = brute_force_attack(&sys).oracle_calls;
+        let mean = mean_random_brute_force(&sys, 50);
+        let paged = page_boundary_attack(&sys, 4096).total_probes();
+        let nk = (n as u64) * (k as u64);
+        let pow = (n as u64).pow(k as u32);
+        // Expected cost of random guessing is (n^k + 1) / 2; allow slack.
+        let expected = (pow as f64 + 1.0) / 2.0;
+        ok &= brute == pow && paged <= nk && (mean - expected).abs() < expected * 0.35;
+        t.row(vec![
+            n.to_string(),
+            k.to_string(),
+            brute.to_string(),
+            format!("{mean:.0}"),
+            pow.to_string(),
+            paged.to_string(),
+            nk.to_string(),
+            format!("{:.0}x", mean / paged.max(1) as f64),
+        ]);
+    }
+    t.set_verdict(if ok {
+        "reproduced: worst-case brute force hits n^k exactly, random guessing averages ~n^k/2, the paged attack stays within n·k"
+    } else {
+        "FAILED"
+    });
+    t
+}
+
+/// Runs the family.
+pub fn run() -> Vec<Table> {
+    vec![e13_logon_leak(), e14_page_attack()]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn family_reproduces() {
+        for t in super::run() {
+            assert!(t.verdict.starts_with("reproduced"), "{}", t.title);
+        }
+    }
+}

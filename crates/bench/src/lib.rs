@@ -1,0 +1,17 @@
+//! Experiment harness regenerating every claim of the paper.
+//!
+//! The paper has no numbered tables or figures — its evaluation is a set
+//! of worked examples, theorems and quantitative claims. DESIGN.md maps
+//! each to an experiment id (E1–E18, plus extensions X1–X4); this crate implements them as
+//! functions returning [`report::Table`]s, exposes one binary per
+//! experiment family (`exp_*`), and an `exp_all` binary that regenerates
+//! the data behind EXPERIMENTS.md. Criterion benches under `benches/`
+//! price the mechanisms (instrumentation overhead, analysis scaling,
+//! maximal-mechanism construction cost, attack work factors).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Table;

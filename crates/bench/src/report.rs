@@ -1,0 +1,155 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt;
+
+/// A rendered experiment: title, paper claim, column headers and rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    /// Experiment id and name, e.g. `"E5 — surveillance vs high-water"`.
+    pub title: String,
+    /// The paper's claim being checked.
+    pub claim: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// One-line verdict ("reproduced: …").
+    pub verdict: String,
+}
+
+impl Table {
+    /// Creates a table.
+    pub fn new(title: impl Into<String>, claim: impl Into<String>, header: Vec<&str>) -> Self {
+        Table {
+            title: title.into(),
+            claim: claim.into(),
+            header: header.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+            verdict: String::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width does not match header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Sets the verdict line.
+    pub fn set_verdict(&mut self, verdict: impl Into<String>) {
+        self.verdict = verdict.into();
+    }
+
+    /// Renders as GitHub-flavored markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut s = format!("### {}\n\n*Paper claim:* {}\n\n", self.title, self.claim);
+        s.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        s.push_str(&format!(
+            "|{}|\n",
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        ));
+        for r in &self.rows {
+            s.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        if !self.verdict.is_empty() {
+            s.push_str(&format!("\n**{}**\n", self.verdict));
+        }
+        s
+    }
+}
+
+impl fmt::Display for Table {
+    /// Aligned plain-text rendering for terminals.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {}", self.title)?;
+        writeln!(f, "   claim: {}", self.claim)?;
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (w, c) in widths.iter_mut().zip(r) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "   {}", line(&self.header, &widths))?;
+        for r in &self.rows {
+            writeln!(f, "   {}", line(r, &widths))?;
+        }
+        if !self.verdict.is_empty() {
+            writeln!(f, "   => {}", self.verdict)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with fixed precision for table cells.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a rate as a percentage.
+pub fn pct(num: usize, den: usize) -> String {
+    if den == 0 {
+        "n/a".into()
+    } else {
+        format!("{:.0}%", 100.0 * num as f64 / den as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("E0 — demo", "something holds", vec!["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["10".into(), "20".into()]);
+        t.set_verdict("reproduced");
+        t
+    }
+
+    #[test]
+    fn markdown_has_header_separator_and_rows() {
+        let md = sample().to_markdown();
+        assert!(md.contains("### E0 — demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("|---|---|"));
+        assert!(md.contains("| 10 | 20 |"));
+        assert!(md.contains("**reproduced**"));
+    }
+
+    #[test]
+    fn display_aligns_columns() {
+        let s = sample().to_string();
+        assert!(s.contains("=> reproduced"));
+        assert!(s.contains(" 1   2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", "c", vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f2(1.5), "1.50");
+        assert_eq!(pct(1, 4), "25%");
+        assert_eq!(pct(0, 0), "n/a");
+    }
+}

@@ -1,0 +1,107 @@
+//! Randomized adversaries: expected-case work factors.
+//!
+//! The paper states the password system's security "relies on the work
+//! factor of n^k attempts"; the *expected* cost of random guessing is
+//! `(n^k + 1) / 2`. This module implements seeded randomized attackers so
+//! the expected-case claim can be measured, not just the worst case.
+
+use crate::password::PasswordSystem;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Outcome of a randomized brute-force attack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RandomAttack {
+    /// The recovered password.
+    pub recovered: Vec<u8>,
+    /// Oracle calls used.
+    pub oracle_calls: u64,
+}
+
+/// Guesses candidates in a uniformly random order (without repetition)
+/// until the oracle accepts.
+///
+/// # Panics
+///
+/// Panics if the candidate space exceeds `2^24` (build it smaller for
+/// simulation).
+pub fn random_brute_force(sys: &PasswordSystem, seed: u64) -> RandomAttack {
+    let k = sys.len();
+    let n = sys.alphabet() as u64;
+    let total = n.pow(k as u32);
+    assert!(total <= 1 << 24, "candidate space too large to shuffle");
+    let mut order: Vec<u64> = (0..total).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let mut calls = 0u64;
+    for code in order {
+        // Decode the candidate in base n.
+        let mut guess = vec![0u8; k];
+        let mut c = code;
+        for slot in guess.iter_mut().rev() {
+            *slot = (c % n) as u8;
+            c /= n;
+        }
+        calls += 1;
+        if sys.check(&guess) {
+            return RandomAttack {
+                recovered: guess,
+                oracle_calls: calls,
+            };
+        }
+    }
+    unreachable!("the true password is in the candidate space");
+}
+
+/// Mean oracle calls of [`random_brute_force`] over `trials` seeds.
+pub fn mean_random_brute_force(sys: &PasswordSystem, trials: u64) -> f64 {
+    let total: u64 = (0..trials)
+        .map(|seed| random_brute_force(sys, seed).oracle_calls)
+        .sum();
+    total as f64 / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_attack_recovers_the_password() {
+        let sys = PasswordSystem::new(vec![2, 1, 3], 4);
+        for seed in 0..5 {
+            let r = random_brute_force(&sys, seed);
+            assert_eq!(r.recovered, vec![2, 1, 3]);
+            assert!(r.oracle_calls >= 1 && r.oracle_calls <= 64);
+        }
+    }
+
+    #[test]
+    fn random_attack_is_deterministic_per_seed() {
+        let sys = PasswordSystem::new(vec![0, 3], 4);
+        assert_eq!(random_brute_force(&sys, 7), random_brute_force(&sys, 7));
+    }
+
+    #[test]
+    fn expected_cost_is_about_half_the_space() {
+        // n = 4, k = 3 → 64 candidates, expectation 32.5.
+        let sys = PasswordSystem::new(vec![1, 2, 3], 4);
+        let mean = mean_random_brute_force(&sys, 400);
+        assert!(
+            (mean - 32.5).abs() < 5.0,
+            "mean {mean} too far from the theoretical 32.5"
+        );
+    }
+
+    #[test]
+    fn page_attack_beats_even_the_expected_case() {
+        let n = 6u8;
+        let sys = PasswordSystem::new(vec![2, 5, 0, 3], n);
+        let mean = mean_random_brute_force(&sys, 100);
+        let paged = crate::password::page_boundary_attack(&sys, 4096).total_probes();
+        assert!(
+            (paged as f64) * 5.0 < mean,
+            "paged {paged} not clearly below mean brute {mean}"
+        );
+    }
+}

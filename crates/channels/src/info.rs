@@ -1,0 +1,139 @@
+//! Information-theoretic yardsticks for leak measurement.
+//!
+//! All quantities are computed from empirical joint samples; with a
+//! uniform secret and a deterministic observable, mutual information
+//! equals the log of the number of distinguishable secret classes — the
+//! quantity a sound mechanism must hold at the policy's level.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Shannon entropy (bits) of the empirical distribution of `items`.
+pub fn entropy<T: Eq + Hash>(items: impl IntoIterator<Item = T>) -> f64 {
+    let mut counts: HashMap<T, u64> = HashMap::new();
+    let mut n = 0u64;
+    for x in items {
+        *counts.entry(x).or_insert(0) += 1;
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / n as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Empirical mutual information `I(X; Y)` in bits from joint samples.
+pub fn mutual_information<X, Y>(pairs: &[(X, Y)]) -> f64
+where
+    X: Eq + Hash + Clone,
+    Y: Eq + Hash + Clone,
+{
+    let n = pairs.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mut joint: HashMap<(X, Y), u64> = HashMap::new();
+    let mut mx: HashMap<X, u64> = HashMap::new();
+    let mut my: HashMap<Y, u64> = HashMap::new();
+    for (x, y) in pairs {
+        *joint.entry((x.clone(), y.clone())).or_insert(0) += 1;
+        *mx.entry(x.clone()).or_insert(0) += 1;
+        *my.entry(y.clone()).or_insert(0) += 1;
+    }
+    let mut mi = 0.0;
+    for ((x, y), c) in &joint {
+        let pxy = *c as f64 / nf;
+        let px = mx[x] as f64 / nf;
+        let py = my[y] as f64 / nf;
+        mi += pxy * (pxy / (px * py)).log2();
+    }
+    mi.max(0.0)
+}
+
+/// The number of distinct observations a deterministic observable yields
+/// over the given secrets — `log2` of which is the leaked bits for a
+/// uniform secret.
+pub fn distinguishable<S, O, F>(secrets: impl IntoIterator<Item = S>, f: F) -> usize
+where
+    O: Eq + Hash,
+    F: Fn(&S) -> O,
+{
+    let mut seen = std::collections::HashSet::new();
+    for s in secrets {
+        seen.insert(f(&s));
+    }
+    seen.len()
+}
+
+/// `log2(classes)`, the leak in bits for a uniform secret.
+pub fn bits(classes: usize) -> f64 {
+    if classes <= 1 {
+        0.0
+    } else {
+        (classes as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_of_constant_is_zero() {
+        assert_eq!(entropy([1, 1, 1, 1]), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_fair_coin_is_one_bit() {
+        let h = entropy([0, 1, 0, 1]);
+        assert!((h - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_of_empty_is_zero() {
+        assert_eq!(entropy(Vec::<u8>::new()), 0.0);
+    }
+
+    #[test]
+    fn mi_of_independent_variables_is_zero() {
+        // Y constant regardless of X.
+        let pairs: Vec<(u8, u8)> = (0..8).map(|x| (x, 7)).collect();
+        assert_eq!(mutual_information(&pairs), 0.0);
+    }
+
+    #[test]
+    fn mi_of_identity_equals_entropy() {
+        let pairs: Vec<(u8, u8)> = (0..8).map(|x| (x, x)).collect();
+        let mi = mutual_information(&pairs);
+        assert!((mi - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_of_one_bit_predicate() {
+        let pairs: Vec<(u8, bool)> = (0..8).map(|x| (x, x == 0)).collect();
+        let mi = mutual_information(&pairs);
+        // H(Y) with p = 1/8: ≈ 0.5436 bits.
+        let expect = -(1.0f64 / 8.0) * (1.0f64 / 8.0).log2() - (7.0 / 8.0) * (7.0f64 / 8.0).log2();
+        assert!((mi - expect).abs() < 1e-9, "mi = {mi}, expect = {expect}");
+    }
+
+    #[test]
+    fn mi_empty_is_zero() {
+        assert_eq!(mutual_information::<u8, u8>(&[]), 0.0);
+    }
+
+    #[test]
+    fn distinguishable_counts_classes() {
+        assert_eq!(distinguishable(0..10, |x| x % 3), 3);
+        assert_eq!(distinguishable(0..10, |_| 0), 1);
+        assert_eq!(bits(1), 0.0);
+        assert!((bits(4) - 2.0).abs() < 1e-12);
+    }
+}

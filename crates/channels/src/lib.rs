@@ -1,0 +1,38 @@
+//! Covert channels and the observability postulate.
+//!
+//! "The output value Q(d1, …, dk) must be assumed to encode all
+//! information available about the input value … there is a series of
+//! examples where it has not held in practice." This crate builds each of
+//! the paper's examples of *forgotten observables* as a simulated
+//! substrate, together with the information-theoretic yardsticks to
+//! measure what they leak:
+//!
+//! * [`info`] — entropy, mutual information, distinguishability;
+//! * [`timing`] — running time as an output: the constant-function timing
+//!   channel and its closure by the Theorem 3′ mechanism;
+//! * [`tape`] — the one-way read-only tape: reading `z2` past `z1` encodes
+//!   `|z1|` in the head movement; a constant-time `tab(i)` restores
+//!   soundness (and a naive `tab` does not);
+//! * [`pager`] — a toy demand pager whose fault pattern is observable;
+//! * [`password`] — Example 5's logon program and the classic attack the
+//!   paper recounts: "the work factor can be reduced to n · k by
+//!   appropriately placing candidate passwords across page boundaries and
+//!   observing page movement";
+//! * [`adversary`] — randomized attackers for expected-case work factors;
+//! * [`padding`] — timing mitigation by padding, the release-preserving
+//!   alternative to Theorem 3′'s suppression.
+
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod info;
+pub mod padding;
+pub mod pager;
+pub mod password;
+pub mod tape;
+pub mod timing;
+
+pub use info::{entropy, mutual_information};
+pub use pager::Pager;
+pub use password::{brute_force_attack, page_boundary_attack, PasswordSystem};
+pub use tape::{SeekStrategy, TapeMachine};

@@ -1,0 +1,160 @@
+//! Timing mitigation by padding: the other way to honor the
+//! observability postulate.
+//!
+//! Theorem 3′'s M′ closes the timing channel by *suppression* — abort
+//! before any time-variable work on denied data happens. The constant-time
+//! `tab(i)` of the tape example points at the alternative: *pad* the
+//! observable time to a value independent of denied inputs, and release
+//! the result. [`PaddedProgram`] wraps any timed program, reporting
+//! `max(steps, bound)` as its running time; with a bound covering the
+//! whole domain, the time component carries zero information while the
+//! value channel is untouched.
+//!
+//! The trade against M′, measured in the tests: padding preserves every
+//! output (complete where M′ may suppress) but is only sound when the
+//! *value* channel already respects the policy — suppression protects
+//! leaky values too.
+
+use enf_core::{Program, Timed, TimedProgram, V};
+
+/// A timed program whose reported running time is padded up to a bound.
+///
+/// Runs exceeding the bound report their true time (a real system would
+/// abort them; keeping the true time makes the failure mode visible in
+/// experiments).
+#[derive(Clone, Debug)]
+pub struct PaddedProgram<P> {
+    inner: P,
+    bound: u64,
+}
+
+impl<P: TimedProgram> PaddedProgram<P> {
+    /// Pads `inner`'s observable time up to `bound` steps.
+    pub fn new(inner: P, bound: u64) -> Self {
+        PaddedProgram { inner, bound }
+    }
+
+    /// Computes the smallest sufficient bound over a set of inputs.
+    pub fn calibrate<'a>(inner: &P, inputs: impl IntoIterator<Item = &'a [V]>) -> u64 {
+        inputs
+            .into_iter()
+            .map(|a| inner.eval_timed(a).steps)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The padding bound.
+    pub fn bound(&self) -> u64 {
+        self.bound
+    }
+}
+
+impl<P: TimedProgram> Program for PaddedProgram<P> {
+    type Out = Timed<P::Out>;
+
+    fn arity(&self) -> usize {
+        self.inner.arity()
+    }
+
+    fn eval(&self, input: &[V]) -> Timed<P::Out> {
+        let t = self.inner.eval_timed(input);
+        Timed::new(t.value, t.steps.max(self.bound))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::paper_timing_program;
+    use enf_core::{check_soundness, Allow, Grid, Identity, IndexSet, InputDomain};
+    use enf_flowchart::parse;
+    use enf_flowchart::program::FlowchartProgram;
+    use enf_surveillance::timed::TimedMechanism;
+
+    #[test]
+    fn calibration_finds_the_worst_case() {
+        let p = paper_timing_program();
+        let inputs: Vec<Vec<i64>> = (0..=7).map(|x| vec![x]).collect();
+        let bound = PaddedProgram::calibrate(&p, inputs.iter().map(|v| v.as_slice()));
+        let worst = p.eval_timed(&[7]).steps;
+        assert_eq!(bound, worst);
+    }
+
+    #[test]
+    fn padding_closes_the_timing_channel() {
+        // The Section-2 program: unsound with observable time, sound once
+        // padded to the domain's worst case.
+        let p = paper_timing_program();
+        let g = Grid::hypercube(1, 0..=7);
+        let bound = PaddedProgram::calibrate(
+            &p,
+            g.iter_inputs()
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|v| v.as_slice()),
+        );
+        let padded = PaddedProgram::new(p, bound);
+        let m = Identity::new(&padded);
+        assert!(check_soundness(&m, &Allow::none(1), &g, false).is_sound());
+        // Every run reports exactly the bound.
+        for a in g.iter_inputs() {
+            assert_eq!(padded.eval(&a).steps, bound);
+        }
+    }
+
+    #[test]
+    fn underestimated_bound_still_leaks() {
+        let p = paper_timing_program();
+        let g = Grid::hypercube(1, 0..=7);
+        let too_small = p.eval_timed(&[3]).steps;
+        let padded = PaddedProgram::new(p, too_small);
+        let m = Identity::new(&padded);
+        assert!(!check_soundness(&m, &Allow::none(1), &g, false).is_sound());
+    }
+
+    #[test]
+    fn padding_cannot_fix_a_leaky_value_channel() {
+        // y := x1 leaks through the value; padding is irrelevant.
+        let fc = parse("program(1) { y := x1; }").unwrap();
+        let p = FlowchartProgram::new(fc);
+        let padded = PaddedProgram::new(p, 1_000);
+        let g = Grid::hypercube(1, 0..=5);
+        let m = Identity::new(&padded);
+        assert!(!check_soundness(&m, &Allow::none(1), &g, false).is_sound());
+    }
+
+    #[test]
+    fn padding_vs_suppression_trade() {
+        // On the constant-with-loop program: M′ suppresses everything
+        // (zero useful outputs), padding releases the value everywhere —
+        // both sound, opposite completeness.
+        let pp = enf_flowchart::corpus::timing_constant();
+        let g = Grid::hypercube(1, 0..=7);
+        let m_prime = TimedMechanism::new(pp.flowchart.clone(), IndexSet::empty());
+        let suppressed = g
+            .iter_inputs()
+            .filter(|a| enf_core::Program::eval(&m_prime, a).value.is_violation())
+            .count();
+        assert_eq!(suppressed, g.len(), "M′ suppresses every run here");
+        let p = FlowchartProgram::new(pp.flowchart);
+        let bound = PaddedProgram::calibrate(
+            &p,
+            g.iter_inputs()
+                .collect::<Vec<_>>()
+                .iter()
+                .map(|v| v.as_slice()),
+        );
+        let padded = PaddedProgram::new(p, bound);
+        for a in g.iter_inputs() {
+            let out = padded.eval(&a);
+            assert_eq!(format!("{:?}", out.value), "Value(1)");
+            assert_eq!(out.steps, bound);
+        }
+    }
+
+    #[test]
+    fn bound_accessor() {
+        let p = paper_timing_program();
+        assert_eq!(PaddedProgram::new(p, 42).bound(), 42);
+    }
+}

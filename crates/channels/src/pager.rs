@@ -1,0 +1,115 @@
+//! A toy demand pager with an observable fault pattern.
+//!
+//! The paper's closing Section-2 example: "the work factor can be reduced
+//! … by appropriately placing candidate passwords across page boundaries
+//! and observing page movement resulting from 'guessing' password
+//! values." Page movement is exactly the kind of observable a general-
+//! purpose operating system forgets to include in "the output".
+
+/// A demand pager over a flat byte-addressed space.
+#[derive(Clone, Debug)]
+pub struct Pager {
+    page_size: usize,
+    resident: std::collections::HashSet<usize>,
+    faults: Vec<usize>,
+}
+
+impl Pager {
+    /// Creates a pager with the given page size (bytes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is 0.
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be positive");
+        Pager {
+            page_size,
+            resident: std::collections::HashSet::new(),
+            faults: Vec::new(),
+        }
+    }
+
+    /// The page containing `addr`.
+    pub fn page_of(&self, addr: usize) -> usize {
+        addr / self.page_size
+    }
+
+    /// Touches an address; returns `true` if it faulted (page was not
+    /// resident). Faulting makes the page resident.
+    pub fn touch(&mut self, addr: usize) -> bool {
+        let page = self.page_of(addr);
+        if self.resident.insert(page) {
+            self.faults.push(page);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pre-faults a page in (e.g. the page the guess buffer starts on).
+    pub fn make_resident(&mut self, page: usize) {
+        self.resident.insert(page);
+    }
+
+    /// Evicts everything — a fresh fault pattern for the next probe.
+    pub fn flush(&mut self) {
+        self.resident.clear();
+        self.faults.clear();
+    }
+
+    /// The observable fault sequence so far.
+    pub fn faults(&self) -> &[usize] {
+        &self.faults
+    }
+
+    /// The page size.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_faults_second_does_not() {
+        let mut p = Pager::new(64);
+        assert!(p.touch(10));
+        assert!(!p.touch(20), "same page already resident");
+        assert!(p.touch(64), "next page faults");
+        assert_eq!(p.faults(), &[0, 1]);
+    }
+
+    #[test]
+    fn make_resident_suppresses_fault() {
+        let mut p = Pager::new(16);
+        p.make_resident(0);
+        assert!(!p.touch(5));
+        assert!(p.faults().is_empty());
+    }
+
+    #[test]
+    fn flush_resets_everything() {
+        let mut p = Pager::new(16);
+        p.touch(0);
+        p.flush();
+        assert!(p.faults().is_empty());
+        assert!(p.touch(0), "faults again after flush");
+    }
+
+    #[test]
+    fn page_of_uses_page_size() {
+        let p = Pager::new(100);
+        assert_eq!(p.page_of(0), 0);
+        assert_eq!(p.page_of(99), 0);
+        assert_eq!(p.page_of(100), 1);
+        assert_eq!(p.page_size(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "page size must be positive")]
+    fn zero_page_size_rejected() {
+        Pager::new(0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Example 5's logon program and the page-boundary password attack.
+//!
+//! "A password system is not a protection mechanism because it, of
+//! necessity, gives out information about user and password pairs.
+//! Security relies on the work factor of n^k attempts … However, the work
+//! factor can be reduced to n · k by appropriately placing candidate
+//! passwords across page boundaries and observing page movement."
+//!
+//! [`PasswordSystem::check`] is the logon oracle; [`brute_force_attack`]
+//! realizes the intended n^k work factor; [`page_boundary_attack`] mounts
+//! the classic attack against a sequential comparator running on the
+//! [`crate::pager`] substrate, recovering the password in at most
+//! `n·(k−1)` fault probes plus `n` logon attempts.
+
+use crate::pager::Pager;
+
+/// A password checker with a sequential, early-exit comparator — the
+/// realistic implementation whose memory-access pattern betrays it.
+#[derive(Clone, Debug)]
+pub struct PasswordSystem {
+    password: Vec<u8>,
+    alphabet: u8,
+}
+
+impl PasswordSystem {
+    /// Creates a system holding a `k`-character password over the alphabet
+    /// `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the password is empty, `n` is 0, or any character is
+    /// outside the alphabet.
+    pub fn new(password: Vec<u8>, alphabet: u8) -> Self {
+        assert!(!password.is_empty(), "password must be non-empty");
+        assert!(alphabet > 0, "alphabet must be non-empty");
+        assert!(
+            password.iter().all(|c| *c < alphabet),
+            "password characters must be below the alphabet size"
+        );
+        PasswordSystem { password, alphabet }
+    }
+
+    /// Password length `k`.
+    pub fn len(&self) -> usize {
+        self.password.len()
+    }
+
+    /// Never true; passwords are non-empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Alphabet size `n`.
+    pub fn alphabet(&self) -> u8 {
+        self.alphabet
+    }
+
+    /// The logon oracle: sequential comparison with early exit.
+    pub fn check(&self, guess: &[u8]) -> bool {
+        if guess.len() != self.password.len() {
+            return false;
+        }
+        for (g, p) in guess.iter().zip(&self.password) {
+            if g != p {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The same comparator running against a guess buffer in paged
+    /// memory: character `j` of the guess is read from `base + j`,
+    /// faulting its page in on first touch. Returns the oracle answer;
+    /// the *fault pattern* stays observable in the pager.
+    pub fn check_paged(&self, guess: &[u8], pager: &mut Pager, base: usize) -> bool {
+        if guess.len() != self.password.len() {
+            return false;
+        }
+        for (j, (g, p)) in guess.iter().zip(&self.password).enumerate() {
+            pager.touch(base + j);
+            if g != p {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Result of the brute-force attack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BruteForceResult {
+    /// The recovered password.
+    pub recovered: Vec<u8>,
+    /// Logon attempts used.
+    pub oracle_calls: u64,
+}
+
+/// Enumerates all n^k candidates until the oracle accepts.
+pub fn brute_force_attack(sys: &PasswordSystem) -> BruteForceResult {
+    let k = sys.len();
+    let n = sys.alphabet();
+    let mut guess = vec![0u8; k];
+    let mut calls = 0u64;
+    loop {
+        calls += 1;
+        if sys.check(&guess) {
+            return BruteForceResult {
+                recovered: guess,
+                oracle_calls: calls,
+            };
+        }
+        // Odometer increment over the alphabet.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                unreachable!("oracle must accept the true password");
+            }
+            i -= 1;
+            if guess[i] + 1 < n {
+                guess[i] += 1;
+                break;
+            }
+            guess[i] = 0;
+        }
+    }
+}
+
+/// Result of the page-boundary attack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageAttackResult {
+    /// The recovered password.
+    pub recovered: Vec<u8>,
+    /// Probes that used the fault observable (positions `0..k−1`).
+    pub fault_probes: u64,
+    /// Plain logon attempts for the final character.
+    pub oracle_calls: u64,
+}
+
+impl PageAttackResult {
+    /// Total adversary work.
+    pub fn total_probes(&self) -> u64 {
+        self.fault_probes + self.oracle_calls
+    }
+}
+
+/// Mounts the classic attack: for each position, straddle the next
+/// character across a page boundary and watch for the fault that only a
+/// correct prefix can cause.
+///
+/// # Panics
+///
+/// Panics if the page size is smaller than the password length (the
+/// buffer placement needs the prefix on one page).
+pub fn page_boundary_attack(sys: &PasswordSystem, page_size: usize) -> PageAttackResult {
+    let k = sys.len();
+    let n = sys.alphabet();
+    assert!(page_size > k, "page too small to straddle the guess");
+    let mut known: Vec<u8> = Vec::new();
+    let mut fault_probes = 0u64;
+    // Recover characters 0..k-1 via the fault channel.
+    for j in 0..k.saturating_sub(1) {
+        let mut found = None;
+        for c in 0..n {
+            let mut guess = known.clone();
+            guess.push(c);
+            guess.resize(k, 0);
+            // Place the buffer so bytes 0..=j share the last bytes of page
+            // 0 and byte j+1 is the first byte of page 1.
+            let base = page_size - 1 - j;
+            let mut pager = Pager::new(page_size);
+            pager.make_resident(0);
+            fault_probes += 1;
+            let _ = sys.check_paged(&guess, &mut pager, base);
+            // A fault on page 1 means the comparator consumed byte j+1 —
+            // possible only if characters 0..=j all matched.
+            if pager.faults().contains(&1) {
+                found = Some(c);
+                break;
+            }
+        }
+        known.push(found.expect("some character must extend the prefix"));
+    }
+    // Recover the final character with plain logon attempts.
+    let mut oracle_calls = 0u64;
+    for c in 0..n {
+        let mut guess = known.clone();
+        guess.push(c);
+        oracle_calls += 1;
+        if sys.check(&guess) {
+            return PageAttackResult {
+                recovered: guess,
+                fault_probes,
+                oracle_calls,
+            };
+        }
+    }
+    unreachable!("the true final character must verify");
+}
+
+/// Example 5's quantitative point: a failed logon attempt against an
+/// `n^k`-candidate space leaks only `log2(N / (N − 1))` bits — "the amount
+/// of information obtained by the user is small".
+pub fn failed_probe_information(n: u8, k: u32) -> f64 {
+    let total = (n as f64).powi(k as i32);
+    (total / (total - 1.0)).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(pw: &[u8], n: u8) -> PasswordSystem {
+        PasswordSystem::new(pw.to_vec(), n)
+    }
+
+    #[test]
+    fn oracle_accepts_only_the_password() {
+        let s = sys(&[1, 2, 0], 4);
+        assert!(s.check(&[1, 2, 0]));
+        assert!(!s.check(&[1, 2, 1]));
+        assert!(!s.check(&[1, 2]));
+        assert!(!s.check(&[1, 2, 0, 0]));
+    }
+
+    #[test]
+    fn brute_force_finds_the_password() {
+        let s = sys(&[2, 1], 3);
+        let r = brute_force_attack(&s);
+        assert_eq!(r.recovered, vec![2, 1]);
+        // Lexicographic index of (2, 1) in base 3 is 2 * 3 + 1 = 7 → call 8.
+        assert_eq!(r.oracle_calls, 8);
+    }
+
+    #[test]
+    fn brute_force_worst_case_is_n_to_the_k() {
+        let n = 4u8;
+        let k = 3usize;
+        let worst = vec![n - 1; k];
+        let r = brute_force_attack(&sys(&worst, n));
+        assert_eq!(r.oracle_calls, (n as u64).pow(k as u32));
+    }
+
+    #[test]
+    fn page_attack_recovers_the_password() {
+        let s = sys(&[3, 0, 2, 1], 5);
+        let r = page_boundary_attack(&s, 64);
+        assert_eq!(r.recovered, vec![3, 0, 2, 1]);
+    }
+
+    #[test]
+    fn page_attack_work_factor_is_linear() {
+        // n·k bound: at most n probes per fault position plus n logons.
+        let n = 8u8;
+        let k = 5usize;
+        let s = sys(&[7, 7, 7, 7, 7], n); // worst case for every position
+        let r = page_boundary_attack(&s, 64);
+        assert!(r.fault_probes <= (n as u64) * (k as u64 - 1));
+        assert!(r.oracle_calls <= n as u64);
+        assert!(r.total_probes() <= (n as u64) * (k as u64));
+    }
+
+    #[test]
+    fn page_attack_beats_brute_force_exponentially() {
+        let n = 6u8;
+        let k = 4usize;
+        let worst = vec![n - 1; k];
+        let s = sys(&worst, n);
+        let brute = brute_force_attack(&s).oracle_calls;
+        let paged = page_boundary_attack(&s, 64).total_probes();
+        assert_eq!(brute, (n as u64).pow(k as u32));
+        assert!(
+            paged * 10 < brute,
+            "paged {paged} not an order better than brute {brute}"
+        );
+    }
+
+    #[test]
+    fn fault_observable_reveals_prefix_match_only() {
+        let s = sys(&[2, 3, 1], 4);
+        // Correct first char: comparator reads byte 1 → fault on page 1.
+        let mut pager = Pager::new(16);
+        pager.make_resident(0);
+        let base = 16 - 1; // byte 0 on page 0, byte 1 on page 1
+        let _ = s.check_paged(&[2, 0, 0], &mut pager, base);
+        assert!(pager.faults().contains(&1));
+        // Wrong first char: no fault.
+        let mut pager = Pager::new(16);
+        pager.make_resident(0);
+        let _ = s.check_paged(&[1, 0, 0], &mut pager, base);
+        assert!(!pager.faults().contains(&1));
+    }
+
+    #[test]
+    fn failed_probe_leaks_little() {
+        // 26^8 candidate space: one failed probe leaks ~7e-12 bits.
+        let bits = failed_probe_information(26, 8);
+        assert!(bits > 0.0);
+        assert!(bits < 1e-11);
+        // Tiny spaces leak much more.
+        assert!(failed_probe_information(2, 1) == 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "page too small")]
+    fn page_attack_needs_room() {
+        let s = sys(&[0, 1, 2, 3], 4);
+        page_boundary_attack(&s, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "below the alphabet size")]
+    fn password_outside_alphabet_rejected() {
+        PasswordSystem::new(vec![5], 4);
+    }
+}

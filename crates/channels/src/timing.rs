@@ -1,0 +1,118 @@
+//! The timing channel, measured.
+//!
+//! Section 2's program — `y := 1` after a loop that counts `x` down — is a
+//! constant *function* but not a constant *observable*: "we can simply
+//! observe the running time of Q to determine whether or not x = 0."
+//! [`timing_leak_bits`] measures the leak through each observable
+//! (value alone, time alone, the pair), and the tests confirm the paper's
+//! resolution: Theorem 3′'s mechanism M′ reduces the pair's leak to zero
+//! while Theorem 3's M does not.
+
+use crate::info::{bits, distinguishable};
+use enf_core::{IndexSet, Program, TimedProgram, V};
+use enf_flowchart::corpus;
+use enf_flowchart::program::FlowchartProgram;
+use enf_surveillance::timed::TimedMechanism;
+
+/// Leak measurements for one program over a secret range.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimingLeak {
+    /// Bits leaked by the output value alone.
+    pub value_bits: f64,
+    /// Bits leaked by the running time alone.
+    pub time_bits: f64,
+    /// Bits leaked by the (value, time) pair.
+    pub pair_bits: f64,
+}
+
+/// Measures what a timed program leaks about its (single) input over
+/// `0..=max_secret`.
+pub fn timing_leak_bits<P: TimedProgram>(p: &P, max_secret: V) -> TimingLeak {
+    assert_eq!(p.arity(), 1, "one secret input expected");
+    let secrets: Vec<V> = (0..=max_secret).collect();
+    let value_classes = distinguishable(secrets.iter(), |s| {
+        let t = p.eval_timed(&[**s]);
+        format!("{:?}", t.value)
+    });
+    let time_classes = distinguishable(secrets.iter(), |s| p.eval_timed(&[**s]).steps);
+    let pair_classes = distinguishable(secrets.iter(), |s| {
+        let t = p.eval_timed(&[**s]);
+        (format!("{:?}", t.value), t.steps)
+    });
+    TimingLeak {
+        value_bits: bits(value_classes),
+        time_bits: bits(time_classes),
+        pair_bits: bits(pair_classes),
+    }
+}
+
+/// Measures the leak of a mechanism-as-timed-program (output includes the
+/// mechanism's own running time) about its single input.
+pub fn mechanism_leak_bits(m: &TimedMechanism, max_secret: V) -> f64 {
+    assert_eq!(m.arity(), 1, "one secret input expected");
+    let secrets: Vec<V> = (0..=max_secret).collect();
+    let classes = distinguishable(secrets.iter(), |s| {
+        let t = m.eval(&[**s]);
+        (format!("{:?}", t.value), t.steps)
+    });
+    bits(classes)
+}
+
+/// The paper's constant-with-loop program, as a timed flowchart program.
+pub fn paper_timing_program() -> FlowchartProgram {
+    FlowchartProgram::new(corpus::timing_constant().flowchart)
+}
+
+/// The timed mechanisms for the paper's program under `allow()`: the sound
+/// M′ and the leaky halt-checked M.
+pub fn paper_mechanisms() -> (TimedMechanism, TimedMechanism) {
+    let fc = corpus::timing_constant().flowchart;
+    (
+        TimedMechanism::new(fc.clone(), IndexSet::empty()),
+        TimedMechanism::halt_checked(fc, IndexSet::empty()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_channel_is_silent_time_channel_is_not() {
+        let p = paper_timing_program();
+        let leak = timing_leak_bits(&p, 7);
+        assert_eq!(leak.value_bits, 0.0, "the function is constant");
+        assert!((leak.time_bits - 3.0).abs() < 1e-12, "8 distinct times");
+        assert_eq!(leak.pair_bits, leak.time_bits);
+    }
+
+    #[test]
+    fn m_prime_closes_the_channel_m_does_not() {
+        let (m_prime, m) = paper_mechanisms();
+        assert_eq!(mechanism_leak_bits(&m_prime, 7), 0.0);
+        assert!(mechanism_leak_bits(&m, 7) > 0.0);
+    }
+
+    #[test]
+    fn allowed_input_timing_is_not_a_leak() {
+        // When the loop counts an *allowed* input, M′ releases the value
+        // and its time varies — but only with allowed data.
+        let fc = corpus::timing_constant().flowchart;
+        let m = TimedMechanism::new(fc, IndexSet::single(1));
+        // Leak about x1 under allow(1) is permitted by the policy; the
+        // mechanism accepts and time varies.
+        let t0 = m.eval(&[0]);
+        let t5 = m.eval(&[5]);
+        assert!(t0.value.is_value() && t5.value.is_value());
+        assert_ne!(t0.steps, t5.steps);
+    }
+
+    #[test]
+    fn mutual_information_view_of_the_same_channel() {
+        // Cross-check distinguishability with MI on a uniform secret.
+        let p = paper_timing_program();
+        let pairs: Vec<(V, u64)> = (0..8).map(|x| (x, p.eval_timed(&[x]).steps)).collect();
+        let mi = crate::info::mutual_information(&pairs);
+        assert!((mi - 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests of the covert-channel substrates and the
+//! information-theoretic yardsticks.
+
+use enf_channels::info::{bits, distinguishable, entropy, mutual_information};
+use enf_channels::pager::Pager;
+use enf_channels::password::{brute_force_attack, page_boundary_attack, PasswordSystem};
+use enf_channels::tape::{SeekStrategy, TapeMachine};
+use proptest::prelude::*;
+
+fn arb_password() -> impl Strategy<Value = (Vec<u8>, u8)> {
+    (2u8..=6, 1usize..=4).prop_flat_map(|(n, k)| (proptest::collection::vec(0..n, k), Just(n)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Mutual information is bounded by either marginal entropy and is
+    /// non-negative.
+    #[test]
+    fn mi_bounds(pairs in proptest::collection::vec((0u8..6, 0u8..6), 1..200)) {
+        let mi = mutual_information(&pairs);
+        let hx = entropy(pairs.iter().map(|(x, _)| *x));
+        let hy = entropy(pairs.iter().map(|(_, y)| *y));
+        prop_assert!(mi >= -1e-9, "negative MI {mi}");
+        prop_assert!(mi <= hx + 1e-9, "MI {mi} exceeds H(X) {hx}");
+        prop_assert!(mi <= hy + 1e-9, "MI {mi} exceeds H(Y) {hy}");
+    }
+
+    /// Entropy is nonnegative and at most log2 of the alphabet in use.
+    #[test]
+    fn entropy_bounds(items in proptest::collection::vec(0u8..8, 1..200)) {
+        let h = entropy(items.iter().copied());
+        let distinct = distinguishable(items.iter(), |x| **x);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= bits(distinct) + 1e-9);
+    }
+
+    /// Both attacks always recover the true password, within their bounds.
+    #[test]
+    fn attacks_recover_within_bounds((pw, n) in arb_password()) {
+        let k = pw.len();
+        let sys = PasswordSystem::new(pw.clone(), n);
+        let b = brute_force_attack(&sys);
+        prop_assert_eq!(&b.recovered, &pw);
+        prop_assert!(b.oracle_calls <= (n as u64).pow(k as u32));
+        let p = page_boundary_attack(&sys, 4096);
+        prop_assert_eq!(&p.recovered, &pw);
+        prop_assert!(p.total_probes() <= (n as u64) * (k as u64));
+    }
+
+    /// The fault oracle is exactly "prefix of length j+1 matches".
+    #[test]
+    fn fault_oracle_soundness((pw, n) in arb_password(), guess_seed in 0u64..1000) {
+        let k = pw.len();
+        let sys = PasswordSystem::new(pw.clone(), n);
+        // A pseudo-random guess of the right length.
+        let guess: Vec<u8> = (0..k)
+            .map(|i| ((guess_seed >> (i * 3)) as u8) % n)
+            .collect();
+        for j in 0..k.saturating_sub(1) {
+            let page = 64;
+            let base = page - 1 - j;
+            let mut pager = Pager::new(page);
+            pager.make_resident(0);
+            let _ = sys.check_paged(&guess, &mut pager, base);
+            let faulted = pager.faults().contains(&1);
+            let prefix_matches = guess[..=j] == pw[..=j];
+            prop_assert_eq!(faulted, prefix_matches, "j = {}, guess {:?}", j, guess);
+        }
+    }
+
+    /// Tape timing is additive and strategy-consistent: constant-tab time
+    /// never depends on earlier blocks, scan time strictly grows with
+    /// them.
+    #[test]
+    fn tape_time_structure(len1 in 0usize..20, len2 in 0usize..20, content in 0u8..=255) {
+        let tape = TapeMachine::new(vec![vec![b'z'; len1], vec![content; len2]]);
+        let scan = tape.read_block(2, SeekStrategy::Scan);
+        let tab = tape.read_block(2, SeekStrategy::ConstantTab);
+        prop_assert_eq!(&scan.value, &tab.value);
+        prop_assert_eq!(scan.steps, (len1 + len2) as u64);
+        prop_assert_eq!(tab.steps, 1 + len2 as u64);
+    }
+
+    /// Pager: a touched page never faults twice without a flush.
+    #[test]
+    fn pager_fault_once(addrs in proptest::collection::vec(0usize..4096, 1..100)) {
+        let mut pager = Pager::new(256);
+        let mut seen = std::collections::HashSet::new();
+        for a in addrs {
+            let page = pager.page_of(a);
+            let fresh = seen.insert(page);
+            prop_assert_eq!(pager.touch(a), fresh, "page {}", page);
+        }
+        // Fault log is duplicate-free.
+        let mut log = pager.faults().to_vec();
+        let n = log.len();
+        log.sort_unstable();
+        log.dedup();
+        prop_assert_eq!(log.len(), n);
+    }
+}

@@ -1,0 +1,226 @@
+//! Fenton-style overlapping notices: when `E ∩ F ≠ ∅`.
+//!
+//! "Fenton allows an unusual type of violation notice. In his case the
+//! violation notices (the set F) and the possible output of the original
+//! program Q (the set E) need not be disjoint. The set F includes the
+//! results of partial computations of the program Q. Thus it may be
+//! difficult for a user to determine whether or not he is getting the
+//! result of the expected computation … this difficulty may make it
+//! particularly hard to find program bugs that cause violation notices."
+//!
+//! [`PartialOutputMechanism`] reproduces the construction — violations
+//! return whatever `y` held when enforcement tripped, with no further
+//! marking — and [`ambiguity_report`] quantifies the paper's complaint:
+//! how many runs yield a value the user *cannot classify* as result vs
+//! notice, because the same value also occurs as a genuine output.
+
+use crate::domain::InputDomain;
+use crate::mechanism::{MechOutput, Mechanism};
+use crate::value::V;
+use std::collections::HashSet;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::rc::Rc;
+
+/// A mechanism whose violations surface as bare partial outputs — the set
+/// `F` deliberately overlaps `E`.
+///
+/// Wraps any ordinary mechanism plus a "partial result" function giving
+/// the value the user would see when the wrapped mechanism suppresses the
+/// run.
+pub struct PartialOutputMechanism<O> {
+    arity: usize,
+    inner: Rc<dyn Mechanism<Out = O>>,
+    partial: Rc<dyn Fn(&[V]) -> O>,
+}
+
+impl<O> Clone for PartialOutputMechanism<O> {
+    fn clone(&self) -> Self {
+        PartialOutputMechanism {
+            arity: self.arity,
+            inner: Rc::clone(&self.inner),
+            partial: Rc::clone(&self.partial),
+        }
+    }
+}
+
+impl<O: Clone + PartialEq + Debug + 'static> PartialOutputMechanism<O> {
+    /// Wraps `inner`, replacing each violation notice by
+    /// `partial(input)` — the "result of the partial computation".
+    pub fn new(
+        inner: impl Mechanism<Out = O> + 'static,
+        partial: impl Fn(&[V]) -> O + 'static,
+    ) -> Self {
+        PartialOutputMechanism {
+            arity: inner.arity(),
+            inner: Rc::new(inner),
+            partial: Rc::new(partial),
+        }
+    }
+
+    /// What the user observes: always a value of type `O`, never a marked
+    /// notice.
+    pub fn observe(&self, input: &[V]) -> O {
+        match self.inner.run(input) {
+            MechOutput::Value(v) => v,
+            MechOutput::Violation(_) => (self.partial)(input),
+        }
+    }
+
+    /// Whether the run was actually suppressed (the ground truth the user
+    /// lacks).
+    pub fn was_violation(&self, input: &[V]) -> bool {
+        self.inner.run(input).is_violation()
+    }
+}
+
+/// The measurable cost of overlapping notice sets over a domain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AmbiguityReport {
+    /// Total inputs enumerated.
+    pub inputs: usize,
+    /// Runs that were suppressed.
+    pub violations: usize,
+    /// Suppressed runs whose observed value also occurs as a genuine
+    /// output somewhere — indistinguishable from success.
+    pub ambiguous_violations: usize,
+    /// Genuine outputs whose value also occurs as a notice somewhere —
+    /// successes the user may mistake for violations.
+    pub ambiguous_successes: usize,
+}
+
+impl AmbiguityReport {
+    /// Whether any observation is ambiguous at all.
+    pub fn is_ambiguous(&self) -> bool {
+        self.ambiguous_violations > 0 || self.ambiguous_successes > 0
+    }
+}
+
+/// Quantifies the overlap between observed notice values and genuine
+/// outputs over a domain.
+pub fn ambiguity_report<O>(
+    mech: &PartialOutputMechanism<O>,
+    domain: &dyn InputDomain,
+) -> AmbiguityReport
+where
+    O: Clone + PartialEq + Debug + Eq + Hash + 'static,
+{
+    let mut genuine: HashSet<O> = HashSet::new();
+    let mut notices: HashSet<O> = HashSet::new();
+    let mut observations: Vec<(O, bool)> = Vec::new();
+    let mut inputs = 0;
+    for a in domain.iter_inputs() {
+        inputs += 1;
+        let v = mech.observe(&a);
+        let suppressed = mech.was_violation(&a);
+        if suppressed {
+            notices.insert(v.clone());
+        } else {
+            genuine.insert(v.clone());
+        }
+        observations.push((v, suppressed));
+    }
+    let mut violations = 0;
+    let mut ambiguous_violations = 0;
+    let mut ambiguous_successes = 0;
+    for (v, suppressed) in observations {
+        if suppressed {
+            violations += 1;
+            if genuine.contains(&v) {
+                ambiguous_violations += 1;
+            }
+        } else if notices.contains(&v) {
+            ambiguous_successes += 1;
+        }
+    }
+    AmbiguityReport {
+        inputs,
+        violations,
+        ambiguous_violations,
+        ambiguous_successes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Grid;
+    use crate::mechanism::FnMechanism;
+    use crate::notice::Notice;
+
+    /// Q(x) = x, suppressed for odd x; the partial result is the initial
+    /// y = 0 — which is also the genuine output for x = 0.
+    fn sample() -> PartialOutputMechanism<V> {
+        let inner = FnMechanism::new(1, |a: &[V]| {
+            if a[0] % 2 == 0 {
+                MechOutput::Value(a[0])
+            } else {
+                MechOutput::Violation(Notice::lambda())
+            }
+        });
+        PartialOutputMechanism::new(inner, |_| 0)
+    }
+
+    #[test]
+    fn observation_never_distinguishes_by_type() {
+        let m = sample();
+        // x = 0 (genuine 0) and x = 1 (notice 0) look identical.
+        assert_eq!(m.observe(&[0]), m.observe(&[1]));
+        assert!(!m.was_violation(&[0]));
+        assert!(m.was_violation(&[1]));
+    }
+
+    #[test]
+    fn report_counts_the_overlap() {
+        let m = sample();
+        let g = Grid::hypercube(1, 0..=3);
+        let r = ambiguity_report(&m, &g);
+        assert_eq!(r.inputs, 4);
+        // Odd x ∈ {1, 3} are suppressed, both observing 0; genuine outputs
+        // are {0, 2} — so every notice mimics the genuine 0, and the
+        // genuine 0 mimics a notice.
+        assert_eq!(r.violations, 2);
+        assert_eq!(r.ambiguous_violations, 2);
+        assert_eq!(r.ambiguous_successes, 1);
+        assert!(r.is_ambiguous());
+    }
+
+    #[test]
+    fn overlapping_value_sets_are_ambiguous() {
+        // Make the partial value collide with a genuine output: partial = 1.
+        let inner = FnMechanism::new(1, |a: &[V]| {
+            if a[0] == 0 {
+                MechOutput::Value(1)
+            } else {
+                MechOutput::Violation(Notice::lambda())
+            }
+        });
+        let m = PartialOutputMechanism::new(inner, |_| 1);
+        let g = Grid::hypercube(1, 0..=3);
+        let r = ambiguity_report(&m, &g);
+        assert_eq!(r.violations, 3);
+        assert_eq!(
+            r.ambiguous_violations, 3,
+            "every notice mimics the output 1"
+        );
+        assert_eq!(r.ambiguous_successes, 1, "the real 1 mimics a notice");
+        assert!(r.is_ambiguous());
+    }
+
+    #[test]
+    fn disjoint_notices_are_never_ambiguous() {
+        // The library's own convention — a separate Notice type — is the
+        // fix: model it by a partial value outside E.
+        let inner = FnMechanism::new(1, |a: &[V]| {
+            if a[0] == 0 {
+                MechOutput::Value(1)
+            } else {
+                MechOutput::Violation(Notice::lambda())
+            }
+        });
+        let m = PartialOutputMechanism::new(inner, |_| V::MIN); // sentinel outside E
+        let g = Grid::hypercube(1, 0..=3);
+        let r = ambiguity_report(&m, &g);
+        assert!(!r.is_ambiguous());
+    }
+}

@@ -1,0 +1,283 @@
+//! Enumerable input domains `D1 × … × Dk`.
+//!
+//! The paper quantifies over all inputs ("for all `(d1, …, dk)` in
+//! `D1 × … × Dk`"). To make soundness and completeness *checkable* and the
+//! maximal mechanism of Theorem 2 *constructible*, we work with enumerable
+//! finite domains: either a [`Grid`] (a product of integer ranges) or an
+//! [`Explicit`] list of tuples. Large domains can be randomly sampled
+//! instead of exhaustively enumerated.
+
+use crate::value::V;
+use std::ops::RangeInclusive;
+
+/// An enumerable set of input tuples.
+pub trait InputDomain {
+    /// Tuple arity `k`.
+    fn arity(&self) -> usize;
+
+    /// Number of tuples in the domain.
+    fn len(&self) -> usize;
+
+    /// Whether the domain is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enumerates every tuple in a fixed deterministic order.
+    fn iter_inputs(&self) -> Box<dyn Iterator<Item = Vec<V>> + '_>;
+}
+
+/// A product of integer ranges, one per input coordinate.
+///
+/// # Examples
+///
+/// ```
+/// use enf_core::{Grid, InputDomain};
+///
+/// let g = Grid::new(vec![0..=1, 5..=6]);
+/// let all: Vec<_> = g.iter_inputs().collect();
+/// assert_eq!(all, vec![vec![0, 5], vec![0, 6], vec![1, 5], vec![1, 6]]);
+/// assert_eq!(g.len(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Grid {
+    ranges: Vec<RangeInclusive<V>>,
+}
+
+impl Grid {
+    /// Creates a grid from per-coordinate inclusive ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is empty (`start > end`).
+    pub fn new(ranges: Vec<RangeInclusive<V>>) -> Self {
+        for (i, r) in ranges.iter().enumerate() {
+            assert!(
+                r.start() <= r.end(),
+                "range for coordinate {} is empty: {:?}",
+                i + 1,
+                r
+            );
+        }
+        Grid { ranges }
+    }
+
+    /// Creates the `k`-dimensional hypercube with the same range on every
+    /// coordinate.
+    pub fn hypercube(k: usize, range: RangeInclusive<V>) -> Self {
+        Grid::new(vec![range; k])
+    }
+
+    /// The per-coordinate ranges.
+    pub fn ranges(&self) -> &[RangeInclusive<V>] {
+        &self.ranges
+    }
+
+    /// Draws `n` tuples uniformly at random (with replacement) using the
+    /// provided pseudo-random stream.
+    ///
+    /// The stream is any iterator of `u64`; callers typically pass an
+    /// `rand`-based generator. Keeping the signature iterator-based keeps
+    /// this crate dependency-free.
+    pub fn sample(&self, n: usize, mut bits: impl FnMut() -> u64) -> Explicit {
+        let mut tuples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tuple = self
+                .ranges
+                .iter()
+                .map(|r| {
+                    let span = (*r.end() - *r.start()) as u64 + 1;
+                    *r.start() + (bits() % span) as V
+                })
+                .collect();
+            tuples.push(tuple);
+        }
+        Explicit::new(self.arity(), tuples)
+    }
+}
+
+impl InputDomain for Grid {
+    fn arity(&self) -> usize {
+        self.ranges.len()
+    }
+
+    fn len(&self) -> usize {
+        self.ranges
+            .iter()
+            .map(|r| (*r.end() - *r.start()) as usize + 1)
+            .product()
+    }
+
+    fn iter_inputs(&self) -> Box<dyn Iterator<Item = Vec<V>> + '_> {
+        if self.ranges.is_empty() {
+            return Box::new(std::iter::once(Vec::new()));
+        }
+        let mut cursor: Vec<V> = self.ranges.iter().map(|r| *r.start()).collect();
+        let mut done = false;
+        let ranges = self.ranges.clone();
+        Box::new(std::iter::from_fn(move || {
+            if done {
+                return None;
+            }
+            let out = cursor.clone();
+            // Odometer increment, last coordinate fastest.
+            let mut i = ranges.len();
+            loop {
+                if i == 0 {
+                    done = true;
+                    break;
+                }
+                i -= 1;
+                if cursor[i] < *ranges[i].end() {
+                    cursor[i] += 1;
+                    break;
+                }
+                cursor[i] = *ranges[i].start();
+            }
+            Some(out)
+        }))
+    }
+}
+
+/// An explicit list of input tuples.
+#[derive(Clone, Debug)]
+pub struct Explicit {
+    arity: usize,
+    tuples: Vec<Vec<V>>,
+}
+
+impl Explicit {
+    /// Creates a domain from an explicit tuple list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tuple has the wrong arity.
+    pub fn new(arity: usize, tuples: Vec<Vec<V>>) -> Self {
+        for t in &tuples {
+            assert_eq!(t.len(), arity, "tuple {t:?} does not have arity {arity}");
+        }
+        Explicit { arity, tuples }
+    }
+
+    /// The underlying tuples.
+    pub fn tuples(&self) -> &[Vec<V>] {
+        &self.tuples
+    }
+}
+
+impl InputDomain for Explicit {
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    fn iter_inputs(&self) -> Box<dyn Iterator<Item = Vec<V>> + '_> {
+        Box::new(self.tuples.iter().cloned())
+    }
+}
+
+impl<D: InputDomain + ?Sized> InputDomain for &D {
+    fn arity(&self) -> usize {
+        (**self).arity()
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn iter_inputs(&self) -> Box<dyn Iterator<Item = Vec<V>> + '_> {
+        (**self).iter_inputs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_enumeration_is_lexicographic() {
+        let g = Grid::new(vec![0..=1, 0..=2]);
+        let all: Vec<_> = g.iter_inputs().collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[5], vec![1, 2]);
+        // Strictly increasing lexicographically.
+        for w in all.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn zero_arity_grid_has_one_empty_tuple() {
+        let g = Grid::new(vec![]);
+        let all: Vec<_> = g.iter_inputs().collect();
+        assert_eq!(all, vec![Vec::<V>::new()]);
+        // NOTE: `len()` on an empty product is 1 (the empty tuple).
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn negative_ranges_enumerate() {
+        let g = Grid::new(vec![-2..=0]);
+        let all: Vec<_> = g.iter_inputs().collect();
+        assert_eq!(all, vec![vec![-2], vec![-1], vec![0]]);
+    }
+
+    #[test]
+    fn hypercube_len() {
+        let g = Grid::hypercube(3, 0..=4);
+        assert_eq!(g.len(), 125);
+        assert_eq!(g.arity(), 3);
+        assert_eq!(g.iter_inputs().count(), 125);
+    }
+
+    #[test]
+    #[should_panic(expected = "is empty")]
+    fn empty_range_rejected() {
+        let _ = Grid::new(vec![3..=2]);
+    }
+
+    #[test]
+    fn explicit_domain_roundtrip() {
+        let e = Explicit::new(2, vec![vec![1, 2], vec![3, 4]]);
+        assert_eq!(e.len(), 2);
+        let all: Vec<_> = e.iter_inputs().collect();
+        assert_eq!(all, vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn explicit_rejects_bad_arity() {
+        let _ = Explicit::new(2, vec![vec![1]]);
+    }
+
+    #[test]
+    fn sample_stays_in_range() {
+        let g = Grid::new(vec![-3..=3, 10..=12]);
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let e = g.sample(100, move || {
+            // Cheap splitmix step, deterministic.
+            seed = seed.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z ^ (z >> 31)
+        });
+        assert_eq!(e.len(), 100);
+        for t in e.tuples() {
+            assert!((-3..=3).contains(&t[0]));
+            assert!((10..=12).contains(&t[1]));
+        }
+    }
+
+    #[test]
+    fn domain_by_reference() {
+        let g = Grid::hypercube(1, 0..=1);
+        fn count<D: InputDomain>(d: D) -> usize {
+            d.iter_inputs().count()
+        }
+        assert_eq!(count(&g), 2);
+    }
+}

@@ -1,0 +1,265 @@
+//! Sets of input indices — the paper's subsets of `{1, …, k}`.
+//!
+//! Surveillance variables hold values that "are always subsets of
+//! `{1, …, k}`" (Section 3), and `allow(i1, …, im)` policies are determined
+//! by such a subset. [`IndexSet`] is a compact bitset over 1-based input
+//! indices, supporting the union/subset operations the mechanisms need, plus
+//! an integer encoding so taint sets can live *inside* flowchart programs
+//! (used by the paper's literal instrumentation in `enf-surveillance`).
+
+use std::fmt;
+
+/// A set of 1-based input indices, at most [`IndexSet::MAX_INDEX`] of them.
+///
+/// The paper indexes inputs `x1, …, xk` from 1; so do we. Index 0 is
+/// rejected.
+///
+/// # Examples
+///
+/// ```
+/// use enf_core::IndexSet;
+///
+/// let a = IndexSet::from_iter([1, 3]);
+/// let b = IndexSet::single(3);
+/// assert!(b.is_subset(&a));
+/// assert_eq!(a.union(&b), a);
+/// assert_eq!(a.to_string(), "{1, 3}");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct IndexSet(u64);
+
+impl IndexSet {
+    /// Largest representable input index.
+    pub const MAX_INDEX: usize = 63;
+
+    /// The empty set Ø.
+    pub const EMPTY: IndexSet = IndexSet(0);
+
+    /// Creates the empty set.
+    pub fn empty() -> Self {
+        Self::EMPTY
+    }
+
+    /// Creates the singleton `{i}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is zero or exceeds [`Self::MAX_INDEX`].
+    pub fn single(i: usize) -> Self {
+        let mut s = Self::EMPTY;
+        s.insert(i);
+        s
+    }
+
+    /// Creates the full set `{1, …, k}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds [`Self::MAX_INDEX`].
+    pub fn full(k: usize) -> Self {
+        assert!(k <= Self::MAX_INDEX, "index {k} out of range");
+        IndexSet(((1u128 << (k + 1)) - 2) as u64)
+    }
+
+    /// Inserts index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is zero or exceeds [`Self::MAX_INDEX`].
+    pub fn insert(&mut self, i: usize) {
+        assert!(
+            (1..=Self::MAX_INDEX).contains(&i),
+            "input index {i} out of range 1..={}",
+            Self::MAX_INDEX
+        );
+        self.0 |= 1u64 << i;
+    }
+
+    /// Removes index `i` if present.
+    pub fn remove(&mut self, i: usize) {
+        if (1..=Self::MAX_INDEX).contains(&i) {
+            self.0 &= !(1u64 << i);
+        }
+    }
+
+    /// Tests membership of `i`.
+    pub fn contains(&self, i: usize) -> bool {
+        (1..=Self::MAX_INDEX).contains(&i) && self.0 & (1u64 << i) != 0
+    }
+
+    /// Returns the union of `self` and `other`.
+    #[must_use]
+    pub fn union(&self, other: &IndexSet) -> IndexSet {
+        IndexSet(self.0 | other.0)
+    }
+
+    /// Returns the intersection of `self` and `other`.
+    #[must_use]
+    pub fn intersection(&self, other: &IndexSet) -> IndexSet {
+        IndexSet(self.0 & other.0)
+    }
+
+    /// Returns the elements of `self` not in `other`.
+    #[must_use]
+    pub fn difference(&self, other: &IndexSet) -> IndexSet {
+        IndexSet(self.0 & !other.0)
+    }
+
+    /// Unions `other` into `self` in place.
+    pub fn union_with(&mut self, other: &IndexSet) {
+        self.0 |= other.0;
+    }
+
+    /// Tests whether `self ⊆ other` — the surveillance mechanism's HALT-time
+    /// check `ȳ ∪ C̄ ⊆ J`.
+    pub fn is_subset(&self, other: &IndexSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Tests whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of indices in the set.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates the indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        let bits = self.0;
+        (1..=Self::MAX_INDEX).filter(move |i| bits & (1u64 << i) != 0)
+    }
+
+    /// Encodes the set as a raw bitmask integer.
+    ///
+    /// This encoding lets surveillance variables be ordinary integer
+    /// variables of the flowchart language, as the paper's source-to-source
+    /// construction requires.
+    pub fn to_bits(&self) -> u64 {
+        self.0
+    }
+
+    /// Decodes a raw bitmask produced by [`Self::to_bits`].
+    ///
+    /// Bit 0 (which cannot correspond to any 1-based index) is cleared.
+    pub fn from_bits(bits: u64) -> Self {
+        IndexSet(bits & !1u64)
+    }
+}
+
+impl FromIterator<usize> for IndexSet {
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let mut s = Self::EMPTY;
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl fmt::Debug for IndexSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for IndexSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (n, i) in self.iter().enumerate() {
+            if n > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_subset_of_everything() {
+        let e = IndexSet::empty();
+        assert!(e.is_subset(&e));
+        assert!(e.is_subset(&IndexSet::single(5)));
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+
+    #[test]
+    fn full_contains_one_through_k() {
+        let f = IndexSet::full(5);
+        for i in 1..=5 {
+            assert!(f.contains(i), "missing {i}");
+        }
+        assert!(!f.contains(6));
+        assert_eq!(f.len(), 5);
+    }
+
+    #[test]
+    fn full_zero_is_empty() {
+        assert!(IndexSet::full(0).is_empty());
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a = IndexSet::from_iter([1, 2]);
+        let b = IndexSet::from_iter([2, 3]);
+        assert_eq!(a.union(&b), IndexSet::from_iter([1, 2, 3]));
+        assert_eq!(a.intersection(&b), IndexSet::single(2));
+        assert_eq!(a.difference(&b), IndexSet::single(1));
+    }
+
+    #[test]
+    fn subset_is_reflexive_and_respects_strictness() {
+        let a = IndexSet::from_iter([1, 2]);
+        let b = IndexSet::from_iter([1, 2, 3]);
+        assert!(a.is_subset(&a));
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let a = IndexSet::from_iter([1, 7, 63]);
+        assert_eq!(IndexSet::from_bits(a.to_bits()), a);
+    }
+
+    #[test]
+    fn from_bits_clears_bit_zero() {
+        assert_eq!(IndexSet::from_bits(0b11), IndexSet::single(1));
+    }
+
+    #[test]
+    fn display_formats_as_set() {
+        assert_eq!(IndexSet::empty().to_string(), "{}");
+        assert_eq!(IndexSet::from_iter([3, 1]).to_string(), "{1, 3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_index_rejected() {
+        IndexSet::single(0);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut a = IndexSet::from_iter([1, 2, 3]);
+        a.remove(2);
+        assert_eq!(a, IndexSet::from_iter([1, 3]));
+        a.remove(9); // Absent removal is a no-op.
+        assert_eq!(a, IndexSet::from_iter([1, 3]));
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let a = IndexSet::from_iter([5, 1, 3]);
+        let v: Vec<_> = a.iter().collect();
+        assert_eq!(v, vec![1, 3, 5]);
+    }
+}

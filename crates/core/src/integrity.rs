@@ -1,0 +1,245 @@
+//! The paper's *second* security question: programs as operator functions.
+//!
+//! Section 2 distinguishes two uses of a program. As a *view* function the
+//! question is confinement — "does the value of Q(d1, …, dk) contain any
+//! information that it should not?" — and the rest of the paper (and of
+//! this workspace) studies it. As an *operator* function the question is
+//! *data security* (Popek): "does the value of Q(d1, …, dk) contain **all**
+//! the information that it should? It concerns itself with whether or not
+//! information, such as a system table, has been illegally altered and
+//! hence lost." The paper asserts without proof that "the same methods
+//! used here to study this case can also be used to study the second
+//! case"; this module makes that assertion concrete.
+//!
+//! The duality: a confinement policy bounds information flow from *above*
+//! (the output may reveal at most `I(a)`); an integrity requirement bounds
+//! it from *below* (the output must still *determine* a required view of
+//! the state). Formally, `R: D1 × … × Dk → 𝔚` is a **preservation
+//! requirement**, and an operator `M` *preserves* `R` when `R(a)` is
+//! recoverable from `M(a)` — i.e. there exists `R′` with
+//! `R(a) = R′(M(a))` for all `a`. This is exactly soundness with the
+//! factoring reversed, and it is checked the same way: no two inputs with
+//! distinct required views may collapse to equal outputs.
+
+use crate::domain::InputDomain;
+use crate::mechanism::{MechOutput, Mechanism};
+use crate::policy::Policy;
+use crate::value::V;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Outcome of an empirical preservation check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PreservationReport<O> {
+    /// The required view is recoverable from every enumerated output.
+    Preserves {
+        /// Inputs enumerated.
+        inputs: usize,
+        /// Distinct required views seen.
+        views: usize,
+    },
+    /// Two inputs with different required views produced the same output:
+    /// information the requirement protects has been lost.
+    Lossy(LossWitness<O>),
+}
+
+/// A concrete counterexample to preservation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LossWitness<O> {
+    /// First input tuple.
+    pub a: Vec<V>,
+    /// Second input tuple, with `R(a) ≠ R(b)`.
+    pub b: Vec<V>,
+    /// The common output `M(a) = M(b)` that erased the distinction.
+    pub out: MechOutput<O>,
+}
+
+impl<O> PreservationReport<O> {
+    /// Whether the check passed.
+    pub fn preserves(&self) -> bool {
+        matches!(self, PreservationReport::Preserves { .. })
+    }
+
+    /// The witness, if the check failed.
+    pub fn witness(&self) -> Option<&LossWitness<O>> {
+        match self {
+            PreservationReport::Preserves { .. } => None,
+            PreservationReport::Lossy(w) => Some(w),
+        }
+    }
+}
+
+/// Checks that the mechanism's output determines the required view `R`
+/// over the given domain: `∀ a, b: M(a) = M(b) ⟹ R(a) = R(b)`.
+///
+/// `R` is expressed as a [`Policy`] — the same "information filter" type —
+/// read as a *requirement* rather than a bound.
+///
+/// # Examples
+///
+/// ```
+/// use enf_core::integrity::check_preservation;
+/// use enf_core::{Allow, FnMechanism, Grid, MechOutput};
+///
+/// // An operator that keeps x1 but drops x2.
+/// let m = FnMechanism::new(2, |a: &[i64]| MechOutput::Value(a[0]));
+/// let g = Grid::hypercube(2, 0..=2);
+/// // Requirement "x1 must survive": preserved.
+/// assert!(check_preservation(&m, &Allow::new(2, [1]), &g).preserves());
+/// // Requirement "x2 must survive": violated — the table was lost.
+/// assert!(!check_preservation(&m, &Allow::new(2, [2]), &g).preserves());
+/// ```
+pub fn check_preservation<M, R>(
+    mechanism: &M,
+    requirement: &R,
+    domain: &dyn InputDomain,
+) -> PreservationReport<M::Out>
+where
+    M: Mechanism,
+    M::Out: Eq + Hash,
+    R: Policy,
+{
+    assert_eq!(
+        mechanism.arity(),
+        requirement.arity(),
+        "mechanism arity {} does not match requirement arity {}",
+        mechanism.arity(),
+        requirement.arity()
+    );
+    let mut seen: HashMap<MechOutput<M::Out>, (Vec<V>, R::View)> = HashMap::new();
+    let mut inputs = 0usize;
+    let mut views = std::collections::HashSet::new();
+    for a in domain.iter_inputs() {
+        inputs += 1;
+        let view = requirement.filter(&a);
+        views.insert(view.clone());
+        let out = mechanism.run(&a);
+        match seen.get(&out) {
+            None => {
+                seen.insert(out, (a, view));
+            }
+            Some((b, prev)) if *prev != view => {
+                return PreservationReport::Lossy(LossWitness {
+                    a: b.clone(),
+                    b: a,
+                    out,
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    PreservationReport::Preserves {
+        inputs,
+        views: views.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Grid;
+    use crate::mechanism::{FnMechanism, Identity, Plug};
+    use crate::policy::{Allow, FnPolicy};
+    use crate::program::FnProgram;
+    use crate::soundness::check_soundness;
+
+    #[test]
+    fn identity_preserves_everything() {
+        let q = FnProgram::new(2, |a: &[V]| a[0] * 100 + a[1]);
+        let m = Identity::new(q);
+        let g = Grid::hypercube(2, 0..=3);
+        assert!(check_preservation(&m, &Allow::all(2), &g).preserves());
+    }
+
+    #[test]
+    fn plug_preserves_nothing() {
+        // "Pulling the plug" is perfectly confined and maximally lossy —
+        // the two questions really are duals.
+        let m: Plug<V> = Plug::new(1);
+        let g = Grid::hypercube(1, 0..=3);
+        assert!(check_preservation(&m, &Allow::none(1), &g).preserves());
+        assert!(!check_preservation(&m, &Allow::all(1), &g).preserves());
+    }
+
+    #[test]
+    fn witness_shows_the_collapse() {
+        let m = FnMechanism::new(1, |a: &[V]| MechOutput::Value(a[0] / 2));
+        let g = Grid::hypercube(1, 0..=3);
+        match check_preservation(&m, &Allow::all(1), &g) {
+            PreservationReport::Lossy(w) => {
+                assert_ne!(w.a, w.b);
+                assert_eq!(m.run(&w.a), m.run(&w.b));
+                assert_eq!(m.run(&w.a), w.out);
+            }
+            other => panic!("expected lossy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn system_table_alteration_detected() {
+        // The paper's own example of the second question: "whether or not
+        // information, such as a system table, has been illegally altered
+        // and hence lost." The operator overwrites the table (x1) with a
+        // constant whenever the user flag (x2) is set.
+        let m = FnMechanism::new(2, |a: &[V]| {
+            MechOutput::Value(if a[1] == 1 { 0 } else { a[0] })
+        });
+        let g = Grid::hypercube(2, 0..=2);
+        let requirement = Allow::new(2, [1]); // the table must survive
+        let report = check_preservation(&m, &requirement, &g);
+        assert!(!report.preserves());
+        let w = report.witness().unwrap();
+        // The collapse happens on the flag-set rows.
+        assert_eq!(m.run(&w.a), m.run(&w.b));
+    }
+
+    #[test]
+    fn confinement_and_integrity_can_conflict() {
+        // Under allow() (reveal nothing) with requirement allow(1)
+        // (preserve x1), no mechanism with more than one input value can
+        // do both — the conflict made measurable.
+        let g = Grid::hypercube(1, 0..=3);
+        let confined: Plug<V> = Plug::new(1);
+        assert!(check_soundness(&confined, &Allow::none(1), &g, false).is_sound());
+        assert!(!check_preservation(&confined, &Allow::all(1), &g).preserves());
+        let preserving = Identity::new(FnProgram::new(1, |a: &[V]| a[0]));
+        assert!(check_preservation(&preserving, &Allow::all(1), &g).preserves());
+        assert!(!check_soundness(&preserving, &Allow::none(1), &g, false).is_sound());
+    }
+
+    #[test]
+    fn content_dependent_requirement() {
+        // Preserve the file only when the directory marks it precious.
+        let req = FnPolicy::new(2, |a: &[V]| if a[0] == 1 { a[1] } else { 0 });
+        let g = Grid::new(vec![0..=1, 0..=3]);
+        // An operator that keeps precious files and zeroes the rest.
+        let m = FnMechanism::new(2, |a: &[V]| {
+            MechOutput::Value(if a[0] == 1 { a[1] } else { -1 })
+        });
+        assert!(check_preservation(&m, &req, &g).preserves());
+        // One that zeroes everything loses precious contents.
+        let z = FnMechanism::new(2, |_: &[V]| MechOutput::<V>::Value(0));
+        assert!(!check_preservation(&z, &req, &g).preserves());
+    }
+
+    #[test]
+    fn preserves_report_counts() {
+        let m = FnMechanism::new(1, |a: &[V]| MechOutput::Value(a[0]));
+        let g = Grid::hypercube(1, 0..=4);
+        match check_preservation(&m, &Allow::all(1), &g) {
+            PreservationReport::Preserves { inputs, views } => {
+                assert_eq!(inputs, 5);
+                assert_eq!(views, 5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn arity_mismatch_panics() {
+        let m: Plug<V> = Plug::new(1);
+        let g = Grid::hypercube(1, 0..=1);
+        let _ = check_preservation(&m, &Allow::all(2), &g);
+    }
+}

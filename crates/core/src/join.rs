@@ -1,0 +1,274 @@
+//! The union (join) of protection mechanisms — Theorem 1.
+//!
+//! "Define M1 ∨ M2 to be the protection mechanism M defined by: for every
+//! input a, M(a) = Q(a) provided ∃i, Mi(a) = Q(a); otherwise M(a) = M1(a)."
+//!
+//! Theorem 1: if `M1` and `M2` are sound for `Q` and `I`, so is `M1 ∨ M2`,
+//! and it is as complete as each. Because protection mechanisms only ever
+//! return `Q(a)` or a notice, the join can be computed without consulting
+//! `Q`: accept whichever operand accepts, preferring the first; fall back to
+//! the first operand's notice.
+
+use crate::mechanism::{MechOutput, Mechanism};
+use crate::value::V;
+
+/// The join `M1 ∨ M2` of two mechanisms for the same program.
+///
+/// # Examples
+///
+/// ```
+/// use enf_core::{FnMechanism, Join, MechOutput, Mechanism, Notice};
+///
+/// let evens = FnMechanism::new(1, |a: &[i64]| {
+///     if a[0] % 2 == 0 { MechOutput::Value(a[0]) } else { MechOutput::Violation(Notice::lambda()) }
+/// });
+/// let small = FnMechanism::new(1, |a: &[i64]| {
+///     if a[0] < 2 { MechOutput::Value(a[0]) } else { MechOutput::Violation(Notice::lambda()) }
+/// });
+/// let join = Join::new(evens, small);
+/// assert!(join.run(&[4]).is_value()); // evens accepts
+/// assert!(join.run(&[1]).is_value()); // small accepts
+/// assert!(join.run(&[3]).is_violation());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Join<M1, M2> {
+    first: M1,
+    second: M2,
+}
+
+impl<M1, M2> Join<M1, M2>
+where
+    M1: Mechanism,
+    M2: Mechanism<Out = M1::Out>,
+{
+    /// Joins two mechanisms for the same program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arities differ.
+    pub fn new(first: M1, second: M2) -> Self {
+        assert_eq!(
+            first.arity(),
+            second.arity(),
+            "cannot join mechanisms of different arity ({} vs {})",
+            first.arity(),
+            second.arity()
+        );
+        Join { first, second }
+    }
+
+    /// The first operand.
+    pub fn first(&self) -> &M1 {
+        &self.first
+    }
+
+    /// The second operand.
+    pub fn second(&self) -> &M2 {
+        &self.second
+    }
+}
+
+impl<M1, M2> Mechanism for Join<M1, M2>
+where
+    M1: Mechanism,
+    M2: Mechanism<Out = M1::Out>,
+{
+    type Out = M1::Out;
+
+    fn arity(&self) -> usize {
+        self.first.arity()
+    }
+
+    fn run(&self, input: &[V]) -> MechOutput<Self::Out> {
+        match self.first.run(input) {
+            MechOutput::Value(v) => MechOutput::Value(v),
+            MechOutput::Violation(n1) => match self.second.run(input) {
+                MechOutput::Value(v) => MechOutput::Value(v),
+                // The paper's definition: otherwise M1(a).
+                MechOutput::Violation(_) => MechOutput::Violation(n1),
+            },
+        }
+    }
+}
+
+/// The n-ary join `M1 ∨ M2 ∨ …` of a family of boxed mechanisms.
+///
+/// The generalization the paper uses to build the all-encompassing
+/// mechanism of Theorem 2: accept if any member accepts, otherwise give the
+/// first member's notice.
+pub struct JoinAll<O> {
+    members: Vec<Box<dyn Mechanism<Out = O>>>,
+}
+
+impl<O: Clone + PartialEq + std::fmt::Debug> JoinAll<O> {
+    /// Joins a non-empty family of mechanisms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the family is empty or the arities differ.
+    pub fn new(members: Vec<Box<dyn Mechanism<Out = O>>>) -> Self {
+        assert!(!members.is_empty(), "JoinAll requires at least one member");
+        let arity = members[0].arity();
+        for (i, m) in members.iter().enumerate() {
+            assert_eq!(
+                m.arity(),
+                arity,
+                "member {i} has arity {} but member 0 has arity {arity}",
+                m.arity()
+            );
+        }
+        JoinAll { members }
+    }
+
+    /// Number of joined members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the family is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl<O: Clone + PartialEq + std::fmt::Debug> Mechanism for JoinAll<O> {
+    type Out = O;
+
+    fn arity(&self) -> usize {
+        self.members[0].arity()
+    }
+
+    fn run(&self, input: &[V]) -> MechOutput<O> {
+        let mut first_notice = None;
+        for m in &self.members {
+            match m.run(input) {
+                MechOutput::Value(v) => return MechOutput::Value(v),
+                MechOutput::Violation(n) => {
+                    if first_notice.is_none() {
+                        first_notice = Some(n);
+                    }
+                }
+            }
+        }
+        MechOutput::Violation(first_notice.expect("non-empty family"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::completeness::{compare, MechOrdering};
+    use crate::domain::{Grid, InputDomain};
+    use crate::mechanism::FnMechanism;
+    use crate::notice::Notice;
+    use crate::policy::Allow;
+    use crate::soundness::check_soundness;
+
+    fn reveal_x1_if(pred: impl Fn(&[V]) -> bool + 'static) -> FnMechanism<V> {
+        FnMechanism::new(2, move |a: &[V]| {
+            if pred(a) {
+                MechOutput::Value(a[0])
+            } else {
+                MechOutput::Violation(Notice::lambda())
+            }
+        })
+    }
+
+    #[test]
+    fn join_accepts_union_of_acceptance_sets() {
+        let g = Grid::hypercube(2, 0..=3);
+        let m1 = reveal_x1_if(|a| a[0] == 0);
+        let m2 = reveal_x1_if(|a| a[0] == 1);
+        let j = Join::new(&m1, &m2);
+        let r1 = compare(&j, &m1, &g);
+        let r2 = compare(&j, &m2, &g);
+        assert!(r1.first_as_complete());
+        assert!(r2.first_as_complete());
+        assert_eq!(r1.ordering, MechOrdering::FirstMore);
+        assert_eq!(r2.ordering, MechOrdering::FirstMore);
+    }
+
+    #[test]
+    fn theorem_1_join_of_sound_mechanisms_is_sound() {
+        // Both mechanisms reveal only x1 (allowed). Their acceptance
+        // conditions also depend only on x1, so each is sound for allow(1).
+        let g = Grid::hypercube(2, 0..=3);
+        let p = Allow::new(2, [1]);
+        let m1 = reveal_x1_if(|a| a[0] % 2 == 0);
+        let m2 = reveal_x1_if(|a| a[0] >= 2);
+        assert!(check_soundness(&m1, &p, &g, false).is_sound());
+        assert!(check_soundness(&m2, &p, &g, false).is_sound());
+        let j = Join::new(&m1, &m2);
+        assert!(check_soundness(&j, &p, &g, false).is_sound());
+    }
+
+    #[test]
+    fn join_keeps_first_operands_notice() {
+        let m1 = FnMechanism::new(1, |_: &[V]| {
+            MechOutput::<V>::Violation(Notice::new(1, "first"))
+        });
+        let m2 = FnMechanism::new(1, |_: &[V]| {
+            MechOutput::<V>::Violation(Notice::new(2, "second"))
+        });
+        let j = Join::new(m1, m2);
+        match j.run(&[0]) {
+            MechOutput::Violation(n) => assert_eq!(n.message(), "first"),
+            MechOutput::Value(_) => panic!("accepted"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different arity")]
+    fn join_rejects_arity_mismatch() {
+        let m1: FnMechanism<V> = FnMechanism::new(1, |_| MechOutput::Value(0));
+        let m2: FnMechanism<V> = FnMechanism::new(2, |_| MechOutput::Value(0));
+        let _ = Join::new(m1, m2);
+    }
+
+    #[test]
+    fn join_all_accepts_if_any_member_does() {
+        let g = Grid::hypercube(2, 0..=2);
+        let members: Vec<Box<dyn Mechanism<Out = V>>> = vec![
+            Box::new(reveal_x1_if(|a| a[0] == 0)),
+            Box::new(reveal_x1_if(|a| a[0] == 1)),
+            Box::new(reveal_x1_if(|a| a[0] == 2)),
+        ];
+        let j = JoinAll::new(members);
+        assert_eq!(j.len(), 3);
+        for a in g.iter_inputs() {
+            assert!(j.run(&a).is_value(), "join rejected {a:?}");
+        }
+    }
+
+    #[test]
+    fn join_all_reports_first_notice() {
+        let members: Vec<Box<dyn Mechanism<Out = V>>> = vec![
+            Box::new(FnMechanism::new(1, |_: &[V]| {
+                MechOutput::Violation(Notice::new(10, "a"))
+            })),
+            Box::new(FnMechanism::new(1, |_: &[V]| {
+                MechOutput::Violation(Notice::new(20, "b"))
+            })),
+        ];
+        let j = JoinAll::new(members);
+        assert_eq!(j.run(&[0]).notice().unwrap().code(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn join_all_rejects_empty_family() {
+        let _ = JoinAll::<V>::new(vec![]);
+    }
+
+    #[test]
+    fn join_is_associative_on_acceptance() {
+        let g = Grid::hypercube(2, 0..=2);
+        let m1 = reveal_x1_if(|a| a[0] == 0);
+        let m2 = reveal_x1_if(|a| a[0] == 1);
+        let m3 = reveal_x1_if(|a| a[0] == 2);
+        let left = Join::new(Join::new(&m1, &m2), &m3);
+        let right = Join::new(&m1, Join::new(&m2, &m3));
+        let r = compare(&left, &right, &g);
+        assert_eq!(r.ordering, MechOrdering::Equal);
+    }
+}

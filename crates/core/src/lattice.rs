@@ -1,0 +1,314 @@
+//! The lattice of sound protection mechanisms.
+//!
+//! The paper remarks (after Theorem 1) that under the single-violation-
+//! notice assumption "the sound protection mechanisms form a lattice". Over
+//! a finite domain this lattice is concrete: a sound protection mechanism
+//! is determined by the *set of `I`-equivalence classes on which it
+//! accepts*, and a class can be accepted at all only if `Q` is constant on
+//! it. The lattice is therefore the powerset of the `Q`-constant classes,
+//! ordered by inclusion, with join = union (Theorem 1's `∨`), meet =
+//! intersection, top = the maximal mechanism (Theorem 2) and bottom = the
+//! plug.
+//!
+//! [`SoundLattice`] materializes this structure and can mint the mechanism
+//! corresponding to any element.
+
+use crate::domain::InputDomain;
+use crate::mechanism::{MechOutput, Mechanism};
+use crate::notice::Notice;
+use crate::policy::Policy;
+use crate::program::Program;
+use crate::value::V;
+use std::collections::{HashMap, HashSet};
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::rc::Rc;
+
+/// The lattice of sound mechanisms for a program and policy over a finite
+/// domain.
+pub struct SoundLattice<W, O> {
+    arity: usize,
+    /// View → Q's constant value on that class (absent when Q varies).
+    constant_classes: Rc<HashMap<W, O>>,
+    filter: Rc<dyn Fn(&[V]) -> W>,
+}
+
+/// An element of the sound-mechanism lattice: the subset of constant
+/// classes on which it accepts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Element<W: Eq + Hash> {
+    accepting: HashSet<W>,
+}
+
+impl<W: Clone + Eq + Hash> Element<W> {
+    /// The set of views on which the element accepts.
+    pub fn accepting(&self) -> &HashSet<W> {
+        &self.accepting
+    }
+
+    /// Lattice join: accept where either accepts.
+    #[must_use]
+    pub fn join(&self, other: &Element<W>) -> Element<W> {
+        Element {
+            accepting: self.accepting.union(&other.accepting).cloned().collect(),
+        }
+    }
+
+    /// Lattice meet: accept where both accept.
+    #[must_use]
+    pub fn meet(&self, other: &Element<W>) -> Element<W> {
+        Element {
+            accepting: self
+                .accepting
+                .intersection(&other.accepting)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Lattice order: `self ≤ other` iff `self` accepts on a subset of
+    /// `other`'s classes.
+    pub fn le(&self, other: &Element<W>) -> bool {
+        self.accepting.is_subset(&other.accepting)
+    }
+}
+
+impl<W, O> SoundLattice<W, O>
+where
+    W: Clone + Eq + Hash + Debug + 'static,
+    O: Clone + PartialEq + Debug + 'static,
+{
+    /// Builds the lattice skeleton: discovers the `Q`-constant classes.
+    pub fn build<Q, P>(program: &Q, policy: &P, domain: &dyn InputDomain) -> Self
+    where
+        Q: Program<Out = O>,
+        P: Policy<View = W> + Clone + 'static,
+    {
+        assert_eq!(
+            program.arity(),
+            policy.arity(),
+            "program/policy arity mismatch"
+        );
+        assert_eq!(
+            domain.arity(),
+            policy.arity(),
+            "domain/policy arity mismatch"
+        );
+        let mut values: HashMap<W, Option<O>> = HashMap::new();
+        for a in domain.iter_inputs() {
+            let view = policy.filter(&a);
+            let out = program.eval(&a);
+            match values.entry(view) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(Some(out));
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if matches!(e.get(), Some(prev) if *prev != out) {
+                        e.insert(None);
+                    }
+                }
+            }
+        }
+        let constant_classes: HashMap<W, O> = values
+            .into_iter()
+            .filter_map(|(w, v)| v.map(|v| (w, v)))
+            .collect();
+        let p = policy.clone();
+        SoundLattice {
+            arity: program.arity(),
+            constant_classes: Rc::new(constant_classes),
+            filter: Rc::new(move |a| p.filter(a)),
+        }
+    }
+
+    /// The top element: accept on every constant class (the maximal
+    /// mechanism).
+    pub fn top(&self) -> Element<W> {
+        Element {
+            accepting: self.constant_classes.keys().cloned().collect(),
+        }
+    }
+
+    /// The bottom element: accept nowhere (the plug).
+    pub fn bottom(&self) -> Element<W> {
+        Element {
+            accepting: HashSet::new(),
+        }
+    }
+
+    /// Creates the element accepting on the given views.
+    ///
+    /// Views on which `Q` is not constant are dropped: no sound protection
+    /// mechanism can accept there.
+    pub fn element(&self, views: impl IntoIterator<Item = W>) -> Element<W> {
+        Element {
+            accepting: views
+                .into_iter()
+                .filter(|w| self.constant_classes.contains_key(w))
+                .collect(),
+        }
+    }
+
+    /// Number of constant classes, i.e. `log2` of the lattice size.
+    pub fn constant_class_count(&self) -> usize {
+        self.constant_classes.len()
+    }
+
+    /// Mints the concrete mechanism realizing a lattice element.
+    pub fn mechanism(&self, element: &Element<W>) -> LatticeMechanism<W, O> {
+        LatticeMechanism {
+            arity: self.arity,
+            accepting: element.accepting.clone(),
+            constant_classes: Rc::clone(&self.constant_classes),
+            filter: Rc::clone(&self.filter),
+        }
+    }
+}
+
+/// The concrete mechanism corresponding to a [`SoundLattice`] element.
+pub struct LatticeMechanism<W: Eq + Hash, O> {
+    arity: usize,
+    accepting: HashSet<W>,
+    constant_classes: Rc<HashMap<W, O>>,
+    filter: Rc<dyn Fn(&[V]) -> W>,
+}
+
+impl<W, O> Mechanism for LatticeMechanism<W, O>
+where
+    W: Clone + Eq + Hash + Debug,
+    O: Clone + PartialEq + Debug,
+{
+    type Out = O;
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn run(&self, input: &[V]) -> MechOutput<O> {
+        let view = (self.filter)(input);
+        if self.accepting.contains(&view) {
+            match self.constant_classes.get(&view) {
+                Some(v) => MechOutput::Value(v.clone()),
+                None => MechOutput::Violation(Notice::lambda()),
+            }
+        } else {
+            MechOutput::Violation(Notice::lambda())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::completeness::{compare, MechOrdering};
+    use crate::domain::Grid;
+    use crate::policy::Allow;
+    use crate::program::FnProgram;
+    use crate::soundness::{check_protection, check_soundness};
+
+    fn setup() -> (FnProgram<V>, Allow, Grid) {
+        // Q(x1, x2) = if x2 == 0 { x1 } else { x2 }, allow(2): the class
+        // x2 = 0 varies with x1; all others are constant.
+        let q = FnProgram::new(2, |a: &[V]| if a[1] == 0 { a[0] } else { a[1] });
+        (q, Allow::new(2, [2]), Grid::hypercube(2, 0..=3))
+    }
+
+    #[test]
+    fn every_element_is_sound_and_protective() {
+        let (q, p, g) = setup();
+        let lat = SoundLattice::build(&q, &p, &g);
+        assert_eq!(lat.constant_class_count(), 3);
+        // Check a few elements including top and bottom.
+        for elem in [
+            lat.bottom(),
+            lat.top(),
+            lat.element([vec![1]]),
+            lat.element([vec![1], vec![2]]),
+        ] {
+            let m = lat.mechanism(&elem);
+            assert!(check_soundness(&m, &p, &g, false).is_sound());
+            assert!(check_protection(&m, &q, &g).is_ok());
+        }
+    }
+
+    #[test]
+    fn element_drops_nonconstant_views() {
+        let (q, p, g) = setup();
+        let lat = SoundLattice::build(&q, &p, &g);
+        // View [0] (x2 = 0) is not constant; requesting it is ignored.
+        let e = lat.element([vec![0], vec![1]]);
+        assert_eq!(e.accepting().len(), 1);
+    }
+
+    #[test]
+    fn join_is_least_upper_bound() {
+        let (q, p, g) = setup();
+        let lat = SoundLattice::build(&q, &p, &g);
+        let a = lat.element([vec![1]]);
+        let b = lat.element([vec![2]]);
+        let j = a.join(&b);
+        assert!(a.le(&j) && b.le(&j));
+        // Any upper bound contains the join.
+        let ub = lat.element([vec![1], vec![2], vec![3]]);
+        assert!(a.le(&ub) && b.le(&ub));
+        assert!(j.le(&ub));
+    }
+
+    #[test]
+    fn meet_is_greatest_lower_bound() {
+        let (q, p, g) = setup();
+        let lat = SoundLattice::build(&q, &p, &g);
+        let a = lat.element([vec![1], vec![2]]);
+        let b = lat.element([vec![2], vec![3]]);
+        let m = a.meet(&b);
+        assert!(m.le(&a) && m.le(&b));
+        assert_eq!(m.accepting().len(), 1);
+    }
+
+    #[test]
+    fn top_mechanism_matches_maximal() {
+        let (q, p, g) = setup();
+        let lat = SoundLattice::build(&q, &p, &g);
+        let top = lat.mechanism(&lat.top());
+        let maximal = crate::maximal::MaximalMechanism::build(&q, &p, &g);
+        assert_eq!(compare(&top, &maximal, &g).ordering, MechOrdering::Equal);
+    }
+
+    #[test]
+    fn bottom_mechanism_matches_plug() {
+        let (q, p, g) = setup();
+        let lat = SoundLattice::build(&q, &p, &g);
+        let bot = lat.mechanism(&lat.bottom());
+        for a in g.iter_inputs() {
+            assert!(bot.run(&a).is_violation());
+        }
+    }
+
+    #[test]
+    fn lattice_laws_absorption_and_idempotence() {
+        let (q, p, g) = setup();
+        let lat = SoundLattice::build(&q, &p, &g);
+        let a = lat.element([vec![1], vec![2]]);
+        let b = lat.element([vec![3]]);
+        assert_eq!(a.join(&a), a);
+        assert_eq!(a.meet(&a), a);
+        assert_eq!(a.join(&a.meet(&b)), a);
+        assert_eq!(a.meet(&a.join(&b)), a);
+        assert_eq!(a.join(&b), b.join(&a));
+        assert_eq!(a.meet(&b), b.meet(&a));
+    }
+
+    #[test]
+    fn mechanism_join_agrees_with_element_join() {
+        let (q, p, g) = setup();
+        let lat = SoundLattice::build(&q, &p, &g);
+        let a = lat.element([vec![1]]);
+        let b = lat.element([vec![2]]);
+        let joined_elem = lat.mechanism(&a.join(&b));
+        let joined_mech = crate::join::Join::new(lat.mechanism(&a), lat.mechanism(&b));
+        assert_eq!(
+            compare(&joined_elem, &joined_mech, &g).ordering,
+            MechOrdering::Equal
+        );
+    }
+}

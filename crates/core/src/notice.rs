@@ -1,0 +1,123 @@
+//! Violation notices — the set `F` a mechanism may answer from.
+//!
+//! The paper's protection mechanism returns either `Q(a)` or a member of a
+//! set `F` of *violation notices*: "It looks as if you (the user) have
+//! attempted to view information that is to be denied to you."
+//!
+//! The paper is careful about two pitfalls that this module makes
+//! expressible:
+//!
+//! * **Distinct notices.** Realistic mechanisms may differ in notice values;
+//!   the completeness ordering deliberately ignores which notice was given,
+//!   but soundness does not — a mechanism whose *choice of notice* depends
+//!   on denied information is unsound (Example 4, Denning's and Rotenberg's
+//!   leaky notices).
+//! * **Fenton-style overlap.** Fenton lets `F` overlap `E` (partial results
+//!   double as notices), which makes outcomes ambiguous. Our notices are a
+//!   separate type, so `E ∩ F = ∅` by construction; the ambiguity is modeled
+//!   explicitly in `enf-minsky` where we reproduce his machine.
+
+use std::borrow::Cow;
+use std::fmt;
+
+/// A violation notice — an element of the mechanism's notice set `F`.
+///
+/// Notices carry a machine-readable `code` and a human-readable message.
+/// Two notices are equal iff their codes and messages are equal; the
+/// completeness machinery collapses all notices, the soundness machinery
+/// does not (see module docs).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Notice {
+    code: u32,
+    message: Cow<'static, str>,
+}
+
+impl Notice {
+    /// Code used by [`Notice::lambda`].
+    pub const LAMBDA_CODE: u32 = 0;
+
+    /// The paper's anonymous notice `Λ` — the single canonical violation
+    /// value used when notices need not be distinguished.
+    pub fn lambda() -> Self {
+        Notice {
+            code: Self::LAMBDA_CODE,
+            message: Cow::Borrowed("Λ"),
+        }
+    }
+
+    /// Creates a notice with a code and message.
+    pub fn new(code: u32, message: impl Into<Cow<'static, str>>) -> Self {
+        Notice {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// The machine-readable code.
+    pub fn code(&self) -> u32 {
+        self.code
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// Whether this is the canonical `Λ` notice.
+    pub fn is_lambda(&self) -> bool {
+        self.code == Self::LAMBDA_CODE && self.message == "Λ"
+    }
+}
+
+impl Default for Notice {
+    fn default() -> Self {
+        Notice::lambda()
+    }
+}
+
+impl fmt::Debug for Notice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Notice({}, {:?})", self.code, self.message)
+    }
+}
+
+impl fmt::Display for Notice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_is_lambda() {
+        assert!(Notice::lambda().is_lambda());
+        assert!(Notice::default().is_lambda());
+        assert_eq!(Notice::lambda(), Notice::lambda());
+    }
+
+    #[test]
+    fn custom_notice_is_not_lambda() {
+        let n = Notice::new(7, "Illegal access attempted, run aborted.");
+        assert!(!n.is_lambda());
+        assert_eq!(n.code(), 7);
+        assert_eq!(n.message(), "Illegal access attempted, run aborted.");
+    }
+
+    #[test]
+    fn notices_with_same_code_but_different_text_differ() {
+        // This matters for soundness: a notice whose *text* varies with
+        // denied data is a leak.
+        let a = Notice::new(1, "x was 0");
+        let b = Notice::new(1, "x was 1");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn display_shows_message() {
+        assert_eq!(Notice::lambda().to_string(), "Λ");
+        assert_eq!(Notice::new(2, "denied").to_string(), "denied");
+    }
+}

@@ -1,0 +1,199 @@
+//! The observability postulate: outputs must encode *all* observables.
+//!
+//! "The output value `Q(d1, …, dk)` must be assumed to encode all
+//! information available about the input value." When running time is
+//! observable, the paper folds it into the output: `Q(x) = (1, T)` where
+//! `T` is the number of steps executed. [`Timed`] is that pair, and
+//! [`WithTime`] lifts a step-counting program ([`TimedProgram`]) into a
+//! [`Program`] whose output *is* the pair — after which the ordinary
+//! soundness machinery automatically accounts for timing channels.
+
+use crate::program::Program;
+use crate::value::V;
+use std::fmt::Debug;
+
+/// A program output together with its observable running time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Timed<O> {
+    /// The computed output value.
+    pub value: O,
+    /// The number of execution steps — the paper's representative choice of
+    /// timing observable ("elapsed real time, the elapsed compute time, or
+    /// the number of steps executed").
+    pub steps: u64,
+}
+
+impl<O> Timed<O> {
+    /// Pairs a value with its step count.
+    pub fn new(value: O, steps: u64) -> Self {
+        Timed { value, steps }
+    }
+}
+
+/// A program that can report its running time alongside its value.
+pub trait TimedProgram: Program {
+    /// Evaluates the program, returning both the output and the number of
+    /// steps executed.
+    fn eval_timed(&self, input: &[V]) -> Timed<Self::Out>;
+}
+
+/// Adapter making a [`TimedProgram`]'s time part of its output, so the
+/// observability postulate holds for it by construction.
+///
+/// # Examples
+///
+/// ```
+/// use enf_core::{Program, Timed, TimedProgram, WithTime};
+///
+/// struct Loopy;
+/// impl Program for Loopy {
+///     type Out = i64;
+///     fn arity(&self) -> usize { 1 }
+///     fn eval(&self, a: &[i64]) -> i64 { 1 }
+/// }
+/// impl TimedProgram for Loopy {
+///     fn eval_timed(&self, a: &[i64]) -> Timed<i64> {
+///         // A constant function whose *time* depends on the input —
+///         // the paper's canonical covert channel.
+///         Timed::new(1, if a[0] == 0 { 10 } else { 2 })
+///     }
+/// }
+///
+/// let q = WithTime::new(Loopy);
+/// assert_ne!(q.eval(&[0]), q.eval(&[1])); // the pair differs: time leaks
+/// ```
+#[derive(Clone, Debug)]
+pub struct WithTime<P> {
+    inner: P,
+}
+
+impl<P: TimedProgram> WithTime<P> {
+    /// Wraps a timed program.
+    pub fn new(inner: P) -> Self {
+        WithTime { inner }
+    }
+
+    /// The wrapped program.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: TimedProgram> Program for WithTime<P> {
+    type Out = Timed<P::Out>;
+
+    fn arity(&self) -> usize {
+        self.inner.arity()
+    }
+
+    fn eval(&self, input: &[V]) -> Timed<P::Out> {
+        self.inner.eval_timed(input)
+    }
+}
+
+/// Adapter discarding the time component — models the Section 3 case where
+/// "running time is not observable by a user".
+#[derive(Clone, Debug)]
+pub struct ValueOnly<P> {
+    inner: P,
+}
+
+impl<P: TimedProgram> ValueOnly<P> {
+    /// Wraps a timed program, hiding its running time.
+    pub fn new(inner: P) -> Self {
+        ValueOnly { inner }
+    }
+
+    /// The wrapped program.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: TimedProgram> Program for ValueOnly<P> {
+    type Out = P::Out;
+
+    fn arity(&self) -> usize {
+        self.inner.arity()
+    }
+
+    fn eval(&self, input: &[V]) -> P::Out {
+        self.inner.eval_timed(input).value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Grid;
+    use crate::mechanism::Identity;
+    use crate::policy::Allow;
+    use crate::soundness::check_soundness;
+
+    /// The paper's Section 2 program: `y := 1`, but first loop `x` times.
+    /// As a value function it is constant; as a timed function it leaks x.
+    struct ConstWithLoop;
+
+    impl Program for ConstWithLoop {
+        type Out = V;
+
+        fn arity(&self) -> usize {
+            1
+        }
+
+        fn eval(&self, input: &[V]) -> V {
+            self.eval_timed(input).value
+        }
+    }
+
+    impl TimedProgram for ConstWithLoop {
+        fn eval_timed(&self, input: &[V]) -> Timed<V> {
+            let x = input[0].max(0) as u64;
+            // One step per loop iteration plus the final assignment.
+            Timed::new(1, x + 1)
+        }
+    }
+
+    #[test]
+    fn value_only_is_constant() {
+        let q = ValueOnly::new(ConstWithLoop);
+        assert_eq!(q.eval(&[0]), 1);
+        assert_eq!(q.eval(&[5]), 1);
+    }
+
+    #[test]
+    fn value_only_identity_sound_for_allow_none() {
+        // With time unobservable, Q as its own mechanism is sound for
+        // allow( ) — exactly the paper's first reading.
+        let q = ValueOnly::new(ConstWithLoop);
+        let m = Identity::new(q);
+        let g = Grid::hypercube(1, 0..=5);
+        assert!(check_soundness(&m, &Allow::none(1), &g, false).is_sound());
+    }
+
+    #[test]
+    fn with_time_identity_unsound_for_allow_none() {
+        // With time folded into the output the same program is unsound:
+        // the observability postulate bites.
+        let q = WithTime::new(ConstWithLoop);
+        let m = Identity::new(q);
+        let g = Grid::hypercube(1, 0..=5);
+        assert!(!check_soundness(&m, &Allow::none(1), &g, false).is_sound());
+    }
+
+    #[test]
+    fn timed_pair_equality() {
+        assert_eq!(Timed::new(1, 5), Timed::new(1, 5));
+        assert_ne!(Timed::new(1, 5), Timed::new(1, 6));
+        assert_ne!(Timed::new(1, 5), Timed::new(2, 5));
+    }
+
+    #[test]
+    fn wrappers_expose_inner() {
+        let w = WithTime::new(ConstWithLoop);
+        assert_eq!(w.arity(), 1);
+        assert_eq!(w.inner().arity(), 1);
+        let v = ValueOnly::new(ConstWithLoop);
+        assert_eq!(v.inner().arity(), 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! Programs as total functions `Q: D1 × … × Dk → E`.
+//!
+//! The paper's Section 2 definition: "Define Q to be a program provided
+//! `Q: D1 × … × Dk → E` where Q is a total function". A [`Program`] here is
+//! exactly that — a deterministic, total map from an integer input tuple to
+//! an output of any comparable type. Totality is a trait obligation:
+//! implementations must return a value for every input (the flowchart
+//! adapter in `enf-flowchart` folds divergence into a distinguished output
+//! so the function stays total).
+
+use crate::value::V;
+use std::fmt::Debug;
+use std::rc::Rc;
+
+/// A total function `Q: D1 × … × Dk → E` over integer inputs.
+///
+/// Implementations must be deterministic: `eval` on equal inputs must return
+/// equal outputs. All of the soundness and completeness machinery relies on
+/// this.
+pub trait Program {
+    /// The output range `E`.
+    type Out: Clone + PartialEq + Debug;
+
+    /// Number of inputs `k`.
+    fn arity(&self) -> usize;
+
+    /// Evaluates `Q(d1, …, dk)`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `input.len() != self.arity()`; callers must pass a tuple
+    /// of the right arity.
+    fn eval(&self, input: &[V]) -> Self::Out;
+}
+
+/// A program defined by a Rust closure.
+///
+/// # Examples
+///
+/// ```
+/// use enf_core::{FnProgram, Program};
+///
+/// let q = FnProgram::new(2, |a: &[i64]| a[0] * 10 + a[1]);
+/// assert_eq!(q.eval(&[3, 4]), 34);
+/// ```
+pub struct FnProgram<O> {
+    arity: usize,
+    f: Rc<dyn Fn(&[V]) -> O>,
+}
+
+impl<O> Clone for FnProgram<O> {
+    fn clone(&self) -> Self {
+        FnProgram {
+            arity: self.arity,
+            f: Rc::clone(&self.f),
+        }
+    }
+}
+
+impl<O> FnProgram<O> {
+    /// Wraps a closure as a `k`-ary program.
+    pub fn new(arity: usize, f: impl Fn(&[V]) -> O + 'static) -> Self {
+        FnProgram {
+            arity,
+            f: Rc::new(f),
+        }
+    }
+}
+
+impl<O: Clone + PartialEq + Debug> Program for FnProgram<O> {
+    type Out = O;
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn eval(&self, input: &[V]) -> O {
+        assert_eq!(
+            input.len(),
+            self.arity,
+            "arity mismatch: program takes {} inputs, got {}",
+            self.arity,
+            input.len()
+        );
+        (self.f)(input)
+    }
+}
+
+impl<P: Program + ?Sized> Program for &P {
+    type Out = P::Out;
+
+    fn arity(&self) -> usize {
+        (**self).arity()
+    }
+
+    fn eval(&self, input: &[V]) -> Self::Out {
+        (**self).eval(input)
+    }
+}
+
+impl<P: Program + ?Sized> Program for Rc<P> {
+    type Out = P::Out;
+
+    fn arity(&self) -> usize {
+        (**self).arity()
+    }
+
+    fn eval(&self, input: &[V]) -> Self::Out {
+        (**self).eval(input)
+    }
+}
+
+/// The paper's Example 5 logon program.
+///
+/// `Q(userid, table, password)` is `true` iff the pair `(userid, password)`
+/// is in the table. The table is a finite map encoded as a single integer
+/// for the purposes of the formal model; this helper builds the program from
+/// an explicit pair list, treating the second input as an index selecting
+/// one of the provided candidate tables.
+///
+/// # Examples
+///
+/// ```
+/// use enf_core::program::logon_program;
+/// use enf_core::Program;
+///
+/// // Two candidate tables: table 0 maps user 1 -> password 42.
+/// let q = logon_program(vec![vec![(1, 42)], vec![(1, 7)]]);
+/// assert_eq!(q.eval(&[1, 0, 42]), 1);
+/// assert_eq!(q.eval(&[1, 0, 7]), 0);
+/// assert_eq!(q.eval(&[1, 1, 7]), 1);
+/// ```
+pub fn logon_program(tables: Vec<Vec<(V, V)>>) -> FnProgram<V> {
+    FnProgram::new(3, move |a: &[V]| {
+        let (userid, table_ix, password) = (a[0], a[1], a[2]);
+        let table = usize::try_from(table_ix).ok().and_then(|i| tables.get(i));
+        match table {
+            Some(pairs) => V::from(pairs.iter().any(|&(u, p)| u == userid && p == password)),
+            None => 0,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_program_evaluates_closure() {
+        let q = FnProgram::new(1, |a: &[V]| a[0] + 1);
+        assert_eq!(q.eval(&[41]), 42);
+        assert_eq!(q.arity(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn fn_program_rejects_wrong_arity() {
+        let q = FnProgram::new(2, |a: &[V]| a[0]);
+        q.eval(&[1]);
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let q = FnProgram::new(1, |a: &[V]| -a[0]);
+        let r = &q;
+        assert_eq!(r.eval(&[5]), -5);
+        assert_eq!(r.arity(), 1);
+    }
+
+    #[test]
+    fn rc_impl_delegates() {
+        let q = Rc::new(FnProgram::new(1, |a: &[V]| a[0] * 2));
+        assert_eq!(q.eval(&[4]), 8);
+        assert_eq!(q.arity(), 1);
+    }
+
+    #[test]
+    fn logon_rejects_unknown_table_index() {
+        let q = logon_program(vec![vec![(1, 2)]]);
+        assert_eq!(q.eval(&[1, 99, 2]), 0);
+        assert_eq!(q.eval(&[1, -1, 2]), 0);
+    }
+
+    #[test]
+    fn logon_checks_pairs() {
+        let q = logon_program(vec![vec![(5, 10), (6, 11)]]);
+        assert_eq!(q.eval(&[5, 0, 10]), 1);
+        assert_eq!(q.eval(&[6, 0, 11]), 1);
+        assert_eq!(q.eval(&[5, 0, 11]), 0);
+        assert_eq!(q.eval(&[7, 0, 10]), 0);
+    }
+
+    #[test]
+    fn clone_shares_closure() {
+        let q = FnProgram::new(1, |a: &[V]| a[0]);
+        let q2 = q.clone();
+        assert_eq!(q.eval(&[3]), q2.eval(&[3]));
+    }
+}

@@ -1,0 +1,210 @@
+//! Quantitative soundness: Example 5's "small leak", made formal.
+//!
+//! The paper observes that the logon program is unsound for `allow(1, 3)`
+//! yet "workable in practice … because the amount of information obtained
+//! by the user is 'small'". This module turns that remark into a graded
+//! definition — the seed of what later literature calls quantitative
+//! information flow:
+//!
+//! A mechanism `M` is **ε-sound** for `I` over a domain when, within every
+//! `I`-equivalence class, `M` takes at most `2^ε` distinct values. Plain
+//! soundness is the `ε = 0` case (one value per class — exactly the
+//! factoring condition); the logon program is 1-sound-ish per probe
+//! (accept/reject splits each class in two); the identity mechanism on a
+//! class of `n` secrets is `log2(n)`-sound at best.
+
+use crate::domain::InputDomain;
+use crate::mechanism::{MechOutput, Mechanism};
+use crate::policy::Policy;
+use crate::value::V;
+use std::collections::{HashMap, HashSet};
+use std::hash::Hash;
+
+/// The measured leak of a mechanism with respect to a policy.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LeakReport {
+    /// Inputs enumerated.
+    pub inputs: usize,
+    /// Policy classes seen.
+    pub classes: usize,
+    /// The largest number of distinct outputs inside one class.
+    pub max_class_outputs: usize,
+    /// The worst-case leak in bits: `log2(max_class_outputs)`.
+    pub max_bits: f64,
+    /// A representative of the worst class (its policy view's first
+    /// input).
+    pub worst_class_rep: Vec<V>,
+}
+
+impl LeakReport {
+    /// Whether the mechanism is ε-sound for the given ε.
+    pub fn is_epsilon_sound(&self, epsilon: f64) -> bool {
+        self.max_bits <= epsilon + 1e-12
+    }
+
+    /// Whether the mechanism is (exactly) sound: zero bits leaked.
+    pub fn is_sound(&self) -> bool {
+        self.max_class_outputs <= 1
+    }
+}
+
+/// Measures the worst-case per-class leak of `M` under `I` over a domain.
+///
+/// # Examples
+///
+/// ```
+/// use enf_core::quantitative::measure_leak;
+/// use enf_core::{Allow, FnMechanism, Grid, MechOutput};
+///
+/// // Reveal whether the denied input is zero: a one-bit leak.
+/// let m = FnMechanism::new(1, |a: &[i64]| MechOutput::Value(i64::from(a[0] == 0)));
+/// let r = measure_leak(&m, &Allow::none(1), &Grid::hypercube(1, 0..=7));
+/// assert_eq!(r.max_class_outputs, 2);
+/// assert!(r.is_epsilon_sound(1.0) && !r.is_sound());
+/// ```
+pub fn measure_leak<M, P>(mechanism: &M, policy: &P, domain: &dyn InputDomain) -> LeakReport
+where
+    M: Mechanism,
+    M::Out: Eq + Hash,
+    P: Policy,
+{
+    assert_eq!(
+        mechanism.arity(),
+        policy.arity(),
+        "mechanism arity {} does not match policy arity {}",
+        mechanism.arity(),
+        policy.arity()
+    );
+    let mut classes: HashMap<P::View, (Vec<V>, HashSet<MechOutput<M::Out>>)> = HashMap::new();
+    let mut inputs = 0usize;
+    for a in domain.iter_inputs() {
+        inputs += 1;
+        let view = policy.filter(&a);
+        let out = mechanism.run(&a);
+        classes
+            .entry(view)
+            .or_insert_with(|| (a.clone(), HashSet::new()))
+            .1
+            .insert(out);
+    }
+    let (worst_class_rep, max_class_outputs) = classes
+        .values()
+        .map(|(rep, outs)| (rep.clone(), outs.len()))
+        .max_by_key(|(_, n)| *n)
+        .unwrap_or((Vec::new(), 0));
+    LeakReport {
+        inputs,
+        classes: classes.len(),
+        max_class_outputs,
+        max_bits: if max_class_outputs <= 1 {
+            0.0
+        } else {
+            (max_class_outputs as f64).log2()
+        },
+        worst_class_rep,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Grid;
+    use crate::mechanism::{FnMechanism, Identity, Plug};
+    use crate::policy::Allow;
+    use crate::program::{logon_program, FnProgram};
+    use crate::soundness::check_soundness;
+
+    #[test]
+    fn zero_bits_iff_sound() {
+        let g = Grid::hypercube(2, 0..=3);
+        let policy = Allow::new(2, [1]);
+        let sound = FnMechanism::new(2, |a: &[V]| MechOutput::Value(a[0]));
+        let r = measure_leak(&sound, &policy, &g);
+        assert!(r.is_sound());
+        assert_eq!(r.max_bits, 0.0);
+        assert_eq!(
+            r.is_sound(),
+            check_soundness(&sound, &policy, &g, false).is_sound()
+        );
+        let leaky = FnMechanism::new(2, |a: &[V]| MechOutput::Value(a[0] + a[1]));
+        let r = measure_leak(&leaky, &policy, &g);
+        assert!(!r.is_sound());
+        assert_eq!(
+            r.is_sound(),
+            check_soundness(&leaky, &policy, &g, false).is_sound()
+        );
+    }
+
+    #[test]
+    fn plug_leaks_nothing() {
+        let m: Plug<V> = Plug::new(1);
+        let r = measure_leak(&m, &Allow::none(1), &Grid::hypercube(1, 0..=9));
+        assert!(r.is_sound());
+        assert_eq!(r.classes, 1);
+    }
+
+    #[test]
+    fn identity_leaks_log_of_class_size() {
+        let m = Identity::new(FnProgram::new(1, |a: &[V]| a[0]));
+        let r = measure_leak(&m, &Allow::none(1), &Grid::hypercube(1, 0..=7));
+        assert_eq!(r.max_class_outputs, 8);
+        assert!((r.max_bits - 3.0).abs() < 1e-12);
+        assert!(r.is_epsilon_sound(3.0));
+        assert!(!r.is_epsilon_sound(2.9));
+    }
+
+    #[test]
+    fn example_5_logon_leaks_one_bit_per_probe() {
+        // One fixed probe against varying tables: the answer splits each
+        // allow(1, 3) class into at most {accept, reject}.
+        let q = logon_program(vec![vec![(1, 0)], vec![(1, 1)], vec![(1, 2)]]);
+        let m = Identity::new(q);
+        let policy = Allow::new(3, [1, 3]);
+        let g = Grid::new(vec![1..=1, 0..=2, 0..=2]);
+        let r = measure_leak(&m, &policy, &g);
+        assert!(!r.is_sound(), "the paper: the logon program is unsound");
+        assert_eq!(r.max_class_outputs, 2, "but the leak is one bit");
+        assert!(r.is_epsilon_sound(1.0));
+    }
+
+    #[test]
+    fn worst_class_rep_identifies_the_leaky_class() {
+        // Leak only when x1 = 0 (allowed); elsewhere constant.
+        let m = FnMechanism::new(2, |a: &[V]| {
+            MechOutput::Value(if a[0] == 0 { a[1] } else { 7 })
+        });
+        let policy = Allow::new(2, [1]);
+        let g = Grid::hypercube(2, 0..=3);
+        let r = measure_leak(&m, &policy, &g);
+        assert_eq!(r.max_class_outputs, 4);
+        assert_eq!(r.worst_class_rep[0], 0);
+    }
+
+    #[test]
+    fn epsilon_ordering_is_consistent() {
+        let g = Grid::hypercube(1, 0..=7);
+        let policy = Allow::none(1);
+        // Reveal x mod 4: 2 bits.
+        let m = FnMechanism::new(1, |a: &[V]| MechOutput::Value(a[0] % 4));
+        let r = measure_leak(&m, &policy, &g);
+        assert!((r.max_bits - 2.0).abs() < 1e-12);
+        assert!(r.is_epsilon_sound(2.0));
+        assert!(r.is_epsilon_sound(3.0));
+        assert!(!r.is_epsilon_sound(1.0));
+    }
+
+    #[test]
+    fn notices_count_as_outputs() {
+        // Emitting a notice for half the class is itself a one-bit leak —
+        // the negative-inference case, quantified.
+        let m = FnMechanism::new(1, |a: &[V]| {
+            if a[0] == 0 {
+                MechOutput::Violation(crate::notice::Notice::lambda())
+            } else {
+                MechOutput::Value(1)
+            }
+        });
+        let r = measure_leak(&m, &Allow::none(1), &Grid::hypercube(1, 0..=7));
+        assert_eq!(r.max_class_outputs, 2);
+    }
+}

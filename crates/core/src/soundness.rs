@@ -1,0 +1,303 @@
+//! Empirical soundness checking — the bridge between policy and mechanism.
+//!
+//! The paper: "`M` is sound provided there is a function `M′: 𝔐 → E ∪ F`
+//! such that for all `(d1, …, dk)`, `M(d1, …, dk) = M′(I(d1, …, dk))`."
+//!
+//! On an enumerable domain this factoring condition is decidable: partition
+//! the domain by the policy view `I(a)` and require `M` to be constant on
+//! every class. [`check_soundness`] does exactly that and returns a witness
+//! pair on failure — two inputs the policy deems indistinguishable on which
+//! the mechanism behaves differently, i.e. a concrete leak.
+//!
+//! On *unbounded* domains soundness is undecidable (Ruzzo's observation in
+//! Section 4: `Q` is sound for `Q` and `allow()` iff `Q` is constant); the
+//! checker is therefore exact on the supplied finite domain and nothing
+//! more. Checking over a sampled sub-domain yields a sound *refuter* (a
+//! found witness is a real leak) but not a verifier.
+
+use crate::domain::InputDomain;
+use crate::mechanism::{MechOutput, Mechanism};
+use crate::policy::Policy;
+use crate::program::Program;
+use crate::value::V;
+use std::collections::HashMap;
+
+/// Outcome of an empirical soundness check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SoundnessReport<O> {
+    /// The mechanism factored through the policy view on every enumerated
+    /// input.
+    Sound {
+        /// Number of inputs enumerated.
+        inputs: usize,
+        /// Number of distinct policy views (equivalence classes) seen.
+        classes: usize,
+    },
+    /// Two policy-indistinguishable inputs produced different mechanism
+    /// outputs: a leak.
+    Unsound(Witness<O>),
+}
+
+/// A concrete counterexample to soundness.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Witness<O> {
+    /// First input tuple.
+    pub a: Vec<V>,
+    /// Second input tuple, with `I(a) = I(b)`.
+    pub b: Vec<V>,
+    /// `M(a)`.
+    pub out_a: MechOutput<O>,
+    /// `M(b)`, different from `M(a)`.
+    pub out_b: MechOutput<O>,
+}
+
+impl<O> SoundnessReport<O> {
+    /// Whether the check passed.
+    pub fn is_sound(&self) -> bool {
+        matches!(self, SoundnessReport::Sound { .. })
+    }
+
+    /// The witness, if the check failed.
+    pub fn witness(&self) -> Option<&Witness<O>> {
+        match self {
+            SoundnessReport::Sound { .. } => None,
+            SoundnessReport::Unsound(w) => Some(w),
+        }
+    }
+}
+
+/// Checks that `M` is sound for policy `I` over the given domain.
+///
+/// If `collapse_notices` is true, all violation notices are identified
+/// before comparison (adequate when the mechanism emits a single notice
+/// value; the paper's Example 4 leaky-notice mechanisms are only caught with
+/// `collapse_notices = false`).
+///
+/// # Examples
+///
+/// ```
+/// use enf_core::{check_soundness, Allow, FnMechanism, Grid, MechOutput};
+///
+/// // M reveals x1 + x2 but the policy only allows x1: unsound.
+/// let m = FnMechanism::new(2, |a: &[i64]| MechOutput::Value(a[0] + a[1]));
+/// let report = check_soundness(&m, &Allow::new(2, [1]), &Grid::hypercube(2, 0..=2), false);
+/// assert!(!report.is_sound());
+///
+/// // M reveals only x1: sound.
+/// let m = FnMechanism::new(2, |a: &[i64]| MechOutput::Value(a[0]));
+/// let report = check_soundness(&m, &Allow::new(2, [1]), &Grid::hypercube(2, 0..=2), false);
+/// assert!(report.is_sound());
+/// ```
+pub fn check_soundness<M, P>(
+    mechanism: &M,
+    policy: &P,
+    domain: &dyn InputDomain,
+    collapse_notices: bool,
+) -> SoundnessReport<M::Out>
+where
+    M: Mechanism,
+    M::Out: Eq + std::hash::Hash,
+    P: Policy,
+{
+    assert_eq!(
+        mechanism.arity(),
+        policy.arity(),
+        "mechanism arity {} does not match policy arity {}",
+        mechanism.arity(),
+        policy.arity()
+    );
+    assert_eq!(
+        domain.arity(),
+        policy.arity(),
+        "domain arity {} does not match policy arity {}",
+        domain.arity(),
+        policy.arity()
+    );
+    let mut seen: HashMap<P::View, (Vec<V>, MechOutput<M::Out>)> = HashMap::new();
+    let mut inputs = 0usize;
+    for a in domain.iter_inputs() {
+        inputs += 1;
+        let view = policy.filter(&a);
+        let mut out = mechanism.run(&a);
+        if collapse_notices {
+            out = out.collapse_notice();
+        }
+        match seen.get(&view) {
+            None => {
+                seen.insert(view, (a, out));
+            }
+            Some((b, prev)) if *prev != out => {
+                return SoundnessReport::Unsound(Witness {
+                    a: b.clone(),
+                    b: a,
+                    out_a: prev.clone(),
+                    out_b: out,
+                });
+            }
+            Some(_) => {}
+        }
+    }
+    SoundnessReport::Sound {
+        inputs,
+        classes: seen.len(),
+    }
+}
+
+/// Checks clause (1) of the mechanism definition: whenever `M` accepts, its
+/// output equals `Q(a)`.
+///
+/// Returns the first offending input, if any.
+pub fn check_protection<M, Q>(
+    mechanism: &M,
+    program: &Q,
+    domain: &dyn InputDomain,
+) -> Result<(), Vec<V>>
+where
+    M: Mechanism,
+    Q: Program<Out = M::Out>,
+{
+    assert_eq!(
+        mechanism.arity(),
+        program.arity(),
+        "mechanism arity {} does not match program arity {}",
+        mechanism.arity(),
+        program.arity()
+    );
+    for a in domain.iter_inputs() {
+        if let MechOutput::Value(v) = mechanism.run(&a) {
+            if v != program.eval(&a) {
+                return Err(a);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Grid;
+    use crate::mechanism::{FnMechanism, Identity, Plug};
+    use crate::notice::Notice;
+    use crate::policy::{Allow, FnPolicy};
+    use crate::program::FnProgram;
+
+    #[test]
+    fn plug_is_sound_for_any_policy() {
+        let m: Plug<V> = Plug::new(2);
+        let g = Grid::hypercube(2, -2..=2);
+        assert!(check_soundness(&m, &Allow::none(2), &g, false).is_sound());
+        assert!(check_soundness(&m, &Allow::all(2), &g, false).is_sound());
+        assert!(check_soundness(&m, &Allow::new(2, [2]), &g, false).is_sound());
+    }
+
+    #[test]
+    fn identity_sound_iff_program_respects_policy() {
+        let g = Grid::hypercube(2, -2..=2);
+        // Q depends only on x2.
+        let q = FnProgram::new(2, |a: &[V]| a[1] * 3);
+        let m = Identity::new(q);
+        assert!(check_soundness(&m, &Allow::new(2, [2]), &g, false).is_sound());
+        assert!(!check_soundness(&m, &Allow::new(2, [1]), &g, false).is_sound());
+        assert!(!check_soundness(&m, &Allow::none(2), &g, false).is_sound());
+    }
+
+    #[test]
+    fn witness_is_a_real_counterexample() {
+        let g = Grid::hypercube(1, 0..=3);
+        let q = FnProgram::new(1, |a: &[V]| a[0]);
+        let m = Identity::new(q);
+        let policy = Allow::none(1);
+        match check_soundness(&m, &policy, &g, false) {
+            SoundnessReport::Unsound(w) => {
+                use crate::policy::Policy as _;
+                assert_eq!(policy.filter(&w.a), policy.filter(&w.b));
+                assert_ne!(w.out_a, w.out_b);
+            }
+            SoundnessReport::Sound { .. } => panic!("expected unsound"),
+        }
+    }
+
+    #[test]
+    fn leaky_notice_caught_only_without_collapsing() {
+        // Example-4-style: the notice text encodes the denied input.
+        let m = FnMechanism::new(1, |a: &[V]| {
+            MechOutput::<V>::Violation(if a[0] == 0 {
+                Notice::new(1, "denied (x was zero)")
+            } else {
+                Notice::new(1, "denied (x was nonzero)")
+            })
+        });
+        let g = Grid::hypercube(1, 0..=3);
+        let p = Allow::none(1);
+        assert!(!check_soundness(&m, &p, &g, false).is_sound());
+        // Collapsing notices hides the leak — which is exactly why the
+        // single-notice assumption must be established, not assumed.
+        assert!(check_soundness(&m, &p, &g, true).is_sound());
+    }
+
+    #[test]
+    fn sound_report_counts_classes() {
+        let m = FnMechanism::new(2, |a: &[V]| MechOutput::Value(a[0]));
+        let g = Grid::hypercube(2, 0..=2);
+        match check_soundness(&m, &Allow::new(2, [1]), &g, false) {
+            SoundnessReport::Sound { inputs, classes } => {
+                assert_eq!(inputs, 9);
+                assert_eq!(classes, 3);
+            }
+            SoundnessReport::Unsound(w) => panic!("unexpected witness {w:?}"),
+        }
+    }
+
+    #[test]
+    fn content_dependent_policy_soundness() {
+        // Example 2: release the file (x2) only when the directory (x1)
+        // says YES (1). The reference monitor does the same check.
+        let p = FnPolicy::new(2, |a: &[V]| (a[0], if a[0] == 1 { a[1] } else { 0 }));
+        let monitor = FnMechanism::new(2, |a: &[V]| {
+            if a[0] == 1 {
+                MechOutput::Value(a[1])
+            } else {
+                MechOutput::Violation(Notice::lambda())
+            }
+        });
+        let g = Grid::new(vec![0..=1, 0..=5]);
+        assert!(check_soundness(&monitor, &p, &g, false).is_sound());
+        // A monitor that ignores the directory is unsound for this policy.
+        let open = FnMechanism::new(2, |a: &[V]| MechOutput::Value(a[1]));
+        assert!(!check_soundness(&open, &p, &g, false).is_sound());
+    }
+
+    #[test]
+    fn protection_check_accepts_genuine_mechanism() {
+        let q = FnProgram::new(1, |a: &[V]| a[0] + 1);
+        let m = FnMechanism::new(1, |a: &[V]| {
+            if a[0] >= 0 {
+                MechOutput::Value(a[0] + 1)
+            } else {
+                MechOutput::Violation(Notice::lambda())
+            }
+        });
+        let g = Grid::hypercube(1, -3..=3);
+        assert!(check_protection(&m, &q, &g).is_ok());
+    }
+
+    #[test]
+    fn protection_check_rejects_output_alteration() {
+        // "Mechanism" that rounds the output — not a protection mechanism
+        // for Q since its accepted values differ from Q's.
+        let q = FnProgram::new(1, |a: &[V]| a[0]);
+        let m = FnMechanism::new(1, |a: &[V]| MechOutput::Value(a[0] / 2 * 2));
+        let g = Grid::hypercube(1, 0..=3);
+        let err = check_protection(&m, &q, &g).unwrap_err();
+        assert_eq!(err, vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn arity_mismatch_panics() {
+        let m: Plug<V> = Plug::new(2);
+        let g = Grid::hypercube(2, 0..=1);
+        let _ = check_soundness(&m, &Allow::none(3), &g, false);
+    }
+}

@@ -1,0 +1,52 @@
+//! Scalar values and input tuples.
+//!
+//! The paper lets each input range `Di` be an arbitrary set; Section 3 fixes
+//! the integers. We follow Section 3: every scalar is an [`V`] (a 64-bit
+//! signed integer) and a program input is a tuple `(d1, …, dk)` represented
+//! as a slice `&[V]`.
+
+/// The scalar value domain: the flowchart language of Section 3 computes
+/// over the integers.
+pub type V = i64;
+
+/// An owned input tuple `(d1, …, dk)`.
+pub type InputTuple = Vec<V>;
+
+/// Formats an input tuple the way the paper writes them: `(d1, …, dk)`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(enf_core::value::format_tuple(&[1, -2, 3]), "(1, -2, 3)");
+/// ```
+pub fn format_tuple(input: &[V]) -> String {
+    let mut s = String::from("(");
+    for (i, v) in input.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&v.to_string());
+    }
+    s.push(')');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_empty_tuple() {
+        assert_eq!(format_tuple(&[]), "()");
+    }
+
+    #[test]
+    fn format_single() {
+        assert_eq!(format_tuple(&[7]), "(7)");
+    }
+
+    #[test]
+    fn format_many() {
+        assert_eq!(format_tuple(&[0, 1, 2]), "(0, 1, 2)");
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests of the formal framework: set algebra, domain
+//! enumeration, and the mechanism algebra over random truth tables.
+
+use enf_core::{
+    check_protection, check_soundness, compare, Allow, FnMechanism, FnProgram, Grid, IndexSet,
+    InputDomain, Join, MaximalMechanism, MechOrdering, MechOutput, Mechanism, Notice, V,
+};
+use proptest::prelude::*;
+use std::rc::Rc;
+
+fn arb_set() -> impl Strategy<Value = IndexSet> {
+    proptest::collection::vec(1usize..=12, 0..6).prop_map(IndexSet::from_iter)
+}
+
+/// A random 2-ary program as an explicit truth table over the 5×5 grid
+/// centred at 0, with a small output range so policy classes collide.
+fn table_program(table: Rc<Vec<V>>) -> FnProgram<V> {
+    FnProgram::new(2, move |a: &[V]| {
+        let i = ((a[0] + 2) * 5 + (a[1] + 2)) as usize;
+        table[i.min(24)]
+    })
+}
+
+/// A random mechanism for the table program: accept on a random subset.
+fn table_mechanism(table: Rc<Vec<V>>, accept: Rc<Vec<bool>>) -> FnMechanism<V> {
+    FnMechanism::new(2, move |a: &[V]| {
+        let i = (((a[0] + 2) * 5 + (a[1] + 2)) as usize).min(24);
+        if accept[i] {
+            MechOutput::Value(table[i])
+        } else {
+            MechOutput::Violation(Notice::lambda())
+        }
+    })
+}
+
+fn grid() -> Grid {
+    Grid::hypercube(2, -2..=2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// IndexSet union/intersection/difference satisfy the boolean-algebra
+    /// laws the mechanisms rely on.
+    #[test]
+    fn indexset_algebra(a in arb_set(), b in arb_set(), c in arb_set()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        prop_assert_eq!(a.union(&b.union(&c)), a.union(&b).union(&c));
+        prop_assert_eq!(a.intersection(&a.union(&b)), a);
+        prop_assert_eq!(a.union(&a.intersection(&b)), a);
+        // Difference and subset.
+        prop_assert!(a.difference(&b).is_subset(&a));
+        prop_assert!(a.intersection(&b).is_subset(&a));
+        prop_assert!(a.is_subset(&a.union(&b)));
+        prop_assert_eq!(a.difference(&b).intersection(&b), IndexSet::empty());
+        // Bits round-trip.
+        prop_assert_eq!(IndexSet::from_bits(a.to_bits()), a);
+        // Length is consistent with membership.
+        prop_assert_eq!(a.iter().count(), a.len());
+    }
+
+    /// Subset ordering matches the union characterization.
+    #[test]
+    fn indexset_subset_characterization(a in arb_set(), b in arb_set()) {
+        prop_assert_eq!(a.is_subset(&b), a.union(&b) == b);
+    }
+
+    /// Grid enumeration visits exactly `len()` distinct tuples, in
+    /// lexicographic order, all inside the ranges.
+    #[test]
+    fn grid_enumeration(lo in -3i64..=0, hi_off in 0i64..=3, k in 1usize..=3) {
+        let hi = lo + hi_off;
+        let g = Grid::hypercube(k, lo..=hi);
+        let all: Vec<Vec<V>> = g.iter_inputs().collect();
+        prop_assert_eq!(all.len(), g.len());
+        for w in all.windows(2) {
+            prop_assert!(w[0] < w[1], "not strictly increasing");
+        }
+        for t in &all {
+            prop_assert_eq!(t.len(), k);
+            for v in t {
+                prop_assert!((lo..=hi).contains(v));
+            }
+        }
+    }
+
+    /// The completeness comparison is antisymmetric and consistent with
+    /// its witnesses.
+    #[test]
+    fn compare_consistency(
+        table in proptest::collection::vec(-2i64..=2, 25),
+        acc1 in proptest::collection::vec(any::<bool>(), 25),
+        acc2 in proptest::collection::vec(any::<bool>(), 25),
+    ) {
+        let table = Rc::new(table);
+        let m1 = table_mechanism(Rc::clone(&table), Rc::new(acc1));
+        let m2 = table_mechanism(Rc::clone(&table), Rc::new(acc2));
+        let r12 = compare(&m1, &m2, &grid());
+        let r21 = compare(&m2, &m1, &grid());
+        let flipped = match r12.ordering {
+            MechOrdering::Equal => MechOrdering::Equal,
+            MechOrdering::FirstMore => MechOrdering::SecondMore,
+            MechOrdering::SecondMore => MechOrdering::FirstMore,
+            MechOrdering::Incomparable => MechOrdering::Incomparable,
+        };
+        prop_assert_eq!(r21.ordering, flipped);
+        prop_assert_eq!(r12.accepted_first, r21.accepted_second);
+        prop_assert_eq!(r12.only_first, r21.only_second);
+        if let Some(w) = &r12.witness_first {
+            prop_assert!(m1.run(w).is_value() && !m2.run(w).is_value());
+        }
+    }
+
+    /// Theorem 1 over random truth tables: the join of two *sound*
+    /// mechanisms is sound and dominates both.
+    #[test]
+    fn join_theorem_on_tables(
+        table in proptest::collection::vec(-1i64..=1, 25),
+        acc1 in proptest::collection::vec(any::<bool>(), 5),
+        acc2 in proptest::collection::vec(any::<bool>(), 5),
+    ) {
+        // Make the acceptance decision depend only on x1 (the allowed
+        // coordinate) and release x1 itself — sound by construction.
+        let policy = Allow::new(2, [1]);
+        let mk = |acc: Vec<bool>| {
+            FnMechanism::new(2, move |a: &[V]| {
+                if acc[(a[0] + 2) as usize] {
+                    MechOutput::Value(a[0])
+                } else {
+                    MechOutput::Violation(Notice::lambda())
+                }
+            })
+        };
+        let _ = table;
+        let m1 = mk(acc1);
+        let m2 = mk(acc2);
+        prop_assert!(check_soundness(&m1, &policy, &grid(), false).is_sound());
+        prop_assert!(check_soundness(&m2, &policy, &grid(), false).is_sound());
+        let j = Join::new(&m1, &m2);
+        prop_assert!(check_soundness(&j, &policy, &grid(), false).is_sound());
+        prop_assert!(compare(&j, &m1, &grid()).first_as_complete());
+        prop_assert!(compare(&j, &m2, &grid()).first_as_complete());
+    }
+
+    /// Theorem 2 over random truth tables: the maximal mechanism is sound,
+    /// a protection mechanism, and dominates every random sound mechanism.
+    #[test]
+    fn maximal_theorem_on_tables(
+        table in proptest::collection::vec(-2i64..=2, 25),
+        mask in 0u8..4,
+    ) {
+        let table = Rc::new(table);
+        let q = table_program(Rc::clone(&table));
+        let mut idx = Vec::new();
+        if mask & 1 != 0 { idx.push(1); }
+        if mask & 2 != 0 { idx.push(2); }
+        let policy = Allow::new(2, idx);
+        let maximal = MaximalMechanism::build(&q, &policy, &grid());
+        prop_assert!(check_soundness(&maximal, &policy, &grid(), false).is_sound());
+        prop_assert!(check_protection(&maximal, &q, &grid()).is_ok());
+        // Against the plug — always dominated.
+        let plug = enf_core::Plug::<V>::new(2);
+        prop_assert!(compare(&maximal, &plug, &grid()).first_as_complete());
+    }
+
+    /// Metamorphic soundness property: permuting denied inputs never
+    /// changes a sound mechanism's verdict pattern.
+    #[test]
+    fn soundness_invariant_under_denied_permutation(
+        table in proptest::collection::vec(-2i64..=2, 25),
+    ) {
+        let table = Rc::new(table);
+        let q = table_program(Rc::clone(&table));
+        let policy = Allow::new(2, [1]);
+        let maximal = MaximalMechanism::build(&q, &policy, &grid());
+        // x2 is denied: M(x1, x2) must equal M(x1, x2') for all pairs.
+        for x1 in -2..=2 {
+            let outs: Vec<_> = (-2..=2).map(|x2| maximal.run(&[x1, x2])).collect();
+            for w in outs.windows(2) {
+                prop_assert_eq!(&w[0], &w[1], "maximal mechanism varied with denied input");
+            }
+        }
+    }
+
+    /// Allow-policy lattice: join reveals more (sound mechanisms stay
+    /// sound when moving up), and filter is consistent with projection.
+    #[test]
+    fn allow_filter_projection(a in arb_small_allow(), vals in proptest::array::uniform3(-5i64..=5)) {
+        use enf_core::Policy as _;
+        let view = a.filter(&vals);
+        let expected: Vec<V> = a.allowed().iter().map(|i| vals[i - 1]).collect();
+        prop_assert_eq!(view, expected);
+    }
+}
+
+fn arb_small_allow() -> impl Strategy<Value = Allow> {
+    proptest::collection::vec(1usize..=3, 0..3).prop_map(|idx| Allow::new(3, idx))
+}

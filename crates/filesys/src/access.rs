@@ -1,0 +1,281 @@
+//! Example 6: access control is not information control.
+//!
+//! "Enforcing an access control policy that specifies that the operation
+//! READFILE(A) cannot be performed is not the same as ensuring that
+//! information about A is not extracted. The operating system may have a
+//! sequence of operations excluding READFILE that has the same effect as
+//! READFILE(A)."
+//!
+//! A tiny kernel exposes three operations — `ReadFile`, `Copy`, `Stat` —
+//! mediated per-operation by a capability list. The classic failure is
+//! scripted: `READFILE(1)` is forbidden, but `COPY(1 → 2); READFILE(2)`
+//! is not, and extracts the same information. The soundness checker
+//! convicts the access-control mechanism of exactly that; the conviction
+//! disappears once the capability list also withholds `Copy` — which is
+//! the paper's closing remark that the model "can be used to model
+//! capability systems as well as surveillance".
+
+use enf_core::{MechOutput, Mechanism, Notice, V};
+
+/// A kernel operation on the file store.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Op {
+    /// Return the content of file `i` (1-based).
+    ReadFile(usize),
+    /// Copy file `src` over file `dst`.
+    Copy {
+        /// Source file.
+        src: usize,
+        /// Destination file.
+        dst: usize,
+    },
+    /// Return 1 if file `i` is nonzero, else 0 — a "metadata" observable.
+    Stat(usize),
+}
+
+/// The capabilities a subject may hold, per file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CapList {
+    read: Vec<bool>,
+    copy_from: Vec<bool>,
+    stat: Vec<bool>,
+}
+
+impl CapList {
+    /// A capability list for `k` files, with nothing granted.
+    pub fn none(k: usize) -> Self {
+        CapList {
+            read: vec![false; k],
+            copy_from: vec![false; k],
+            stat: vec![false; k],
+        }
+    }
+
+    /// A capability list for `k` files with everything granted.
+    pub fn all(k: usize) -> Self {
+        CapList {
+            read: vec![true; k],
+            copy_from: vec![true; k],
+            stat: vec![true; k],
+        }
+    }
+
+    /// Grants `ReadFile(i)`.
+    #[must_use]
+    pub fn grant_read(mut self, i: usize) -> Self {
+        self.read[i - 1] = true;
+        self
+    }
+
+    /// Revokes `ReadFile(i)`.
+    #[must_use]
+    pub fn revoke_read(mut self, i: usize) -> Self {
+        self.read[i - 1] = false;
+        self
+    }
+
+    /// Revokes `Copy` with source `i`.
+    #[must_use]
+    pub fn revoke_copy_from(mut self, i: usize) -> Self {
+        self.copy_from[i - 1] = false;
+        self
+    }
+
+    /// Revokes `Stat(i)`.
+    #[must_use]
+    pub fn revoke_stat(mut self, i: usize) -> Self {
+        self.stat[i - 1] = false;
+        self
+    }
+
+    /// Whether the list authorizes `op`.
+    pub fn permits(&self, op: Op) -> bool {
+        match op {
+            Op::ReadFile(i) => self.read[i - 1],
+            Op::Copy { src, .. } => self.copy_from[src - 1],
+            Op::Stat(i) => self.stat[i - 1],
+        }
+    }
+}
+
+/// A scripted session against the kernel, mediated by a capability list.
+///
+/// The inputs are the initial file contents `(f1, …, fk)`; the output is
+/// the result of the last successful operation. Any denied operation
+/// aborts the session with a (fixed) violation notice — this mechanism
+/// *does* enforce its access policy perfectly; whether it enforces an
+/// *information* policy is a different question, answered by
+/// `check_soundness`.
+#[derive(Clone, Debug)]
+pub struct ScriptedSession {
+    k: usize,
+    script: Vec<Op>,
+    caps: CapList,
+}
+
+impl ScriptedSession {
+    /// Builds a session over `k` files.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operation references a file outside `1..=k`.
+    pub fn new(k: usize, script: Vec<Op>, caps: CapList) -> Self {
+        for op in &script {
+            let idx = match *op {
+                Op::ReadFile(i) | Op::Stat(i) => vec![i],
+                Op::Copy { src, dst } => vec![src, dst],
+            };
+            for i in idx {
+                assert!(
+                    i >= 1 && i <= k,
+                    "operation {op:?} references file {i} of {k}"
+                );
+            }
+        }
+        ScriptedSession { k, script, caps }
+    }
+
+    /// Whether any `ReadFile(target)` in the script would be *executed*
+    /// (i.e. the access-control policy "READFILE(target) cannot be
+    /// performed" holds for every input).
+    pub fn ever_reads(&self, target: usize) -> bool {
+        // Denials abort the session, so an executed ReadFile(target) is
+        // simply one that is permitted and reachable (everything before it
+        // must also be permitted).
+        for op in &self.script {
+            if !self.caps.permits(*op) {
+                return false;
+            }
+            if *op == Op::ReadFile(target) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl Mechanism for ScriptedSession {
+    type Out = V;
+
+    fn arity(&self) -> usize {
+        self.k
+    }
+
+    fn run(&self, input: &[V]) -> MechOutput<V> {
+        let mut files = input.to_vec();
+        let mut last = 0;
+        for op in &self.script {
+            if !self.caps.permits(*op) {
+                return MechOutput::Violation(Notice::new(320, "operation not permitted"));
+            }
+            match *op {
+                Op::ReadFile(i) => last = files[i - 1],
+                Op::Copy { src, dst } => {
+                    files[dst - 1] = files[src - 1];
+                    last = 0;
+                }
+                Op::Stat(i) => last = V::from(files[i - 1] != 0),
+            }
+        }
+        MechOutput::Value(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enf_core::{check_soundness, Allow, Grid};
+
+    /// The policy "no information about file 1": allow(2) over (f1, f2).
+    fn info_policy() -> Allow {
+        Allow::new(2, [2])
+    }
+
+    fn grid() -> Grid {
+        Grid::hypercube(2, 0..=3)
+    }
+
+    /// Revoking only READFILE(1) enforces the *access* policy…
+    #[test]
+    fn access_policy_enforced() {
+        let caps = CapList::all(2).revoke_read(1);
+        let direct = ScriptedSession::new(2, vec![Op::ReadFile(1)], caps.clone());
+        assert!(!direct.ever_reads(1));
+        for a in enf_core::InputDomain::iter_inputs(&grid()) {
+            assert!(direct.run(&a).is_violation());
+        }
+    }
+
+    /// …but not the *information* policy: COPY(1→2); READFILE(2) has "the
+    /// same effect as READFILE(1)".
+    #[test]
+    fn example_6_laundering_sequence() {
+        let caps = CapList::all(2).revoke_read(1);
+        let laundered =
+            ScriptedSession::new(2, vec![Op::Copy { src: 1, dst: 2 }, Op::ReadFile(2)], caps);
+        // No READFILE(1) is ever performed — the access policy holds.
+        assert!(!laundered.ever_reads(1));
+        // Yet the session reveals f1 verbatim.
+        assert_eq!(laundered.run(&[3, 0]), MechOutput::Value(3));
+        // And the information-control checker convicts it.
+        assert!(!check_soundness(&laundered, &info_policy(), &grid(), false).is_sound());
+    }
+
+    /// Stat is a quieter laundry: one bit instead of the whole file.
+    #[test]
+    fn stat_leaks_one_bit() {
+        let caps = CapList::all(2).revoke_read(1).revoke_copy_from(1);
+        let s = ScriptedSession::new(2, vec![Op::Stat(1)], caps);
+        assert!(!check_soundness(&s, &info_policy(), &grid(), false).is_sound());
+        assert_eq!(s.run(&[0, 0]), MechOutput::Value(0));
+        assert_eq!(s.run(&[2, 0]), MechOutput::Value(1));
+    }
+
+    /// Capability completeness: withholding every capability that can
+    /// touch file 1 finally yields information control.
+    #[test]
+    fn full_revocation_is_sound() {
+        let caps = CapList::all(2)
+            .revoke_read(1)
+            .revoke_copy_from(1)
+            .revoke_stat(1);
+        for script in [
+            vec![Op::ReadFile(2)],
+            vec![Op::Copy { src: 2, dst: 1 }, Op::ReadFile(2)],
+            vec![Op::Stat(2), Op::ReadFile(2)],
+            vec![Op::Copy { src: 1, dst: 2 }, Op::ReadFile(2)], // denied early
+        ] {
+            let s = ScriptedSession::new(2, script.clone(), caps.clone());
+            assert!(
+                check_soundness(&s, &info_policy(), &grid(), false).is_sound(),
+                "script {script:?} leaked"
+            );
+        }
+    }
+
+    /// Denials abort with a fixed notice, so the denial itself cannot leak
+    /// file contents (it may legitimately depend on the script).
+    #[test]
+    fn denial_is_content_independent() {
+        let caps = CapList::none(2);
+        let s = ScriptedSession::new(2, vec![Op::ReadFile(1)], caps);
+        assert_eq!(s.run(&[0, 0]), s.run(&[3, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "references file 3")]
+    fn script_bounds_checked() {
+        ScriptedSession::new(2, vec![Op::ReadFile(3)], CapList::all(2));
+    }
+
+    #[test]
+    fn caplist_builders() {
+        let c = CapList::all(2).revoke_read(1);
+        assert!(!c.permits(Op::ReadFile(1)));
+        assert!(c.permits(Op::ReadFile(2)));
+        assert!(c.permits(Op::Copy { src: 1, dst: 2 }));
+        let c = c.grant_read(1);
+        assert!(c.permits(Op::ReadFile(1)));
+        assert!(!CapList::none(1).permits(Op::Stat(1)));
+    }
+}

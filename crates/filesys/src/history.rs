@@ -1,0 +1,248 @@
+//! History-dependent policies.
+//!
+//! "We also include policies (such as might be found in a data base
+//! system) where what a user is permitted to view is dependent upon a
+//! history of the user's previous queries." A [`Session`] mediates a
+//! sequence of reads against a budget: each *distinct* file read consumes
+//! one unit, and once the budget is exhausted further new files are
+//! denied. Re-reading an already-charged file is free — the information
+//! was already released.
+//!
+//! For the formal machinery, [`two_query_program`] and
+//! [`TwoQueryPolicy`] encode a two-query session as an ordinary program
+//! and policy, so soundness is checkable with the standard tooling: the
+//! policy view reveals file `q1` always, and file `q2` only when it does
+//! not exceed the budget.
+
+use enf_core::{MechOutput, Mechanism, Notice, Policy, Program, V};
+use std::collections::HashSet;
+
+/// A stateful query session with a distinct-file budget.
+#[derive(Clone, Debug)]
+pub struct Session {
+    files: Vec<V>,
+    budget: usize,
+    charged: HashSet<usize>,
+}
+
+impl Session {
+    /// Opens a session over the given files with a distinct-read budget.
+    pub fn new(files: Vec<V>, budget: usize) -> Self {
+        Session {
+            files,
+            budget,
+            charged: HashSet::new(),
+        }
+    }
+
+    /// Reads file `i` (1-based) if the history permits it.
+    pub fn read(&mut self, i: usize) -> Result<V, Notice> {
+        if i == 0 || i > self.files.len() {
+            return Err(Notice::new(310, "no such file"));
+        }
+        if self.charged.contains(&i) {
+            return Ok(self.files[i - 1]);
+        }
+        if self.charged.len() >= self.budget {
+            return Err(Notice::new(311, "query budget exhausted"));
+        }
+        self.charged.insert(i);
+        Ok(self.files[i - 1])
+    }
+
+    /// Distinct files charged so far.
+    pub fn used(&self) -> usize {
+        self.charged.len()
+    }
+}
+
+/// A two-query session as a program: inputs `(f1, …, fk, q1, q2)`, output
+/// `(r1, r2)` encoded as `r1 * B + r2` with sentinel `B - 1` for "denied"
+/// (contents are assumed in `0..B-2`).
+pub fn two_query_program(k: usize, budget: usize, base: V) -> impl Program<Out = V> + Clone {
+    TwoQueryProgram { k, budget, base }
+}
+
+#[derive(Clone, Debug)]
+struct TwoQueryProgram {
+    k: usize,
+    budget: usize,
+    base: V,
+}
+
+impl TwoQueryProgram {
+    fn answers(&self, input: &[V]) -> (V, V) {
+        let (files, queries) = split_queries(input, self.k);
+        let mut session = Session::new(files.to_vec(), self.budget);
+        let denied = self.base - 1;
+        let r1 = usize::try_from(queries[0])
+            .ok()
+            .and_then(|q| session.read(q).ok())
+            .unwrap_or(denied);
+        let r2 = usize::try_from(queries[1])
+            .ok()
+            .and_then(|q| session.read(q).ok())
+            .unwrap_or(denied);
+        (r1, r2)
+    }
+}
+
+fn split_queries(input: &[V], k: usize) -> (&[V], &[V]) {
+    assert_eq!(input.len(), k + 2, "expected k files plus two queries");
+    input.split_at(k)
+}
+
+impl Program for TwoQueryProgram {
+    type Out = V;
+
+    fn arity(&self) -> usize {
+        self.k + 2
+    }
+
+    fn eval(&self, input: &[V]) -> V {
+        let (r1, r2) = self.answers(input);
+        r1 * self.base + r2
+    }
+}
+
+/// The history-dependent policy matching [`two_query_program`]: queries are
+/// public; the first queried file is released; the second is released only
+/// within budget (and re-queries of the same file are free).
+#[derive(Clone, Debug)]
+pub struct TwoQueryPolicy {
+    k: usize,
+    budget: usize,
+}
+
+impl TwoQueryPolicy {
+    /// Policy over `k` files and a distinct-read budget.
+    pub fn new(k: usize, budget: usize) -> Self {
+        TwoQueryPolicy { k, budget }
+    }
+}
+
+impl Policy for TwoQueryPolicy {
+    type View = (Vec<V>, Option<V>, Option<V>);
+
+    fn arity(&self) -> usize {
+        self.k + 2
+    }
+
+    fn filter(&self, input: &[V]) -> Self::View {
+        let (files, queries) = split_queries(input, self.k);
+        let q1 = usize::try_from(queries[0])
+            .ok()
+            .filter(|q| *q >= 1 && *q <= self.k);
+        let q2 = usize::try_from(queries[1])
+            .ok()
+            .filter(|q| *q >= 1 && *q <= self.k);
+        let mut released: Vec<Option<V>> = vec![None, None];
+        let mut charged: HashSet<usize> = HashSet::new();
+        for (slot, q) in [q1, q2].into_iter().enumerate() {
+            if let Some(q) = q {
+                if charged.contains(&q) || charged.len() < self.budget {
+                    charged.insert(q);
+                    released[slot] = Some(files[q - 1]);
+                }
+            }
+        }
+        (queries.to_vec(), released[0], released[1])
+    }
+}
+
+/// The session, packaged as a mechanism for the two-query program.
+#[derive(Clone, Debug)]
+pub struct SessionMechanism {
+    k: usize,
+    budget: usize,
+    base: V,
+}
+
+impl SessionMechanism {
+    /// Mechanism over `k` files with the given budget and encoding base.
+    pub fn new(k: usize, budget: usize, base: V) -> Self {
+        SessionMechanism { k, budget, base }
+    }
+}
+
+impl Mechanism for SessionMechanism {
+    type Out = V;
+
+    fn arity(&self) -> usize {
+        self.k + 2
+    }
+
+    fn run(&self, input: &[V]) -> MechOutput<V> {
+        let p = TwoQueryProgram {
+            k: self.k,
+            budget: self.budget,
+            base: self.base,
+        };
+        MechOutput::Value(p.eval(input))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enf_core::{check_soundness, Grid};
+
+    #[test]
+    fn session_charges_distinct_files_once() {
+        let mut s = Session::new(vec![10, 20, 30], 2);
+        assert_eq!(s.read(1), Ok(10));
+        assert_eq!(s.read(1), Ok(10), "re-read is free");
+        assert_eq!(s.used(), 1);
+        assert_eq!(s.read(2), Ok(20));
+        assert!(s.read(3).is_err(), "budget exhausted");
+        assert_eq!(s.read(2), Ok(20), "charged file still readable");
+    }
+
+    #[test]
+    fn session_rejects_bad_indices() {
+        let mut s = Session::new(vec![1], 1);
+        assert!(s.read(0).is_err());
+        assert!(s.read(5).is_err());
+        assert_eq!(s.used(), 0, "failed reads consume no budget");
+    }
+
+    #[test]
+    fn two_query_program_encodes_both_answers() {
+        let p = two_query_program(2, 1, 10);
+        // Files (3, 4); read file 1 twice: both succeed (re-read free).
+        assert_eq!(p.eval(&[3, 4, 1, 1]), 3 * 10 + 3);
+        // Read 1 then 2: second denied (budget 1) → sentinel 9.
+        assert_eq!(p.eval(&[3, 4, 1, 2]), 3 * 10 + 9);
+    }
+
+    #[test]
+    fn session_mechanism_sound_for_history_policy() {
+        let k = 2;
+        let m = SessionMechanism::new(k, 1, 10);
+        let policy = TwoQueryPolicy::new(k, 1);
+        // Files in 0..=2, queries in 0..=2 (0 = invalid).
+        let g = Grid::new(vec![0..=2, 0..=2, 0..=2, 0..=2]);
+        assert!(check_soundness(&m, &policy, &g, false).is_sound());
+    }
+
+    #[test]
+    fn budget_two_mechanism_unsound_for_budget_one_policy() {
+        // A server that answers two distinct queries violates the
+        // one-distinct-file policy: the second answer leaks.
+        let k = 2;
+        let m = SessionMechanism::new(k, 2, 10);
+        let policy = TwoQueryPolicy::new(k, 1);
+        let g = Grid::new(vec![0..=2, 0..=2, 0..=2, 0..=2]);
+        assert!(!check_soundness(&m, &policy, &g, false).is_sound());
+    }
+
+    #[test]
+    fn policy_view_is_history_sensitive() {
+        let p = TwoQueryPolicy::new(2, 1);
+        // Same second query, different histories → different visibility.
+        let fresh = p.filter(&[5, 7, 2, 2]); // q1=2 charges file 2
+        let spent = p.filter(&[5, 7, 1, 2]); // q1=1 spends the budget
+        assert_eq!(fresh.2, Some(7));
+        assert_eq!(spent.2, None);
+    }
+}

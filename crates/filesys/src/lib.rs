@@ -1,0 +1,41 @@
+//! The file-system substrate of the paper's Example 2.
+//!
+//! "Q: D1 × … × Dk × F1 × … × Fk → E. Here Di is the set of possible
+//! values for the ith *directory*; Fi is the set of values for the ith
+//! *file* … the ith directory will contain information about who can
+//! access the ith file."
+//!
+//! The input tuple of every program here is `(d1, …, dk, f1, …, fk)`:
+//! directory `di` is 1 ("YES") when file `i` may be read, 0 otherwise;
+//! `fi` is the file's content. The crate provides:
+//!
+//! * [`query`] — file-reading programs (single read, permitted-sum);
+//! * [`policy`] — the paper's content-dependent policy
+//!   `I(d, f) = (d, f′)` with `f′i = fi` if `di = YES` and `0` otherwise
+//!   ("the user can always obtain the value of all the directories");
+//! * [`mechanism`] — a sound reference monitor, and the Example 4 pitfall:
+//!   a monitor whose violation notices leak file contents, which the
+//!   soundness checker duly rejects;
+//! * [`history`] — history-dependent policies ("what a user is permitted
+//!   to view is dependent upon a history of the user's previous queries");
+//! * [`access`] — Example 6: access control vs information control, with
+//!   a capability-mediated kernel whose COPY-then-READ laundering sequence
+//!   the soundness checker convicts.
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod history;
+pub mod mechanism;
+pub mod policy;
+pub mod query;
+
+pub use access::{CapList, Op, ScriptedSession};
+pub use mechanism::{LeakyMonitor, ReferenceMonitor};
+pub use policy::GatedFilePolicy;
+pub use query::{read_program, sum_permitted_program};
+
+/// Directory value meaning "may read".
+pub const YES: i64 = 1;
+/// Directory value meaning "may not read".
+pub const NO: i64 = 0;

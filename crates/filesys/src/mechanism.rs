@@ -1,0 +1,194 @@
+//! Reference monitors for the file system — sound and (deliberately)
+//! unsound.
+//!
+//! [`ReferenceMonitor`] performs the check the policy demands and emits a
+//! fixed notice: sound. [`LeakyMonitor`] reproduces Example 4 — "Denning
+//! and Rotenberg both present examples of protection mechanisms that leak
+//! information via their violation notices … their examples simply
+//! demonstrate unsound protection mechanisms" — by baking information
+//! about the *denied file's content* into the notice.
+
+use crate::query::split;
+use crate::YES;
+use enf_core::{MechOutput, Mechanism, Notice, V};
+
+/// The sound reference monitor for reading file `target`: consult the
+/// directory, release the content or a fixed notice.
+#[derive(Clone, Debug)]
+pub struct ReferenceMonitor {
+    k: usize,
+    target: usize,
+}
+
+impl ReferenceMonitor {
+    /// Notice code for denied reads.
+    pub const DENIED_CODE: u32 = 300;
+
+    /// Monitor for reading file `target` of `k`.
+    pub fn new(k: usize, target: usize) -> Self {
+        assert!(target >= 1 && target <= k, "target file out of range");
+        ReferenceMonitor { k, target }
+    }
+}
+
+impl Mechanism for ReferenceMonitor {
+    type Out = V;
+
+    fn arity(&self) -> usize {
+        2 * self.k
+    }
+
+    fn run(&self, input: &[V]) -> MechOutput<V> {
+        let (dirs, files) = split(input, self.k);
+        if dirs[self.target - 1] == YES {
+            MechOutput::Value(files[self.target - 1])
+        } else {
+            MechOutput::Violation(Notice::new(
+                Self::DENIED_CODE,
+                "Illegal access attempted, run aborted.",
+            ))
+        }
+    }
+}
+
+/// The Example 4 pitfall: a monitor that *does* deny the read but whose
+/// notice text depends on the denied content ("helpfully" reporting
+/// whether the file was empty).
+#[derive(Clone, Debug)]
+pub struct LeakyMonitor {
+    k: usize,
+    target: usize,
+}
+
+impl LeakyMonitor {
+    /// Monitor for reading file `target` of `k`.
+    pub fn new(k: usize, target: usize) -> Self {
+        assert!(target >= 1 && target <= k, "target file out of range");
+        LeakyMonitor { k, target }
+    }
+}
+
+impl Mechanism for LeakyMonitor {
+    type Out = V;
+
+    fn arity(&self) -> usize {
+        2 * self.k
+    }
+
+    fn run(&self, input: &[V]) -> MechOutput<V> {
+        let (dirs, files) = split(input, self.k);
+        let content = files[self.target - 1];
+        if dirs[self.target - 1] == YES {
+            MechOutput::Value(content)
+        } else if content == 0 {
+            MechOutput::Violation(Notice::new(301, "denied (file was empty anyway)"))
+        } else {
+            MechOutput::Violation(Notice::new(302, "denied (file has contents)"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{small_domain, GatedFilePolicy};
+    use crate::query::read_program;
+    use enf_core::{check_protection, check_soundness, SoundnessReport};
+
+    #[test]
+    fn monitor_releases_permitted_reads() {
+        let m = ReferenceMonitor::new(2, 1);
+        assert_eq!(m.run(&[1, 0, 42, 9]), MechOutput::Value(42));
+    }
+
+    #[test]
+    fn monitor_denies_with_fixed_notice() {
+        let m = ReferenceMonitor::new(2, 1);
+        match m.run(&[0, 1, 42, 9]) {
+            MechOutput::Violation(n) => {
+                assert_eq!(n.code(), ReferenceMonitor::DENIED_CODE);
+                assert_eq!(n.message(), "Illegal access attempted, run aborted.");
+            }
+            MechOutput::Value(_) => panic!("denied read released"),
+        }
+    }
+
+    #[test]
+    fn monitor_is_a_protection_mechanism_for_read() {
+        let k = 2;
+        let m = ReferenceMonitor::new(k, 2);
+        let q = read_program(k, 2);
+        let g = small_domain(k, 3);
+        assert!(check_protection(&m, &q, &g).is_ok());
+    }
+
+    #[test]
+    fn monitor_is_sound_for_the_gated_policy() {
+        let k = 2;
+        let m = ReferenceMonitor::new(k, 1);
+        let p = GatedFilePolicy::new(k);
+        let g = small_domain(k, 3);
+        assert!(check_soundness(&m, &p, &g, false).is_sound());
+    }
+
+    #[test]
+    fn example_4_leaky_notices_are_unsound() {
+        let k = 1;
+        let m = LeakyMonitor::new(k, 1);
+        let p = GatedFilePolicy::new(k);
+        let g = small_domain(k, 3);
+        match check_soundness(&m, &p, &g, false) {
+            SoundnessReport::Unsound(w) => {
+                // The witness pair differs only in the *denied* content.
+                assert_eq!(w.a[0], 0, "directory must say NO");
+                assert_ne!(w.out_a, w.out_b);
+            }
+            SoundnessReport::Sound { .. } => panic!("leaky monitor declared sound"),
+        }
+    }
+
+    #[test]
+    fn leaky_monitor_passes_if_notices_are_collapsed() {
+        // The danger the paper warns about: treating all notices as equal
+        // *assumes* the single-notice discipline instead of checking it.
+        let k = 1;
+        let m = LeakyMonitor::new(k, 1);
+        let p = GatedFilePolicy::new(k);
+        let g = small_domain(k, 3);
+        assert!(check_soundness(&m, &p, &g, true).is_sound());
+    }
+
+    #[test]
+    fn open_monitor_is_unsound() {
+        // A monitor ignoring directories reveals denied contents outright.
+        let k = 1;
+        let m = enf_core::FnMechanism::new(2, |a: &[V]| MechOutput::Value(a[1]));
+        let p = GatedFilePolicy::new(k);
+        let g = small_domain(k, 3);
+        assert!(!check_soundness(&m, &p, &g, false).is_sound());
+    }
+
+    #[test]
+    fn sum_permitted_is_sound_as_its_own_mechanism() {
+        // The aggregate that respects directories factors through the
+        // policy view, so Identity(Q) is sound — Example 3's "a program as
+        // its own protection mechanism may or may not be sound", the good
+        // case.
+        let k = 2;
+        let q = crate::query::sum_permitted_program(k);
+        let m = enf_core::Identity::new(q);
+        let p = GatedFilePolicy::new(k);
+        let g = small_domain(k, 2);
+        assert!(check_soundness(&m, &p, &g, false).is_sound());
+    }
+
+    #[test]
+    fn count_above_is_unsound_as_its_own_mechanism() {
+        let k = 2;
+        let q = crate::query::count_above_program(k, 1);
+        let m = enf_core::Identity::new(q);
+        let p = GatedFilePolicy::new(k);
+        let g = small_domain(k, 2);
+        assert!(!check_soundness(&m, &p, &g, false).is_sound());
+    }
+}

@@ -1,0 +1,101 @@
+//! The Example 2 content-dependent policy.
+//!
+//! "An interesting file system security policy is
+//! `I(d1, …, dk, f1, …, fk) = (d1, …, dk, f1′, …, fk′)` where `fi′` is `fi`
+//! if `di = "YES"` and is 0 otherwise. … Note also that this security
+//! policy is not of the form allow(…)." The filtered view always contains
+//! every directory — permissions themselves are public — but a denied
+//! file's content is replaced by 0.
+
+use crate::{NO, YES};
+use enf_core::{Policy, V};
+
+/// The content-dependent policy of Example 2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GatedFilePolicy {
+    k: usize,
+}
+
+impl GatedFilePolicy {
+    /// Policy over `k` directory/file pairs (input arity `2k`).
+    pub fn new(k: usize) -> Self {
+        GatedFilePolicy { k }
+    }
+
+    /// Number of files.
+    pub fn files(&self) -> usize {
+        self.k
+    }
+}
+
+impl Policy for GatedFilePolicy {
+    type View = Vec<V>;
+
+    fn arity(&self) -> usize {
+        2 * self.k
+    }
+
+    fn filter(&self, input: &[V]) -> Vec<V> {
+        let (dirs, files) = crate::query::split(input, self.k);
+        let mut view: Vec<V> = dirs.to_vec();
+        view.extend(
+            dirs.iter()
+                .zip(files)
+                .map(|(d, f)| if *d == YES { *f } else { 0 }),
+        );
+        view
+    }
+}
+
+/// Enumerates all Example-2 inputs with directory values in {NO, YES} and
+/// file contents in `0..=max_content`.
+pub fn small_domain(k: usize, max_content: V) -> enf_core::Grid {
+    let mut ranges = vec![NO..=YES; k];
+    ranges.extend(std::iter::repeat(0..=max_content).take(k));
+    enf_core::Grid::new(ranges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directories_always_visible() {
+        let p = GatedFilePolicy::new(2);
+        let v = p.filter(&[1, 0, 42, 99]);
+        assert_eq!(&v[..2], &[1, 0]);
+    }
+
+    #[test]
+    fn permitted_file_passes_denied_is_zeroed() {
+        let p = GatedFilePolicy::new(2);
+        assert_eq!(p.filter(&[1, 0, 42, 99]), vec![1, 0, 42, 0]);
+        assert_eq!(p.filter(&[0, 1, 42, 99]), vec![0, 1, 0, 99]);
+    }
+
+    #[test]
+    fn denied_contents_are_indistinguishable() {
+        let p = GatedFilePolicy::new(1);
+        assert_eq!(p.filter(&[0, 5]), p.filter(&[0, 500]));
+        assert_ne!(p.filter(&[1, 5]), p.filter(&[1, 500]));
+    }
+
+    #[test]
+    fn not_an_allow_policy() {
+        // allow(J) views are coordinate projections; this view depends on
+        // d1 *and* f1 jointly. Witness: changing d1 changes how f1 shows.
+        let p = GatedFilePolicy::new(1);
+        let a = p.filter(&[1, 7]);
+        let b = p.filter(&[0, 7]);
+        assert_ne!(a[1], b[1]);
+    }
+
+    #[test]
+    fn small_domain_has_expected_size() {
+        let g = small_domain(2, 2);
+        use enf_core::InputDomain;
+        // 2 dirs × 2 values each, 2 files × 3 values each.
+        assert_eq!(g.len(), 2 * 2 * 3 * 3);
+        assert_eq!(g.arity(), 4);
+    }
+}

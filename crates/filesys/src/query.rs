@@ -1,0 +1,89 @@
+//! File-manipulation programs over `(d1, …, dk, f1, …, fk)` inputs.
+
+use enf_core::{FnProgram, V};
+
+/// Splits an Example-2 input tuple into directories and files.
+///
+/// # Panics
+///
+/// Panics if the tuple length is not `2k`.
+pub fn split(input: &[V], k: usize) -> (&[V], &[V]) {
+    assert_eq!(input.len(), 2 * k, "expected 2k = {} inputs", 2 * k);
+    input.split_at(k)
+}
+
+/// The program `Q(d, f) = f_target` — read one file, ignoring directories.
+///
+/// On its own this is no mechanism at all; it is the thing the reference
+/// monitor protects.
+pub fn read_program(k: usize, target: usize) -> FnProgram<V> {
+    assert!(target >= 1 && target <= k, "target file out of range");
+    FnProgram::new(2 * k, move |input: &[V]| {
+        let (_dirs, files) = split(input, k);
+        files[target - 1]
+    })
+}
+
+/// The program summing every *permitted* file — a benign aggregate that
+/// respects directories by construction.
+pub fn sum_permitted_program(k: usize) -> FnProgram<V> {
+    FnProgram::new(2 * k, move |input: &[V]| {
+        let (dirs, files) = split(input, k);
+        dirs.iter()
+            .zip(files)
+            .filter(|(d, _)| **d == crate::YES)
+            .map(|(_, f)| *f)
+            .sum()
+    })
+}
+
+/// The program counting files whose content exceeds a threshold,
+/// regardless of permission — an aggregate that *leaks* denied contents
+/// (inference-attack shaped).
+pub fn count_above_program(k: usize, threshold: V) -> FnProgram<V> {
+    FnProgram::new(2 * k, move |input: &[V]| {
+        let (_dirs, files) = split(input, k);
+        files.iter().filter(|f| **f > threshold).count() as V
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enf_core::Program as _;
+
+    #[test]
+    fn read_returns_target_content() {
+        let q = read_program(2, 2);
+        // (d1, d2, f1, f2)
+        assert_eq!(q.eval(&[1, 0, 10, 20]), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "target file out of range")]
+    fn read_target_checked() {
+        read_program(2, 3);
+    }
+
+    #[test]
+    fn sum_permitted_respects_directories() {
+        let q = sum_permitted_program(3);
+        // Files 1 and 3 permitted.
+        assert_eq!(q.eval(&[1, 0, 1, 5, 100, 7]), 12);
+        // Nothing permitted.
+        assert_eq!(q.eval(&[0, 0, 0, 5, 100, 7]), 0);
+    }
+
+    #[test]
+    fn count_above_ignores_permissions() {
+        let q = count_above_program(2, 10);
+        assert_eq!(q.eval(&[0, 0, 11, 5]), 1);
+        assert_eq!(q.eval(&[0, 0, 11, 50]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2k")]
+    fn split_checks_length() {
+        split(&[1, 2, 3], 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests of the file-system substrate.
+
+use enf_core::{check_protection, check_soundness, Grid, InputDomain, Mechanism, Policy};
+use enf_filesys::history::{SessionMechanism, TwoQueryPolicy};
+use enf_filesys::policy::{small_domain, GatedFilePolicy};
+use enf_filesys::query::read_program;
+use enf_filesys::{LeakyMonitor, ReferenceMonitor, YES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The reference monitor is sound and protective for every store size
+    /// and target.
+    #[test]
+    fn monitor_sound_for_all_shapes(k in 1usize..=3, target_off in 0usize..3, max in 1i64..=3) {
+        let target = target_off % k + 1;
+        let m = ReferenceMonitor::new(k, target);
+        let q = read_program(k, target);
+        let p = GatedFilePolicy::new(k);
+        let g = small_domain(k, max);
+        prop_assert!(check_soundness(&m, &p, &g, false).is_sound());
+        prop_assert!(check_protection(&m, &q, &g).is_ok());
+    }
+
+    /// The leaky monitor is unsound for every shape with at least two
+    /// distinguishable contents.
+    #[test]
+    fn leaky_monitor_always_caught(k in 1usize..=3, target_off in 0usize..3) {
+        let target = target_off % k + 1;
+        let m = LeakyMonitor::new(k, target);
+        let p = GatedFilePolicy::new(k);
+        let g = small_domain(k, 2);
+        prop_assert!(!check_soundness(&m, &p, &g, false).is_sound());
+    }
+
+    /// The monitor releases exactly the directory-permitted reads.
+    #[test]
+    fn monitor_acceptance_matches_directory(k in 1usize..=3, target_off in 0usize..3, max in 1i64..=3) {
+        let target = target_off % k + 1;
+        let m = ReferenceMonitor::new(k, target);
+        let g = small_domain(k, max);
+        for a in g.iter_inputs() {
+            let permitted = a[target - 1] == YES;
+            prop_assert_eq!(m.run(&a).is_value(), permitted, "at {:?}", a);
+        }
+    }
+
+    /// A session mechanism with budget b is sound for the budget-b policy
+    /// and unsound for any strictly smaller budget (when it can matter).
+    #[test]
+    fn session_budget_soundness(k in 2usize..=3, budget in 1usize..=2) {
+        let base = 10;
+        let m = SessionMechanism::new(k, budget, base);
+        let mut ranges = vec![0..=2i64; k];
+        ranges.extend(std::iter::repeat(0..=k as i64).take(2));
+        let g = Grid::new(ranges);
+        let matching = TwoQueryPolicy::new(k, budget);
+        prop_assert!(check_soundness(&m, &matching, &g, false).is_sound());
+        if budget >= 1 {
+            let stricter = TwoQueryPolicy::new(k, budget - 1);
+            prop_assert!(!check_soundness(&m, &stricter, &g, false).is_sound());
+        }
+    }
+
+    /// The gated policy's view determines exactly the permitted contents:
+    /// two worlds with equal views differ only in denied files.
+    #[test]
+    fn gated_view_equality_characterization(k in 1usize..=3, max in 1i64..=2) {
+        let p = GatedFilePolicy::new(k);
+        let g = small_domain(k, max);
+        let all: Vec<Vec<i64>> = g.iter_inputs().collect();
+        for a in all.iter().take(40) {
+            for b in all.iter().take(40) {
+                let same_view = p.filter(a) == p.filter(b);
+                let expected = a[..k] == b[..k]
+                    && (0..k).all(|i| a[i] != YES || a[k + i] == b[k + i]);
+                prop_assert_eq!(same_view, expected, "a = {:?}, b = {:?}", a, b);
+            }
+        }
+    }
+}

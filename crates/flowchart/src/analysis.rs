@@ -1,0 +1,277 @@
+//! Graph analyses over flowcharts: reachability, predecessors,
+//! postdominators.
+//!
+//! Postdominators give the precise scope of *implicit* information flow:
+//! the influence of a decision box on the program counter ends at the
+//! decision's immediate postdominator (where both arms have rejoined).
+//! `enf-static` uses this to scope PC taint during certification —
+//! the same idea Denning & Denning apply to block-structured programs,
+//! generalized to arbitrary flowchart graphs.
+
+use crate::graph::{Flowchart, NodeId, Succ};
+use std::collections::HashSet;
+
+/// The set of nodes reachable from START.
+pub fn reachable(fc: &Flowchart) -> HashSet<NodeId> {
+    let mut seen = HashSet::new();
+    if fc.is_empty() {
+        return seen;
+    }
+    let mut stack = vec![fc.start()];
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        for s in fc.succ_list(n) {
+            stack.push(s);
+        }
+    }
+    seen
+}
+
+/// Predecessor lists for every node.
+pub fn predecessors(fc: &Flowchart) -> Vec<Vec<NodeId>> {
+    let mut preds = vec![Vec::new(); fc.len()];
+    for (id, _, _) in fc.iter() {
+        for s in fc.succ_list(id) {
+            preds[s.0].push(id);
+        }
+    }
+    preds
+}
+
+/// Postdominator sets computed against a virtual exit node.
+///
+/// Every HALT node is connected to a virtual exit, so programs with several
+/// HALT boxes are handled uniformly. Nodes from which no HALT is reachable
+/// (pure loops) postdominate nothing and are postdominated by everything,
+/// per the standard dataflow convention; the interpreter never lets such
+/// paths produce output, so the conservative answer is safe.
+#[derive(Clone, Debug)]
+pub struct PostDominators {
+    /// `sets[n]` = nodes that postdominate `n` (excluding the virtual
+    /// exit, including `n` itself).
+    sets: Vec<HashSet<usize>>,
+}
+
+impl PostDominators {
+    /// Computes postdominators by iterating the standard backward dataflow
+    /// equations to a fixed point.
+    pub fn compute(fc: &Flowchart) -> Self {
+        let n = fc.len();
+        let all: HashSet<usize> = (0..n).collect();
+        let mut sets: Vec<HashSet<usize>> = vec![all.clone(); n];
+        // HALT nodes: postdominated by themselves only.
+        for h in fc.halts() {
+            sets[h.0] = HashSet::from([h.0]);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Iterate in reverse id order — roughly reverse topological for
+            // graphs produced by the lowering, speeding convergence.
+            for id in (0..n).rev() {
+                if matches!(fc.node(NodeId(id)), crate::graph::Node::Halt) {
+                    continue;
+                }
+                let succs = fc.succ_list(NodeId(id));
+                if succs.is_empty() {
+                    continue;
+                }
+                let mut inter: Option<HashSet<usize>> = None;
+                for s in &succs {
+                    inter = Some(match inter {
+                        None => sets[s.0].clone(),
+                        Some(acc) => acc.intersection(&sets[s.0]).copied().collect(),
+                    });
+                }
+                let mut new = inter.unwrap_or_default();
+                new.insert(id);
+                if new != sets[id] {
+                    sets[id] = new;
+                    changed = true;
+                }
+            }
+        }
+        PostDominators { sets }
+    }
+
+    /// Whether `a` postdominates `b`.
+    pub fn postdominates(&self, a: NodeId, b: NodeId) -> bool {
+        self.sets[b.0].contains(&a.0)
+    }
+
+    /// The immediate postdominator of `n`: the strict postdominator that is
+    /// postdominated by every other strict postdominator of `n`.
+    ///
+    /// Returns `None` for HALT nodes and for nodes whose only postdominator
+    /// is themselves (no path to HALT).
+    pub fn immediate(&self, n: NodeId) -> Option<NodeId> {
+        let strict: Vec<usize> = self.sets[n.0]
+            .iter()
+            .copied()
+            .filter(|&d| d != n.0)
+            .collect();
+        strict
+            .iter()
+            .copied()
+            .find(|&c| strict.iter().all(|&d| self.sets[c].contains(&d)))
+            .map(NodeId)
+    }
+
+    /// The full postdominator set of `n` (including `n`).
+    pub fn set(&self, n: NodeId) -> &HashSet<usize> {
+        &self.sets[n.0]
+    }
+}
+
+/// Input indices syntactically mentioned anywhere in the flowchart.
+pub fn inputs_mentioned(fc: &Flowchart) -> enf_core::IndexSet {
+    let mut set = enf_core::IndexSet::empty();
+    for (_, node, _) in fc.iter() {
+        let vars = match node {
+            crate::graph::Node::Assign { var, expr } => {
+                let mut v = expr.vars();
+                v.push(*var);
+                v
+            }
+            crate::graph::Node::Decision { pred } => pred.vars(),
+            _ => Vec::new(),
+        };
+        for v in vars {
+            if let crate::ast::Var::Input(i) = v {
+                set.insert(i);
+            }
+        }
+    }
+    set
+}
+
+/// Whether the graph is connected in the paper's sense: every node is
+/// reachable from START (ignoring edge direction is not needed for graphs
+/// built by our constructors).
+pub fn fully_reachable(fc: &Flowchart) -> bool {
+    reachable(fc).len() == fc.len()
+}
+
+/// Decision nodes paired with their immediate postdominators.
+///
+/// This is the "junction map" used by the static analysis to know where a
+/// branch's implicit flow ends. Decisions with no immediate postdominator
+/// (no rejoin before HALT) keep their influence until the end.
+pub fn junctions(fc: &Flowchart) -> Vec<(NodeId, Option<NodeId>)> {
+    let pd = PostDominators::compute(fc);
+    fc.iter()
+        .filter(|(_, n, _)| matches!(n, crate::graph::Node::Decision { .. }))
+        .map(|(id, _, _)| (id, pd.immediate(id)))
+        .collect()
+}
+
+/// Successor kind helper: true/false targets of a decision.
+pub fn decision_targets(fc: &Flowchart, id: NodeId) -> Option<(NodeId, NodeId)> {
+    match fc.succ(id) {
+        Succ::Cond { then_, else_ } => Some((then_, else_)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn reachable_covers_whole_lowered_graph() {
+        let fc = parse(
+            "program(2) { if x1 == 0 { y := 1; } else { y := 2; } while y > 0 { y := y - 1; } }",
+        )
+        .unwrap();
+        assert!(fully_reachable(&fc));
+    }
+
+    #[test]
+    fn predecessors_inverse_of_successors() {
+        let fc = parse("program(1) { if x1 == 0 { y := 1; } else { y := 2; } }").unwrap();
+        let preds = predecessors(&fc);
+        for (id, _, _) in fc.iter() {
+            for s in fc.succ_list(id) {
+                assert!(preds[s.0].contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn ipdom_of_if_is_join_point() {
+        // START -> D -> (A1 | A2) -> J(halt-side) ...
+        let fc =
+            parse("program(1) { if x1 == 0 { y := 1; } else { y := 2; } y := y + 1; }").unwrap();
+        let pd = PostDominators::compute(&fc);
+        // Find the decision node.
+        let d = fc
+            .iter()
+            .find(|(_, n, _)| matches!(n, crate::graph::Node::Decision { .. }))
+            .map(|(id, _, _)| id)
+            .unwrap();
+        let ipd = pd.immediate(d).expect("decision has ipdom");
+        // The ipdom must postdominate both branch targets.
+        let (t, e) = decision_targets(&fc, d).unwrap();
+        assert!(pd.postdominates(ipd, t));
+        assert!(pd.postdominates(ipd, e));
+        // And it is not either branch head.
+        assert_ne!(ipd, t);
+        assert_ne!(ipd, e);
+    }
+
+    #[test]
+    fn halt_postdominates_everything_in_straight_line() {
+        let fc = parse("program(1) { y := x1; y := y + 1; }").unwrap();
+        let pd = PostDominators::compute(&fc);
+        let halt = fc.halts()[0];
+        for (id, _, _) in fc.iter() {
+            assert!(pd.postdominates(halt, id), "halt should postdominate {id}");
+        }
+    }
+
+    #[test]
+    fn halt_has_no_immediate_postdominator() {
+        let fc = parse("program(1) { y := 1; }").unwrap();
+        let pd = PostDominators::compute(&fc);
+        assert_eq!(pd.immediate(fc.halts()[0]), None);
+    }
+
+    #[test]
+    fn while_decision_ipdom_is_exit() {
+        let fc = parse("program(1) { r1 := x1; while r1 > 0 { r1 := r1 - 1; } y := 5; }").unwrap();
+        let d = fc
+            .iter()
+            .find(|(_, n, _)| matches!(n, crate::graph::Node::Decision { .. }))
+            .map(|(id, _, _)| id)
+            .unwrap();
+        let pd = PostDominators::compute(&fc);
+        let ipd = pd.immediate(d).expect("loop header has ipdom");
+        // The ipdom is the false-branch target (the loop exit: y := 5).
+        let (_, exit) = decision_targets(&fc, d).unwrap();
+        assert_eq!(ipd, exit);
+    }
+
+    #[test]
+    fn inputs_mentioned_collects_reads_and_writes() {
+        let fc = parse("program(3) { y := x1; if x3 == 0 { y := 0; } }").unwrap();
+        let set = inputs_mentioned(&fc);
+        assert!(set.contains(1));
+        assert!(!set.contains(2));
+        assert!(set.contains(3));
+    }
+
+    #[test]
+    fn junctions_lists_every_decision() {
+        let fc =
+            parse("program(2) { if x1 == 0 { y := 1; } else { y := 2; } if x2 == 0 { y := 3; } }")
+                .unwrap();
+        let j = junctions(&fc);
+        assert_eq!(j.len(), 2);
+        for (_, ipd) in j {
+            assert!(ipd.is_some());
+        }
+    }
+}

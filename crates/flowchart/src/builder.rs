@@ -1,0 +1,206 @@
+//! Low-level graph builder for flowcharts.
+//!
+//! The structured lowering can only produce reducible graphs; the paper's
+//! definition allows arbitrary connected graphs. [`Builder`] constructs
+//! flowcharts node by node with explicit edges — used by the
+//! instrumentation in `enf-surveillance` (which splices checking boxes into
+//! an existing graph) and by tests needing irreducible shapes.
+
+use crate::ast::{Expr, Pred, Var};
+use crate::graph::{Flowchart, GraphError, Node, NodeId, Succ};
+
+/// An incremental flowchart builder.
+///
+/// # Examples
+///
+/// ```
+/// use enf_flowchart::builder::Builder;
+/// use enf_flowchart::ast::{Expr, Var};
+///
+/// let mut b = Builder::new(1);
+/// let a = b.assign(Var::Out, Expr::x(1));
+/// let h = b.halt();
+/// b.wire_start(a);
+/// b.wire(a, h);
+/// let fc = b.finish().unwrap();
+/// assert_eq!(fc.len(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Builder {
+    arity: usize,
+    nodes: Vec<Node>,
+    succs: Vec<Succ>,
+}
+
+impl Builder {
+    /// Starts a builder for a `k`-input flowchart; node 0 is START.
+    pub fn new(arity: usize) -> Self {
+        Builder {
+            arity,
+            nodes: vec![Node::Start],
+            succs: vec![Succ::One(NodeId(0))],
+        }
+    }
+
+    /// Number of nodes so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether only the START node exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Adds an assignment box `var := expr` (edges wired later).
+    pub fn assign(&mut self, var: Var, expr: Expr) -> NodeId {
+        self.push(Node::Assign { var, expr })
+    }
+
+    /// Adds a decision box on `pred` (edges wired later).
+    pub fn decision(&mut self, pred: Pred) -> NodeId {
+        self.push(Node::Decision { pred })
+    }
+
+    /// Adds a HALT box.
+    pub fn halt(&mut self) -> NodeId {
+        self.push(Node::Halt)
+    }
+
+    fn push(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        let succ = match node {
+            Node::Halt => Succ::None,
+            Node::Decision { .. } => Succ::Cond {
+                then_: id,
+                else_: id,
+            },
+            _ => Succ::One(id),
+        };
+        self.nodes.push(node);
+        self.succs.push(succ);
+        id
+    }
+
+    /// Wires START's successor.
+    pub fn wire_start(&mut self, to: NodeId) {
+        self.succs[0] = Succ::One(to);
+    }
+
+    /// Wires a single-successor node (START or assignment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is a decision or HALT box.
+    pub fn wire(&mut self, from: NodeId, to: NodeId) {
+        match self.nodes[from.0] {
+            Node::Start | Node::Assign { .. } => self.succs[from.0] = Succ::One(to),
+            _ => panic!("node {from} does not take a single successor"),
+        }
+    }
+
+    /// Wires both arms of a decision box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is not a decision box.
+    pub fn wire_cond(&mut self, from: NodeId, then_: NodeId, else_: NodeId) {
+        match self.nodes[from.0] {
+            Node::Decision { .. } => self.succs[from.0] = Succ::Cond { then_, else_ },
+            _ => panic!("node {from} is not a decision box"),
+        }
+    }
+
+    /// Validates and returns the flowchart.
+    pub fn finish(self) -> Result<Flowchart, GraphError> {
+        Flowchart::new(self.arity, self.nodes, self.succs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run, ExecConfig};
+
+    #[test]
+    fn build_and_run_diamond() {
+        let mut b = Builder::new(1);
+        let d = b.decision(Pred::eq(Expr::x(1), Expr::c(0)));
+        let a1 = b.assign(Var::Out, Expr::c(10));
+        let a2 = b.assign(Var::Out, Expr::c(20));
+        let h = b.halt();
+        b.wire_start(d);
+        b.wire_cond(d, a1, a2);
+        b.wire(a1, h);
+        b.wire(a2, h);
+        let fc = b.finish().unwrap();
+        assert_eq!(run(&fc, &[0], &ExecConfig::default()).unwrap_halted().y, 10);
+        assert_eq!(run(&fc, &[1], &ExecConfig::default()).unwrap_halted().y, 20);
+    }
+
+    #[test]
+    fn build_irreducible_graph() {
+        // Two decisions jumping into the middle of each other's "loop" —
+        // not expressible with structured if/while, fine for the builder.
+        let mut b = Builder::new(2);
+        let d1 = b.decision(Pred::eq(Expr::x(1), Expr::c(0)));
+        let d2 = b.decision(Pred::eq(Expr::x(2), Expr::c(0)));
+        let a1 = b.assign(Var::Out, crate::ast::add(Expr::y(), Expr::c(1)));
+        let a2 = b.assign(Var::Out, crate::ast::add(Expr::y(), Expr::c(5)));
+        let h = b.halt();
+        b.wire_start(d1);
+        b.wire_cond(d1, a1, a2);
+        b.wire(a1, d2);
+        b.wire_cond(d2, a2, h);
+        b.wire(a2, h);
+        let fc = b.finish().unwrap();
+        // x1=0, x2=0: a1 then a2 -> 6. x1=0, x2=1: a1 then halt -> 1.
+        assert_eq!(
+            run(&fc, &[0, 0], &ExecConfig::default()).unwrap_halted().y,
+            6
+        );
+        assert_eq!(
+            run(&fc, &[0, 1], &ExecConfig::default()).unwrap_halted().y,
+            1
+        );
+        assert_eq!(
+            run(&fc, &[1, 0], &ExecConfig::default()).unwrap_halted().y,
+            5
+        );
+    }
+
+    #[test]
+    fn unwired_decision_self_loops_and_fails_reachable_halt() {
+        let mut b = Builder::new(0);
+        let d = b.decision(Pred::True);
+        b.wire_start(d);
+        b.halt(); // never wired from anywhere on the true path
+        let err = b.finish().unwrap_err();
+        assert_eq!(err, GraphError::NoReachableHalt);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not take a single successor")]
+    fn wire_rejects_decision() {
+        let mut b = Builder::new(0);
+        let d = b.decision(Pred::True);
+        let h = b.halt();
+        b.wire(d, h);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a decision box")]
+    fn wire_cond_rejects_assignment() {
+        let mut b = Builder::new(0);
+        let a = b.assign(Var::Out, Expr::c(0));
+        let h = b.halt();
+        b.wire_cond(a, h, h);
+    }
+
+    #[test]
+    fn empty_builder_reports() {
+        let b = Builder::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,355 @@
+//! The concrete programs discussed in the paper.
+//!
+//! The journal scan loses the flowchart figures, so each program here is a
+//! reconstruction that provably exhibits the behaviour the surrounding text
+//! ascribes to it; the surveillance/high-water/maximal experiments in
+//! `enf-surveillance` and `enf-bench` assert those behaviours. Each
+//! constructor documents the paper locus it reproduces and the policy it is
+//! meant to be run under.
+
+use crate::graph::Flowchart;
+use crate::parser::parse;
+use enf_core::policy::Allow;
+
+/// A paper program bundled with the policy the paper discusses it under.
+#[derive(Clone, Debug)]
+pub struct PaperProgram {
+    /// Short identifier (e.g. `"example8"`).
+    pub name: &'static str,
+    /// Where in the paper it appears.
+    pub locus: &'static str,
+    /// The flowchart.
+    pub flowchart: Flowchart,
+    /// The security policy discussed.
+    pub policy: Allow,
+    /// The claim the experiments check.
+    pub claim: &'static str,
+}
+
+fn must(src: &str) -> Flowchart {
+    parse(src).expect("corpus program failed to parse")
+}
+
+/// Section 2's timing channel: a constant function whose *running time*
+/// depends on the input.
+///
+/// "We can, however, simply observe the running time of Q to determine
+/// whether or not x = 0." Policy `allow()`: sound as a value function,
+/// unsound once steps are observable. Inputs are naturals (the countdown
+/// loop diverges on negatives; probe with `x1 ≥ 0`).
+pub fn timing_constant() -> PaperProgram {
+    PaperProgram {
+        name: "timing_constant",
+        locus: "Section 2, observability postulate",
+        flowchart: must(
+            "program(1) {
+                r1 := x1;
+                while r1 != 0 { r1 := r1 - 1; }
+                y := 1;
+            }",
+        ),
+        policy: Allow::none(1),
+        claim: "sound for allow() when time is unobservable; unsound when observable",
+    }
+}
+
+/// Section 4's surveillance-vs-high-water program.
+///
+/// "Mh always outputs Λ; on the other hand, Ms outputs Λ only when x2 ≠ 0.
+/// Intuitively, surveillance is better here, since it allows 'forgetting'
+/// while high-water mark does not." Policy `allow(2)`.
+pub fn forgetting() -> PaperProgram {
+    PaperProgram {
+        name: "forgetting",
+        locus: "Section 4, M_s vs M_h comparison",
+        flowchart: must(
+            "program(2) {
+                y := x1;
+                if x2 == 0 { y := 0; }
+            }",
+        ),
+        policy: Allow::new(2, [2]),
+        claim: "M_h always violates; M_s accepts exactly when x2 == 0",
+    }
+}
+
+/// Section 4's non-maximality program: branch on the denied input, but both
+/// arms assign the same allowed value.
+///
+/// "Once the branch on x1 is taken, the surveillance mechanism is unable to
+/// detect that the assignment of y is independent of x1. Consider, however,
+/// the protection mechanism Mmax = Q. … the surveillance protection
+/// mechanism is not maximal." Policy `allow(2)`.
+pub fn nonmaximal() -> PaperProgram {
+    PaperProgram {
+        name: "nonmaximal",
+        locus: "Section 4, surveillance is not maximal",
+        flowchart: must(
+            "program(2) {
+                if x1 == 0 { y := x2; } else { y := x2; }
+            }",
+        ),
+        policy: Allow::new(2, [2]),
+        claim: "M_s always violates; Q itself is sound, so M_s is not maximal",
+    }
+}
+
+/// Example 7's program Q: an if-then-else on the denied input computing a
+/// register the output never uses.
+///
+/// The paper transforms the conditional into a data-flow selection
+/// ("functionally equivalent to r := f(x1)"); see [`example7_transformed`].
+/// Policy `allow(2)`.
+pub fn example7() -> PaperProgram {
+    PaperProgram {
+        name: "example7",
+        locus: "Section 4, Example 7",
+        flowchart: must(
+            "program(2) {
+                if x1 == 1 { r1 := 1; } else { r1 := 2; }
+                y := 1;
+            }",
+        ),
+        policy: Allow::new(2, [2]),
+        claim: "M_s always violates (PC taint persists); the transformed program's M_s is maximal",
+    }
+}
+
+/// Example 7's transformed program Q′: the branch becomes `ite`, freeing
+/// the program counter of the denied test.
+///
+/// "Now the surveillance protection mechanism for Q′ and I = allow(2)
+/// always gives the output 1; clearly it is maximal."
+pub fn example7_transformed() -> PaperProgram {
+    PaperProgram {
+        name: "example7_transformed",
+        locus: "Section 4, Example 7 (after if-then-else transform)",
+        flowchart: must(
+            "program(2) {
+                r1 := ite(x1 == 1, 1, 2);
+                y := 1;
+            }",
+        ),
+        policy: Allow::new(2, [2]),
+        claim: "M_s always accepts with output 1 — maximal",
+    }
+}
+
+/// Example 8's program Q: the same transform *hurts* here.
+///
+/// "M outputs 1 provided x2 = 1; hence, M > M′. The danger is that since
+/// one does not know which branch is to be taken one must assume the worst
+/// case." Policy `allow(2)`.
+pub fn example8() -> PaperProgram {
+    PaperProgram {
+        name: "example8",
+        locus: "Section 4, Example 8",
+        flowchart: must(
+            "program(2) {
+                if x2 == 1 { y := 1; } else { y := x1; }
+            }",
+        ),
+        policy: Allow::new(2, [2]),
+        claim: "M_s accepts iff x2 == 1; after the transform the mechanism always violates",
+    }
+}
+
+/// Example 8 after the if-then-else transform: `y` is tainted by both arms
+/// on every run.
+pub fn example8_transformed() -> PaperProgram {
+    PaperProgram {
+        name: "example8_transformed",
+        locus: "Section 4, Example 8 (after if-then-else transform)",
+        flowchart: must(
+            "program(2) {
+                y := ite(x2 == 1, 1, x1);
+            }",
+        ),
+        policy: Allow::new(2, [2]),
+        claim: "always violates — strictly less complete than the untransformed M_s",
+    }
+}
+
+/// Example 9's program Q: a conditional assigns a register, a common
+/// trailing assignment publishes it. Policy `allow(1)`.
+///
+/// A path-insensitive *static* analysis must reject this program outright
+/// (the register may carry x2); duplicating the trailing assignment into
+/// the branches ([`example9_duplicated`]) lets the compile-time mechanism
+/// reject only the offending path: "the protection mechanism need only
+/// give a violation notice in case x1 ≠ 0".
+pub fn example9() -> PaperProgram {
+    PaperProgram {
+        name: "example9",
+        locus: "Section 5, Example 9",
+        flowchart: must(
+            "program(2) {
+                if x1 == 0 { r1 := 1; } else { r1 := x2; }
+                y := r1;
+            }",
+        ),
+        policy: Allow::new(2, [1]),
+        claim: "static certification rejects wholesale; after duplication it rejects only x1 != 0",
+    }
+}
+
+/// Example 9 with the trailing assignment duplicated into both branches.
+pub fn example9_duplicated() -> PaperProgram {
+    PaperProgram {
+        name: "example9_duplicated",
+        locus: "Section 5, Example 9 (after duplication transform)",
+        flowchart: must(
+            "program(2) {
+                if x1 == 0 { r1 := 1; y := r1; } else { r1 := x2; y := r1; }
+            }",
+        ),
+        policy: Allow::new(2, [1]),
+        claim: "per-path static analysis certifies the x1 == 0 path",
+    }
+}
+
+/// The classic implicit-flow gadget: copy a denied bit through the program
+/// counter alone.
+///
+/// `y := (x1 != 0)` computed without ever mentioning `x1` in an assignment
+/// — the reason the surveillance mechanism must track the program counter
+/// (and the reason Fenton's data-mark machine has a PC attribute).
+pub fn implicit_copy() -> PaperProgram {
+    PaperProgram {
+        name: "implicit_copy",
+        locus: "Section 3 (why C̄ is tracked); Fenton's Example 1",
+        flowchart: must(
+            "program(1) {
+                if x1 == 0 { y := 0; } else { y := 1; }
+            }",
+        ),
+        policy: Allow::none(1),
+        claim: "surveillance must violate on every input despite y never reading x1 directly",
+    }
+}
+
+/// Every paper program, for table-driven experiments.
+pub fn all() -> Vec<PaperProgram> {
+    vec![
+        timing_constant(),
+        forgetting(),
+        nonmaximal(),
+        example7(),
+        example7_transformed(),
+        example8(),
+        example8_transformed(),
+        example9(),
+        example9_duplicated(),
+        implicit_copy(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run, ExecConfig};
+    use crate::program::FlowchartProgram;
+    use enf_core::Program as _;
+
+    #[test]
+    fn all_corpus_programs_validate() {
+        for p in all() {
+            assert!(p.flowchart.validate().is_ok(), "{} invalid", p.name);
+            assert_eq!(
+                p.flowchart.arity(),
+                enf_core::Policy::arity(&p.policy),
+                "{}: policy arity mismatch",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn timing_constant_is_constant_in_value() {
+        let p = timing_constant();
+        for x in 0..6 {
+            let h = run(&p.flowchart, &[x], &ExecConfig::default()).unwrap_halted();
+            assert_eq!(h.y, 1);
+        }
+    }
+
+    #[test]
+    fn timing_constant_time_grows_with_input() {
+        let p = timing_constant();
+        let steps: Vec<u64> = (0..4)
+            .map(|x| {
+                run(&p.flowchart, &[x], &ExecConfig::default())
+                    .unwrap_halted()
+                    .steps
+            })
+            .collect();
+        assert!(steps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn forgetting_semantics() {
+        let p = FlowchartProgram::new(forgetting().flowchart);
+        assert_eq!(p.eval_value(&[9, 0]), 0);
+        assert_eq!(p.eval_value(&[9, 5]), 9);
+    }
+
+    #[test]
+    fn nonmaximal_ignores_x1() {
+        let p = FlowchartProgram::new(nonmaximal().flowchart);
+        for x1 in -2..=2 {
+            for x2 in -2..=2 {
+                assert_eq!(p.eval_value(&[x1, x2]), x2);
+            }
+        }
+    }
+
+    #[test]
+    fn example7_pairs_are_functionally_equivalent() {
+        let q = FlowchartProgram::new(example7().flowchart);
+        let q2 = FlowchartProgram::new(example7_transformed().flowchart);
+        for x1 in -2..=2 {
+            for x2 in -2..=2 {
+                assert_eq!(q.eval(&[x1, x2]), q2.eval(&[x1, x2]));
+            }
+        }
+    }
+
+    #[test]
+    fn example8_pairs_are_functionally_equivalent() {
+        let q = FlowchartProgram::new(example8().flowchart);
+        let q2 = FlowchartProgram::new(example8_transformed().flowchart);
+        for x1 in -2..=2 {
+            for x2 in -2..=2 {
+                assert_eq!(q.eval(&[x1, x2]), q2.eval(&[x1, x2]));
+            }
+        }
+    }
+
+    #[test]
+    fn example9_pairs_are_functionally_equivalent() {
+        let q = FlowchartProgram::new(example9().flowchart);
+        let q2 = FlowchartProgram::new(example9_duplicated().flowchart);
+        for x1 in -2..=2 {
+            for x2 in -2..=2 {
+                assert_eq!(q.eval(&[x1, x2]), q2.eval(&[x1, x2]));
+            }
+        }
+    }
+
+    #[test]
+    fn implicit_copy_computes_nonzero_test() {
+        let p = FlowchartProgram::new(implicit_copy().flowchart);
+        assert_eq!(p.eval_value(&[0]), 0);
+        assert_eq!(p.eval_value(&[7]), 1);
+        assert_eq!(p.eval_value(&[-3]), 1);
+    }
+
+    #[test]
+    fn corpus_names_are_unique() {
+        let mut names: Vec<_> = all().iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(n, names.len());
+    }
+}

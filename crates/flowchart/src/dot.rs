@@ -1,0 +1,86 @@
+//! Graphviz (DOT) export of flowcharts.
+//!
+//! Decision boxes render as diamonds, assignments as rectangles, START and
+//! HALT as ovals; decision edges are labeled `T`/`F`. Useful for inspecting
+//! the instrumented mechanisms `enf-surveillance` produces.
+
+use crate::graph::{Flowchart, Node, Succ};
+use crate::pretty::{expr_to_string, pred_to_string};
+use std::fmt::Write as _;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the flowchart as a DOT digraph.
+pub fn to_dot(fc: &Flowchart, name: &str) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", escape(name));
+    let _ = writeln!(s, "  node [fontname=\"monospace\"];");
+    for (id, node, _) in fc.iter() {
+        let (label, shape) = match node {
+            Node::Start => ("START".to_string(), "oval"),
+            Node::Assign { var, expr } => (format!("{var} := {}", expr_to_string(expr)), "box"),
+            Node::Decision { pred } => (pred_to_string(pred), "diamond"),
+            Node::Halt => ("HALT".to_string(), "oval"),
+        };
+        let _ = writeln!(
+            s,
+            "  {} [label=\"{}\", shape={}];",
+            id.0,
+            escape(&label),
+            shape
+        );
+    }
+    for (id, _, succ) in fc.iter() {
+        match succ {
+            Succ::None => {}
+            Succ::One(n) => {
+                let _ = writeln!(s, "  {} -> {};", id.0, n.0);
+            }
+            Succ::Cond { then_, else_ } => {
+                let _ = writeln!(s, "  {} -> {} [label=\"T\"];", id.0, then_.0);
+                let _ = writeln!(s, "  {} -> {} [label=\"F\"];", id.0, else_.0);
+            }
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let fc = parse("program(1) { if x1 == 0 { y := 1; } else { y := 2; } }").unwrap();
+        let dot = to_dot(&fc, "demo");
+        assert!(dot.starts_with("digraph \"demo\""));
+        for (id, _, _) in fc.iter() {
+            assert!(dot.contains(&format!("  {} [", id.0)));
+        }
+        assert!(dot.contains("[label=\"T\"]"));
+        assert!(dot.contains("[label=\"F\"]"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        // Quotes cannot occur in our AST printing, but the escape helper
+        // must still be correct for names.
+        let fc = parse("program(0) { y := 1; }").unwrap();
+        let dot = to_dot(&fc, "a \"quoted\" name");
+        assert!(dot.contains("a \\\"quoted\\\" name"));
+    }
+
+    #[test]
+    fn decision_shape_is_diamond() {
+        let fc = parse("program(1) { if x1 == 0 { y := 1; } }").unwrap();
+        let dot = to_dot(&fc, "d");
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("shape=oval"));
+    }
+}

@@ -1,0 +1,326 @@
+//! Program families and a deterministic random program generator.
+//!
+//! The benchmark harness sweeps over program size; the property tests in
+//! `enf-surveillance` and `enf-static` quantify over *random terminating
+//! programs*. Both draw from this module. Randomness comes from an
+//! explicit splitmix64 state, so everything is reproducible from a seed and
+//! no external RNG crate is needed here.
+//!
+//! Generated `while` loops are always of the counted form
+//! `r := c; while r > 0 { …; r := r - 1 }` with a constant bound, so every
+//! generated program terminates on every input — a precondition for
+//! checking soundness exhaustively.
+
+use crate::ast::{add, mul, sub, CmpOp, Expr, Pred, Var};
+use crate::graph::Flowchart;
+use crate::structured::{lower, Stmt, StructuredProgram};
+use enf_core::V;
+
+/// A deterministic splitmix64 stream.
+#[derive(Clone, Debug)]
+pub struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    /// Seeds the stream.
+    pub fn new(seed: u64) -> Self {
+        SplitMix { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Small signed constant in `-3..=3`.
+    pub fn small_const(&mut self) -> V {
+        self.below(7) as V - 3
+    }
+}
+
+/// Configuration for the random generator.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Number of program inputs.
+    pub arity: usize,
+    /// Number of registers the generator may use.
+    pub regs: usize,
+    /// Approximate number of statements.
+    pub stmts: usize,
+    /// Maximum expression depth.
+    pub expr_depth: usize,
+    /// Maximum constant loop bound.
+    pub loop_bound: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            arity: 2,
+            regs: 3,
+            stmts: 8,
+            expr_depth: 2,
+            loop_bound: 3,
+        }
+    }
+}
+
+fn gen_var(rng: &mut SplitMix, cfg: &GenConfig, allow_out: bool) -> Var {
+    let choices = cfg.arity + cfg.regs + usize::from(allow_out);
+    let pick = rng.below(choices as u64) as usize;
+    if pick < cfg.arity {
+        Var::Input(pick + 1)
+    } else if pick < cfg.arity + cfg.regs {
+        Var::Reg(pick - cfg.arity + 1)
+    } else {
+        Var::Out
+    }
+}
+
+fn gen_expr(rng: &mut SplitMix, cfg: &GenConfig, depth: usize) -> Expr {
+    if depth == 0 || rng.below(3) == 0 {
+        return if rng.below(2) == 0 {
+            Expr::Const(rng.small_const())
+        } else {
+            Expr::Var(gen_var(rng, cfg, true))
+        };
+    }
+    let a = gen_expr(rng, cfg, depth - 1);
+    let b = gen_expr(rng, cfg, depth - 1);
+    match rng.below(5) {
+        0 => add(a, b),
+        1 => sub(a, b),
+        2 => mul(a, b),
+        3 => Expr::Div(Box::new(a), Box::new(b)),
+        _ => Expr::Mod(Box::new(a), Box::new(b)),
+    }
+}
+
+fn gen_pred(rng: &mut SplitMix, cfg: &GenConfig) -> Pred {
+    let ops = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+    let op = ops[rng.below(ops.len() as u64) as usize];
+    Pred::cmp(
+        op,
+        gen_expr(rng, cfg, cfg.expr_depth.min(1)),
+        gen_expr(rng, cfg, cfg.expr_depth.min(1)),
+    )
+}
+
+fn gen_stmts(rng: &mut SplitMix, cfg: &GenConfig, budget: &mut usize, depth: usize) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    while *budget > 0 {
+        *budget -= 1;
+        let roll = rng.below(10);
+        if roll < 6 || depth >= 3 {
+            out.push(Stmt::Assign(
+                gen_var(rng, cfg, true),
+                gen_expr(rng, cfg, cfg.expr_depth),
+            ));
+        } else if roll < 8 {
+            let then_ = gen_stmts(rng, cfg, budget, depth + 1);
+            let else_ = gen_stmts(rng, cfg, budget, depth + 1);
+            out.push(Stmt::If(gen_pred(rng, cfg), then_, else_));
+        } else {
+            // Counted loop on a dedicated register so termination is
+            // guaranteed regardless of what the body does to other state.
+            let counter = Var::Reg(cfg.regs + 1 + depth);
+            let bound = rng.below(cfg.loop_bound) as V + 1;
+            let mut body = gen_stmts(rng, cfg, budget, depth + 1);
+            body.push(Stmt::Assign(counter, sub(Expr::Var(counter), Expr::c(1))));
+            out.push(Stmt::Assign(counter, Expr::c(bound)));
+            out.push(Stmt::While(Pred::gt(Expr::Var(counter), Expr::c(0)), body));
+        }
+        // Occasional early stop for shape variety.
+        if rng.below(8) == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// Generates a random *terminating* structured program from a seed.
+pub fn random_structured(seed: u64, cfg: &GenConfig) -> StructuredProgram {
+    let mut rng = SplitMix::new(seed);
+    let mut budget = cfg.stmts;
+    let mut body = gen_stmts(&mut rng, cfg, &mut budget, 0);
+    // Ensure y gets a final write so programs are rarely trivially 0.
+    body.push(Stmt::Assign(
+        Var::Out,
+        gen_expr(&mut rng, cfg, cfg.expr_depth),
+    ));
+    StructuredProgram::new(cfg.arity, body)
+}
+
+/// Generates and lowers a random terminating flowchart.
+pub fn random_flowchart(seed: u64, cfg: &GenConfig) -> Flowchart {
+    lower(&random_structured(seed, cfg)).expect("generated program must lower")
+}
+
+/// A straight-line chain of `n` register increments ending in `y := r1` —
+/// the scaling family for interpreter/instrumentation overhead benches.
+pub fn chain(n: usize) -> Flowchart {
+    let mut body = vec![Stmt::Assign(Var::Reg(1), Expr::c(0))];
+    for _ in 0..n {
+        body.push(Stmt::Assign(Var::Reg(1), add(Expr::r(1), Expr::c(1))));
+    }
+    body.push(Stmt::Assign(Var::Out, Expr::r(1)));
+    lower(&StructuredProgram::new(1, body)).expect("chain lowers")
+}
+
+/// `d` sequential allowed-input diamonds followed by `y := x2` — the
+/// scaling family for static-analysis benches (many decisions, many join
+/// points).
+pub fn diamond_chain(d: usize) -> Flowchart {
+    let mut body = Vec::new();
+    for i in 0..d {
+        body.push(Stmt::If(
+            Pred::eq(
+                Expr::Mod(Box::new(Expr::x(2)), Box::new(Expr::c(i as V + 2))),
+                Expr::c(0),
+            ),
+            vec![Stmt::Assign(Var::Reg(1), add(Expr::r(1), Expr::c(1)))],
+            vec![Stmt::Assign(Var::Reg(1), add(Expr::r(1), Expr::c(2)))],
+        ));
+    }
+    body.push(Stmt::Assign(Var::Out, Expr::r(1)));
+    lower(&StructuredProgram::new(2, body)).expect("diamond chain lowers")
+}
+
+/// A counted loop executing `iters` iterations of `k` assignments — the
+/// scaling family for run-time (dynamic mechanism) benches.
+pub fn loop_program(iters: V, k: usize) -> Flowchart {
+    let mut inner = Vec::new();
+    for j in 0..k {
+        inner.push(Stmt::Assign(
+            Var::Reg(2 + j),
+            add(Expr::Var(Var::Reg(2 + j)), Expr::c(1)),
+        ));
+    }
+    inner.push(Stmt::Assign(Var::Reg(1), sub(Expr::r(1), Expr::c(1))));
+    let body = vec![
+        Stmt::Assign(Var::Reg(1), Expr::c(iters)),
+        Stmt::While(Pred::gt(Expr::r(1), Expr::c(0)), inner),
+        Stmt::Assign(Var::Out, Expr::Var(Var::Reg(2))),
+    ];
+    lower(&StructuredProgram::new(1, body)).expect("loop program lowers")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run, ExecConfig};
+    use crate::program::FlowchartProgram;
+    use enf_core::{Grid, InputDomain, Program as _};
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix::new(42);
+        let mut b = SplitMix::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn random_programs_lower_and_validate() {
+        let cfg = GenConfig::default();
+        for seed in 0..50 {
+            let fc = random_flowchart(seed, &cfg);
+            assert!(fc.validate().is_ok(), "seed {seed} invalid");
+        }
+    }
+
+    #[test]
+    fn random_programs_terminate_on_a_grid() {
+        let cfg = GenConfig::default();
+        let grid = Grid::hypercube(cfg.arity, -2..=2);
+        for seed in 0..30 {
+            let fc = random_flowchart(seed, &cfg);
+            let p = FlowchartProgram::with_fuel(fc, 100_000);
+            for a in grid.iter_inputs() {
+                assert!(
+                    p.eval(&a).value().is_some(),
+                    "seed {seed} diverged on {a:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_programs_are_reproducible() {
+        let cfg = GenConfig::default();
+        assert_eq!(random_structured(7, &cfg), random_structured(7, &cfg));
+    }
+
+    #[test]
+    fn random_programs_vary_with_seed() {
+        let cfg = GenConfig::default();
+        let distinct = (0..20)
+            .map(|s| random_structured(s, &cfg))
+            .collect::<Vec<_>>();
+        let all_same = distinct.iter().all(|p| *p == distinct[0]);
+        assert!(!all_same);
+    }
+
+    #[test]
+    fn chain_counts_to_n() {
+        let fc = chain(17);
+        let h = run(&fc, &[0], &ExecConfig::default()).unwrap_halted();
+        assert_eq!(h.y, 17);
+        // START + (r1 := 0) + 17 increments + (y := r1) + HALT.
+        assert_eq!(h.steps, 21);
+    }
+
+    #[test]
+    fn diamond_chain_runs_both_arms() {
+        let fc = diamond_chain(3);
+        for x2 in 0..6 {
+            let h = run(&fc, &[0, x2], &ExecConfig::default()).unwrap_halted();
+            assert!(h.y >= 3 && h.y <= 6, "y = {} out of range", h.y);
+        }
+    }
+
+    #[test]
+    fn loop_program_iterates() {
+        let fc = loop_program(10, 2);
+        let h = run(&fc, &[0], &ExecConfig::default()).unwrap_halted();
+        assert_eq!(h.y, 10);
+    }
+
+    #[test]
+    fn loop_program_steps_scale_linearly() {
+        let s1 = run(&loop_program(10, 1), &[0], &ExecConfig::default())
+            .unwrap_halted()
+            .steps;
+        let s2 = run(&loop_program(20, 1), &[0], &ExecConfig::default())
+            .unwrap_halted()
+            .steps;
+        // Each extra iteration costs a fixed number of boxes.
+        assert_eq!(
+            s2 - s1,
+            10 * (s1
+                - run(&loop_program(0, 1), &[0], &ExecConfig::default())
+                    .unwrap_halted()
+                    .steps)
+                / 10
+        );
+        assert!(s2 > s1);
+    }
+}

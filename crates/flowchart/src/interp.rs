@@ -1,0 +1,335 @@
+//! The flowchart interpreter.
+//!
+//! Execution follows the paper's semantics: all program variables and the
+//! output variable start at 0, each input variable `x_i` starts at the
+//! corresponding input value, control starts at the START box and follows
+//! the graph; at a decision box "the path that corresponds to the
+//! predicate's truth value is taken". The *step count* — "the number of
+//! steps executed by the flowchart" — is the number of boxes executed,
+//! START and HALT included, and is the paper's representative observable
+//! running time.
+//!
+//! Flowcharts may loop forever; [`ExecConfig::fuel`] bounds the step count
+//! and a run that exhausts it reports [`Outcome::OutOfFuel`]. The
+//! [`crate::program`] adapters fold that case into a distinguished output
+//! value so the flowchart still denotes a *total* function as the paper
+//! requires.
+
+use crate::ast::Var;
+use crate::graph::{Flowchart, Node, NodeId, Succ};
+use enf_core::V;
+
+/// Interpreter configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// Maximum number of boxes to execute before giving up.
+    pub fuel: u64,
+    /// Record the sequence of visited nodes (costly; for debugging and the
+    /// trace-based tests).
+    pub trace: bool,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            fuel: 1_000_000,
+            trace: false,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Configuration with a specific fuel bound.
+    pub fn with_fuel(fuel: u64) -> Self {
+        ExecConfig { fuel, trace: false }
+    }
+}
+
+/// A halted run: output value and observable step count.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Halted {
+    /// Value of `y` at the HALT box.
+    pub y: V,
+    /// Number of boxes executed, START and HALT included.
+    pub steps: u64,
+    /// The HALT box reached.
+    pub halt: NodeId,
+    /// Visited nodes, if tracing was enabled.
+    pub trace: Vec<NodeId>,
+}
+
+/// Result of running a flowchart.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Outcome {
+    /// The run reached a HALT box.
+    Halted(Halted),
+    /// The fuel bound was exhausted.
+    OutOfFuel,
+}
+
+impl Outcome {
+    /// Unwraps a halted run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run ran out of fuel.
+    pub fn unwrap_halted(self) -> Halted {
+        match self {
+            Outcome::Halted(h) => h,
+            Outcome::OutOfFuel => panic!("flowchart ran out of fuel"),
+        }
+    }
+
+    /// The output value, if the run halted.
+    pub fn value(&self) -> Option<V> {
+        match self {
+            Outcome::Halted(h) => Some(h.y),
+            Outcome::OutOfFuel => None,
+        }
+    }
+}
+
+/// The observable output of a flowchart program, totalized.
+///
+/// `Diverged` stands for every run the fuel bound cut off; treating it as
+/// one more output value keeps the program a total function.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ExecValue {
+    /// Halted with this value of `y`.
+    Value(V),
+    /// Did not halt within the fuel bound.
+    Diverged,
+}
+
+impl ExecValue {
+    /// The halted value, if any.
+    pub fn value(&self) -> Option<V> {
+        match self {
+            ExecValue::Value(v) => Some(*v),
+            ExecValue::Diverged => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecValue::Value(v) => write!(f, "{v}"),
+            ExecValue::Diverged => write!(f, "⊥"),
+        }
+    }
+}
+
+/// The mutable variable store of a run.
+#[derive(Clone, Debug)]
+pub struct Store {
+    inputs: Vec<V>,
+    regs: Vec<V>,
+    out: V,
+}
+
+impl Store {
+    /// Initializes the store per the paper: program and output variables 0,
+    /// inputs from the input tuple.
+    pub fn init(fc: &Flowchart, inputs: &[V]) -> Self {
+        assert_eq!(
+            inputs.len(),
+            fc.arity(),
+            "flowchart takes {} inputs, got {}",
+            fc.arity(),
+            inputs.len()
+        );
+        Store {
+            inputs: inputs.to_vec(),
+            regs: vec![0; fc.max_reg()],
+            out: 0,
+        }
+    }
+
+    /// Reads a variable.
+    pub fn get(&self, var: Var) -> V {
+        match var {
+            Var::Input(i) => self.inputs[i - 1],
+            Var::Reg(j) => self.regs.get(j - 1).copied().unwrap_or(0),
+            Var::Out => self.out,
+        }
+    }
+
+    /// Writes a variable.
+    pub fn set(&mut self, var: Var, value: V) {
+        match var {
+            Var::Input(i) => self.inputs[i - 1] = value,
+            Var::Reg(j) => {
+                if j > self.regs.len() {
+                    self.regs.resize(j, 0);
+                }
+                self.regs[j - 1] = value;
+            }
+            Var::Out => self.out = value,
+        }
+    }
+
+    /// The current value of `y`.
+    pub fn output(&self) -> V {
+        self.out
+    }
+}
+
+/// Runs a flowchart on an input tuple.
+///
+/// # Examples
+///
+/// ```
+/// use enf_flowchart::parser::parse;
+/// use enf_flowchart::interp::{run, ExecConfig};
+///
+/// let fc = parse("program(1) { y := x1 * x1; }").unwrap();
+/// assert_eq!(run(&fc, &[6], &ExecConfig::default()).unwrap_halted().y, 36);
+/// ```
+pub fn run(fc: &Flowchart, inputs: &[V], cfg: &ExecConfig) -> Outcome {
+    let mut store = Store::init(fc, inputs);
+    let mut at = fc.start();
+    let mut steps: u64 = 0;
+    let mut trace = Vec::new();
+    loop {
+        if steps >= cfg.fuel {
+            return Outcome::OutOfFuel;
+        }
+        steps += 1;
+        if cfg.trace {
+            trace.push(at);
+        }
+        match fc.node(at) {
+            Node::Start => {
+                at = match fc.succ(at) {
+                    Succ::One(n) => n,
+                    _ => unreachable!("validated START has one successor"),
+                };
+            }
+            Node::Assign { var, expr } => {
+                let v = expr.eval(&|w| store.get(w));
+                store.set(*var, v);
+                at = match fc.succ(at) {
+                    Succ::One(n) => n,
+                    _ => unreachable!("validated assignment has one successor"),
+                };
+            }
+            Node::Decision { pred } => {
+                let taken = pred.eval(&|w| store.get(w));
+                at = match fc.succ(at) {
+                    Succ::Cond { then_, else_ } => {
+                        if taken {
+                            then_
+                        } else {
+                            else_
+                        }
+                    }
+                    _ => unreachable!("validated decision has two successors"),
+                };
+            }
+            Node::Halt => {
+                return Outcome::Halted(Halted {
+                    y: store.output(),
+                    steps,
+                    halt: at,
+                    trace,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn straight_line_steps_counted() {
+        // START, y := 1, HALT: 3 steps.
+        let fc = parse("program(0) { y := 1; }").unwrap();
+        let h = run(&fc, &[], &ExecConfig::default()).unwrap_halted();
+        assert_eq!(h.y, 1);
+        assert_eq!(h.steps, 3);
+    }
+
+    #[test]
+    fn decision_counts_one_step() {
+        // START, D, y := c, HALT: 4 steps on either path.
+        let fc = parse("program(1) { if x1 == 0 { y := 1; } else { y := 2; } }").unwrap();
+        let a = run(&fc, &[0], &ExecConfig::default()).unwrap_halted();
+        let b = run(&fc, &[5], &ExecConfig::default()).unwrap_halted();
+        assert_eq!((a.y, a.steps), (1, 4));
+        assert_eq!((b.y, b.steps), (2, 4));
+    }
+
+    #[test]
+    fn loop_time_depends_on_input() {
+        // The paper's timing-channel program: constant value, input-
+        // dependent running time.
+        let fc = parse("program(1) { r1 := x1; while r1 != 0 { r1 := r1 - 1; } y := 1; }").unwrap();
+        let t0 = run(&fc, &[0], &ExecConfig::default()).unwrap_halted();
+        let t5 = run(&fc, &[5], &ExecConfig::default()).unwrap_halted();
+        assert_eq!(t0.y, 1);
+        assert_eq!(t5.y, 1);
+        assert!(t5.steps > t0.steps, "time must leak the input");
+        // Each iteration adds a decision and an assignment: 2 steps.
+        assert_eq!(t5.steps - t0.steps, 10);
+    }
+
+    #[test]
+    fn out_of_fuel_detected() {
+        let fc = parse("program(0) { while true { skip; } }").unwrap();
+        assert_eq!(
+            run(&fc, &[], &ExecConfig::with_fuel(100)),
+            Outcome::OutOfFuel
+        );
+    }
+
+    #[test]
+    fn trace_records_path() {
+        let fc = parse("program(1) { y := x1; }").unwrap();
+        let cfg = ExecConfig {
+            fuel: 100,
+            trace: true,
+        };
+        let h = run(&fc, &[3], &cfg).unwrap_halted();
+        assert_eq!(h.trace.len() as u64, h.steps);
+        assert_eq!(h.trace[0], fc.start());
+        assert_eq!(*h.trace.last().unwrap(), h.halt);
+    }
+
+    #[test]
+    fn uninitialized_register_reads_zero() {
+        let fc = parse("program(0) { y := r5 + 1; }").unwrap();
+        assert_eq!(run(&fc, &[], &ExecConfig::default()).unwrap_halted().y, 1);
+    }
+
+    #[test]
+    fn inputs_are_assignable() {
+        let fc = parse("program(1) { x1 := x1 + 1; y := x1; }").unwrap();
+        assert_eq!(run(&fc, &[9], &ExecConfig::default()).unwrap_halted().y, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "takes 2 inputs")]
+    fn wrong_arity_panics() {
+        let fc = parse("program(2) { y := x1; }").unwrap();
+        let _ = run(&fc, &[1], &ExecConfig::default());
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert_eq!(Outcome::OutOfFuel.value(), None);
+        let fc = parse("program(0) { y := 2; }").unwrap();
+        assert_eq!(run(&fc, &[], &ExecConfig::default()).value(), Some(2));
+    }
+
+    #[test]
+    fn exec_value_display() {
+        assert_eq!(ExecValue::Value(5).to_string(), "5");
+        assert_eq!(ExecValue::Diverged.to_string(), "⊥");
+        assert_eq!(ExecValue::Value(5).value(), Some(5));
+        assert_eq!(ExecValue::Diverged.value(), None);
+    }
+}

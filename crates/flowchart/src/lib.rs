@@ -1,0 +1,66 @@
+//! The flowchart programming language of Jones & Lipton, Section 3.
+//!
+//! "A flowchart F is a finite connected directed graph whose nodes are
+//! boxes": one START box, decision boxes (two-way branches on a predicate),
+//! assignment boxes and HALT boxes. Variables are the inputs `x1, …, xk`,
+//! program variables `r1, …, rn`, and the output variable `y`; the domain of
+//! every variable is the integers.
+//!
+//! This crate provides:
+//!
+//! * [`ast`] — expressions, predicates and variables with *total* semantics
+//!   (division/modulo by zero yield 0; arithmetic wraps), so every
+//!   flowchart denotes a total function as the paper requires;
+//! * [`graph`] — the flowchart CFG with structural validation;
+//! * [`structured`] — structured statements (`if`/`while`/sequences) and
+//!   their lowering onto the CFG;
+//! * [`parser`] — a small textual DSL for writing flowcharts;
+//! * [`interp`] — the interpreter, counting executed boxes as the paper's
+//!   observable "number of steps";
+//! * [`program`] — adapters implementing `enf_core::Program` and
+//!   `enf_core::TimedProgram` (output with or without observable time);
+//! * [`analysis`] — reachability, postdominators, free-variable analysis;
+//! * [`restructure`] — recovery of the `if`/`while` skeleton from
+//!   reducible graphs, so graph-built programs can flow into the
+//!   structured transform world;
+//! * [`corpus`] — every concrete flowchart discussed in the paper, plus
+//!   program families used by the benchmarks.
+//!
+//! # Examples
+//!
+//! ```
+//! use enf_flowchart::parser::parse;
+//! use enf_flowchart::interp::{run, ExecConfig};
+//!
+//! let fc = parse(
+//!     "program(2) {
+//!         if x1 == 0 { y := x2; } else { y := x2; }
+//!     }",
+//! )
+//! .unwrap();
+//! let out = run(&fc, &[0, 7], &ExecConfig::default());
+//! assert_eq!(out.unwrap_halted().y, 7);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod ast;
+pub mod builder;
+pub mod corpus;
+pub mod dot;
+pub mod generate;
+pub mod graph;
+pub mod interp;
+pub mod parser;
+pub mod pretty;
+pub mod program;
+pub mod restructure;
+pub mod structured;
+
+pub use ast::{CmpOp, Expr, Pred, Var};
+pub use graph::{Flowchart, Node, NodeId, Succ};
+pub use interp::{run, ExecConfig, ExecValue, Outcome};
+pub use parser::parse;
+pub use program::FlowchartProgram;
+pub use structured::{lower, Stmt, StructuredProgram};

@@ -1,0 +1,699 @@
+//! A textual DSL for flowchart programs.
+//!
+//! Grammar (statements end in `;`, blocks in braces):
+//!
+//! ```text
+//! program   ::= "program" "(" INT ")" block
+//! block     ::= "{" stmt* "}"
+//! stmt      ::= var ":=" expr ";"
+//!             | "if" pred block ("else" block)?
+//!             | "while" pred block
+//!             | "halt" ";"
+//!             | "skip" ";"
+//! var       ::= "x" INT | "r" INT | "y"
+//! expr      ::= term (("+" | "-") term)*
+//! term      ::= factor (("*" | "/" | "%") factor)*
+//! factor    ::= INT | var | "-" factor | "(" expr ")"
+//!             | "ite" "(" pred "," expr "," expr ")"
+//! pred      ::= conj ("||" conj)*
+//! conj      ::= atom ("&&" atom)*
+//! atom      ::= "true" | "false" | "!" atom | "(" pred ")"
+//!             | expr cmp expr
+//! cmp       ::= "==" | "!=" | "<" | "<=" | ">" | ">="
+//! ```
+//!
+//! Line comments start with `//`.
+
+use crate::ast::{CmpOp, Expr, Pred, Var};
+use crate::graph::Flowchart;
+use crate::structured::{lower, Stmt, StructuredProgram};
+use enf_core::V;
+use std::fmt;
+
+/// A parse error with position information.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Byte offset in the source.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Int(V),
+    Ident(String),
+    Sym(&'static str),
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos + 1 < self.src.len() && &self.src[self.pos..self.pos + 2] == b"//" {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn next(&mut self) -> Result<Option<(usize, Tok)>, ParseError> {
+        self.skip_ws();
+        if self.pos >= self.src.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let c = self.src[self.pos];
+        let two = |s: &Lexer<'a>| {
+            if s.pos + 1 < s.src.len() {
+                Some(s.src[s.pos + 1])
+            } else {
+                None
+            }
+        };
+        let tok = match c {
+            b'0'..=b'9' => {
+                let mut n: i128 = 0;
+                while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+                    n = n * 10 + (self.src[self.pos] - b'0') as i128;
+                    if n > V::MAX as i128 {
+                        return Err(self.error("integer literal overflows i64"));
+                    }
+                    self.pos += 1;
+                }
+                Tok::Int(n as V)
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let mut s = String::new();
+                while self.pos < self.src.len()
+                    && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+                {
+                    s.push(self.src[self.pos] as char);
+                    self.pos += 1;
+                }
+                Tok::Ident(s)
+            }
+            b':' if two(self) == Some(b'=') => {
+                self.pos += 2;
+                Tok::Sym(":=")
+            }
+            b'=' if two(self) == Some(b'=') => {
+                self.pos += 2;
+                Tok::Sym("==")
+            }
+            b'!' if two(self) == Some(b'=') => {
+                self.pos += 2;
+                Tok::Sym("!=")
+            }
+            b'<' if two(self) == Some(b'=') => {
+                self.pos += 2;
+                Tok::Sym("<=")
+            }
+            b'>' if two(self) == Some(b'=') => {
+                self.pos += 2;
+                Tok::Sym(">=")
+            }
+            b'&' if two(self) == Some(b'&') => {
+                self.pos += 2;
+                Tok::Sym("&&")
+            }
+            b'|' if two(self) == Some(b'|') => {
+                self.pos += 2;
+                Tok::Sym("||")
+            }
+            b'&' => {
+                self.pos += 1;
+                Tok::Sym("&")
+            }
+            b'|' => {
+                self.pos += 1;
+                Tok::Sym("|")
+            }
+            b'<' => {
+                self.pos += 1;
+                Tok::Sym("<")
+            }
+            b'>' => {
+                self.pos += 1;
+                Tok::Sym(">")
+            }
+            b'!' => {
+                self.pos += 1;
+                Tok::Sym("!")
+            }
+            b'+' => {
+                self.pos += 1;
+                Tok::Sym("+")
+            }
+            b'-' => {
+                self.pos += 1;
+                Tok::Sym("-")
+            }
+            b'*' => {
+                self.pos += 1;
+                Tok::Sym("*")
+            }
+            b'/' => {
+                self.pos += 1;
+                Tok::Sym("/")
+            }
+            b'%' => {
+                self.pos += 1;
+                Tok::Sym("%")
+            }
+            b'(' => {
+                self.pos += 1;
+                Tok::Sym("(")
+            }
+            b')' => {
+                self.pos += 1;
+                Tok::Sym(")")
+            }
+            b'{' => {
+                self.pos += 1;
+                Tok::Sym("{")
+            }
+            b'}' => {
+                self.pos += 1;
+                Tok::Sym("}")
+            }
+            b';' => {
+                self.pos += 1;
+                Tok::Sym(";")
+            }
+            b',' => {
+                self.pos += 1;
+                Tok::Sym(",")
+            }
+            other => {
+                return Err(self.error(format!("unexpected character {:?}", other as char)));
+            }
+        };
+        Ok(Some((start, tok)))
+    }
+}
+
+struct Parser {
+    toks: Vec<(usize, Tok)>,
+    at: usize,
+    src_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.at).map(|(_, t)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks
+            .get(self.at)
+            .map(|(o, _)| *o)
+            .unwrap_or(self.src_len)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            offset: self.offset(),
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.at).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(Tok::Sym(s)) if *s == sym => {
+                self.at += 1;
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{sym}`, found {other:?}"))),
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(s)) if *s == sym) {
+            self.at += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<V, ParseError> {
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(n),
+            other => Err(self.error(format!("expected integer, found {other:?}"))),
+        }
+    }
+
+    fn ident_to_var(&self, s: &str) -> Option<Var> {
+        if s == "y" {
+            return Some(Var::Out);
+        }
+        let (head, rest) = s.split_at(1);
+        let idx: usize = rest.parse().ok()?;
+        if idx == 0 {
+            return None;
+        }
+        match head {
+            "x" => Some(Var::Input(idx)),
+            "r" => Some(Var::Reg(idx)),
+            _ => None,
+        }
+    }
+
+    fn program(&mut self) -> Result<StructuredProgram, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(ref s)) if s == "program" => {}
+            other => return Err(self.error(format!("expected `program`, found {other:?}"))),
+        }
+        self.expect_sym("(")?;
+        let k = self.expect_int()?;
+        if k < 0 || k > enf_core::IndexSet::MAX_INDEX as V {
+            return Err(self.error("arity out of range"));
+        }
+        self.expect_sym(")")?;
+        let body = self.block()?;
+        if self.peek().is_some() {
+            return Err(self.error("trailing input after program"));
+        }
+        Ok(StructuredProgram::new(k as usize, body))
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect_sym("{")?;
+        let mut stmts = Vec::new();
+        while !self.eat_sym("}") {
+            if self.peek().is_none() {
+                return Err(self.error("unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == "if" => {
+                self.at += 1;
+                let pred = self.pred()?;
+                let then_ = self.block()?;
+                let else_ = if matches!(self.peek(), Some(Tok::Ident(s)) if s == "else") {
+                    self.at += 1;
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(pred, then_, else_))
+            }
+            Some(Tok::Ident(s)) if s == "while" => {
+                self.at += 1;
+                let pred = self.pred()?;
+                let body = self.block()?;
+                Ok(Stmt::While(pred, body))
+            }
+            Some(Tok::Ident(s)) if s == "halt" => {
+                self.at += 1;
+                self.expect_sym(";")?;
+                Ok(Stmt::Halt)
+            }
+            Some(Tok::Ident(s)) if s == "skip" => {
+                self.at += 1;
+                self.expect_sym(";")?;
+                Ok(Stmt::Skip)
+            }
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                let var = self
+                    .ident_to_var(&s)
+                    .ok_or_else(|| self.error(format!("unknown variable `{s}`")))?;
+                self.at += 1;
+                self.expect_sym(":=")?;
+                let e = self.expr()?;
+                self.expect_sym(";")?;
+                Ok(Stmt::Assign(var, e))
+            }
+            other => Err(self.error(format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.band_expr()?;
+        while self.eat_sym("|") {
+            e = Expr::BOr(Box::new(e), Box::new(self.band_expr()?));
+        }
+        Ok(e)
+    }
+
+    fn band_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.sum()?;
+        while self.eat_sym("&") {
+            e = Expr::BAnd(Box::new(e), Box::new(self.sum()?));
+        }
+        Ok(e)
+    }
+
+    fn sum(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.term()?;
+        loop {
+            if self.eat_sym("+") {
+                e = Expr::Add(Box::new(e), Box::new(self.term()?));
+            } else if self.eat_sym("-") {
+                e = Expr::Sub(Box::new(e), Box::new(self.term()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.factor()?;
+        loop {
+            if self.eat_sym("*") {
+                e = Expr::Mul(Box::new(e), Box::new(self.factor()?));
+            } else if self.eat_sym("/") {
+                e = Expr::Div(Box::new(e), Box::new(self.factor()?));
+            } else if self.eat_sym("%") {
+                e = Expr::Mod(Box::new(e), Box::new(self.factor()?));
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_sym("-") {
+            return Ok(Expr::Neg(Box::new(self.factor()?)));
+        }
+        if self.eat_sym("(") {
+            let e = self.expr()?;
+            self.expect_sym(")")?;
+            return Ok(e);
+        }
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(Expr::Const(n)),
+            Some(Tok::Ident(s)) if s == "ite" => {
+                self.expect_sym("(")?;
+                let p = self.pred()?;
+                self.expect_sym(",")?;
+                let t = self.expr()?;
+                self.expect_sym(",")?;
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(Expr::Ite(Box::new(p), Box::new(t), Box::new(e)))
+            }
+            Some(Tok::Ident(s)) => self
+                .ident_to_var(&s)
+                .map(Expr::Var)
+                .ok_or_else(|| self.error(format!("unknown variable `{s}`"))),
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    fn pred(&mut self) -> Result<Pred, ParseError> {
+        let mut p = self.conj()?;
+        while self.eat_sym("||") {
+            p = Pred::Or(Box::new(p), Box::new(self.conj()?));
+        }
+        Ok(p)
+    }
+
+    fn conj(&mut self) -> Result<Pred, ParseError> {
+        let mut p = self.atom()?;
+        while self.eat_sym("&&") {
+            p = Pred::And(Box::new(p), Box::new(self.atom()?));
+        }
+        Ok(p)
+    }
+
+    fn atom(&mut self) -> Result<Pred, ParseError> {
+        if self.eat_sym("!") {
+            return Ok(Pred::Not(Box::new(self.atom()?)));
+        }
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == "true") {
+            self.at += 1;
+            return Ok(Pred::True);
+        }
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == "false") {
+            self.at += 1;
+            return Ok(Pred::False);
+        }
+        // `(` may open a parenthesized predicate or a parenthesized
+        // expression; try the predicate reading first and fall back.
+        if matches!(self.peek(), Some(Tok::Sym("("))) {
+            let save = self.at;
+            self.at += 1;
+            if let Ok(p) = self.pred() {
+                if self.eat_sym(")") {
+                    // Could still be `(expr) < expr` if p parsed as a
+                    // comparison already consuming the operator; a full
+                    // predicate in parens must not be followed by a
+                    // comparison operator.
+                    if !matches!(
+                        self.peek(),
+                        Some(Tok::Sym(
+                            "==" | "!="
+                                | "<"
+                                | "<="
+                                | ">"
+                                | ">="
+                                | "+"
+                                | "-"
+                                | "*"
+                                | "/"
+                                | "%"
+                                | "&"
+                                | "|"
+                        ))
+                    ) {
+                        return Ok(p);
+                    }
+                }
+            }
+            self.at = save;
+        }
+        let a = self.expr()?;
+        let op = match self.bump() {
+            Some(Tok::Sym("==")) => CmpOp::Eq,
+            Some(Tok::Sym("!=")) => CmpOp::Ne,
+            Some(Tok::Sym("<")) => CmpOp::Lt,
+            Some(Tok::Sym("<=")) => CmpOp::Le,
+            Some(Tok::Sym(">")) => CmpOp::Gt,
+            Some(Tok::Sym(">=")) => CmpOp::Ge,
+            other => return Err(self.error(format!("expected comparison, found {other:?}"))),
+        };
+        let b = self.expr()?;
+        Ok(Pred::Cmp(op, Box::new(a), Box::new(b)))
+    }
+}
+
+/// Parses the DSL into a structured program.
+pub fn parse_structured(src: &str) -> Result<StructuredProgram, ParseError> {
+    let mut lex = Lexer::new(src);
+    let mut toks = Vec::new();
+    while let Some(t) = lex.next()? {
+        toks.push(t);
+    }
+    let mut p = Parser {
+        toks,
+        at: 0,
+        src_len: src.len(),
+    };
+    p.program()
+}
+
+/// Parses the DSL and lowers to a validated flowchart.
+///
+/// # Examples
+///
+/// ```
+/// let fc = enf_flowchart::parse("program(1) { y := x1 + 1; }").unwrap();
+/// assert_eq!(fc.arity(), 1);
+/// ```
+pub fn parse(src: &str) -> Result<Flowchart, ParseError> {
+    let sp = parse_structured(src)?;
+    lower(&sp).map_err(|e| ParseError {
+        offset: 0,
+        message: format!("lowering failed: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{run, ExecConfig};
+
+    fn eval(src: &str, inputs: &[V]) -> V {
+        let fc = parse(src).expect("parse failed");
+        run(&fc, inputs, &ExecConfig::default()).unwrap_halted().y
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        assert_eq!(eval("program(0) { y := 2 + 3 * 4; }", &[]), 14);
+        assert_eq!(eval("program(0) { y := (2 + 3) * 4; }", &[]), 20);
+    }
+
+    #[test]
+    fn left_associativity() {
+        assert_eq!(eval("program(0) { y := 10 - 3 - 2; }", &[]), 5);
+        assert_eq!(eval("program(0) { y := 24 / 4 / 3; }", &[]), 2);
+    }
+
+    #[test]
+    fn unary_minus() {
+        assert_eq!(eval("program(1) { y := -x1 + 1; }", &[5]), -4);
+        assert_eq!(eval("program(0) { y := --3; }", &[]), 3);
+    }
+
+    #[test]
+    fn modulo() {
+        assert_eq!(eval("program(0) { y := 17 % 5; }", &[]), 2);
+    }
+
+    #[test]
+    fn ite_expression() {
+        let src = "program(1) { y := ite(x1 == 1, 1, 2); }";
+        assert_eq!(eval(src, &[1]), 1);
+        assert_eq!(eval(src, &[5]), 2);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "program(0) { // set output\n y := 3; // done\n }";
+        assert_eq!(eval(src, &[]), 3);
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let src = "program(2) { if x1 == 0 && x2 == 0 { y := 1; } else { y := 0; } }";
+        assert_eq!(eval(src, &[0, 0]), 1);
+        assert_eq!(eval(src, &[0, 1]), 0);
+        let src = "program(2) { if x1 == 0 || x2 == 0 { y := 1; } else { y := 0; } }";
+        assert_eq!(eval(src, &[1, 0]), 1);
+        assert_eq!(eval(src, &[1, 1]), 0);
+    }
+
+    #[test]
+    fn negation_and_parens_in_pred() {
+        let src = "program(1) { if !(x1 == 0) { y := 1; } }";
+        assert_eq!(eval(src, &[5]), 1);
+        assert_eq!(eval(src, &[0]), 0);
+    }
+
+    #[test]
+    fn parenthesized_expression_in_comparison() {
+        let src = "program(1) { if (x1 + 1) > 3 { y := 1; } }";
+        assert_eq!(eval(src, &[3]), 1);
+        assert_eq!(eval(src, &[2]), 0);
+    }
+
+    #[test]
+    fn nested_parenthesized_predicate() {
+        let src = "program(2) { if ((x1 == 0) && (x2 == 0)) || x1 == 9 { y := 1; } }";
+        assert_eq!(eval(src, &[0, 0]), 1);
+        assert_eq!(eval(src, &[9, 5]), 1);
+        assert_eq!(eval(src, &[1, 0]), 0);
+    }
+
+    #[test]
+    fn halt_and_skip_statements() {
+        assert_eq!(eval("program(0) { y := 1; halt; y := 2; }", &[]), 1);
+        assert_eq!(eval("program(0) { skip; y := 4; }", &[]), 4);
+    }
+
+    #[test]
+    fn errors_unknown_variable() {
+        let err = parse("program(0) { z := 1; }").unwrap_err();
+        assert!(err.message.contains("unknown variable"), "{err}");
+    }
+
+    #[test]
+    fn errors_missing_semicolon() {
+        assert!(parse("program(0) { y := 1 }").is_err());
+    }
+
+    #[test]
+    fn errors_x0_and_r0_rejected() {
+        assert!(parse("program(1) { y := x0; }").is_err());
+        assert!(parse("program(1) { r0 := 1; }").is_err());
+    }
+
+    #[test]
+    fn errors_arity_out_of_range() {
+        assert!(parse("program(99) { y := 1; }").is_err());
+    }
+
+    #[test]
+    fn errors_trailing_garbage() {
+        assert!(parse("program(0) { y := 1; } extra").is_err());
+    }
+
+    #[test]
+    fn errors_unterminated_block() {
+        assert!(parse("program(0) { y := 1;").is_err());
+    }
+
+    #[test]
+    fn errors_literal_overflow() {
+        assert!(parse("program(0) { y := 99999999999999999999; }").is_err());
+    }
+
+    #[test]
+    fn error_display_carries_offset() {
+        let err = parse("program(0) { y := @; }").unwrap_err();
+        assert!(err.to_string().contains("parse error at byte"));
+    }
+
+    #[test]
+    fn input_variable_indices_checked_against_arity() {
+        assert!(parse("program(1) { y := x2; }").is_err());
+        assert!(parse("program(2) { y := x2; }").is_ok());
+    }
+
+    #[test]
+    fn structured_roundtrip_shape() {
+        let sp = parse_structured("program(1) { if x1 == 0 { y := 1; } }").unwrap();
+        assert_eq!(sp.arity, 1);
+        assert_eq!(sp.body.len(), 1);
+        assert!(matches!(sp.body[0], Stmt::If(..)));
+    }
+}

@@ -1,0 +1,291 @@
+//! Pretty-printing of expressions, predicates and flowcharts.
+//!
+//! Expressions and predicates print in the parser's concrete syntax (so
+//! they can be re-parsed); whole flowcharts print as a node listing, since
+//! an arbitrary graph need not be re-structurable into the DSL.
+
+use crate::ast::{Expr, Pred};
+use crate::graph::{Flowchart, Node, Succ};
+use std::fmt::Write as _;
+
+/// Renders an expression in concrete syntax (fully parenthesized where
+/// precedence demands it).
+pub fn expr_to_string(e: &Expr) -> String {
+    expr_prec(e, 0)
+}
+
+fn expr_prec(e: &Expr, min: u8) -> String {
+    // Precedence levels: 1 = additive, 2 = multiplicative, 3 = unary/atom.
+    // Bitwise `|` and `&` sit below additive at 0 (or) and between 0 and 1
+    // (and); both print fully parenthesized inside anything tighter.
+    match e {
+        Expr::Const(v) => {
+            if *v < 0 {
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Var(v) => v.to_string(),
+        Expr::Neg(a) => wrap(format!("-{}", expr_prec(a, 3)), 3, min),
+        Expr::Add(a, b) => wrap(format!("{} + {}", expr_prec(a, 1), expr_prec(b, 2)), 1, min),
+        Expr::Sub(a, b) => wrap(format!("{} - {}", expr_prec(a, 1), expr_prec(b, 2)), 1, min),
+        Expr::Mul(a, b) => wrap(format!("{} * {}", expr_prec(a, 2), expr_prec(b, 3)), 2, min),
+        Expr::Div(a, b) => wrap(format!("{} / {}", expr_prec(a, 2), expr_prec(b, 3)), 2, min),
+        Expr::Mod(a, b) => wrap(format!("{} % {}", expr_prec(a, 2), expr_prec(b, 3)), 2, min),
+        Expr::BOr(a, b) => wrap(format!("{} | {}", expr_prec(a, 1), expr_prec(b, 1)), 0, min),
+        Expr::BAnd(a, b) => wrap(format!("{} & {}", expr_prec(a, 1), expr_prec(b, 1)), 0, min),
+        Expr::Ite(p, t, f) => format!(
+            "ite({}, {}, {})",
+            pred_to_string(p),
+            expr_prec(t, 0),
+            expr_prec(f, 0)
+        ),
+    }
+}
+
+fn wrap(s: String, prec: u8, min: u8) -> String {
+    if prec < min {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+/// Renders a predicate in concrete syntax.
+pub fn pred_to_string(p: &Pred) -> String {
+    pred_prec(p, 0)
+}
+
+fn pred_prec(p: &Pred, min: u8) -> String {
+    // Levels: 1 = ||, 2 = &&, 3 = atom.
+    match p {
+        Pred::True => "true".into(),
+        Pred::False => "false".into(),
+        Pred::Cmp(op, a, b) => format!("{} {op} {}", expr_prec(a, 0), expr_prec(b, 0)),
+        Pred::Not(q) => format!("!({})", pred_prec(q, 0)),
+        Pred::And(a, b) => {
+            let s = format!("{} && {}", pred_prec(a, 2), pred_prec(b, 3));
+            if min > 2 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Pred::Or(a, b) => {
+            let s = format!("{} || {}", pred_prec(a, 1), pred_prec(b, 2));
+            if min > 1 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+    }
+}
+
+/// Renders a flowchart as a readable node listing.
+///
+/// ```text
+/// program(2), 5 nodes
+/// n0: START -> n1
+/// n1: if x1 == 0 -> n2 | n3
+/// ...
+/// ```
+pub fn flowchart_to_string(fc: &Flowchart) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "program({}), {} nodes", fc.arity(), fc.len());
+    for (id, node, succ) in fc.iter() {
+        let body = match node {
+            Node::Start => "START".to_string(),
+            Node::Assign { var, expr } => format!("{var} := {}", expr_to_string(expr)),
+            Node::Decision { pred } => format!("if {}", pred_to_string(pred)),
+            Node::Halt => "HALT".to_string(),
+        };
+        let arrows = match succ {
+            Succ::None => String::new(),
+            Succ::One(n) => format!(" -> {n}"),
+            Succ::Cond { then_, else_ } => format!(" -> {then_} | {else_}"),
+        };
+        let _ = writeln!(s, "{id}: {body}{arrows}");
+    }
+    s
+}
+
+/// Renders a structured program in the parser's concrete syntax.
+///
+/// The result re-parses to a program with identical semantics (the
+/// round-trip property tests in this module and in
+/// `tests/language_properties.rs` rely on it).
+pub fn structured_to_string(p: &crate::structured::StructuredProgram) -> String {
+    let mut s = format!("program({}) {{\n", p.arity);
+    for st in &p.body {
+        stmt_to_string(st, 1, &mut s);
+    }
+    s.push_str("}\n");
+    s
+}
+
+fn stmt_to_string(st: &crate::structured::Stmt, depth: usize, out: &mut String) {
+    use crate::structured::Stmt;
+    let pad = "    ".repeat(depth);
+    match st {
+        Stmt::Assign(v, e) => {
+            let _ = writeln!(out, "{pad}{v} := {};", expr_to_string(e));
+        }
+        Stmt::Halt => {
+            let _ = writeln!(out, "{pad}halt;");
+        }
+        Stmt::Skip => {
+            let _ = writeln!(out, "{pad}skip;");
+        }
+        Stmt::If(p, t, e) => {
+            let _ = writeln!(out, "{pad}if {} {{", pred_to_string(p));
+            for s in t {
+                stmt_to_string(s, depth + 1, out);
+            }
+            if e.is_empty() {
+                let _ = writeln!(out, "{pad}}}");
+            } else {
+                let _ = writeln!(out, "{pad}}} else {{");
+                for s in e {
+                    stmt_to_string(s, depth + 1, out);
+                }
+                let _ = writeln!(out, "{pad}}}");
+            }
+        }
+        Stmt::While(p, b) => {
+            let _ = writeln!(out, "{pad}while {} {{", pred_to_string(p));
+            for s in b {
+                stmt_to_string(s, depth + 1, out);
+            }
+            let _ = writeln!(out, "{pad}}}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{add, ite, mul, sub, Var};
+    use crate::parser::{parse, parse_structured};
+
+    #[test]
+    fn expr_precedence_printed_minimally() {
+        // (2 + 3) * 4 needs parens; 2 + 3 * 4 does not.
+        let e = mul(add(Expr::c(2), Expr::c(3)), Expr::c(4));
+        assert_eq!(expr_to_string(&e), "(2 + 3) * 4");
+        let e = add(Expr::c(2), mul(Expr::c(3), Expr::c(4)));
+        assert_eq!(expr_to_string(&e), "2 + 3 * 4");
+    }
+
+    #[test]
+    fn subtraction_right_operand_parenthesized() {
+        // 10 - (3 - 2) must keep its parens.
+        let e = sub(Expr::c(10), sub(Expr::c(3), Expr::c(2)));
+        assert_eq!(expr_to_string(&e), "10 - (3 - 2)");
+        // (10 - 3) - 2 prints flat (left associativity).
+        let e = sub(sub(Expr::c(10), Expr::c(3)), Expr::c(2));
+        assert_eq!(expr_to_string(&e), "10 - 3 - 2");
+    }
+
+    #[test]
+    fn negative_literal_parenthesized() {
+        let e = add(Expr::c(-3), Expr::c(1));
+        assert_eq!(expr_to_string(&e), "(-3) + 1");
+    }
+
+    #[test]
+    fn ite_prints_function_style() {
+        let e = ite(Pred::eq(Expr::x(1), Expr::c(1)), Expr::c(1), Expr::c(2));
+        assert_eq!(expr_to_string(&e), "ite(x1 == 1, 1, 2)");
+    }
+
+    #[test]
+    fn pred_printing() {
+        let p = Pred::And(
+            Box::new(Pred::eq(Expr::x(1), Expr::c(0))),
+            Box::new(Pred::Or(
+                Box::new(Pred::gt(Expr::x(2), Expr::c(3))),
+                Box::new(Pred::True),
+            )),
+        );
+        assert_eq!(pred_to_string(&p), "x1 == 0 && (x2 > 3 || true)");
+    }
+
+    #[test]
+    fn printed_exprs_reparse_to_same_value() {
+        // Round-trip through the parser: print an expression, embed it in a
+        // program, check semantics match.
+        let exprs = [
+            mul(add(Expr::c(2), Expr::c(3)), Expr::c(4)),
+            sub(Expr::c(10), sub(Expr::c(3), Expr::c(2))),
+            ite(Pred::gt(Expr::c(1), Expr::c(0)), Expr::c(5), Expr::c(6)),
+            Expr::Neg(Box::new(add(Expr::c(1), Expr::c(2)))),
+            Expr::Div(Box::new(Expr::c(7)), Box::new(Expr::c(2))),
+        ];
+        for e in exprs {
+            let printed = expr_to_string(&e);
+            let src = format!("program(0) {{ y := {printed}; }}");
+            let sp = parse_structured(&src)
+                .unwrap_or_else(|err| panic!("printed `{printed}` failed to reparse: {err}"));
+            match &sp.body[0] {
+                crate::structured::Stmt::Assign(Var::Out, back) => {
+                    assert_eq!(back.eval(&|_| 0), e.eval(&|_| 0), "mismatch for {printed}");
+                }
+                other => panic!("unexpected stmt {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn structured_roundtrip_preserves_semantics() {
+        use crate::generate::{random_structured, GenConfig};
+        use crate::interp::{run, ExecConfig};
+        use crate::structured::lower;
+        let cfg = GenConfig::default();
+        for seed in 0..40 {
+            let p = random_structured(seed, &cfg);
+            let printed = structured_to_string(&p);
+            let back = parse_structured(&printed)
+                .unwrap_or_else(|e| panic!("seed {seed}: reparse failed: {e}\n{printed}"));
+            let fa = lower(&p).unwrap();
+            let fb = lower(&back).unwrap();
+            for x1 in -1..=1 {
+                for x2 in -1..=1 {
+                    let a = run(&fa, &[x1, x2], &ExecConfig::with_fuel(100_000));
+                    let b = run(&fb, &[x1, x2], &ExecConfig::with_fuel(100_000));
+                    assert_eq!(
+                        a.value(),
+                        b.value(),
+                        "seed {seed} differs at ({x1}, {x2})\n{printed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn structured_printing_shape() {
+        let p = parse_structured(
+            "program(2) { if x1 == 0 { y := 1; } else { skip; } while x2 > 0 { x2 := x2 - 1; } halt; }",
+        )
+        .unwrap();
+        let s = structured_to_string(&p);
+        assert!(s.starts_with("program(2) {"));
+        assert!(s.contains("if x1 == 0 {"));
+        assert!(s.contains("} else {"));
+        assert!(s.contains("while x2 > 0 {"));
+        assert!(s.contains("halt;"));
+        assert!(s.contains("skip;"));
+    }
+
+    #[test]
+    fn flowchart_listing_mentions_all_nodes() {
+        let fc = parse("program(1) { if x1 == 0 { y := 1; } else { y := 2; } }").unwrap();
+        let s = flowchart_to_string(&fc);
+        assert!(s.contains("START"));
+        assert!(s.contains("if x1 == 0"));
+        assert!(s.contains("HALT"));
+        assert_eq!(s.lines().count(), fc.len() + 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Adapters exposing flowcharts as `enf_core` programs.
+//!
+//! [`FlowchartProgram`] implements both [`Program`] (value output) and
+//! [`TimedProgram`] (value plus observable step count), so a flowchart can
+//! be studied under either of the paper's two output assumptions: range
+//! `Z` (time unobservable) or range `Z × Z` (time observable, via
+//! [`enf_core::WithTime`]).
+
+use crate::graph::Flowchart;
+use crate::interp::{run, ExecConfig, ExecValue, Outcome};
+use enf_core::{Program, Timed, TimedProgram, V};
+use std::rc::Rc;
+
+/// A flowchart as a total `enf_core::Program`.
+///
+/// The fuel bound makes the function total: runs that exceed it map to
+/// [`ExecValue::Diverged`], one more point of the output range.
+#[derive(Clone, Debug)]
+pub struct FlowchartProgram {
+    fc: Rc<Flowchart>,
+    fuel: u64,
+}
+
+impl FlowchartProgram {
+    /// Wraps a flowchart with the default fuel bound.
+    pub fn new(fc: Flowchart) -> Self {
+        FlowchartProgram {
+            fc: Rc::new(fc),
+            fuel: ExecConfig::default().fuel,
+        }
+    }
+
+    /// Wraps a flowchart with an explicit fuel bound.
+    pub fn with_fuel(fc: Flowchart, fuel: u64) -> Self {
+        FlowchartProgram {
+            fc: Rc::new(fc),
+            fuel,
+        }
+    }
+
+    /// The underlying flowchart.
+    pub fn flowchart(&self) -> &Flowchart {
+        &self.fc
+    }
+
+    /// The fuel bound.
+    pub fn fuel(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Evaluates and insists on a halted value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run exceeds the fuel bound; use only on programs known
+    /// to terminate on the probed inputs.
+    pub fn eval_value(&self, input: &[V]) -> V {
+        match self.eval(input) {
+            ExecValue::Value(v) => v,
+            ExecValue::Diverged => panic!("flowchart diverged on {input:?}"),
+        }
+    }
+}
+
+impl Program for FlowchartProgram {
+    type Out = ExecValue;
+
+    fn arity(&self) -> usize {
+        self.fc.arity()
+    }
+
+    fn eval(&self, input: &[V]) -> ExecValue {
+        match run(&self.fc, input, &ExecConfig::with_fuel(self.fuel)) {
+            Outcome::Halted(h) => ExecValue::Value(h.y),
+            Outcome::OutOfFuel => ExecValue::Diverged,
+        }
+    }
+}
+
+impl TimedProgram for FlowchartProgram {
+    fn eval_timed(&self, input: &[V]) -> Timed<ExecValue> {
+        match run(&self.fc, input, &ExecConfig::with_fuel(self.fuel)) {
+            Outcome::Halted(h) => Timed::new(ExecValue::Value(h.y), h.steps),
+            Outcome::OutOfFuel => Timed::new(ExecValue::Diverged, self.fuel),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use enf_core::{check_soundness, Allow, Grid, Identity, WithTime};
+
+    #[test]
+    fn program_adapter_evaluates() {
+        let fc = parse("program(2) { y := x1 + x2; }").unwrap();
+        let p = FlowchartProgram::new(fc);
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.eval(&[2, 3]), ExecValue::Value(5));
+        assert_eq!(p.eval_value(&[2, 3]), 5);
+    }
+
+    #[test]
+    fn divergence_is_a_value() {
+        let fc = parse("program(1) { while x1 != 0 { skip; } y := 1; }").unwrap();
+        let p = FlowchartProgram::with_fuel(fc, 50);
+        assert_eq!(p.eval(&[0]), ExecValue::Value(1));
+        assert_eq!(p.eval(&[1]), ExecValue::Diverged);
+        assert_eq!(p.fuel(), 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverged")]
+    fn eval_value_panics_on_divergence() {
+        let fc = parse("program(0) { while true { skip; } }").unwrap();
+        FlowchartProgram::with_fuel(fc, 10).eval_value(&[]);
+    }
+
+    #[test]
+    fn timed_program_reports_steps() {
+        let fc = parse("program(1) { y := x1; }").unwrap();
+        let p = FlowchartProgram::new(fc);
+        let t = p.eval_timed(&[7]);
+        assert_eq!(t.value, ExecValue::Value(7));
+        assert_eq!(t.steps, 3);
+    }
+
+    #[test]
+    fn paper_timing_channel_via_core_machinery() {
+        // Section 2's constant-with-loop program, end to end: with time
+        // unobservable the program is sound as its own mechanism for
+        // allow(); with time observable it is not.
+        let fc = parse("program(1) { r1 := x1; while r1 != 0 { r1 := r1 - 1; } y := 1; }").unwrap();
+        let p = FlowchartProgram::new(fc);
+        let g = Grid::hypercube(1, 0..=6);
+        let untimed = Identity::new(p.clone());
+        assert!(check_soundness(&untimed, &Allow::none(1), &g, false).is_sound());
+        let timed = Identity::new(WithTime::new(p));
+        assert!(!check_soundness(&timed, &Allow::none(1), &g, false).is_sound());
+    }
+}

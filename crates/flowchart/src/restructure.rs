@@ -1,0 +1,412 @@
+//! Recovering structure from flowchart graphs.
+//!
+//! The transforms of `enf-static` operate on the structured AST; programs
+//! built directly as graphs (with [`crate::builder::Builder`], or produced
+//! by the instrumentation) need their `if`/`while` skeleton *recovered*
+//! first. [`restructure`] does so for reducible graphs of the shape the
+//! lowering produces — single-entry natural loops whose only exit is the
+//! header, and conditionals that rejoin at their immediate postdominator.
+//! Graphs outside that class (irreducible shapes, loops with breaks) are
+//! reported as [`RestructureError::Unstructured`] rather than guessed at.
+//!
+//! The inverse property — `lower(restructure(fc))` computes the same
+//! function as `fc` — is checked on random programs in the tests.
+
+use crate::analysis::{decision_targets, predecessors, PostDominators};
+use crate::graph::{Flowchart, Node, NodeId, Succ};
+use crate::structured::{Stmt, StructuredProgram};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Why a graph could not be restructured.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RestructureError {
+    /// A loop or branch shape with no `if`/`while` equivalent.
+    Unstructured(NodeId),
+    /// Internal walk limit exceeded (cyclic shape not recognized as a
+    /// loop).
+    WalkLimit,
+}
+
+impl fmt::Display for RestructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestructureError::Unstructured(n) => {
+                write!(f, "graph has no structured equivalent at {n}")
+            }
+            RestructureError::WalkLimit => write!(f, "walk limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for RestructureError {}
+
+/// Loop information: headers and their natural-loop node sets.
+struct Loops {
+    /// For each node id, the natural loop it heads (empty set if none).
+    body: Vec<HashSet<NodeId>>,
+}
+
+fn find_loops(fc: &Flowchart) -> Loops {
+    // Back edges via iterative DFS with an on-stack marker.
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Unseen,
+        Open,
+        Done,
+    }
+    let mut state = vec![State::Unseen; fc.len()];
+    let mut back_edges: Vec<(NodeId, NodeId)> = Vec::new();
+    // Explicit stack of (node, next-successor-index).
+    let mut stack: Vec<(NodeId, usize)> = vec![(fc.start(), 0)];
+    state[fc.start().0] = State::Open;
+    while let Some(&mut (n, ref mut i)) = stack.last_mut() {
+        let succs = fc.succ_list(n);
+        if *i < succs.len() {
+            let s = succs[*i];
+            *i += 1;
+            match state[s.0] {
+                State::Unseen => {
+                    state[s.0] = State::Open;
+                    stack.push((s, 0));
+                }
+                State::Open => back_edges.push((n, s)),
+                State::Done => {}
+            }
+        } else {
+            state[n.0] = State::Done;
+            stack.pop();
+        }
+    }
+    // Natural loops: walk predecessors from each back-edge source until
+    // the header.
+    let preds = predecessors(fc);
+    let mut body = vec![HashSet::new(); fc.len()];
+    for (src, header) in back_edges {
+        let set = &mut body[header.0];
+        set.insert(header);
+        let mut work = vec![src];
+        while let Some(n) = work.pop() {
+            if set.insert(n) {
+                for p in &preds[n.0] {
+                    work.push(*p);
+                }
+            }
+        }
+    }
+    Loops { body }
+}
+
+struct Restructurer<'a> {
+    fc: &'a Flowchart,
+    pd: PostDominators,
+    loops: Loops,
+    budget: usize,
+}
+
+impl<'a> Restructurer<'a> {
+    /// Walks from `at` to `stop` (exclusive), emitting statements.
+    fn walk(
+        &mut self,
+        mut at: NodeId,
+        stop: Option<NodeId>,
+        in_loop_of: Option<NodeId>,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), RestructureError> {
+        loop {
+            if Some(at) == stop {
+                return Ok(());
+            }
+            if self.budget == 0 {
+                return Err(RestructureError::WalkLimit);
+            }
+            self.budget -= 1;
+            match self.fc.node(at) {
+                Node::Start => {
+                    at = match self.fc.succ(at) {
+                        Succ::One(n) => n,
+                        _ => unreachable!("validated START"),
+                    };
+                }
+                Node::Halt => {
+                    out.push(Stmt::Halt);
+                    return Ok(());
+                }
+                Node::Assign { var, expr } => {
+                    out.push(Stmt::Assign(*var, expr.clone()));
+                    at = match self.fc.succ(at) {
+                        Succ::One(n) => n,
+                        _ => unreachable!("validated assignment"),
+                    };
+                }
+                Node::Decision { pred } => {
+                    let (then_, else_) = decision_targets(self.fc, at).expect("decision");
+                    let my_loop = &self.loops.body[at.0];
+                    if !my_loop.is_empty() {
+                        // `at` heads a natural loop: one arm must stay
+                        // inside it, the other leave it.
+                        let (body_entry, exit, guard) =
+                            match (my_loop.contains(&then_), my_loop.contains(&else_)) {
+                                (true, false) => (then_, else_, pred.clone()),
+                                (false, true) => (else_, then_, pred.clone().negated()),
+                                _ => return Err(RestructureError::Unstructured(at)),
+                            };
+                        // Every edge leaving the loop must go through this
+                        // header (no breaks).
+                        for n in my_loop {
+                            if *n == at {
+                                continue;
+                            }
+                            for s in self.fc.succ_list(*n) {
+                                if !my_loop.contains(&s) {
+                                    return Err(RestructureError::Unstructured(*n));
+                                }
+                            }
+                        }
+                        let mut body = Vec::new();
+                        if body_entry != at {
+                            self.walk(body_entry, Some(at), Some(at), &mut body)?;
+                        }
+                        out.push(Stmt::While(guard, body));
+                        at = exit;
+                    } else {
+                        // A plain conditional: rejoin at the immediate
+                        // postdominator (or never, when both arms halt).
+                        let join = self.pd.immediate(at);
+                        // The join must not jump out past our stop node.
+                        let effective_join = match (join, stop) {
+                            (Some(j), Some(s)) if j == s => Some(s),
+                            (j, _) => j,
+                        };
+                        let mut t = Vec::new();
+                        let mut e = Vec::new();
+                        self.walk(then_, effective_join, in_loop_of, &mut t)?;
+                        self.walk(else_, effective_join, in_loop_of, &mut e)?;
+                        out.push(Stmt::If(pred.clone(), t, e));
+                        match effective_join {
+                            Some(j) => {
+                                if Some(j) == stop {
+                                    return Ok(());
+                                }
+                                at = j;
+                            }
+                            None => return Ok(()),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Recovers a structured program from a reducible flowchart.
+///
+/// # Examples
+///
+/// ```
+/// use enf_flowchart::parse;
+/// use enf_flowchart::restructure::restructure;
+///
+/// let fc = parse("program(1) { if x1 == 0 { y := 1; } else { y := 2; } }").unwrap();
+/// let sp = restructure(&fc).unwrap();
+/// assert_eq!(sp.arity, 1);
+/// ```
+pub fn restructure(fc: &Flowchart) -> Result<StructuredProgram, RestructureError> {
+    let mut r = Restructurer {
+        fc,
+        pd: PostDominators::compute(fc),
+        loops: find_loops(fc),
+        budget: fc.len() * fc.len() * 4 + 64,
+    };
+    let mut body = Vec::new();
+    r.walk(fc.start(), None, None, &mut body)?;
+    Ok(StructuredProgram::new(fc.arity(), body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Expr, Pred, Var};
+    use crate::builder::Builder;
+    use crate::generate::{random_flowchart, GenConfig};
+    use crate::interp::{run, ExecConfig};
+    use crate::parser::parse;
+    use crate::structured::lower;
+
+    fn same_function(a: &Flowchart, b: &Flowchart, span: i64) {
+        assert_eq!(a.arity(), b.arity());
+        let cfg = ExecConfig::with_fuel(200_000);
+        let mut tuple = vec![-span; a.arity()];
+        loop {
+            let ra = run(a, &tuple, &cfg).value();
+            let rb = run(b, &tuple, &cfg).value();
+            assert_eq!(ra, rb, "differ at {tuple:?}");
+            // Odometer.
+            let mut i = tuple.len();
+            loop {
+                if i == 0 {
+                    return;
+                }
+                i -= 1;
+                if tuple[i] < span {
+                    tuple[i] += 1;
+                    break;
+                }
+                tuple[i] = -span;
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_roundtrip() {
+        let fc = parse("program(1) { y := x1 + 1; r1 := y; y := r1 * 2; }").unwrap();
+        let sp = restructure(&fc).unwrap();
+        same_function(&fc, &lower(&sp).unwrap(), 3);
+    }
+
+    #[test]
+    fn conditional_roundtrip() {
+        let fc =
+            parse("program(2) { if x1 == 0 { y := x2; } else { y := 1; } y := y + 1; }").unwrap();
+        let sp = restructure(&fc).unwrap();
+        assert!(matches!(sp.body[0], Stmt::If(..)));
+        same_function(&fc, &lower(&sp).unwrap(), 2);
+    }
+
+    #[test]
+    fn loop_roundtrip() {
+        let fc = parse(
+            "program(1) { r1 := x1; while r1 > 0 { y := y + 2; r1 := r1 - 1; } y := y + 1; }",
+        )
+        .unwrap();
+        let sp = restructure(&fc).unwrap();
+        assert!(sp.body.iter().any(|s| matches!(s, Stmt::While(..))));
+        same_function(&fc, &lower(&sp).unwrap(), 3);
+    }
+
+    #[test]
+    fn nested_structures_roundtrip() {
+        let fc = parse(
+            "program(2) {
+                r1 := 3;
+                while r1 > 0 {
+                    if x1 == 0 { y := y + x2; } else { y := y + 1; }
+                    r1 := r1 - 1;
+                }
+                if x2 == 0 { halt; }
+                y := y * 2;
+            }",
+        )
+        .unwrap();
+        let sp = restructure(&fc).unwrap();
+        same_function(&fc, &lower(&sp).unwrap(), 2);
+    }
+
+    #[test]
+    fn empty_loop_body_roundtrip() {
+        let fc = parse("program(1) { while false { skip; } y := 4; }").unwrap();
+        let sp = restructure(&fc).unwrap();
+        same_function(&fc, &lower(&sp).unwrap(), 1);
+    }
+
+    #[test]
+    fn both_arms_halting_roundtrip() {
+        let fc =
+            parse("program(1) { if x1 == 0 { y := 1; halt; } else { y := 2; halt; } }").unwrap();
+        let sp = restructure(&fc).unwrap();
+        same_function(&fc, &lower(&sp).unwrap(), 2);
+    }
+
+    #[test]
+    fn builder_graph_roundtrip() {
+        // A diamond built by hand, not via the lowering.
+        let mut b = Builder::new(1);
+        let d = b.decision(Pred::eq(Expr::x(1), Expr::c(0)));
+        let a1 = b.assign(Var::Out, Expr::c(10));
+        let a2 = b.assign(Var::Out, Expr::c(20));
+        let tail = b.assign(Var::Out, crate::ast::add(Expr::y(), Expr::c(1)));
+        let h = b.halt();
+        b.wire_start(d);
+        b.wire_cond(d, a1, a2);
+        b.wire(a1, tail);
+        b.wire(a2, tail);
+        b.wire(tail, h);
+        let fc = b.finish().unwrap();
+        let sp = restructure(&fc).unwrap();
+        same_function(&fc, &lower(&sp).unwrap(), 2);
+    }
+
+    #[test]
+    fn irreducible_graph_rejected() {
+        // A loop with a second entry: START branches into the middle of a
+        // cycle. No structured equivalent.
+        let mut b = Builder::new(1);
+        let d0 = b.decision(Pred::eq(Expr::x(1), Expr::c(0)));
+        let a1 = b.assign(Var::Out, crate::ast::add(Expr::y(), Expr::c(1)));
+        let d1 = b.decision(Pred::gt(Expr::y(), Expr::c(3)));
+        let a2 = b.assign(Var::Out, crate::ast::add(Expr::y(), Expr::c(2)));
+        let h = b.halt();
+        b.wire_start(d0);
+        // Two entries into the a1 → d1 → a2 → a1 cycle.
+        b.wire_cond(d0, a1, a2);
+        b.wire(a1, d1);
+        b.wire_cond(d1, h, a2);
+        b.wire(a2, a1);
+        let fc = b.finish().unwrap();
+        assert!(restructure(&fc).is_err());
+    }
+
+    #[test]
+    fn loop_with_break_rejected() {
+        // A counted loop with a second exit mid-body: not expressible
+        // without `break`.
+        let mut b = Builder::new(1);
+        let header = b.decision(Pred::gt(Expr::r(1), Expr::c(0)));
+        let mid = b.decision(Pred::eq(Expr::y(), Expr::c(5)));
+        let dec = b.assign(Var::Reg(1), crate::ast::sub(Expr::r(1), Expr::c(1)));
+        let bump = b.assign(Var::Out, crate::ast::add(Expr::y(), Expr::c(1)));
+        let h = b.halt();
+        let init = b.assign(Var::Reg(1), Expr::x(1));
+        b.wire_start(init);
+        b.wire(init, header);
+        b.wire_cond(header, mid, h);
+        b.wire_cond(mid, h, bump); // mid exits the loop directly: a break
+        b.wire(bump, dec);
+        b.wire(dec, header);
+        let fc = b.finish().unwrap();
+        assert_eq!(restructure(&fc), Err(RestructureError::Unstructured(mid)));
+    }
+
+    #[test]
+    fn random_lowered_graphs_roundtrip() {
+        let cfg = GenConfig::default();
+        for seed in 0..80u64 {
+            let fc = random_flowchart(seed, &cfg);
+            let sp = restructure(&fc)
+                .unwrap_or_else(|e| panic!("seed {seed} failed to restructure: {e}"));
+            same_function(&fc, &lower(&sp).unwrap(), 1);
+        }
+    }
+
+    #[test]
+    fn restructure_then_transform_pipeline() {
+        // The payoff: a graph-built program flows into the enf-static
+        // transform world. Here: restructure, print, reparse.
+        let mut b = Builder::new(2);
+        let d = b.decision(Pred::eq(Expr::x(1), Expr::c(1)));
+        let a1 = b.assign(Var::Reg(1), Expr::c(1));
+        let a2 = b.assign(Var::Reg(1), Expr::c(2));
+        let tail = b.assign(Var::Out, Expr::c(1));
+        let h = b.halt();
+        b.wire_start(d);
+        b.wire_cond(d, a1, a2);
+        b.wire(a1, tail);
+        b.wire(a2, tail);
+        b.wire(tail, h);
+        let fc = b.finish().unwrap();
+        let sp = restructure(&fc).unwrap();
+        let printed = crate::pretty::structured_to_string(&sp);
+        let back = crate::parser::parse_structured(&printed).unwrap();
+        same_function(&fc, &lower(&back).unwrap(), 2);
+    }
+}

@@ -1,0 +1,606 @@
+//! Compiling flowchart programs to Minsky machines.
+//!
+//! Example 1 frames programs as "the computation of some given
+//! Minsky-machine that was started with its ith register containing di".
+//! This module realizes the connection for the *natural-number fragment*
+//! of the flowchart language: sums of variables and nonnegative constants,
+//! the decrement `v := v - 1`, zero-tests (`== 0`, `!= 0`, `> 0`) and the
+//! structured control constructs. Within that fragment — and on
+//! nonnegative inputs that never drive a decremented variable below zero —
+//! the compiled machine computes exactly the flowchart's function, which
+//! the differential tests check.
+//!
+//! Classic register-machine technology: zero-tests are `DECJZ` followed by
+//! a restoring `INC`; copies go through a scratch register and a restore
+//! loop; the two-pass assembler resolves symbolic labels.
+
+use crate::machine::{Inst, MinskyMachine};
+use enf_flowchart::ast::{CmpOp, Expr, Pred, Var};
+use enf_flowchart::structured::{Stmt, StructuredProgram};
+use std::fmt;
+
+/// Why a program is outside the compilable fragment.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileError {
+    /// Expression uses an operation outside sums/decrements.
+    UnsupportedExpr(String),
+    /// Predicate is not a zero-test on a single variable.
+    UnsupportedPred(String),
+    /// A constant was negative.
+    NegativeConstant(i64),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UnsupportedExpr(e) => {
+                write!(f, "expression `{e}` outside the natural-sum fragment")
+            }
+            CompileError::UnsupportedPred(p) => {
+                write!(f, "predicate `{p}` is not a zero-test")
+            }
+            CompileError::NegativeConstant(c) => write!(f, "negative constant {c}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Assembly with symbolic labels, resolved by [`Assembler::finish`].
+enum Asm {
+    Inst(Inst),
+    /// `DECJZ r, label`.
+    DecJzL(usize, usize),
+    /// `JMP label`.
+    JmpL(usize),
+    /// Label definition.
+    Label(usize),
+}
+
+struct Assembler {
+    code: Vec<Asm>,
+    next_label: usize,
+}
+
+impl Assembler {
+    fn new() -> Self {
+        Assembler {
+            code: Vec::new(),
+            next_label: 0,
+        }
+    }
+
+    fn label(&mut self) -> usize {
+        self.next_label += 1;
+        self.next_label - 1
+    }
+
+    fn here(&mut self, l: usize) {
+        self.code.push(Asm::Label(l));
+    }
+
+    fn inc(&mut self, r: usize) {
+        self.code.push(Asm::Inst(Inst::Inc(r)));
+    }
+
+    fn decjz(&mut self, r: usize, l: usize) {
+        self.code.push(Asm::DecJzL(r, l));
+    }
+
+    fn jmp(&mut self, l: usize) {
+        self.code.push(Asm::JmpL(l));
+    }
+
+    fn halt(&mut self) {
+        self.code.push(Asm::Inst(Inst::Halt));
+    }
+
+    /// Clears register `r`.
+    fn clear(&mut self, r: usize) {
+        let head = self.label();
+        let end = self.label();
+        self.here(head);
+        self.decjz(r, end);
+        self.jmp(head);
+        self.here(end);
+    }
+
+    /// Adds `src` into `dst`, preserving `src`, trashing `scratch`.
+    fn add_preserving(&mut self, src: usize, dst: usize, scratch: usize) {
+        self.clear(scratch);
+        // Drain src into dst and scratch.
+        let drain = self.label();
+        let drained = self.label();
+        self.here(drain);
+        self.decjz(src, drained);
+        self.inc(dst);
+        self.inc(scratch);
+        self.jmp(drain);
+        self.here(drained);
+        // Restore src from scratch.
+        let restore = self.label();
+        let done = self.label();
+        self.here(restore);
+        self.decjz(scratch, done);
+        self.inc(src);
+        self.jmp(restore);
+        self.here(done);
+    }
+
+    fn finish(self, nregs: usize) -> MinskyMachine {
+        // First pass: compute instruction offsets of labels.
+        let mut offsets = vec![usize::MAX; self.next_label];
+        let mut pc = 0usize;
+        for a in &self.code {
+            match a {
+                Asm::Label(l) => offsets[*l] = pc,
+                _ => pc += 1,
+            }
+        }
+        let end = pc;
+        // Second pass: emit.
+        let mut prog = Vec::with_capacity(end);
+        for a in &self.code {
+            match a {
+                Asm::Label(_) => {}
+                Asm::Inst(i) => prog.push(*i),
+                Asm::DecJzL(r, l) => {
+                    let t = offsets[*l];
+                    prog.push(Inst::DecJz(*r, if t == usize::MAX { end } else { t }));
+                }
+                Asm::JmpL(l) => {
+                    let t = offsets[*l];
+                    prog.push(Inst::Jmp(if t == usize::MAX { end } else { t }));
+                }
+            }
+        }
+        MinskyMachine::new(nregs, prog)
+    }
+}
+
+/// A compiled program: the machine plus its register map.
+#[derive(Clone, Debug)]
+pub struct Compiled {
+    /// The machine; register 0 is `y`, registers `1..=k` the inputs.
+    pub machine: MinskyMachine,
+    /// Number of flowchart inputs.
+    pub arity: usize,
+}
+
+struct Ctx {
+    arity: usize,
+    regs: usize,
+    acc: usize,
+    scratch: usize,
+}
+
+impl Ctx {
+    fn reg_of(&self, v: Var) -> usize {
+        match v {
+            Var::Out => 0,
+            Var::Input(i) => i,
+            Var::Reg(j) => self.arity + j,
+        }
+    }
+}
+
+fn max_reg(body: &[Stmt]) -> usize {
+    fn expr_regs(e: &Expr, m: &mut usize) {
+        for v in e.vars() {
+            if let Var::Reg(j) = v {
+                *m = (*m).max(j);
+            }
+        }
+    }
+    fn stmt_regs(s: &Stmt, m: &mut usize) {
+        match s {
+            Stmt::Assign(v, e) => {
+                if let Var::Reg(j) = v {
+                    *m = (*m).max(*j);
+                }
+                expr_regs(e, m);
+            }
+            Stmt::If(p, t, e) => {
+                for v in p.vars() {
+                    if let Var::Reg(j) = v {
+                        *m = (*m).max(j);
+                    }
+                }
+                for s in t.iter().chain(e) {
+                    stmt_regs(s, m);
+                }
+            }
+            Stmt::While(p, b) => {
+                for v in p.vars() {
+                    if let Var::Reg(j) = v {
+                        *m = (*m).max(j);
+                    }
+                }
+                for s in b {
+                    stmt_regs(s, m);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut m = 0;
+    for s in body {
+        stmt_regs(s, &mut m);
+    }
+    m
+}
+
+/// Flattens a sum expression into (constant, variables), rejecting
+/// anything outside the fragment.
+fn flatten_sum(e: &Expr, consts: &mut i64, vars: &mut Vec<Var>) -> Result<(), CompileError> {
+    match e {
+        Expr::Const(c) => {
+            if *c < 0 {
+                return Err(CompileError::NegativeConstant(*c));
+            }
+            *consts += *c;
+            Ok(())
+        }
+        Expr::Var(v) => {
+            vars.push(*v);
+            Ok(())
+        }
+        Expr::Add(a, b) => {
+            flatten_sum(a, consts, vars)?;
+            flatten_sum(b, consts, vars)
+        }
+        other => Err(CompileError::UnsupportedExpr(
+            enf_flowchart::pretty::expr_to_string(other),
+        )),
+    }
+}
+
+/// The zero-test shape of a predicate: `(variable, jump-to-then when …)`.
+enum ZeroTest {
+    /// `v == 0`.
+    Eq(Var),
+    /// `v != 0` (equivalently `v > 0` over the naturals).
+    Ne(Var),
+}
+
+fn classify_pred(p: &Pred) -> Result<ZeroTest, CompileError> {
+    let unsupported = || {
+        Err(CompileError::UnsupportedPred(
+            enf_flowchart::pretty::pred_to_string(p),
+        ))
+    };
+    match p {
+        Pred::Cmp(op, a, b) => match (&**a, &**b, op) {
+            (Expr::Var(v), Expr::Const(0), CmpOp::Eq) => Ok(ZeroTest::Eq(*v)),
+            (Expr::Var(v), Expr::Const(0), CmpOp::Ne) => Ok(ZeroTest::Ne(*v)),
+            (Expr::Var(v), Expr::Const(0), CmpOp::Gt) => Ok(ZeroTest::Ne(*v)),
+            (Expr::Const(0), Expr::Var(v), CmpOp::Lt) => Ok(ZeroTest::Ne(*v)),
+            _ => unsupported(),
+        },
+        _ => unsupported(),
+    }
+}
+
+fn compile_stmts(asm: &mut Assembler, ctx: &Ctx, body: &[Stmt]) -> Result<(), CompileError> {
+    for s in body {
+        compile_stmt(asm, ctx, s)?;
+    }
+    Ok(())
+}
+
+fn compile_stmt(asm: &mut Assembler, ctx: &Ctx, s: &Stmt) -> Result<(), CompileError> {
+    match s {
+        Stmt::Skip => Ok(()),
+        Stmt::Halt => {
+            asm.halt();
+            Ok(())
+        }
+        Stmt::Assign(v, e) => {
+            // Special-case the monus decrement `v := v - 1`.
+            if let Expr::Sub(a, b) = e {
+                if matches!((&**a, &**b), (Expr::Var(w), Expr::Const(1)) if w == v) {
+                    let next = asm.label();
+                    asm.decjz(ctx.reg_of(*v), next);
+                    asm.here(next);
+                    return Ok(());
+                }
+            }
+            let mut c = 0i64;
+            let mut vars = Vec::new();
+            flatten_sum(e, &mut c, &mut vars)?;
+            let dst = ctx.reg_of(*v);
+            // Accumulate in acc so `v := v + w` style self-references work.
+            asm.clear(ctx.acc);
+            for _ in 0..c {
+                asm.inc(ctx.acc);
+            }
+            for w in vars {
+                asm.add_preserving(ctx.reg_of(w), ctx.acc, ctx.scratch);
+            }
+            // Move acc into dst (destructive move).
+            asm.clear(dst);
+            let head = asm.label();
+            let done = asm.label();
+            asm.here(head);
+            asm.decjz(ctx.acc, done);
+            asm.inc(dst);
+            asm.jmp(head);
+            asm.here(done);
+            Ok(())
+        }
+        Stmt::If(p, then_, else_) => {
+            let test = classify_pred(p)?;
+            let (var, then_on_zero) = match test {
+                ZeroTest::Eq(v) => (v, true),
+                ZeroTest::Ne(v) => (v, false),
+            };
+            let r = ctx.reg_of(var);
+            let on_zero = asm.label();
+            let end = asm.label();
+            asm.decjz(r, on_zero);
+            asm.inc(r); // restore the decrement taken on the nonzero path
+            if then_on_zero {
+                compile_stmts(asm, ctx, else_)?;
+                asm.jmp(end);
+                asm.here(on_zero);
+                compile_stmts(asm, ctx, then_)?;
+            } else {
+                compile_stmts(asm, ctx, then_)?;
+                asm.jmp(end);
+                asm.here(on_zero);
+                compile_stmts(asm, ctx, else_)?;
+            }
+            asm.here(end);
+            Ok(())
+        }
+        Stmt::While(p, b) => {
+            let test = classify_pred(p)?;
+            let (var, loop_on_zero) = match test {
+                ZeroTest::Eq(v) => (v, true),
+                ZeroTest::Ne(v) => (v, false),
+            };
+            let r = ctx.reg_of(var);
+            let head = asm.label();
+            let body_l = asm.label();
+            let end = asm.label();
+            asm.here(head);
+            asm.decjz(r, if loop_on_zero { body_l } else { end });
+            asm.inc(r);
+            if loop_on_zero {
+                // `while v == 0`: nonzero exits.
+                asm.jmp(end);
+                asm.here(body_l);
+            }
+            compile_stmts(asm, ctx, b)?;
+            asm.jmp(head);
+            asm.here(end);
+            Ok(())
+        }
+    }
+}
+
+/// Compiles a structured program in the natural-number fragment.
+pub fn compile(p: &StructuredProgram) -> Result<Compiled, CompileError> {
+    let regs = max_reg(&p.body);
+    let ctx = Ctx {
+        arity: p.arity,
+        regs,
+        acc: p.arity + regs + 1,
+        scratch: p.arity + regs + 2,
+    };
+    let nregs = ctx.scratch + 1;
+    let mut asm = Assembler::new();
+    compile_stmts(&mut asm, &ctx, &p.body)?;
+    asm.halt();
+    let _ = ctx.regs; // layout documented via the field
+    Ok(Compiled {
+        machine: asm.finish(nregs),
+        arity: p.arity,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enf_flowchart::generate::SplitMix;
+    use enf_flowchart::interp::{run, ExecConfig};
+    use enf_flowchart::parser::parse_structured;
+    use enf_flowchart::structured::lower;
+
+    fn run_both(src: &str, inputs: &[i64]) -> (i64, u64) {
+        let sp = parse_structured(src).unwrap();
+        let fc = lower(&sp).unwrap();
+        let fv = run(&fc, inputs, &ExecConfig::default()).unwrap_halted().y;
+        let c = compile(&sp).unwrap();
+        let init: Vec<u64> = std::iter::once(0)
+            .chain(inputs.iter().map(|v| *v as u64))
+            .collect();
+        let mv = c
+            .machine
+            .run(&init, 10_000_000)
+            .output()
+            .expect("machine halts");
+        (fv, mv)
+    }
+
+    #[test]
+    fn constant_assignment() {
+        let (f, m) = run_both("program(1) { y := 5; }", &[0]);
+        assert_eq!(f as u64, m);
+    }
+
+    #[test]
+    fn copy_input() {
+        let (f, m) = run_both("program(1) { y := x1; }", &[7]);
+        assert_eq!((f, m), (7, 7));
+    }
+
+    #[test]
+    fn sums_with_self_reference() {
+        let (f, m) = run_both("program(2) { y := x1 + x2 + 3; y := y + y; }", &[2, 4]);
+        assert_eq!(f, 18);
+        assert_eq!(m, 18);
+    }
+
+    #[test]
+    fn monus_decrement() {
+        let (f, m) = run_both("program(1) { y := x1; if y != 0 { y := y - 1; } }", &[3]);
+        assert_eq!((f, m), (2, 2));
+    }
+
+    #[test]
+    fn if_zero_test_both_paths() {
+        let src = "program(1) { if x1 == 0 { y := 10; } else { y := 20; } }";
+        assert_eq!(run_both(src, &[0]), (10, 10));
+        assert_eq!(run_both(src, &[4]), (20, 20));
+    }
+
+    #[test]
+    fn if_preserves_tested_variable() {
+        let src = "program(1) { if x1 != 0 { y := x1; } else { y := 99; } }";
+        assert_eq!(run_both(src, &[5]), (5, 5));
+        assert_eq!(run_both(src, &[0]), (99, 99));
+    }
+
+    #[test]
+    fn counted_loop() {
+        let src = "program(1) {
+            r1 := x1;
+            while r1 > 0 { y := y + 2; r1 := r1 - 1; }
+        }";
+        for x in 0..5 {
+            let (f, m) = run_both(src, &[x]);
+            assert_eq!(f, 2 * x, "flowchart at {x}");
+            assert_eq!(m, 2 * x as u64, "machine at {x}");
+        }
+    }
+
+    #[test]
+    fn nested_control() {
+        let src = "program(2) {
+            r1 := x1;
+            while r1 > 0 {
+                if x2 == 0 { y := y + 1; } else { y := y + 3; }
+                r1 := r1 - 1;
+            }
+        }";
+        assert_eq!(run_both(src, &[3, 0]), (3, 3));
+        assert_eq!(run_both(src, &[3, 9]), (9, 9));
+    }
+
+    #[test]
+    fn early_halt() {
+        let src = "program(1) { y := 1; if x1 == 0 { halt; } y := 2; }";
+        assert_eq!(run_both(src, &[0]), (1, 1));
+        assert_eq!(run_both(src, &[5]), (2, 2));
+    }
+
+    #[test]
+    fn unsupported_constructs_report_errors() {
+        let mul = parse_structured("program(1) { y := x1 * 2; }").unwrap();
+        assert!(matches!(
+            compile(&mul),
+            Err(CompileError::UnsupportedExpr(_))
+        ));
+        let cmp = parse_structured("program(2) { if x1 == x2 { y := 1; } }").unwrap();
+        assert!(matches!(
+            compile(&cmp),
+            Err(CompileError::UnsupportedPred(_))
+        ));
+        let neg = parse_structured("program(1) { y := 0 - 1 + x1; }").unwrap();
+        assert!(compile(&neg).is_err());
+    }
+
+    /// Differential test over randomly generated fragment programs.
+    #[test]
+    fn differential_random_fragment_programs() {
+        for seed in 0..60u64 {
+            let sp = random_fragment(seed);
+            let fc = lower(&sp).unwrap();
+            let c = compile(&sp).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            for x1 in 0..3i64 {
+                for x2 in 0..3i64 {
+                    let f = run(&fc, &[x1, x2], &ExecConfig::default())
+                        .unwrap_halted()
+                        .y;
+                    let m = c
+                        .machine
+                        .run(&[0, x1 as u64, x2 as u64], 10_000_000)
+                        .output()
+                        .unwrap_or_else(|| panic!("seed {seed} diverged"));
+                    assert_eq!(
+                        f as u64, m,
+                        "seed {seed} differs at ({x1}, {x2}): flowchart {f}, machine {m}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Generates a random program inside the compilable fragment: sums,
+    /// zero-tests, and counted loops whose counters are private registers.
+    fn random_fragment(seed: u64) -> StructuredProgram {
+        use enf_flowchart::ast::{add as eadd, Expr, Pred, Var};
+        let mut rng = SplitMix::new(seed);
+        let mut body = Vec::new();
+        let vars = [Var::Out, Var::Reg(1), Var::Reg(2)];
+        let reads = [
+            Var::Out,
+            Var::Reg(1),
+            Var::Reg(2),
+            Var::Input(1),
+            Var::Input(2),
+        ];
+        let rand_sum = |rng: &mut SplitMix| {
+            let mut e = Expr::Const(rng.below(3) as i64);
+            for _ in 0..rng.below(3) {
+                e = eadd(e, Expr::Var(reads[rng.below(5) as usize]));
+            }
+            e
+        };
+        for _ in 0..6 {
+            match rng.below(4) {
+                0 | 1 => {
+                    let v = vars[rng.below(3) as usize];
+                    let e = rand_sum(&mut rng);
+                    body.push(Stmt::Assign(v, e));
+                }
+                2 => {
+                    let t = reads[rng.below(5) as usize];
+                    let pred = if rng.below(2) == 0 {
+                        Pred::eq(Expr::Var(t), Expr::c(0))
+                    } else {
+                        Pred::ne(Expr::Var(t), Expr::c(0))
+                    };
+                    let v = vars[rng.below(3) as usize];
+                    let e1 = rand_sum(&mut rng);
+                    let w = vars[rng.below(3) as usize];
+                    let e2 = rand_sum(&mut rng);
+                    body.push(Stmt::If(
+                        pred,
+                        vec![Stmt::Assign(v, e1)],
+                        vec![Stmt::Assign(w, e2)],
+                    ));
+                }
+                _ => {
+                    // Counted loop on a dedicated register r3.
+                    let bound = rng.below(3) as i64;
+                    let v = vars[rng.below(3) as usize];
+                    let e = rand_sum(&mut rng);
+                    body.push(Stmt::Assign(Var::Reg(3), Expr::c(bound)));
+                    body.push(Stmt::While(
+                        Pred::gt(Expr::r(3), Expr::c(0)),
+                        vec![
+                            Stmt::Assign(v, e),
+                            Stmt::Assign(
+                                Var::Reg(3),
+                                Expr::Sub(Box::new(Expr::r(3)), Box::new(Expr::c(1))),
+                            ),
+                        ],
+                    ));
+                }
+            }
+        }
+        StructuredProgram::new(2, body)
+    }
+}

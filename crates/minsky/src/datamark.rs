@@ -1,0 +1,419 @@
+//! Fenton's data-mark machine, with the paper's three `halt` readings.
+//!
+//! Each register carries a [`Mark`] (`Null` or `Priv`), and so does the
+//! program counter. Branching on a `Priv` register marks the PC `Priv`;
+//! the mark is restored when control reaches the branch's *join point*
+//! (Fenton's class-restoring discipline — each conditional names its join
+//! explicitly here, mirroring his structured machine). An increment or
+//! decrement executed under a `Priv` PC marks the touched register `Priv`
+//! (implicit flow into data).
+//!
+//! The paper's Example 1 critique concerns the statement
+//! `if P = null then halt`:
+//!
+//! > "What happens if P ≠ null …? One possibility is to assume the halt
+//! > statement to be a no-op …; however, the semantics … are undefined in
+//! > case the halt statement is the last program statement. Another
+//! > possibility is that … an error message (i.e., a violation notice) is
+//! > output. This is, however, unsound because a program can be written
+//! > that will output an error message if and only if x = 0."
+//!
+//! [`HaltSemantics`] realizes all three readings:
+//!
+//! * [`HaltSemantics::Notice`] — the unsound reading (negative inference);
+//! * [`HaltSemantics::NoOp`] — halt skipped under `Priv` PC; a skipped
+//!   *final* halt leaves the machine stuck, modeled as divergence (the
+//!   "undefined" case — and itself a leak through termination);
+//! * [`HaltSemantics::AbortOnPrivBranch`] — the sound fix in the spirit of
+//!   the paper's Theorem 3′: refuse to *branch* on `Priv` data at all,
+//!   aborting with a notice before the secret can steer control.
+
+use crate::machine::Inst;
+use enf_core::{Program, Timed, TimedProgram, V};
+use std::rc::Rc;
+
+/// A security attribute: Fenton's `null` / `priv`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mark {
+    /// Unclassified.
+    Null,
+    /// Possibly contains privileged information.
+    Priv,
+}
+
+/// A data-mark instruction: the Minsky set, with conditionals naming their
+/// join point for PC-mark restoration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MInst {
+    /// `INC r`.
+    Inc(usize),
+    /// `DECJZ r, t, join`: branch on `r` (jump to `t` when zero); if `r`
+    /// is `Priv`, the PC is marked `Priv` until control reaches `join`.
+    DecJz(usize, usize, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// The contested `if P = null then halt`.
+    Halt,
+}
+
+impl MInst {
+    /// The plain (unmarked) Minsky equivalent.
+    pub fn erase(self) -> Inst {
+        match self {
+            MInst::Inc(r) => Inst::Inc(r),
+            MInst::DecJz(r, t, _) => Inst::DecJz(r, t),
+            MInst::Jmp(t) => Inst::Jmp(t),
+            MInst::Halt => Inst::Halt,
+        }
+    }
+}
+
+/// Which reading of `if P = null then halt` the machine uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HaltSemantics {
+    /// Emit a violation notice when halting under a `Priv` PC — the
+    /// unsound reading (Example 1).
+    Notice,
+    /// Treat the halt as a no-op under a `Priv` PC; undefined (here:
+    /// divergence) if execution then falls off the end.
+    NoOp,
+    /// Abort with a notice the moment a branch would test `Priv` data —
+    /// the sound fix (the Theorem 3′ discipline).
+    AbortOnPrivBranch,
+}
+
+/// Result of a data-mark run.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MarkedOutcome {
+    /// Halted normally; the output register's value is released.
+    Output(u64),
+    /// A violation notice was emitted.
+    Notice,
+    /// The machine got stuck or exceeded its fuel.
+    Diverged,
+}
+
+/// A data-mark machine: marked program plus initial register marks.
+#[derive(Clone, Debug)]
+pub struct DataMarkMachine {
+    program: Vec<MInst>,
+    nregs: usize,
+    init_marks: Vec<Mark>,
+    semantics: HaltSemantics,
+}
+
+impl DataMarkMachine {
+    /// Creates a machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range registers or jump/join targets, or if
+    /// `init_marks.len() != nregs`.
+    pub fn new(
+        nregs: usize,
+        program: Vec<MInst>,
+        init_marks: Vec<Mark>,
+        semantics: HaltSemantics,
+    ) -> Self {
+        assert_eq!(init_marks.len(), nregs, "one initial mark per register");
+        for (pc, inst) in program.iter().enumerate() {
+            match inst {
+                MInst::Inc(r) => assert!(*r < nregs, "instruction {pc}: r{r} out of range"),
+                MInst::DecJz(r, t, j) => {
+                    assert!(*r < nregs, "instruction {pc}: r{r} out of range");
+                    assert!(*t <= program.len(), "instruction {pc}: target out of range");
+                    assert!(*j <= program.len(), "instruction {pc}: join out of range");
+                }
+                MInst::Jmp(t) => {
+                    assert!(*t <= program.len(), "instruction {pc}: target out of range")
+                }
+                MInst::Halt => {}
+            }
+        }
+        DataMarkMachine {
+            program,
+            nregs,
+            init_marks,
+            semantics,
+        }
+    }
+
+    /// The halt semantics in force.
+    pub fn semantics(&self) -> HaltSemantics {
+        self.semantics
+    }
+
+    /// Runs the machine.
+    pub fn run(&self, init: &[u64], fuel: u64) -> (MarkedOutcome, u64) {
+        let mut regs = vec![0u64; self.nregs];
+        for (r, v) in regs.iter_mut().zip(init) {
+            *r = *v;
+        }
+        let mut marks = self.init_marks.clone();
+        let mut pc = 0usize;
+        // Stack of (join point, saved PC mark); PC mark is Priv iff the
+        // stack holds any Priv save or a Priv branch is active.
+        let mut joins: Vec<(usize, Mark)> = Vec::new();
+        let mut pc_mark = Mark::Null;
+        let mut steps = 0u64;
+        loop {
+            // Restore the PC mark at join points.
+            while let Some(&(join, saved)) = joins.last() {
+                if pc == join {
+                    pc_mark = saved;
+                    joins.pop();
+                } else {
+                    break;
+                }
+            }
+            if pc >= self.program.len() {
+                // Falling off the end without HALT: stuck ("undefined").
+                return (MarkedOutcome::Diverged, steps);
+            }
+            if steps >= fuel {
+                return (MarkedOutcome::Diverged, steps);
+            }
+            steps += 1;
+            match self.program[pc] {
+                MInst::Inc(r) => {
+                    regs[r] = regs[r].saturating_add(1);
+                    if pc_mark == Mark::Priv {
+                        marks[r] = Mark::Priv;
+                    }
+                    pc += 1;
+                }
+                MInst::DecJz(r, t, join) => {
+                    if marks[r] == Mark::Priv {
+                        if self.semantics == HaltSemantics::AbortOnPrivBranch {
+                            return (MarkedOutcome::Notice, steps);
+                        }
+                        joins.push((join, pc_mark));
+                        pc_mark = Mark::Priv;
+                    }
+                    if regs[r] == 0 {
+                        pc = t;
+                    } else {
+                        regs[r] -= 1;
+                        if pc_mark == Mark::Priv {
+                            marks[r] = Mark::Priv;
+                        }
+                        pc += 1;
+                    }
+                }
+                MInst::Jmp(t) => pc = t,
+                MInst::Halt => match (pc_mark, self.semantics) {
+                    (Mark::Null, _) => return (MarkedOutcome::Output(regs[0]), steps),
+                    (Mark::Priv, HaltSemantics::Notice) => return (MarkedOutcome::Notice, steps),
+                    (Mark::Priv, HaltSemantics::NoOp) => {
+                        pc += 1;
+                    }
+                    (Mark::Priv, HaltSemantics::AbortOnPrivBranch) => {
+                        // Unreachable in practice: a Priv PC requires a
+                        // Priv branch, which already aborted. Halt cleanly.
+                        return (MarkedOutcome::Notice, steps);
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// A data-mark machine as a 1-secret-input `enf_core` program: the secret
+/// loads register 1 (marked per the machine's `init_marks`); the
+/// observable is the [`MarkedOutcome`].
+#[derive(Clone, Debug)]
+pub struct DataMarkProgram {
+    machine: Rc<DataMarkMachine>,
+    arity: usize,
+    fuel: u64,
+}
+
+impl DataMarkProgram {
+    /// Wraps a machine as a `k`-input program (inputs load registers
+    /// `1..=k`).
+    pub fn new(machine: DataMarkMachine, arity: usize, fuel: u64) -> Self {
+        assert!(machine.nregs > arity, "need arity + 1 registers");
+        DataMarkProgram {
+            machine: Rc::new(machine),
+            arity,
+            fuel,
+        }
+    }
+}
+
+impl Program for DataMarkProgram {
+    type Out = MarkedOutcome;
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn eval(&self, input: &[V]) -> MarkedOutcome {
+        let regs: Vec<u64> = std::iter::once(0)
+            .chain(input.iter().map(|v| (*v).max(0) as u64))
+            .collect();
+        self.machine.run(&regs, self.fuel).0
+    }
+}
+
+impl TimedProgram for DataMarkProgram {
+    fn eval_timed(&self, input: &[V]) -> Timed<MarkedOutcome> {
+        let regs: Vec<u64> = std::iter::once(0)
+            .chain(input.iter().map(|v| (*v).max(0) as u64))
+            .collect();
+        let (out, steps) = self.machine.run(&regs, self.fuel);
+        Timed::new(out, steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn null_marks(n: usize) -> Vec<Mark> {
+        vec![Mark::Null; n]
+    }
+
+    #[test]
+    fn unmarked_machine_behaves_like_minsky() {
+        // r0 := r1 via the data-mark machine with all-null marks.
+        let m = DataMarkMachine::new(
+            2,
+            vec![
+                MInst::DecJz(1, 3, 3),
+                MInst::Inc(0),
+                MInst::Jmp(0),
+                MInst::Halt,
+            ],
+            null_marks(2),
+            HaltSemantics::Notice,
+        );
+        assert_eq!(m.run(&[0, 4], 1000).0, MarkedOutcome::Output(4));
+    }
+
+    #[test]
+    fn priv_branch_marks_pc_until_join() {
+        // Branch on priv r1, both arms write r2, then join and halt.
+        // Under Notice semantics the final halt is *after* the join, so
+        // the PC mark is restored and output flows — but r2 got marked.
+        let m = DataMarkMachine::new(
+            3,
+            vec![
+                // 0: if r1 == 0 jump 3 (join = 3)
+                MInst::DecJz(1, 3, 3),
+                // 1: r2++ (under priv PC)
+                MInst::Inc(2),
+                // 2: fall through to join
+                MInst::Jmp(3),
+                // 3: join; halt
+                MInst::Halt,
+            ],
+            vec![Mark::Null, Mark::Priv, Mark::Null],
+            HaltSemantics::Notice,
+        );
+        // Output register r0 is untouched: released fine either way.
+        assert_eq!(m.run(&[0, 0, 0], 100).0, MarkedOutcome::Output(0));
+        assert_eq!(m.run(&[0, 5, 0], 100).0, MarkedOutcome::Output(0));
+    }
+
+    #[test]
+    fn implicit_flow_marks_written_register() {
+        // Copy one bit of priv r1 into r0 via control flow, then try to
+        // release r0 — the halt is inside the priv region on one path.
+        let m = leak_machine(HaltSemantics::Notice);
+        // x = 0 path halts inside the region → Notice.
+        assert_eq!(m.run(&[0, 0], 100).0, MarkedOutcome::Notice);
+        // x ≠ 0 path reaches the join, PC restored → output released.
+        assert_eq!(m.run(&[0, 3], 100).0, MarkedOutcome::Output(1));
+    }
+
+    /// The paper's negative-inference program: notice ⟺ x = 0.
+    fn leak_machine(semantics: HaltSemantics) -> DataMarkMachine {
+        DataMarkMachine::new(
+            2,
+            vec![
+                // 0: if r1 == 0 jump to 3 (the in-region halt); join = 2.
+                MInst::DecJz(1, 3, 2),
+                // 1: fall through path: jump to join.
+                MInst::Jmp(2),
+                // 2: join; r0 := 1; halt normally.
+                MInst::Inc(0),
+                // 3: the contested halt, still inside the priv region.
+                MInst::Halt,
+                // 4: final halt (reached from join path via 2 → 3? no —
+                //    index 3 is the in-region halt; the join path runs
+                //    2 (Inc), then 3 (Halt) with PC restored at 2).
+            ],
+            vec![Mark::Null, Mark::Priv],
+            semantics,
+        )
+    }
+
+    #[test]
+    fn notice_semantics_is_a_negative_inference_leak() {
+        let m = leak_machine(HaltSemantics::Notice);
+        let zero = m.run(&[0, 0], 100).0;
+        let nonzero = m.run(&[0, 7], 100).0;
+        // The observer distinguishes x = 0 from x ≠ 0 by whether an error
+        // message appears — the paper's Holmesian "dog in the nighttime".
+        assert_eq!(zero, MarkedOutcome::Notice);
+        assert_eq!(nonzero, MarkedOutcome::Output(1));
+        assert_ne!(zero, nonzero);
+    }
+
+    #[test]
+    fn noop_semantics_leaks_through_termination_instead() {
+        // x = 0: halt at 3 is skipped (priv PC), control falls off the end
+        // — "undefined", modeled as divergence. x ≠ 0: normal output. The
+        // paper's point: the no-op reading does not rescue soundness when
+        // the halt is the last statement.
+        let m = leak_machine(HaltSemantics::NoOp);
+        assert_eq!(m.run(&[0, 0], 100).0, MarkedOutcome::Diverged);
+        assert_eq!(m.run(&[0, 7], 100).0, MarkedOutcome::Output(1));
+    }
+
+    #[test]
+    fn abort_semantics_is_uniform_hence_sound() {
+        let m = leak_machine(HaltSemantics::AbortOnPrivBranch);
+        let (a, sa) = m.run(&[0, 0], 100);
+        let (b, sb) = m.run(&[0, 7], 100);
+        assert_eq!(a, MarkedOutcome::Notice);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb, "even the abort time is secret-independent");
+    }
+
+    #[test]
+    fn soundness_checker_agrees_with_the_diagnosis() {
+        use enf_core::{check_soundness, Allow, Grid, Identity};
+        let g = Grid::hypercube(1, 0..=5);
+        let policy = Allow::none(1);
+        for (sem, expect_sound) in [
+            (HaltSemantics::Notice, false),
+            (HaltSemantics::NoOp, false),
+            (HaltSemantics::AbortOnPrivBranch, true),
+        ] {
+            let p = DataMarkProgram::new(leak_machine(sem), 1, 1000);
+            let sound = check_soundness(&Identity::new(p), &policy, &g, false).is_sound();
+            assert_eq!(sound, expect_sound, "semantics {sem:?}");
+        }
+    }
+
+    #[test]
+    fn erase_recovers_plain_instructions() {
+        assert_eq!(MInst::Inc(1).erase(), Inst::Inc(1));
+        assert_eq!(MInst::DecJz(1, 2, 3).erase(), Inst::DecJz(1, 2));
+        assert_eq!(MInst::Jmp(4).erase(), Inst::Jmp(4));
+        assert_eq!(MInst::Halt.erase(), Inst::Halt);
+    }
+
+    #[test]
+    #[should_panic(expected = "one initial mark per register")]
+    fn marks_must_match_registers() {
+        DataMarkMachine::new(
+            2,
+            vec![MInst::Halt],
+            vec![Mark::Null],
+            HaltSemantics::Notice,
+        );
+    }
+}

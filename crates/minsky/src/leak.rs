@@ -1,0 +1,100 @@
+//! Leak quantification for marked machines.
+//!
+//! An observer who sees a machine's observable behaviour partitions the
+//! secret space into indistinguishability classes; the mechanism leaks
+//! `log2(#classes)` bits. A sound mechanism for `allow()` induces exactly
+//! one class.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Partitions `secrets` by the observable `f` produces, returning the
+/// classes (each a list of secrets with identical observations).
+pub fn distinguishable_classes<S, O, F>(secrets: &[S], f: F) -> Vec<Vec<S>>
+where
+    S: Clone,
+    O: Eq + Hash,
+    F: Fn(&S) -> O,
+{
+    // Classes come back in first-seen order.
+    let mut index: HashMap<O, usize> = HashMap::new();
+    let mut out: Vec<Vec<S>> = Vec::new();
+    for s in secrets {
+        let key = f(s);
+        let i = *index.entry(key).or_insert_with(|| {
+            out.push(Vec::new());
+            out.len() - 1
+        });
+        out[i].push(s.clone());
+    }
+    out
+}
+
+/// Bits leaked: `log2` of the number of distinguishable classes.
+pub fn bits_leaked(classes: usize) -> f64 {
+    if classes <= 1 {
+        0.0
+    } else {
+        (classes as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datamark::HaltSemantics;
+    use crate::programs::negative_inference_machine;
+
+    #[test]
+    fn constant_observable_leaks_nothing() {
+        let classes = distinguishable_classes(&[0u64, 1, 2, 3], |_| 42u64);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(bits_leaked(classes.len()), 0.0);
+    }
+
+    #[test]
+    fn identity_observable_leaks_everything() {
+        let secrets: Vec<u64> = (0..8).collect();
+        let classes = distinguishable_classes(&secrets, |s| *s);
+        assert_eq!(classes.len(), 8);
+        assert!((bits_leaked(8) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn notice_semantics_leaks_one_bit() {
+        let m = negative_inference_machine(HaltSemantics::Notice);
+        let secrets: Vec<u64> = (0..10).collect();
+        let classes = distinguishable_classes(&secrets, |&x| m.run(&[0, x], 1000).0);
+        assert_eq!(classes.len(), 2, "x = 0 vs x ≠ 0");
+        assert!((bits_leaked(2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abort_semantics_leaks_zero_bits() {
+        let m = negative_inference_machine(HaltSemantics::AbortOnPrivBranch);
+        let secrets: Vec<u64> = (0..10).collect();
+        let classes = distinguishable_classes(&secrets, |&x| m.run(&[0, x], 1000).0);
+        assert_eq!(classes.len(), 1);
+    }
+
+    #[test]
+    fn noop_semantics_still_leaks_one_bit() {
+        let m = negative_inference_machine(HaltSemantics::NoOp);
+        let secrets: Vec<u64> = (0..10).collect();
+        let classes = distinguishable_classes(&secrets, |&x| m.run(&[0, x], 1000).0);
+        assert_eq!(classes.len(), 2);
+    }
+
+    #[test]
+    fn timing_included_observable_leaks_more() {
+        // Observing (outcome, steps) of the copy loop distinguishes every
+        // secret value.
+        let m = crate::programs::copy_machine();
+        let secrets: Vec<u64> = (0..6).collect();
+        let classes = distinguishable_classes(&secrets, |&x| {
+            let out = m.run(&[0, x], 1000);
+            (out.output(), out.steps())
+        });
+        assert_eq!(classes.len(), 6);
+    }
+}

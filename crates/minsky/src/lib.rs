@@ -1,0 +1,36 @@
+//! Fenton's data-mark machine (the paper's Example 1) on a Minsky
+//! register-machine substrate.
+//!
+//! "Fenton studies programs Q of the form Q: D1 × … × Dk → E … The value
+//! Q(d1, …, dk) is the value obtained by the computation of some given
+//! Minsky-machine that was started with its ith register containing di.
+//! Each register has a security attribute of either *null* or *priv*."
+//!
+//! * [`machine`] — the plain Minsky machine: natural-number registers,
+//!   `INC` / `DECJZ` / `HALT`, with step counting and a fuel bound.
+//! * [`datamark`] — Fenton's data-mark layer: per-register marks, a marked
+//!   program counter that is set by branches on `priv` data and restored at
+//!   the branch's join point, and — crucially — the paper's three readings
+//!   of the ambiguous `if P = null then halt` statement. The `Notice`
+//!   reading reproduces the unsoundness the paper diagnoses ("a program
+//!   can be written that will output an error message if and only if
+//!   x = 0" — negative inference); the `AbortOnPrivBranch` reading is the
+//!   sound fix the paper's Theorem 3′ recipe suggests.
+//! * [`programs`] — the machines used by the experiments, including the
+//!   negative-inference leak program.
+//! * [`leak`] — leak quantification: how many secret values an observer
+//!   can distinguish from the machine's observable behaviour.
+//! * [`compile`] — a compiler from the flowchart language's natural-number
+//!   fragment to Minsky machines, closing the loop on Example 1's framing
+//!   (differentially tested against the flowchart interpreter).
+
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod datamark;
+pub mod leak;
+pub mod machine;
+pub mod programs;
+
+pub use datamark::{DataMarkMachine, HaltSemantics, Mark, MarkedOutcome};
+pub use machine::{Inst, MinskyMachine, MinskyOutcome};

@@ -1,0 +1,341 @@
+//! The plain Minsky register machine.
+//!
+//! Registers hold natural numbers; the instruction set is the classic
+//! minimal pair — increment, and decrement-or-jump-if-zero — plus an
+//! explicit `HALT`. Register 0 is the output register by convention.
+
+use enf_core::{Program, Timed, TimedProgram, V};
+use std::rc::Rc;
+
+/// A Minsky machine instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Inst {
+    /// `INC r`: increment register `r`.
+    Inc(usize),
+    /// `DECJZ r, t`: if register `r` is zero jump to instruction `t`,
+    /// otherwise decrement it and fall through.
+    DecJz(usize, usize),
+    /// Unconditional jump to instruction `t` (sugar: `DECJZ scratch, t`
+    /// with an always-zero scratch register; provided natively for
+    /// readability).
+    Jmp(usize),
+    /// Stop; the observable output is register 0.
+    Halt,
+}
+
+/// Result of running a machine.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MinskyOutcome {
+    /// Halted with the final register file.
+    Halted {
+        /// Registers at halt.
+        regs: Vec<u64>,
+        /// Instructions executed.
+        steps: u64,
+    },
+    /// Ran past the end of the program (no `HALT`) — treated as halting
+    /// with the current registers, per the "fall off the end" convention.
+    FellOff {
+        /// Registers at exit.
+        regs: Vec<u64>,
+        /// Instructions executed.
+        steps: u64,
+    },
+    /// Fuel exhausted.
+    OutOfFuel,
+}
+
+impl MinskyOutcome {
+    /// The output (register 0), if the machine stopped.
+    pub fn output(&self) -> Option<u64> {
+        match self {
+            MinskyOutcome::Halted { regs, .. } | MinskyOutcome::FellOff { regs, .. } => {
+                Some(regs.first().copied().unwrap_or(0))
+            }
+            MinskyOutcome::OutOfFuel => None,
+        }
+    }
+
+    /// Steps executed, if the machine stopped.
+    pub fn steps(&self) -> Option<u64> {
+        match self {
+            MinskyOutcome::Halted { steps, .. } | MinskyOutcome::FellOff { steps, .. } => {
+                Some(*steps)
+            }
+            MinskyOutcome::OutOfFuel => None,
+        }
+    }
+}
+
+/// A Minsky machine: a program over `nregs` registers.
+#[derive(Clone, Debug)]
+pub struct MinskyMachine {
+    program: Vec<Inst>,
+    nregs: usize,
+}
+
+impl MinskyMachine {
+    /// Creates a machine, checking that register and jump targets are in
+    /// range (jump targets may be one past the end, meaning "exit").
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range register or jump target.
+    pub fn new(nregs: usize, program: Vec<Inst>) -> Self {
+        for (pc, inst) in program.iter().enumerate() {
+            match inst {
+                Inst::Inc(r) | Inst::DecJz(r, _) => {
+                    assert!(*r < nregs, "instruction {pc}: register r{r} out of range");
+                }
+                _ => {}
+            }
+            if let Inst::DecJz(_, t) | Inst::Jmp(t) = inst {
+                assert!(
+                    *t <= program.len(),
+                    "instruction {pc}: jump target {t} out of range"
+                );
+            }
+        }
+        MinskyMachine { program, nregs }
+    }
+
+    /// The instruction list.
+    pub fn program(&self) -> &[Inst] {
+        &self.program
+    }
+
+    /// Number of registers.
+    pub fn nregs(&self) -> usize {
+        self.nregs
+    }
+
+    /// Runs the machine from the given initial registers.
+    ///
+    /// Missing initial registers default to 0; extras are ignored.
+    pub fn run(&self, init: &[u64], fuel: u64) -> MinskyOutcome {
+        let mut regs = vec![0u64; self.nregs];
+        for (r, v) in regs.iter_mut().zip(init) {
+            *r = *v;
+        }
+        let mut pc = 0usize;
+        let mut steps = 0u64;
+        loop {
+            if pc >= self.program.len() {
+                return MinskyOutcome::FellOff { regs, steps };
+            }
+            if steps >= fuel {
+                return MinskyOutcome::OutOfFuel;
+            }
+            steps += 1;
+            match self.program[pc] {
+                Inst::Inc(r) => {
+                    regs[r] = regs[r].saturating_add(1);
+                    pc += 1;
+                }
+                Inst::DecJz(r, t) => {
+                    if regs[r] == 0 {
+                        pc = t;
+                    } else {
+                        regs[r] -= 1;
+                        pc += 1;
+                    }
+                }
+                Inst::Jmp(t) => pc = t,
+                Inst::Halt => return MinskyOutcome::Halted { regs, steps },
+            }
+        }
+    }
+}
+
+/// The observable output of a Minsky-machine program, totalized.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MinskyValue {
+    /// Halted with this output-register value.
+    Value(u64),
+    /// Did not halt within the fuel bound.
+    Diverged,
+}
+
+/// A Minsky machine as an `enf_core` program: input `i` loads register
+/// `i` (1-based inputs land in registers `1..=k`; register 0 is output).
+///
+/// Negative integer inputs clamp to 0 — the machine computes over the
+/// naturals, as in Fenton's model.
+#[derive(Clone, Debug)]
+pub struct MinskyProgram {
+    machine: Rc<MinskyMachine>,
+    arity: usize,
+    fuel: u64,
+}
+
+impl MinskyProgram {
+    /// Wraps a machine as a `k`-input program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has fewer than `k + 1` registers.
+    pub fn new(machine: MinskyMachine, arity: usize, fuel: u64) -> Self {
+        assert!(
+            machine.nregs() > arity,
+            "need registers 0..={arity} for output plus {arity} inputs"
+        );
+        MinskyProgram {
+            machine: Rc::new(machine),
+            arity,
+            fuel,
+        }
+    }
+
+    /// The underlying machine.
+    pub fn machine(&self) -> &MinskyMachine {
+        &self.machine
+    }
+
+    fn init_regs(&self, input: &[V]) -> Vec<u64> {
+        let mut regs = vec![0u64; self.machine.nregs()];
+        for (i, v) in input.iter().enumerate() {
+            regs[i + 1] = (*v).max(0) as u64;
+        }
+        regs
+    }
+}
+
+impl Program for MinskyProgram {
+    type Out = MinskyValue;
+
+    fn arity(&self) -> usize {
+        self.arity
+    }
+
+    fn eval(&self, input: &[V]) -> MinskyValue {
+        match self.machine.run(&self.init_regs(input), self.fuel).output() {
+            Some(v) => MinskyValue::Value(v),
+            None => MinskyValue::Diverged,
+        }
+    }
+}
+
+impl TimedProgram for MinskyProgram {
+    fn eval_timed(&self, input: &[V]) -> Timed<MinskyValue> {
+        let out = self.machine.run(&self.init_regs(input), self.fuel);
+        match (&out.output(), out.steps()) {
+            (Some(v), Some(s)) => Timed::new(MinskyValue::Value(*v), s),
+            _ => Timed::new(MinskyValue::Diverged, self.fuel),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_and_halt() {
+        let m = MinskyMachine::new(1, vec![Inst::Inc(0), Inst::Inc(0), Inst::Halt]);
+        let out = m.run(&[], 100);
+        assert_eq!(out.output(), Some(2));
+        assert_eq!(out.steps(), Some(3));
+    }
+
+    #[test]
+    fn decjz_jumps_on_zero_and_decrements_otherwise() {
+        // Move r1 into r0: loop { if r1 == 0 jump end; r1--; r0++; }.
+        let m = MinskyMachine::new(
+            2,
+            vec![
+                Inst::DecJz(1, 4),
+                Inst::Inc(0),
+                Inst::Jmp(0),
+                Inst::Halt, // unreachable
+                Inst::Halt,
+            ],
+        );
+        assert_eq!(m.run(&[0, 5], 1000).output(), Some(5));
+        assert_eq!(m.run(&[0, 0], 1000).output(), Some(0));
+    }
+
+    #[test]
+    fn addition_machine() {
+        // r0 := r1 + r2.
+        let m = MinskyMachine::new(
+            3,
+            vec![
+                Inst::DecJz(1, 3),
+                Inst::Inc(0),
+                Inst::Jmp(0),
+                Inst::DecJz(2, 6),
+                Inst::Inc(0),
+                Inst::Jmp(3),
+                Inst::Halt,
+            ],
+        );
+        assert_eq!(m.run(&[0, 3, 4], 1000).output(), Some(7));
+    }
+
+    #[test]
+    fn falling_off_the_end_is_an_exit() {
+        let m = MinskyMachine::new(1, vec![Inst::Inc(0)]);
+        match m.run(&[], 100) {
+            MinskyOutcome::FellOff { regs, steps } => {
+                assert_eq!(regs[0], 1);
+                assert_eq!(steps, 1);
+            }
+            other => panic!("expected fall-off, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let m = MinskyMachine::new(1, vec![Inst::Jmp(0)]);
+        assert_eq!(m.run(&[], 50), MinskyOutcome::OutOfFuel);
+    }
+
+    #[test]
+    #[should_panic(expected = "register r3 out of range")]
+    fn bad_register_rejected() {
+        MinskyMachine::new(2, vec![Inst::Inc(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "jump target 9 out of range")]
+    fn bad_target_rejected() {
+        MinskyMachine::new(1, vec![Inst::Jmp(9)]);
+    }
+
+    #[test]
+    fn jump_to_one_past_end_is_exit() {
+        let m = MinskyMachine::new(1, vec![Inst::Jmp(1)]);
+        assert!(matches!(m.run(&[], 10), MinskyOutcome::FellOff { .. }));
+    }
+
+    #[test]
+    fn program_adapter_maps_inputs_to_registers() {
+        // r0 := r1 (copy input 1 to output).
+        let m = MinskyMachine::new(
+            2,
+            vec![Inst::DecJz(1, 3), Inst::Inc(0), Inst::Jmp(0), Inst::Halt],
+        );
+        let p = MinskyProgram::new(m, 1, 10_000);
+        assert_eq!(p.eval(&[7]), MinskyValue::Value(7));
+        assert_eq!(p.eval(&[-5]), MinskyValue::Value(0), "negatives clamp");
+        let t = p.eval_timed(&[3]);
+        assert!(t.steps > 0);
+    }
+
+    #[test]
+    fn timing_depends_on_input_for_copy_loop() {
+        let m = MinskyMachine::new(
+            2,
+            vec![Inst::DecJz(1, 3), Inst::Inc(0), Inst::Jmp(0), Inst::Halt],
+        );
+        let p = MinskyProgram::new(m, 1, 10_000);
+        assert!(p.eval_timed(&[9]).steps > p.eval_timed(&[1]).steps);
+    }
+
+    #[test]
+    fn saturating_increment_keeps_totality() {
+        let m = MinskyMachine::new(1, vec![Inst::Inc(0), Inst::Halt]);
+        let out = m.run(&[u64::MAX], 10);
+        assert_eq!(out.output(), Some(u64::MAX));
+    }
+}

@@ -1,0 +1,129 @@
+//! Machines used by the experiments.
+
+use crate::datamark::{DataMarkMachine, HaltSemantics, MInst, Mark};
+use crate::machine::{Inst, MinskyMachine};
+
+/// `r0 := r1` — the copy loop (also a timing channel: runs in Θ(r1)).
+pub fn copy_machine() -> MinskyMachine {
+    MinskyMachine::new(
+        2,
+        vec![Inst::DecJz(1, 3), Inst::Inc(0), Inst::Jmp(0), Inst::Halt],
+    )
+}
+
+/// `r0 := r1 + r2`.
+pub fn add_machine() -> MinskyMachine {
+    MinskyMachine::new(
+        3,
+        vec![
+            Inst::DecJz(1, 3),
+            Inst::Inc(0),
+            Inst::Jmp(0),
+            Inst::DecJz(2, 6),
+            Inst::Inc(0),
+            Inst::Jmp(3),
+            Inst::Halt,
+        ],
+    )
+}
+
+/// `r0 := (r1 == 0 ? 1 : 0)` — a one-bit test, constant output size but
+/// branch-dependent control flow.
+pub fn is_zero_machine() -> MinskyMachine {
+    MinskyMachine::new(
+        2,
+        vec![
+            Inst::DecJz(1, 2),
+            Inst::Halt, // r1 > 0: output 0
+            Inst::Inc(0),
+            Inst::Halt, // r1 == 0: output 1
+        ],
+    )
+}
+
+/// The paper's negative-inference machine: with [`HaltSemantics::Notice`]
+/// it "will output an error message if and only if x = 0" (x in register
+/// 1, marked `priv`).
+pub fn negative_inference_machine(semantics: HaltSemantics) -> DataMarkMachine {
+    DataMarkMachine::new(
+        2,
+        vec![
+            // 0: branch on priv r1; zero-path jumps into the region's halt.
+            MInst::DecJz(1, 3, 2),
+            // 1: nonzero path heads for the join.
+            MInst::Jmp(2),
+            // 2: join (PC mark restored); produce the normal output 1 …
+            MInst::Inc(0),
+            // 3: … and halt. The zero path arrives here still marked.
+            MInst::Halt,
+        ],
+        vec![Mark::Null, Mark::Priv],
+        semantics,
+    )
+}
+
+/// A data-mark machine that *legitimately* computes on null data next to a
+/// priv register it never touches — the case every semantics must accept.
+pub fn benign_machine(semantics: HaltSemantics) -> DataMarkMachine {
+    DataMarkMachine::new(
+        3,
+        vec![
+            // r0 := r2 (null); r1 (priv) untouched.
+            MInst::DecJz(2, 3, 3),
+            MInst::Inc(0),
+            MInst::Jmp(0),
+            MInst::Halt,
+        ],
+        vec![Mark::Null, Mark::Priv, Mark::Null],
+        semantics,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datamark::MarkedOutcome;
+
+    #[test]
+    fn copy_copies() {
+        assert_eq!(copy_machine().run(&[0, 9], 1000).output(), Some(9));
+    }
+
+    #[test]
+    fn add_adds() {
+        assert_eq!(add_machine().run(&[0, 2, 5], 1000).output(), Some(7));
+    }
+
+    #[test]
+    fn is_zero_tests() {
+        assert_eq!(is_zero_machine().run(&[0, 0], 100).output(), Some(1));
+        assert_eq!(is_zero_machine().run(&[0, 4], 100).output(), Some(0));
+    }
+
+    #[test]
+    fn negative_inference_leaks_exactly_under_notice() {
+        let m = negative_inference_machine(HaltSemantics::Notice);
+        assert_eq!(m.run(&[0, 0], 100).0, MarkedOutcome::Notice);
+        for x in 1..5 {
+            assert_eq!(m.run(&[0, x], 100).0, MarkedOutcome::Output(1));
+        }
+    }
+
+    #[test]
+    fn benign_machine_accepted_by_every_semantics() {
+        for sem in [
+            HaltSemantics::Notice,
+            HaltSemantics::NoOp,
+            HaltSemantics::AbortOnPrivBranch,
+        ] {
+            let m = benign_machine(sem);
+            for (x, z) in [(0u64, 0u64), (5, 3), (9, 7)] {
+                assert_eq!(
+                    m.run(&[0, x, z], 1000).0,
+                    MarkedOutcome::Output(z),
+                    "sem {sem:?}"
+                );
+            }
+        }
+    }
+}

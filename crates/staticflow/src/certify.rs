@@ -1,0 +1,352 @@
+//! Compile-time certification and the zero-overhead static mechanism.
+//!
+//! "Using static techniques to produce programs would result in efficient
+//! security enforcement. Of course, this requires that the security policy
+//! be known at compile time." (Section 5.)
+//!
+//! [`certify`] runs a [`crate::dataflow`] analysis once, at "compile time",
+//! and decides whether the program can ever release disallowed
+//! information. [`CertifiedMechanism`] then enforces the policy with *no
+//! per-step cost*: a certified program runs unmodified; a rejected one is
+//! either refused outright or handed to the dynamic surveillance mechanism
+//! (the hybrid the paper's compile-time discussion implies).
+
+use crate::dataflow::{analyze, PcDiscipline};
+use enf_core::{IndexSet, MechOutput, Mechanism, Notice, V};
+use enf_flowchart::interp::ExecValue;
+use enf_flowchart::program::FlowchartProgram;
+use enf_surveillance::mechanism::Surveillance;
+
+/// Which static analysis backs the certification.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Analysis {
+    /// Faithful abstraction of dynamic surveillance (monotone `C̄`):
+    /// certified ⟹ the dynamic mechanism would never violate.
+    Surveillance,
+    /// Denning & Denning-style scoping: certified ⟹ the released value is
+    /// independent of denied inputs on terminating runs (termination- and
+    /// timing-insensitive).
+    Scoped,
+}
+
+impl Analysis {
+    fn discipline(self) -> PcDiscipline {
+        match self {
+            Analysis::Surveillance => PcDiscipline::Monotone,
+            Analysis::Scoped => PcDiscipline::Scoped,
+        }
+    }
+}
+
+/// The verdict of compile-time certification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Certification {
+    /// Every HALT's static `ȳ ∪ C̄` is inside `J`: the program may run
+    /// unmodified.
+    Certified,
+    /// Some HALT may release disallowed information.
+    Rejected {
+        /// The offending static taint (union over failing HALTs).
+        taint: IndexSet,
+    },
+}
+
+impl Certification {
+    /// Whether the program was certified.
+    pub fn is_certified(&self) -> bool {
+        matches!(self, Certification::Certified)
+    }
+}
+
+/// Certifies a flowchart against `allow(J)` using the chosen analysis.
+///
+/// # Examples
+///
+/// ```
+/// use enf_core::IndexSet;
+/// use enf_flowchart::parse;
+/// use enf_static::certify::{certify, Analysis};
+///
+/// let fc = parse("program(2) { y := x2; }").unwrap();
+/// assert!(certify(&fc, IndexSet::single(2), Analysis::Surveillance).is_certified());
+/// assert!(!certify(&fc, IndexSet::single(1), Analysis::Surveillance).is_certified());
+/// ```
+pub fn certify(
+    fc: &enf_flowchart::graph::Flowchart,
+    allowed: IndexSet,
+    analysis: Analysis,
+) -> Certification {
+    let facts = analyze(fc, analysis.discipline());
+    let mut bad = IndexSet::empty();
+    for h in fc.halts() {
+        let t = facts.halt_taint(h);
+        if !t.is_subset(&allowed) {
+            bad.union_with(&t.difference(&allowed));
+        }
+    }
+    if bad.is_empty() {
+        Certification::Certified
+    } else {
+        Certification::Rejected { taint: bad }
+    }
+}
+
+/// What a rejected program falls back to.
+#[derive(Clone, Debug)]
+pub enum Fallback {
+    /// Refuse every run (the static-only deployment).
+    Reject,
+    /// Run the dynamic surveillance mechanism instead (hybrid deployment).
+    Dynamic,
+}
+
+/// The compile-time mechanism: certified programs run at native speed;
+/// rejected ones follow the configured fallback.
+pub struct CertifiedMechanism {
+    program: FlowchartProgram,
+    verdict: Certification,
+    fallback_mech: Option<Surveillance>,
+    notice: Notice,
+}
+
+impl CertifiedMechanism {
+    /// Notice code for statically rejected programs.
+    pub const STATIC_REJECT_CODE: u32 = 200;
+
+    /// Builds the mechanism, running certification once up front.
+    pub fn new(
+        program: FlowchartProgram,
+        allowed: IndexSet,
+        analysis: Analysis,
+        fallback: Fallback,
+    ) -> Self {
+        let verdict = certify(program.flowchart(), allowed, analysis);
+        let fallback_mech = match (&verdict, &fallback) {
+            (Certification::Rejected { .. }, Fallback::Dynamic) => {
+                Some(Surveillance::new(program.clone(), allowed))
+            }
+            _ => None,
+        };
+        CertifiedMechanism {
+            program,
+            verdict,
+            fallback_mech,
+            notice: Notice::new(
+                Self::STATIC_REJECT_CODE,
+                "statically rejected: possible disallowed flow",
+            ),
+        }
+    }
+
+    /// The compile-time verdict.
+    pub fn verdict(&self) -> &Certification {
+        &self.verdict
+    }
+
+    /// Whether runs execute the unmodified program (zero overhead).
+    pub fn is_native(&self) -> bool {
+        self.verdict.is_certified()
+    }
+}
+
+impl Mechanism for CertifiedMechanism {
+    type Out = ExecValue;
+
+    fn arity(&self) -> usize {
+        use enf_core::Program as _;
+        self.program.arity()
+    }
+
+    fn run(&self, input: &[V]) -> MechOutput<ExecValue> {
+        use enf_core::Program as _;
+        match (&self.verdict, &self.fallback_mech) {
+            (Certification::Certified, _) => MechOutput::Value(self.program.eval(input)),
+            (Certification::Rejected { .. }, Some(dynamic)) => dynamic.run(input),
+            (Certification::Rejected { .. }, None) => MechOutput::Violation(self.notice.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enf_core::{
+        check_protection, check_soundness, compare, Allow, Grid, InputDomain, MechOrdering,
+        Policy as _,
+    };
+    use enf_flowchart::corpus;
+    use enf_flowchart::generate::{random_flowchart, GenConfig};
+    use enf_flowchart::parse;
+
+    fn fcp(src: &str) -> FlowchartProgram {
+        FlowchartProgram::new(parse(src).unwrap())
+    }
+
+    #[test]
+    fn clean_program_certified_under_both_analyses() {
+        let fc = parse("program(2) { if x2 > 0 { y := x2; } else { y := 0; } }").unwrap();
+        for a in [Analysis::Surveillance, Analysis::Scoped] {
+            assert!(certify(&fc, IndexSet::single(2), a).is_certified());
+        }
+    }
+
+    #[test]
+    fn rejected_taint_names_the_offenders() {
+        let fc = parse("program(3) { y := x1 + x3; }").unwrap();
+        match certify(&fc, IndexSet::single(1), Analysis::Surveillance) {
+            Certification::Rejected { taint } => assert_eq!(taint, IndexSet::single(3)),
+            Certification::Certified => panic!("should reject"),
+        }
+    }
+
+    #[test]
+    fn certified_implies_dynamic_never_violates() {
+        // The certification theorem for the surveillance analysis,
+        // property-tested on random programs.
+        let gen = GenConfig::default();
+        let g = Grid::hypercube(2, -1..=1);
+        let mut certified_seen = 0;
+        for seed in 500..620 {
+            let fc = random_flowchart(seed, &gen);
+            for j in [IndexSet::single(1), IndexSet::single(2), IndexSet::full(2)] {
+                if certify(&fc, j, Analysis::Surveillance).is_certified() {
+                    certified_seen += 1;
+                    let m = Surveillance::new(FlowchartProgram::new(fc.clone()), j);
+                    for a in g.iter_inputs() {
+                        assert!(
+                            !m.run(&a).is_violation(),
+                            "seed {seed}, J = {j}: certified program violated at {a:?}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(
+            certified_seen > 0,
+            "generator never produced a certified case"
+        );
+    }
+
+    #[test]
+    fn example7_certified_only_by_scoped_analysis() {
+        // The paper's Example 7 motivates recognizing higher-level
+        // constructs: the faithful surveillance abstraction rejects, the
+        // scoped analysis certifies.
+        let pp = corpus::example7();
+        assert!(
+            !certify(&pp.flowchart, pp.policy.allowed(), Analysis::Surveillance).is_certified()
+        );
+        assert!(certify(&pp.flowchart, pp.policy.allowed(), Analysis::Scoped).is_certified());
+    }
+
+    #[test]
+    fn example9_duplication_enables_nothing_statically_but_scoped_rejects_both() {
+        // Example 9 under allow(1): every variant may flow x2 to y on the
+        // x1 ≠ 0 path, so whole-program certification must reject all of
+        // them; the per-path refinement is the dynamic mechanism's job.
+        for pp in [corpus::example9(), corpus::example9_duplicated()] {
+            for a in [Analysis::Surveillance, Analysis::Scoped] {
+                assert!(
+                    !certify(&pp.flowchart, pp.policy.allowed(), a).is_certified(),
+                    "{} wrongly certified",
+                    pp.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn native_mechanism_is_sound_and_protective() {
+        let p = fcp("program(2) { y := x2 * x2; }");
+        let m = CertifiedMechanism::new(
+            p.clone(),
+            IndexSet::single(2),
+            Analysis::Surveillance,
+            Fallback::Reject,
+        );
+        assert!(m.is_native());
+        let g = Grid::hypercube(2, -2..=2);
+        assert!(check_protection(&m, &p, &g).is_ok());
+        assert!(check_soundness(&m, &Allow::new(2, [2]), &g, false).is_sound());
+    }
+
+    #[test]
+    fn reject_fallback_is_the_plug() {
+        let p = fcp("program(2) { y := x1; }");
+        let m = CertifiedMechanism::new(
+            p,
+            IndexSet::single(2),
+            Analysis::Surveillance,
+            Fallback::Reject,
+        );
+        assert!(!m.is_native());
+        let g = Grid::hypercube(2, -2..=2);
+        for a in g.iter_inputs() {
+            match m.run(&a) {
+                MechOutput::Violation(n) => {
+                    assert_eq!(n.code(), CertifiedMechanism::STATIC_REJECT_CODE)
+                }
+                MechOutput::Value(_) => panic!("rejected program ran"),
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_fallback_matches_surveillance() {
+        let pp = corpus::forgetting();
+        let p = FlowchartProgram::new(pp.flowchart.clone());
+        let hybrid = CertifiedMechanism::new(
+            p.clone(),
+            pp.policy.allowed(),
+            Analysis::Surveillance,
+            Fallback::Dynamic,
+        );
+        let dynamic = Surveillance::new(p, pp.policy.allowed());
+        let g = Grid::hypercube(2, -2..=2);
+        assert!(!hybrid.is_native());
+        let r = compare(&hybrid, &dynamic, &g);
+        assert_eq!(r.ordering, MechOrdering::Equal);
+    }
+
+    #[test]
+    fn static_reject_less_complete_than_dynamic_on_forgetting() {
+        // The price of static-only enforcement: the dynamic mechanism
+        // accepts the x2 == 0 runs that whole-program certification must
+        // give up on.
+        let pp = corpus::forgetting();
+        let p = FlowchartProgram::new(pp.flowchart.clone());
+        let static_only = CertifiedMechanism::new(
+            p.clone(),
+            pp.policy.allowed(),
+            Analysis::Surveillance,
+            Fallback::Reject,
+        );
+        let dynamic = Surveillance::new(p, pp.policy.allowed());
+        let g = Grid::hypercube(2, -2..=2);
+        let r = compare(&dynamic, &static_only, &g);
+        assert_eq!(r.ordering, MechOrdering::FirstMore);
+    }
+
+    #[test]
+    fn scoped_certification_sound_on_terminating_corpus() {
+        // Scoped-certified programs really are policy-respecting on the
+        // terminating corpus: run Q natively and check soundness.
+        for pp in corpus::all() {
+            if certify(&pp.flowchart, pp.policy.allowed(), Analysis::Scoped).is_certified() {
+                let p = FlowchartProgram::new(pp.flowchart.clone());
+                let m = CertifiedMechanism::new(
+                    p,
+                    pp.policy.allowed(),
+                    Analysis::Scoped,
+                    Fallback::Reject,
+                );
+                let g = Grid::hypercube(pp.policy.arity(), 0..=4);
+                assert!(
+                    check_soundness(&m, &pp.policy, &g, false).is_sound(),
+                    "scoped certification unsound on {}",
+                    pp.name
+                );
+            }
+        }
+    }
+}

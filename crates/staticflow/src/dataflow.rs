@@ -1,0 +1,399 @@
+//! May-taint dataflow analysis over the flowchart CFG.
+//!
+//! Two program-counter disciplines, matching the two enforcement styles the
+//! paper discusses:
+//!
+//! * [`PcDiscipline::Monotone`] — the faithful abstraction of the dynamic
+//!   surveillance mechanism: like the paper's `C̄`, the PC taint only ever
+//!   grows along a path. The resulting facts over-approximate every
+//!   dynamic run, so "statically clean" implies "dynamically never
+//!   violates" (the certification theorem tested in [`crate::certify`]).
+//! * [`PcDiscipline::Scoped`] — Denning & Denning-style certification: a
+//!   decision's implicit flow covers exactly the nodes between the
+//!   decision and its immediate postdominator (its control-dependence
+//!   region). More permissive — it certifies Example 7's program — but
+//!   termination- and timing-insensitive, the caveat the paper's
+//!   observability postulate is about.
+//!
+//! The analysis is a standard worklist fixed point; per-node *may* facts
+//! are unions over incoming paths. Taint domains are [`IndexSet`]s, so the
+//! lattice is finite and the fixed point is reached quickly.
+
+use enf_core::IndexSet;
+use enf_flowchart::analysis::{decision_targets, PostDominators};
+use enf_flowchart::ast::Var;
+use enf_flowchart::graph::{Flowchart, Node, NodeId};
+use std::collections::HashSet;
+
+/// How implicit (program-counter) flows are scoped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PcDiscipline {
+    /// PC taint never shrinks along a path — the paper's `C̄`.
+    Monotone,
+    /// PC taint of a decision applies only within its control-dependence
+    /// region (up to the immediate postdominator).
+    Scoped,
+}
+
+/// A variable valuation of taints at one program point.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TaintEnv {
+    inputs: Vec<IndexSet>,
+    regs: Vec<IndexSet>,
+    out: IndexSet,
+    /// PC taint on entry to the node (monotone discipline only; scoped PC
+    /// is computed separately from regions).
+    pub pc: IndexSet,
+}
+
+impl TaintEnv {
+    fn bottom(arity: usize, regs: usize) -> Self {
+        TaintEnv {
+            inputs: vec![IndexSet::empty(); arity],
+            regs: vec![IndexSet::empty(); regs],
+            out: IndexSet::empty(),
+            pc: IndexSet::empty(),
+        }
+    }
+
+    fn init(arity: usize, regs: usize) -> Self {
+        TaintEnv {
+            inputs: (1..=arity).map(IndexSet::single).collect(),
+            regs: vec![IndexSet::empty(); regs],
+            out: IndexSet::empty(),
+            pc: IndexSet::empty(),
+        }
+    }
+
+    /// The taint of a variable in this environment.
+    pub fn get(&self, var: Var) -> IndexSet {
+        match var {
+            Var::Input(i) => self.inputs[i - 1],
+            Var::Reg(j) => self.regs.get(j - 1).copied().unwrap_or_default(),
+            Var::Out => self.out,
+        }
+    }
+
+    fn set(&mut self, var: Var, t: IndexSet) {
+        match var {
+            Var::Input(i) => self.inputs[i - 1] = t,
+            Var::Reg(j) => {
+                if j > self.regs.len() {
+                    self.regs.resize(j, IndexSet::empty());
+                }
+                self.regs[j - 1] = t;
+            }
+            Var::Out => self.out = t,
+        }
+    }
+
+    fn join_from(&mut self, other: &TaintEnv) -> bool {
+        let mut changed = false;
+        for (a, b) in self.inputs.iter_mut().zip(&other.inputs) {
+            let u = a.union(b);
+            if u != *a {
+                *a = u;
+                changed = true;
+            }
+        }
+        if other.regs.len() > self.regs.len() {
+            self.regs.resize(other.regs.len(), IndexSet::empty());
+            changed = true;
+        }
+        for (j, b) in other.regs.iter().enumerate() {
+            let u = self.regs[j].union(b);
+            if u != self.regs[j] {
+                self.regs[j] = u;
+                changed = true;
+            }
+        }
+        let u = self.out.union(&other.out);
+        if u != self.out {
+            self.out = u;
+            changed = true;
+        }
+        let u = self.pc.union(&other.pc);
+        if u != self.pc {
+            self.pc = u;
+            changed = true;
+        }
+        changed
+    }
+
+    fn taint_of_vars(&self, vars: &[Var]) -> IndexSet {
+        let mut t = IndexSet::empty();
+        for v in vars {
+            t.union_with(&self.get(*v));
+        }
+        t
+    }
+}
+
+/// The result of the analysis.
+#[derive(Clone, Debug)]
+pub struct FlowFacts {
+    /// Entry environment per node (index = node id).
+    pub at_entry: Vec<TaintEnv>,
+    /// Scoped PC taint per node (empty sets under the monotone discipline,
+    /// where `at_entry[n].pc` carries the PC fact instead).
+    pub scoped_pc: Vec<IndexSet>,
+    discipline: PcDiscipline,
+}
+
+impl FlowFacts {
+    /// The effective PC taint at a node under the chosen discipline.
+    pub fn pc_at(&self, n: NodeId) -> IndexSet {
+        match self.discipline {
+            PcDiscipline::Monotone => self.at_entry[n.0].pc,
+            PcDiscipline::Scoped => self.scoped_pc[n.0],
+        }
+    }
+
+    /// The static taint of the released output at a HALT node:
+    /// `ȳ ∪ C̄` there.
+    pub fn halt_taint(&self, halt: NodeId) -> IndexSet {
+        self.at_entry[halt.0].get(Var::Out).union(&self.pc_at(halt))
+    }
+
+    /// The discipline the facts were computed under.
+    pub fn discipline(&self) -> PcDiscipline {
+        self.discipline
+    }
+}
+
+/// The control-dependence region of a decision: nodes reachable from its
+/// successors without passing through its immediate postdominator. When the
+/// decision has no immediate postdominator (its branches never rejoin
+/// before HALT), the region extends to everything reachable.
+fn region(fc: &Flowchart, d: NodeId, ipdom: Option<NodeId>) -> HashSet<NodeId> {
+    let mut seen = HashSet::new();
+    let (t, e) = decision_targets(fc, d).expect("decision node");
+    let mut stack = vec![t, e];
+    while let Some(n) = stack.pop() {
+        if Some(n) == ipdom || !seen.insert(n) {
+            continue;
+        }
+        for s in fc.succ_list(n) {
+            stack.push(s);
+        }
+    }
+    seen
+}
+
+/// Runs the analysis to a fixed point.
+pub fn analyze(fc: &Flowchart, discipline: PcDiscipline) -> FlowFacts {
+    let n = fc.len();
+    let regs = fc.max_reg();
+    let mut at_entry: Vec<TaintEnv> = vec![TaintEnv::bottom(fc.arity(), regs); n];
+    at_entry[fc.start().0] = TaintEnv::init(fc.arity(), regs);
+
+    // Precompute control-dependence regions for the scoped discipline.
+    let regions: Vec<(NodeId, HashSet<NodeId>)> = if discipline == PcDiscipline::Scoped {
+        let pd = PostDominators::compute(fc);
+        fc.iter()
+            .filter(|(_, node, _)| matches!(node, Node::Decision { .. }))
+            .map(|(id, _, _)| (id, region(fc, id, pd.immediate(id))))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut scoped_pc: Vec<IndexSet> = vec![IndexSet::empty(); n];
+    // Outer loop: scoped PC facts feed the env transfer (assignments pick
+    // up the PC) and env facts feed the PC (predicate taints); iterate the
+    // pair to a joint fixed point. Everything only grows, so this
+    // terminates.
+    loop {
+        // Inner worklist over the env facts.
+        let mut work: Vec<NodeId> = (0..n).map(NodeId).collect();
+        while let Some(id) = work.pop() {
+            let node = fc.node(id);
+            let mut out_env = at_entry[id.0].clone();
+            match node {
+                Node::Start | Node::Halt => {}
+                Node::Assign { var, expr } => {
+                    let pc_here = match discipline {
+                        PcDiscipline::Monotone => out_env.pc,
+                        PcDiscipline::Scoped => scoped_pc[id.0],
+                    };
+                    let t = out_env.taint_of_vars(&expr.vars()).union(&pc_here);
+                    out_env.set(*var, t);
+                }
+                Node::Decision { pred } => {
+                    if discipline == PcDiscipline::Monotone {
+                        let t = out_env.taint_of_vars(&pred.vars());
+                        out_env.pc.union_with(&t);
+                    }
+                }
+            }
+            for s in fc.succ_list(id) {
+                if at_entry[s.0].join_from(&out_env) {
+                    work.push(s);
+                }
+            }
+        }
+        if discipline == PcDiscipline::Monotone {
+            break;
+        }
+        // Recompute scoped PC from the (possibly grown) env facts.
+        let mut changed = false;
+        for (d, nodes) in &regions {
+            let pred_vars = match fc.node(*d) {
+                Node::Decision { pred } => pred.vars(),
+                _ => unreachable!(),
+            };
+            let t = at_entry[d.0]
+                .taint_of_vars(&pred_vars)
+                .union(&scoped_pc[d.0]);
+            for m in nodes {
+                let u = scoped_pc[m.0].union(&t);
+                if u != scoped_pc[m.0] {
+                    scoped_pc[m.0] = u;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    FlowFacts {
+        at_entry,
+        scoped_pc,
+        discipline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enf_flowchart::parse;
+
+    fn halts_taint(src: &str, d: PcDiscipline) -> IndexSet {
+        let fc = parse(src).unwrap();
+        let facts = analyze(&fc, d);
+        let mut t = IndexSet::empty();
+        for h in fc.halts() {
+            t.union_with(&facts.halt_taint(h));
+        }
+        t
+    }
+
+    #[test]
+    fn direct_flow_tracked() {
+        let t = halts_taint("program(2) { y := x1 + x2; }", PcDiscipline::Monotone);
+        assert_eq!(t, IndexSet::from_iter([1, 2]));
+    }
+
+    #[test]
+    fn constants_untainted() {
+        let t = halts_taint("program(2) { y := 7; }", PcDiscipline::Monotone);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn implicit_flow_tracked_under_both_disciplines() {
+        let src = "program(1) { if x1 == 0 { y := 0; } else { y := 1; } }";
+        assert_eq!(
+            halts_taint(src, PcDiscipline::Monotone),
+            IndexSet::single(1)
+        );
+        assert_eq!(halts_taint(src, PcDiscipline::Scoped), IndexSet::single(1));
+    }
+
+    #[test]
+    fn monotone_pc_persists_past_join_scoped_does_not() {
+        // Example 7's shape: the branch on x1 is over before y is set.
+        let src = "program(2) { if x1 == 1 { r1 := 1; } else { r1 := 2; } y := 1; }";
+        assert_eq!(
+            halts_taint(src, PcDiscipline::Monotone),
+            IndexSet::single(1),
+            "monotone C̄ keeps the branch taint to HALT"
+        );
+        assert!(
+            halts_taint(src, PcDiscipline::Scoped).is_empty(),
+            "scoped PC ends at the join point"
+        );
+    }
+
+    #[test]
+    fn scoped_discipline_still_taints_inside_region() {
+        // An assignment *inside* the branch picks up the PC taint and
+        // carries it out through the data flow.
+        let src = "program(2) { if x1 == 1 { r1 := 1; } else { r1 := 2; } y := r1; }";
+        let t = halts_taint(src, PcDiscipline::Scoped);
+        assert!(t.contains(1), "r1's branch taint must reach y: {t}");
+    }
+
+    #[test]
+    fn loop_carried_taint_reaches_fixed_point() {
+        // r2 picks up x1 only through the loop's data recurrence.
+        let src = "program(2) {
+            r1 := 3;
+            while r1 > 0 { r2 := r2 + x1; r1 := r1 - 1; }
+            y := r2;
+        }";
+        let t = halts_taint(src, PcDiscipline::Scoped);
+        assert!(t.contains(1));
+    }
+
+    #[test]
+    fn loop_guard_taints_body_in_both_disciplines() {
+        let src = "program(1) { while x1 > 0 { x1 := x1 - 1; y := y + 1; } }";
+        assert!(halts_taint(src, PcDiscipline::Monotone).contains(1));
+        assert!(halts_taint(src, PcDiscipline::Scoped).contains(1));
+    }
+
+    #[test]
+    fn scoped_loop_guard_influence_ends_after_loop() {
+        // Assignments after the loop do not pick up the guard's taint.
+        let src = "program(2) { while x1 > 0 { x1 := x1 - 1; } y := x2; }";
+        let t = halts_taint(src, PcDiscipline::Scoped);
+        assert_eq!(t, IndexSet::single(2));
+        // Monotone keeps it.
+        let t = halts_taint(src, PcDiscipline::Monotone);
+        assert_eq!(t, IndexSet::from_iter([1, 2]));
+    }
+
+    #[test]
+    fn nested_branch_taints_accumulate_in_region() {
+        let src = "program(3) {
+            if x1 == 0 {
+                if x2 == 0 { y := 1; } else { y := 2; }
+            } else { y := 3; }
+        }";
+        let t = halts_taint(src, PcDiscipline::Scoped);
+        assert_eq!(t, IndexSet::from_iter([1, 2]));
+    }
+
+    #[test]
+    fn static_overapproximates_dynamic_surveillance() {
+        // Monotone facts must cover every dynamic run's final taints.
+        use enf_core::{Grid, InputDomain};
+        use enf_flowchart::generate::{random_flowchart, GenConfig};
+        use enf_surveillance::dynamic::{run_surveillance, SurvConfig, SurvOutcome};
+        let cfg = GenConfig::default();
+        for seed in 400..440 {
+            let fc = random_flowchart(seed, &cfg);
+            let facts = analyze(&fc, PcDiscipline::Monotone);
+            let mut static_halt = IndexSet::empty();
+            for h in fc.halts() {
+                static_halt.union_with(&facts.halt_taint(h));
+            }
+            // Dynamic runs: any violation taint must be inside the static
+            // halt taint (checking at the HALT site).
+            let scfg = SurvConfig::surveillance(IndexSet::empty());
+            for a in Grid::hypercube(2, -1..=1).iter_inputs() {
+                if let SurvOutcome::Violation { taint, site, .. } = run_surveillance(&fc, &a, &scfg)
+                {
+                    let covered = facts.halt_taint(site);
+                    assert!(
+                        taint.is_subset(&covered),
+                        "seed {seed}: dynamic {taint} ⊄ static {covered} at {site}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Static enforcement: compile-time flow analysis, certification, and the
+//! program transformations of Sections 4–5.
+//!
+//! Section 5: "static information flow analysis techniques can be used to
+//! determine the flow of information that will occur at the time a program
+//! is executed … Using static techniques to produce programs would result
+//! in efficient security enforcement." This crate provides:
+//!
+//! * [`dataflow`] — two may-taint analyses over the flowchart CFG:
+//!   a *faithful* abstraction of the dynamic surveillance mechanism
+//!   (program-counter taint monotone along paths, as the paper's `C̄` is)
+//!   and a *scoped* analysis in the style of Denning & Denning where a
+//!   branch's implicit flow ends at its immediate postdominator;
+//! * [`certify`] — compile-time certification and the zero-overhead
+//!   [`certify::CertifiedMechanism`];
+//! * [`transform`] — functionally-equivalent rewrites (if-then-else →
+//!   data-flow selection, assignment duplication/sinking, loop unrolling,
+//!   constant folding) whose effect on mechanism completeness the paper
+//!   studies in Examples 7–9;
+//! * [`equiv`] — empirical functional-equivalence checking used to validate
+//!   every transform;
+//! * [`search`] — a heuristic transform-selection pipeline. Theorem 4 shows
+//!   no algorithm can pick transforms optimally; the pipeline hill-climbs
+//!   on measured completeness instead, and the benches price that search.
+
+#![warn(missing_docs)]
+
+pub mod certify;
+pub mod dataflow;
+pub mod equiv;
+pub mod search;
+pub mod transform;
+
+pub use certify::{certify, Analysis, Certification, CertifiedMechanism};
+pub use dataflow::{analyze, FlowFacts};
+pub use equiv::equivalent_on;

@@ -1,0 +1,250 @@
+//! Heuristic transform selection.
+//!
+//! "Whether to apply a transform or not is not necessarily a clearcut
+//! decision. In fact the optimal strategy for deciding is not, as the next
+//! theorem shows, computable." (Theorem 4.) What *is* computable is
+//! measured improvement on a finite validation domain: [`improve`] greedily
+//! applies whichever transform most increases the surveillance mechanism's
+//! acceptance count, validating functional equivalence at every step, and
+//! stops at a local optimum.
+//!
+//! Example 7's program improves to fully accepting; Example 8's program is
+//! left untouched (every transform candidate hurts or is neutral) — the two
+//! poles the paper uses to show the decision is program-dependent.
+
+use crate::equiv::equivalent_on;
+use crate::transform::all_transforms;
+use enf_core::{Grid, IndexSet, InputDomain};
+use enf_flowchart::structured::{lower, StructuredProgram};
+use enf_surveillance::dynamic::{run_surveillance, SurvConfig};
+
+/// One accepted rewrite step.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SearchStep {
+    /// The transform applied.
+    pub transform: &'static str,
+    /// Acceptance count after applying it.
+    pub accepted: usize,
+}
+
+/// The result of a greedy improvement run.
+#[derive(Clone, Debug)]
+pub struct SearchResult {
+    /// The best program found (functionally equivalent to the input).
+    pub best: StructuredProgram,
+    /// Acceptance count of the original program's surveillance mechanism.
+    pub accepted_before: usize,
+    /// Acceptance count of the best program's surveillance mechanism.
+    pub accepted_after: usize,
+    /// Inputs in the validation grid.
+    pub total: usize,
+    /// The accepted rewrite steps, in order.
+    pub steps: Vec<SearchStep>,
+}
+
+impl SearchResult {
+    /// Whether the search strictly improved completeness.
+    pub fn improved(&self) -> bool {
+        self.accepted_after > self.accepted_before
+    }
+}
+
+/// Counts how many grid inputs the surveillance mechanism accepts for the
+/// lowered program.
+pub fn acceptance_count(p: &StructuredProgram, allowed: IndexSet, grid: &Grid) -> usize {
+    let fc = lower(p).expect("program must lower");
+    let cfg = SurvConfig::surveillance(allowed);
+    grid.iter_inputs()
+        .filter(|a| run_surveillance(&fc, a, &cfg).accepted().is_some())
+        .count()
+}
+
+/// Greedily improves the surveillance mechanism's completeness by applying
+/// functionally-equivalent transforms.
+///
+/// Each candidate is validated for functional equivalence on the grid
+/// before being scored; a candidate that is not equivalent (which would
+/// indicate a transform bug) is discarded.
+pub fn improve(
+    program: &StructuredProgram,
+    allowed: IndexSet,
+    grid: &Grid,
+    max_rounds: usize,
+) -> SearchResult {
+    let transforms = all_transforms();
+    let fuel = 100_000;
+    let original = lower(program).expect("program must lower");
+    let before = acceptance_count(program, allowed, grid);
+    let mut best = program.clone();
+    let mut best_score = before;
+    let mut steps = Vec::new();
+    for _ in 0..max_rounds {
+        let mut round_best: Option<(usize, StructuredProgram, &'static str)> = None;
+        for t in &transforms {
+            let Some(candidate) = t.apply(&best) else {
+                continue;
+            };
+            let Ok(cand_fc) = lower(&candidate) else {
+                continue;
+            };
+            if equivalent_on(&original, &cand_fc, grid, fuel).is_err() {
+                // A transform that changes semantics is a bug; skip it
+                // defensively rather than ship a wrong mechanism.
+                continue;
+            }
+            let score = acceptance_count(&candidate, allowed, grid);
+            if score > best_score
+                && round_best
+                    .as_ref()
+                    .map(|(s, _, _)| score > *s)
+                    .unwrap_or(true)
+            {
+                round_best = Some((score, candidate, t.name()));
+            }
+        }
+        match round_best {
+            Some((score, candidate, name)) => {
+                best = candidate;
+                best_score = score;
+                steps.push(SearchStep {
+                    transform: name,
+                    accepted: score,
+                });
+            }
+            None => break,
+        }
+    }
+    SearchResult {
+        best,
+        accepted_before: before,
+        accepted_after: best_score,
+        total: grid.len(),
+        steps,
+    }
+}
+
+/// Like [`improve`], but starting from a flowchart *graph*: the structure
+/// is first recovered with [`enf_flowchart::restructure`], so graph-built
+/// programs (including instrumented ones) can be optimized too.
+pub fn improve_graph(
+    fc: &enf_flowchart::graph::Flowchart,
+    allowed: IndexSet,
+    grid: &Grid,
+    max_rounds: usize,
+) -> Result<SearchResult, enf_flowchart::restructure::RestructureError> {
+    let sp = enf_flowchart::restructure::restructure(fc)?;
+    Ok(improve(&sp, allowed, grid, max_rounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enf_flowchart::parser::parse_structured;
+
+    #[test]
+    fn example7_improves_to_fully_accepting() {
+        let p =
+            parse_structured("program(2) { if x1 == 1 { r1 := 1; } else { r1 := 2; } y := 1; }")
+                .unwrap();
+        let grid = Grid::hypercube(2, -2..=2);
+        let r = improve(&p, IndexSet::single(2), &grid, 5);
+        assert_eq!(r.accepted_before, 0);
+        assert_eq!(r.accepted_after, grid.len());
+        assert!(r.improved());
+        assert!(r.steps.iter().any(|s| s.transform == "if-to-ite"));
+    }
+
+    #[test]
+    fn example8_is_left_alone() {
+        let p =
+            parse_structured("program(2) { if x2 == 1 { y := 1; } else { y := x1; } }").unwrap();
+        let grid = Grid::hypercube(2, -2..=2);
+        let r = improve(&p, IndexSet::single(2), &grid, 5);
+        // Surveillance accepts the x2 == 1 column (5 inputs); no transform
+        // beats that, so the search keeps the original.
+        assert_eq!(r.accepted_before, 5);
+        assert_eq!(r.accepted_after, 5);
+        assert!(r.steps.is_empty());
+        assert_eq!(r.best, p);
+    }
+
+    #[test]
+    fn fully_allowed_program_needs_no_search() {
+        let p = parse_structured("program(1) { y := x1; }").unwrap();
+        let grid = Grid::hypercube(1, -2..=2);
+        let r = improve(&p, IndexSet::single(1), &grid, 5);
+        assert_eq!(r.accepted_before, grid.len());
+        assert!(!r.improved());
+    }
+
+    #[test]
+    fn search_result_is_functionally_equivalent() {
+        let p = parse_structured(
+            "program(2) {
+                if x1 == 1 { r1 := 1; } else { r1 := 2; }
+                if x2 == 0 { y := 0; } else { y := x2; }
+            }",
+        )
+        .unwrap();
+        let grid = Grid::hypercube(2, -2..=2);
+        let r = improve(&p, IndexSet::single(2), &grid, 6);
+        let a = lower(&p).unwrap();
+        let b = lower(&r.best).unwrap();
+        assert!(equivalent_on(&a, &b, &grid, 100_000).is_ok());
+        assert!(r.accepted_after >= r.accepted_before);
+    }
+
+    #[test]
+    fn improve_graph_goes_through_restructuring() {
+        // Build Example 7's shape directly as a graph and improve it.
+        use enf_flowchart::ast::{Expr, Pred, Var};
+        use enf_flowchart::builder::Builder;
+        let mut b = Builder::new(2);
+        let d = b.decision(Pred::eq(Expr::x(1), Expr::c(1)));
+        let a1 = b.assign(Var::Reg(1), Expr::c(1));
+        let a2 = b.assign(Var::Reg(1), Expr::c(2));
+        let tail = b.assign(Var::Out, Expr::c(1));
+        let h = b.halt();
+        b.wire_start(d);
+        b.wire_cond(d, a1, a2);
+        b.wire(a1, tail);
+        b.wire(a2, tail);
+        b.wire(tail, h);
+        let fc = b.finish().unwrap();
+        let grid = Grid::hypercube(2, -2..=2);
+        let r = improve_graph(&fc, IndexSet::single(2), &grid, 5).unwrap();
+        assert_eq!(r.accepted_before, 0);
+        assert_eq!(r.accepted_after, grid.len());
+    }
+
+    #[test]
+    fn instrumented_mechanisms_are_restructurable() {
+        // The paper's construction emits reducible graphs: they round-trip
+        // through the restructurer, so the transform world is open to them.
+        use enf_flowchart::restructure::restructure;
+        use enf_flowchart::structured::lower;
+        use enf_surveillance::instrument;
+        let fc = enf_flowchart::parse("program(2) { if x2 == 0 { y := x1; } else { y := x2; } }")
+            .unwrap();
+        for timed in [false, true] {
+            let inst = instrument(&fc, IndexSet::single(2), timed);
+            let sp = restructure(inst.flowchart()).expect("instrumented graph reducible");
+            let relowered = lower(&sp).unwrap();
+            crate::equiv::equivalent_on(
+                inst.flowchart(),
+                &relowered,
+                &Grid::hypercube(2, -2..=2),
+                100_000,
+            )
+            .expect("round trip changed the mechanism");
+        }
+    }
+
+    #[test]
+    fn acceptance_count_matches_manual_count() {
+        let p = parse_structured("program(2) { if x2 == 0 { y := x1; } }").unwrap();
+        let grid = Grid::hypercube(2, 0..=2);
+        // Accept iff x2 ≠ 0 (the x2 == 0 path reads x1): 6 of 9 inputs.
+        assert_eq!(acceptance_count(&p, IndexSet::single(2), &grid), 6);
+    }
+}

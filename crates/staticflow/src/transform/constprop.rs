@@ -1,0 +1,360 @@
+//! Forward constant propagation.
+//!
+//! Tracks which variables hold known constants through straight-line
+//! code, substitutes them into expressions and predicates, and merges
+//! conservatively at control joins (a variable survives a join only if
+//! both arms agree on its value; loops kill everything their body
+//! assigns). Composed with [`super::unroll`] and [`super::fold`] this
+//! linearizes constant-bounded loops completely:
+//!
+//! ```text
+//! r := 2; while r > 0 { S; r := r - 1 }
+//!   --unroll-->  r := 2; if r > 0 { S; r := r - 1; while r > 0 { … } }
+//!   --prop--->   r := 2; if 2 > 0 { S; r := 1; while 1 > 0 { … } }   (…)
+//!   --fold--->   straight-line S; S
+//! ```
+//!
+//! Straight-line code never taints the program counter, so this composed
+//! pipeline is the strongest completeness lever the search has — the
+//! "while transform" the paper sketches for single-entry/single-exit
+//! structures, realized as ordinary compiler technology.
+
+use super::Transform;
+use enf_flowchart::ast::{Expr, Pred, Var};
+use enf_flowchart::structured::{Stmt, StructuredProgram};
+use std::collections::HashMap;
+
+/// Forward constant propagation over the structured AST.
+pub struct ConstProp;
+
+type Env = HashMap<Var, i64>;
+
+fn subst_expr(e: &Expr, env: &Env, changed: &mut bool) -> Expr {
+    match e {
+        Expr::Const(_) => e.clone(),
+        Expr::Var(v) => match env.get(v) {
+            Some(c) => {
+                *changed = true;
+                Expr::Const(*c)
+            }
+            None => e.clone(),
+        },
+        Expr::Neg(a) => Expr::Neg(Box::new(subst_expr(a, env, changed))),
+        Expr::Add(a, b) => bin(e, subst_expr(a, env, changed), subst_expr(b, env, changed)),
+        Expr::Sub(a, b) => bin(e, subst_expr(a, env, changed), subst_expr(b, env, changed)),
+        Expr::Mul(a, b) => bin(e, subst_expr(a, env, changed), subst_expr(b, env, changed)),
+        Expr::Div(a, b) => bin(e, subst_expr(a, env, changed), subst_expr(b, env, changed)),
+        Expr::Mod(a, b) => bin(e, subst_expr(a, env, changed), subst_expr(b, env, changed)),
+        Expr::BOr(a, b) => bin(e, subst_expr(a, env, changed), subst_expr(b, env, changed)),
+        Expr::BAnd(a, b) => bin(e, subst_expr(a, env, changed), subst_expr(b, env, changed)),
+        Expr::Ite(p, t, f) => Expr::Ite(
+            Box::new(subst_pred(p, env, changed)),
+            Box::new(subst_expr(t, env, changed)),
+            Box::new(subst_expr(f, env, changed)),
+        ),
+    }
+}
+
+fn bin(orig: &Expr, a: Expr, b: Expr) -> Expr {
+    match orig {
+        Expr::Add(..) => Expr::Add(Box::new(a), Box::new(b)),
+        Expr::Sub(..) => Expr::Sub(Box::new(a), Box::new(b)),
+        Expr::Mul(..) => Expr::Mul(Box::new(a), Box::new(b)),
+        Expr::Div(..) => Expr::Div(Box::new(a), Box::new(b)),
+        Expr::Mod(..) => Expr::Mod(Box::new(a), Box::new(b)),
+        Expr::BOr(..) => Expr::BOr(Box::new(a), Box::new(b)),
+        Expr::BAnd(..) => Expr::BAnd(Box::new(a), Box::new(b)),
+        _ => unreachable!("bin rebuilds binary expressions only"),
+    }
+}
+
+fn subst_pred(p: &Pred, env: &Env, changed: &mut bool) -> Pred {
+    match p {
+        Pred::True | Pred::False => p.clone(),
+        Pred::Cmp(op, a, b) => Pred::Cmp(
+            *op,
+            Box::new(subst_expr(a, env, changed)),
+            Box::new(subst_expr(b, env, changed)),
+        ),
+        Pred::Not(q) => Pred::Not(Box::new(subst_pred(q, env, changed))),
+        Pred::And(a, b) => Pred::And(
+            Box::new(subst_pred(a, env, changed)),
+            Box::new(subst_pred(b, env, changed)),
+        ),
+        Pred::Or(a, b) => Pred::Or(
+            Box::new(subst_pred(a, env, changed)),
+            Box::new(subst_pred(b, env, changed)),
+        ),
+    }
+}
+
+/// Variables assigned anywhere in a block (transitively).
+fn assigned(stmts: &[Stmt], out: &mut Vec<Var>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, _) => out.push(*v),
+            Stmt::If(_, t, e) => {
+                assigned(t, out);
+                assigned(e, out);
+            }
+            Stmt::While(_, b) => assigned(b, out),
+            _ => {}
+        }
+    }
+}
+
+/// Propagates through a block, mutating `env`; returns the rewritten
+/// block. `env = None` means "unreachable fall-through" (after halt).
+fn prop_block(stmts: &[Stmt], env: &mut Option<Env>, changed: &mut bool) -> Vec<Stmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        let Some(live) = env.as_mut() else {
+            // Dead code after a halt: keep it untouched.
+            out.push(s.clone());
+            continue;
+        };
+        match s {
+            Stmt::Skip => out.push(Stmt::Skip),
+            Stmt::Halt => {
+                out.push(Stmt::Halt);
+                *env = None;
+            }
+            Stmt::Assign(v, e) => {
+                let e2 = subst_expr(e, live, changed);
+                match e2 {
+                    Expr::Const(c) => {
+                        live.insert(*v, c);
+                    }
+                    _ => {
+                        live.remove(v);
+                    }
+                }
+                out.push(Stmt::Assign(*v, e2));
+            }
+            Stmt::If(p, t, e) => {
+                let p2 = subst_pred(p, live, changed);
+                let mut env_t = Some(live.clone());
+                let mut env_e = Some(live.clone());
+                let t2 = prop_block(t, &mut env_t, changed);
+                let e2 = prop_block(e, &mut env_e, changed);
+                // Merge: keep facts both live arms agree on; an arm that
+                // halted imposes no constraint.
+                *live = match (env_t, env_e) {
+                    (Some(a), Some(b)) => {
+                        a.into_iter().filter(|(v, c)| b.get(v) == Some(c)).collect()
+                    }
+                    (Some(a), None) | (None, Some(a)) => a,
+                    (None, None) => {
+                        out.push(Stmt::If(p2, t2, e2));
+                        *env = None;
+                        continue;
+                    }
+                };
+                out.push(Stmt::If(p2, t2, e2));
+            }
+            Stmt::While(p, b) => {
+                // Loop bodies may run zero or more times: kill every fact
+                // about variables the body assigns, both for the guard and
+                // for the continuation.
+                let mut killed = Vec::new();
+                assigned(b, &mut killed);
+                for v in &killed {
+                    live.remove(v);
+                }
+                let p2 = subst_pred(p, live, changed);
+                let mut env_b = Some(live.clone());
+                let b2 = prop_block(b, &mut env_b, changed);
+                out.push(Stmt::While(p2, b2));
+                // After the loop the killed facts stay dead (already
+                // removed above); facts about untouched variables survive.
+            }
+        }
+    }
+    out
+}
+
+impl Transform for ConstProp {
+    fn name(&self) -> &'static str {
+        "const-prop"
+    }
+
+    fn apply(&self, p: &StructuredProgram) -> Option<StructuredProgram> {
+        let mut changed = false;
+        let mut env = Some(Env::new());
+        let body = prop_block(&p.body, &mut env, &mut changed);
+        changed.then(|| StructuredProgram::new(p.arity, body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::fold::ConstFold;
+    use crate::transform::testutil::assert_equiv;
+    use crate::transform::unroll::UnrollOnce;
+    use enf_flowchart::parser::parse_structured;
+    use enf_flowchart::pretty::structured_to_string;
+
+    fn prop(src: &str) -> StructuredProgram {
+        ConstProp
+            .apply(&parse_structured(src).unwrap())
+            .expect("should propagate")
+    }
+
+    #[test]
+    fn straight_line_propagation() {
+        let q = prop("program(0) { r1 := 3; y := r1 + r1; }");
+        assert_eq!(
+            q.body[1],
+            Stmt::Assign(
+                Var::Out,
+                Expr::Add(Box::new(Expr::Const(3)), Box::new(Expr::Const(3)))
+            )
+        );
+    }
+
+    #[test]
+    fn reassignment_updates_the_fact() {
+        let q = prop("program(0) { r1 := 3; r1 := 5; y := r1; }");
+        assert_eq!(q.body[2], Stmt::Assign(Var::Out, Expr::Const(5)));
+    }
+
+    #[test]
+    fn nonconstant_assignment_kills_the_fact() {
+        let p = parse_structured("program(1) { r1 := 3; r1 := x1; y := r1; }").unwrap();
+        let q = ConstProp.apply(&p);
+        // r1 := 3 is substituted nowhere (killed before use), so nothing
+        // changes at all.
+        assert!(q.is_none());
+    }
+
+    #[test]
+    fn join_keeps_agreeing_facts_only() {
+        let q = prop(
+            "program(1) {
+                r1 := 7; r2 := 1;
+                if x1 == 0 { r2 := 2; } else { r2 := 3; }
+                y := r1 + r2;
+            }",
+        );
+        match &q.body[3] {
+            Stmt::Assign(Var::Out, Expr::Add(a, b)) => {
+                assert_eq!(**a, Expr::Const(7), "r1 survives the join");
+                assert_eq!(**b, Expr::Var(Var::Reg(2)), "r2 does not");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let p = parse_structured(
+            "program(1) {
+                r1 := 7; r2 := 1;
+                if x1 == 0 { r2 := 2; } else { r2 := 3; }
+                y := r1 + r2;
+            }",
+        )
+        .unwrap();
+        assert_equiv(&p, &q, 3);
+    }
+
+    #[test]
+    fn agreeing_branches_keep_the_fact() {
+        let q = prop(
+            "program(1) {
+                if x1 == 0 { r1 := 4; } else { r1 := 4; }
+                y := r1;
+            }",
+        );
+        assert_eq!(q.body[1], Stmt::Assign(Var::Out, Expr::Const(4)));
+    }
+
+    #[test]
+    fn halted_arm_imposes_no_constraint() {
+        let q = prop(
+            "program(1) {
+                if x1 == 0 { y := 0; halt; } else { r1 := 9; }
+                y := r1;
+            }",
+        );
+        assert_eq!(
+            *q.body.last().unwrap(),
+            Stmt::Assign(Var::Out, Expr::Const(9))
+        );
+        let p = parse_structured(
+            "program(1) {
+                if x1 == 0 { y := 0; halt; } else { r1 := 9; }
+                y := r1;
+            }",
+        )
+        .unwrap();
+        assert_equiv(&p, &q, 3);
+    }
+
+    #[test]
+    fn loops_kill_assigned_facts() {
+        let p = parse_structured(
+            "program(1) {
+                r1 := 3;
+                while x1 > 0 { r1 := r1 + 1; x1 := x1 - 1; }
+                y := r1;
+            }",
+        )
+        .unwrap();
+        // r1 must NOT be propagated into the guard, body or continuation.
+        let q = ConstProp.apply(&p);
+        if let Some(q) = q {
+            assert_equiv(&p, &q, 3);
+            assert_eq!(*q.body.last().unwrap(), Stmt::Assign(Var::Out, Expr::r(1)));
+        }
+    }
+
+    #[test]
+    fn facts_about_untouched_vars_survive_loops() {
+        let q = prop(
+            "program(1) {
+                r2 := 6;
+                while x1 > 0 { x1 := x1 - 1; }
+                y := r2;
+            }",
+        );
+        assert_eq!(
+            *q.body.last().unwrap(),
+            Stmt::Assign(Var::Out, Expr::Const(6))
+        );
+    }
+
+    #[test]
+    fn unroll_prop_fold_linearizes_constant_loops() {
+        // The composition the module docs promise.
+        let p =
+            parse_structured("program(1) { r1 := 2; while r1 > 0 { y := y + x1; r1 := r1 - 1; } }")
+                .unwrap();
+        let mut q = p.clone();
+        for _ in 0..6 {
+            if let Some(u) = UnrollOnce.apply(&q) {
+                q = u;
+            }
+            if let Some(c) = ConstProp.apply(&q) {
+                q = c;
+            }
+            if let Some(f) = ConstFold.apply(&q) {
+                q = f;
+            }
+        }
+        assert_equiv(&p, &q, 3);
+        let printed = structured_to_string(&q);
+        assert!(
+            !printed.contains("while"),
+            "loop should be fully linearized:\n{printed}"
+        );
+    }
+
+    #[test]
+    fn semantics_preserved_on_random_programs() {
+        use enf_flowchart::generate::{random_structured, GenConfig};
+        for seed in 700..760u64 {
+            let p = random_structured(seed, &GenConfig::default());
+            if let Some(q) = ConstProp.apply(&p) {
+                assert_equiv(&p, &q, 1);
+            }
+        }
+    }
+}

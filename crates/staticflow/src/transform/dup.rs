@@ -1,0 +1,142 @@
+//! The duplication (sinking) transform of Example 9.
+//!
+//! "The program can be transformed to a functionally equivalent program by
+//! duplicating the assignment to y." A statement immediately following a
+//! two-armed conditional is copied to the end of both arms:
+//!
+//! ```text
+//! if B { S1 } else { S2 }      if B { S1; T } else { S2; T }
+//! T                       ⟶
+//! ```
+//!
+//! Duplication is always semantics-preserving (an arm that halts simply
+//! drops its copy as dead code). Its value is *path-splitting*: after
+//! sinking, a per-path static analysis — or the dynamic surveillance
+//! mechanism — can treat the two copies of `T` independently.
+
+use super::Transform;
+use enf_flowchart::structured::{Stmt, StructuredProgram};
+
+/// Sinks post-conditional assignments into both branches.
+pub struct SinkIntoBranches;
+
+fn rewrite_block(stmts: &[Stmt], changed: &mut bool) -> Vec<Stmt> {
+    let mut out: Vec<Stmt> = Vec::with_capacity(stmts.len());
+    let mut i = 0;
+    while i < stmts.len() {
+        let s = rewrite_stmt(&stmts[i], changed);
+        // Sink a following assignment into a just-emitted conditional.
+        if let Stmt::If(p, t, e) = s {
+            if let Some(Stmt::Assign(v, expr)) = stmts.get(i + 1) {
+                let mut t2 = t;
+                let mut e2 = e;
+                t2.push(Stmt::Assign(*v, expr.clone()));
+                e2.push(Stmt::Assign(*v, expr.clone()));
+                out.push(Stmt::If(p, t2, e2));
+                *changed = true;
+                i += 2;
+                continue;
+            }
+            out.push(Stmt::If(p, t, e));
+        } else {
+            out.push(s);
+        }
+        i += 1;
+    }
+    out
+}
+
+fn rewrite_stmt(s: &Stmt, changed: &mut bool) -> Stmt {
+    match s {
+        Stmt::If(p, t, e) => Stmt::If(
+            p.clone(),
+            rewrite_block(t, changed),
+            rewrite_block(e, changed),
+        ),
+        Stmt::While(p, b) => Stmt::While(p.clone(), rewrite_block(b, changed)),
+        other => other.clone(),
+    }
+}
+
+impl Transform for SinkIntoBranches {
+    fn name(&self) -> &'static str {
+        "sink-into-branches"
+    }
+
+    fn apply(&self, p: &StructuredProgram) -> Option<StructuredProgram> {
+        let mut changed = false;
+        let body = rewrite_block(&p.body, &mut changed);
+        changed.then(|| StructuredProgram::new(p.arity, body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::testutil::assert_equiv;
+    use enf_flowchart::parser::parse_structured;
+
+    #[test]
+    fn example9_duplicates_the_trailing_assignment() {
+        let p =
+            parse_structured("program(2) { if x1 == 0 { r1 := 1; } else { r1 := x2; } y := r1; }")
+                .unwrap();
+        let q = SinkIntoBranches.apply(&p).expect("should match");
+        assert_eq!(q.body.len(), 1);
+        match &q.body[0] {
+            Stmt::If(_, t, e) => {
+                assert_eq!(t.len(), 2);
+                assert_eq!(e.len(), 2);
+                assert!(matches!(t[1], Stmt::Assign(..)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_equiv(&p, &q, 3);
+    }
+
+    #[test]
+    fn no_following_assignment_no_rewrite() {
+        let p = parse_structured("program(1) { if x1 == 0 { y := 1; } else { y := 2; } }").unwrap();
+        assert!(SinkIntoBranches.apply(&p).is_none());
+    }
+
+    #[test]
+    fn sinking_past_halting_branch_is_safe() {
+        let p = parse_structured(
+            "program(1) { if x1 == 0 { y := 1; halt; } else { r1 := 2; } y := 5; }",
+        )
+        .unwrap();
+        let q = SinkIntoBranches.apply(&p).expect("should match");
+        assert_equiv(&p, &q, 3);
+    }
+
+    #[test]
+    fn sinks_inside_nested_structures() {
+        let p = parse_structured(
+            "program(2) {
+                r2 := 2;
+                while r2 > 0 {
+                    if x1 == 0 { r1 := 1; } else { r1 := 2; }
+                    y := r1;
+                    r2 := r2 - 1;
+                }
+            }",
+        )
+        .unwrap();
+        let q = SinkIntoBranches.apply(&p).expect("should match");
+        assert_equiv(&p, &q, 3);
+    }
+
+    #[test]
+    fn repeated_application_sinks_chains() {
+        // Two trailing assignments sink one per application.
+        let p = parse_structured(
+            "program(1) { if x1 == 0 { r1 := 1; } else { r1 := 2; } y := r1; r2 := y; }",
+        )
+        .unwrap();
+        let q1 = SinkIntoBranches.apply(&p).expect("first sink");
+        let q2 = SinkIntoBranches.apply(&q1).expect("second sink");
+        assert_equiv(&p, &q2, 3);
+        assert!(SinkIntoBranches.apply(&q2).is_none());
+    }
+}

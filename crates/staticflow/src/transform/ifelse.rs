@@ -1,0 +1,138 @@
+//! The if-then-else transform (Section 4, Examples 7 and 8).
+//!
+//! `if B { v := E1 } else { v := E2 }` rewrites to the data-flow selection
+//! `v := ite(B, E1, E2)` — "functionally equivalent to r := f(x1)". The
+//! branch disappears, so the test no longer taints the program counter;
+//! instead its taint joins the assigned value's. That trade is profitable
+//! exactly when the PC taint would have outlived the value (Example 7) and
+//! harmful when only one arm carried the denied data (Example 8).
+
+use super::Transform;
+use enf_flowchart::ast::Expr;
+use enf_flowchart::structured::{Stmt, StructuredProgram};
+
+/// Rewrites two-armed single-assignment conditionals into `ite`.
+pub struct IfToIte;
+
+fn rewrite_block(stmts: &[Stmt], changed: &mut bool) -> Vec<Stmt> {
+    stmts.iter().map(|s| rewrite_stmt(s, changed)).collect()
+}
+
+fn rewrite_stmt(s: &Stmt, changed: &mut bool) -> Stmt {
+    match s {
+        Stmt::If(p, t, e) => {
+            let t2 = rewrite_block(t, changed);
+            let e2 = rewrite_block(e, changed);
+            if let ([Stmt::Assign(vt, et)], [Stmt::Assign(ve, ee)]) = (t2.as_slice(), e2.as_slice())
+            {
+                if vt == ve {
+                    *changed = true;
+                    return Stmt::Assign(
+                        *vt,
+                        Expr::Ite(
+                            Box::new(p.clone()),
+                            Box::new(et.clone()),
+                            Box::new(ee.clone()),
+                        ),
+                    );
+                }
+            }
+            Stmt::If(p.clone(), t2, e2)
+        }
+        Stmt::While(p, b) => Stmt::While(p.clone(), rewrite_block(b, changed)),
+        other => other.clone(),
+    }
+}
+
+impl Transform for IfToIte {
+    fn name(&self) -> &'static str {
+        "if-to-ite"
+    }
+
+    fn apply(&self, p: &StructuredProgram) -> Option<StructuredProgram> {
+        let mut changed = false;
+        let body = rewrite_block(&p.body, &mut changed);
+        changed.then(|| StructuredProgram::new(p.arity, body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::testutil::assert_equiv;
+    use enf_flowchart::parser::parse_structured;
+
+    fn apply(src: &str) -> Option<StructuredProgram> {
+        IfToIte.apply(&parse_structured(src).unwrap())
+    }
+
+    #[test]
+    fn simple_conditional_rewrites() {
+        let p =
+            parse_structured("program(2) { if x1 == 1 { r1 := 1; } else { r1 := 2; } y := 1; }")
+                .unwrap();
+        let q = IfToIte.apply(&p).expect("should match");
+        assert!(matches!(q.body[0], Stmt::Assign(_, Expr::Ite(..))));
+        assert_equiv(&p, &q, 3);
+    }
+
+    #[test]
+    fn mismatched_targets_do_not_rewrite() {
+        assert!(apply("program(1) { if x1 == 0 { r1 := 1; } else { r2 := 2; } }").is_none());
+    }
+
+    #[test]
+    fn multi_statement_branches_do_not_rewrite() {
+        assert!(
+            apply("program(1) { if x1 == 0 { r1 := 1; r2 := 2; } else { r1 := 3; } }").is_none()
+        );
+    }
+
+    #[test]
+    fn missing_else_does_not_rewrite() {
+        assert!(apply("program(1) { if x1 == 0 { y := 1; } }").is_none());
+    }
+
+    #[test]
+    fn nested_conditionals_rewrite_bottom_up() {
+        // The inner if collapses first, making the outer branches single
+        // assignments that collapse too.
+        let p = parse_structured(
+            "program(2) {
+                if x1 == 0 {
+                    if x2 == 0 { y := 1; } else { y := 2; }
+                } else { y := 3; }
+            }",
+        )
+        .unwrap();
+        let q = IfToIte.apply(&p).expect("should match");
+        assert_eq!(q.body.len(), 1);
+        assert!(matches!(q.body[0], Stmt::Assign(_, Expr::Ite(..))));
+        assert_equiv(&p, &q, 3);
+    }
+
+    #[test]
+    fn rewrites_inside_while_bodies() {
+        let p = parse_structured(
+            "program(1) {
+                r2 := 3;
+                while r2 > 0 {
+                    if x1 == 0 { r1 := 1; } else { r1 := 2; }
+                    r2 := r2 - 1;
+                }
+                y := r1;
+            }",
+        )
+        .unwrap();
+        let q = IfToIte.apply(&p).expect("should match");
+        assert_equiv(&p, &q, 3);
+    }
+
+    #[test]
+    fn example8_shape_rewrites_and_stays_equivalent() {
+        let p =
+            parse_structured("program(2) { if x2 == 1 { y := 1; } else { y := x1; } }").unwrap();
+        let q = IfToIte.apply(&p).expect("should match");
+        assert_equiv(&p, &q, 3);
+    }
+}

@@ -1,0 +1,56 @@
+//! Functionally-equivalent program transformations.
+//!
+//! "Given a program Q, transform it to Q′ where Q and Q′ are functionally
+//! equivalent. Then apply the surveillance protection mechanism to Q′ to
+//! yield a sound protection mechanism for Q." (Section 4.)
+//!
+//! Each [`Transform`] rewrites a structured program into a functionally
+//! equivalent one; the equivalence is property-checked by
+//! [`crate::equiv`]. Whether a transform helps or hurts the derived
+//! mechanism's completeness is program-dependent (Examples 7 vs 8), and by
+//! Theorem 4 no algorithm decides it optimally — see [`crate::search`].
+
+pub mod constprop;
+pub mod dup;
+pub mod fold;
+pub mod ifelse;
+pub mod unroll;
+
+use enf_flowchart::structured::StructuredProgram;
+
+/// A semantics-preserving rewrite of structured programs.
+pub trait Transform {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Applies the rewrite everywhere it matches; `None` when nothing
+    /// matched.
+    fn apply(&self, p: &StructuredProgram) -> Option<StructuredProgram>;
+}
+
+/// All built-in transforms, in a stable order.
+pub fn all_transforms() -> Vec<Box<dyn Transform>> {
+    vec![
+        Box::new(ifelse::IfToIte),
+        Box::new(dup::SinkIntoBranches),
+        Box::new(unroll::UnrollOnce),
+        Box::new(constprop::ConstProp),
+        Box::new(fold::ConstFold),
+    ]
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use enf_core::Grid;
+    use enf_flowchart::structured::{lower, StructuredProgram};
+
+    /// Asserts two structured programs agree on a grid (including
+    /// divergence behaviour under the given fuel).
+    pub fn assert_equiv(a: &StructuredProgram, b: &StructuredProgram, span: i64) {
+        let fa = lower(a).unwrap();
+        let fb = lower(b).unwrap();
+        let g = Grid::hypercube(a.arity, -span..=span);
+        crate::equiv::equivalent_on(&fa, &fb, &g, 100_000)
+            .unwrap_or_else(|w| panic!("programs differ at {w:?}"));
+    }
+}

@@ -1,0 +1,107 @@
+//! The while transform: one-step loop unrolling.
+//!
+//! Section 4 sketches a while-loop analogue of the if-then-else transform
+//! ("transforms can be created for all single-entry and single-exit
+//! structures"). The always-valid identity is
+//!
+//! ```text
+//! while B { S }   ≡   if B { S; while B { S } }
+//! ```
+//!
+//! which peels one iteration. Peeling exposes the first iteration's
+//! assignments to the other transforms (sinking, ite-conversion, folding) —
+//! that composition is what the search pipeline exploits.
+
+use super::Transform;
+use enf_flowchart::structured::{Stmt, StructuredProgram};
+
+/// Peels one iteration off every loop (outermost loops only per
+/// application, to keep growth linear).
+pub struct UnrollOnce;
+
+fn rewrite_block(stmts: &[Stmt], changed: &mut bool) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::While(p, b) => {
+                *changed = true;
+                let mut once = b.clone();
+                once.push(Stmt::While(p.clone(), b.clone()));
+                Stmt::If(p.clone(), once, Vec::new())
+            }
+            Stmt::If(p, t, e) => Stmt::If(
+                p.clone(),
+                rewrite_block(t, changed),
+                rewrite_block(e, changed),
+            ),
+            other => other.clone(),
+        })
+        .collect()
+}
+
+impl Transform for UnrollOnce {
+    fn name(&self) -> &'static str {
+        "unroll-once"
+    }
+
+    fn apply(&self, p: &StructuredProgram) -> Option<StructuredProgram> {
+        let mut changed = false;
+        let body = rewrite_block(&p.body, &mut changed);
+        changed.then(|| StructuredProgram::new(p.arity, body))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transform::testutil::assert_equiv;
+    use enf_flowchart::parser::parse_structured;
+
+    #[test]
+    fn peels_one_iteration() {
+        let p =
+            parse_structured("program(1) { r1 := x1; while r1 > 0 { y := y + 2; r1 := r1 - 1; } }")
+                .unwrap();
+        let q = UnrollOnce.apply(&p).expect("should match");
+        assert!(matches!(q.body[1], Stmt::If(..)));
+        assert_equiv(&p, &q, 4);
+    }
+
+    #[test]
+    fn no_loop_no_rewrite() {
+        let p = parse_structured("program(1) { y := x1; }").unwrap();
+        assert!(UnrollOnce.apply(&p).is_none());
+    }
+
+    #[test]
+    fn divergent_loops_stay_divergent() {
+        let p = parse_structured("program(1) { while x1 != 0 { skip; } y := 1; }").unwrap();
+        let q = UnrollOnce.apply(&p).expect("should match");
+        // Equivalence includes matching divergence under bounded fuel.
+        assert_equiv(&p, &q, 2);
+    }
+
+    #[test]
+    fn repeated_unrolling_stays_equivalent() {
+        let p =
+            parse_structured("program(1) { r1 := 3; while r1 > 0 { y := y + x1; r1 := r1 - 1; } }")
+                .unwrap();
+        let mut q = p.clone();
+        for _ in 0..3 {
+            q = UnrollOnce.apply(&q).expect("still has a loop");
+        }
+        assert_equiv(&p, &q, 3);
+    }
+
+    #[test]
+    fn unrolls_inside_branches() {
+        let p = parse_structured(
+            "program(1) {
+                if x1 > 0 { r1 := 2; while r1 > 0 { y := y + 1; r1 := r1 - 1; } }
+            }",
+        )
+        .unwrap();
+        let q = UnrollOnce.apply(&p).expect("should match");
+        assert_equiv(&p, &q, 3);
+    }
+}

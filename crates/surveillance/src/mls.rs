@@ -1,0 +1,262 @@
+//! Multi-level security labels over the surveillance mechanism.
+//!
+//! The paper's `allow(J)` policies are the two-point case of the lattice
+//! policies its reference list points at (Denning's "A lattice model of
+//! secure information flow", reference [2]; Bell's model, reference [1]).
+//! This module provides the general form: each input carries a label from
+//! a join-semilattice, an observer holds a clearance, and the policy is
+//! "reveal exactly the inputs whose label flows to the clearance".
+//!
+//! The reduction that makes this work on the existing machinery is the
+//! observation that for a *fixed* clearance `c`, the lattice policy **is**
+//! `allow(J_c)` with `J_c = { i : label(i) ⊑ c }` — so the label layer
+//! compiles to the paper's mechanism, and every soundness and completeness
+//! result carries over. The tests check the reduction and the monotonicity
+//! the lattice adds: a higher clearance never sees fewer outputs.
+
+use crate::mechanism::Surveillance;
+use enf_core::{Allow, IndexSet};
+use enf_flowchart::program::FlowchartProgram;
+
+/// A security label: an element of a join-semilattice with a bottom.
+pub trait Label: Clone + Eq + std::fmt::Debug {
+    /// The least label (public).
+    fn bottom() -> Self;
+
+    /// Least upper bound.
+    #[must_use]
+    fn join(&self, other: &Self) -> Self;
+
+    /// The flow ordering `self ⊑ other`.
+    fn flows_to(&self, other: &Self) -> bool;
+}
+
+/// The classic totally-ordered hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
+pub enum Level {
+    /// Public.
+    Unclassified,
+    /// Confidential.
+    Confidential,
+    /// Secret.
+    Secret,
+    /// Top secret.
+    TopSecret,
+}
+
+impl Label for Level {
+    fn bottom() -> Self {
+        Level::Unclassified
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        *self.max(other)
+    }
+
+    fn flows_to(&self, other: &Self) -> bool {
+        self <= other
+    }
+}
+
+/// Level plus a compartment set — the standard *non-total* military
+/// lattice: `(l1, C1) ⊑ (l2, C2)` iff `l1 ≤ l2` and `C1 ⊆ C2`.
+#[derive(Clone, PartialEq, Eq, Debug, Hash)]
+pub struct Compartmented {
+    /// Hierarchical level.
+    pub level: Level,
+    /// Need-to-know compartments (reusing [`IndexSet`] as a small set).
+    pub compartments: IndexSet,
+}
+
+impl Compartmented {
+    /// Builds a label.
+    pub fn new(level: Level, compartments: impl IntoIterator<Item = usize>) -> Self {
+        Compartmented {
+            level,
+            compartments: compartments.into_iter().collect(),
+        }
+    }
+}
+
+impl Label for Compartmented {
+    fn bottom() -> Self {
+        Compartmented {
+            level: Level::Unclassified,
+            compartments: IndexSet::empty(),
+        }
+    }
+
+    fn join(&self, other: &Self) -> Self {
+        Compartmented {
+            level: self.level.join(&other.level),
+            compartments: self.compartments.union(&other.compartments),
+        }
+    }
+
+    fn flows_to(&self, other: &Self) -> bool {
+        self.level.flows_to(&other.level) && self.compartments.is_subset(&other.compartments)
+    }
+}
+
+/// A labeling of a `k`-input program.
+#[derive(Clone, Debug)]
+pub struct Classification<L: Label> {
+    labels: Vec<L>,
+}
+
+impl<L: Label> Classification<L> {
+    /// One label per input, in order.
+    pub fn new(labels: Vec<L>) -> Self {
+        Classification { labels }
+    }
+
+    /// Number of inputs.
+    pub fn arity(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The label of input `i` (1-based).
+    pub fn label(&self, i: usize) -> &L {
+        &self.labels[i - 1]
+    }
+
+    /// The paper-facing reduction: the allow-set an observer with
+    /// `clearance` induces, `J_c = { i : label(i) ⊑ c }`.
+    pub fn induced_allow(&self, clearance: &L) -> IndexSet {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.flows_to(clearance))
+            .map(|(i, _)| i + 1)
+            .collect()
+    }
+
+    /// The induced `allow(J_c)` policy.
+    pub fn induced_policy(&self, clearance: &L) -> Allow {
+        Allow::from_set(self.arity(), self.induced_allow(clearance))
+    }
+}
+
+/// The surveillance mechanism for a labeled program and a clearance —
+/// compiled straight down to the paper's `allow(J_c)` mechanism.
+pub fn mls_surveillance<L: Label>(
+    program: FlowchartProgram,
+    classification: &Classification<L>,
+    clearance: &L,
+) -> Surveillance {
+    Surveillance::new(program, classification.induced_allow(clearance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enf_core::{check_soundness, compare, Grid, InputDomain, Mechanism as _};
+    use enf_flowchart::parse;
+
+    fn two_input_program() -> FlowchartProgram {
+        FlowchartProgram::new(parse("program(2) { y := x1; if x2 == 0 { y := 0; } }").unwrap())
+    }
+
+    #[test]
+    fn level_lattice_laws() {
+        use Level::*;
+        assert_eq!(Level::bottom(), Unclassified);
+        assert_eq!(Secret.join(&Confidential), Secret);
+        assert!(Unclassified.flows_to(&TopSecret));
+        assert!(!TopSecret.flows_to(&Secret));
+        for l in [Unclassified, Confidential, Secret, TopSecret] {
+            assert!(l.flows_to(&l));
+            assert_eq!(l.join(&l), l);
+            assert_eq!(l.join(&Level::bottom()), l);
+        }
+    }
+
+    #[test]
+    fn compartmented_lattice_is_partial() {
+        let crypto = Compartmented::new(Level::Secret, [1]);
+        let nuclear = Compartmented::new(Level::Secret, [2]);
+        assert!(!crypto.flows_to(&nuclear));
+        assert!(!nuclear.flows_to(&crypto));
+        let both = crypto.join(&nuclear);
+        assert!(crypto.flows_to(&both) && nuclear.flows_to(&both));
+        assert_eq!(both.compartments, IndexSet::from_iter([1, 2]));
+        assert!(Compartmented::bottom().flows_to(&crypto));
+    }
+
+    #[test]
+    fn induced_allow_sets() {
+        let c = Classification::new(vec![Level::Secret, Level::Unclassified]);
+        assert_eq!(c.induced_allow(&Level::Unclassified), IndexSet::single(2));
+        assert_eq!(c.induced_allow(&Level::Secret), IndexSet::full(2));
+        assert_eq!(c.label(1), &Level::Secret);
+        assert_eq!(c.arity(), 2);
+    }
+
+    #[test]
+    fn mls_mechanism_sound_for_induced_policy() {
+        let c = Classification::new(vec![Level::Secret, Level::Unclassified]);
+        let g = Grid::hypercube(2, -2..=2);
+        for clearance in [
+            Level::Unclassified,
+            Level::Confidential,
+            Level::Secret,
+            Level::TopSecret,
+        ] {
+            let m = mls_surveillance(two_input_program(), &c, &clearance);
+            let policy = c.induced_policy(&clearance);
+            assert!(
+                check_soundness(&m, &policy, &g, false).is_sound(),
+                "unsound at clearance {clearance:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_clearance_sees_at_least_as_much() {
+        let c = Classification::new(vec![Level::Secret, Level::Confidential]);
+        let g = Grid::hypercube(2, -2..=2);
+        let levels = [
+            Level::Unclassified,
+            Level::Confidential,
+            Level::Secret,
+            Level::TopSecret,
+        ];
+        for w in levels.windows(2) {
+            let low = mls_surveillance(two_input_program(), &c, &w[0]);
+            let high = mls_surveillance(two_input_program(), &c, &w[1]);
+            assert!(
+                compare(&high, &low, &g).first_as_complete(),
+                "clearance {:?} saw more than {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn compartments_gate_independently_of_level() {
+        // A top-secret observer without the compartment still may not see
+        // the compartmented input.
+        let c = Classification::new(vec![
+            Compartmented::new(Level::Confidential, [1]),
+            Compartmented::new(Level::Unclassified, []),
+        ]);
+        let no_compartment = Compartmented::new(Level::TopSecret, []);
+        assert_eq!(c.induced_allow(&no_compartment), IndexSet::single(2));
+        let with_compartment = Compartmented::new(Level::Confidential, [1]);
+        assert_eq!(c.induced_allow(&with_compartment), IndexSet::full(2));
+    }
+
+    #[test]
+    fn reduction_matches_plain_surveillance() {
+        // The MLS mechanism *is* the allow(J_c) mechanism, pointwise.
+        let c = Classification::new(vec![Level::Secret, Level::Unclassified]);
+        let clearance = Level::Confidential;
+        let mls = mls_surveillance(two_input_program(), &c, &clearance);
+        let plain = Surveillance::new(two_input_program(), c.induced_allow(&clearance));
+        let g = Grid::hypercube(2, -2..=2);
+        for a in g.iter_inputs() {
+            assert_eq!(mls.run(&a), plain.run(&a));
+        }
+    }
+}

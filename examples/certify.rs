@@ -1,0 +1,71 @@
+//! Section 5: compile-time enforcement — certify once, run at native
+//! speed; transform programs to certify more of them.
+//!
+//! ```text
+//! cargo run --example certify
+//! ```
+
+use enf_flowchart::parser::parse_structured;
+use enforcement::prelude::*;
+use enforcement::staticflow::certify::{certify, Analysis, CertifiedMechanism, Fallback};
+use enforcement::staticflow::search::improve;
+
+fn main() {
+    // A program that respects allow(2) on every path.
+    let clean = parse("program(2) { if x2 > 0 { y := x2 * 2; } else { y := 0; } }").unwrap();
+    let verdict = certify(&clean, IndexSet::single(2), Analysis::Surveillance);
+    println!("clean program: {verdict:?}");
+
+    // Deploy it: certified programs run unmodified — zero per-step cost.
+    let mech = CertifiedMechanism::new(
+        FlowchartProgram::new(clean),
+        IndexSet::single(2),
+        Analysis::Surveillance,
+        Fallback::Reject,
+    );
+    assert!(mech.is_native());
+    println!("  deployed natively; M([9, 3]) = {:?}", mech.run(&[9, 3]));
+
+    // Example 7's program: the faithful surveillance abstraction must
+    // reject it (the branch on x1 taints the program counter forever),
+    // but the scoped Denning&Denning-style analysis certifies it.
+    let ex7 = parse("program(2) { if x1 == 1 { r1 := 1; } else { r1 := 2; } y := 1; }").unwrap();
+    println!("\nExample 7 under allow(2):");
+    println!(
+        "  surveillance analysis: {:?}",
+        certify(&ex7, IndexSet::single(2), Analysis::Surveillance)
+    );
+    println!(
+        "  scoped analysis:       {:?}",
+        certify(&ex7, IndexSet::single(2), Analysis::Scoped)
+    );
+
+    // Or transform the program until the plain analysis succeeds: the
+    // search pipeline applies functionally-equivalent rewrites and keeps
+    // what measurably helps (Theorem 4 says no optimal rule exists).
+    let structured =
+        parse_structured("program(2) { if x1 == 1 { r1 := 1; } else { r1 := 2; } y := 1; }")
+            .unwrap();
+    let grid = Grid::hypercube(2, -3..=3);
+    let result = improve(&structured, IndexSet::single(2), &grid, 5);
+    println!(
+        "\ntransform search: {}/{} inputs accepted before, {}/{} after, via {:?}",
+        result.accepted_before,
+        result.total,
+        result.accepted_after,
+        result.total,
+        result.steps.iter().map(|s| s.transform).collect::<Vec<_>>()
+    );
+    assert!(result.improved());
+
+    // Example 8 shows the same transform can hurt; the search declines it.
+    let ex8 = parse_structured("program(2) { if x2 == 1 { y := 1; } else { y := x1; } }").unwrap();
+    let r8 = improve(&ex8, IndexSet::single(2), &grid, 5);
+    println!(
+        "Example 8: search keeps the original ({}/{} accepted, no transform applied: {})",
+        r8.accepted_after,
+        r8.total,
+        r8.steps.is_empty()
+    );
+    assert!(r8.steps.is_empty());
+}

@@ -1,0 +1,64 @@
+//! Example 2's file system: a content-dependent policy, a sound reference
+//! monitor, and the Example 4 pitfall of leaky violation notices.
+//!
+//! ```text
+//! cargo run --example file_guard
+//! ```
+
+use enforcement::filesys::policy::{small_domain, GatedFilePolicy};
+use enforcement::filesys::query::read_program;
+use enforcement::filesys::{LeakyMonitor, ReferenceMonitor};
+use enforcement::prelude::*;
+
+fn main() {
+    let k = 2; // two directory/file pairs
+    let policy = GatedFilePolicy::new(k);
+    let target = 1;
+
+    // The program being protected: "read file 1", permissions be damned.
+    let q = read_program(k, target);
+
+    // Input layout: (d1, d2, f1, f2). d = 1 means the directory says YES.
+    let world_open = [1, 0, 42, 99];
+    let world_closed = [0, 0, 42, 99];
+
+    let monitor = ReferenceMonitor::new(k, target);
+    println!("reference monitor:");
+    println!("  open   world -> {:?}", monitor.run(&world_open));
+    println!("  closed world -> {:?}", monitor.run(&world_closed));
+
+    // Soundness for the content-dependent policy I(d, f) = (d, f′):
+    // "the user can always obtain the value of all the directories", but a
+    // denied file's content is filtered to 0.
+    let grid = small_domain(k, 3);
+    let sound = check_soundness(&monitor, &policy, &grid, false);
+    println!("  sound over {} worlds? {}", grid.len(), sound.is_sound());
+    assert!(sound.is_sound());
+    assert!(check_protection(&monitor, &q, &grid).is_ok());
+
+    // Example 4: a monitor that denies correctly but picks its notice text
+    // by looking at the denied content. Denning's and Rotenberg's leaky
+    // mechanisms, reconstructed — and rejected by the checker.
+    let leaky = LeakyMonitor::new(k, target);
+    println!("\nleaky monitor (Example 4):");
+    println!("  denied empty file  -> {:?}", leaky.run(&[0, 0, 0, 9]));
+    println!("  denied loaded file -> {:?}", leaky.run(&[0, 0, 3, 9]));
+    let report = check_soundness(&leaky, &policy, &grid, false);
+    match &report {
+        enforcement::core::SoundnessReport::Unsound(w) => {
+            println!(
+                "  UNSOUND: worlds {:?} and {:?} are policy-equal but answered {:?} vs {:?}",
+                w.a, w.b, w.out_a, w.out_b
+            );
+        }
+        _ => unreachable!("the leak must be found"),
+    }
+    assert!(!report.is_sound());
+
+    // The same checker that caught the notice leak also confirms that the
+    // honest aggregate "sum of permitted files" is safe as-is.
+    let sum = enforcement::filesys::sum_permitted_program(k);
+    let as_own_mech = enforcement::core::Identity::new(sum);
+    assert!(check_soundness(&as_own_mech, &policy, &grid, false).is_sound());
+    println!("\nsum-of-permitted-files as its own mechanism: sound");
+}

@@ -1,0 +1,63 @@
+//! Multi-level security on top of the paper's mechanism: labels, a
+//! clearance ladder, and compartments.
+//!
+//! ```text
+//! cargo run --example mls
+//! ```
+
+use enforcement::prelude::*;
+use enforcement::surveillance::mls::{
+    mls_surveillance, Classification, Compartmented, Label as _, Level,
+};
+
+fn main() {
+    // A report generator over (x1 = SECRET budget, x2 = public count).
+    let fc = parse(
+        "program(2) {
+            y := x1;                 // draft includes the budget
+            if x2 == 0 { y := 0; }   // the public edition scrubs it
+        }",
+    )
+    .unwrap();
+    let program = FlowchartProgram::new(fc);
+    let labels = Classification::new(vec![Level::Secret, Level::Unclassified]);
+    println!("inputs: x1 labeled Secret, x2 labeled Unclassified\n");
+
+    println!("clearance ladder (input [7, 0] — the scrubbed edition):");
+    for clearance in [
+        Level::Unclassified,
+        Level::Confidential,
+        Level::Secret,
+        Level::TopSecret,
+    ] {
+        let m = mls_surveillance(program.clone(), &labels, &clearance);
+        let j = labels.induced_allow(&clearance);
+        println!(
+            "  {clearance:?}: induced allow{j}; M([7, 0]) = {:?}, M([7, 5]) = {:?}",
+            m.run(&[7, 0]),
+            m.run(&[7, 5])
+        );
+        // Each rung is sound for its induced policy.
+        let g = Grid::hypercube(2, -3..=3);
+        assert!(check_soundness(&m, &labels.induced_policy(&clearance), &g, false).is_sound());
+    }
+
+    // Compartments: level alone is not enough.
+    println!("\ncompartments (the lattice is only partially ordered):");
+    let c = Classification::new(vec![
+        Compartmented::new(Level::Confidential, [1]), // needs compartment 1
+        Compartmented::new(Level::Unclassified, []),
+    ]);
+    let ts_no_compartment = Compartmented::new(Level::TopSecret, []);
+    let conf_with_compartment = Compartmented::new(Level::Confidential, [1]);
+    println!(
+        "  TopSecret, no compartment:        sees allow{}",
+        c.induced_allow(&ts_no_compartment)
+    );
+    println!(
+        "  Confidential + compartment 1:     sees allow{}",
+        c.induced_allow(&conf_with_compartment)
+    );
+    assert!(!Compartmented::new(Level::Confidential, [1]).flows_to(&ts_no_compartment));
+    println!("\nneed-to-know beats rank: the lattice model, reduced to allow(J) per clearance.");
+}

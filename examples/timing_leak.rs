@@ -1,0 +1,71 @@
+//! The observability postulate in action: a constant function that leaks
+//! through its running time, and the Theorem 3′ mechanism that stops it.
+//!
+//! ```text
+//! cargo run --example timing_leak
+//! ```
+
+use enforcement::channels::timing::{
+    mechanism_leak_bits, paper_mechanisms, paper_timing_program, timing_leak_bits,
+};
+use enforcement::prelude::*;
+
+fn main() {
+    // Section 2's program: r1 := x1; while r1 != 0 { r1 := r1 - 1 }; y := 1.
+    let program = paper_timing_program();
+    println!("the paper's constant-with-loop program:");
+    for x in 0..6 {
+        let t = program.eval_timed(&[x]);
+        println!("  x = {x}: value = {}, steps = {}", t.value, t.steps);
+    }
+
+    // As a pure value function, it is constant — sound for allow().
+    let grid = Grid::hypercube(1, 0..=7);
+    let policy = Allow::none(1);
+    let untimed = enforcement::core::Identity::new(program.clone());
+    println!(
+        "\nsound for allow() with time unobservable? {}",
+        check_soundness(&untimed, &policy, &grid, false).is_sound()
+    );
+
+    // Fold the step count into the output (the observability postulate)
+    // and the same program is unsound.
+    let timed = enforcement::core::Identity::new(WithTime::new(program.clone()));
+    println!(
+        "sound once steps are part of the output?   {}",
+        check_soundness(&timed, &policy, &grid, false).is_sound()
+    );
+
+    // Quantify the channel.
+    let leak = timing_leak_bits(&program, 7);
+    println!(
+        "\nleak over x in 0..=7: value {:.1} bits, time {:.1} bits, pair {:.1} bits",
+        leak.value_bits, leak.time_bits, leak.pair_bits
+    );
+
+    // Theorem 3 vs Theorem 3′: the HALT-checked mechanism M still leaks
+    // through its own running time; M′ checks at every decision and dies
+    // at the same instant on every input.
+    let (m_prime, m) = paper_mechanisms();
+    println!("\nmechanism leak through (answer, mechanism steps):");
+    println!(
+        "  M  (check at HALT):      {:.2} bits",
+        mechanism_leak_bits(&m, 7)
+    );
+    println!(
+        "  M′ (check per decision): {:.2} bits",
+        mechanism_leak_bits(&m_prime, 7)
+    );
+    assert_eq!(mechanism_leak_bits(&m_prime, 7), 0.0);
+
+    // The instrumented form of M′ — the mechanism as a flowchart, exactly
+    // the paper's construction — has the same property.
+    let fc = enforcement::flowchart::corpus::timing_constant().flowchart;
+    let inst = instrument(&fc, IndexSet::empty(), true);
+    let outs: Vec<_> = (0..6).map(|x| inst.eval(&[x])).collect();
+    assert!(outs.windows(2).all(|w| w[0] == w[1]));
+    println!(
+        "\ninstrumented M′ output is identical on every input: {:?}",
+        outs[0]
+    );
+}

@@ -1,0 +1,294 @@
+//! `enforce` — command-line front end to the enforcement toolkit.
+//!
+//! ```text
+//! enforce run       <file.fc> --input 3,4 [--fuel N]
+//! enforce surveil   <file.fc> --allow 2 --input 3,4 [--timed] [--highwater]
+//! enforce check     <file.fc> --allow 2 --span 3 [--timed]
+//! enforce certify   <file.fc> --allow 2 [--scoped]
+//! enforce explain   <file.fc> --allow 2 --input 3,4
+//! enforce improve   <file.fc> --allow 2 --span 3
+//! enforce instrument <file.fc> --allow 2 [--timed] [--dot]
+//! enforce dot       <file.fc>
+//! ```
+//!
+//! `<file.fc>` contains a program in the DSL (see the crate docs); `-` reads
+//! from stdin. `--allow` lists the allowed input indices (comma separated;
+//! empty string for `allow()`), `--input` an input tuple, `--span S` checks
+//! over the hypercube `[-S, S]^k`.
+
+use enforcement::core::Identity;
+use enforcement::flowchart::dot::to_dot;
+use enforcement::flowchart::pretty::flowchart_to_string;
+use enforcement::prelude::*;
+use enforcement::staticflow::certify::{certify, Analysis};
+use enforcement::staticflow::search::improve;
+use enforcement::surveillance::dynamic::SurvConfig;
+use enforcement::surveillance::explain;
+use enforcement::surveillance::instrument::instrument_with;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(argv: Vec<String>) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = argv.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => Some(it.next().unwrap()),
+                    _ => None,
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&Option<String>> {
+        self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flag(name).is_some()
+    }
+
+    fn value(&self, name: &str) -> Result<&str, String> {
+        match self.flag(name) {
+            Some(Some(v)) => Ok(v),
+            Some(None) => Err(format!("--{name} needs a value")),
+            None => Err(format!("missing --{name}")),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: enforce <command> <file.fc|-> [flags]\n\
+     commands:\n\
+       run        execute the program        --input a,b [--fuel N]\n\
+       surveil    run under surveillance     --allow J --input a,b [--timed] [--highwater]\n\
+       check      soundness over a grid      --allow J --span S [--timed] [--highwater]\n\
+       certify    static certification       --allow J [--scoped]\n\
+       explain    why a run violates         --allow J --input a,b\n\
+       improve    transform search           --allow J --span S [--rounds N]\n\
+       instrument emit the mechanism         --allow J [--timed] [--dot]\n\
+       dot        emit Graphviz of program\n\
+     J is a comma list of allowed input indices ('' = allow())."
+}
+
+fn read_source(path: &str) -> Result<String, String> {
+    if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| format!("reading stdin: {e}"))?;
+        Ok(s)
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))
+    }
+}
+
+fn parse_allow(spec: &str, arity: usize) -> Result<IndexSet, String> {
+    if spec.trim().is_empty() {
+        return Ok(IndexSet::empty());
+    }
+    let mut set = IndexSet::empty();
+    for part in spec.split(',') {
+        let i: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad index `{part}` in --allow"))?;
+        if i == 0 || i > arity {
+            return Err(format!("--allow index {i} outside 1..={arity}"));
+        }
+        set.insert(i);
+    }
+    Ok(set)
+}
+
+fn parse_input(spec: &str, arity: usize) -> Result<Vec<V>, String> {
+    let vals: Result<Vec<V>, _> = if spec.trim().is_empty() {
+        Ok(Vec::new())
+    } else {
+        spec.split(',').map(|p| p.trim().parse::<V>()).collect()
+    };
+    let vals = vals.map_err(|e| format!("bad --input: {e}"))?;
+    if vals.len() != arity {
+        return Err(format!(
+            "--input has {} values but the program takes {arity}",
+            vals.len()
+        ));
+    }
+    Ok(vals)
+}
+
+fn main() -> ExitCode {
+    match run_cli(std::env::args().skip(1).collect()) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("enforce: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_cli(argv: Vec<String>) -> Result<String, String> {
+    let args = Args::parse(argv);
+    let [cmd, path] = args.positional.as_slice() else {
+        return Err(format!("expected a command and a file\n{}", usage()));
+    };
+    let src = read_source(path)?;
+    let fc = parse(&src).map_err(|e| e.to_string())?;
+    let arity = fc.arity();
+    let fuel: u64 = match args.flag("fuel") {
+        Some(Some(v)) => v.parse().map_err(|_| "bad --fuel".to_string())?,
+        _ => 1_000_000,
+    };
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    match cmd.as_str() {
+        "run" => {
+            let input = parse_input(args.value("input")?, arity)?;
+            let p = FlowchartProgram::with_fuel(fc, fuel);
+            let t = p.eval_timed(&input);
+            let _ = writeln!(out, "y = {} ({} steps)", t.value, t.steps);
+        }
+        "surveil" => {
+            let allow = parse_allow(args.value("allow")?, arity)?;
+            let input = parse_input(args.value("input")?, arity)?;
+            let cfg = base_config(&args, allow).with_fuel(fuel);
+            use enforcement::surveillance::dynamic::{run_surveillance, SurvOutcome};
+            match run_surveillance(&fc, &input, &cfg) {
+                SurvOutcome::Accepted { y, steps } => {
+                    let _ = writeln!(out, "accepted: y = {y} ({steps} steps)");
+                }
+                SurvOutcome::Violation { site, taint, steps } => {
+                    let _ = writeln!(
+                        out,
+                        "violation at {site} after {steps} steps: taint {taint}, disallowed {}",
+                        taint.difference(&allow)
+                    );
+                }
+                SurvOutcome::OutOfFuel => {
+                    let _ = writeln!(out, "out of fuel after {fuel} steps");
+                }
+            }
+        }
+        "check" => {
+            let allow = parse_allow(args.value("allow")?, arity)?;
+            let span: i64 = args
+                .value("span")?
+                .parse()
+                .map_err(|_| "bad --span".to_string())?;
+            let grid = Grid::hypercube(arity, -span..=span);
+            let policy = Allow::from_set(arity, allow);
+            let program = FlowchartProgram::with_fuel(fc, fuel);
+            let report = if args.has("timed") {
+                let m = TimedMechanism::new(program.flowchart().clone(), allow).with_fuel(fuel);
+                check_soundness(&Identity::new(&m), &policy, &grid, false).is_sound()
+            } else if args.has("highwater") {
+                let m = HighWater::new(program, allow);
+                check_soundness(&m, &policy, &grid, false).is_sound()
+            } else {
+                let m = Surveillance::new(program, allow);
+                check_soundness(&m, &policy, &grid, false).is_sound()
+            };
+            let _ = writeln!(
+                out,
+                "{} over {} inputs",
+                if report { "sound" } else { "UNSOUND" },
+                grid.len()
+            );
+            if !report {
+                return Err("mechanism unsound".into());
+            }
+        }
+        "certify" => {
+            let allow = parse_allow(args.value("allow")?, arity)?;
+            let analysis = if args.has("scoped") {
+                Analysis::Scoped
+            } else {
+                Analysis::Surveillance
+            };
+            let verdict = certify(&fc, allow, analysis);
+            let _ = writeln!(out, "{verdict:?}");
+        }
+        "explain" => {
+            let allow = parse_allow(args.value("allow")?, arity)?;
+            let input = parse_input(args.value("input")?, arity)?;
+            let cfg = base_config(&args, allow).with_fuel(fuel);
+            let e = explain(&fc, &input, &cfg);
+            out.push_str(&e.render());
+        }
+        "improve" => {
+            let allow = parse_allow(args.value("allow")?, arity)?;
+            let span: i64 = args
+                .value("span")?
+                .parse()
+                .map_err(|_| "bad --span".to_string())?;
+            let rounds: usize = match args.flag("rounds") {
+                Some(Some(v)) => v.parse().map_err(|_| "bad --rounds".to_string())?,
+                _ => 6,
+            };
+            let sp =
+                enforcement::flowchart::restructure::restructure(&fc).map_err(|e| e.to_string())?;
+            let grid = Grid::hypercube(arity, -span..=span);
+            let r = improve(&sp, allow, &grid, rounds);
+            let _ = writeln!(
+                out,
+                "acceptance {} -> {} of {} (transforms: {})",
+                r.accepted_before,
+                r.accepted_after,
+                r.total,
+                if r.steps.is_empty() {
+                    "none".to_string()
+                } else {
+                    r.steps
+                        .iter()
+                        .map(|s| s.transform)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                }
+            );
+            out.push_str(&enforcement::flowchart::pretty::structured_to_string(
+                &r.best,
+            ));
+        }
+        "instrument" => {
+            let allow = parse_allow(args.value("allow")?, arity)?;
+            let inst = instrument_with(&fc, allow, args.has("timed"), args.has("highwater"));
+            if args.has("dot") {
+                out.push_str(&to_dot(inst.flowchart(), "mechanism"));
+            } else {
+                out.push_str(&flowchart_to_string(inst.flowchart()));
+            }
+        }
+        "dot" => {
+            out.push_str(&to_dot(&fc, "program"));
+        }
+        other => {
+            return Err(format!("unknown command `{other}`\n{}", usage()));
+        }
+    }
+    Ok(out)
+}
+
+fn base_config(args: &Args, allow: IndexSet) -> SurvConfig {
+    if args.has("timed") {
+        SurvConfig::timed(allow)
+    } else if args.has("highwater") {
+        SurvConfig::highwater(allow)
+    } else {
+        SurvConfig::surveillance(allow)
+    }
+}
