@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the subset of the Criterion API its benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, and [`BenchmarkId`]. Measurement is a plain
+//! wall-clock loop: warm up briefly, calibrate an iteration count, then
+//! time a fixed-duration batch and report mean time per iteration.
+//!
+//! No statistics, no plots, no baselines — but the printed numbers are real
+//! measurements, and `ENF_BENCH_MS` scales the measurement window (default
+//! 120 ms per benchmark) for quicker or more careful runs.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration, filled in by [`Bencher::iter`].
+    elapsed_per_iter: Option<Duration>,
+}
+
+fn measure_window() -> Duration {
+    let ms = std::env::var("ENF_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(120);
+    Duration::from_millis(ms.max(1))
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: double the batch until it costs ≥ ~5 ms,
+        // so the timed loop's clock overhead is negligible.
+        let mut batch: u64 = 1;
+        let calibration_floor = Duration::from_millis(5);
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= calibration_floor || batch >= 1 << 30 {
+                // Scale the batch to fill the measurement window.
+                let window = measure_window();
+                let scaled = if took.as_nanos() == 0 {
+                    batch
+                } else {
+                    ((batch as u128 * window.as_nanos()) / took.as_nanos()).max(1) as u64
+                };
+                let start = Instant::now();
+                for _ in 0..scaled {
+                    black_box(f());
+                }
+                let total = start.elapsed();
+                self.elapsed_per_iter = Some(total / scaled.max(1) as u32);
+                return;
+            }
+            batch = batch.saturating_mul(2);
+        }
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed_per_iter: None,
+    };
+    f(&mut b);
+    match b.elapsed_per_iter {
+        Some(t) => println!("{label:<50} time: {}", human(t)),
+        None => println!("{label:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Top-level benchmark context.
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _c: self,
+        }
+    }
+
+    /// Benches a standalone function.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        run_one(&id.into().text, f);
+    }
+}
+
+/// A named group of benchmarks; ids print as `group/id`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benches a function within the group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        run_one(&format!("{}/{}", self.name, id.into().text), f);
+    }
+
+    /// Benches a function parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        run_one(&format!("{}/{}", self.name, id.into().text), |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (upstream flushes reports here; nothing to do).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("ENF_BENCH_MS", "5");
+        let mut b = Bencher {
+            elapsed_per_iter: None,
+        };
+        b.iter(|| black_box(1u64.wrapping_add(2)));
+        assert!(b.elapsed_per_iter.is_some());
+    }
+
+    #[test]
+    fn ids_render_like_upstream() {
+        assert_eq!(BenchmarkId::new("seq", 65536).text, "seq/65536");
+        assert_eq!(BenchmarkId::from_parameter(129).text, "129");
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(human(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(human(Duration::from_millis(12)), "12.00 ms");
+    }
+}

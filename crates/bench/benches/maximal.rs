@@ -3,7 +3,7 @@
 //! unbounded domains.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use enf_core::{Allow, Grid, MaximalMechanism, Mechanism};
+use enf_core::{Allow, EvalConfig, Grid, InputDomain, MaximalMechanism, Mechanism};
 use enf_flowchart::parse;
 use enf_flowchart::program::FlowchartProgram;
 use std::hint::black_box;
@@ -20,6 +20,20 @@ fn bench_maximal(c: &mut Criterion) {
             b.iter(|| black_box(MaximalMechanism::build(&p, &policy, g)))
         });
     }
+    group.finish();
+
+    // Sequential vs parallel build on a ~10^6-tuple grid.
+    let span = 511i64;
+    let g = Grid::hypercube(2, -span..=span);
+    let seq = EvalConfig::with_threads(1);
+    let par = EvalConfig::default().seq_threshold(0);
+    let mut group = c.benchmark_group("maximal_build_engine");
+    group.bench_with_input(BenchmarkId::new("seq", g.len()), &g, |b, g| {
+        b.iter(|| black_box(MaximalMechanism::build_with(&p, &policy, g, &seq)))
+    });
+    group.bench_with_input(BenchmarkId::new("par", g.len()), &g, |b, g| {
+        b.iter(|| black_box(MaximalMechanism::build_with(&p, &policy, g, &par)))
+    });
     group.finish();
 
     // Query cost after construction is a hash lookup — the build cost is

@@ -2,8 +2,10 @@
 //! impossible optimum with greedy measured search actually costs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use enf_core::{Grid, IndexSet};
+use enf_core::{EvalConfig, Grid, IndexSet, InputDomain};
+use enf_flowchart::parse;
 use enf_flowchart::parser::parse_structured;
+use enf_static::equiv::equivalent_on_with;
 use enf_static::search::improve;
 use enf_static::transform::all_transforms;
 use std::hint::black_box;
@@ -36,6 +38,23 @@ fn bench_search(c: &mut Criterion) {
             b.iter(|| black_box(improve(sp, IndexSet::single(2), &grid, 5)))
         });
     }
+    group.finish();
+
+    // Sequential vs parallel functional-equivalence check — the scoring
+    // primitive behind transform validation — on a ~10^6-tuple grid.
+    let a = parse("program(2) { y := x1 * 2 + x2; }").unwrap();
+    let b2 = parse("program(2) { y := x1 + x2 + x1; }").unwrap();
+    let span = 511i64;
+    let g = Grid::hypercube(2, -span..=span);
+    let seq = EvalConfig::with_threads(1);
+    let par = EvalConfig::default().seq_threshold(0);
+    let mut group = c.benchmark_group("equiv_engine");
+    group.bench_with_input(BenchmarkId::new("seq", g.len()), &g, |b, g| {
+        b.iter(|| black_box(equivalent_on_with(&a, &b2, g, 1000, &seq)))
+    });
+    group.bench_with_input(BenchmarkId::new("par", g.len()), &g, |b, g| {
+        b.iter(|| black_box(equivalent_on_with(&a, &b2, g, 1000, &par)))
+    });
     group.finish();
 
     // Single-transform application cost, no scoring.

@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use enf_core::{
-    check_soundness, Allow, FnMechanism, Grid, IndexSet, InputDomain, Join, MechOutput, Mechanism,
-    Notice,
+    check_soundness, check_soundness_with, Allow, EvalConfig, FnMechanism, Grid, IndexSet,
+    InputDomain, Join, MechOutput, Mechanism, Notice,
 };
 use enf_flowchart::parse;
 use enf_flowchart::program::FlowchartProgram;
@@ -24,6 +24,21 @@ fn bench_soundness(c: &mut Criterion) {
             b.iter(|| black_box(check_soundness(&m, &policy, g, false)))
         });
     }
+    group.finish();
+
+    // Sequential vs parallel engine on a ~10^6-tuple grid. `seq` pins one
+    // worker; `par` uses every available core (or ENF_THREADS).
+    let span = 511i64;
+    let g = Grid::hypercube(2, -span..=span);
+    let seq = EvalConfig::with_threads(1);
+    let par = EvalConfig::default().seq_threshold(0);
+    let mut group = c.benchmark_group("check_soundness_engine");
+    group.bench_with_input(BenchmarkId::new("seq", g.len()), &g, |b, g| {
+        b.iter(|| black_box(check_soundness_with(&m, &policy, g, false, &seq)))
+    });
+    group.bench_with_input(BenchmarkId::new("par", g.len()), &g, |b, g| {
+        b.iter(|| black_box(check_soundness_with(&m, &policy, g, false, &par)))
+    });
     group.finish();
 
     // Join overhead: M1 ∨ M2 where M1 usually answers.

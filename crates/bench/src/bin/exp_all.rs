@@ -1,9 +1,12 @@
 //! Runs every experiment (E1–E18) and prints the tables EXPERIMENTS.md
 //! records. `--markdown` emits GitHub-flavored markdown instead of the
-//! aligned terminal form.
+//! aligned terminal form. Also measures checker throughput (sequential vs
+//! parallel engine) and writes it to `BENCH_results.json`; skip with
+//! `--no-bench`.
 
 fn main() {
     let markdown = std::env::args().any(|a| a == "--markdown");
+    let bench = !std::env::args().any(|a| a == "--no-bench");
     let tables = enf_bench::experiments::run_all();
     let mut failures = 0;
     for t in &tables {
@@ -22,6 +25,25 @@ fn main() {
         tables.len() - failures,
         failures
     );
+    if bench {
+        let rows = enf_bench::throughput::measure_all();
+        for r in &rows {
+            println!(
+                "{:<16} {:>9} tuples  seq {:>10.0} t/s  par({} threads) {:>10.0} t/s  speedup {:.2}x",
+                r.checker,
+                r.tuples,
+                r.seq_tuples_per_sec(),
+                r.threads,
+                r.par_tuples_per_sec(),
+                r.speedup()
+            );
+        }
+        let json = enf_bench::throughput::to_json(&rows);
+        match std::fs::write("BENCH_results.json", &json) {
+            Ok(()) => println!("wrote BENCH_results.json"),
+            Err(e) => eprintln!("could not write BENCH_results.json: {e}"),
+        }
+    }
     if failures > 0 {
         std::process::exit(1);
     }

@@ -70,7 +70,7 @@ pub fn e1_join() -> Table {
     t
 }
 
-fn accept_if(pred: impl Fn(&[V]) -> bool + 'static) -> FnMechanism<V> {
+fn accept_if(pred: impl Fn(&[V]) -> bool + Send + Sync + 'static) -> FnMechanism<V> {
     FnMechanism::new(2, move |a: &[V]| {
         if pred(a) {
             MechOutput::Value(a[0])

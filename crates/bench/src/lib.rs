@@ -13,5 +13,6 @@
 
 pub mod experiments;
 pub mod report;
+pub mod throughput;
 
 pub use report::Table;

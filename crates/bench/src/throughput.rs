@@ -1,0 +1,160 @@
+//! Checker throughput measurement, sequential vs parallel.
+//!
+//! Times each exhaustive checker once under a one-worker
+//! [`EvalConfig`] and once under the auto (all cores / `ENF_THREADS`)
+//! configuration over the same ~10^6-tuple grid, and reports tuples/second
+//! plus the speedup. `exp_all` serializes the rows to `BENCH_results.json`.
+
+use enf_core::IndexSet;
+use enf_core::{check_soundness_with, Allow, EvalConfig, Grid, InputDomain, MaximalMechanism};
+use enf_flowchart::parse;
+use enf_flowchart::program::FlowchartProgram;
+use enf_static::equiv::equivalent_on_with;
+use enf_surveillance::mechanism::Surveillance;
+use std::time::Instant;
+
+/// One checker's seq-vs-par measurement.
+#[derive(Clone, Debug)]
+pub struct ThroughputRow {
+    /// Checker name.
+    pub checker: &'static str,
+    /// Domain size in tuples.
+    pub tuples: usize,
+    /// Worker count used by the parallel run.
+    pub threads: usize,
+    /// Sequential wall-clock seconds.
+    pub seq_secs: f64,
+    /// Parallel wall-clock seconds.
+    pub par_secs: f64,
+}
+
+impl ThroughputRow {
+    /// Sequential throughput in tuples/second.
+    pub fn seq_tuples_per_sec(&self) -> f64 {
+        self.tuples as f64 / self.seq_secs.max(1e-12)
+    }
+
+    /// Parallel throughput in tuples/second.
+    pub fn par_tuples_per_sec(&self) -> f64 {
+        self.tuples as f64 / self.par_secs.max(1e-12)
+    }
+
+    /// Parallel speedup over sequential.
+    pub fn speedup(&self) -> f64 {
+        self.seq_secs / self.par_secs.max(1e-12)
+    }
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> f64 {
+    let start = Instant::now();
+    std::hint::black_box(f());
+    start.elapsed().as_secs_f64()
+}
+
+/// Measures every engine-backed checker on a ~10^6-tuple grid.
+pub fn measure_all() -> Vec<ThroughputRow> {
+    let seq = EvalConfig::with_threads(1);
+    let par = EvalConfig::default().seq_threshold(0);
+    let threads = par.resolved_threads();
+    let span = 511i64;
+    let g = Grid::hypercube(2, -span..=span);
+    let tuples = g.len();
+    let policy = Allow::new(2, [2]);
+
+    let mut rows = Vec::new();
+
+    {
+        let fc = parse("program(2) { y := x2; if x2 == 0 { y := 0; } }").unwrap();
+        let m = Surveillance::new(FlowchartProgram::new(fc), IndexSet::single(2));
+        rows.push(ThroughputRow {
+            checker: "check_soundness",
+            tuples,
+            threads,
+            seq_secs: time(|| check_soundness_with(&m, &policy, &g, false, &seq)),
+            par_secs: time(|| check_soundness_with(&m, &policy, &g, false, &par)),
+        });
+    }
+
+    {
+        let fc = parse("program(2) { if x2 == 0 { y := x1; } else { y := x2; } }").unwrap();
+        let p = FlowchartProgram::new(fc);
+        rows.push(ThroughputRow {
+            checker: "maximal_build",
+            tuples,
+            threads,
+            seq_secs: time(|| MaximalMechanism::build_with(&p, &policy, &g, &seq)),
+            par_secs: time(|| MaximalMechanism::build_with(&p, &policy, &g, &par)),
+        });
+    }
+
+    {
+        let a = parse("program(2) { y := x1 * 2 + x2; }").unwrap();
+        let b = parse("program(2) { y := x1 + x2 + x1; }").unwrap();
+        rows.push(ThroughputRow {
+            checker: "equiv",
+            tuples,
+            threads,
+            seq_secs: time(|| equivalent_on_with(&a, &b, &g, 1000, &seq)),
+            par_secs: time(|| equivalent_on_with(&a, &b, &g, 1000, &par)),
+        });
+    }
+
+    rows
+}
+
+/// Serializes rows as a JSON array (no external dependencies).
+pub fn to_json(rows: &[ThroughputRow]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"checker\": \"{}\", \"tuples\": {}, \"threads\": {}, \
+             \"seq_secs\": {:.6}, \"par_secs\": {:.6}, \
+             \"seq_tuples_per_sec\": {:.1}, \"par_tuples_per_sec\": {:.1}, \
+             \"speedup\": {:.3}}}{}\n",
+            r.checker,
+            r.tuples,
+            r.threads,
+            r.seq_secs,
+            r.par_secs,
+            r.seq_tuples_per_sec(),
+            r.par_tuples_per_sec(),
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape() {
+        let rows = vec![ThroughputRow {
+            checker: "check_soundness",
+            tuples: 1_000_000,
+            threads: 4,
+            seq_secs: 2.0,
+            par_secs: 1.0,
+        }];
+        let j = to_json(&rows);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"speedup\": 2.000"));
+        assert!(j.contains("\"seq_tuples_per_sec\": 500000.0"));
+    }
+
+    #[test]
+    fn speedup_math() {
+        let r = ThroughputRow {
+            checker: "x",
+            tuples: 100,
+            threads: 2,
+            seq_secs: 1.0,
+            par_secs: 0.25,
+        };
+        assert!((r.speedup() - 4.0).abs() < 1e-9);
+        assert!((r.par_tuples_per_sec() - 400.0).abs() < 1e-9);
+    }
+}

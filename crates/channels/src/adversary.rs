@@ -34,8 +34,7 @@ pub fn random_brute_force(sys: &PasswordSystem, seed: u64) -> RandomAttack {
     let mut order: Vec<u64> = (0..total).collect();
     let mut rng = StdRng::seed_from_u64(seed);
     order.shuffle(&mut rng);
-    let mut calls = 0u64;
-    for code in order {
+    for (i, code) in order.into_iter().enumerate() {
         // Decode the candidate in base n.
         let mut guess = vec![0u8; k];
         let mut c = code;
@@ -43,11 +42,10 @@ pub fn random_brute_force(sys: &PasswordSystem, seed: u64) -> RandomAttack {
             *slot = (c % n) as u8;
             c /= n;
         }
-        calls += 1;
         if sys.check(&guess) {
             return RandomAttack {
                 recovered: guess,
-                oracle_calls: calls,
+                oracle_calls: i as u64 + 1,
             };
         }
     }

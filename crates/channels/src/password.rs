@@ -181,16 +181,14 @@ pub fn page_boundary_attack(sys: &PasswordSystem, page_size: usize) -> PageAttac
         known.push(found.expect("some character must extend the prefix"));
     }
     // Recover the final character with plain logon attempts.
-    let mut oracle_calls = 0u64;
     for c in 0..n {
         let mut guess = known.clone();
         guess.push(c);
-        oracle_calls += 1;
         if sys.check(&guess) {
             return PageAttackResult {
                 recovered: guess,
                 fault_probes,
-                oracle_calls,
+                oracle_calls: c as u64 + 1,
             };
         }
     }

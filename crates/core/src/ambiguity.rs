@@ -16,11 +16,11 @@
 
 use crate::domain::InputDomain;
 use crate::mechanism::{MechOutput, Mechanism};
-use crate::value::V;
+use crate::value::{SharedFn, V};
 use std::collections::HashSet;
 use std::fmt::Debug;
 use std::hash::Hash;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A mechanism whose violations surface as bare partial outputs — the set
 /// `F` deliberately overlaps `E`.
@@ -30,16 +30,16 @@ use std::rc::Rc;
 /// run.
 pub struct PartialOutputMechanism<O> {
     arity: usize,
-    inner: Rc<dyn Mechanism<Out = O>>,
-    partial: Rc<dyn Fn(&[V]) -> O>,
+    inner: Arc<dyn Mechanism<Out = O> + Send + Sync>,
+    partial: SharedFn<O>,
 }
 
 impl<O> Clone for PartialOutputMechanism<O> {
     fn clone(&self) -> Self {
         PartialOutputMechanism {
             arity: self.arity,
-            inner: Rc::clone(&self.inner),
-            partial: Rc::clone(&self.partial),
+            inner: Arc::clone(&self.inner),
+            partial: Arc::clone(&self.partial),
         }
     }
 }
@@ -48,13 +48,13 @@ impl<O: Clone + PartialEq + Debug + 'static> PartialOutputMechanism<O> {
     /// Wraps `inner`, replacing each violation notice by
     /// `partial(input)` — the "result of the partial computation".
     pub fn new(
-        inner: impl Mechanism<Out = O> + 'static,
-        partial: impl Fn(&[V]) -> O + 'static,
+        inner: impl Mechanism<Out = O> + Send + Sync + 'static,
+        partial: impl Fn(&[V]) -> O + Send + Sync + 'static,
     ) -> Self {
         PartialOutputMechanism {
             arity: inner.arity(),
-            inner: Rc::new(inner),
-            partial: Rc::new(partial),
+            inner: Arc::new(inner),
+            partial: Arc::new(partial),
         }
     }
 

@@ -13,6 +13,7 @@
 
 use crate::domain::InputDomain;
 use crate::mechanism::Mechanism;
+use crate::par::{partition_fold, EvalConfig};
 use crate::value::V;
 
 /// How two mechanisms' acceptance sets relate over a domain.
@@ -94,8 +95,46 @@ fn rate(num: usize, den: usize) -> f64 {
 /// ```
 pub fn compare<M1, M2>(m1: &M1, m2: &M2, domain: &dyn InputDomain) -> CompletenessReport
 where
-    M1: Mechanism,
-    M2: Mechanism,
+    M1: Mechanism + Sync,
+    M2: Mechanism + Sync,
+{
+    compare_with(m1, m2, domain, &EvalConfig::default())
+}
+
+/// Per-range partial of a completeness comparison.
+#[derive(Default)]
+struct ComparePartial {
+    inputs: usize,
+    accepted_first: usize,
+    accepted_second: usize,
+    only_first: usize,
+    only_second: usize,
+    witness_first: Option<(usize, Vec<V>)>,
+    witness_second: Option<(usize, Vec<V>)>,
+}
+
+fn min_witness(a: Option<(usize, Vec<V>)>, b: Option<(usize, Vec<V>)>) -> Option<(usize, Vec<V>)> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(if x.0 <= y.0 { x } else { y }),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+/// Like [`compare`] but with an explicit evaluation configuration.
+///
+/// Counts are sums over the partition; witnesses are the least-index
+/// examples, so the report equals the sequential one (which records the
+/// first example in enumeration order) for every thread count.
+pub fn compare_with<M1, M2>(
+    m1: &M1,
+    m2: &M2,
+    domain: &dyn InputDomain,
+    config: &EvalConfig,
+) -> CompletenessReport
+where
+    M1: Mechanism + Sync,
+    M2: Mechanism + Sync,
 {
     assert_eq!(
         m1.arity(),
@@ -111,50 +150,89 @@ where
         domain.arity(),
         m1.arity()
     );
-    let mut report = CompletenessReport {
-        ordering: MechOrdering::Equal,
-        inputs: 0,
-        accepted_first: 0,
-        accepted_second: 0,
-        only_first: 0,
-        only_second: 0,
-        witness_first: None,
-        witness_second: None,
-    };
-    for a in domain.iter_inputs() {
-        report.inputs += 1;
-        let ok1 = m1.run(&a).is_value();
-        let ok2 = m2.run(&a).is_value();
-        if ok1 {
-            report.accepted_first += 1;
-        }
-        if ok2 {
-            report.accepted_second += 1;
-        }
-        if ok1 && !ok2 {
-            report.only_first += 1;
-            report.witness_first.get_or_insert(a);
-        } else if ok2 && !ok1 {
-            report.only_second += 1;
-            report.witness_second.get_or_insert(a);
-        }
+    let partials = partition_fold(domain, config, |range, _| {
+        let mut p = ComparePartial::default();
+        domain.visit_range(range, &mut |idx, a| {
+            p.inputs += 1;
+            let ok1 = m1.run(a).is_value();
+            let ok2 = m2.run(a).is_value();
+            if ok1 {
+                p.accepted_first += 1;
+            }
+            if ok2 {
+                p.accepted_second += 1;
+            }
+            if ok1 && !ok2 {
+                p.only_first += 1;
+                if p.witness_first.is_none() {
+                    p.witness_first = Some((idx, a.to_vec()));
+                }
+            } else if ok2 && !ok1 {
+                p.only_second += 1;
+                if p.witness_second.is_none() {
+                    p.witness_second = Some((idx, a.to_vec()));
+                }
+            }
+            true
+        });
+        p
+    });
+    let total = partials
+        .into_iter()
+        .reduce(|mut acc, p| {
+            acc.inputs += p.inputs;
+            acc.accepted_first += p.accepted_first;
+            acc.accepted_second += p.accepted_second;
+            acc.only_first += p.only_first;
+            acc.only_second += p.only_second;
+            acc.witness_first = min_witness(acc.witness_first, p.witness_first);
+            acc.witness_second = min_witness(acc.witness_second, p.witness_second);
+            acc
+        })
+        .unwrap_or_default();
+    CompletenessReport {
+        ordering: match (total.only_first > 0, total.only_second > 0) {
+            (false, false) => MechOrdering::Equal,
+            (true, false) => MechOrdering::FirstMore,
+            (false, true) => MechOrdering::SecondMore,
+            (true, true) => MechOrdering::Incomparable,
+        },
+        inputs: total.inputs,
+        accepted_first: total.accepted_first,
+        accepted_second: total.accepted_second,
+        only_first: total.only_first,
+        only_second: total.only_second,
+        witness_first: total.witness_first.map(|(_, a)| a),
+        witness_second: total.witness_second.map(|(_, a)| a),
     }
-    report.ordering = match (report.only_first > 0, report.only_second > 0) {
-        (false, false) => MechOrdering::Equal,
-        (true, false) => MechOrdering::FirstMore,
-        (false, true) => MechOrdering::SecondMore,
-        (true, true) => MechOrdering::Incomparable,
-    };
-    report
 }
 
 /// Computes the acceptance set of a mechanism over a domain: the inputs on
 /// which it returns a program output.
-pub fn acceptance_set<M: Mechanism>(m: &M, domain: &dyn InputDomain) -> Vec<Vec<V>> {
-    domain
-        .iter_inputs()
-        .filter(|a| m.run(a).is_value())
-        .collect()
+pub fn acceptance_set<M: Mechanism + Sync>(m: &M, domain: &dyn InputDomain) -> Vec<Vec<V>> {
+    acceptance_set_with(m, domain, &EvalConfig::default())
+}
+
+/// Like [`acceptance_set`] but with an explicit evaluation configuration.
+///
+/// Per-range accepted tuples are concatenated in range order, so the result
+/// is in enumeration order for every thread count.
+pub fn acceptance_set_with<M: Mechanism + Sync>(
+    m: &M,
+    domain: &dyn InputDomain,
+    config: &EvalConfig,
+) -> Vec<Vec<V>> {
+    let partials = partition_fold(domain, config, |range, _| {
+        let mut accepted = Vec::new();
+        domain.visit_range(range, &mut |_, a| {
+            if m.run(a).is_value() {
+                accepted.push(a.to_vec());
+            }
+            true
+        });
+        accepted
+    });
+    partials.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -165,7 +243,10 @@ mod tests {
     use crate::notice::Notice;
     use crate::program::FnProgram;
 
-    fn accept_if(arity: usize, pred: impl Fn(&[V]) -> bool + 'static) -> FnMechanism<V> {
+    fn accept_if(
+        arity: usize,
+        pred: impl Fn(&[V]) -> bool + Send + Sync + 'static,
+    ) -> FnMechanism<V> {
         FnMechanism::new(arity, move |a: &[V]| {
             if pred(a) {
                 MechOutput::Value(0)

@@ -106,7 +106,7 @@ where
         mechanism.arity(),
         requirement.arity()
     );
-    let mut seen: HashMap<MechOutput<M::Out>, (Vec<V>, R::View)> = HashMap::new();
+    let mut seen: HashMap<_, (Vec<V>, R::View)> = HashMap::new();
     let mut inputs = 0usize;
     let mut views = std::collections::HashSet::new();
     for a in domain.iter_inputs() {

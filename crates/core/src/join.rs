@@ -164,7 +164,7 @@ mod tests {
     use crate::policy::Allow;
     use crate::soundness::check_soundness;
 
-    fn reveal_x1_if(pred: impl Fn(&[V]) -> bool + 'static) -> FnMechanism<V> {
+    fn reveal_x1_if(pred: impl Fn(&[V]) -> bool + Send + Sync + 'static) -> FnMechanism<V> {
         FnMechanism::new(2, move |a: &[V]| {
             if pred(a) {
                 MechOutput::Value(a[0])

@@ -18,19 +18,19 @@ use crate::mechanism::{MechOutput, Mechanism};
 use crate::notice::Notice;
 use crate::policy::Policy;
 use crate::program::Program;
-use crate::value::V;
+use crate::value::{SharedFn, V};
 use std::collections::{HashMap, HashSet};
 use std::fmt::Debug;
 use std::hash::Hash;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The lattice of sound mechanisms for a program and policy over a finite
 /// domain.
 pub struct SoundLattice<W, O> {
     arity: usize,
     /// View → Q's constant value on that class (absent when Q varies).
-    constant_classes: Rc<HashMap<W, O>>,
-    filter: Rc<dyn Fn(&[V]) -> W>,
+    constant_classes: Arc<HashMap<W, O>>,
+    filter: SharedFn<W>,
 }
 
 /// An element of the sound-mechanism lattice: the subset of constant
@@ -82,7 +82,7 @@ where
     pub fn build<Q, P>(program: &Q, policy: &P, domain: &dyn InputDomain) -> Self
     where
         Q: Program<Out = O>,
-        P: Policy<View = W> + Clone + 'static,
+        P: Policy<View = W> + Clone + Send + Sync + 'static,
     {
         assert_eq!(
             program.arity(),
@@ -116,8 +116,8 @@ where
         let p = policy.clone();
         SoundLattice {
             arity: program.arity(),
-            constant_classes: Rc::new(constant_classes),
-            filter: Rc::new(move |a| p.filter(a)),
+            constant_classes: Arc::new(constant_classes),
+            filter: Arc::new(move |a| p.filter(a)),
         }
     }
 
@@ -159,8 +159,8 @@ where
         LatticeMechanism {
             arity: self.arity,
             accepting: element.accepting.clone(),
-            constant_classes: Rc::clone(&self.constant_classes),
-            filter: Rc::clone(&self.filter),
+            constant_classes: Arc::clone(&self.constant_classes),
+            filter: Arc::clone(&self.filter),
         }
     }
 }
@@ -169,8 +169,8 @@ where
 pub struct LatticeMechanism<W: Eq + Hash, O> {
     arity: usize,
     accepting: HashSet<W>,
-    constant_classes: Rc<HashMap<W, O>>,
-    filter: Rc<dyn Fn(&[V]) -> W>,
+    constant_classes: Arc<HashMap<W, O>>,
+    filter: SharedFn<W>,
 }
 
 impl<W, O> Mechanism for LatticeMechanism<W, O>

@@ -50,13 +50,16 @@ pub mod maximal;
 pub mod mechanism;
 pub mod notice;
 pub mod observability;
+pub mod par;
 pub mod policy;
 pub mod program;
 pub mod quantitative;
 pub mod soundness;
 pub mod value;
 
-pub use completeness::{compare, CompletenessReport, MechOrdering};
+pub use completeness::{
+    acceptance_set, acceptance_set_with, compare, compare_with, CompletenessReport, MechOrdering,
+};
 pub use domain::{Explicit, Grid, InputDomain};
 pub use indexset::IndexSet;
 pub use integrity::{check_preservation, PreservationReport};
@@ -65,8 +68,11 @@ pub use maximal::MaximalMechanism;
 pub use mechanism::{FnMechanism, Identity, MechOutput, Mechanism, Plug};
 pub use notice::Notice;
 pub use observability::{Timed, TimedProgram, WithTime};
+pub use par::EvalConfig;
 pub use policy::{Allow, FnPolicy, Policy};
 pub use program::{FnProgram, Program};
 pub use quantitative::{measure_leak, LeakReport};
-pub use soundness::{check_protection, check_soundness, SoundnessReport};
+pub use soundness::{
+    check_protection, check_protection_with, check_soundness, check_soundness_with, SoundnessReport,
+};
 pub use value::V;

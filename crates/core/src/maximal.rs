@@ -19,9 +19,11 @@
 use crate::domain::InputDomain;
 use crate::mechanism::{MechOutput, Mechanism};
 use crate::notice::Notice;
+use crate::par::{partition_fold, EvalConfig};
 use crate::policy::Policy;
 use crate::program::Program;
-use crate::value::V;
+use crate::value::{BoxedFn, V};
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -47,7 +49,7 @@ use std::hash::Hash;
 pub struct MaximalMechanism<W, O> {
     arity: usize,
     classes: HashMap<W, Option<O>>,
-    filter: Box<dyn Fn(&[V]) -> W>,
+    filter: BoxedFn<W>,
     violation: Notice,
     out_of_domain: Notice,
 }
@@ -69,8 +71,34 @@ where
     /// otherwise mark the class as leaking.
     pub fn build<Q, P>(program: &Q, policy: &P, domain: &dyn InputDomain) -> Self
     where
-        Q: Program<Out = O>,
-        P: Policy<View = W> + Clone + 'static,
+        Q: Program<Out = O> + Sync,
+        P: Policy<View = W> + Clone + Send + Sync + 'static,
+        W: Send,
+        O: Send,
+    {
+        Self::build_with(program, policy, domain, &EvalConfig::default())
+    }
+
+    /// Like [`build`](MaximalMechanism::build) but with an explicit
+    /// evaluation configuration.
+    ///
+    /// The domain scan partitions across workers ([`crate::par`]); each
+    /// worker classifies its index range into `view → Some(constant) /
+    /// None (varies)` and the partials are merged pointwise: a class is
+    /// constant iff it is constant in every range *and* the constants
+    /// agree. The merged map is identical to the sequential scan's for
+    /// every thread count.
+    pub fn build_with<Q, P>(
+        program: &Q,
+        policy: &P,
+        domain: &dyn InputDomain,
+        config: &EvalConfig,
+    ) -> Self
+    where
+        Q: Program<Out = O> + Sync,
+        P: Policy<View = W> + Clone + Send + Sync + 'static,
+        W: Send,
+        O: Send,
     {
         assert_eq!(
             program.arity(),
@@ -82,21 +110,37 @@ where
             policy.arity(),
             "domain/policy arity mismatch"
         );
-        let mut classes: HashMap<W, Option<O>> = HashMap::new();
-        let mut varies: HashMap<W, bool> = HashMap::new();
-        for a in domain.iter_inputs() {
-            let view = policy.filter(&a);
-            let out = program.eval(&a);
-            match classes.entry(view.clone()) {
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(Some(out));
-                    varies.insert(view, false);
-                }
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    if let Some(prev) = e.get() {
-                        if *prev != out {
+        let partials = partition_fold(domain, config, |range, _| {
+            let mut classes: HashMap<W, Option<O>> = HashMap::new();
+            domain.visit_range(range, &mut |_, a| {
+                let view = policy.filter(a);
+                let out = program.eval(a);
+                match classes.entry(view) {
+                    Entry::Vacant(e) => {
+                        e.insert(Some(out));
+                    }
+                    Entry::Occupied(mut e) => {
+                        if matches!(e.get(), Some(prev) if *prev != out) {
                             e.insert(None);
-                            varies.insert(view, true);
+                        }
+                    }
+                }
+                true
+            });
+            classes
+        });
+        let mut classes: HashMap<W, Option<O>> = HashMap::new();
+        for partial in partials {
+            for (view, value) in partial {
+                match classes.entry(view) {
+                    Entry::Vacant(e) => {
+                        e.insert(value);
+                    }
+                    Entry::Occupied(mut e) => {
+                        if *e.get() != value {
+                            // Constant in both ranges but with different
+                            // values, or varying in at least one: varies.
+                            e.insert(None);
                         }
                     }
                 }
@@ -181,12 +225,12 @@ where
         Some(v) => v,
         None => return Constancy::Constant,
     };
-    let mut probed = 1usize;
     for (i, v) in outputs.enumerate() {
+        // `i + 1` outputs have been probed before inspecting `v`.
+        let probed = i + 1;
         if probed >= fuel {
             return Constancy::Undetermined { probed };
         }
-        probed += 1;
         if v != first {
             return Constancy::Varies(0, i + 1);
         }
@@ -206,6 +250,9 @@ mod tests {
 
     #[test]
     fn maximal_is_sound_and_a_protection_mechanism() {
+        // Branches on x1 but computes the same value either way: constant
+        // per policy class even though the scrutinee is disallowed.
+        #[allow(clippy::if_same_then_else)]
         let q = FnProgram::new(2, |a: &[V]| if a[0] > 0 { a[1] } else { a[1] });
         let p = Allow::new(2, [2]);
         let g = Grid::hypercube(2, -2..=2);
@@ -285,6 +332,7 @@ mod tests {
         // The paper's program: branch on x1, but both branches assign
         // y := x2. Surveillance always gives Λ; the maximal mechanism is Q
         // itself. We verify Identity(Q) and Maximal agree here.
+        #[allow(clippy::if_same_then_else)]
         let q = FnProgram::new(2, |a: &[V]| if a[0] == 0 { a[1] } else { a[1] });
         let p = Allow::new(2, [2]);
         let g = Grid::hypercube(2, -2..=2);

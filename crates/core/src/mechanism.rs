@@ -12,9 +12,9 @@
 
 use crate::notice::Notice;
 use crate::program::Program;
-use crate::value::V;
+use crate::value::{SharedFn, V};
 use std::fmt::Debug;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The result of running a mechanism: either the protected program's output
 /// or a violation notice.
@@ -101,7 +101,7 @@ impl<M: Mechanism + ?Sized> Mechanism for &M {
     }
 }
 
-impl<M: Mechanism + ?Sized> Mechanism for Rc<M> {
+impl<M: Mechanism + ?Sized> Mechanism for Arc<M> {
     type Out = M::Out;
 
     fn arity(&self) -> usize {
@@ -204,24 +204,24 @@ impl<O: Clone + PartialEq + Debug> Mechanism for Plug<O> {
 /// ```
 pub struct FnMechanism<O> {
     arity: usize,
-    f: Rc<dyn Fn(&[V]) -> MechOutput<O>>,
+    f: SharedFn<MechOutput<O>>,
 }
 
 impl<O> Clone for FnMechanism<O> {
     fn clone(&self) -> Self {
         FnMechanism {
             arity: self.arity,
-            f: Rc::clone(&self.f),
+            f: Arc::clone(&self.f),
         }
     }
 }
 
 impl<O> FnMechanism<O> {
     /// Wraps a closure as a `k`-ary mechanism.
-    pub fn new(arity: usize, f: impl Fn(&[V]) -> MechOutput<O> + 'static) -> Self {
+    pub fn new(arity: usize, f: impl Fn(&[V]) -> MechOutput<O> + Send + Sync + 'static) -> Self {
         FnMechanism {
             arity,
-            f: Rc::new(f),
+            f: Arc::new(f),
         }
     }
 }
@@ -308,6 +308,6 @@ mod tests {
             m.arity()
         }
         assert_eq!(arity_of(&m), 1);
-        assert_eq!(arity_of(Rc::new(m)), 1);
+        assert_eq!(arity_of(Arc::new(m)), 1);
     }
 }

@@ -1,0 +1,326 @@
+//! The parallel domain-evaluation engine.
+//!
+//! Every exhaustive checker in this crate is a fold over the tuple index
+//! space `0..domain.len()`: evaluate something at each tuple, accumulate
+//! per-class or first-witness state, and reduce. Because
+//! [`InputDomain`] gives random access by index ([`InputDomain::nth_input`])
+//! and in-order range visits ([`InputDomain::visit_range`]), that index
+//! space can be partitioned into contiguous per-worker ranges with zero
+//! coordination and zero per-tuple allocation; each worker folds its range
+//! into a partial state and the partials are merged **in range order**, so
+//! the reduction is deterministic: the result is bit-for-bit identical for
+//! every thread count, including 1.
+//!
+//! The engine is std-only: workers are scoped threads
+//! (`std::thread::scope`), so borrowed mechanisms, policies, and domains
+//! cross into workers without `'static` bounds or reference counting.
+//!
+//! Early exit is cooperative. Checkers that stop at the first witness (in
+//! enumeration order) share a [`Cutoff`] — an atomic upper bound on the
+//! index of the best witness found so far. Any *locally discovered* witness
+//! is a valid global witness, so its index bounds the final answer; workers
+//! abandon their range once their ascending cursor passes the bound. The
+//! merge still selects the minimal index, so early exit never changes the
+//! reported witness, only the work done.
+
+use crate::domain::InputDomain;
+use crate::value::V;
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Name of the environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "ENF_THREADS";
+
+/// Domains smaller than this run sequentially by default: thread spawn and
+/// merge overhead dwarfs the scan itself.
+pub const DEFAULT_SEQ_THRESHOLD: usize = 1 << 14;
+
+/// Configuration for the evaluation engine.
+///
+/// The default resolves the worker count from the `ENF_THREADS` environment
+/// variable if set, else from [`std::thread::available_parallelism`], and
+/// falls back to sequential evaluation for domains smaller than
+/// [`DEFAULT_SEQ_THRESHOLD`] tuples.
+#[derive(Clone, Debug, Default)]
+pub struct EvalConfig {
+    threads: Option<NonZeroUsize>,
+    seq_threshold: Option<usize>,
+}
+
+impl EvalConfig {
+    /// The default configuration (auto thread count).
+    pub fn new() -> Self {
+        EvalConfig::default()
+    }
+
+    /// A configuration with an explicit worker count.
+    pub fn with_threads(threads: usize) -> Self {
+        EvalConfig {
+            threads: NonZeroUsize::new(threads),
+            seq_threshold: None,
+        }
+    }
+
+    /// Sets the worker count (`0` restores auto resolution).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = NonZeroUsize::new(threads);
+        self
+    }
+
+    /// Sets the domain size below which evaluation is sequential.
+    #[must_use]
+    pub fn seq_threshold(mut self, threshold: usize) -> Self {
+        self.seq_threshold = Some(threshold);
+        self
+    }
+
+    /// The configured or environment-resolved worker count.
+    pub fn resolved_threads(&self) -> usize {
+        if let Some(n) = self.threads {
+            return n.get();
+        }
+        if let Some(n) = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .and_then(NonZeroUsize::new)
+        {
+            return n.get();
+        }
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// How many workers a domain of `len` tuples actually gets: capped by
+    /// the resolved thread count, the sequential threshold, and the number
+    /// of tuples.
+    pub fn workers_for(&self, len: usize) -> usize {
+        let threshold = self.seq_threshold.unwrap_or(DEFAULT_SEQ_THRESHOLD);
+        if len < threshold {
+            return 1;
+        }
+        self.resolved_threads().min(len).max(1)
+    }
+}
+
+/// Shared upper bound on the index of the best (least-index) witness found
+/// so far, for cooperative early exit.
+pub struct Cutoff(AtomicUsize);
+
+impl Cutoff {
+    /// A cutoff with no witness yet (bound = `usize::MAX`).
+    pub fn new() -> Self {
+        Cutoff(AtomicUsize::new(usize::MAX))
+    }
+
+    /// Records a witness at `idx`, tightening the bound.
+    pub fn propose(&self, idx: usize) {
+        self.0.fetch_min(idx, Ordering::Relaxed);
+    }
+
+    /// Whether a worker whose ascending cursor reached `idx` can stop:
+    /// every index it would still visit exceeds the best witness bound.
+    pub fn passed(&self, idx: usize) -> bool {
+        idx > self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Cutoff {
+    fn default() -> Self {
+        Cutoff::new()
+    }
+}
+
+/// Splits `0..len` into `workers` contiguous, near-equal, in-order ranges.
+fn split_ranges(len: usize, workers: usize) -> Vec<Range<usize>> {
+    let workers = workers.clamp(1, len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Folds each partition of the domain's index space into a partial state.
+///
+/// `worker` is called once per partition with its index range and the shared
+/// [`Cutoff`]; partials are returned **in range order**, ready for a
+/// deterministic left-to-right merge. With one worker the fold runs on the
+/// calling thread — the sequential path is the parallel path with a single
+/// partition, not separate code.
+///
+/// Worker panics (e.g. a failed arity assertion inside a mechanism)
+/// propagate to the caller.
+pub fn partition_fold<T, F>(domain: &dyn InputDomain, config: &EvalConfig, worker: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>, &Cutoff) -> T + Sync,
+{
+    let len = domain.len();
+    let workers = config.workers_for(len);
+    let cutoff = Cutoff::new();
+    if workers <= 1 {
+        return vec![worker(0..len, &cutoff)];
+    }
+    let ranges = split_ranges(len, workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| {
+                let worker = &worker;
+                let cutoff = &cutoff;
+                scope.spawn(move || worker(range, cutoff))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(partial) => partial,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    })
+}
+
+/// Finds the least-index tuple on which `test` returns a payload.
+///
+/// The shared witness-first pattern of `check_protection` and the static
+/// equivalence checker: scan for the first offending tuple, in enumeration
+/// order, with cooperative early exit across workers.
+pub fn find_first<T, F>(
+    domain: &dyn InputDomain,
+    config: &EvalConfig,
+    test: F,
+) -> Option<(usize, T)>
+where
+    T: Send,
+    F: Fn(usize, &[V]) -> Option<T> + Sync,
+{
+    partition_fold(domain, config, |range, cutoff| {
+        let mut found: Option<(usize, T)> = None;
+        domain.visit_range(range, &mut |idx, a| {
+            if cutoff.passed(idx) {
+                return false;
+            }
+            match test(idx, a) {
+                Some(payload) => {
+                    cutoff.propose(idx);
+                    found = Some((idx, payload));
+                    false
+                }
+                None => true,
+            }
+        });
+        found
+    })
+    .into_iter()
+    .flatten()
+    .min_by_key(|(idx, _)| *idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Grid;
+
+    fn seq_cfg() -> EvalConfig {
+        EvalConfig::with_threads(1)
+    }
+
+    fn par_cfg(n: usize) -> EvalConfig {
+        EvalConfig::with_threads(n).seq_threshold(0)
+    }
+
+    #[test]
+    fn split_ranges_partitions_exactly() {
+        for len in [0usize, 1, 7, 100, 101] {
+            for workers in [1usize, 2, 3, 8, 200] {
+                let ranges = split_ranges(len, workers);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, len, "len={len} workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn workers_respect_seq_threshold() {
+        let cfg = EvalConfig::with_threads(8);
+        assert_eq!(cfg.workers_for(100), 1);
+        let cfg = cfg.seq_threshold(64);
+        assert_eq!(cfg.workers_for(100), 8);
+        assert_eq!(cfg.workers_for(4), 1);
+    }
+
+    #[test]
+    fn partition_fold_covers_every_index_once() {
+        let g = Grid::hypercube(2, 0..=31); // 1024 tuples
+        for threads in 1..=8 {
+            let partials = partition_fold(&g, &par_cfg(threads), |range, _| {
+                let mut sum = 0u64;
+                let mut count = 0usize;
+                g.visit_range(range, &mut |idx, _| {
+                    sum += idx as u64;
+                    count += 1;
+                    true
+                });
+                (sum, count)
+            });
+            let total: u64 = partials.iter().map(|p| p.0).sum();
+            let count: usize = partials.iter().map(|p| p.1).sum();
+            assert_eq!(count, 1024);
+            assert_eq!(total, (1024 * 1023) / 2);
+        }
+    }
+
+    #[test]
+    fn find_first_returns_minimal_index() {
+        let g = Grid::hypercube(3, 0..=9); // 1000 tuples
+        for threads in [1, 2, 3, 8] {
+            let hit = find_first(&g, &par_cfg(threads), |_, a| {
+                (a[0] >= 5 && a[2] == 7).then(|| a.to_vec())
+            });
+            let (idx, a) = hit.expect("witness exists");
+            assert_eq!(a, vec![5, 0, 7]);
+            assert_eq!(idx, 507);
+        }
+    }
+
+    #[test]
+    fn find_first_none_when_absent() {
+        let g = Grid::hypercube(2, 0..=9);
+        assert!(find_first(&g, &par_cfg(4), |_, a| (a[0] > 100).then_some(())).is_none());
+    }
+
+    #[test]
+    fn sequential_config_runs_on_caller_thread() {
+        let g = Grid::hypercube(2, 0..=9);
+        let caller = std::thread::current().id();
+        let partials = partition_fold(&g, &seq_cfg(), |range, _| {
+            assert_eq!(std::thread::current().id(), caller);
+            range.len()
+        });
+        assert_eq!(partials, vec![100]);
+    }
+
+    #[test]
+    fn cutoff_bounds() {
+        let c = Cutoff::new();
+        assert!(!c.passed(usize::MAX - 1));
+        c.propose(100);
+        c.propose(300);
+        assert!(c.passed(101));
+        assert!(!c.passed(100));
+        assert!(!c.passed(5));
+    }
+}

@@ -11,10 +11,10 @@
 //! policy.
 
 use crate::indexset::IndexSet;
-use crate::value::V;
+use crate::value::{SharedFn, V};
 use std::fmt::Debug;
 use std::hash::Hash;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A security policy `I: D1 × … × Dk → 𝔐`.
 ///
@@ -182,24 +182,24 @@ impl Policy for Allow {
 /// ```
 pub struct FnPolicy<W> {
     arity: usize,
-    f: Rc<dyn Fn(&[V]) -> W>,
+    f: SharedFn<W>,
 }
 
 impl<W> Clone for FnPolicy<W> {
     fn clone(&self) -> Self {
         FnPolicy {
             arity: self.arity,
-            f: Rc::clone(&self.f),
+            f: Arc::clone(&self.f),
         }
     }
 }
 
 impl<W> FnPolicy<W> {
     /// Wraps a closure as a policy over `k` inputs.
-    pub fn new(arity: usize, f: impl Fn(&[V]) -> W + 'static) -> Self {
+    pub fn new(arity: usize, f: impl Fn(&[V]) -> W + Send + Sync + 'static) -> Self {
         FnPolicy {
             arity,
-            f: Rc::new(f),
+            f: Arc::new(f),
         }
     }
 }

@@ -8,9 +8,9 @@
 //! adapter in `enf-flowchart` folds divergence into a distinguished output
 //! so the function stays total).
 
-use crate::value::V;
+use crate::value::{SharedFn, V};
 use std::fmt::Debug;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A total function `Q: D1 × … × Dk → E` over integer inputs.
 ///
@@ -45,24 +45,24 @@ pub trait Program {
 /// ```
 pub struct FnProgram<O> {
     arity: usize,
-    f: Rc<dyn Fn(&[V]) -> O>,
+    f: SharedFn<O>,
 }
 
 impl<O> Clone for FnProgram<O> {
     fn clone(&self) -> Self {
         FnProgram {
             arity: self.arity,
-            f: Rc::clone(&self.f),
+            f: Arc::clone(&self.f),
         }
     }
 }
 
 impl<O> FnProgram<O> {
     /// Wraps a closure as a `k`-ary program.
-    pub fn new(arity: usize, f: impl Fn(&[V]) -> O + 'static) -> Self {
+    pub fn new(arity: usize, f: impl Fn(&[V]) -> O + Send + Sync + 'static) -> Self {
         FnProgram {
             arity,
-            f: Rc::new(f),
+            f: Arc::new(f),
         }
     }
 }
@@ -98,7 +98,7 @@ impl<P: Program + ?Sized> Program for &P {
     }
 }
 
-impl<P: Program + ?Sized> Program for Rc<P> {
+impl<P: Program + ?Sized> Program for Arc<P> {
     type Out = P::Out;
 
     fn arity(&self) -> usize {
@@ -169,7 +169,7 @@ mod tests {
 
     #[test]
     fn rc_impl_delegates() {
-        let q = Rc::new(FnProgram::new(1, |a: &[V]| a[0] * 2));
+        let q = Arc::new(FnProgram::new(1, |a: &[V]| a[0] * 2));
         assert_eq!(q.eval(&[4]), 8);
         assert_eq!(q.arity(), 1);
     }

@@ -14,7 +14,7 @@
 //! class of `n` secrets is `log2(n)`-sound at best.
 
 use crate::domain::InputDomain;
-use crate::mechanism::{MechOutput, Mechanism};
+use crate::mechanism::Mechanism;
 use crate::policy::Policy;
 use crate::value::V;
 use std::collections::{HashMap, HashSet};
@@ -75,7 +75,7 @@ where
         mechanism.arity(),
         policy.arity()
     );
-    let mut classes: HashMap<P::View, (Vec<V>, HashSet<MechOutput<M::Out>>)> = HashMap::new();
+    let mut classes: HashMap<P::View, (Vec<V>, HashSet<_>)> = HashMap::new();
     let mut inputs = 0usize;
     for a in domain.iter_inputs() {
         inputs += 1;
@@ -109,7 +109,7 @@ where
 mod tests {
     use super::*;
     use crate::domain::Grid;
-    use crate::mechanism::{FnMechanism, Identity, Plug};
+    use crate::mechanism::{FnMechanism, Identity, MechOutput, Plug};
     use crate::policy::Allow;
     use crate::program::{logon_program, FnProgram};
     use crate::soundness::check_soundness;

@@ -17,9 +17,11 @@
 
 use crate::domain::InputDomain;
 use crate::mechanism::{MechOutput, Mechanism};
+use crate::par::{find_first, partition_fold, EvalConfig};
 use crate::policy::Policy;
 use crate::program::Program;
 use crate::value::V;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
 /// Outcome of an empirical soundness check.
@@ -95,9 +97,58 @@ pub fn check_soundness<M, P>(
     collapse_notices: bool,
 ) -> SoundnessReport<M::Out>
 where
-    M: Mechanism,
-    M::Out: Eq + std::hash::Hash,
-    P: Policy,
+    M: Mechanism + Sync,
+    M::Out: Eq + std::hash::Hash + Send,
+    P: Policy + Sync,
+    P::View: Send,
+{
+    check_soundness_with(
+        mechanism,
+        policy,
+        domain,
+        collapse_notices,
+        &EvalConfig::default(),
+    )
+}
+
+/// Occurrence of an input tuple during the scan: its enumeration index, the
+/// tuple, and the mechanism's output on it.
+struct Occurrence<O> {
+    idx: usize,
+    input: Vec<V>,
+    out: MechOutput<O>,
+}
+
+/// Per-class partial state accumulated by one worker over its index range.
+struct ClassState<O> {
+    /// First occurrence of the class in the range.
+    rep: Occurrence<O>,
+    /// First occurrence in the range whose output differs from `rep`'s.
+    conflict: Option<Occurrence<O>>,
+}
+
+/// Like [`check_soundness`] but with an explicit evaluation configuration.
+///
+/// The scan partitions the domain's index space across workers
+/// ([`crate::par`]); each worker folds its contiguous range into per-class
+/// `(representative, first-conflict)` state, and partials are merged in
+/// range order. The merge preserves the sequential semantics exactly: the
+/// reported witness is the one the single-threaded scan would return — the
+/// class representative is the globally first occurrence of the class, and
+/// the conflicting input is the globally least-index input that
+/// disagrees with its class representative — for every thread count.
+pub fn check_soundness_with<M, P>(
+    mechanism: &M,
+    policy: &P,
+    domain: &dyn InputDomain,
+    collapse_notices: bool,
+    config: &EvalConfig,
+) -> SoundnessReport<M::Out>
+where
+    M: Mechanism + Sync,
+    M::Out: Eq + std::hash::Hash + Send,
+    P: Policy + Sync,
+    P::View: Send,
 {
     assert_eq!(
         mechanism.arity(),
@@ -113,33 +164,97 @@ where
         domain.arity(),
         policy.arity()
     );
-    let mut seen: HashMap<P::View, (Vec<V>, MechOutput<M::Out>)> = HashMap::new();
-    let mut inputs = 0usize;
-    for a in domain.iter_inputs() {
-        inputs += 1;
-        let view = policy.filter(&a);
-        let mut out = mechanism.run(&a);
-        if collapse_notices {
-            out = out.collapse_notice();
-        }
-        match seen.get(&view) {
-            None => {
-                seen.insert(view, (a, out));
+    let partials = partition_fold(domain, config, |range, cutoff| {
+        let mut seen: HashMap<P::View, ClassState<M::Out>> = HashMap::new();
+        domain.visit_range(range, &mut |idx, a| {
+            // A recorded conflict bounds the final witness index from
+            // above; once past it this range can contribute nothing.
+            if cutoff.passed(idx) {
+                return false;
             }
-            Some((b, prev)) if *prev != out => {
-                return SoundnessReport::Unsound(Witness {
-                    a: b.clone(),
-                    b: a,
-                    out_a: prev.clone(),
-                    out_b: out,
-                });
+            let view = policy.filter(a);
+            let mut out = mechanism.run(a);
+            if collapse_notices {
+                out = out.collapse_notice();
             }
-            Some(_) => {}
+            match seen.entry(view) {
+                Entry::Vacant(e) => {
+                    e.insert(ClassState {
+                        rep: Occurrence {
+                            idx,
+                            input: a.to_vec(),
+                            out,
+                        },
+                        conflict: None,
+                    });
+                }
+                Entry::Occupied(mut e) => {
+                    let state = e.get_mut();
+                    if state.conflict.is_none() && state.rep.out != out {
+                        state.conflict = Some(Occurrence {
+                            idx,
+                            input: a.to_vec(),
+                            out,
+                        });
+                        cutoff.propose(idx);
+                    }
+                }
+            }
+            true
+        });
+        seen
+    });
+
+    // Deterministic reduction: merge in range order, so each class's
+    // representative is its globally first occurrence and each conflict is
+    // the least index disagreeing with that representative.
+    let mut merged: HashMap<P::View, ClassState<M::Out>> = HashMap::new();
+    for partial in partials {
+        for (view, state) in partial {
+            match merged.entry(view) {
+                Entry::Vacant(e) => {
+                    e.insert(state);
+                }
+                Entry::Occupied(mut e) => {
+                    let m = e.get_mut();
+                    // The least index in `state`'s range disagreeing with
+                    // the global representative: the range's own first
+                    // occurrence if it already disagrees, else the range's
+                    // recorded conflict (which disagrees with the shared
+                    // representative output).
+                    let candidate = if state.rep.out != m.rep.out {
+                        Some(state.rep)
+                    } else {
+                        state.conflict
+                    };
+                    if let Some(c) = candidate {
+                        if m.conflict.as_ref().is_none_or(|mc| c.idx < mc.idx) {
+                            m.conflict = Some(c);
+                        }
+                    }
+                }
+            }
         }
     }
-    SoundnessReport::Sound {
-        inputs,
-        classes: seen.len(),
+
+    // With no conflict, no worker exited early, so `merged` holds every
+    // class the sequential scan would have seen.
+    let classes = merged.len();
+    let witness = merged
+        .into_values()
+        .filter_map(|s| s.conflict.map(|c| (s.rep, c)))
+        .min_by_key(|(_, c)| c.idx);
+    match witness {
+        Some((rep, conflict)) => SoundnessReport::Unsound(Witness {
+            a: rep.input,
+            b: conflict.input,
+            out_a: rep.out,
+            out_b: conflict.out,
+        }),
+        None => SoundnessReport::Sound {
+            inputs: domain.len(),
+            classes,
+        },
     }
 }
 
@@ -153,8 +268,25 @@ pub fn check_protection<M, Q>(
     domain: &dyn InputDomain,
 ) -> Result<(), Vec<V>>
 where
-    M: Mechanism,
-    Q: Program<Out = M::Out>,
+    M: Mechanism + Sync,
+    Q: Program<Out = M::Out> + Sync,
+{
+    check_protection_with(mechanism, program, domain, &EvalConfig::default())
+}
+
+/// Like [`check_protection`] but with an explicit evaluation configuration.
+///
+/// Returns the same first offending input (in enumeration order) as the
+/// sequential scan, for every thread count.
+pub fn check_protection_with<M, Q>(
+    mechanism: &M,
+    program: &Q,
+    domain: &dyn InputDomain,
+    config: &EvalConfig,
+) -> Result<(), Vec<V>>
+where
+    M: Mechanism + Sync,
+    Q: Program<Out = M::Out> + Sync,
 {
     assert_eq!(
         mechanism.arity(),
@@ -163,14 +295,17 @@ where
         mechanism.arity(),
         program.arity()
     );
-    for a in domain.iter_inputs() {
-        if let MechOutput::Value(v) = mechanism.run(&a) {
-            if v != program.eval(&a) {
-                return Err(a);
+    match find_first(domain, config, |_, a| {
+        if let MechOutput::Value(v) = mechanism.run(a) {
+            if v != program.eval(a) {
+                return Some(a.to_vec());
             }
         }
+        None
+    }) {
+        Some((_, offender)) => Err(offender),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 #[cfg(test)]

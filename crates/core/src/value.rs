@@ -12,6 +12,13 @@ pub type V = i64;
 /// An owned input tuple `(d1, …, dk)`.
 pub type InputTuple = Vec<V>;
 
+/// A shared, thread-safe closure from an input tuple to `R` — the storage
+/// type behind the `Fn*` wrappers, shareable across evaluation workers.
+pub type SharedFn<R> = std::sync::Arc<dyn Fn(&[V]) -> R + Send + Sync>;
+
+/// An owned, thread-safe closure from an input tuple to `R`.
+pub type BoxedFn<R> = Box<dyn Fn(&[V]) -> R + Send + Sync>;
+
 /// Formats an input tuple the way the paper writes them: `(d1, …, dk)`.
 ///
 /// # Examples

@@ -1,0 +1,151 @@
+//! Determinism of the parallel evaluation engine: for every checker and
+//! every thread count, the parallel report is bit-for-bit identical to the
+//! sequential one — same verdict, same counts, and the *same witness*.
+//!
+//! Programs and mechanisms are random truth tables over the 5×5 grid, so
+//! policy classes collide often and unsound cases (where witness choice
+//! matters) are common. `seq_threshold(0)` forces the parallel path even
+//! on these tiny domains.
+
+use enf_core::{
+    acceptance_set_with, check_protection_with, check_soundness_with, compare_with, Allow,
+    EvalConfig, FnMechanism, FnProgram, Grid, InputDomain, MaximalMechanism, MechOutput, Mechanism,
+    Notice, V,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn table_index(a: &[V]) -> usize {
+    (((a[0] + 2) * 5 + (a[1] + 2)) as usize).min(24)
+}
+
+/// A random 2-ary program as an explicit truth table over the 5×5 grid.
+fn table_program(table: Arc<Vec<V>>) -> FnProgram<V> {
+    FnProgram::new(2, move |a: &[V]| table[table_index(a)])
+}
+
+/// A random mechanism for the table program: accept on a random subset.
+fn table_mechanism(table: Arc<Vec<V>>, accept: Arc<Vec<bool>>) -> FnMechanism<V> {
+    FnMechanism::new(2, move |a: &[V]| {
+        let i = table_index(a);
+        if accept[i] {
+            MechOutput::Value(table[i])
+        } else {
+            MechOutput::Violation(Notice::lambda())
+        }
+    })
+}
+
+fn grid() -> Grid {
+    Grid::hypercube(2, -2..=2)
+}
+
+fn policy_from_mask(mask: u8) -> Allow {
+    let mut idx = Vec::new();
+    if mask & 1 != 0 {
+        idx.push(1);
+    }
+    if mask & 2 != 0 {
+        idx.push(2);
+    }
+    Allow::new(2, idx)
+}
+
+/// Forced-parallel configuration with exactly `t` workers.
+fn par(t: usize) -> EvalConfig {
+    EvalConfig::with_threads(t).seq_threshold(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `check_soundness` returns the identical report — including the
+    /// witness pair on unsound mechanisms — for thread counts 1 through 8.
+    #[test]
+    fn soundness_report_deterministic(
+        table in proptest::collection::vec(-2i64..=2, 25),
+        accept in proptest::collection::vec(proptest::arbitrary::any::<bool>(), 25),
+        mask in 0u8..4,
+    ) {
+        let m = table_mechanism(Arc::new(table), Arc::new(accept));
+        let policy = policy_from_mask(mask);
+        let g = grid();
+        let baseline = check_soundness_with(&m, &policy, &g, false, &par(1));
+        for t in 2..=8 {
+            let report = check_soundness_with(&m, &policy, &g, false, &par(t));
+            prop_assert_eq!(&report, &baseline, "thread count {}", t);
+        }
+        // The engine's sequential fallback agrees too.
+        let seq = check_soundness_with(&m, &policy, &g, false, &EvalConfig::default());
+        prop_assert_eq!(&seq, &baseline);
+    }
+
+    /// `MaximalMechanism::build` produces behaviourally identical
+    /// mechanisms for every thread count: same class structure, same
+    /// accept/suppress decision on every input.
+    #[test]
+    fn maximal_build_deterministic(
+        table in proptest::collection::vec(-2i64..=2, 25),
+        mask in 0u8..4,
+    ) {
+        let q = table_program(Arc::new(table));
+        let policy = policy_from_mask(mask);
+        let g = grid();
+        let baseline = MaximalMechanism::build_with(&q, &policy, &g, &par(1));
+        for t in 2..=8 {
+            let built = MaximalMechanism::build_with(&q, &policy, &g, &par(t));
+            prop_assert_eq!(built.class_count(), baseline.class_count(), "thread count {}", t);
+            for a in g.iter_inputs() {
+                prop_assert_eq!(built.run(&a), baseline.run(&a), "thread count {}", t);
+            }
+        }
+    }
+
+    /// `compare` (counts and least-index witnesses) and `acceptance_set`
+    /// (full enumeration-order listing) are thread-count independent.
+    #[test]
+    fn compare_and_acceptance_deterministic(
+        table in proptest::collection::vec(-2i64..=2, 25),
+        accept1 in proptest::collection::vec(proptest::arbitrary::any::<bool>(), 25),
+        accept2 in proptest::collection::vec(proptest::arbitrary::any::<bool>(), 25),
+    ) {
+        let table = Arc::new(table);
+        let m1 = table_mechanism(table.clone(), Arc::new(accept1));
+        let m2 = table_mechanism(table, Arc::new(accept2));
+        let g = grid();
+        let base_cmp = compare_with(&m1, &m2, &g, &par(1));
+        let base_acc = acceptance_set_with(&m1, &g, &par(1));
+        for t in 2..=8 {
+            prop_assert_eq!(&compare_with(&m1, &m2, &g, &par(t)), &base_cmp, "thread count {}", t);
+            prop_assert_eq!(&acceptance_set_with(&m1, &g, &par(t)), &base_acc, "thread count {}", t);
+        }
+    }
+
+    /// `check_protection` reports the same first offending input for every
+    /// thread count.
+    #[test]
+    fn protection_witness_deterministic(
+        table in proptest::collection::vec(-2i64..=2, 25),
+        wrong in proptest::collection::vec(proptest::arbitrary::any::<bool>(), 25),
+    ) {
+        let table = Arc::new(table);
+        let q = table_program(table.clone());
+        // A mechanism that disagrees with `q` on a random subset of inputs.
+        let m = FnMechanism::new(2, {
+            let table = table.clone();
+            move |a: &[V]| {
+                let i = table_index(a);
+                if wrong[i] {
+                    MechOutput::Value(table[i] + 1)
+                } else {
+                    MechOutput::Value(table[i])
+                }
+            }
+        });
+        let g = grid();
+        let baseline = check_protection_with(&m, &q, &g, &par(1));
+        for t in 2..=8 {
+            prop_assert_eq!(&check_protection_with(&m, &q, &g, &par(t)), &baseline, "thread count {}", t);
+        }
+    }
+}

@@ -6,7 +6,7 @@ use enf_core::{
     InputDomain, Join, MaximalMechanism, MechOrdering, MechOutput, Mechanism, Notice, V,
 };
 use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn arb_set() -> impl Strategy<Value = IndexSet> {
     proptest::collection::vec(1usize..=12, 0..6).prop_map(IndexSet::from_iter)
@@ -14,7 +14,7 @@ fn arb_set() -> impl Strategy<Value = IndexSet> {
 
 /// A random 2-ary program as an explicit truth table over the 5×5 grid
 /// centred at 0, with a small output range so policy classes collide.
-fn table_program(table: Rc<Vec<V>>) -> FnProgram<V> {
+fn table_program(table: Arc<Vec<V>>) -> FnProgram<V> {
     FnProgram::new(2, move |a: &[V]| {
         let i = ((a[0] + 2) * 5 + (a[1] + 2)) as usize;
         table[i.min(24)]
@@ -22,7 +22,7 @@ fn table_program(table: Rc<Vec<V>>) -> FnProgram<V> {
 }
 
 /// A random mechanism for the table program: accept on a random subset.
-fn table_mechanism(table: Rc<Vec<V>>, accept: Rc<Vec<bool>>) -> FnMechanism<V> {
+fn table_mechanism(table: Arc<Vec<V>>, accept: Arc<Vec<bool>>) -> FnMechanism<V> {
     FnMechanism::new(2, move |a: &[V]| {
         let i = (((a[0] + 2) * 5 + (a[1] + 2)) as usize).min(24);
         if accept[i] {
@@ -93,9 +93,9 @@ proptest! {
         acc1 in proptest::collection::vec(any::<bool>(), 25),
         acc2 in proptest::collection::vec(any::<bool>(), 25),
     ) {
-        let table = Rc::new(table);
-        let m1 = table_mechanism(Rc::clone(&table), Rc::new(acc1));
-        let m2 = table_mechanism(Rc::clone(&table), Rc::new(acc2));
+        let table = Arc::new(table);
+        let m1 = table_mechanism(Arc::clone(&table), Arc::new(acc1));
+        let m2 = table_mechanism(Arc::clone(&table), Arc::new(acc2));
         let r12 = compare(&m1, &m2, &grid());
         let r21 = compare(&m2, &m1, &grid());
         let flipped = match r12.ordering {
@@ -150,8 +150,8 @@ proptest! {
         table in proptest::collection::vec(-2i64..=2, 25),
         mask in 0u8..4,
     ) {
-        let table = Rc::new(table);
-        let q = table_program(Rc::clone(&table));
+        let table = Arc::new(table);
+        let q = table_program(Arc::clone(&table));
         let mut idx = Vec::new();
         if mask & 1 != 0 { idx.push(1); }
         if mask & 2 != 0 { idx.push(2); }
@@ -170,8 +170,8 @@ proptest! {
     fn soundness_invariant_under_denied_permutation(
         table in proptest::collection::vec(-2i64..=2, 25),
     ) {
-        let table = Rc::new(table);
-        let q = table_program(Rc::clone(&table));
+        let table = Arc::new(table);
+        let q = table_program(Arc::clone(&table));
         let policy = Allow::new(2, [1]);
         let maximal = MaximalMechanism::build(&q, &policy, &grid());
         // x2 is denied: M(x1, x2) must equal M(x1, x2') for all pairs.

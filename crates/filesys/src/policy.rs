@@ -51,7 +51,7 @@ impl Policy for GatedFilePolicy {
 /// file contents in `0..=max_content`.
 pub fn small_domain(k: usize, max_content: V) -> enf_core::Grid {
     let mut ranges = vec![NO..=YES; k];
-    ranges.extend(std::iter::repeat(0..=max_content).take(k));
+    ranges.extend(std::iter::repeat_n(0..=max_content, k));
     enf_core::Grid::new(ranges)
 }
 

@@ -53,7 +53,7 @@ proptest! {
         let base = 10;
         let m = SessionMechanism::new(k, budget, base);
         let mut ranges = vec![0..=2i64; k];
-        ranges.extend(std::iter::repeat(0..=k as i64).take(2));
+        ranges.extend(std::iter::repeat_n(0..=k as i64, 2));
         let g = Grid::new(ranges);
         let matching = TwoQueryPolicy::new(k, budget);
         prop_assert!(check_soundness(&m, &matching, &g, false).is_sound());

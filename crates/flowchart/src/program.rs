@@ -9,7 +9,7 @@
 use crate::graph::Flowchart;
 use crate::interp::{run, ExecConfig, ExecValue, Outcome};
 use enf_core::{Program, Timed, TimedProgram, V};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A flowchart as a total `enf_core::Program`.
 ///
@@ -17,7 +17,7 @@ use std::rc::Rc;
 /// [`ExecValue::Diverged`], one more point of the output range.
 #[derive(Clone, Debug)]
 pub struct FlowchartProgram {
-    fc: Rc<Flowchart>,
+    fc: Arc<Flowchart>,
     fuel: u64,
 }
 
@@ -25,7 +25,7 @@ impl FlowchartProgram {
     /// Wraps a flowchart with the default fuel bound.
     pub fn new(fc: Flowchart) -> Self {
         FlowchartProgram {
-            fc: Rc::new(fc),
+            fc: Arc::new(fc),
             fuel: ExecConfig::default().fuel,
         }
     }
@@ -33,7 +33,7 @@ impl FlowchartProgram {
     /// Wraps a flowchart with an explicit fuel bound.
     pub fn with_fuel(fc: Flowchart, fuel: u64) -> Self {
         FlowchartProgram {
-            fc: Rc::new(fc),
+            fc: Arc::new(fc),
             fuel,
         }
     }

@@ -106,6 +106,10 @@ struct Restructurer<'a> {
 
 impl<'a> Restructurer<'a> {
     /// Walks from `at` to `stop` (exclusive), emitting statements.
+    ///
+    /// `in_loop_of` threads the innermost enclosing loop header through
+    /// the recursion (branch arms restructure in their loop context).
+    #[allow(clippy::only_used_in_recursion)]
     fn walk(
         &mut self,
         mut at: NodeId,

@@ -30,7 +30,7 @@
 
 use crate::machine::Inst;
 use enf_core::{Program, Timed, TimedProgram, V};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A security attribute: Fenton's `null` / `priv`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -223,7 +223,7 @@ impl DataMarkMachine {
 /// observable is the [`MarkedOutcome`].
 #[derive(Clone, Debug)]
 pub struct DataMarkProgram {
-    machine: Rc<DataMarkMachine>,
+    machine: Arc<DataMarkMachine>,
     arity: usize,
     fuel: u64,
 }
@@ -234,7 +234,7 @@ impl DataMarkProgram {
     pub fn new(machine: DataMarkMachine, arity: usize, fuel: u64) -> Self {
         assert!(machine.nregs > arity, "need arity + 1 registers");
         DataMarkProgram {
-            machine: Rc::new(machine),
+            machine: Arc::new(machine),
             arity,
             fuel,
         }

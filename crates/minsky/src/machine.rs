@@ -5,7 +5,7 @@
 //! explicit `HALT`. Register 0 is the output register by convention.
 
 use enf_core::{Program, Timed, TimedProgram, V};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A Minsky machine instruction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -163,7 +163,7 @@ pub enum MinskyValue {
 /// naturals, as in Fenton's model.
 #[derive(Clone, Debug)]
 pub struct MinskyProgram {
-    machine: Rc<MinskyMachine>,
+    machine: Arc<MinskyMachine>,
     arity: usize,
     fuel: u64,
 }
@@ -180,7 +180,7 @@ impl MinskyProgram {
             "need registers 0..={arity} for output plus {arity} inputs"
         );
         MinskyProgram {
-            machine: Rc::new(machine),
+            machine: Arc::new(machine),
             arity,
             fuel,
         }

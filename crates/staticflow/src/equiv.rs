@@ -6,7 +6,8 @@
 //! test grid needs. Divergence (fuel exhaustion) counts as an observable
 //! outcome and must match too.
 
-use enf_core::{InputDomain, V};
+use enf_core::par::find_first;
+use enf_core::{EvalConfig, InputDomain, V};
 use enf_flowchart::graph::Flowchart;
 use enf_flowchart::interp::{run, ExecConfig, Outcome};
 
@@ -19,21 +20,36 @@ pub fn equivalent_on(
     domain: &dyn InputDomain,
     fuel: u64,
 ) -> Result<(), Vec<V>> {
+    equivalent_on_with(a, b, domain, fuel, &EvalConfig::default())
+}
+
+/// Like [`equivalent_on`] but with an explicit evaluation configuration.
+///
+/// The scan runs on the parallel engine (`enf_core::par`); the reported
+/// witness is still the first differing input in enumeration order, for
+/// every thread count.
+pub fn equivalent_on_with(
+    a: &Flowchart,
+    b: &Flowchart,
+    domain: &dyn InputDomain,
+    fuel: u64,
+    config: &EvalConfig,
+) -> Result<(), Vec<V>> {
     assert_eq!(a.arity(), b.arity(), "arity mismatch");
     let cfg = ExecConfig::with_fuel(fuel);
-    for input in domain.iter_inputs() {
-        let oa = run(a, &input, &cfg);
-        let ob = run(b, &input, &cfg);
+    match find_first(domain, config, |_, input| {
+        let oa = run(a, input, &cfg);
+        let ob = run(b, input, &cfg);
         let same = match (&oa, &ob) {
             (Outcome::Halted(ha), Outcome::Halted(hb)) => ha.y == hb.y,
             (Outcome::OutOfFuel, Outcome::OutOfFuel) => true,
             _ => false,
         };
-        if !same {
-            return Err(input);
-        }
+        (!same).then(|| input.to_vec())
+    }) {
+        Some((_, witness)) => Err(witness),
+        None => Ok(()),
     }
-    Ok(())
 }
 
 #[cfg(test)]

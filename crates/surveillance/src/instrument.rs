@@ -32,7 +32,7 @@ use enf_flowchart::graph::{Flowchart, Node, NodeId, Succ};
 use enf_flowchart::interp::{run, ExecConfig, ExecValue, Outcome};
 use enf_flowchart::program::FlowchartProgram;
 use std::collections::HashSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Largest arity the bitmask encoding supports (bit 63 would collide with
 /// the sign bit of the register holding the mask).
@@ -67,7 +67,7 @@ impl RegLayout {
 /// HALT boxes.
 #[derive(Clone, Debug)]
 pub struct Instrumented {
-    flowchart: Rc<Flowchart>,
+    flowchart: Arc<Flowchart>,
     violation_halts: HashSet<NodeId>,
     layout: RegLayout,
     allowed: IndexSet,
@@ -252,7 +252,7 @@ pub fn instrument_with(
 
     let flowchart = b.finish().expect("instrumented flowchart must validate");
     Instrumented {
-        flowchart: Rc::new(flowchart),
+        flowchart: Arc::new(flowchart),
         violation_halts,
         layout,
         allowed,

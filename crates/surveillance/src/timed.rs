@@ -16,13 +16,13 @@ use crate::dynamic::{run_surveillance, SurvConfig, SurvOutcome};
 use enf_core::{IndexSet, MechOutput, Notice, Program, Timed, V};
 use enf_flowchart::graph::Flowchart;
 use enf_flowchart::interp::ExecValue;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A surveillance run exposed as a program whose output includes the
 /// mechanism's own running time.
 #[derive(Clone, Debug)]
 pub struct TimedMechanism {
-    fc: Rc<Flowchart>,
+    fc: Arc<Flowchart>,
     cfg: SurvConfig,
 }
 
@@ -30,7 +30,7 @@ impl TimedMechanism {
     /// Theorem 3′'s M′ (per-decision checks) as a timed observable.
     pub fn new(fc: Flowchart, allowed: IndexSet) -> Self {
         TimedMechanism {
-            fc: Rc::new(fc),
+            fc: Arc::new(fc),
             cfg: SurvConfig::timed(allowed),
         }
     }
@@ -40,7 +40,7 @@ impl TimedMechanism {
     /// experiments.
     pub fn halt_checked(fc: Flowchart, allowed: IndexSet) -> Self {
         TimedMechanism {
-            fc: Rc::new(fc),
+            fc: Arc::new(fc),
             cfg: SurvConfig::surveillance(allowed),
         }
     }

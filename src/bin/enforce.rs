@@ -16,7 +16,7 @@
 //! empty string for `allow()`), `--input` an input tuple, `--span S` checks
 //! over the hypercube `[-S, S]^k`.
 
-use enforcement::core::Identity;
+use enforcement::core::{check_soundness_with, EvalConfig, Identity};
 use enforcement::flowchart::dot::to_dot;
 use enforcement::flowchart::pretty::flowchart_to_string;
 use enforcement::prelude::*;
@@ -74,7 +74,7 @@ fn usage() -> &'static str {
      commands:\n\
        run        execute the program        --input a,b [--fuel N]\n\
        surveil    run under surveillance     --allow J --input a,b [--timed] [--highwater]\n\
-       check      soundness over a grid      --allow J --span S [--timed] [--highwater]\n\
+       check      soundness over a grid      --allow J --span S [--timed] [--highwater] [--threads N]\n\
        certify    static certification       --allow J [--scoped]\n\
        explain    why a run violates         --allow J --input a,b\n\
        improve    transform search           --allow J --span S [--rounds N]\n\
@@ -190,18 +190,28 @@ fn run_cli(argv: Vec<String>) -> Result<String, String> {
                 .value("span")?
                 .parse()
                 .map_err(|_| "bad --span".to_string())?;
+            // Worker count: --threads beats ENF_THREADS beats the core
+            // count; see enf_core::par::EvalConfig.
+            let eval = match args.flag("threads") {
+                Some(Some(v)) => {
+                    let n: usize = v.parse().map_err(|_| "bad --threads".to_string())?;
+                    EvalConfig::with_threads(n)
+                }
+                Some(None) => return Err("--threads needs a value".into()),
+                None => EvalConfig::default(),
+            };
             let grid = Grid::hypercube(arity, -span..=span);
             let policy = Allow::from_set(arity, allow);
             let program = FlowchartProgram::with_fuel(fc, fuel);
             let report = if args.has("timed") {
                 let m = TimedMechanism::new(program.flowchart().clone(), allow).with_fuel(fuel);
-                check_soundness(&Identity::new(&m), &policy, &grid, false).is_sound()
+                check_soundness_with(&Identity::new(&m), &policy, &grid, false, &eval).is_sound()
             } else if args.has("highwater") {
                 let m = HighWater::new(program, allow);
-                check_soundness(&m, &policy, &grid, false).is_sound()
+                check_soundness_with(&m, &policy, &grid, false, &eval).is_sound()
             } else {
                 let m = Surveillance::new(program, allow);
-                check_soundness(&m, &policy, &grid, false).is_sound()
+                check_soundness_with(&m, &policy, &grid, false, &eval).is_sound()
             };
             let _ = writeln!(
                 out,

@@ -1,0 +1,95 @@
+//! End-to-end determinism of the parallel engine over *real* flowchart
+//! programs: surveillance soundness checks, maximal-mechanism builds, and
+//! the static equivalence checker give bit-for-bit identical answers for
+//! every thread count, on randomly generated terminating programs.
+
+use enf_flowchart::generate::{random_flowchart, GenConfig};
+use enf_static::equiv::equivalent_on_with;
+use enforcement::core::{check_soundness_with, EvalConfig, Identity};
+use enforcement::prelude::*;
+use proptest::prelude::*;
+
+fn small_grid() -> Grid {
+    Grid::hypercube(2, -2..=2)
+}
+
+fn policy_from_mask(mask: u8) -> Allow {
+    let mut idx = Vec::new();
+    if mask & 1 != 0 {
+        idx.push(1);
+    }
+    if mask & 2 != 0 {
+        idx.push(2);
+    }
+    Allow::new(2, idx)
+}
+
+/// Forced-parallel configuration with exactly `t` workers.
+fn par(t: usize) -> EvalConfig {
+    EvalConfig::with_threads(t).seq_threshold(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Soundness of the *bare* program (often unsound, so the witness
+    /// pair is exercised) is reported identically for threads 1..=8.
+    #[test]
+    fn bare_program_soundness_deterministic(seed in 0u64..5000, mask in 0u8..4) {
+        let fc = random_flowchart(seed, &GenConfig::default());
+        let m = Identity::new(FlowchartProgram::new(fc));
+        let policy = policy_from_mask(mask);
+        let g = small_grid();
+        let baseline = check_soundness_with(&m, &policy, &g, false, &par(1));
+        for t in 2..=8 {
+            let report = check_soundness_with(&m, &policy, &g, false, &par(t));
+            prop_assert_eq!(&report, &baseline, "thread count {}", t);
+        }
+    }
+
+    /// The maximal mechanism built in parallel behaves identically to the
+    /// sequentially built one on every input, for threads 1..=8.
+    #[test]
+    fn maximal_over_flowcharts_deterministic(seed in 0u64..5000, mask in 0u8..4) {
+        let fc = random_flowchart(seed, &GenConfig::default());
+        let q = FlowchartProgram::new(fc);
+        let policy = policy_from_mask(mask);
+        let g = small_grid();
+        let baseline = MaximalMechanism::build_with(&q, &policy, &g, &par(1));
+        for t in 2..=8 {
+            let built = MaximalMechanism::build_with(&q, &policy, &g, &par(t));
+            prop_assert_eq!(built.class_count(), baseline.class_count(), "thread count {}", t);
+            for a in g.iter_inputs() {
+                prop_assert_eq!(built.run(&a), baseline.run(&a), "thread count {}", t);
+            }
+        }
+    }
+
+    /// Static equivalence (including its least-index counterexample)
+    /// is thread-count independent on random program pairs.
+    #[test]
+    fn equivalence_deterministic(s1 in 0u64..2000, s2 in 0u64..2000) {
+        let a = random_flowchart(s1, &GenConfig::default());
+        let b = random_flowchart(s2, &GenConfig::default());
+        let g = small_grid();
+        let baseline = equivalent_on_with(&a, &b, &g, 1000, &par(1));
+        for t in 2..=8 {
+            prop_assert_eq!(&equivalent_on_with(&a, &b, &g, 1000, &par(t)), &baseline, "thread count {}", t);
+        }
+    }
+
+    /// Surveillance soundness holds *and* is reported identically in
+    /// parallel (the sound path exercises the class-count merge).
+    #[test]
+    fn surveillance_soundness_deterministic(seed in 0u64..5000, mask in 0u8..4) {
+        let fc = random_flowchart(seed, &GenConfig::default());
+        let policy = policy_from_mask(mask);
+        let m = Surveillance::new(FlowchartProgram::new(fc), policy.allowed());
+        let g = small_grid();
+        let baseline = check_soundness_with(&m, &policy, &g, false, &par(1));
+        prop_assert!(baseline.is_sound());
+        for t in 2..=8 {
+            prop_assert_eq!(&check_soundness_with(&m, &policy, &g, false, &par(t)), &baseline, "thread count {}", t);
+        }
+    }
+}
