@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use enf_core::IndexSet;
 use enf_flowchart::generate::{chain, diamond_chain};
 use enf_static::certify::{certify, Analysis};
-use enf_static::dataflow::{analyze, PcDiscipline};
+use enf_static::dataflow::{analyze, analyze_refined, PcDiscipline};
+use enf_static::lint::lint;
+use enf_static::value::analyze_values;
 use std::hint::black_box;
 
 fn bench_static(c: &mut Criterion) {
@@ -41,6 +43,38 @@ fn bench_static(c: &mut Criterion) {
         let fc = diamond_chain(d);
         group.bench_with_input(BenchmarkId::new("diamonds_scoped", d), &fc, |b, fc| {
             b.iter(|| black_box(certify(fc, IndexSet::single(2), Analysis::Scoped)))
+        });
+    }
+    group.finish();
+
+    // The abstract-interpretation layer: interval analysis, the
+    // value-refined taint fixed point it feeds, the three certifiers
+    // side by side, and a full flowlint pass.
+    let mut group = c.benchmark_group("staticflow");
+    for d in [8usize, 32, 128] {
+        let fc = diamond_chain(d);
+        group.bench_with_input(BenchmarkId::new("value_analysis", d), &fc, |b, fc| {
+            b.iter(|| black_box(analyze_values(fc)))
+        });
+        group.bench_with_input(BenchmarkId::new("refined_taint", d), &fc, |b, fc| {
+            b.iter(|| {
+                let values = analyze_values(fc);
+                black_box(analyze_refined(fc, &values))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lint", d), &fc, |b, fc| {
+            b.iter(|| black_box(lint(fc, &IndexSet::single(2))))
+        });
+    }
+    for analysis in [
+        Analysis::Surveillance,
+        Analysis::Scoped,
+        Analysis::ValueRefined,
+    ] {
+        let fc = diamond_chain(32);
+        let name = format!("certify_{analysis:?}").to_lowercase();
+        group.bench_with_input(BenchmarkId::new(name, 32), &fc, |b, fc| {
+            b.iter(|| black_box(certify(fc, IndexSet::single(2), analysis)))
         });
     }
     group.finish();

@@ -228,6 +228,28 @@ pub fn implicit_copy() -> PaperProgram {
     }
 }
 
+/// A branch on a compile-time constant whose dead arm reads the denied
+/// input: every execution takes the true arm and releases only `x2`.
+///
+/// Value-blind may-taint analyses (monotone *and* scoped) join the dead
+/// arm's `y := x1` into the halt taint and must reject under `allow(2)`;
+/// an analysis that proves `r1 == 0` always holds certifies it. This is
+/// the separating witness for `Analysis::ValueRefined` in `enf-static`.
+pub fn constant_guard() -> PaperProgram {
+    PaperProgram {
+        name: "constant_guard",
+        locus: "Section 5, precision limits of value-blind certification",
+        flowchart: must(
+            "program(2) {
+                r1 := 0;
+                if r1 == 0 { y := x2; } else { y := x1; }
+            }",
+        ),
+        policy: Allow::new(2, [2]),
+        claim: "every run releases only x2; value-blind certifiers reject, value-refined certifies",
+    }
+}
+
 /// Every paper program, for table-driven experiments.
 pub fn all() -> Vec<PaperProgram> {
     vec![
@@ -241,6 +263,7 @@ pub fn all() -> Vec<PaperProgram> {
         example9(),
         example9_duplicated(),
         implicit_copy(),
+        constant_guard(),
     ]
 }
 
@@ -342,6 +365,16 @@ mod tests {
         assert_eq!(p.eval_value(&[0]), 0);
         assert_eq!(p.eval_value(&[7]), 1);
         assert_eq!(p.eval_value(&[-3]), 1);
+    }
+
+    #[test]
+    fn constant_guard_releases_only_x2() {
+        let p = FlowchartProgram::new(constant_guard().flowchart);
+        for x1 in -2..=2 {
+            for x2 in -2..=2 {
+                assert_eq!(p.eval_value(&[x1, x2]), x2);
+            }
+        }
     }
 
     #[test]

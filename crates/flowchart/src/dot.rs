@@ -12,11 +12,29 @@ fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Per-node visual decoration for [`to_dot_decorated`].
+#[derive(Clone, Default, Debug)]
+pub struct NodeDecor {
+    /// Extra label line rendered under the node's own label (e.g. its
+    /// fixed-point taint facts).
+    pub annotation: Option<String>,
+    /// Render the node dimmed — gray and dashed — e.g. for nodes the value
+    /// analysis proves unreachable.
+    pub dimmed: bool,
+}
+
 /// Renders the flowchart as a DOT digraph.
 pub fn to_dot(fc: &Flowchart, name: &str) -> String {
+    to_dot_decorated(fc, name, &[])
+}
+
+/// Renders the flowchart as a DOT digraph with per-node decorations
+/// (indexed by node id; missing entries mean "no decoration").
+pub fn to_dot_decorated(fc: &Flowchart, name: &str, decor: &[NodeDecor]) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "digraph \"{}\" {{", escape(name));
     let _ = writeln!(s, "  node [fontname=\"monospace\"];");
+    let none = NodeDecor::default();
     for (id, node, _) in fc.iter() {
         let (label, shape) = match node {
             Node::Start => ("START".to_string(), "oval"),
@@ -24,12 +42,21 @@ pub fn to_dot(fc: &Flowchart, name: &str) -> String {
             Node::Decision { pred } => (pred_to_string(pred), "diamond"),
             Node::Halt => ("HALT".to_string(), "oval"),
         };
+        let d = decor.get(id.0).unwrap_or(&none);
+        let mut label = escape(&label);
+        if let Some(ann) = &d.annotation {
+            label.push_str("\\n");
+            label.push_str(&escape(ann));
+        }
+        let extra = if d.dimmed {
+            ", style=dashed, color=gray, fontcolor=gray"
+        } else {
+            ""
+        };
         let _ = writeln!(
             s,
-            "  {} [label=\"{}\", shape={}];",
-            id.0,
-            escape(&label),
-            shape
+            "  {} [label=\"{}\", shape={}{}];",
+            id.0, label, shape, extra
         );
     }
     for (id, _, succ) in fc.iter() {
@@ -73,6 +100,19 @@ mod tests {
         let fc = parse("program(0) { y := 1; }").unwrap();
         let dot = to_dot(&fc, "a \"quoted\" name");
         assert!(dot.contains("a \\\"quoted\\\" name"));
+    }
+
+    #[test]
+    fn decorations_annotate_and_dim() {
+        let fc = parse("program(1) { y := x1; }").unwrap();
+        let mut decor = vec![NodeDecor::default(); fc.len()];
+        decor[1].annotation = Some("taint {1}".to_string());
+        decor[2].dimmed = true;
+        let dot = to_dot_decorated(&fc, "d", &decor);
+        assert!(dot.contains("\\ntaint {1}"), "{dot}");
+        assert!(dot.contains("style=dashed, color=gray"), "{dot}");
+        // Undecorated export is unchanged by the delegation.
+        assert!(!to_dot(&fc, "d").contains("dashed"));
     }
 
     #[test]

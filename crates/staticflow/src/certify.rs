@@ -11,7 +11,8 @@
 //! either refused outright or handed to the dynamic surveillance mechanism
 //! (the hybrid the paper's compile-time discussion implies).
 
-use crate::dataflow::{analyze, PcDiscipline};
+use crate::dataflow::{analyze, analyze_refined, FlowFacts, PcDiscipline};
+use crate::value::analyze_values;
 use enf_core::{IndexSet, MechOutput, Mechanism, Notice, V};
 use enf_flowchart::interp::ExecValue;
 use enf_flowchart::program::FlowchartProgram;
@@ -27,13 +28,22 @@ pub enum Analysis {
     /// independent of denied inputs on terminating runs (termination- and
     /// timing-insensitive).
     Scoped,
+    /// The surveillance abstraction refined by the value analysis
+    /// ([`crate::value`]): statically dead arms contribute no taint and
+    /// infeasible branch edges propagate nothing, but PC taint still grows
+    /// at every reachable decision exactly as the dynamic `C̄` does.
+    /// Strictly more permissive than [`Analysis::Surveillance`] while
+    /// keeping its guarantee: certified ⟹ the dynamic mechanism would
+    /// never violate.
+    ValueRefined,
 }
 
 impl Analysis {
-    fn discipline(self) -> PcDiscipline {
+    fn facts(self, fc: &enf_flowchart::graph::Flowchart) -> FlowFacts {
         match self {
-            Analysis::Surveillance => PcDiscipline::Monotone,
-            Analysis::Scoped => PcDiscipline::Scoped,
+            Analysis::Surveillance => analyze(fc, PcDiscipline::Monotone),
+            Analysis::Scoped => analyze(fc, PcDiscipline::Scoped),
+            Analysis::ValueRefined => analyze_refined(fc, &analyze_values(fc)),
         }
     }
 }
@@ -76,7 +86,7 @@ pub fn certify(
     allowed: IndexSet,
     analysis: Analysis,
 ) -> Certification {
-    let facts = analyze(fc, analysis.discipline());
+    let facts = analysis.facts(fc);
     let mut bad = IndexSet::empty();
     for h in fc.halts() {
         let t = facts.halt_taint(h);
@@ -253,6 +263,71 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn constant_guard_certified_only_by_value_refined() {
+        // The separating witness for the value refinement: both value-blind
+        // analyses must join the dead `y := x1` arm, the refined one proves
+        // it dead.
+        let pp = corpus::constant_guard();
+        let j = pp.policy.allowed();
+        assert!(!certify(&pp.flowchart, j, Analysis::Surveillance).is_certified());
+        assert!(!certify(&pp.flowchart, j, Analysis::Scoped).is_certified());
+        assert!(certify(&pp.flowchart, j, Analysis::ValueRefined).is_certified());
+    }
+
+    #[test]
+    fn value_refined_rejects_what_surveillance_would_abort() {
+        // ValueRefined must NOT inherit Scoped's permissiveness: on
+        // Example 7 the dynamic mechanism violates, so the refined
+        // certifier has to reject too.
+        let pp = corpus::example7();
+        assert!(
+            !certify(&pp.flowchart, pp.policy.allowed(), Analysis::ValueRefined).is_certified()
+        );
+    }
+
+    #[test]
+    fn value_refined_dominates_surveillance_on_corpus() {
+        // Whenever the plain surveillance analysis certifies, the refined
+        // one must as well (it only ever removes taint).
+        for pp in corpus::all() {
+            let j = pp.policy.allowed();
+            if certify(&pp.flowchart, j, Analysis::Surveillance).is_certified() {
+                assert!(
+                    certify(&pp.flowchart, j, Analysis::ValueRefined).is_certified(),
+                    "{}: refinement lost a certification",
+                    pp.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn value_refined_certified_implies_dynamic_never_violates() {
+        // The certification theorem carried over to the refined analysis,
+        // property-tested on random programs (the workspace proptest
+        // repeats this with the parallel engine at every thread count).
+        let gen = GenConfig::default();
+        let g = Grid::hypercube(2, -2..=2);
+        let mut certified_seen = 0;
+        for seed in 0..200 {
+            let fc = random_flowchart(seed, &gen);
+            for j in [IndexSet::single(1), IndexSet::single(2), IndexSet::full(2)] {
+                if certify(&fc, j, Analysis::ValueRefined).is_certified() {
+                    certified_seen += 1;
+                    let m = Surveillance::new(FlowchartProgram::new(fc.clone()), j);
+                    for a in g.iter_inputs() {
+                        assert!(
+                            !m.run(&a).is_violation(),
+                            "seed {seed}, J = {j}: refined-certified program violated at {a:?}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(certified_seen > 0);
     }
 
     #[test]

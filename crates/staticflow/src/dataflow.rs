@@ -7,7 +7,7 @@
 //!   surveillance mechanism: like the paper's `C̄`, the PC taint only ever
 //!   grows along a path. The resulting facts over-approximate every
 //!   dynamic run, so "statically clean" implies "dynamically never
-//!   violates" (the certification theorem tested in [`crate::certify`]).
+//!   violates" (the certification theorem tested in [`mod@crate::certify`]).
 //! * [`PcDiscipline::Scoped`] — Denning & Denning-style certification: a
 //!   decision's implicit flow covers exactly the nodes between the
 //!   decision and its immediate postdominator (its control-dependence
@@ -15,10 +15,20 @@
 //!   termination- and timing-insensitive, the caveat the paper's
 //!   observability postulate is about.
 //!
-//! The analysis is a standard worklist fixed point; per-node *may* facts
-//! are unions over incoming paths. Taint domains are [`IndexSet`]s, so the
-//! lattice is finite and the fixed point is reached quickly.
+//! Both analyses run as [`crate::framework`] instances ([`analyze`]); the
+//! pre-framework hand-rolled worklist is preserved verbatim as
+//! [`analyze_reference`] and the workspace proptests keep the two in exact
+//! agreement. [`analyze_refined`] is the monotone analysis restricted to
+//! the executions the value analysis ([`crate::value`]) cannot rule out:
+//! value-unreachable nodes contribute nothing and statically infeasible
+//! branch edges propagate no fact — but PC taint still grows at every
+//! *reachable* decision (even a constant one), because the dynamic `C̄`
+//! does too. That keeps the refinement a strict over-approximation of
+//! every dynamic run, which is what `Analysis::ValueRefined` in
+//! [`mod@crate::certify`] relies on.
 
+use crate::framework::{solve, DataflowProblem, Solution};
+use crate::value::ValueFacts;
 use enf_core::IndexSet;
 use enf_flowchart::analysis::{decision_targets, PostDominators};
 use enf_flowchart::ast::Var;
@@ -47,7 +57,7 @@ pub struct TaintEnv {
 }
 
 impl TaintEnv {
-    fn bottom(arity: usize, regs: usize) -> Self {
+    pub(crate) fn bottom(arity: usize, regs: usize) -> Self {
         TaintEnv {
             inputs: vec![IndexSet::empty(); arity],
             regs: vec![IndexSet::empty(); regs],
@@ -56,7 +66,7 @@ impl TaintEnv {
         }
     }
 
-    fn init(arity: usize, regs: usize) -> Self {
+    pub(crate) fn init(arity: usize, regs: usize) -> Self {
         TaintEnv {
             inputs: (1..=arity).map(IndexSet::single).collect(),
             regs: vec![IndexSet::empty(); regs],
@@ -74,7 +84,7 @@ impl TaintEnv {
         }
     }
 
-    fn set(&mut self, var: Var, t: IndexSet) {
+    pub(crate) fn set(&mut self, var: Var, t: IndexSet) {
         match var {
             Var::Input(i) => self.inputs[i - 1] = t,
             Var::Reg(j) => {
@@ -87,7 +97,7 @@ impl TaintEnv {
         }
     }
 
-    fn join_from(&mut self, other: &TaintEnv) -> bool {
+    pub(crate) fn join_from(&mut self, other: &TaintEnv) -> bool {
         let mut changed = false;
         for (a, b) in self.inputs.iter_mut().zip(&other.inputs) {
             let u = a.union(b);
@@ -120,7 +130,31 @@ impl TaintEnv {
         changed
     }
 
-    fn taint_of_vars(&self, vars: &[Var]) -> IndexSet {
+    /// Pointwise intersection (the *must*-taint meet used by the
+    /// `always-violating` lint); registers absent on either side count as
+    /// untainted.
+    pub(crate) fn meet_from(&mut self, other: &TaintEnv) -> bool {
+        let mut changed = false;
+        let mut down = |a: &mut IndexSet, b: &IndexSet| {
+            let i = a.intersection(b);
+            if i != *a {
+                *a = i;
+                changed = true;
+            }
+        };
+        for (j, a) in self.inputs.iter_mut().enumerate() {
+            down(a, &other.inputs[j]);
+        }
+        for (j, a) in self.regs.iter_mut().enumerate() {
+            let b = other.regs.get(j).copied().unwrap_or_default();
+            down(a, &b);
+        }
+        down(&mut self.out, &other.out);
+        down(&mut self.pc, &other.pc);
+        changed
+    }
+
+    pub(crate) fn taint_of_vars(&self, vars: &[Var]) -> IndexSet {
         let mut t = IndexSet::empty();
         for v in vars {
             t.union_with(&self.get(*v));
@@ -180,8 +214,163 @@ fn region(fc: &Flowchart, d: NodeId, ipdom: Option<NodeId>) -> HashSet<NodeId> {
     seen
 }
 
+/// The control-dependence regions of every decision node.
+fn regions(fc: &Flowchart) -> Vec<(NodeId, HashSet<NodeId>)> {
+    let pd = PostDominators::compute(fc);
+    fc.iter()
+        .filter(|(_, node, _)| matches!(node, Node::Decision { .. }))
+        .map(|(id, _, _)| (id, region(fc, id, pd.immediate(id))))
+        .collect()
+}
+
+/// The may-taint analysis as a [`framework`](crate::framework) problem.
+///
+/// Under [`PcDiscipline::Scoped`] the PC component of the fact is unused;
+/// assignments read `scoped_pc` instead, which the outer loop in
+/// [`analyze`] grows between solver rounds. With `values` present, edges
+/// the value analysis proves infeasible (and every edge out of a
+/// value-unreachable node) transfer nothing.
+struct MayTaint<'a> {
+    discipline: PcDiscipline,
+    scoped_pc: &'a [IndexSet],
+    values: Option<&'a ValueFacts>,
+}
+
+impl DataflowProblem for MayTaint<'_> {
+    type Fact = TaintEnv;
+
+    fn bottom(&self, fc: &Flowchart) -> TaintEnv {
+        TaintEnv::bottom(fc.arity(), fc.max_reg())
+    }
+
+    fn boundary(&self, fc: &Flowchart, n: NodeId) -> Option<TaintEnv> {
+        (n == fc.start()).then(|| TaintEnv::init(fc.arity(), fc.max_reg()))
+    }
+
+    fn join(&self, into: &mut TaintEnv, from: &TaintEnv) -> bool {
+        into.join_from(from)
+    }
+
+    fn flow(
+        &self,
+        fc: &Flowchart,
+        n: NodeId,
+        edge: usize,
+        _to: NodeId,
+        fact: &TaintEnv,
+    ) -> Option<TaintEnv> {
+        if let Some(vf) = self.values {
+            if !vf.reachable(n) || !vf.edge_feasible(fc, n, edge) {
+                return None;
+            }
+        }
+        let mut env = fact.clone();
+        match fc.node(n) {
+            Node::Start | Node::Halt => {}
+            Node::Assign { var, expr } => {
+                let pc_here = match self.discipline {
+                    PcDiscipline::Monotone => env.pc,
+                    PcDiscipline::Scoped => self.scoped_pc[n.0],
+                };
+                let t = env.taint_of_vars(&expr.vars()).union(&pc_here);
+                env.set(*var, t);
+            }
+            Node::Decision { pred } => {
+                if self.discipline == PcDiscipline::Monotone {
+                    let t = env.taint_of_vars(&pred.vars());
+                    env.pc.union_with(&t);
+                }
+            }
+        }
+        Some(env)
+    }
+}
+
+/// Runs the env solver and, for the scoped discipline, iterates it against
+/// the region-based scoped-PC facts until the pair reaches a joint fixed
+/// point. Each round re-solves from ⊥ with the grown `scoped_pc`; since
+/// both halves are monotone and start from the same seed, the result is
+/// the same least fixed point the incremental [`analyze_reference`]
+/// worklist reaches.
+fn analyze_with(
+    fc: &Flowchart,
+    discipline: PcDiscipline,
+    values: Option<&ValueFacts>,
+) -> FlowFacts {
+    let n = fc.len();
+    let mut scoped_pc: Vec<IndexSet> = vec![IndexSet::empty(); n];
+    if discipline == PcDiscipline::Monotone {
+        let sol: Solution<TaintEnv> = solve(
+            fc,
+            &MayTaint {
+                discipline,
+                scoped_pc: &scoped_pc,
+                values,
+            },
+        );
+        return FlowFacts {
+            at_entry: sol.facts,
+            scoped_pc,
+            discipline,
+        };
+    }
+
+    let regions = regions(fc);
+    loop {
+        let sol: Solution<TaintEnv> = solve(
+            fc,
+            &MayTaint {
+                discipline,
+                scoped_pc: &scoped_pc,
+                values,
+            },
+        );
+        let mut changed = false;
+        for (d, nodes) in &regions {
+            let pred_vars = match fc.node(*d) {
+                Node::Decision { pred } => pred.vars(),
+                _ => unreachable!(),
+            };
+            let t = sol.facts[d.0]
+                .taint_of_vars(&pred_vars)
+                .union(&scoped_pc[d.0]);
+            for m in nodes {
+                let u = scoped_pc[m.0].union(&t);
+                if u != scoped_pc[m.0] {
+                    scoped_pc[m.0] = u;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return FlowFacts {
+                at_entry: sol.facts,
+                scoped_pc,
+                discipline,
+            };
+        }
+    }
+}
+
 /// Runs the analysis to a fixed point.
 pub fn analyze(fc: &Flowchart, discipline: PcDiscipline) -> FlowFacts {
+    analyze_with(fc, discipline, None)
+}
+
+/// The monotone may-taint analysis refined by the value analysis: nodes
+/// the value analysis proves unreachable contribute nothing (their entry
+/// facts stay ⊥ = untainted) and statically infeasible branch edges
+/// propagate no fact. PC taint still grows at every *reachable* decision,
+/// constant or not, exactly as the dynamic `C̄` does — so these facts
+/// remain an over-approximation of every dynamic run.
+pub fn analyze_refined(fc: &Flowchart, values: &ValueFacts) -> FlowFacts {
+    analyze_with(fc, PcDiscipline::Monotone, Some(values))
+}
+
+/// The pre-framework implementation, preserved verbatim as a regression
+/// oracle: the workspace proptests assert [`analyze`] and
+/// `analyze_reference` agree exactly on randomized flowcharts.
+pub fn analyze_reference(fc: &Flowchart, discipline: PcDiscipline) -> FlowFacts {
     let n = fc.len();
     let regs = fc.max_reg();
     let mut at_entry: Vec<TaintEnv> = vec![TaintEnv::bottom(fc.arity(), regs); n];
@@ -189,11 +378,7 @@ pub fn analyze(fc: &Flowchart, discipline: PcDiscipline) -> FlowFacts {
 
     // Precompute control-dependence regions for the scoped discipline.
     let regions: Vec<(NodeId, HashSet<NodeId>)> = if discipline == PcDiscipline::Scoped {
-        let pd = PostDominators::compute(fc);
-        fc.iter()
-            .filter(|(_, node, _)| matches!(node, Node::Decision { .. }))
-            .map(|(id, _, _)| (id, region(fc, id, pd.immediate(id))))
-            .collect()
+        regions(fc)
     } else {
         Vec::new()
     };
@@ -368,6 +553,61 @@ mod tests {
     }
 
     #[test]
+    fn framework_port_matches_reference_on_examples() {
+        // The proptests cover random programs; keep a deterministic spot
+        // check in the unit suite too.
+        for src in [
+            "program(2) { y := x1 + x2; }",
+            "program(2) { if x1 == 1 { r1 := 1; } else { r1 := 2; } y := r1; }",
+            "program(2) { while x1 > 0 { x1 := x1 - 1; } y := x2; }",
+            "program(3) { if x1 == 0 { if x2 == 0 { y := 1; } else { y := 2; } } else { y := 3; } }",
+        ] {
+            let fc = parse(src).unwrap();
+            for d in [PcDiscipline::Monotone, PcDiscipline::Scoped] {
+                let new = analyze(&fc, d);
+                let old = analyze_reference(&fc, d);
+                assert_eq!(new.at_entry, old.at_entry, "{src} under {d:?}");
+                assert_eq!(new.scoped_pc, old.scoped_pc, "{src} under {d:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn refined_analysis_drops_dead_arm_taint() {
+        // The else arm (y := x1) is statically dead: plain monotone taints
+        // y with {1, 2}, the refinement with {2} only. The branch on the
+        // constant r1 contributes no PC taint either way (r1 is untainted).
+        let src = "program(2) { r1 := 0; if r1 == 0 { y := x2; } else { y := x1; } }";
+        let fc = parse(src).unwrap();
+        let plain = analyze(&fc, PcDiscipline::Monotone);
+        let values = crate::value::analyze_values(&fc);
+        let refined = analyze_refined(&fc, &values);
+        let mut plain_t = IndexSet::empty();
+        let mut refined_t = IndexSet::empty();
+        for h in fc.halts() {
+            plain_t.union_with(&plain.halt_taint(h));
+            refined_t.union_with(&refined.halt_taint(h));
+        }
+        assert_eq!(plain_t, IndexSet::from_iter([1, 2]));
+        assert_eq!(refined_t, IndexSet::single(2));
+    }
+
+    #[test]
+    fn refined_keeps_pc_taint_at_reachable_constant_decisions() {
+        // x1 feeds r1; the decision on r1 is constant-true for every run,
+        // but the dynamic C̄ still picks up r1's taint there — so must we.
+        let src = "program(2) { r1 := x1 - x1; if r1 == 0 { y := 1; } else { y := 2; } }";
+        let fc = parse(src).unwrap();
+        let values = crate::value::analyze_values(&fc);
+        let refined = analyze_refined(&fc, &values);
+        let mut t = IndexSet::empty();
+        for h in fc.halts() {
+            t.union_with(&refined.halt_taint(h));
+        }
+        assert!(t.contains(1), "constant decision on tainted data: {t}");
+    }
+
+    #[test]
     fn static_overapproximates_dynamic_surveillance() {
         // Monotone facts must cover every dynamic run's final taints.
         use enf_core::{Grid, InputDomain};
@@ -391,6 +631,31 @@ mod tests {
                     assert!(
                         taint.is_subset(&covered),
                         "seed {seed}: dynamic {taint} ⊄ static {covered} at {site}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refined_overapproximates_dynamic_surveillance() {
+        // The value-refined facts must *also* cover every dynamic run.
+        use enf_core::{Grid, InputDomain};
+        use enf_flowchart::generate::{random_flowchart, GenConfig};
+        use enf_surveillance::dynamic::{run_surveillance, SurvConfig, SurvOutcome};
+        let cfg = GenConfig::default();
+        for seed in 700..740 {
+            let fc = random_flowchart(seed, &cfg);
+            let values = crate::value::analyze_values(&fc);
+            let facts = analyze_refined(&fc, &values);
+            let scfg = SurvConfig::surveillance(IndexSet::empty());
+            for a in Grid::hypercube(2, -1..=1).iter_inputs() {
+                if let SurvOutcome::Violation { taint, site, .. } = run_surveillance(&fc, &a, &scfg)
+                {
+                    let covered = facts.halt_taint(site);
+                    assert!(
+                        taint.is_subset(&covered),
+                        "seed {seed}: dynamic {taint} ⊄ refined {covered} at {site}"
                     );
                 }
             }

@@ -6,12 +6,22 @@
 //! is executed … Using static techniques to produce programs would result
 //! in efficient security enforcement." This crate provides:
 //!
+//! * [`framework`] — the generic monotone-framework solver (lattice +
+//!   transfer functions in, least fixed point out) every analysis in this
+//!   crate runs on;
 //! * [`dataflow`] — two may-taint analyses over the flowchart CFG:
 //!   a *faithful* abstraction of the dynamic surveillance mechanism
 //!   (program-counter taint monotone along paths, as the paper's `C̄` is)
 //!   and a *scoped* analysis in the style of Denning & Denning where a
 //!   branch's implicit flow ends at its immediate postdominator;
-//! * [`certify`] — compile-time certification and the zero-overhead
+//! * [`value`] — a constant-propagation/interval value analysis whose
+//!   reachability and branch-feasibility facts refine the taint analysis
+//!   ([`dataflow::analyze_refined`]) into the strictly more permissive —
+//!   still sound — `Analysis::ValueRefined` certifier;
+//! * [`mod@lint`] — the `flowlint` diagnostics pass: structured lints with
+//!   node locations and carrier chains, rendered human-readably or as
+//!   JSON by `enforce lint`;
+//! * [`mod@certify`] — compile-time certification and the zero-overhead
 //!   [`certify::CertifiedMechanism`];
 //! * [`transform`] — functionally-equivalent rewrites (if-then-else →
 //!   data-flow selection, assignment duplication/sinking, loop unrolling,
@@ -28,9 +38,15 @@
 pub mod certify;
 pub mod dataflow;
 pub mod equiv;
+pub mod framework;
+pub mod lint;
 pub mod search;
 pub mod transform;
+pub mod value;
 
 pub use certify::{certify, Analysis, Certification, CertifiedMechanism};
-pub use dataflow::{analyze, FlowFacts};
+pub use dataflow::{analyze, analyze_reference, analyze_refined, FlowFacts};
 pub use equiv::equivalent_on;
+pub use framework::{solve, DataflowProblem, Direction, Solution};
+pub use lint::{lint, Lint, LintKind, LintReport};
+pub use value::{analyze_values, AbsBool, AbsVal, ValueEnv, ValueFacts};

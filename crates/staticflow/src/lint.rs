@@ -1,0 +1,663 @@
+//! `flowlint`: structured static diagnostics over a flowchart program.
+//!
+//! A rejected certification today is a bare boolean; this pass turns the
+//! analyses in this crate into *actionable* findings with node locations
+//! and carrier chains:
+//!
+//! * `taint-leak` — a HALT whose value-refined static taint
+//!   ([`crate::dataflow::analyze_refined`]) releases inputs outside the
+//!   policy, with the static carrier chain (which assignments and branches
+//!   the offending indices travel through) in the same rendering format as
+//!   the dynamic [`mod@enf_surveillance::explain`] chains;
+//! * `unreachable-node` — nodes no execution reaches, either structurally
+//!   (no path from START) or because the value analysis
+//!   ([`crate::value`]) proves every path infeasible;
+//! * `constant-decision` — reachable decisions that always take the same
+//!   branch;
+//! * `dead-assignment` — assignments whose target is overwritten or
+//!   ignored on every path to HALT (a backward liveness analysis, the one
+//!   [`crate::framework`] instance that runs in the
+//!   [`Direction::Backward`](crate::framework::Direction) mode);
+//! * `always-violating` — HALTs where a *must*-taint analysis (meet over
+//!   feasible paths, same transfer as the dynamic mechanism) proves every
+//!   run reaching them violates the policy.
+//!
+//! [`lint`] produces a [`LintReport`] renderable for humans
+//! ([`LintReport::render`]) or as JSON ([`LintReport::to_json`]); the
+//! `enforce lint` subcommand exposes both.
+
+use crate::dataflow::{analyze_refined, TaintEnv};
+use crate::framework::{reverse_postorder, solve, DataflowProblem, Direction};
+use crate::value::{analyze_values, AbsBool, ValueFacts};
+use enf_core::IndexSet;
+use enf_flowchart::analysis::reachable;
+use enf_flowchart::ast::Var;
+use enf_flowchart::graph::{Flowchart, Node, NodeId};
+use enf_flowchart::pretty::{expr_to_string, pred_to_string};
+use enf_surveillance::explain::FlowEvent;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The kind of a finding.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum LintKind {
+    /// A node no execution reaches.
+    UnreachableNode,
+    /// A reachable decision that always takes the same branch.
+    ConstantDecision,
+    /// An assignment whose value is never observed.
+    DeadAssignment,
+    /// A HALT that every run reaching it violates the policy at.
+    AlwaysViolating,
+    /// A HALT whose static taint releases inputs outside the policy.
+    TaintLeak,
+}
+
+impl LintKind {
+    /// The stable kebab-case name used in human and JSON output.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LintKind::UnreachableNode => "unreachable-node",
+            LintKind::ConstantDecision => "constant-decision",
+            LintKind::DeadAssignment => "dead-assignment",
+            LintKind::AlwaysViolating => "always-violating",
+            LintKind::TaintLeak => "taint-leak",
+        }
+    }
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding.
+#[derive(Clone, Debug)]
+pub struct Lint {
+    /// What kind of finding this is.
+    pub kind: LintKind,
+    /// The node the finding is anchored at.
+    pub site: NodeId,
+    /// Human-readable, single-line description.
+    pub message: String,
+    /// Input indices released outside the policy (taint lints only).
+    pub offending: IndexSet,
+    /// Static carrier chain for `taint-leak`: the assignments and branches
+    /// the offending indices travel through, in reverse-postorder
+    /// (`step` = RPO position).
+    pub chain: Vec<FlowEvent>,
+}
+
+/// Every finding for one program under one policy.
+#[derive(Clone, Debug)]
+pub struct LintReport {
+    /// The `allow(J)` policy the taint lints were computed against.
+    pub allowed: IndexSet,
+    /// The findings, ordered by site then kind.
+    pub lints: Vec<Lint>,
+}
+
+impl LintReport {
+    /// Whether no finding was produced.
+    pub fn is_empty(&self) -> bool {
+        self.lints.is_empty()
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        if self.lints.is_empty() {
+            let _ = writeln!(s, "flowlint: no findings for allow({})", self.allowed);
+            return s;
+        }
+        let _ = writeln!(
+            s,
+            "flowlint: {} finding(s) for allow({})",
+            self.lints.len(),
+            self.allowed
+        );
+        for l in &self.lints {
+            let _ = writeln!(s, "[{}] at {}: {}", l.kind, l.site, l.message);
+            if !l.chain.is_empty() {
+                let _ = writeln!(s, "  carrier chain:");
+                for e in &l.chain {
+                    let _ = writeln!(s, "  {}", e.render_line());
+                }
+            }
+        }
+        s
+    }
+
+    /// Renders the report as JSON (stable key order, no trailing
+    /// whitespace).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"allowed\": {},\n", json_set(&self.allowed)));
+        s.push_str("  \"lints\": [");
+        for (i, l) in self.lints.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("\n    {\n");
+            s.push_str(&format!("      \"kind\": \"{}\",\n", l.kind));
+            s.push_str(&format!("      \"site\": {},\n", l.site.0));
+            s.push_str(&format!(
+                "      \"message\": \"{}\",\n",
+                json_escape(&l.message)
+            ));
+            s.push_str(&format!(
+                "      \"offending\": {},\n",
+                json_set(&l.offending)
+            ));
+            s.push_str("      \"chain\": [");
+            for (j, e) in l.chain.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "\n        {{\"step\": {}, \"site\": {}, \"what\": \"{}\", \"before\": {}, \"after\": {}}}",
+                    e.step,
+                    e.site.0,
+                    json_escape(&e.what),
+                    json_set(&e.before),
+                    json_set(&e.after)
+                ));
+            }
+            if !l.chain.is_empty() {
+                s.push_str("\n      ");
+            }
+            s.push_str("]\n    }");
+        }
+        if !self.lints.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_set(set: &IndexSet) -> String {
+    let items: Vec<String> = set.iter().map(|i| i.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// A short human description of a node for lint messages.
+fn describe(fc: &Flowchart, n: NodeId) -> String {
+    match fc.node(n) {
+        Node::Start => "START".to_string(),
+        Node::Halt => "HALT".to_string(),
+        Node::Assign { var, expr } => format!("assignment {var} := {}", expr_to_string(expr)),
+        Node::Decision { pred } => format!("decision on {}", pred_to_string(pred)),
+    }
+}
+
+/// Backward liveness: the fact at a node is the set of variables live on
+/// entry; HALT nodes seed `{y}` (the released output is always observed).
+struct Liveness;
+
+impl DataflowProblem for Liveness {
+    type Fact = BTreeSet<Var>;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+
+    fn bottom(&self, _fc: &Flowchart) -> Self::Fact {
+        BTreeSet::new()
+    }
+
+    fn boundary(&self, fc: &Flowchart, n: NodeId) -> Option<Self::Fact> {
+        matches!(fc.node(n), Node::Halt).then(|| BTreeSet::from([Var::Out]))
+    }
+
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool {
+        let before = into.len();
+        into.extend(from.iter().copied());
+        into.len() != before
+    }
+
+    /// `to` is the predecessor: the live-in set of `n` is (part of) the
+    /// live-out set of `to`; apply `to`'s kill/gen to produce its live-in.
+    fn flow(
+        &self,
+        fc: &Flowchart,
+        _n: NodeId,
+        _edge: usize,
+        to: NodeId,
+        fact: &Self::Fact,
+    ) -> Option<Self::Fact> {
+        let mut live = fact.clone();
+        match fc.node(to) {
+            Node::Assign { var, expr } => {
+                live.remove(var);
+                live.extend(expr.vars());
+            }
+            Node::Decision { pred } => {
+                live.extend(pred.vars());
+            }
+            Node::Start | Node::Halt => {}
+        }
+        Some(live)
+    }
+}
+
+/// Must-taint: the meet (pointwise intersection) over all feasible paths
+/// of the surveillance transfer. `None` is ⊥ ("no path found yet"); at the
+/// fixed point a `Some` fact under-approximates the dynamic taint of
+/// *every* run reaching the node, so a guaranteed policy excess at a HALT
+/// means every run reaching it violates.
+struct MustTaint<'a> {
+    values: &'a ValueFacts,
+}
+
+impl DataflowProblem for MustTaint<'_> {
+    type Fact = Option<TaintEnv>;
+
+    fn bottom(&self, _fc: &Flowchart) -> Self::Fact {
+        None
+    }
+
+    fn boundary(&self, fc: &Flowchart, n: NodeId) -> Option<Self::Fact> {
+        (n == fc.start()).then(|| Some(TaintEnv::init(fc.arity(), fc.max_reg())))
+    }
+
+    fn join(&self, into: &mut Self::Fact, from: &Self::Fact) -> bool {
+        match (into.as_mut(), from) {
+            (_, None) => false,
+            (None, Some(f)) => {
+                *into = Some(f.clone());
+                true
+            }
+            (Some(i), Some(f)) => i.meet_from(f),
+        }
+    }
+
+    fn flow(
+        &self,
+        fc: &Flowchart,
+        n: NodeId,
+        edge: usize,
+        _to: NodeId,
+        fact: &Self::Fact,
+    ) -> Option<Self::Fact> {
+        let env = fact.as_ref()?;
+        if !self.values.reachable(n) || !self.values.edge_feasible(fc, n, edge) {
+            return None;
+        }
+        let mut env = env.clone();
+        match fc.node(n) {
+            Node::Start | Node::Halt => {}
+            Node::Assign { var, expr } => {
+                let t = env.taint_of_vars(&expr.vars()).union(&env.pc);
+                env.set(*var, t);
+            }
+            Node::Decision { pred } => {
+                let t = env.taint_of_vars(&pred.vars());
+                env.pc.union_with(&t);
+            }
+        }
+        Some(Some(env))
+    }
+}
+
+/// The static carrier chain: every assignment or branch (in reverse
+/// postorder over reachable nodes) whose result taint carries at least one
+/// offending index — the static analogue of
+/// [`enf_surveillance::explain::Explanation::carrier_chain`], with the RPO
+/// position standing in for the execution step.
+fn static_chain(
+    fc: &Flowchart,
+    facts: &crate::dataflow::FlowFacts,
+    values: &ValueFacts,
+    offending: &IndexSet,
+) -> Vec<FlowEvent> {
+    let order = reverse_postorder(fc);
+    let mut events = Vec::new();
+    for (pos, &n) in order.iter().enumerate() {
+        if !values.reachable(n) {
+            continue;
+        }
+        let env = &facts.at_entry[n.0];
+        let (what, before, after) = match fc.node(n) {
+            Node::Assign { var, expr } => {
+                let before = env.get(*var);
+                let after = env.taint_of_vars(&expr.vars()).union(&env.pc);
+                (format!("{var} := {}", expr_to_string(expr)), before, after)
+            }
+            Node::Decision { pred } => {
+                let before = env.pc;
+                let after = env.pc.union(&env.taint_of_vars(&pred.vars()));
+                (format!("branch on {}", pred_to_string(pred)), before, after)
+            }
+            _ => continue,
+        };
+        if after != before && !after.intersection(offending).is_empty() {
+            events.push(FlowEvent {
+                step: pos as u64,
+                site: n,
+                what,
+                before,
+                after,
+            });
+        }
+    }
+    events
+}
+
+/// Runs every lint over the program under an `allow(J)` policy.
+pub fn lint(fc: &Flowchart, allowed: &IndexSet) -> LintReport {
+    let values = analyze_values(fc);
+    let refined = analyze_refined(fc, &values);
+    let graph_reach = reachable(fc);
+    let liveness = solve(fc, &Liveness);
+    let must = solve(fc, &MustTaint { values: &values });
+
+    let mut lints: Vec<Lint> = Vec::new();
+
+    for (n, node, _) in fc.iter() {
+        if n == fc.start() {
+            continue;
+        }
+        // unreachable-node: structural or value-analysis unreachability.
+        if !values.reachable(n) {
+            let why = if graph_reach.contains(&n) {
+                "the value analysis proves no execution reaches it"
+            } else {
+                "no path from START reaches it"
+            };
+            lints.push(Lint {
+                kind: LintKind::UnreachableNode,
+                site: n,
+                message: format!("{} is unreachable: {}", describe(fc, n), why),
+                offending: IndexSet::empty(),
+                chain: Vec::new(),
+            });
+            continue;
+        }
+        match node {
+            // constant-decision: a reachable decision with one feasible arm.
+            Node::Decision { pred } => {
+                let outcome = values.decision_outcome(fc, n);
+                if let Some(AbsBool::True) | Some(AbsBool::False) = outcome {
+                    let branch = if outcome == Some(AbsBool::True) {
+                        "true"
+                    } else {
+                        "false"
+                    };
+                    lints.push(Lint {
+                        kind: LintKind::ConstantDecision,
+                        site: n,
+                        message: format!(
+                            "decision on {} always takes the {} branch",
+                            pred_to_string(pred),
+                            branch
+                        ),
+                        offending: IndexSet::empty(),
+                        chain: Vec::new(),
+                    });
+                }
+            }
+            // dead-assignment: the target is not live out of the node.
+            Node::Assign { var, expr } => {
+                let mut live_out: BTreeSet<Var> = BTreeSet::new();
+                for s in fc.succ_list(n) {
+                    live_out.extend(liveness.fact(s).iter().copied());
+                }
+                if !live_out.contains(var) {
+                    lints.push(Lint {
+                        kind: LintKind::DeadAssignment,
+                        site: n,
+                        message: format!(
+                            "assignment {var} := {} is dead: {var} is overwritten or unused on every path to HALT",
+                            expr_to_string(expr)
+                        ),
+                        offending: IndexSet::empty(),
+                        chain: Vec::new(),
+                    });
+                }
+            }
+            Node::Halt => {
+                // always-violating: the must-taint at this HALT already
+                // exceeds the policy, so every run reaching it is aborted.
+                if let Some(env) = must.fact(n) {
+                    let guaranteed = env.get(Var::Out).union(&env.pc);
+                    let excess = guaranteed.difference(allowed);
+                    if !excess.is_empty() {
+                        lints.push(Lint {
+                            kind: LintKind::AlwaysViolating,
+                            site: n,
+                            message: format!(
+                                "every run reaching this HALT carries taint {} and violates allow({})",
+                                guaranteed, allowed
+                            ),
+                            offending: excess,
+                            chain: Vec::new(),
+                        });
+                    }
+                }
+                // taint-leak: the may-taint at this HALT exceeds the policy.
+                let t = refined.halt_taint(n);
+                let offending = t.difference(allowed);
+                if !offending.is_empty() {
+                    let chain = static_chain(fc, &refined, &values, &offending);
+                    lints.push(Lint {
+                        kind: LintKind::TaintLeak,
+                        site: n,
+                        message: format!(
+                            "HALT may release inputs {} outside allow({}) (static taint {})",
+                            offending, allowed, t
+                        ),
+                        offending,
+                        chain,
+                    });
+                }
+            }
+            Node::Start => {}
+        }
+    }
+
+    lints.sort_by_key(|l| (l.site.0, l.kind));
+    LintReport {
+        allowed: *allowed,
+        lints,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enf_flowchart::parse;
+
+    fn lints_of(src: &str, allowed: IndexSet) -> LintReport {
+        lint(&parse(src).unwrap(), &allowed)
+    }
+
+    fn kinds(report: &LintReport) -> Vec<LintKind> {
+        report.lints.iter().map(|l| l.kind).collect()
+    }
+
+    #[test]
+    fn clean_program_has_no_findings() {
+        let r = lints_of("program(1) { y := x1; }", IndexSet::single(1));
+        assert!(r.is_empty(), "{:?}", kinds(&r));
+        assert!(r.render().contains("no findings"));
+    }
+
+    #[test]
+    fn taint_leak_reports_chain_in_rpo_order() {
+        let r = lints_of("program(2) { r1 := x1; y := r1; }", IndexSet::single(2));
+        // The unconditional leak also fires always-violating at the HALT.
+        assert_eq!(
+            kinds(&r),
+            vec![LintKind::AlwaysViolating, LintKind::TaintLeak]
+        );
+        let leak = &r.lints[1];
+        assert_eq!(leak.offending, IndexSet::single(1));
+        let whats: Vec<&str> = leak.chain.iter().map(|e| e.what.as_str()).collect();
+        assert_eq!(whats, vec!["r1 := x1", "y := r1"]);
+        assert!(leak.chain[0].step < leak.chain[1].step);
+        let rendered = r.render();
+        assert!(rendered.contains("carrier chain:"), "{rendered}");
+        assert!(rendered.contains("r1 := x1"), "{rendered}");
+    }
+
+    #[test]
+    fn implicit_leak_chain_names_the_branch() {
+        let r = lints_of(
+            "program(1) { if x1 == 0 { y := 0; } else { y := 1; } }",
+            IndexSet::empty(),
+        );
+        let leaks: Vec<&Lint> = r
+            .lints
+            .iter()
+            .filter(|l| l.kind == LintKind::TaintLeak)
+            .collect();
+        assert!(!leaks.is_empty());
+        assert!(leaks[0]
+            .chain
+            .iter()
+            .any(|e| e.what.contains("branch on x1 == 0")));
+    }
+
+    #[test]
+    fn constant_guard_yields_constant_decision_and_unreachable() {
+        let r = lints_of(
+            "program(2) { r1 := 0; if r1 == 0 { y := x2; } else { y := x1; } }",
+            IndexSet::from_iter([1, 2]),
+        );
+        assert!(kinds(&r).contains(&LintKind::ConstantDecision), "{r:?}");
+        assert!(kinds(&r).contains(&LintKind::UnreachableNode), "{r:?}");
+        // The dead arm must not produce a taint leak: policy allows both
+        // inputs anyway here, so no leak regardless; the refined dataflow
+        // test covers taint exclusion.
+        assert!(!kinds(&r).contains(&LintKind::TaintLeak));
+    }
+
+    #[test]
+    fn dead_assignment_found_by_liveness() {
+        let r = lints_of("program(1) { r1 := x1; y := 1; }", IndexSet::single(1));
+        let dead: Vec<&Lint> = r
+            .lints
+            .iter()
+            .filter(|l| l.kind == LintKind::DeadAssignment)
+            .collect();
+        assert_eq!(dead.len(), 1, "{r:?}");
+        assert!(dead[0].message.contains("r1 :="), "{}", dead[0].message);
+    }
+
+    #[test]
+    fn overwritten_output_is_dead() {
+        let r = lints_of("program(1) { y := x1; y := 0; }", IndexSet::empty());
+        let dead: Vec<&Lint> = r
+            .lints
+            .iter()
+            .filter(|l| l.kind == LintKind::DeadAssignment)
+            .collect();
+        assert_eq!(dead.len(), 1);
+        assert!(dead[0].message.contains("y := x1"));
+    }
+
+    #[test]
+    fn always_violating_when_every_path_is_tainted() {
+        let r = lints_of(
+            "program(1) { if x1 == 0 { y := 1; } else { y := 2; } }",
+            IndexSet::empty(),
+        );
+        assert!(kinds(&r).contains(&LintKind::AlwaysViolating), "{r:?}");
+        // Allowing input 1 clears it.
+        let ok = lints_of(
+            "program(1) { if x1 == 0 { y := 1; } else { y := 2; } }",
+            IndexSet::single(1),
+        );
+        assert!(!kinds(&ok).contains(&LintKind::AlwaysViolating), "{ok:?}");
+    }
+
+    #[test]
+    fn may_leak_without_must_violation_is_not_always_violating() {
+        // Only the x2 == 0 path leaks x1; the meet over paths is clean.
+        let r = lints_of(
+            "program(2) { if x2 == 0 { y := x1; } else { y := 0; } }",
+            IndexSet::single(2),
+        );
+        assert!(kinds(&r).contains(&LintKind::TaintLeak), "{r:?}");
+        assert!(!kinds(&r).contains(&LintKind::AlwaysViolating), "{r:?}");
+    }
+
+    #[test]
+    fn json_output_is_well_formed_enough() {
+        let r = lints_of("program(2) { r1 := x1; y := r1; }", IndexSet::single(2));
+        let json = r.to_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert!(json.contains("\"kind\": \"taint-leak\""));
+        assert!(json.contains("\"offending\": [1]"));
+        assert!(json.contains("\"what\": \"r1 := x1\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces:\n{json}"
+        );
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn always_violating_agrees_with_exhaustive_runs() {
+        // On random programs: if the lint fires for every reachable HALT,
+        // then no input in the grid is accepted by dynamic surveillance.
+        use enf_core::{Grid, InputDomain};
+        use enf_flowchart::generate::{random_flowchart, GenConfig};
+        use enf_surveillance::dynamic::{run_surveillance, SurvConfig, SurvOutcome};
+        let gen = GenConfig::default();
+        for seed in 100..160u64 {
+            let fc = random_flowchart(seed, &gen);
+            let allowed = IndexSet::single(1);
+            let report = lint(&fc, &allowed);
+            let values = analyze_values(&fc);
+            let halts: Vec<NodeId> = fc
+                .halts()
+                .into_iter()
+                .filter(|h| values.reachable(*h))
+                .collect();
+            let violating: Vec<NodeId> = report
+                .lints
+                .iter()
+                .filter(|l| l.kind == LintKind::AlwaysViolating)
+                .map(|l| l.site)
+                .collect();
+            if halts.is_empty() || violating.len() != halts.len() {
+                continue;
+            }
+            let cfg = SurvConfig::surveillance(allowed);
+            for a in Grid::hypercube(2, -2..=2).iter_inputs() {
+                let out = run_surveillance(&fc, &a, &cfg);
+                assert!(
+                    !matches!(out, SurvOutcome::Accepted { .. }),
+                    "seed {seed}: always-violating program accepted {a:?}"
+                );
+            }
+        }
+    }
+}

@@ -34,6 +34,19 @@ pub struct FlowEvent {
     pub after: IndexSet,
 }
 
+impl FlowEvent {
+    /// Renders the event as one carrier-chain line. This format is shared
+    /// by dynamic explanations ([`Explanation::render`]) and the static
+    /// `flowlint` pass (where `step` is the node's reverse-postorder
+    /// position rather than an execution step).
+    pub fn render_line(&self) -> String {
+        format!(
+            "  step {:>3} at {}: {} [{} -> {}]",
+            self.step, self.site, self.what, self.before, self.after
+        )
+    }
+}
+
 /// The full account of one run.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Explanation {
@@ -65,11 +78,7 @@ impl Explanation {
         let _ = writeln!(s, "violation: offending inputs {}", self.offending);
         let _ = writeln!(s, "carrier chain:");
         for e in self.carrier_chain() {
-            let _ = writeln!(
-                s,
-                "  step {:>3} at {}: {} [{} -> {}]",
-                e.step, e.site, e.what, e.before, e.after
-            );
+            let _ = writeln!(s, "{}", e.render_line());
         }
         s
     }

@@ -11,7 +11,7 @@
 //! Two faithful realizations are provided and tested against each other:
 //!
 //! * [`dynamic`] — a taint-tracking interpreter;
-//! * [`instrument`] — the paper's literal source-to-source construction:
+//! * [`mod@instrument`] — the paper's literal source-to-source construction:
 //!   the mechanism *is another flowchart* over the original variables plus
 //!   bitmask-encoded surveillance registers.
 //!
@@ -23,11 +23,11 @@
 //! * [`timed`] — the Theorem 3′ mechanism `M′` that checks `C̄ ⊆ J` at
 //!   every decision box and aborts immediately, remaining sound even when
 //!   running time is observable;
-//! * [`explain`] — owner-facing violation explanations: the carrier chain
+//! * [`mod@explain`] — owner-facing violation explanations: the carrier chain
 //!   of assignments and branches through which an offending input reached
 //!   the failed check;
 //! * [`mls`] — multi-level-security labels (Denning's lattice model, the
-//!   paper's reference [2]) compiled down to `allow(J)` per clearance.
+//!   paper's reference \[2\]) compiled down to `allow(J)` per clearance.
 
 #![warn(missing_docs)]
 

@@ -2,7 +2,7 @@
 //!
 //! The paper's `allow(J)` policies are the two-point case of the lattice
 //! policies its reference list points at (Denning's "A lattice model of
-//! secure information flow", reference [2]; Bell's model, reference [1]).
+//! secure information flow", reference \[2\]; Bell's model, reference \[1\]).
 //! This module provides the general form: each input carries a label from
 //! a join-semilattice, an observer holds a clearance, and the policy is
 //! "reveal exactly the inputs whose label flows to the clearance".

@@ -4,7 +4,7 @@
 //! mechanism-as-program: its output is the pair (result-or-notice, steps),
 //! and soundness means *that pair* factors through the policy view.
 //! [`TimedMechanism`] wraps the dynamic engine accordingly; the
-//! instrumented flowchart of [`crate::instrument`] provides the same view
+//! instrumented flowchart of [`mod@crate::instrument`] provides the same view
 //! through its own `Program` impl (with the literal flowchart's step
 //! count).
 //!

@@ -3,12 +3,13 @@
 //! ```text
 //! enforce run       <file.fc> --input 3,4 [--fuel N]
 //! enforce surveil   <file.fc> --allow 2 --input 3,4 [--timed] [--highwater]
-//! enforce check     <file.fc> --allow 2 --span 3 [--timed]
-//! enforce certify   <file.fc> --allow 2 [--scoped]
+//! enforce check     <file.fc> --allow 2 --span 3 [--timed] [--highwater] [--threads N]
+//! enforce certify   <file.fc> --allow 2 [--scoped | --value]
+//! enforce lint      <file.fc> --allow 2 [--json]
 //! enforce explain   <file.fc> --allow 2 --input 3,4
-//! enforce improve   <file.fc> --allow 2 --span 3
-//! enforce instrument <file.fc> --allow 2 [--timed] [--dot]
-//! enforce dot       <file.fc>
+//! enforce improve   <file.fc> --allow 2 --span 3 [--rounds N]
+//! enforce instrument <file.fc> --allow 2 [--timed] [--highwater] [--dot]
+//! enforce dot       <file.fc> [--taint [--scoped]]
 //! ```
 //!
 //! `<file.fc>` contains a program in the DSL (see the crate docs); `-` reads
@@ -17,10 +18,11 @@
 //! over the hypercube `[-S, S]^k`.
 
 use enforcement::core::{check_soundness_with, EvalConfig, Identity};
-use enforcement::flowchart::dot::to_dot;
+use enforcement::flowchart::dot::{to_dot, to_dot_decorated, NodeDecor};
 use enforcement::flowchart::pretty::flowchart_to_string;
 use enforcement::prelude::*;
 use enforcement::staticflow::certify::{certify, Analysis};
+use enforcement::staticflow::dataflow::PcDiscipline;
 use enforcement::staticflow::search::improve;
 use enforcement::surveillance::dynamic::SurvConfig;
 use enforcement::surveillance::explain;
@@ -75,11 +77,12 @@ fn usage() -> &'static str {
        run        execute the program        --input a,b [--fuel N]\n\
        surveil    run under surveillance     --allow J --input a,b [--timed] [--highwater]\n\
        check      soundness over a grid      --allow J --span S [--timed] [--highwater] [--threads N]\n\
-       certify    static certification       --allow J [--scoped]\n\
+       certify    static certification       --allow J [--scoped | --value]\n\
+       lint       static diagnostics         --allow J [--json]\n\
        explain    why a run violates         --allow J --input a,b\n\
        improve    transform search           --allow J --span S [--rounds N]\n\
-       instrument emit the mechanism         --allow J [--timed] [--dot]\n\
-       dot        emit Graphviz of program\n\
+       instrument emit the mechanism         --allow J [--timed] [--highwater] [--dot]\n\
+       dot        emit Graphviz of program   [--taint [--scoped]]\n\
      J is a comma list of allowed input indices ('' = allow())."
 }
 
@@ -225,13 +228,23 @@ fn run_cli(argv: Vec<String>) -> Result<String, String> {
         }
         "certify" => {
             let allow = parse_allow(args.value("allow")?, arity)?;
-            let analysis = if args.has("scoped") {
-                Analysis::Scoped
-            } else {
-                Analysis::Surveillance
+            let analysis = match (args.has("scoped"), args.has("value")) {
+                (true, true) => return Err("--scoped and --value are exclusive".into()),
+                (true, false) => Analysis::Scoped,
+                (false, true) => Analysis::ValueRefined,
+                (false, false) => Analysis::Surveillance,
             };
             let verdict = certify(&fc, allow, analysis);
             let _ = writeln!(out, "{verdict:?}");
+        }
+        "lint" => {
+            let allow = parse_allow(args.value("allow")?, arity)?;
+            let report = enforcement::staticflow::lint::lint(&fc, &allow);
+            if args.has("json") {
+                out.push_str(&report.to_json());
+            } else {
+                out.push_str(&report.render());
+            }
         }
         "explain" => {
             let allow = parse_allow(args.value("allow")?, arity)?;
@@ -284,7 +297,38 @@ fn run_cli(argv: Vec<String>) -> Result<String, String> {
             }
         }
         "dot" => {
-            out.push_str(&to_dot(&fc, "program"));
+            if args.has("taint") {
+                use enforcement::flowchart::ast::Var;
+                use enforcement::flowchart::graph::Node;
+                use enforcement::staticflow::{analyze, analyze_refined, analyze_values};
+                let values = analyze_values(&fc);
+                let facts = if args.has("scoped") {
+                    analyze(&fc, PcDiscipline::Scoped)
+                } else {
+                    analyze_refined(&fc, &values)
+                };
+                let decor: Vec<NodeDecor> = fc
+                    .iter()
+                    .map(|(id, node, _)| {
+                        let dimmed = !values.reachable(id);
+                        let annotation = match node {
+                            Node::Start => None,
+                            Node::Halt if dimmed => None,
+                            Node::Halt => Some(format!("releases {}", facts.halt_taint(id))),
+                            _ if dimmed => None,
+                            _ => Some(format!(
+                                "pc {} y {}",
+                                facts.pc_at(id),
+                                facts.at_entry[id.0].get(Var::Out)
+                            )),
+                        };
+                        NodeDecor { annotation, dimmed }
+                    })
+                    .collect();
+                out.push_str(&to_dot_decorated(&fc, "program", &decor));
+            } else {
+                out.push_str(&to_dot(&fc, "program"));
+            }
         }
         other => {
             return Err(format!("unknown command `{other}`\n{}", usage()));

@@ -17,24 +17,24 @@
 //!
 //! This workspace makes all of that executable:
 //!
-//! * [`core`](enf_core) — the formal framework: programs, policies,
+//! * [`core`] — the formal framework: programs, policies,
 //!   mechanisms, empirical soundness checking, the completeness order,
 //!   joins (Theorem 1), the finite-domain maximal mechanism (Theorem 2)
 //!   and the Theorem 4 obstruction.
-//! * [`flowchart`](enf_flowchart) — the paper's flowchart language:
+//! * [`flowchart`] — the paper's flowchart language:
 //!   parser, interpreter with observable step counts, analyses, and every
 //!   program the paper discusses.
-//! * [`surveillance`](enf_surveillance) — the surveillance mechanism as a
+//! * [`surveillance`] — the surveillance mechanism as a
 //!   taint-tracking interpreter *and* as the paper's literal
 //!   source-to-source instrumentation; the timed variant M′; the
 //!   high-water-mark baseline.
-//! * [`staticflow`](enf_static) — static certification and the transform
+//! * [`staticflow`] — static certification and the transform
 //!   library of Examples 7–9, plus the heuristic search Theorem 4 caps.
-//! * [`minsky`](enf_minsky) — Fenton's data-mark machine and the
+//! * [`minsky`] — Fenton's data-mark machine and the
 //!   negative-inference leak (Example 1).
-//! * [`filesys`](enf_filesys) — the Example 2 file system with its
+//! * [`filesys`] — the Example 2 file system with its
 //!   content-dependent policy and leaky-notice pitfall (Example 4).
-//! * [`channels`](enf_channels) — the observability postulate's covert
+//! * [`channels`] — the observability postulate's covert
 //!   channels: timing, tape seeks, page faults, and the n^k → n·k
 //!   password attack.
 //!

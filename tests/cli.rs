@@ -80,6 +80,67 @@ fn certify_rejects_and_accepts() {
     assert!(out.contains("Certified"), "{out}");
 }
 
+const CONSTANT_GUARD: &str = "program(2) { r1 := 0; if r1 == 0 { y := x2; } else { y := x1; } }";
+
+#[test]
+fn certify_value_refined_beats_value_blind() {
+    let (ok, out, _) = enforce(&["certify", "-", "--allow", "2"], CONSTANT_GUARD);
+    assert!(ok);
+    assert!(out.contains("Rejected"), "{out}");
+    let (ok, out, _) = enforce(
+        &["certify", "-", "--allow", "2", "--scoped"],
+        CONSTANT_GUARD,
+    );
+    assert!(ok);
+    assert!(out.contains("Rejected"), "{out}");
+    let (ok, out, _) = enforce(&["certify", "-", "--allow", "2", "--value"], CONSTANT_GUARD);
+    assert!(ok);
+    assert!(out.contains("Certified"), "{out}");
+    let (ok, _, err) = enforce(
+        &["certify", "-", "--allow", "2", "--value", "--scoped"],
+        CONSTANT_GUARD,
+    );
+    assert!(!ok);
+    assert!(err.contains("exclusive"), "{err}");
+}
+
+#[test]
+fn lint_reports_findings_and_chain() {
+    let (ok, out, _) = enforce(&["lint", "-", "--allow", "2"], FORGETTING);
+    assert!(ok);
+    assert!(out.contains("taint-leak"), "{out}");
+    assert!(out.contains("carrier chain:"), "{out}");
+    assert!(out.contains("y := x1"), "{out}");
+}
+
+#[test]
+fn lint_json_is_structured() {
+    let (ok, out, _) = enforce(&["lint", "-", "--allow", "2", "--json"], CONSTANT_GUARD);
+    assert!(ok);
+    assert!(out.contains("\"kind\": \"constant-decision\""), "{out}");
+    assert!(out.contains("\"kind\": \"unreachable-node\""), "{out}");
+    assert!(!out.contains("taint-leak"), "{out}");
+}
+
+#[test]
+fn lint_clean_program_has_no_findings() {
+    let (ok, out, _) = enforce(&["lint", "-", "--allow", "1"], "program(1) { y := x1; }");
+    assert!(ok);
+    assert!(out.contains("no findings"), "{out}");
+}
+
+#[test]
+fn dot_taint_annotates_and_dims() {
+    let (ok, out, _) = enforce(&["dot", "-", "--taint"], CONSTANT_GUARD);
+    assert!(ok);
+    assert!(out.contains("releases {2}"), "{out}");
+    assert!(out.contains("style=dashed, color=gray"), "{out}");
+    // Scoped facts instead of refined ones still render.
+    let (ok, out, _) = enforce(&["dot", "-", "--taint", "--scoped"], FORGETTING);
+    assert!(ok);
+    assert!(out.contains("releases"), "{out}");
+}
+
 #[test]
 fn explain_names_the_carrier() {
     let (ok, out, _) = enforce(

@@ -1,0 +1,73 @@
+//! The acceptance property for the value-refined certifier, checked with
+//! the parallel evaluation engine at every thread count: a program
+//! `Analysis::ValueRefined` certifies is never aborted by the dynamic
+//! surveillance mechanism under the same `allow(J)` policy — the
+//! certification theorem survives the value refinement.
+
+use enforcement::core::par::find_first;
+use enforcement::core::{EvalConfig, IndexSet};
+use enforcement::flowchart::generate::{random_flowchart, GenConfig};
+use enforcement::prelude::*;
+use enforcement::staticflow::certify::{certify, Analysis};
+use enforcement::surveillance::dynamic::{run_surveillance, SurvConfig, SurvOutcome};
+use proptest::prelude::*;
+
+fn policy_from_mask(mask: u8) -> IndexSet {
+    let mut j = IndexSet::empty();
+    if mask & 1 != 0 {
+        j.insert(1);
+    }
+    if mask & 2 != 0 {
+        j.insert(2);
+    }
+    j
+}
+
+/// Forced-parallel configuration with exactly `t` workers.
+fn par(t: usize) -> EvalConfig {
+    EvalConfig::with_threads(t).seq_threshold(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// certified(ValueRefined) ⟹ run_surveillance never emits a violation,
+    /// searched exhaustively over the grid with threads 1..=8.
+    #[test]
+    fn certified_programs_never_violate_dynamically(seed in 0u64..20_000, mask in 0u8..4) {
+        let fc = random_flowchart(seed, &GenConfig::default());
+        let allowed = policy_from_mask(mask);
+        if !certify(&fc, allowed, Analysis::ValueRefined).is_certified() {
+            return Ok(());
+        }
+        let g = Grid::hypercube(2, -2..=2);
+        let cfg = SurvConfig::surveillance(allowed);
+        for t in 1..=8usize {
+            let violation = find_first(&g, &par(t), |_, a| {
+                match run_surveillance(&fc, a, &cfg) {
+                    SurvOutcome::Violation { site, taint, .. } => Some((site, taint)),
+                    _ => None,
+                }
+            });
+            prop_assert!(
+                violation.is_none(),
+                "seed {}, J = {}, threads {}: certified program violated: {:?}",
+                seed, allowed, t, violation
+            );
+        }
+    }
+
+    /// The refinement only removes taint: everything the plain
+    /// surveillance analysis certifies, the refined analysis certifies too.
+    #[test]
+    fn refinement_dominates_plain_surveillance(seed in 0u64..20_000, mask in 0u8..4) {
+        let fc = random_flowchart(seed, &GenConfig::default());
+        let allowed = policy_from_mask(mask);
+        if certify(&fc, allowed, Analysis::Surveillance).is_certified() {
+            prop_assert!(
+                certify(&fc, allowed, Analysis::ValueRefined).is_certified(),
+                "seed {}, J = {}: refinement lost a certification", seed, allowed
+            );
+        }
+    }
+}
