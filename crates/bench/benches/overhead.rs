@@ -5,6 +5,13 @@
 //! Expected shape: plain < surveillance ≈ high-water < instrumented
 //! (the instrumented form executes roughly twice the boxes through the
 //! same interpreter); the timed variant M′ adds a per-decision check.
+//!
+//! The `stepper_overhead` group prices the engine refactor itself: the
+//! seed repository's hand-rolled interpreter loop (frozen in
+//! `enf_bench::stepper::run_seed_loop`) against today's `interp::run`,
+//! which is the generic `Stepper` driving a `NullMonitor`. The
+//! acceptance bar is ≤5% overhead; `exp_all` records the same
+//! comparison in `BENCH_results.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use enf_core::{IndexSet, Mechanism};
@@ -43,6 +50,20 @@ fn bench_overhead(c: &mut Criterion) {
             &inst,
             |b, inst| b.iter(|| black_box(inst.run_mech(&[0]))),
         );
+    }
+    group.finish();
+
+    // Engine-refactor overhead: frozen seed loop vs the stepper engine.
+    let mut group = c.benchmark_group("stepper_overhead");
+    for iters in [100i64, 1000, 10_000] {
+        let fc = loop_program(iters, 2);
+        let cfg = ExecConfig::default();
+        group.bench_with_input(BenchmarkId::new("seed_loop", iters), &fc, |b, fc| {
+            b.iter(|| black_box(enf_bench::stepper::run_seed_loop(fc, &[0], cfg.fuel)))
+        });
+        group.bench_with_input(BenchmarkId::new("stepper_null", iters), &fc, |b, fc| {
+            b.iter(|| black_box(run(fc, &[0], &cfg)))
+        });
     }
     group.finish();
 

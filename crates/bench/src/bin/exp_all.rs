@@ -1,8 +1,9 @@
 //! Runs every experiment (E1–E18) and prints the tables EXPERIMENTS.md
 //! records. `--markdown` emits GitHub-flavored markdown instead of the
 //! aligned terminal form. Also measures checker throughput (sequential vs
-//! parallel engine) and writes it to `BENCH_results.json`; skip with
-//! `--no-bench`.
+//! parallel engine) and the stepper-vs-seed-loop interpreter overhead,
+//! writing both to `BENCH_results.json` (`{"throughput": [...],
+//! "stepper_overhead": [...]}`); skip with `--no-bench`.
 
 fn main() {
     let markdown = std::env::args().any(|a| a == "--markdown");
@@ -38,7 +39,22 @@ fn main() {
                 r.speedup()
             );
         }
-        let json = enf_bench::throughput::to_json(&rows);
+        let overhead = enf_bench::stepper::measure(20);
+        for r in &overhead {
+            println!(
+                "{:<16} {:>9} steps   seed {:>12.9}s  stepper {:>12.9}s  overhead {:>+6.2}%",
+                r.program,
+                r.steps,
+                r.seed_secs,
+                r.stepper_secs,
+                r.overhead() * 100.0
+            );
+        }
+        let json = format!(
+            "{{\n\"throughput\": {},\n\"stepper_overhead\": {}\n}}\n",
+            enf_bench::throughput::to_json(&rows),
+            enf_bench::stepper::to_json(&overhead)
+        );
         match std::fs::write("BENCH_results.json", &json) {
             Ok(()) => println!("wrote BENCH_results.json"),
             Err(e) => eprintln!("could not write BENCH_results.json: {e}"),

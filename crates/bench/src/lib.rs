@@ -13,6 +13,7 @@
 
 pub mod experiments;
 pub mod report;
+pub mod stepper;
 pub mod throughput;
 
 pub use report::Table;

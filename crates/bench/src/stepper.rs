@@ -1,0 +1,191 @@
+//! Stepper-overhead measurement: the generic monitor engine against the
+//! seed's hand-rolled interpreter loop.
+//!
+//! The multi-layer refactor replaced every executor's private step loop
+//! with one [`enf_flowchart::stepper::Stepper`] parameterized by a
+//! monitor. The acceptance bar is that plain interpretation —
+//! `interp::run`, now the stepper under `NullMonitor` — costs at most 5%
+//! more than the seed loop it replaced. [`run_seed_loop`] is that loop,
+//! frozen verbatim (including the unconditional trace `Vec` the refactor
+//! removed); [`measure`] times both and `exp_all` records the rows in
+//! `BENCH_results.json`. The matching Criterion group lives in
+//! `benches/overhead.rs` (`stepper_overhead`).
+
+use enf_core::V;
+use enf_flowchart::generate::loop_program;
+use enf_flowchart::graph::{Flowchart, Node, NodeId, Succ};
+use enf_flowchart::interp::{run, ExecConfig, Store};
+use std::time::Instant;
+
+/// The seed's `interp::run` outcome, minus the struct plumbing: the value
+/// of `y` and the step count, or `None` for fuel exhaustion.
+pub type SeedOutcome = Option<(V, u64)>;
+
+/// The seed repository's `interp::run` loop, frozen as the performance
+/// baseline. Kept byte-for-byte equivalent in behavior — including the
+/// trace `Vec` it allocated whether or not anyone asked for a trace — so
+/// the overhead number prices exactly the engine swap.
+pub fn run_seed_loop(fc: &Flowchart, inputs: &[V], fuel: u64) -> SeedOutcome {
+    let mut store = Store::init(fc, inputs);
+    let mut at = fc.start();
+    let mut steps: u64 = 0;
+    let trace: Vec<NodeId> = Vec::new();
+    loop {
+        if steps >= fuel {
+            return None;
+        }
+        steps += 1;
+        match fc.node(at) {
+            Node::Start => {
+                at = match fc.succ(at) {
+                    Succ::One(n) => n,
+                    _ => unreachable!("validated START has one successor"),
+                };
+            }
+            Node::Assign { var, expr } => {
+                let v = expr.eval(&|w| store.get(w));
+                store.set(*var, v);
+                at = match fc.succ(at) {
+                    Succ::One(n) => n,
+                    _ => unreachable!("validated assignment has one successor"),
+                };
+            }
+            Node::Decision { pred } => {
+                let taken = pred.eval(&|w| store.get(w));
+                at = match fc.succ(at) {
+                    Succ::Cond { then_, else_ } => {
+                        if taken {
+                            then_
+                        } else {
+                            else_
+                        }
+                    }
+                    _ => unreachable!("validated decision has two successors"),
+                };
+            }
+            Node::Halt => {
+                std::hint::black_box(&trace);
+                return Some((store.output(), steps));
+            }
+        }
+    }
+}
+
+/// One seed-loop-vs-stepper measurement.
+#[derive(Clone, Debug)]
+pub struct OverheadRow {
+    /// Benchmark program name.
+    pub program: String,
+    /// Boxes executed per run.
+    pub steps: u64,
+    /// Seed-loop wall-clock seconds.
+    pub seed_secs: f64,
+    /// Stepper (`interp::run` under `NullMonitor`) wall-clock seconds.
+    pub stepper_secs: f64,
+}
+
+impl OverheadRow {
+    /// Fractional overhead of the stepper over the seed loop
+    /// (0.03 = 3% slower; negative = faster).
+    pub fn overhead(&self) -> f64 {
+        self.stepper_secs / self.seed_secs.max(1e-12) - 1.0
+    }
+}
+
+fn best_of<R>(rounds: u32, mut f: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Times the seed loop against the stepper engine on loop programs of a
+/// few sizes, best-of-`rounds` per engine (interleaved, so frequency
+/// scaling hits both alike).
+pub fn measure(rounds: u32) -> Vec<OverheadRow> {
+    let cfg = ExecConfig::default();
+    let mut rows = Vec::new();
+    for iters in [100i64, 1_000, 10_000] {
+        let fc = loop_program(iters, 2);
+        let steps = run(&fc, &[0], &cfg).unwrap_halted().steps;
+        // Warm both paths before timing.
+        std::hint::black_box(run_seed_loop(&fc, &[0], cfg.fuel));
+        std::hint::black_box(run(&fc, &[0], &cfg));
+        let seed_secs = best_of(rounds, || run_seed_loop(&fc, &[0], cfg.fuel));
+        let stepper_secs = best_of(rounds, || run(&fc, &[0], &cfg));
+        rows.push(OverheadRow {
+            program: format!("loop_{iters}"),
+            steps,
+            seed_secs,
+            stepper_secs,
+        });
+    }
+    rows
+}
+
+/// Serializes rows as a JSON array (no external dependencies).
+pub fn to_json(rows: &[OverheadRow]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"program\": \"{}\", \"steps\": {}, \"seed_secs\": {:.9}, \
+             \"stepper_secs\": {:.9}, \"overhead\": {:.4}}}{}\n",
+            r.program,
+            r.steps,
+            r.seed_secs,
+            r.stepper_secs,
+            r.overhead(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enf_flowchart::generate::{random_flowchart, GenConfig};
+
+    #[test]
+    fn seed_loop_agrees_with_stepper_engine() {
+        let cfg = ExecConfig::with_fuel(50_000);
+        for seed in 0..60u64 {
+            let fc = random_flowchart(seed, &GenConfig::default());
+            for a in [[-1, -1], [0, 0], [1, 2]] {
+                let expected = match run(&fc, &a, &cfg) {
+                    enf_flowchart::interp::Outcome::Halted(h) => Some((h.y, h.steps)),
+                    enf_flowchart::interp::Outcome::OutOfFuel => None,
+                };
+                assert_eq!(
+                    run_seed_loop(&fc, &a, cfg.fuel),
+                    expected,
+                    "seed {seed} at {a:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seed_loop_reports_fuel_exhaustion() {
+        let fc = enf_flowchart::parse("program(0) { while true { skip; } }").unwrap();
+        assert_eq!(run_seed_loop(&fc, &[], 100), None);
+    }
+
+    #[test]
+    fn overhead_math_and_json_shape() {
+        let rows = vec![OverheadRow {
+            program: "loop_100".to_string(),
+            steps: 500,
+            seed_secs: 1.0,
+            stepper_secs: 1.03,
+        }];
+        assert!((rows[0].overhead() - 0.03).abs() < 1e-9);
+        let j = to_json(&rows);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"overhead\": 0.0300"), "{j}");
+    }
+}

@@ -3,7 +3,9 @@
 //! Times each exhaustive checker once under a one-worker
 //! [`EvalConfig`] and once under the auto (all cores / `ENF_THREADS`)
 //! configuration over the same ~10^6-tuple grid, and reports tuples/second
-//! plus the speedup. `exp_all` serializes the rows to `BENCH_results.json`.
+//! plus the speedup. `exp_all` serializes the rows into the
+//! `"throughput"` field of `BENCH_results.json` (alongside the
+//! [`crate::stepper`] overhead rows).
 
 use enf_core::IndexSet;
 use enf_core::{check_soundness_with, Allow, EvalConfig, Grid, InputDomain, MaximalMechanism};

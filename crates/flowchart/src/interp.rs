@@ -14,9 +14,15 @@
 //! [`crate::program`] adapters fold that case into a distinguished output
 //! value so the flowchart still denotes a *total* function as the paper
 //! requires.
+//!
+//! [`run`] is the [`crate::stepper`] engine under its trivial observer,
+//! [`crate::stepper::NullMonitor`]; node-trace capture, formerly a flag
+//! here, is [`crate::stepper::TraceMonitor`] via [`run_traced`] — plain
+//! runs no longer pay for a trace they do not record.
 
 use crate::ast::Var;
-use crate::graph::{Flowchart, Node, NodeId, Succ};
+use crate::graph::{Flowchart, NodeId};
+use crate::stepper::{NullMonitor, Pair, Stepper, TraceMonitor};
 use enf_core::V;
 
 /// Interpreter configuration.
@@ -24,24 +30,18 @@ use enf_core::V;
 pub struct ExecConfig {
     /// Maximum number of boxes to execute before giving up.
     pub fuel: u64,
-    /// Record the sequence of visited nodes (costly; for debugging and the
-    /// trace-based tests).
-    pub trace: bool,
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        ExecConfig {
-            fuel: 1_000_000,
-            trace: false,
-        }
+        ExecConfig { fuel: 1_000_000 }
     }
 }
 
 impl ExecConfig {
     /// Configuration with a specific fuel bound.
     pub fn with_fuel(fuel: u64) -> Self {
-        ExecConfig { fuel, trace: false }
+        ExecConfig { fuel }
     }
 }
 
@@ -54,8 +54,6 @@ pub struct Halted {
     pub steps: u64,
     /// The HALT box reached.
     pub halt: NodeId,
-    /// Visited nodes, if tracing was enabled.
-    pub trace: Vec<NodeId>,
 }
 
 /// Result of running a flowchart.
@@ -187,56 +185,21 @@ impl Store {
 /// assert_eq!(run(&fc, &[6], &ExecConfig::default()).unwrap_halted().y, 36);
 /// ```
 pub fn run(fc: &Flowchart, inputs: &[V], cfg: &ExecConfig) -> Outcome {
-    let mut store = Store::init(fc, inputs);
-    let mut at = fc.start();
-    let mut steps: u64 = 0;
-    let mut trace = Vec::new();
-    loop {
-        if steps >= cfg.fuel {
-            return Outcome::OutOfFuel;
-        }
-        steps += 1;
-        if cfg.trace {
-            trace.push(at);
-        }
-        match fc.node(at) {
-            Node::Start => {
-                at = match fc.succ(at) {
-                    Succ::One(n) => n,
-                    _ => unreachable!("validated START has one successor"),
-                };
-            }
-            Node::Assign { var, expr } => {
-                let v = expr.eval(&|w| store.get(w));
-                store.set(*var, v);
-                at = match fc.succ(at) {
-                    Succ::One(n) => n,
-                    _ => unreachable!("validated assignment has one successor"),
-                };
-            }
-            Node::Decision { pred } => {
-                let taken = pred.eval(&|w| store.get(w));
-                at = match fc.succ(at) {
-                    Succ::Cond { then_, else_ } => {
-                        if taken {
-                            then_
-                        } else {
-                            else_
-                        }
-                    }
-                    _ => unreachable!("validated decision has two successors"),
-                };
-            }
-            Node::Halt => {
-                return Outcome::Halted(Halted {
-                    y: store.output(),
-                    steps,
-                    halt: at,
-                    trace,
-                });
-            }
-        }
-    }
+    Stepper::new(fc)
+        .with_fuel(cfg.fuel)
+        .run(inputs, &mut NullMonitor)
+}
+
+/// Runs a flowchart and also records the sequence of visited nodes — one
+/// entry per executed box, START and HALT included.
+///
+/// This replaces the old always-allocating `ExecConfig::trace` flag: trace
+/// capture is now the [`TraceMonitor`] observer, paired with the plain
+/// interpreter for a single pass.
+pub fn run_traced(fc: &Flowchart, inputs: &[V], cfg: &ExecConfig) -> (Outcome, Vec<NodeId>) {
+    Stepper::new(fc)
+        .with_fuel(cfg.fuel)
+        .run(inputs, &mut Pair(NullMonitor, TraceMonitor::new()))
 }
 
 #[cfg(test)]
@@ -289,14 +252,11 @@ mod tests {
     #[test]
     fn trace_records_path() {
         let fc = parse("program(1) { y := x1; }").unwrap();
-        let cfg = ExecConfig {
-            fuel: 100,
-            trace: true,
-        };
-        let h = run(&fc, &[3], &cfg).unwrap_halted();
-        assert_eq!(h.trace.len() as u64, h.steps);
-        assert_eq!(h.trace[0], fc.start());
-        assert_eq!(*h.trace.last().unwrap(), h.halt);
+        let (out, trace) = run_traced(&fc, &[3], &ExecConfig::with_fuel(100));
+        let h = out.unwrap_halted();
+        assert_eq!(trace.len() as u64, h.steps);
+        assert_eq!(trace[0], fc.start());
+        assert_eq!(*trace.last().unwrap(), h.halt);
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //! * [`parser`] — a small textual DSL for writing flowcharts;
 //! * [`interp`] — the interpreter, counting executed boxes as the paper's
 //!   observable "number of steps";
+//! * [`stepper`] — the generic small-step engine behind every executor:
+//!   one fixed walk of the graph, parameterized by a [`stepper::Monitor`]
+//!   (plain interpretation, taint disciplines, event streams, and their
+//!   one-pass combinations all plug in here);
 //! * [`program`] — adapters implementing `enf_core::Program` and
 //!   `enf_core::TimedProgram` (output with or without observable time);
 //! * [`analysis`] — reachability, postdominators, free-variable analysis;
@@ -56,11 +60,13 @@ pub mod parser;
 pub mod pretty;
 pub mod program;
 pub mod restructure;
+pub mod stepper;
 pub mod structured;
 
 pub use ast::{CmpOp, Expr, Pred, Var};
 pub use graph::{Flowchart, Node, NodeId, Succ};
-pub use interp::{run, ExecConfig, ExecValue, Outcome};
+pub use interp::{run, run_traced, ExecConfig, ExecValue, Outcome};
 pub use parser::parse;
 pub use program::FlowchartProgram;
+pub use stepper::{Fleet, Monitor, NullMonitor, Pair, Stepper, TraceMonitor};
 pub use structured::{lower, Stmt, StructuredProgram};

@@ -176,14 +176,14 @@ proptest! {
     #[test]
     fn interpreter_invariants(seed in 0u64..20_000, x1 in -1i64..=1, x2 in -1i64..=1) {
         let fc = enf_flowchart::generate::random_flowchart(seed, &GenConfig::default());
-        let cfg = ExecConfig { fuel: 200_000, trace: true };
-        let a = run(&fc, &[x1, x2], &cfg);
+        let cfg = ExecConfig { fuel: 200_000 };
+        let (a, trace) = enf_flowchart::interp::run_traced(&fc, &[x1, x2], &cfg);
         let b = run(&fc, &[x1, x2], &cfg);
-        prop_assert_eq!(&a, &b, "nondeterministic execution");
+        prop_assert_eq!(&a, &b, "traced and plain runs disagree");
         if let enf_flowchart::interp::Outcome::Halted(h) = a {
-            prop_assert_eq!(h.trace.len() as u64, h.steps);
-            prop_assert_eq!(*h.trace.last().unwrap(), h.halt);
-            prop_assert_eq!(h.trace[0], fc.start());
+            prop_assert_eq!(trace.len() as u64, h.steps);
+            prop_assert_eq!(*trace.last().unwrap(), h.halt);
+            prop_assert_eq!(trace[0], fc.start());
         }
     }
 

@@ -21,10 +21,12 @@
 //! programs. `CheckAt::EveryDecision` closes the channel: a loop guard
 //! tainted with denied data is killed before it can branch.
 
+use crate::monitor::TaintMonitor;
 use crate::state::TaintState;
 use enf_core::{IndexSet, V};
 use enf_flowchart::graph::{Flowchart, Node, NodeId, Succ};
 use enf_flowchart::interp::Store;
+use enf_flowchart::stepper::Stepper;
 
 /// Assignment taint discipline.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -152,6 +154,20 @@ impl SurvOutcome {
 /// assert!(out.is_violation());
 /// ```
 pub fn run_surveillance(fc: &Flowchart, inputs: &[V], cfg: &SurvConfig) -> SurvOutcome {
+    Stepper::new(fc)
+        .with_fuel(cfg.fuel)
+        .run(inputs, &mut TaintMonitor::new(fc, *cfg))
+}
+
+/// The seed's hand-rolled surveillance loop, kept verbatim as the
+/// differential oracle for the stepper-based engine.
+///
+/// [`run_surveillance`] is the supported entry point; this one exists so
+/// property tests can pin the refactor bit-for-bit — outcome, step count
+/// and violation site must match on every run (see
+/// `tests/stepper_differential.rs`). Do not "improve" this function: its
+/// value is that it does not change.
+pub fn run_reference(fc: &Flowchart, inputs: &[V], cfg: &SurvConfig) -> SurvOutcome {
     let mut store = Store::init(fc, inputs);
     let mut taints = TaintState::init(fc.arity(), fc.max_reg());
     let mut at = fc.start();

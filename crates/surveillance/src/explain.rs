@@ -7,17 +7,16 @@
 //! ambiguous notices ("this difficulty may make it particularly hard to
 //! find program bugs that cause violation notices").
 //!
-//! [`explain`] re-runs the program under surveillance, recording every
-//! taint-acquiring event, and reconstructs the *carrier chain*: the
-//! sequence of assignments and decisions through which each offending
-//! input index reached the final check.
+//! [`explain`] runs the program once under the paired taint-and-event
+//! monitors ([`crate::monitor::run_trace`]), keeps every taint-acquiring
+//! event, and reconstructs the *carrier chain*: the sequence of
+//! assignments and decisions through which each offending input index
+//! reached the final check.
 
-use crate::dynamic::{CheckAt, Style, SurvConfig};
-use crate::state::TaintState;
+use crate::dynamic::{SurvConfig, SurvOutcome};
+use crate::monitor::{run_trace, TraceEvent};
 use enf_core::{IndexSet, V};
-use enf_flowchart::graph::{Flowchart, Node, NodeId, Succ};
-use enf_flowchart::interp::Store;
-use enf_flowchart::pretty::{expr_to_string, pred_to_string};
+use enf_flowchart::graph::{Flowchart, NodeId};
 
 /// One taint-acquiring event during a run.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -84,103 +83,21 @@ impl Explanation {
     }
 }
 
-/// Runs the program under the surveillance discipline, recording every
-/// taint change. The mechanism outcome matches
+/// Runs the program once under the paired taint-and-event monitors,
+/// keeping every taint change. The mechanism outcome matches
 /// [`crate::dynamic::run_surveillance`] exactly; the explanation is the
 /// extra.
 pub fn explain(fc: &Flowchart, inputs: &[V], cfg: &SurvConfig) -> Explanation {
-    let mut store = Store::init(fc, inputs);
-    let mut taints = TaintState::init(fc.arity(), fc.max_reg());
-    let mut at = fc.start();
-    let mut steps: u64 = 0;
-    let mut events: Vec<FlowEvent> = Vec::new();
-    loop {
-        if steps >= cfg.fuel {
-            return Explanation {
-                accepted: false,
-                offending: IndexSet::empty(),
-                events,
-            };
-        }
-        steps += 1;
-        match fc.node(at) {
-            Node::Start => {
-                at = match fc.succ(at) {
-                    Succ::One(n) => n,
-                    _ => unreachable!("validated START"),
-                };
-            }
-            Node::Assign { var, expr } => {
-                let before = taints.get(*var);
-                let mut t = taints.expr_taint(expr).union(&taints.pc);
-                if cfg.style == Style::Accumulate {
-                    t.union_with(&before);
-                }
-                if t != before {
-                    events.push(FlowEvent {
-                        step: steps,
-                        site: at,
-                        what: format!("{var} := {}", expr_to_string(expr)),
-                        before,
-                        after: t,
-                    });
-                }
-                taints.set(*var, t);
-                let v = expr.eval(&|w| store.get(w));
-                store.set(*var, v);
-                at = match fc.succ(at) {
-                    Succ::One(n) => n,
-                    _ => unreachable!("validated assignment"),
-                };
-            }
-            Node::Decision { pred } => {
-                let before = taints.pc;
-                let t = taints.pred_taint(pred);
-                taints.pc.union_with(&t);
-                if taints.pc != before {
-                    events.push(FlowEvent {
-                        step: steps,
-                        site: at,
-                        what: format!("branch on {}", pred_to_string(pred)),
-                        before,
-                        after: taints.pc,
-                    });
-                }
-                if cfg.check == CheckAt::EveryDecision && !taints.pc.is_subset(&cfg.allowed) {
-                    return Explanation {
-                        accepted: false,
-                        offending: taints.pc.difference(&cfg.allowed),
-                        events,
-                    };
-                }
-                let taken = pred.eval(&|w| store.get(w));
-                at = match fc.succ(at) {
-                    Succ::Cond { then_, else_ } => {
-                        if taken {
-                            then_
-                        } else {
-                            else_
-                        }
-                    }
-                    _ => unreachable!("validated decision"),
-                };
-            }
-            Node::Halt => {
-                let t = taints.halt_taint();
-                if t.is_subset(&cfg.allowed) {
-                    return Explanation {
-                        accepted: true,
-                        offending: IndexSet::empty(),
-                        events,
-                    };
-                }
-                return Explanation {
-                    accepted: false,
-                    offending: t.difference(&cfg.allowed),
-                    events,
-                };
-            }
-        }
+    let (out, events) = run_trace(fc, inputs, cfg);
+    let (accepted, offending) = match out {
+        SurvOutcome::Accepted { .. } => (true, IndexSet::empty()),
+        SurvOutcome::Violation { taint, .. } => (false, taint.difference(&cfg.allowed)),
+        SurvOutcome::OutOfFuel => (false, IndexSet::empty()),
+    };
+    Explanation {
+        accepted,
+        offending,
+        events: events.iter().filter_map(TraceEvent::flow_event).collect(),
     }
 }
 

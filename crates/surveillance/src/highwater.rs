@@ -35,20 +35,59 @@ mod tests {
 
     #[test]
     fn instrumented_highwater_agrees_with_dynamic() {
-        let gen_cfg = GenConfig::default();
-        for seed in 0..30 {
-            let fc = random_flowchart(seed, &gen_cfg);
-            let j = IndexSet::single(2);
-            let inst = instrument_highwater(&fc, j);
-            let cfg = SurvConfig::highwater(j);
-            let g = Grid::hypercube(2, -1..=1);
-            for a in g.iter_inputs() {
-                let dynamic = match run_surveillance(&fc, &a, &cfg) {
-                    SurvOutcome::Accepted { y, .. } => MechOutput::Value(ExecValue::Value(y)),
-                    SurvOutcome::Violation { .. } => MechOutput::Violation(Notice::lambda()),
-                    SurvOutcome::OutOfFuel => MechOutput::Value(ExecValue::Diverged),
-                };
-                assert_eq!(inst.run_mech(&a), dynamic, "seed {seed} at {a:?}");
+        // All four discipline combinations (timed × {Replace, Accumulate}),
+        // arities 1..=3 and seed-derived policies — the instrumented
+        // (flowchart-form) mechanism and the dynamic engine must agree
+        // pointwise, not just in the seed suite's arity-2 high-water slice.
+        use crate::dynamic::{CheckAt, Style};
+        use crate::instrument::instrument_with;
+        for arity in 1..=3usize {
+            let gen_cfg = GenConfig {
+                arity,
+                ..GenConfig::default()
+            };
+            let g = Grid::hypercube(arity, -1..=1);
+            for round in 0..30u64 {
+                let seed = 5_000 * arity as u64 + 13 * round;
+                let fc = random_flowchart(seed, &gen_cfg);
+                // A seed-dependent allowed set over the live input indices.
+                let j: IndexSet = (1..=arity).filter(|i| (seed >> i) & 1 == 0).collect();
+                for (timed, accumulate) in
+                    [(false, false), (false, true), (true, false), (true, true)]
+                {
+                    let inst = instrument_with(&fc, j, timed, accumulate);
+                    let cfg = SurvConfig {
+                        allowed: j,
+                        style: if accumulate {
+                            Style::Accumulate
+                        } else {
+                            Style::Replace
+                        },
+                        check: if timed {
+                            CheckAt::EveryDecision
+                        } else {
+                            CheckAt::Halt
+                        },
+                        fuel: 1_000_000,
+                    };
+                    for a in g.iter_inputs() {
+                        let dynamic = match run_surveillance(&fc, &a, &cfg) {
+                            SurvOutcome::Accepted { y, .. } => {
+                                MechOutput::Value(ExecValue::Value(y))
+                            }
+                            SurvOutcome::Violation { .. } => {
+                                MechOutput::Violation(Notice::lambda())
+                            }
+                            SurvOutcome::OutOfFuel => MechOutput::Value(ExecValue::Diverged),
+                        };
+                        assert_eq!(
+                            inst.run_mech(&a),
+                            dynamic,
+                            "seed {seed}, arity {arity}, timed {timed}, \
+                             accumulate {accumulate}, J = {j} at {a:?}"
+                        );
+                    }
+                }
             }
         }
     }

@@ -27,7 +27,10 @@
 //!   of assignments and branches through which an offending input reached
 //!   the failed check;
 //! * [`mls`] — multi-level-security labels (Denning's lattice model, the
-//!   paper's reference \[2\]) compiled down to `allow(J)` per clearance.
+//!   paper's reference \[2\]) compiled down to `allow(J)` per clearance;
+//! * [`monitor`] — the disciplines above as pluggable observers on the
+//!   shared `enf_flowchart` stepper, plus the structured per-step
+//!   [`monitor::TraceEvent`] stream behind `explain` and `enforce trace`.
 
 #![warn(missing_docs)]
 
@@ -37,12 +40,14 @@ pub mod highwater;
 pub mod instrument;
 pub mod mechanism;
 pub mod mls;
+pub mod monitor;
 pub mod state;
 pub mod timed;
 
-pub use dynamic::{run_surveillance, CheckAt, Style, SurvConfig, SurvOutcome};
-pub use explain::{explain, Explanation};
+pub use dynamic::{run_reference, run_surveillance, CheckAt, Style, SurvConfig, SurvOutcome};
+pub use explain::{explain, Explanation, FlowEvent};
 pub use instrument::{instrument, Instrumented};
 pub use mechanism::{HighWater, Surveillance};
+pub use monitor::{run_trace, EventMonitor, TaintMonitor, TraceEvent, TraceKind};
 pub use state::TaintState;
 pub use timed::TimedMechanism;

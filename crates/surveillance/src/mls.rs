@@ -14,9 +14,13 @@
 //! result carries over. The tests check the reduction and the monotonicity
 //! the lattice adds: a higher clearance never sees fewer outputs.
 
+use crate::dynamic::{SurvConfig, SurvOutcome};
 use crate::mechanism::Surveillance;
-use enf_core::{Allow, IndexSet};
+use crate::monitor::TaintMonitor;
+use enf_core::{Allow, IndexSet, V};
+use enf_flowchart::graph::Flowchart;
 use enf_flowchart::program::FlowchartProgram;
+use enf_flowchart::stepper::{Fleet, Stepper};
 
 /// A security label: an element of a join-semilattice with a bottom.
 pub trait Label: Clone + Eq + std::fmt::Debug {
@@ -137,6 +141,34 @@ impl<L: Label> Classification<L> {
     }
 }
 
+/// Runs the program *once* and checks the induced `allow(J_c)` policy of
+/// every clearance in that single pass: a [`Fleet`] of taint monitors
+/// shares the one concrete execution, so the program's assignments and
+/// branches are evaluated once rather than once per clearance.
+///
+/// The surveillance discipline checks only at HALT, so no fleet member
+/// ever aborts the shared run and each verdict is exactly what
+/// [`crate::dynamic::run_surveillance`] would report for that clearance
+/// alone (pinned by `mls_fleet_matches_per_clearance_runs` below and the
+/// differential property tests).
+pub fn run_all_clearances<L: Label>(
+    fc: &Flowchart,
+    inputs: &[V],
+    classification: &Classification<L>,
+    clearances: &[L],
+) -> Vec<SurvOutcome> {
+    let monitors = clearances
+        .iter()
+        .map(|c| {
+            TaintMonitor::new(
+                fc,
+                SurvConfig::surveillance(classification.induced_allow(c)),
+            )
+        })
+        .collect();
+    Stepper::new(fc).run(inputs, &mut Fleet(monitors))
+}
+
 /// The surveillance mechanism for a labeled program and a clearance —
 /// compiled straight down to the paper's `allow(J_c)` mechanism.
 pub fn mls_surveillance<L: Label>(
@@ -245,6 +277,52 @@ mod tests {
         assert_eq!(c.induced_allow(&no_compartment), IndexSet::single(2));
         let with_compartment = Compartmented::new(Level::Confidential, [1]);
         assert_eq!(c.induced_allow(&with_compartment), IndexSet::full(2));
+    }
+
+    #[test]
+    fn mls_fleet_matches_per_clearance_runs() {
+        // One pass with a monitor fleet ≡ one full run per clearance.
+        use crate::dynamic::run_surveillance;
+        let c = Classification::new(vec![Level::Secret, Level::Confidential]);
+        let fc = enf_flowchart::parse("program(2) { y := x1; if x2 == 0 { y := 0; } }").unwrap();
+        let levels = [
+            Level::Unclassified,
+            Level::Confidential,
+            Level::Secret,
+            Level::TopSecret,
+        ];
+        for a in Grid::hypercube(2, -2..=2).iter_inputs() {
+            let fleet = run_all_clearances(&fc, &a, &c, &levels);
+            for (clearance, got) in levels.iter().zip(&fleet) {
+                let cfg = SurvConfig::surveillance(c.induced_allow(clearance));
+                assert_eq!(got, &run_surveillance(&fc, &a, &cfg), "at {clearance:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn mls_fleet_is_monotone_in_clearance() {
+        let c = Classification::new(vec![Level::Secret, Level::Confidential]);
+        let fc = enf_flowchart::parse("program(2) { y := x1 + x2; }").unwrap();
+        let levels = [
+            Level::Unclassified,
+            Level::Confidential,
+            Level::Secret,
+            Level::TopSecret,
+        ];
+        for a in Grid::hypercube(2, -1..=1).iter_inputs() {
+            let fleet = run_all_clearances(&fc, &a, &c, &levels);
+            // Once a clearance accepts, every higher clearance accepts.
+            let mut seen_accept = false;
+            for out in &fleet {
+                let accepted = out.accepted().is_some();
+                assert!(
+                    !seen_accept || accepted,
+                    "acceptance not monotone: {fleet:?}"
+                );
+                seen_accept = accepted;
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,489 @@
+//! The surveillance disciplines as [`Monitor`]s on the shared stepper.
+//!
+//! [`TaintMonitor`] is the paper's transformation (1)–(4) expressed as an
+//! observer: it keeps the surveillance variables, vetoes disallowed tests
+//! at decision boxes (`CheckAt::EveryDecision`, Theorem 3′) and makes the
+//! release decision at HALT (`ȳ ∪ C̄ ⊆ J`, Theorem 3). One implementation
+//! covers all four `Style` × `CheckAt` configurations.
+//!
+//! [`EventMonitor`] is the observability half: it emits one structured
+//! [`TraceEvent`] per executed box — taint deltas, the PC taint, the
+//! branch taken — serializable to JSONL. Paired with the taint monitor
+//! ([`run_trace`]) it yields the mechanism verdict *and* the full account
+//! of how every taint got where it is, in a single pass; `explain`, the
+//! CLI `trace` subcommand and `dot --taint` all draw from this one stream.
+
+use crate::dynamic::{CheckAt, Style, SurvConfig, SurvOutcome};
+use crate::explain::FlowEvent;
+use crate::state::TaintState;
+use enf_core::{IndexSet, V};
+use enf_flowchart::ast::{Expr, Pred, Var};
+use enf_flowchart::graph::{Flowchart, Node, NodeId};
+use enf_flowchart::interp::Store;
+use enf_flowchart::pretty::{expr_to_string, pred_to_string};
+use enf_flowchart::stepper::{Monitor, Pair, Stepper};
+
+/// The surveillance mechanism as a pluggable monitor.
+///
+/// Carries the taint state and the policy; the stepper carries the walk.
+/// [`crate::dynamic::run_surveillance`] is the stepper with this monitor.
+#[derive(Clone, Debug)]
+pub struct TaintMonitor {
+    cfg: SurvConfig,
+    taints: TaintState,
+}
+
+impl TaintMonitor {
+    /// A monitor for `fc` under `cfg`, with freshly initialized
+    /// surveillance variables (`x̄i = {i}`, everything else empty).
+    pub fn new(fc: &Flowchart, cfg: SurvConfig) -> Self {
+        TaintMonitor {
+            cfg,
+            taints: TaintState::init(fc.arity(), fc.max_reg()),
+        }
+    }
+
+    /// The current taint state (e.g. for rendering).
+    pub fn taints(&self) -> &TaintState {
+        &self.taints
+    }
+}
+
+impl Monitor for TaintMonitor {
+    type Outcome = SurvOutcome;
+
+    fn on_assign(&mut self, _step: u64, _at: NodeId, var: Var, expr: &Expr, _store: &Store) {
+        // Transformation (2): v̄ ← w̄1 ∪ … ∪ w̄s ∪ C̄ (∪ v̄ for the
+        // high-water discipline).
+        let mut t = self.taints.expr_taint(expr).union(&self.taints.pc);
+        if self.cfg.style == Style::Accumulate {
+            t.union_with(&self.taints.get(var));
+        }
+        self.taints.set(var, t);
+    }
+
+    fn on_decision(
+        &mut self,
+        step: u64,
+        at: NodeId,
+        pred: &Pred,
+        _store: &Store,
+    ) -> Option<Self::Outcome> {
+        // Transformation (3): C̄ ← C̄ ∪ w̄1 ∪ … ∪ w̄s.
+        let t = self.taints.pred_taint(pred);
+        self.taints.pc.union_with(&t);
+        if self.cfg.check == CheckAt::EveryDecision && !self.taints.pc.is_subset(&self.cfg.allowed)
+        {
+            // Theorem 3′: abort before the disallowed test is taken.
+            return Some(SurvOutcome::Violation {
+                site: at,
+                taint: self.taints.pc,
+                steps: step,
+            });
+        }
+        None
+    }
+
+    fn on_halt(&mut self, step: u64, at: NodeId, store: &Store) -> Self::Outcome {
+        // Transformation (4): release y only if ȳ ∪ C̄ ⊆ J.
+        let t = self.taints.halt_taint();
+        if t.is_subset(&self.cfg.allowed) {
+            SurvOutcome::Accepted {
+                y: store.output(),
+                steps: step,
+            }
+        } else {
+            SurvOutcome::Violation {
+                site: at,
+                taint: t,
+                steps: step,
+            }
+        }
+    }
+
+    fn on_fuel(&mut self, _steps: u64) -> Self::Outcome {
+        SurvOutcome::OutOfFuel
+    }
+}
+
+/// What happened at one executed box, taint-wise.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TraceKind {
+    /// The START box.
+    Start,
+    /// An assignment: the target's taint before and after
+    /// transformation (2).
+    Assign {
+        /// The assigned variable.
+        var: Var,
+        /// Its taint before the assignment.
+        before: IndexSet,
+        /// Its taint after.
+        after: IndexSet,
+    },
+    /// A decision: the PC taint before and after transformation (3).
+    /// `taken` is `None` when the run was vetoed at this box before the
+    /// predicate was evaluated (the Theorem 3′ abort).
+    Branch {
+        /// Which way the branch went, if it was taken at all.
+        taken: Option<bool>,
+        /// `C̄` before the decision.
+        before: IndexSet,
+        /// `C̄` after.
+        after: IndexSet,
+    },
+    /// A HALT box; `released` is the release-check set `ȳ ∪ C̄`.
+    Halt {
+        /// The set the release check inspects.
+        released: IndexSet,
+    },
+}
+
+/// One entry of the structured per-step trace stream.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// 1-based execution step (boxes executed, START and HALT included).
+    pub step: u64,
+    /// The executed node.
+    pub node: NodeId,
+    /// Human-readable description of the box (`START`, `y := x1 + 1`,
+    /// `branch on x1 == 0`, `HALT`).
+    pub what: String,
+    /// The PC taint `C̄` after this step.
+    pub pc: IndexSet,
+    /// The box-specific taint delta.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// The `explain`-style [`FlowEvent`], if this step changed a taint
+    /// set. START, HALT and no-op steps yield `None` — exactly the events
+    /// the carrier chain never needs.
+    pub fn flow_event(&self) -> Option<FlowEvent> {
+        let (before, after) = match &self.kind {
+            TraceKind::Assign { before, after, .. } | TraceKind::Branch { before, after, .. } => {
+                (*before, *after)
+            }
+            TraceKind::Start | TraceKind::Halt { .. } => return None,
+        };
+        (after != before).then(|| FlowEvent {
+            step: self.step,
+            site: self.node,
+            what: self.what.clone(),
+            before,
+            after,
+        })
+    }
+
+    /// Serializes the event as one JSON object (one JSONL line).
+    pub fn to_json_line(&self) -> String {
+        let head = format!(
+            "{{\"step\": {}, \"node\": {}, \"what\": \"{}\", \"pc\": {}",
+            self.step,
+            self.node.0,
+            json_escape(&self.what),
+            json_set(&self.pc)
+        );
+        let tail = match &self.kind {
+            TraceKind::Start => "\"kind\": \"start\"}".to_string(),
+            TraceKind::Assign { var, before, after } => format!(
+                "\"kind\": \"assign\", \"var\": \"{var}\", \"before\": {}, \"after\": {}}}",
+                json_set(before),
+                json_set(after)
+            ),
+            TraceKind::Branch {
+                taken,
+                before,
+                after,
+            } => format!(
+                "\"kind\": \"branch\", \"taken\": {}, \"before\": {}, \"after\": {}}}",
+                match taken {
+                    Some(t) => t.to_string(),
+                    None => "null".to_string(),
+                },
+                json_set(before),
+                json_set(after)
+            ),
+            TraceKind::Halt { released } => {
+                format!("\"kind\": \"halt\", \"released\": {}}}", json_set(released))
+            }
+        };
+        format!("{head}, {tail}")
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_set(set: &IndexSet) -> String {
+    let items: Vec<String> = set.iter().map(|i| i.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+/// Emits one [`TraceEvent`] per executed box.
+///
+/// The monitor keeps its own [`TaintState`] — it is a pure observer and
+/// composes under [`Pair`] with any co-monitor without sharing state. Its
+/// taint discipline must match the co-running mechanism's [`Style`] for
+/// the deltas to agree with the verdict.
+#[derive(Clone, Debug)]
+pub struct EventMonitor {
+    style: Style,
+    taints: TaintState,
+    events: Vec<TraceEvent>,
+}
+
+impl EventMonitor {
+    /// An event monitor for `fc` under the given assignment discipline.
+    pub fn new(fc: &Flowchart, style: Style) -> Self {
+        EventMonitor {
+            style,
+            taints: TaintState::init(fc.arity(), fc.max_reg()),
+            events: Vec::new(),
+        }
+    }
+}
+
+impl Monitor for EventMonitor {
+    type Outcome = Vec<TraceEvent>;
+
+    fn on_step(&mut self, step: u64, at: NodeId, node: &Node) {
+        if matches!(node, Node::Start) {
+            self.events.push(TraceEvent {
+                step,
+                node: at,
+                what: "START".to_string(),
+                pc: self.taints.pc,
+                kind: TraceKind::Start,
+            });
+        }
+    }
+
+    fn on_assign(&mut self, step: u64, at: NodeId, var: Var, expr: &Expr, _store: &Store) {
+        let before = self.taints.get(var);
+        let mut t = self.taints.expr_taint(expr).union(&self.taints.pc);
+        if self.style == Style::Accumulate {
+            t.union_with(&before);
+        }
+        self.taints.set(var, t);
+        self.events.push(TraceEvent {
+            step,
+            node: at,
+            what: format!("{var} := {}", expr_to_string(expr)),
+            pc: self.taints.pc,
+            kind: TraceKind::Assign {
+                var,
+                before,
+                after: t,
+            },
+        });
+    }
+
+    fn on_decision(
+        &mut self,
+        step: u64,
+        at: NodeId,
+        pred: &Pred,
+        _store: &Store,
+    ) -> Option<Self::Outcome> {
+        let before = self.taints.pc;
+        let t = self.taints.pred_taint(pred);
+        self.taints.pc.union_with(&t);
+        // `taken` is unknown yet: a co-monitor may veto this very box, in
+        // which case the branch is never taken and the event keeps `None`.
+        self.events.push(TraceEvent {
+            step,
+            node: at,
+            what: format!("branch on {}", pred_to_string(pred)),
+            pc: self.taints.pc,
+            kind: TraceKind::Branch {
+                taken: None,
+                before,
+                after: self.taints.pc,
+            },
+        });
+        None
+    }
+
+    fn on_branch(&mut self, _step: u64, _at: NodeId, _pred: &Pred, taken: bool) {
+        if let Some(TraceEvent {
+            kind: TraceKind::Branch { taken: slot, .. },
+            ..
+        }) = self.events.last_mut()
+        {
+            *slot = Some(taken);
+        }
+    }
+
+    fn on_halt(&mut self, step: u64, at: NodeId, _store: &Store) -> Self::Outcome {
+        self.events.push(TraceEvent {
+            step,
+            node: at,
+            what: "HALT".to_string(),
+            pc: self.taints.pc,
+            kind: TraceKind::Halt {
+                released: self.taints.halt_taint(),
+            },
+        });
+        std::mem::take(&mut self.events)
+    }
+
+    fn on_fuel(&mut self, _steps: u64) -> Self::Outcome {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// Runs the mechanism and the event stream in one pass: the verdict of
+/// [`crate::dynamic::run_surveillance`] plus one [`TraceEvent`] per
+/// executed box.
+///
+/// # Examples
+///
+/// ```
+/// use enf_core::IndexSet;
+/// use enf_flowchart::parse;
+/// use enf_surveillance::dynamic::SurvConfig;
+/// use enf_surveillance::monitor::run_trace;
+///
+/// let fc = parse("program(2) { y := x1; }").unwrap();
+/// let (out, events) = run_trace(&fc, &[5, 0], &SurvConfig::surveillance(IndexSet::single(2)));
+/// assert!(out.is_violation());
+/// // START, the assignment, HALT.
+/// assert_eq!(events.len(), 3);
+/// ```
+pub fn run_trace(fc: &Flowchart, inputs: &[V], cfg: &SurvConfig) -> (SurvOutcome, Vec<TraceEvent>) {
+    Stepper::new(fc).with_fuel(cfg.fuel).run(
+        inputs,
+        &mut Pair(
+            TaintMonitor::new(fc, *cfg),
+            EventMonitor::new(fc, cfg.style),
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::run_surveillance;
+    use enf_flowchart::parse;
+
+    #[test]
+    fn trace_verdict_matches_mechanism() {
+        let fc = parse("program(2) { y := x1; if x2 == 0 { y := 0; } }").unwrap();
+        for inputs in [[9, 0], [9, 5]] {
+            let cfg = SurvConfig::surveillance(IndexSet::single(2));
+            let (out, _) = run_trace(&fc, &inputs, &cfg);
+            assert_eq!(out, run_surveillance(&fc, &inputs, &cfg));
+        }
+    }
+
+    #[test]
+    fn trace_has_one_event_per_step() {
+        let fc = parse("program(1) { if x1 == 0 { y := 1; } else { y := 2; } }").unwrap();
+        let cfg = SurvConfig::surveillance(IndexSet::full(1));
+        let (out, events) = run_trace(&fc, &[0], &cfg);
+        match out {
+            SurvOutcome::Accepted { steps, .. } => assert_eq!(events.len() as u64, steps),
+            other => panic!("expected acceptance, got {other:?}"),
+        }
+        assert!(matches!(events[0].kind, TraceKind::Start));
+        assert!(matches!(
+            events.last().unwrap().kind,
+            TraceKind::Halt { .. }
+        ));
+    }
+
+    #[test]
+    fn branch_event_records_the_taken_path() {
+        let fc = parse("program(1) { if x1 == 0 { y := 1; } else { y := 2; } }").unwrap();
+        let cfg = SurvConfig::surveillance(IndexSet::full(1));
+        let (_, then_run) = run_trace(&fc, &[0], &cfg);
+        let (_, else_run) = run_trace(&fc, &[7], &cfg);
+        let taken = |evs: &[TraceEvent]| match evs.iter().find_map(|e| match e.kind {
+            TraceKind::Branch { taken, .. } => Some(taken),
+            _ => None,
+        }) {
+            Some(t) => t,
+            None => panic!("no branch event"),
+        };
+        assert_eq!(taken(&then_run), Some(true));
+        assert_eq!(taken(&else_run), Some(false));
+    }
+
+    #[test]
+    fn vetoed_branch_keeps_taken_none() {
+        let fc = parse("program(1) { if x1 == 0 { y := 1; } else { y := 2; } }").unwrap();
+        let cfg = SurvConfig::timed(IndexSet::empty());
+        let (out, events) = run_trace(&fc, &[0], &cfg);
+        assert!(out.is_violation());
+        match events.last().unwrap().kind {
+            TraceKind::Branch { taken, .. } => assert_eq!(taken, None),
+            ref other => panic!("expected a branch event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_returns_events_so_far() {
+        let fc = parse("program(0) { while true { skip; } }").unwrap();
+        let cfg = SurvConfig::surveillance(IndexSet::empty()).with_fuel(10);
+        let (out, events) = run_trace(&fc, &[], &cfg);
+        assert_eq!(out, SurvOutcome::OutOfFuel);
+        assert_eq!(events.len(), 10);
+    }
+
+    #[test]
+    fn json_lines_are_well_formed() {
+        let fc = parse("program(1) { if x1 == 0 { y := 1; } else { y := 2; } }").unwrap();
+        let cfg = SurvConfig::surveillance(IndexSet::full(1));
+        let (_, events) = run_trace(&fc, &[0], &cfg);
+        for e in &events {
+            let line = e.to_json_line();
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"step\""), "{line}");
+            assert!(line.contains("\"kind\""), "{line}");
+        }
+        let assign = events
+            .iter()
+            .find(|e| matches!(e.kind, TraceKind::Assign { .. }))
+            .unwrap();
+        assert!(assign.to_json_line().contains("\"kind\": \"assign\""));
+    }
+
+    #[test]
+    fn json_escapes_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("\t\r"), "\\t\\r");
+    }
+
+    #[test]
+    fn accumulate_event_deltas_keep_old_taint() {
+        let fc = parse("program(2) { y := x1; y := x2; }").unwrap();
+        let (_, events) = run_trace(&fc, &[1, 2], &SurvConfig::highwater(IndexSet::full(2)));
+        let deltas: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceKind::Assign { before, after, .. } => Some((before, after)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(deltas[0], (IndexSet::empty(), IndexSet::single(1)));
+        assert_eq!(
+            deltas[1],
+            (IndexSet::single(1), IndexSet::from_iter([1, 2]))
+        );
+    }
+}

@@ -18,9 +18,11 @@
 
 use enf_core::{IndexSet, MechOutput, Mechanism, Notice, V};
 use enf_flowchart::analysis::PostDominators;
-use enf_flowchart::graph::{Flowchart, Node, NodeId, Succ};
+use enf_flowchart::ast::{Expr, Pred, Var};
+use enf_flowchart::graph::{Flowchart, Node, NodeId};
 use enf_flowchart::interp::{ExecValue, Store};
 use enf_flowchart::parse;
+use enf_flowchart::stepper::{Monitor, Stepper};
 use enf_surveillance::TaintState;
 
 /// Which ingredient to sabotage.
@@ -53,6 +55,80 @@ impl Mutant {
     }
 }
 
+/// The sabotaged discipline as a stepper monitor — the mutants share the
+/// engine with the real mechanism and differ only in their hooks, so a
+/// conviction really pins the *discipline* ingredient, not loop plumbing.
+struct MutantMonitor<'a> {
+    pd: &'a PostDominators,
+    allowed: IndexSet,
+    mutation: Mutation,
+    taints: TaintState,
+    // For ScopedPc: a stack of (join point, saved PC taint).
+    joins: Vec<(NodeId, IndexSet)>,
+}
+
+impl Monitor for MutantMonitor<'_> {
+    type Outcome = MechOutput<ExecValue>;
+
+    fn on_step(&mut self, _step: u64, at: NodeId, _node: &Node) {
+        if self.mutation == Mutation::ScopedPc {
+            while let Some(&(join, saved)) = self.joins.last() {
+                if at == join {
+                    self.taints.pc = saved;
+                    self.joins.pop();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn on_assign(&mut self, _step: u64, _at: NodeId, var: Var, expr: &Expr, _store: &Store) {
+        let t = self.taints.expr_taint(expr).union(&self.taints.pc);
+        self.taints.set(var, t);
+    }
+
+    fn on_decision(
+        &mut self,
+        _step: u64,
+        at: NodeId,
+        pred: &Pred,
+        _store: &Store,
+    ) -> Option<Self::Outcome> {
+        match self.mutation {
+            Mutation::NoPcTaint => {}
+            Mutation::ScopedPc => {
+                if let Some(join) = self.pd.immediate(at) {
+                    self.joins.push((join, self.taints.pc));
+                }
+                let t = self.taints.pred_taint(pred);
+                self.taints.pc.union_with(&t);
+            }
+            _ => {
+                let t = self.taints.pred_taint(pred);
+                self.taints.pc.union_with(&t);
+            }
+        }
+        None
+    }
+
+    fn on_halt(&mut self, _step: u64, _at: NodeId, store: &Store) -> Self::Outcome {
+        let check = match self.mutation {
+            Mutation::YOnlyHalt => self.taints.get(Var::Out),
+            _ => self.taints.halt_taint(),
+        };
+        if check.is_subset(&self.allowed) {
+            MechOutput::Value(ExecValue::Value(store.output()))
+        } else {
+            MechOutput::Violation(Notice::lambda())
+        }
+    }
+
+    fn on_fuel(&mut self, _steps: u64) -> Self::Outcome {
+        MechOutput::Value(ExecValue::Diverged)
+    }
+}
+
 impl Mechanism for Mutant {
     type Out = ExecValue;
 
@@ -62,84 +138,16 @@ impl Mechanism for Mutant {
 
     fn run(&self, input: &[V]) -> MechOutput<ExecValue> {
         let pd = PostDominators::compute(&self.fc);
-        let mut store = Store::init(&self.fc, input);
-        let mut taints = TaintState::init(self.fc.arity(), self.fc.max_reg());
-        // For ScopedPc: a stack of (join point, saved PC taint).
-        let mut joins: Vec<(NodeId, IndexSet)> = Vec::new();
-        let mut at = self.fc.start();
-        let mut fuel = 1_000_000u64;
-        loop {
-            if fuel == 0 {
-                return MechOutput::Value(ExecValue::Diverged);
-            }
-            fuel -= 1;
-            if self.mutation == Mutation::ScopedPc {
-                while let Some(&(join, saved)) = joins.last() {
-                    if at == join {
-                        taints.pc = saved;
-                        joins.pop();
-                    } else {
-                        break;
-                    }
-                }
-            }
-            match self.fc.node(at) {
-                Node::Start => {
-                    at = match self.fc.succ(at) {
-                        Succ::One(n) => n,
-                        _ => unreachable!(),
-                    };
-                }
-                Node::Assign { var, expr } => {
-                    let t = taints.expr_taint(expr).union(&taints.pc);
-                    taints.set(*var, t);
-                    let v = expr.eval(&|w| store.get(w));
-                    store.set(*var, v);
-                    at = match self.fc.succ(at) {
-                        Succ::One(n) => n,
-                        _ => unreachable!(),
-                    };
-                }
-                Node::Decision { pred } => {
-                    match self.mutation {
-                        Mutation::NoPcTaint => {}
-                        Mutation::ScopedPc => {
-                            if let Some(join) = pd.immediate(at) {
-                                joins.push((join, taints.pc));
-                            }
-                            let t = taints.pred_taint(pred);
-                            taints.pc.union_with(&t);
-                        }
-                        _ => {
-                            let t = taints.pred_taint(pred);
-                            taints.pc.union_with(&t);
-                        }
-                    }
-                    let taken = pred.eval(&|w| store.get(w));
-                    at = match self.fc.succ(at) {
-                        Succ::Cond { then_, else_ } => {
-                            if taken {
-                                then_
-                            } else {
-                                else_
-                            }
-                        }
-                        _ => unreachable!(),
-                    };
-                }
-                Node::Halt => {
-                    let check = match self.mutation {
-                        Mutation::YOnlyHalt => taints.get(enf_flowchart::ast::Var::Out),
-                        _ => taints.halt_taint(),
-                    };
-                    return if check.is_subset(&self.allowed) {
-                        MechOutput::Value(ExecValue::Value(store.output()))
-                    } else {
-                        MechOutput::Violation(Notice::lambda())
-                    };
-                }
-            }
-        }
+        let mut m = MutantMonitor {
+            pd: &pd,
+            allowed: self.allowed,
+            mutation: self.mutation,
+            taints: TaintState::init(self.fc.arity(), self.fc.max_reg()),
+            joins: Vec::new(),
+        };
+        Stepper::new(&self.fc)
+            .with_fuel(1_000_000)
+            .run(input, &mut m)
     }
 }
 

@@ -3,13 +3,14 @@
 //! ```text
 //! enforce run       <file.fc> --input 3,4 [--fuel N]
 //! enforce surveil   <file.fc> --allow 2 --input 3,4 [--timed] [--highwater]
+//! enforce trace     <file.fc> --input 3,4 [--allow 2] [--json] [--timed] [--highwater]
 //! enforce check     <file.fc> --allow 2 --span 3 [--timed] [--highwater] [--threads N]
 //! enforce certify   <file.fc> --allow 2 [--scoped | --value]
 //! enforce lint      <file.fc> --allow 2 [--json]
 //! enforce explain   <file.fc> --allow 2 --input 3,4
 //! enforce improve   <file.fc> --allow 2 --span 3 [--rounds N]
 //! enforce instrument <file.fc> --allow 2 [--timed] [--highwater] [--dot]
-//! enforce dot       <file.fc> [--taint [--scoped]]
+//! enforce dot       <file.fc> [--taint [--scoped | --input 3,4 [--allow 2]]]
 //! ```
 //!
 //! `<file.fc>` contains a program in the DSL (see the crate docs); `-` reads
@@ -76,14 +77,19 @@ fn usage() -> &'static str {
      commands:\n\
        run        execute the program        --input a,b [--fuel N]\n\
        surveil    run under surveillance     --allow J --input a,b [--timed] [--highwater]\n\
+       trace      per-step taint trace       --input a,b [--allow J] [--json] [--timed] [--highwater]\n\
        check      soundness over a grid      --allow J --span S [--timed] [--highwater] [--threads N]\n\
        certify    static certification       --allow J [--scoped | --value]\n\
        lint       static diagnostics         --allow J [--json]\n\
        explain    why a run violates         --allow J --input a,b\n\
        improve    transform search           --allow J --span S [--rounds N]\n\
        instrument emit the mechanism         --allow J [--timed] [--highwater] [--dot]\n\
-       dot        emit Graphviz of program   [--taint [--scoped]]\n\
-     J is a comma list of allowed input indices ('' = allow())."
+       dot        emit Graphviz of program   [--taint [--scoped | --input a,b [--allow J]]]\n\
+     J is a comma list of allowed input indices ('' = allow()).\n\
+     trace emits one line per executed box (taint deltas, PC taint, branch\n\
+     taken) and a final verdict; --json switches to JSONL. --allow defaults\n\
+     to every index (pure observation). dot --taint --input annotates the\n\
+     graph from the same dynamic trace instead of the static analysis."
 }
 
 fn read_source(path: &str) -> Result<String, String> {
@@ -184,6 +190,84 @@ fn run_cli(argv: Vec<String>) -> Result<String, String> {
                 }
                 SurvOutcome::OutOfFuel => {
                     let _ = writeln!(out, "out of fuel after {fuel} steps");
+                }
+            }
+        }
+        "trace" => {
+            let allow = parse_allow_or_full(&args, arity)?;
+            let input = parse_input(args.value("input")?, arity)?;
+            let cfg = base_config(&args, allow).with_fuel(fuel);
+            use enforcement::surveillance::dynamic::SurvOutcome;
+            use enforcement::surveillance::monitor::{run_trace, TraceKind};
+            let (verdict, events) = run_trace(&fc, &input, &cfg);
+            if args.has("json") {
+                for e in &events {
+                    let _ = writeln!(out, "{}", e.to_json_line());
+                }
+                let line = match &verdict {
+                    SurvOutcome::Accepted { y, steps } => {
+                        format!("{{\"verdict\": \"accepted\", \"y\": {y}, \"steps\": {steps}}}")
+                    }
+                    SurvOutcome::Violation { site, taint, steps } => format!(
+                        "{{\"verdict\": \"violation\", \"site\": {}, \"steps\": {steps}, \
+                         \"taint\": {}, \"disallowed\": {}}}",
+                        site.0,
+                        json_set(taint),
+                        json_set(&taint.difference(&allow))
+                    ),
+                    SurvOutcome::OutOfFuel => {
+                        format!("{{\"verdict\": \"out_of_fuel\", \"steps\": {fuel}}}")
+                    }
+                };
+                let _ = writeln!(out, "{line}");
+            } else {
+                for e in &events {
+                    let _ = match &e.kind {
+                        TraceKind::Start => {
+                            writeln!(out, "step {:>3} at {}: START", e.step, e.node)
+                        }
+                        TraceKind::Assign { before, after, .. } => writeln!(
+                            out,
+                            "step {:>3} at {}: {} [{before} -> {after}]  pc {}",
+                            e.step, e.node, e.what, e.pc
+                        ),
+                        TraceKind::Branch {
+                            taken,
+                            before,
+                            after,
+                        } => writeln!(
+                            out,
+                            "step {:>3} at {}: {} [{before} -> {after}]  {}",
+                            e.step,
+                            e.node,
+                            e.what,
+                            match taken {
+                                Some(true) => "(then)",
+                                Some(false) => "(else)",
+                                None => "(vetoed)",
+                            }
+                        ),
+                        TraceKind::Halt { released } => writeln!(
+                            out,
+                            "step {:>3} at {}: HALT  releases {released}",
+                            e.step, e.node
+                        ),
+                    };
+                }
+                match &verdict {
+                    SurvOutcome::Accepted { y, steps } => {
+                        let _ = writeln!(out, "accepted: y = {y} ({steps} steps)");
+                    }
+                    SurvOutcome::Violation { site, taint, steps } => {
+                        let _ = writeln!(
+                            out,
+                            "violation at {site} after {steps} steps: taint {taint}, disallowed {}",
+                            taint.difference(&allow)
+                        );
+                    }
+                    SurvOutcome::OutOfFuel => {
+                        let _ = writeln!(out, "out of fuel after {fuel} steps");
+                    }
                 }
             }
         }
@@ -297,7 +381,41 @@ fn run_cli(argv: Vec<String>) -> Result<String, String> {
             }
         }
         "dot" => {
-            if args.has("taint") {
+            if args.has("taint") && args.has("input") {
+                // Dynamic decoration: annotate each node with the taints the
+                // trace stream last observed there — the same stream behind
+                // `enforce trace` and `explain`.
+                use enforcement::surveillance::monitor::{run_trace, TraceKind};
+                let allow = parse_allow_or_full(&args, arity)?;
+                let input = parse_input(args.value("input")?, arity)?;
+                let cfg = base_config(&args, allow).with_fuel(fuel);
+                let (_, events) = run_trace(&fc, &input, &cfg);
+                let n = fc.iter().count();
+                let mut annotation: Vec<Option<String>> = vec![None; n];
+                let mut visited = vec![false; n];
+                for e in &events {
+                    visited[e.node.0] = true;
+                    annotation[e.node.0] = match &e.kind {
+                        TraceKind::Start => None,
+                        TraceKind::Assign { before, after, .. } => {
+                            Some(format!("{before} -> {after}  pc {}", e.pc))
+                        }
+                        TraceKind::Branch { before, after, .. } => {
+                            Some(format!("pc {before} -> {after}"))
+                        }
+                        TraceKind::Halt { released } => Some(format!("releases {released}")),
+                    };
+                }
+                let decor: Vec<NodeDecor> = annotation
+                    .into_iter()
+                    .zip(visited)
+                    .map(|(annotation, visited)| NodeDecor {
+                        annotation,
+                        dimmed: !visited,
+                    })
+                    .collect();
+                out.push_str(&to_dot_decorated(&fc, "program", &decor));
+            } else if args.has("taint") {
                 use enforcement::flowchart::ast::Var;
                 use enforcement::flowchart::graph::Node;
                 use enforcement::staticflow::{analyze, analyze_refined, analyze_values};
@@ -335,6 +453,20 @@ fn run_cli(argv: Vec<String>) -> Result<String, String> {
         }
     }
     Ok(out)
+}
+
+/// `--allow J` where omission means "every index" — pure observation.
+fn parse_allow_or_full(args: &Args, arity: usize) -> Result<IndexSet, String> {
+    match args.flag("allow") {
+        Some(Some(v)) => parse_allow(v, arity),
+        Some(None) => Err("--allow needs a value".into()),
+        None => Ok(IndexSet::full(arity)),
+    }
+}
+
+fn json_set(set: &IndexSet) -> String {
+    let items: Vec<String> = set.iter().map(|i| i.to_string()).collect();
+    format!("[{}]", items.join(", "))
 }
 
 fn base_config(args: &Args, allow: IndexSet) -> SurvConfig {

@@ -53,6 +53,66 @@ fn surveil_accepts_and_rejects() {
 }
 
 #[test]
+fn trace_streams_events_and_verdict() {
+    let (ok, out, _) = enforce(
+        &["trace", "-", "--allow", "2", "--input", "7,5"],
+        FORGETTING,
+    );
+    assert!(ok);
+    assert!(out.contains("START"), "{out}");
+    assert!(out.contains("y := x1 [{} -> {1}]"), "{out}");
+    assert!(out.contains("branch on x2 == 0"), "{out}");
+    assert!(out.contains("(else)"), "{out}");
+    assert!(out.contains("violation"), "{out}");
+    // Without --allow the trace is pure observation: everything released.
+    let (ok, out, _) = enforce(&["trace", "-", "--input", "7,5"], FORGETTING);
+    assert!(ok);
+    assert!(out.contains("accepted: y = 7"), "{out}");
+}
+
+#[test]
+fn trace_json_is_line_structured() {
+    let (ok, out, _) = enforce(
+        &["trace", "-", "--allow", "2", "--input", "7,5", "--json"],
+        FORGETTING,
+    );
+    assert!(ok);
+    let lines: Vec<&str> = out.lines().collect();
+    assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+    assert!(lines[0].contains("\"kind\": \"start\""), "{}", lines[0]);
+    assert!(
+        lines.last().unwrap().contains("\"verdict\": \"violation\""),
+        "{out}"
+    );
+    assert!(out.contains("\"disallowed\": [1]"), "{out}");
+}
+
+#[test]
+fn trace_timed_vetoes_the_branch() {
+    let (ok, out, _) = enforce(
+        &["trace", "-", "--allow", "", "--input", "7,5", "--timed"],
+        FORGETTING,
+    );
+    assert!(ok);
+    assert!(out.contains("(vetoed)"), "{out}");
+    assert!(out.contains("violation"), "{out}");
+}
+
+#[test]
+fn dot_taint_with_input_uses_the_dynamic_trace() {
+    let (ok, out, _) = enforce(
+        &["dot", "-", "--taint", "--input", "7,5", "--allow", "2"],
+        FORGETTING,
+    );
+    assert!(ok);
+    assert!(out.contains("digraph"), "{out}");
+    assert!(out.contains("releases {1, 2}"), "{out}");
+    // The untaken scrub `y := 0` is dimmed, exactly like unreachable nodes
+    // in the static rendering.
+    assert!(out.contains("style=dashed"), "{out}");
+}
+
+#[test]
 fn check_reports_soundness() {
     let (ok, out, _) = enforce(&["check", "-", "--allow", "2", "--span", "3"], FORGETTING);
     assert!(ok);

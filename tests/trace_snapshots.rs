@@ -1,0 +1,110 @@
+//! Snapshot tests for `enforce trace` output — human and JSONL — over the
+//! `.fc` programs in `examples/programs/`. The trace stream is a machine
+//! interface (JSONL consumers parse it line by line), so its shape is
+//! pinned as golden files alongside the flowlint snapshots.
+//!
+//! To accept intentional format changes, re-run with
+//! `UPDATE_SNAPSHOTS=1 cargo test --test trace_snapshots` and commit the
+//! regenerated files under `tests/snapshots/`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// (program file, allow spec, input tuple) per snapshot case.
+const CASES: &[(&str, &str, &str)] = &[
+    ("forgetting", "2", "9,0"),
+    ("forgetting", "2", "9,5"),
+    ("constant_guard", "2", "1,2"),
+    ("implicit_copy", "", "1"),
+    ("dead_store", "2", "3,4"),
+];
+
+fn repo_file(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn run_trace(program: &str, allow: &str, input: &str, json: bool) -> String {
+    let mut args = vec![
+        "trace".to_string(),
+        repo_file(&format!("examples/programs/{program}.fc"))
+            .to_string_lossy()
+            .into_owned(),
+        "--allow".to_string(),
+        allow.to_string(),
+        "--input".to_string(),
+        input.to_string(),
+    ];
+    if json {
+        args.push("--json".to_string());
+    }
+    let out = Command::new(env!("CARGO_BIN_EXE_enforce"))
+        .args(&args)
+        .output()
+        .expect("spawn enforce");
+    assert!(
+        out.status.success(),
+        "enforce trace failed on {program}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+fn check_snapshot(name: &str, actual: &str) {
+    let path = repo_file(&format!("tests/snapshots/{name}"));
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(&path, actual).expect("write snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); run with UPDATE_SNAPSHOTS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "snapshot mismatch for {name}; run with UPDATE_SNAPSHOTS=1 to accept"
+    );
+}
+
+fn case_name(program: &str, input: &str) -> String {
+    format!(
+        "trace_{program}_{}",
+        input.replace(',', "_").replace('-', "m")
+    )
+}
+
+#[test]
+fn human_trace_matches_snapshots() {
+    for (program, allow, input) in CASES {
+        let out = run_trace(program, allow, input, false);
+        check_snapshot(&format!("{}.txt", case_name(program, input)), &out);
+    }
+}
+
+#[test]
+fn jsonl_trace_matches_snapshots() {
+    for (program, allow, input) in CASES {
+        let out = run_trace(program, allow, input, true);
+        check_snapshot(&format!("{}.jsonl", case_name(program, input)), &out);
+    }
+}
+
+/// Every JSONL line is a single well-formed-looking object with the fields
+/// consumers key on — a shape check that holds whatever the snapshot says.
+#[test]
+fn jsonl_lines_have_the_expected_fields() {
+    for (program, allow, input) in CASES {
+        let out = run_trace(program, allow, input, true);
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines.len() >= 2, "{program}: trace too short:\n{out}");
+        let (events, verdict) = lines.split_at(lines.len() - 1);
+        for line in events {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"step\""), "{line}");
+            assert!(line.contains("\"kind\""), "{line}");
+            assert!(line.contains("\"pc\""), "{line}");
+        }
+        assert!(verdict[0].contains("\"verdict\""), "{}", verdict[0]);
+    }
+}
