@@ -27,16 +27,32 @@ pub mod test_runner {
         pub cases: u32,
     }
 
+    /// Operator override for the case count: a `PROPTEST_CASES`
+    /// environment variable (a positive integer) wins over both the
+    /// default and source-level `with_cases` values, so CI can crank up
+    /// coverage (or a developer crank it down) without touching code.
+    fn env_cases() -> Option<u32> {
+        std::env::var("PROPTEST_CASES")
+            .ok()?
+            .trim()
+            .parse()
+            .ok()
+            .filter(|n| *n > 0)
+    }
+
     impl ProptestConfig {
-        /// A configuration running `cases` cases per test.
+        /// A configuration running `cases` cases per test (unless
+        /// overridden by `PROPTEST_CASES`).
         pub fn with_cases(cases: u32) -> Self {
-            ProptestConfig { cases }
+            ProptestConfig {
+                cases: env_cases().unwrap_or(cases),
+            }
         }
     }
 
     impl Default for ProptestConfig {
         fn default() -> Self {
-            ProptestConfig { cases: 64 }
+            ProptestConfig::with_cases(64)
         }
     }
 

@@ -1,9 +1,10 @@
 //! Runs every experiment (E1–E18) and prints the tables EXPERIMENTS.md
 //! records. `--markdown` emits GitHub-flavored markdown instead of the
 //! aligned terminal form. Also measures checker throughput (sequential vs
-//! parallel engine) and the stepper-vs-seed-loop interpreter overhead,
-//! writing both to `BENCH_results.json` (`{"throughput": [...],
-//! "stepper_overhead": [...]}`); skip with `--no-bench`.
+//! parallel engine), the stepper-vs-seed-loop interpreter overhead, and
+//! the checkpointed-sweep overhead (bar ≤3%), writing all three to
+//! `BENCH_results.json` (`{"throughput": [...], "stepper_overhead":
+//! [...], "checkpoint_overhead": [...]}`); skip with `--no-bench`.
 
 fn main() {
     let markdown = std::env::args().any(|a| a == "--markdown");
@@ -50,10 +51,23 @@ fn main() {
                 r.overhead() * 100.0
             );
         }
+        let ckpt = enf_bench::checkpoint::measure(20);
+        for r in &ckpt {
+            println!(
+                "{:<16} {:>9} tuples  plain {:>10.6}s  checkpointed(block {}) {:>10.6}s  overhead {:>+6.2}%",
+                r.domain,
+                r.tuples,
+                r.plain_secs,
+                r.block,
+                r.checkpointed_secs,
+                r.overhead * 100.0
+            );
+        }
         let json = format!(
-            "{{\n\"throughput\": {},\n\"stepper_overhead\": {}\n}}\n",
+            "{{\n\"throughput\": {},\n\"stepper_overhead\": {},\n\"checkpoint_overhead\": {}\n}}\n",
             enf_bench::throughput::to_json(&rows),
-            enf_bench::stepper::to_json(&overhead)
+            enf_bench::stepper::to_json(&overhead),
+            enf_bench::checkpoint::to_json(&ckpt)
         );
         match std::fs::write("BENCH_results.json", &json) {
             Ok(()) => println!("wrote BENCH_results.json"),

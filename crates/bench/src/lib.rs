@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod report;
 pub mod stepper;

@@ -12,8 +12,9 @@
 //! not result in a violation notice").
 
 use crate::domain::InputDomain;
+use crate::error::{Coverage, EnfError};
 use crate::mechanism::Mechanism;
-use crate::par::{partition_fold, EvalConfig};
+use crate::par::{partition_fold, try_partition_fold, CancelToken, EvalConfig};
 use crate::value::V;
 
 /// How two mechanisms' acceptance sets relate over a domain.
@@ -177,6 +178,11 @@ where
         });
         p
     });
+    reduce_compare(partials)
+}
+
+/// Merges compare partials in range order into a report.
+fn reduce_compare(partials: Vec<ComparePartial>) -> CompletenessReport {
     let total = partials
         .into_iter()
         .reduce(|mut acc, p| {
@@ -207,6 +213,83 @@ where
     }
 }
 
+/// Fault-tolerant [`compare`]: a panicking mechanism is quarantined
+/// instead of unwinding, and the sweep honors the cancellation token.
+///
+/// The ordering is a statement about the *whole* domain, so there is no
+/// refuting witness to salvage from a partial sweep: the result is
+/// `Confirmed` with the full report on complete coverage, `Unknown` with
+/// no report when cancelled, and `Err(SubjectPanicked)` on any quarantine
+/// (with the least offending index, deterministic for every thread count).
+pub fn try_compare_with<M1, M2>(
+    m1: &M1,
+    m2: &M2,
+    domain: &dyn InputDomain,
+    config: &EvalConfig,
+    ctl: &CancelToken,
+) -> Result<Coverage<CompletenessReport>, EnfError>
+where
+    M1: Mechanism + Sync,
+    M2: Mechanism + Sync,
+{
+    assert_eq!(
+        m1.arity(),
+        m2.arity(),
+        "mechanisms have different arities ({} vs {})",
+        m1.arity(),
+        m2.arity()
+    );
+    assert_eq!(
+        domain.arity(),
+        m1.arity(),
+        "domain arity {} does not match mechanism arity {}",
+        domain.arity(),
+        m1.arity()
+    );
+    let total = domain.len();
+    let partials = try_partition_fold(domain, config, ctl, |range, ctx| {
+        let mut p = ComparePartial::default();
+        domain.visit_range(range, &mut |idx, a| {
+            // The cutoff is only ever proposed by a quarantine here: keep
+            // scanning below the least faulty index so the reported error
+            // is deterministic, stop above it.
+            if ctx.cutoff().passed(idx) || ctx.stop_requested(idx) {
+                return false;
+            }
+            let Some((ok1, ok2)) = ctx.guard(idx, || (m1.run(a).is_value(), m2.run(a).is_value()))
+            else {
+                return false;
+            };
+            p.inputs += 1;
+            if ok1 {
+                p.accepted_first += 1;
+            }
+            if ok2 {
+                p.accepted_second += 1;
+            }
+            if ok1 && !ok2 {
+                p.only_first += 1;
+                if p.witness_first.is_none() {
+                    p.witness_first = Some((idx, a.to_vec()));
+                }
+            } else if ok2 && !ok1 {
+                p.only_second += 1;
+                if p.witness_second.is_none() {
+                    p.witness_second = Some((idx, a.to_vec()));
+                }
+            }
+            true
+        });
+        p
+    });
+    partials.resolve_quarantine(None)?;
+    if partials.complete {
+        Ok(Coverage::confirmed(total, reduce_compare(partials.parts)))
+    } else {
+        Ok(Coverage::unknown(partials.checked, total))
+    }
+}
+
 /// Computes the acceptance set of a mechanism over a domain: the inputs on
 /// which it returns a program output.
 pub fn acceptance_set<M: Mechanism + Sync>(m: &M, domain: &dyn InputDomain) -> Vec<Vec<V>> {
@@ -233,6 +316,47 @@ pub fn acceptance_set_with<M: Mechanism + Sync>(
         accepted
     });
     partials.into_iter().flatten().collect()
+}
+
+/// Fault-tolerant [`acceptance_set`]: quarantines panics and honors the
+/// cancellation token.
+///
+/// Like [`try_compare_with`], a partial acceptance set is not a usable
+/// acceptance set (absence from it would be ambiguous), so the result is
+/// `Confirmed` with the full set, `Unknown` with no report when
+/// cancelled, or `Err(SubjectPanicked)` on any quarantine.
+pub fn try_acceptance_set_with<M: Mechanism + Sync>(
+    m: &M,
+    domain: &dyn InputDomain,
+    config: &EvalConfig,
+    ctl: &CancelToken,
+) -> Result<Coverage<Vec<Vec<V>>>, EnfError> {
+    let total = domain.len();
+    let partials = try_partition_fold(domain, config, ctl, |range, ctx| {
+        let mut accepted = Vec::new();
+        domain.visit_range(range, &mut |idx, a| {
+            if ctx.cutoff().passed(idx) || ctx.stop_requested(idx) {
+                return false;
+            }
+            let Some(ok) = ctx.guard(idx, || m.run(a).is_value()) else {
+                return false;
+            };
+            if ok {
+                accepted.push(a.to_vec());
+            }
+            true
+        });
+        accepted
+    });
+    partials.resolve_quarantine(None)?;
+    if partials.complete {
+        Ok(Coverage::confirmed(
+            total,
+            partials.parts.into_iter().flatten().collect(),
+        ))
+    } else {
+        Ok(Coverage::unknown(partials.checked, total))
+    }
 }
 
 #[cfg(test)]

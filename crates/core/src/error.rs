@@ -1,0 +1,191 @@
+//! Structured errors and partial verdicts for fault-tolerant sweeps.
+//!
+//! The paper's mechanism `M` must *always* answer — either `Q(a)` or a
+//! violation notice. The exhaustive checkers inherit that obligation: a
+//! sweep over a million inputs must not vanish in a panic two hours in,
+//! and a sweep cut short by a deadline must still say what it learned.
+//! This module holds the vocabulary for both:
+//!
+//! * [`EnfError`] — why a sweep could not produce a verdict at all. A
+//!   panicking subject (program, mechanism, or monitor under test) is
+//!   *quarantined*: the engine stops cleanly and reports the offending
+//!   input index instead of unwinding through the caller.
+//! * [`Coverage`] — a sweep's answer *with its evidence budget attached*:
+//!   how many inputs were actually checked, out of how many, and whether
+//!   the property was [`Verdict::Confirmed`] (full coverage, no
+//!   counterexample), [`Verdict::Refuted`] (a genuine counterexample was
+//!   found — valid under any coverage), or [`Verdict::Unknown`]
+//!   (cancelled or deadline-expired before an answer).
+//!
+//! The design is fail-closed: no fault — panic, cancellation, deadline —
+//! can ever turn into a `Confirmed` verdict. Confirmation requires the
+//! whole domain, checked to completion, with nothing quarantined.
+
+use std::fmt;
+
+/// Why a fault-tolerant sweep could not reach a verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnfError {
+    /// The subject under test (program, mechanism, or monitor) panicked
+    /// while evaluating the input at `input_index` (enumeration order).
+    ///
+    /// The engine quarantines the input instead of unwinding: workers stop
+    /// cooperatively and the least offending index is reported, so the
+    /// error is deterministic for every thread count.
+    SubjectPanicked {
+        /// Enumeration index of the offending input tuple.
+        input_index: usize,
+        /// The panic payload, rendered as a string.
+        payload: String,
+    },
+    /// A checkpoint file could not be read, written, or understood, or a
+    /// resume was attempted against a checkpoint from a different sweep.
+    Checkpoint {
+        /// Human-readable description of the failure.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EnfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnfError::SubjectPanicked {
+                input_index,
+                payload,
+            } => write!(
+                f,
+                "subject panicked on input #{input_index} (quarantined): {payload}"
+            ),
+            EnfError::Checkpoint { reason } => write!(f, "checkpoint error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EnfError {}
+
+/// What a (possibly partial) sweep established.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every input was checked and none refuted the property.
+    Confirmed,
+    /// A genuine counterexample was found. A counterexample is valid
+    /// evidence regardless of coverage, so `Refuted` can be reported from
+    /// a partial sweep.
+    Refuted,
+    /// The sweep was cut short (deadline, cancellation) before finding a
+    /// counterexample; nothing is claimed about the unchecked inputs.
+    Unknown,
+}
+
+/// A sweep result carrying its coverage: how much of the domain was
+/// checked, the verdict, and the underlying report when one exists.
+///
+/// `report` is `None` on [`Verdict::Unknown`] and `Some` on
+/// [`Verdict::Refuted`] (the refuting witness/report). On
+/// [`Verdict::Confirmed`] it carries the checker's full report when the
+/// checker builds one; witness-style scans confirm with `None` — the
+/// absence of a witness *is* the report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coverage<R> {
+    /// Number of inputs known to have been evaluated (for partial sweeps,
+    /// the contiguous prefix `0..checked` of the enumeration order).
+    pub checked: usize,
+    /// Total number of inputs in the domain.
+    pub total: usize,
+    /// What the sweep established.
+    pub verdict: Verdict,
+    /// The checker's report, when the verdict is decisive.
+    pub report: Option<R>,
+}
+
+impl<R> Coverage<R> {
+    /// A full-coverage confirmation with its report.
+    pub fn confirmed(total: usize, report: R) -> Self {
+        Coverage {
+            checked: total,
+            total,
+            verdict: Verdict::Confirmed,
+            report: Some(report),
+        }
+    }
+
+    /// A refutation found after checking `checked` of `total` inputs.
+    pub fn refuted(checked: usize, total: usize, report: R) -> Self {
+        Coverage {
+            checked,
+            total,
+            verdict: Verdict::Refuted,
+            report: Some(report),
+        }
+    }
+
+    /// An inconclusive partial sweep.
+    pub fn unknown(checked: usize, total: usize) -> Self {
+        Coverage {
+            checked,
+            total,
+            verdict: Verdict::Unknown,
+            report: None,
+        }
+    }
+
+    /// Whether the sweep covered the whole domain.
+    pub fn is_complete(&self) -> bool {
+        self.checked == self.total
+    }
+
+    /// Maps the report type.
+    pub fn map<T>(self, f: impl FnOnce(R) -> T) -> Coverage<T> {
+        Coverage {
+            checked: self.checked,
+            total: self.total,
+            verdict: self.verdict,
+            report: self.report.map(f),
+        }
+    }
+}
+
+impl<R> fmt::Display for Coverage<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = match self.verdict {
+            Verdict::Confirmed => "confirmed",
+            Verdict::Refuted => "refuted",
+            Verdict::Unknown => "unknown",
+        };
+        write!(f, "{v} ({} of {} inputs checked)", self.checked, self.total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EnfError::SubjectPanicked {
+            input_index: 42,
+            payload: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("#42") && s.contains("boom") && s.contains("quarantined"));
+        let e = EnfError::Checkpoint {
+            reason: "bad json".into(),
+        };
+        assert!(e.to_string().contains("bad json"));
+    }
+
+    #[test]
+    fn coverage_constructors() {
+        let c: Coverage<u32> = Coverage::confirmed(10, 7);
+        assert!(c.is_complete());
+        assert_eq!(c.verdict, Verdict::Confirmed);
+        assert_eq!(c.report, Some(7));
+        let c: Coverage<u32> = Coverage::unknown(3, 10);
+        assert!(!c.is_complete());
+        assert_eq!(c.report, None);
+        assert_eq!(c.to_string(), "unknown (3 of 10 inputs checked)");
+        let c: Coverage<u32> = Coverage::refuted(4, 10, 9);
+        assert_eq!(c.verdict, Verdict::Refuted);
+        assert_eq!(c.map(|r| r + 1).report, Some(10));
+    }
+}

@@ -10,6 +10,7 @@
 //! the first operand's notice.
 
 use crate::mechanism::{MechOutput, Mechanism};
+use crate::notice::Notice;
 use crate::value::V;
 
 /// The join `M1 ∨ M2` of two mechanisms for the same program.
@@ -150,7 +151,10 @@ impl<O: Clone + PartialEq + std::fmt::Debug> Mechanism for JoinAll<O> {
                 }
             }
         }
-        MechOutput::Violation(first_notice.expect("non-empty family"))
+        // `JoinAll::new` rejects empty families, so every member has run
+        // and the first notice is always set; Λ is an unreachable fallback
+        // kept so the mechanism itself can never panic.
+        MechOutput::Violation(first_notice.unwrap_or_else(Notice::lambda))
     }
 }
 

@@ -38,13 +38,18 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod ambiguity;
+pub mod chaos;
+pub mod checkpoint;
 pub mod completeness;
 pub mod domain;
+pub mod error;
 pub mod indexset;
 pub mod integrity;
 pub mod join;
+pub mod json;
 pub mod lattice;
 pub mod maximal;
 pub mod mechanism;
@@ -58,9 +63,11 @@ pub mod soundness;
 pub mod value;
 
 pub use completeness::{
-    acceptance_set, acceptance_set_with, compare, compare_with, CompletenessReport, MechOrdering,
+    acceptance_set, acceptance_set_with, compare, compare_with, try_acceptance_set_with,
+    try_compare_with, CompletenessReport, MechOrdering,
 };
 pub use domain::{Explicit, Grid, InputDomain};
+pub use error::{Coverage, EnfError, Verdict};
 pub use indexset::IndexSet;
 pub use integrity::{check_preservation, PreservationReport};
 pub use join::{Join, JoinAll};
@@ -68,11 +75,13 @@ pub use maximal::MaximalMechanism;
 pub use mechanism::{FnMechanism, Identity, MechOutput, Mechanism, Plug};
 pub use notice::Notice;
 pub use observability::{Timed, TimedProgram, WithTime};
-pub use par::EvalConfig;
+pub use par::{CancelToken, EvalConfig};
 pub use policy::{Allow, FnPolicy, Policy};
 pub use program::{FnProgram, Program};
 pub use quantitative::{measure_leak, LeakReport};
 pub use soundness::{
-    check_protection, check_protection_with, check_soundness, check_soundness_with, SoundnessReport,
+    check_protection, check_protection_with, check_soundness, check_soundness_with,
+    try_check_protection, try_check_protection_with, try_check_soundness, try_check_soundness_with,
+    SoundnessReport,
 };
 pub use value::V;

@@ -17,9 +17,10 @@
 //! exhausted before an answer is reached.
 
 use crate::domain::InputDomain;
+use crate::error::{Coverage, EnfError};
 use crate::mechanism::{MechOutput, Mechanism};
 use crate::notice::Notice;
-use crate::par::{partition_fold, EvalConfig};
+use crate::par::{partition_fold, try_partition_fold, CancelToken, EvalConfig};
 use crate::policy::Policy;
 use crate::program::Program;
 use crate::value::{BoxedFn, V};
@@ -157,6 +158,101 @@ where
                 "input outside construction domain",
             ),
         }
+    }
+
+    /// Fault-tolerant [`build`](MaximalMechanism::build): a panicking
+    /// program or policy is quarantined instead of unwinding, and the
+    /// scan honors the cancellation token.
+    ///
+    /// A partially built maximal mechanism would silently misclassify the
+    /// unscanned part of the domain as out-of-domain, so there is no
+    /// partial result: the outcome is `Confirmed` with the mechanism on
+    /// complete coverage, `Unknown` with no mechanism when cancelled, or
+    /// `Err(SubjectPanicked)` on any quarantine (least offending index,
+    /// deterministic for every thread count).
+    pub fn try_build_with<Q, P>(
+        program: &Q,
+        policy: &P,
+        domain: &dyn InputDomain,
+        config: &EvalConfig,
+        ctl: &CancelToken,
+    ) -> Result<Coverage<Self>, EnfError>
+    where
+        Q: Program<Out = O> + Sync,
+        P: Policy<View = W> + Clone + Send + Sync + 'static,
+        W: Send,
+        O: Send,
+    {
+        assert_eq!(
+            program.arity(),
+            policy.arity(),
+            "program/policy arity mismatch"
+        );
+        assert_eq!(
+            domain.arity(),
+            policy.arity(),
+            "domain/policy arity mismatch"
+        );
+        let total = domain.len();
+        let partials = try_partition_fold(domain, config, ctl, |range, ctx| {
+            let mut classes: HashMap<W, Option<O>> = HashMap::new();
+            domain.visit_range(range, &mut |idx, a| {
+                // The cutoff is only proposed by quarantines here: scan
+                // below the least faulty index, stop above it.
+                if ctx.cutoff().passed(idx) || ctx.stop_requested(idx) {
+                    return false;
+                }
+                let Some((view, out)) = ctx.guard(idx, || (policy.filter(a), program.eval(a)))
+                else {
+                    return false;
+                };
+                match classes.entry(view) {
+                    Entry::Vacant(e) => {
+                        e.insert(Some(out));
+                    }
+                    Entry::Occupied(mut e) => {
+                        if matches!(e.get(), Some(prev) if *prev != out) {
+                            e.insert(None);
+                        }
+                    }
+                }
+                true
+            });
+            classes
+        });
+        partials.resolve_quarantine(None)?;
+        if !partials.complete {
+            return Ok(Coverage::unknown(partials.checked, total));
+        }
+        let mut classes: HashMap<W, Option<O>> = HashMap::new();
+        for partial in partials.parts {
+            for (view, value) in partial {
+                match classes.entry(view) {
+                    Entry::Vacant(e) => {
+                        e.insert(value);
+                    }
+                    Entry::Occupied(mut e) => {
+                        if *e.get() != value {
+                            e.insert(None);
+                        }
+                    }
+                }
+            }
+        }
+        let p = policy.clone();
+        Ok(Coverage::confirmed(
+            total,
+            MaximalMechanism {
+                arity: program.arity(),
+                classes,
+                filter: Box::new(move |a| p.filter(a)),
+                violation: Notice::new(Self::VIOLATION_CODE, "policy violation"),
+                out_of_domain: Notice::new(
+                    Self::OUT_OF_DOMAIN_CODE,
+                    "input outside construction domain",
+                ),
+            },
+        ))
     }
 
     /// Number of `I`-equivalence classes discovered.

@@ -16,8 +16,9 @@
 //! found witness is a real leak) but not a verifier.
 
 use crate::domain::InputDomain;
+use crate::error::{Coverage, EnfError, Verdict};
 use crate::mechanism::{MechOutput, Mechanism};
-use crate::par::{find_first, partition_fold, EvalConfig};
+use crate::par::{find_first, partition_fold, try_find_first, CancelToken, Cutoff, EvalConfig};
 use crate::policy::Policy;
 use crate::program::Program;
 use crate::value::V;
@@ -113,18 +114,125 @@ where
 
 /// Occurrence of an input tuple during the scan: its enumeration index, the
 /// tuple, and the mechanism's output on it.
-struct Occurrence<O> {
-    idx: usize,
-    input: Vec<V>,
-    out: MechOutput<O>,
+///
+/// `pub(crate)` so the checkpointed sweep ([`crate::checkpoint`]) can
+/// persist and restore class state.
+pub(crate) struct Occurrence<O> {
+    pub(crate) idx: usize,
+    pub(crate) input: Vec<V>,
+    pub(crate) out: MechOutput<O>,
 }
 
 /// Per-class partial state accumulated by one worker over its index range.
-struct ClassState<O> {
+pub(crate) struct ClassState<O> {
     /// First occurrence of the class in the range.
-    rep: Occurrence<O>,
+    pub(crate) rep: Occurrence<O>,
     /// First occurrence in the range whose output differs from `rep`'s.
-    conflict: Option<Occurrence<O>>,
+    pub(crate) conflict: Option<Occurrence<O>>,
+}
+
+/// Folds one evaluated input into a worker's per-class state, proposing
+/// any conflict index to the cutoff.
+pub(crate) fn record_input<W, O>(
+    seen: &mut HashMap<W, ClassState<O>>,
+    idx: usize,
+    a: &[V],
+    view: W,
+    out: MechOutput<O>,
+    cutoff: &Cutoff,
+) where
+    W: Eq + std::hash::Hash,
+    O: PartialEq,
+{
+    match seen.entry(view) {
+        Entry::Vacant(e) => {
+            e.insert(ClassState {
+                rep: Occurrence {
+                    idx,
+                    input: a.to_vec(),
+                    out,
+                },
+                conflict: None,
+            });
+        }
+        Entry::Occupied(mut e) => {
+            let state = e.get_mut();
+            if state.conflict.is_none() && state.rep.out != out {
+                state.conflict = Some(Occurrence {
+                    idx,
+                    input: a.to_vec(),
+                    out,
+                });
+                cutoff.propose(idx);
+            }
+        }
+    }
+}
+
+/// Merges one worker's per-class partial into the accumulated map.
+///
+/// Partials **must** be merged in range order: the accumulated
+/// representative is then the globally first occurrence of each class, and
+/// each recorded conflict is the least index disagreeing with it — exactly
+/// the sequential semantics, for every thread count.
+pub(crate) fn merge_class_partial<W, O>(
+    merged: &mut HashMap<W, ClassState<O>>,
+    partial: HashMap<W, ClassState<O>>,
+) where
+    W: Eq + std::hash::Hash,
+    O: PartialEq,
+{
+    for (view, state) in partial {
+        match merged.entry(view) {
+            Entry::Vacant(e) => {
+                e.insert(state);
+            }
+            Entry::Occupied(mut e) => {
+                let m = e.get_mut();
+                // The least index in `state`'s range disagreeing with
+                // the global representative: the range's own first
+                // occurrence if it already disagrees, else the range's
+                // recorded conflict (which disagrees with the shared
+                // representative output).
+                let candidate = if state.rep.out != m.rep.out {
+                    Some(state.rep)
+                } else {
+                    state.conflict
+                };
+                if let Some(c) = candidate {
+                    if m.conflict.as_ref().is_none_or(|mc| c.idx < mc.idx) {
+                        m.conflict = Some(c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Class count plus the winning `(representative, conflict)` pair, if any.
+pub(crate) type LeastConflict<O> = (usize, Option<(Occurrence<O>, Occurrence<O>)>);
+
+/// The least-index conflict across all classes, paired with its class
+/// representative, consuming the map.
+pub(crate) fn least_conflict<W, O>(merged: HashMap<W, ClassState<O>>) -> LeastConflict<O> {
+    let classes = merged.len();
+    let witness = merged
+        .into_values()
+        .filter_map(|s| s.conflict.map(|c| (s.rep, c)))
+        .min_by_key(|(_, c)| c.idx);
+    (classes, witness)
+}
+
+/// Asserts the three arities agree; shared by every soundness entry point.
+fn assert_soundness_arities(mech_arity: usize, policy_arity: usize, domain_arity: usize) {
+    assert_eq!(
+        mech_arity, policy_arity,
+        "mechanism arity {mech_arity} does not match policy arity {policy_arity}"
+    );
+    assert_eq!(
+        domain_arity, policy_arity,
+        "domain arity {domain_arity} does not match policy arity {policy_arity}"
+    );
 }
 
 /// Like [`check_soundness`] but with an explicit evaluation configuration.
@@ -150,20 +258,7 @@ where
     P: Policy + Sync,
     P::View: Send,
 {
-    assert_eq!(
-        mechanism.arity(),
-        policy.arity(),
-        "mechanism arity {} does not match policy arity {}",
-        mechanism.arity(),
-        policy.arity()
-    );
-    assert_eq!(
-        domain.arity(),
-        policy.arity(),
-        "domain arity {} does not match policy arity {}",
-        domain.arity(),
-        policy.arity()
-    );
+    assert_soundness_arities(mechanism.arity(), policy.arity(), domain.arity());
     let partials = partition_fold(domain, config, |range, cutoff| {
         let mut seen: HashMap<P::View, ClassState<M::Out>> = HashMap::new();
         domain.visit_range(range, &mut |idx, a| {
@@ -177,29 +272,7 @@ where
             if collapse_notices {
                 out = out.collapse_notice();
             }
-            match seen.entry(view) {
-                Entry::Vacant(e) => {
-                    e.insert(ClassState {
-                        rep: Occurrence {
-                            idx,
-                            input: a.to_vec(),
-                            out,
-                        },
-                        conflict: None,
-                    });
-                }
-                Entry::Occupied(mut e) => {
-                    let state = e.get_mut();
-                    if state.conflict.is_none() && state.rep.out != out {
-                        state.conflict = Some(Occurrence {
-                            idx,
-                            input: a.to_vec(),
-                            out,
-                        });
-                        cutoff.propose(idx);
-                    }
-                }
-            }
+            record_input(&mut seen, idx, a, view, out, cutoff);
             true
         });
         seen
@@ -210,40 +283,12 @@ where
     // the least index disagreeing with that representative.
     let mut merged: HashMap<P::View, ClassState<M::Out>> = HashMap::new();
     for partial in partials {
-        for (view, state) in partial {
-            match merged.entry(view) {
-                Entry::Vacant(e) => {
-                    e.insert(state);
-                }
-                Entry::Occupied(mut e) => {
-                    let m = e.get_mut();
-                    // The least index in `state`'s range disagreeing with
-                    // the global representative: the range's own first
-                    // occurrence if it already disagrees, else the range's
-                    // recorded conflict (which disagrees with the shared
-                    // representative output).
-                    let candidate = if state.rep.out != m.rep.out {
-                        Some(state.rep)
-                    } else {
-                        state.conflict
-                    };
-                    if let Some(c) = candidate {
-                        if m.conflict.as_ref().is_none_or(|mc| c.idx < mc.idx) {
-                            m.conflict = Some(c);
-                        }
-                    }
-                }
-            }
-        }
+        merge_class_partial(&mut merged, partial);
     }
 
     // With no conflict, no worker exited early, so `merged` holds every
     // class the sequential scan would have seen.
-    let classes = merged.len();
-    let witness = merged
-        .into_values()
-        .filter_map(|s| s.conflict.map(|c| (s.rep, c)))
-        .min_by_key(|(_, c)| c.idx);
+    let (classes, witness) = least_conflict(merged);
     match witness {
         Some((rep, conflict)) => SoundnessReport::Unsound(Witness {
             a: rep.input,
@@ -256,6 +301,123 @@ where
             classes,
         },
     }
+}
+
+/// Fault-tolerant [`check_soundness`]: a panicking mechanism or policy is
+/// quarantined ([`EnfError::SubjectPanicked`]) instead of unwinding, and
+/// the sweep honors the cancellation token, reporting partial coverage.
+///
+/// Verdict semantics (deterministic for every thread count under
+/// fault-free, quarantined, or index-limited runs):
+///
+/// * `Ok(Coverage { verdict: Refuted, report: Some(Unsound(w)), .. })` — a
+///   genuine leak; `w` is the same witness the sequential scan reports.
+/// * `Ok(Coverage { verdict: Confirmed, report: Some(Sound { .. }), .. })`
+///   — full coverage, no conflict, nothing quarantined. This is the
+///   **only** way to obtain a `Sound` report from this function.
+/// * `Ok(Coverage { verdict: Unknown, report: None, .. })` — cancelled
+///   before any conflict; nothing is claimed.
+/// * `Err(SubjectPanicked)` — a subject panicked at an index smaller than
+///   any conflict.
+pub fn try_check_soundness<M, P>(
+    mechanism: &M,
+    policy: &P,
+    domain: &dyn InputDomain,
+    collapse_notices: bool,
+    ctl: &CancelToken,
+) -> Result<Coverage<SoundnessReport<M::Out>>, EnfError>
+where
+    M: Mechanism + Sync,
+    M::Out: Eq + std::hash::Hash + Send,
+    P: Policy + Sync,
+    P::View: Send,
+{
+    try_check_soundness_with(
+        mechanism,
+        policy,
+        domain,
+        collapse_notices,
+        &EvalConfig::default(),
+        ctl,
+    )
+}
+
+/// Like [`try_check_soundness`] but with an explicit evaluation
+/// configuration.
+pub fn try_check_soundness_with<M, P>(
+    mechanism: &M,
+    policy: &P,
+    domain: &dyn InputDomain,
+    collapse_notices: bool,
+    config: &EvalConfig,
+    ctl: &CancelToken,
+) -> Result<Coverage<SoundnessReport<M::Out>>, EnfError>
+where
+    M: Mechanism + Sync,
+    M::Out: Eq + std::hash::Hash + Send,
+    P: Policy + Sync,
+    P::View: Send,
+{
+    assert_soundness_arities(mechanism.arity(), policy.arity(), domain.arity());
+    let total = domain.len();
+    let partials = crate::par::try_partition_fold(domain, config, ctl, |range, ctx| {
+        let mut seen: HashMap<P::View, ClassState<M::Out>> = HashMap::new();
+        domain.visit_range(range, &mut |idx, a| {
+            if ctx.cutoff().passed(idx) || ctx.stop_requested(idx) {
+                return false;
+            }
+            let Some((view, out)) = ctx.guard(idx, || {
+                let view = policy.filter(a);
+                let mut out = mechanism.run(a);
+                if collapse_notices {
+                    out = out.collapse_notice();
+                }
+                (view, out)
+            }) else {
+                return false;
+            };
+            record_input(&mut seen, idx, a, view, out, ctx.cutoff());
+            true
+        });
+        seen
+    });
+
+    let mut merged: HashMap<P::View, ClassState<M::Out>> = HashMap::new();
+    let complete = partials.complete;
+    let checked = partials.checked;
+    let quarantine = partials.resolve_quarantine(None).err();
+    for partial in partials.parts {
+        merge_class_partial(&mut merged, partial);
+    }
+    let (classes, witness) = least_conflict(merged);
+    // Order events by input index, exactly as the sequential scan would
+    // encounter them: a conflict below the quarantined index wins, a
+    // quarantine below the conflict is the error.
+    if let Some(err @ EnfError::SubjectPanicked { input_index, .. }) = quarantine {
+        if witness.as_ref().is_none_or(|(_, c)| input_index < c.idx) {
+            return Err(err);
+        }
+    }
+    Ok(match witness {
+        Some((rep, conflict)) => Coverage::refuted(
+            checked,
+            total,
+            SoundnessReport::Unsound(Witness {
+                a: rep.input,
+                b: conflict.input,
+                out_a: rep.out,
+                out_b: conflict.out,
+            }),
+        ),
+        None if complete => Coverage::confirmed(
+            total,
+            SoundnessReport::Sound {
+                inputs: total,
+                classes,
+            },
+        ),
+        None => Coverage::unknown(checked, total),
+    })
 }
 
 /// Checks clause (1) of the mechanism definition: whenever `M` accepts, its
@@ -306,6 +468,65 @@ where
         Some((_, offender)) => Err(offender),
         None => Ok(()),
     }
+}
+
+/// Fault-tolerant [`check_protection`]: quarantines panics in the
+/// mechanism or program and honors the cancellation token.
+///
+/// The verdict is `Refuted` with the first offending input when clause
+/// (1) fails, `Confirmed` when the whole domain was scanned clean, and
+/// `Unknown` when cancelled first; a subject panicking below any offender
+/// surfaces as `Err(SubjectPanicked)`.
+pub fn try_check_protection<M, Q>(
+    mechanism: &M,
+    program: &Q,
+    domain: &dyn InputDomain,
+    ctl: &CancelToken,
+) -> Result<Coverage<Vec<V>>, EnfError>
+where
+    M: Mechanism + Sync,
+    Q: Program<Out = M::Out> + Sync,
+{
+    try_check_protection_with(mechanism, program, domain, &EvalConfig::default(), ctl)
+}
+
+/// Like [`try_check_protection`] but with an explicit evaluation
+/// configuration.
+pub fn try_check_protection_with<M, Q>(
+    mechanism: &M,
+    program: &Q,
+    domain: &dyn InputDomain,
+    config: &EvalConfig,
+    ctl: &CancelToken,
+) -> Result<Coverage<Vec<V>>, EnfError>
+where
+    M: Mechanism + Sync,
+    Q: Program<Out = M::Out> + Sync,
+{
+    assert_eq!(
+        mechanism.arity(),
+        program.arity(),
+        "mechanism arity {} does not match program arity {}",
+        mechanism.arity(),
+        program.arity()
+    );
+    let coverage = try_find_first(domain, config, ctl, |_, a| {
+        if let MechOutput::Value(v) = mechanism.run(a) {
+            if v != program.eval(a) {
+                return Some(a.to_vec());
+            }
+        }
+        None
+    })?;
+    Ok(coverage.map(|(_, offender)| offender))
+}
+
+/// Convenience verdict accessor shared by the guarded checkers' tests and
+/// the CLI: whether a coverage outcome may be treated as an established
+/// pass. Fails closed — only a complete, [`Verdict::Confirmed`] sweep
+/// qualifies.
+pub fn is_established<R>(coverage: &Coverage<R>) -> bool {
+    coverage.verdict == Verdict::Confirmed && coverage.is_complete()
 }
 
 #[cfg(test)]

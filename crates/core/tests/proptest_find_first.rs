@@ -1,0 +1,62 @@
+//! Property tests for the parallel witness scan's merge order.
+//!
+//! `find_first` promises the *globally* least matching index for every
+//! thread count — partitions race, but range-order merging plus the
+//! shared cutoff make the result sequential-identical. The sharpest case
+//! is an always-true predicate: every index matches, every partition
+//! produces a candidate immediately, and only the merge discipline keeps
+//! index 0 the winner.
+
+use enf_core::par::{find_first, try_find_first, CancelToken};
+use enf_core::{EvalConfig, Grid, Verdict};
+use proptest::prelude::*;
+
+fn par(threads: usize) -> EvalConfig {
+    EvalConfig::with_threads(threads).seq_threshold(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// An always-true predicate yields index 0 — the globally smallest —
+    /// for every thread count and domain size.
+    #[test]
+    fn always_true_predicate_returns_the_least_index(len in 1usize..4000) {
+        let g = Grid::hypercube(1, 0..=(len as i64 - 1));
+        for t in 1..=8 {
+            let hit = find_first(&g, &par(t), |idx, input| Some((idx, input[0])));
+            prop_assert_eq!(hit, Some((0, (0, 0))), "threads {}", t);
+        }
+    }
+
+    /// Same property for predicates true from an arbitrary offset on: the
+    /// reported witness is the first true index, never a later one found
+    /// by a faster partition.
+    #[test]
+    fn suffix_predicate_returns_its_start(len in 1usize..4000, frac in 0u32..=100) {
+        let first = (len - 1) * frac as usize / 100;
+        let g = Grid::hypercube(1, 0..=(len as i64 - 1));
+        for t in 1..=8 {
+            let hit = find_first(&g, &par(t), |idx, _| (idx >= first).then_some(idx));
+            prop_assert_eq!(hit, Some((first, first)), "threads {}", t);
+        }
+    }
+
+    /// The guarded scan agrees with the classic one on the same inputs,
+    /// and reports the exact frontier: a refutation at index w covers
+    /// w + 1 inputs, no more.
+    #[test]
+    fn guarded_scan_matches_and_reports_the_frontier(len in 1usize..4000, frac in 0u32..=100) {
+        let first = (len - 1) * frac as usize / 100;
+        let g = Grid::hypercube(1, 0..=(len as i64 - 1));
+        for t in 1..=8 {
+            let cov = try_find_first(&g, &par(t), &CancelToken::new(), |idx, _| {
+                (idx >= first).then_some(idx)
+            })
+            .expect("no faults injected");
+            prop_assert_eq!(cov.verdict, Verdict::Refuted, "threads {}", t);
+            prop_assert_eq!(cov.report, Some((first, first)), "threads {}", t);
+            prop_assert_eq!(cov.checked, first + 1, "threads {}", t);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Fuel-exhaustion and interrupt paths of the shared stepper, exercised
+//! through the real monitors.
+//!
+//! The stepper's contract (see `enf_flowchart::stepper`) is that the fuel
+//! check happens *before* dispatch: when the bound is hit, `on_fuel`
+//! produces the outcome and the next box's hooks never fire — even when
+//! that box is a decision whose veto would otherwise run. These tests pin
+//! that ordering under [`NullMonitor`], [`TaintMonitor`], and [`Pair`],
+//! plus the `on_interrupt` finalization of co-monitors.
+
+use enf_core::IndexSet;
+use enf_flowchart::ast::{Expr, Pred, Var};
+use enf_flowchart::graph::NodeId;
+use enf_flowchart::interp::{Outcome, Store};
+use enf_flowchart::parse;
+use enf_flowchart::stepper::{Monitor, NullMonitor, Pair, Stepper};
+use enf_surveillance::dynamic::{SurvConfig, SurvOutcome};
+use enf_surveillance::TaintMonitor;
+
+/// Counts decision/branch hook firings and remembers how the run ended.
+#[derive(Default)]
+struct DecisionCounter {
+    decisions: u64,
+    branches: u64,
+}
+
+#[derive(PartialEq, Eq, Debug)]
+enum Ending {
+    Halted { decisions: u64, branches: u64 },
+    Fuel { decisions: u64, branches: u64 },
+    Interrupted { step: u64, at: NodeId },
+}
+
+impl Monitor for DecisionCounter {
+    type Outcome = Ending;
+
+    fn on_decision(
+        &mut self,
+        _step: u64,
+        _at: NodeId,
+        _pred: &Pred,
+        _store: &Store,
+    ) -> Option<Self::Outcome> {
+        self.decisions += 1;
+        None
+    }
+
+    fn on_branch(&mut self, _step: u64, _at: NodeId, _pred: &Pred, _taken: bool) {
+        self.branches += 1;
+    }
+
+    fn on_halt(&mut self, _step: u64, _at: NodeId, _store: &Store) -> Self::Outcome {
+        Ending::Halted {
+            decisions: self.decisions,
+            branches: self.branches,
+        }
+    }
+
+    fn on_fuel(&mut self, _steps: u64) -> Self::Outcome {
+        Ending::Fuel {
+            decisions: self.decisions,
+            branches: self.branches,
+        }
+    }
+
+    fn on_interrupt(&mut self, step: u64, at: NodeId, _store: &Store) -> Self::Outcome {
+        Ending::Interrupted { step, at }
+    }
+}
+
+/// START(1), then each loop iteration is decision + assignment (2 boxes).
+/// (`skip` would lower to no box at all and halve the iteration length.)
+const LOOP: &str = "program(1) { while x1 == 0 { r1 := r1 + 1; } y := 1; }";
+
+#[test]
+fn null_monitor_reports_out_of_fuel() {
+    let fc = parse(LOOP).unwrap();
+    let out = Stepper::new(&fc).with_fuel(5).run(&[0], &mut NullMonitor);
+    assert_eq!(out, Outcome::OutOfFuel);
+}
+
+#[test]
+fn fuel_expiring_exactly_at_a_decision_never_calls_its_hooks() {
+    let fc = parse(LOOP).unwrap();
+    // Fuel 1 + 2k puts the cut right when decision k+1 would dispatch:
+    // the fuel check precedes dispatch, so on_decision has fired exactly
+    // k times and the veto hook of the pending decision never runs.
+    for k in 0..4u64 {
+        let mut m = DecisionCounter::default();
+        let out = Stepper::new(&fc).with_fuel(1 + 2 * k).run(&[0], &mut m);
+        assert_eq!(
+            out,
+            Ending::Fuel {
+                decisions: k,
+                branches: k
+            },
+            "fuel {}",
+            1 + 2 * k
+        );
+    }
+}
+
+#[test]
+fn taint_monitor_reports_out_of_fuel() {
+    let fc = parse(LOOP).unwrap();
+    for fuel in [0, 1, 2, 7] {
+        let mut m = TaintMonitor::new(&fc, SurvConfig::surveillance(IndexSet::full(1)));
+        let out = Stepper::new(&fc).with_fuel(fuel).run(&[0], &mut m);
+        assert_eq!(out, SurvOutcome::OutOfFuel, "fuel {fuel}");
+    }
+}
+
+#[test]
+fn taint_monitor_fuel_cut_beats_the_halt_check() {
+    // The program would be *rejected* at HALT (y carries x1, allow(∅));
+    // with the fuel cut before HALT the outcome is OutOfFuel, not a
+    // violation — the run never reached a release point.
+    let fc = parse("program(1) { y := x1; }").unwrap();
+    let mut m = TaintMonitor::new(&fc, SurvConfig::surveillance(IndexSet::empty()));
+    let out = Stepper::new(&fc).with_fuel(2).run(&[7], &mut m);
+    assert_eq!(out, SurvOutcome::OutOfFuel);
+    // With enough fuel the same run is a HALT violation.
+    let mut m = TaintMonitor::new(&fc, SurvConfig::surveillance(IndexSet::empty()));
+    let out = Stepper::new(&fc).with_fuel(10).run(&[7], &mut m);
+    assert!(matches!(out, SurvOutcome::Violation { .. }), "{out:?}");
+}
+
+#[test]
+fn pair_fuel_finalizes_both_members() {
+    let fc = parse(LOOP).unwrap();
+    let taint = TaintMonitor::new(&fc, SurvConfig::surveillance(IndexSet::full(1)));
+    let mut m = Pair(taint, NullMonitor);
+    let (a, b) = Stepper::new(&fc).with_fuel(6).run(&[0], &mut m);
+    assert_eq!(a, SurvOutcome::OutOfFuel);
+    assert_eq!(b, Outcome::OutOfFuel);
+}
+
+#[test]
+fn pair_fuel_at_decision_finalizes_the_counter_too() {
+    let fc = parse(LOOP).unwrap();
+    let taint = TaintMonitor::new(&fc, SurvConfig::surveillance(IndexSet::full(1)));
+    let mut m = Pair(taint, DecisionCounter::default());
+    // Fuel 3: START, decision, assignment — the second decision never fires.
+    let (a, b) = Stepper::new(&fc).with_fuel(3).run(&[0], &mut m);
+    assert_eq!(a, SurvOutcome::OutOfFuel);
+    assert_eq!(
+        b,
+        Ending::Fuel {
+            decisions: 1,
+            branches: 1
+        }
+    );
+}
+
+#[test]
+fn timed_veto_interrupts_the_co_monitor() {
+    // Under the timed discipline (checks at every decision) a tainted
+    // test is vetoed; the paired co-monitor is finalized via
+    // on_interrupt at the same step and site.
+    let fc = parse("program(2) { y := x1; if x2 == 0 { y := 0; } }").unwrap();
+    let taint = TaintMonitor::new(&fc, SurvConfig::timed(IndexSet::empty()));
+    let mut m = Pair(taint, DecisionCounter::default());
+    let (a, b) = Stepper::new(&fc).run(&[7, 5], &mut m);
+    let SurvOutcome::Violation { site, steps, .. } = a else {
+        panic!("expected a decision veto, got {a:?}");
+    };
+    assert_eq!(
+        b,
+        Ending::Interrupted {
+            step: steps,
+            at: site
+        }
+    );
+    // The interrupted member saw the decision hook (both members observe
+    // it before any abort takes effect) but never on_branch.
+    let taint = TaintMonitor::new(&fc, SurvConfig::timed(IndexSet::empty()));
+    let mut m = Pair(DecisionCounter::default(), taint);
+    let (b2, _) = Stepper::new(&fc).run(&[7, 5], &mut m);
+    assert!(matches!(b2, Ending::Interrupted { .. }), "{b2:?}");
+}
+
+#[test]
+fn default_interrupt_maps_to_on_fuel() {
+    // NullMonitor has no on_interrupt of its own: a co-monitor's veto
+    // reads as "the run ended early", i.e. OutOfFuel.
+    let fc = parse("program(2) { y := x1; if x2 == 0 { y := 0; } }").unwrap();
+    let taint = TaintMonitor::new(&fc, SurvConfig::timed(IndexSet::empty()));
+    let mut m = Pair(taint, NullMonitor);
+    let (a, b) = Stepper::new(&fc).run(&[7, 5], &mut m);
+    assert!(matches!(a, SurvOutcome::Violation { .. }), "{a:?}");
+    assert_eq!(b, Outcome::OutOfFuel);
+}
+
+#[test]
+fn assign_hooks_see_the_pre_state() {
+    // Regression guard for the hook contract used by the taint monitors:
+    // on_assign runs before the store update.
+    struct PreState(Vec<i64>);
+    impl Monitor for PreState {
+        type Outcome = Vec<i64>;
+        fn on_assign(&mut self, _s: u64, _a: NodeId, var: Var, _e: &Expr, store: &Store) {
+            self.0.push(store.get(var));
+        }
+        fn on_halt(&mut self, _s: u64, _a: NodeId, _st: &Store) -> Self::Outcome {
+            std::mem::take(&mut self.0)
+        }
+        fn on_fuel(&mut self, _steps: u64) -> Self::Outcome {
+            std::mem::take(&mut self.0)
+        }
+    }
+    let fc = parse("program(1) { y := 1; y := 2; y := 3; }").unwrap();
+    let pre = Stepper::new(&fc).run(&[0], &mut PreState(Vec::new()));
+    assert_eq!(pre, vec![0, 1, 2]);
+}

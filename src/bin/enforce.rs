@@ -5,6 +5,7 @@
 //! enforce surveil   <file.fc> --allow 2 --input 3,4 [--timed] [--highwater]
 //! enforce trace     <file.fc> --input 3,4 [--allow 2] [--json] [--timed] [--highwater]
 //! enforce check     <file.fc> --allow 2 --span 3 [--timed] [--highwater] [--threads N]
+//!                   [--deadline SECS] [--budget N] [--checkpoint FILE] [--resume FILE] [--block N]
 //! enforce certify   <file.fc> --allow 2 [--scoped | --value]
 //! enforce lint      <file.fc> --allow 2 [--json]
 //! enforce explain   <file.fc> --allow 2 --input 3,4
@@ -17,9 +18,22 @@
 //! from stdin. `--allow` lists the allowed input indices (comma separated;
 //! empty string for `allow()`), `--input` an input tuple, `--span S` checks
 //! over the hypercube `[-S, S]^k`.
+//!
+//! Exit codes: `0` success, `1` a violation or refuted/unestablished
+//! verdict, `2` usage or parse error, `3` internal fault (panicking
+//! subject, corrupt checkpoint).
 
-use enforcement::core::{check_soundness_with, EvalConfig, Identity};
+use enforcement::core::checkpoint::{
+    check_soundness_checkpointed, fingerprint, read_checkpoint_file, write_checkpoint_file,
+    CheckpointCodec, SoundnessCheckpoint,
+};
+use enforcement::core::json::Json;
+use enforcement::core::{
+    try_check_soundness_with, CancelToken, Coverage, EnfError, EvalConfig, Identity, Mechanism,
+    Verdict,
+};
 use enforcement::flowchart::dot::{to_dot, to_dot_decorated, NodeDecor};
+use enforcement::flowchart::interp::ExecValue;
 use enforcement::flowchart::pretty::flowchart_to_string;
 use enforcement::prelude::*;
 use enforcement::staticflow::certify::{certify, Analysis};
@@ -44,7 +58,7 @@ impl Args {
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
                 let value = match it.peek() {
-                    Some(v) if !v.starts_with("--") => Some(it.next().unwrap()),
+                    Some(v) if !v.starts_with("--") => it.next(),
                     _ => None,
                 };
                 flags.push((name.to_string(), value));
@@ -79,6 +93,7 @@ fn usage() -> &'static str {
        surveil    run under surveillance     --allow J --input a,b [--timed] [--highwater]\n\
        trace      per-step taint trace       --input a,b [--allow J] [--json] [--timed] [--highwater]\n\
        check      soundness over a grid      --allow J --span S [--timed] [--highwater] [--threads N]\n\
+       \x20                                  [--deadline SECS] [--budget N] [--checkpoint F] [--resume F] [--block N]\n\
        certify    static certification       --allow J [--scoped | --value]\n\
        lint       static diagnostics         --allow J [--json]\n\
        explain    why a run violates         --allow J --input a,b\n\
@@ -89,7 +104,12 @@ fn usage() -> &'static str {
      trace emits one line per executed box (taint deltas, PC taint, branch\n\
      taken) and a final verdict; --json switches to JSONL. --allow defaults\n\
      to every index (pure observation). dot --taint --input annotates the\n\
-     graph from the same dynamic trace instead of the static analysis."
+     graph from the same dynamic trace instead of the static analysis.\n\
+     check honors --deadline (wall-clock seconds), --budget (max inputs),\n\
+     and SIGINT: an interrupted sweep reports partial coverage and exits 1.\n\
+     --checkpoint F persists progress every --block inputs (default 4096);\n\
+     --resume F continues a previous sweep from its last checkpoint.\n\
+     exit codes: 0 ok, 1 violation/refuted/unknown, 2 usage, 3 internal."
 }
 
 fn read_source(path: &str) -> Result<String, String> {
@@ -138,23 +158,69 @@ fn parse_input(spec: &str, arity: usize) -> Result<Vec<V>, String> {
     Ok(vals)
 }
 
-fn main() -> ExitCode {
-    match run_cli(std::env::args().skip(1).collect()) {
-        Ok(out) => {
-            print!("{out}");
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("enforce: {e}");
-            ExitCode::FAILURE
+/// A CLI failure, carrying its exit-code class.
+///
+/// Violations and refuted verdicts are *not* errors — those commands print
+/// their report on stdout and exit 1 via the `Ok((out, 1))` path.
+enum CliError {
+    /// Bad flags, unparsable program, unreadable file — exit 2.
+    Usage(String),
+    /// The toolkit itself failed (panicking subject, corrupt or
+    /// incompatible checkpoint) — exit 3.
+    Internal(String),
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Internal(_) => 3,
         }
     }
 }
 
-fn run_cli(argv: Vec<String>) -> Result<String, String> {
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Internal(m) => f.write_str(m),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Usage(m)
+    }
+}
+
+impl From<EnfError> for CliError {
+    fn from(e: EnfError) -> Self {
+        CliError::Internal(e.to_string())
+    }
+}
+
+/// Exit code for runs that completed and printed a report: `0` when the
+/// outcome is acceptable, `1` for violations and refuted/unknown verdicts.
+const EXIT_OK: u8 = 0;
+const EXIT_VIOLATION: u8 = 1;
+
+fn main() -> ExitCode {
+    match run_cli(std::env::args().skip(1).collect()) {
+        Ok((out, code)) => {
+            print!("{out}");
+            ExitCode::from(code)
+        }
+        Err(e) => {
+            eprintln!("enforce: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
     let args = Args::parse(argv);
     let [cmd, path] = args.positional.as_slice() else {
-        return Err(format!("expected a command and a file\n{}", usage()));
+        return Err(format!("expected a command and a file\n{}", usage()).into());
     };
     let src = read_source(path)?;
     let fc = parse(&src).map_err(|e| e.to_string())?;
@@ -164,6 +230,7 @@ fn run_cli(argv: Vec<String>) -> Result<String, String> {
         _ => 1_000_000,
     };
     let mut out = String::new();
+    let mut code = EXIT_OK;
     use std::fmt::Write as _;
     match cmd.as_str() {
         "run" => {
@@ -187,9 +254,11 @@ fn run_cli(argv: Vec<String>) -> Result<String, String> {
                         "violation at {site} after {steps} steps: taint {taint}, disallowed {}",
                         taint.difference(&allow)
                     );
+                    code = EXIT_VIOLATION;
                 }
                 SurvOutcome::OutOfFuel => {
                     let _ = writeln!(out, "out of fuel after {fuel} steps");
+                    code = EXIT_VIOLATION;
                 }
             }
         }
@@ -284,42 +353,111 @@ fn run_cli(argv: Vec<String>) -> Result<String, String> {
                     let n: usize = v.parse().map_err(|_| "bad --threads".to_string())?;
                     EvalConfig::with_threads(n)
                 }
-                Some(None) => return Err("--threads needs a value".into()),
+                Some(None) => return Err("--threads needs a value".to_string().into()),
                 None => EvalConfig::default(),
             };
+            let ctl = build_cancel_token(&args)?;
+            install_sigint(&ctl);
             let grid = Grid::hypercube(arity, -span..=span);
             let policy = Allow::from_set(arity, allow);
             let program = FlowchartProgram::with_fuel(fc, fuel);
-            let report = if args.has("timed") {
+            let checkpoint_path = args.flag("checkpoint").cloned().flatten();
+            let resume_path = args.flag("resume").cloned().flatten();
+            if (args.has("checkpoint") && checkpoint_path.is_none())
+                || (args.has("resume") && resume_path.is_none())
+            {
+                return Err("--checkpoint/--resume need a file path".to_string().into());
+            }
+            let coverage = if checkpoint_path.is_some() || resume_path.is_some() {
+                if args.has("timed") {
+                    return Err(
+                        "--timed checks cannot be checkpointed (their output shape has no codec); \
+                         drop --checkpoint/--resume or --timed"
+                            .to_string()
+                            .into(),
+                    );
+                }
+                let block: usize = match args.flag("block") {
+                    Some(Some(v)) => v
+                        .parse()
+                        .ok()
+                        .filter(|b| *b > 0)
+                        .ok_or_else(|| "bad --block (need a positive count)".to_string())?,
+                    Some(None) => return Err("--block needs a value".to_string().into()),
+                    None => 4096,
+                };
+                // The fingerprint salt ties a checkpoint to this exact
+                // sweep: program text, policy, grid, fuel, and variant.
+                let salt = check_salt(&src, allow, span, fuel, args.has("highwater"));
+                if args.has("highwater") {
+                    let m = HighWater::new(program, allow);
+                    checkpointed_soundness(
+                        &m,
+                        &policy,
+                        &grid,
+                        &eval,
+                        &ctl,
+                        salt,
+                        block,
+                        resume_path.as_deref(),
+                        checkpoint_path.as_deref(),
+                    )?
+                } else {
+                    let m = Surveillance::new(program, allow);
+                    checkpointed_soundness(
+                        &m,
+                        &policy,
+                        &grid,
+                        &eval,
+                        &ctl,
+                        salt,
+                        block,
+                        resume_path.as_deref(),
+                        checkpoint_path.as_deref(),
+                    )?
+                }
+            } else if args.has("timed") {
                 let m = TimedMechanism::new(program.flowchart().clone(), allow).with_fuel(fuel);
-                check_soundness_with(&Identity::new(&m), &policy, &grid, false, &eval).is_sound()
+                guarded_soundness(&Identity::new(&m), &policy, &grid, &eval, &ctl)?
             } else if args.has("highwater") {
                 let m = HighWater::new(program, allow);
-                check_soundness_with(&m, &policy, &grid, false, &eval).is_sound()
+                guarded_soundness(&m, &policy, &grid, &eval, &ctl)?
             } else {
                 let m = Surveillance::new(program, allow);
-                check_soundness_with(&m, &policy, &grid, false, &eval).is_sound()
+                guarded_soundness(&m, &policy, &grid, &eval, &ctl)?
             };
-            let _ = writeln!(
-                out,
-                "{} over {} inputs",
-                if report { "sound" } else { "UNSOUND" },
-                grid.len()
-            );
-            if !report {
-                return Err("mechanism unsound".into());
+            let _ = match coverage.verdict {
+                Verdict::Confirmed => writeln!(out, "sound over {} inputs", coverage.total),
+                Verdict::Refuted => writeln!(
+                    out,
+                    "UNSOUND over {} inputs (conflict within the first {} checked)",
+                    coverage.total, coverage.checked
+                ),
+                Verdict::Unknown => writeln!(
+                    out,
+                    "unknown: {} of {} inputs checked before the sweep was cut short",
+                    coverage.checked, coverage.total
+                ),
+            };
+            if coverage.verdict != Verdict::Confirmed {
+                code = EXIT_VIOLATION;
             }
         }
         "certify" => {
             let allow = parse_allow(args.value("allow")?, arity)?;
             let analysis = match (args.has("scoped"), args.has("value")) {
-                (true, true) => return Err("--scoped and --value are exclusive".into()),
+                (true, true) => {
+                    return Err("--scoped and --value are exclusive".to_string().into())
+                }
                 (true, false) => Analysis::Scoped,
                 (false, true) => Analysis::ValueRefined,
                 (false, false) => Analysis::Surveillance,
             };
             let verdict = certify(&fc, allow, analysis);
             let _ = writeln!(out, "{verdict:?}");
+            if !verdict.is_certified() {
+                code = EXIT_VIOLATION;
+            }
         }
         "lint" => {
             let allow = parse_allow(args.value("allow")?, arity)?;
@@ -449,10 +587,10 @@ fn run_cli(argv: Vec<String>) -> Result<String, String> {
             }
         }
         other => {
-            return Err(format!("unknown command `{other}`\n{}", usage()));
+            return Err(format!("unknown command `{other}`\n{}", usage()).into());
         }
     }
-    Ok(out)
+    Ok((out, code))
 }
 
 /// `--allow J` where omission means "every index" — pure observation.
@@ -476,5 +614,168 @@ fn base_config(args: &Args, allow: IndexSet) -> SurvConfig {
         SurvConfig::highwater(allow)
     } else {
         SurvConfig::surveillance(allow)
+    }
+}
+
+/// Builds the cancellation token for long sweeps from `--deadline` (wall
+/// clock, fractional seconds) and `--budget` (max inputs evaluated).
+fn build_cancel_token(args: &Args) -> Result<CancelToken, CliError> {
+    let mut ctl = CancelToken::new();
+    if let Some(v) = args.flag("deadline") {
+        let v = v
+            .as_deref()
+            .ok_or_else(|| "--deadline needs a value (seconds)".to_string())?;
+        let secs: f64 = v
+            .parse()
+            .ok()
+            .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+            .ok_or_else(|| format!("bad --deadline `{v}` (need non-negative seconds)"))?;
+        ctl = ctl.with_deadline(std::time::Duration::from_secs_f64(secs));
+    }
+    if let Some(v) = args.flag("budget") {
+        let v = v
+            .as_deref()
+            .ok_or_else(|| "--budget needs a value (input count)".to_string())?;
+        let limit: usize = v
+            .parse()
+            .map_err(|_| format!("bad --budget `{v}` (need an input count)"))?;
+        ctl = ctl.with_index_limit(limit);
+    }
+    Ok(ctl)
+}
+
+/// Wires SIGINT to the token's cancellation flag: a ^C during a sweep
+/// requests cooperative cancellation, the sweep reports partial coverage
+/// (and persists its last checkpoint), and the process exits cleanly.
+fn install_sigint(ctl: &CancelToken) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+    static SIGINT_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    extern "C" fn on_sigint(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        if let Some(flag) = SIGINT_FLAG.get() {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+    if SIGINT_FLAG.set(ctl.handle()).is_ok() {
+        const SIGINT: i32 = 2;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        // SAFETY: installs a handler that performs a single atomic store.
+        unsafe { signal(SIGINT, on_sigint) };
+    }
+}
+
+/// Runs the fault-tolerant soundness sweep and drops the report detail —
+/// the CLI only prints verdict and coverage.
+fn guarded_soundness<M>(
+    mechanism: &M,
+    policy: &Allow,
+    grid: &Grid,
+    eval: &EvalConfig,
+    ctl: &CancelToken,
+) -> Result<Coverage<()>, CliError>
+where
+    M: Mechanism + Sync,
+    M::Out: Eq + std::hash::Hash + Send,
+{
+    Ok(try_check_soundness_with(mechanism, policy, grid, false, eval, ctl)?.map(|_| ()))
+}
+
+/// Runs the checkpointed soundness sweep, resuming from `resume_path` if
+/// given and persisting progress to `checkpoint_path` if given.
+#[allow(clippy::too_many_arguments)]
+fn checkpointed_soundness<M>(
+    mechanism: &M,
+    policy: &Allow,
+    grid: &Grid,
+    eval: &EvalConfig,
+    ctl: &CancelToken,
+    salt: u64,
+    block: usize,
+    resume_path: Option<&str>,
+    checkpoint_path: Option<&str>,
+) -> Result<Coverage<()>, CliError>
+where
+    M: Mechanism<Out = ExecValue> + Sync,
+{
+    let resume = match resume_path {
+        Some(p) => {
+            let doc = read_checkpoint_file(std::path::Path::new(p))?;
+            Some(SoundnessCheckpoint::from_json(&ExecCodec, &doc)?)
+        }
+        None => None,
+    };
+    let mut sink = |ckpt: &SoundnessCheckpoint<ExecValue, Vec<V>>| match checkpoint_path {
+        Some(p) => write_checkpoint_file(std::path::Path::new(p), &ckpt.to_json(&ExecCodec)),
+        None => Ok(()),
+    };
+    let coverage = check_soundness_checkpointed(
+        mechanism,
+        policy,
+        grid,
+        false,
+        eval,
+        ctl,
+        salt,
+        block,
+        resume.as_ref(),
+        &mut sink,
+    )?;
+    Ok(coverage.map(|_| ()))
+}
+
+/// Fingerprint salt for `enforce check` checkpoints: hashes the program
+/// text and every sweep parameter, so a checkpoint resumed under a
+/// different program, policy, grid, fuel, or mechanism variant is
+/// rejected instead of silently merged.
+fn check_salt(src: &str, allow: IndexSet, span: i64, fuel: u64, highwater: bool) -> u64 {
+    let mut words: Vec<u64> = src.bytes().map(u64::from).collect();
+    words.extend(allow.iter().map(|i| i as u64));
+    words.push(u64::MAX); // separator between the index list and params
+    words.push(span as u64);
+    words.push(fuel);
+    words.push(u64::from(highwater));
+    fingerprint(&words)
+}
+
+/// Checkpoint codec for the dynamic mechanisms' output shape:
+/// [`ExecValue`] outputs and `Vec<V>` policy views.
+struct ExecCodec;
+
+impl CheckpointCodec<ExecValue, Vec<V>> for ExecCodec {
+    fn encode_out(&self, out: &ExecValue) -> Json {
+        match out {
+            ExecValue::Value(v) => Json::Int(i128::from(*v)),
+            ExecValue::Diverged => Json::Null,
+        }
+    }
+
+    fn decode_out(&self, json: &Json) -> Result<ExecValue, String> {
+        match json {
+            Json::Null => Ok(ExecValue::Diverged),
+            _ => json
+                .as_int()
+                .and_then(|n| V::try_from(n).ok())
+                .map(ExecValue::Value)
+                .ok_or_else(|| "expected integer output or null".to_string()),
+        }
+    }
+
+    fn encode_view(&self, view: &Vec<V>) -> Json {
+        Json::Arr(view.iter().map(|v| Json::Int(i128::from(*v))).collect())
+    }
+
+    fn decode_view(&self, json: &Json) -> Result<Vec<V>, String> {
+        json.as_arr()
+            .ok_or_else(|| "expected view array".to_string())?
+            .iter()
+            .map(|item| {
+                item.as_int()
+                    .and_then(|n| V::try_from(n).ok())
+                    .ok_or_else(|| "expected integer view element".to_string())
+            })
+            .collect()
     }
 }
