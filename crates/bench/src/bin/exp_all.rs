@@ -1,10 +1,12 @@
-//! Runs every experiment (E1–E18) and prints the tables EXPERIMENTS.md
+//! Runs every experiment (E1–E19) and prints the tables EXPERIMENTS.md
 //! records. `--markdown` emits GitHub-flavored markdown instead of the
 //! aligned terminal form. Also measures checker throughput (sequential vs
-//! parallel engine), the stepper-vs-seed-loop interpreter overhead, and
-//! the checkpointed-sweep overhead (bar ≤3%), writing all three to
-//! `BENCH_results.json` (`{"throughput": [...], "stepper_overhead":
-//! [...], "checkpoint_overhead": [...]}`); skip with `--no-bench`.
+//! parallel engine), the stepper-vs-seed-loop interpreter overhead, the
+//! checkpointed-sweep overhead (bar ≤3%), and the relational-proof vs
+//! pair-sweep cost, writing all four to `BENCH_results.json`
+//! (`{"throughput": [...], "stepper_overhead": [...],
+//! "checkpoint_overhead": [...], "relational": [...]}`); skip with
+//! `--no-bench`.
 
 fn main() {
     let markdown = std::env::args().any(|a| a == "--markdown");
@@ -63,11 +65,23 @@ fn main() {
                 r.overhead * 100.0
             );
         }
+        let rel = enf_bench::relational::measure();
+        for r in &rel {
+            println!(
+                "relational span {:>2} {:>9} pairs   analysis {:>12.9}s  sweep {:>10.6}s  ratio {:.0}x",
+                r.span,
+                r.pairs,
+                r.analysis_secs,
+                r.sweep_secs,
+                r.ratio()
+            );
+        }
         let json = format!(
-            "{{\n\"throughput\": {},\n\"stepper_overhead\": {},\n\"checkpoint_overhead\": {}\n}}\n",
+            "{{\n\"throughput\": {},\n\"stepper_overhead\": {},\n\"checkpoint_overhead\": {},\n\"relational\": {}\n}}\n",
             enf_bench::throughput::to_json(&rows),
             enf_bench::stepper::to_json(&overhead),
-            enf_bench::checkpoint::to_json(&ckpt)
+            enf_bench::checkpoint::to_json(&ckpt),
+            enf_bench::relational::to_json(&rel)
         );
         match std::fs::write("BENCH_results.json", &json) {
             Ok(()) => println!("wrote BENCH_results.json"),

@@ -1,4 +1,4 @@
-//! The experiments, one module per family (ids E1–E18 and extensions
+//! The experiments, one module per family (ids E1–E19 and extensions
 //! X1–X3, per DESIGN.md).
 
 pub mod completeness;
@@ -8,6 +8,7 @@ pub mod filesys;
 pub mod foundations;
 pub mod instrument;
 pub mod password;
+pub mod relationalexp;
 pub mod staticexp;
 pub mod timing;
 pub mod transforms;
@@ -25,6 +26,7 @@ pub fn run_all() -> Vec<Table> {
     out.extend(filesys::run());
     out.extend(password::run());
     out.extend(staticexp::run());
+    out.extend(relationalexp::run());
     out.extend(instrument::run());
     out.extend(extensions::run());
     out

@@ -1,0 +1,112 @@
+//! Relational verification cost: the self-composition fixed point vs the
+//! exhaustive pair sweep it replaces.
+//!
+//! The analysis runs once over the CFG; the refuter runs the program on
+//! every `J`-agreeing pair of a `[-S, S]^k` grid, i.e. `O(|grid|²)` work.
+//! Each row measures both on the same sound program (so the sweep never
+//! exits early) at a growing span. `exp_all` serializes the rows into the
+//! `"relational"` field of `BENCH_results.json`.
+
+use enf_core::{EvalConfig, Grid, IndexSet, InputDomain};
+use enf_flowchart::parse;
+use enf_static::refute::refute;
+use enf_static::relational::analyze_relational;
+use std::time::Instant;
+
+/// One span's analysis-vs-sweep measurement.
+#[derive(Clone, Debug)]
+pub struct RelationalRow {
+    /// Grid half-width `S` (the grid is `[-S, S]^2`).
+    pub span: i64,
+    /// Pair count swept by the refuter (`|grid|²`).
+    pub pairs: usize,
+    /// Relational fixed-point wall-clock seconds (grid-independent).
+    pub analysis_secs: f64,
+    /// Exhaustive pair-sweep wall-clock seconds.
+    pub sweep_secs: f64,
+}
+
+impl RelationalRow {
+    /// How many times cheaper the static proof is than the sweep.
+    pub fn ratio(&self) -> f64 {
+        self.sweep_secs / self.analysis_secs.max(1e-12)
+    }
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> f64 {
+    let start = Instant::now();
+    std::hint::black_box(f());
+    start.elapsed().as_secs_f64()
+}
+
+/// Measures the relational fixed point against the exhaustive pair sweep
+/// at growing grid spans.
+pub fn measure() -> Vec<RelationalRow> {
+    // Sound for allow(2), so the refuter visits every pair: the sweep's
+    // worst case, and exactly the work the one-off proof makes redundant.
+    let fc = parse("program(2) { y := x2 * x2 + x2; }").unwrap();
+    let allowed = IndexSet::single(2);
+    let cfg = EvalConfig::default();
+    let mut rows = Vec::new();
+    for span in [1i64, 2, 4, 8] {
+        let g = Grid::hypercube(2, -span..=span);
+        let pairs = g.len() * g.len();
+        rows.push(RelationalRow {
+            span,
+            pairs,
+            analysis_secs: time(|| analyze_relational(&fc)),
+            sweep_secs: time(|| refute(&fc, allowed, &g, 10_000, &cfg)),
+        });
+    }
+    rows
+}
+
+/// Serializes rows as a JSON array (no external dependencies).
+pub fn to_json(rows: &[RelationalRow]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"span\": {}, \"pairs\": {}, \"analysis_secs\": {:.9}, \
+             \"sweep_secs\": {:.9}, \"ratio\": {:.1}}}{}\n",
+            r.span,
+            r.pairs,
+            r.analysis_secs,
+            r.sweep_secs,
+            r.ratio(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape() {
+        let rows = vec![RelationalRow {
+            span: 3,
+            pairs: 2401,
+            analysis_secs: 0.001,
+            sweep_secs: 0.1,
+        }];
+        let j = to_json(&rows);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"span\": 3"));
+        assert!(j.contains("\"pairs\": 2401"));
+        assert!(j.contains("\"ratio\": 100.0"));
+    }
+
+    #[test]
+    fn sweep_cost_grows_with_the_grid() {
+        let rows = measure();
+        assert_eq!(rows.len(), 4);
+        for w in rows.windows(2) {
+            assert!(w[0].pairs < w[1].pairs);
+        }
+        // The program is sound, so every measurement covered the full grid.
+        assert!(rows.iter().all(|r| r.sweep_secs > 0.0));
+    }
+}

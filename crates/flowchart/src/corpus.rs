@@ -250,6 +250,49 @@ pub fn constant_guard() -> PaperProgram {
     }
 }
 
+/// The cancelling program `y := h - h`: the denied input is read but its
+/// influence provably cancels within every single run.
+///
+/// Every one-run taint analysis — value-refined included, since `x1` is
+/// not pinned to a constant — must taint `y` with `{1}` and reject under
+/// `allow()`. A *relational* (self-composition) analysis proves both runs
+/// of any input pair compute 0 and certifies. This is the separating
+/// witness for `Analysis::Relational` in `enf-static`.
+pub fn cancelling() -> PaperProgram {
+    PaperProgram {
+        name: "cancelling",
+        locus: "Section 2, soundness as a two-run property",
+        flowchart: must(
+            "program(1) {
+                y := x1 - x1;
+            }",
+        ),
+        policy: Allow::none(1),
+        claim: "y is identically 0; one-run taint analyses reject, relational certifies",
+    }
+}
+
+/// The smallest provable leak: branch on the denied input, assign distinct
+/// constants.
+///
+/// Unlike [`implicit_copy`] (the same gadget under `allow()`), this one is
+/// stated with a second, allowed input so the refuter must search genuine
+/// pairs: inputs agreeing on `x2` but differing in `x1` release 1 vs 2.
+/// The bounded witness search proves the leak with a concrete pair.
+pub fn two_path_leak() -> PaperProgram {
+    PaperProgram {
+        name: "two_path_leak",
+        locus: "Section 2, unsoundness witnessed by a pair of runs",
+        flowchart: must(
+            "program(2) {
+                if x1 > 0 { y := 1; } else { y := 2; }
+            }",
+        ),
+        policy: Allow::new(2, [2]),
+        claim: "any x2-agreeing pair straddling x1 > 0 releases different constants",
+    }
+}
+
 /// Every paper program, for table-driven experiments.
 pub fn all() -> Vec<PaperProgram> {
     vec![
@@ -264,6 +307,8 @@ pub fn all() -> Vec<PaperProgram> {
         example9_duplicated(),
         implicit_copy(),
         constant_guard(),
+        cancelling(),
+        two_path_leak(),
     ]
 }
 
@@ -374,6 +419,23 @@ mod tests {
             for x2 in -2..=2 {
                 assert_eq!(p.eval_value(&[x1, x2]), x2);
             }
+        }
+    }
+
+    #[test]
+    fn cancelling_is_identically_zero() {
+        let p = FlowchartProgram::new(cancelling().flowchart);
+        for x1 in -3..=3 {
+            assert_eq!(p.eval_value(&[x1]), 0);
+        }
+    }
+
+    #[test]
+    fn two_path_leak_separates_on_x1_only() {
+        let p = FlowchartProgram::new(two_path_leak().flowchart);
+        for x2 in -2..=2 {
+            assert_eq!(p.eval_value(&[1, x2]), 1);
+            assert_eq!(p.eval_value(&[0, x2]), 2);
         }
     }
 

@@ -11,9 +11,11 @@
 //! either refused outright or handed to the dynamic surveillance mechanism
 //! (the hybrid the paper's compile-time discussion implies).
 
-use crate::dataflow::{analyze, analyze_refined, FlowFacts, PcDiscipline};
+use crate::dataflow::{analyze, analyze_refined, PcDiscipline};
+use crate::relational::analyze_relational;
 use crate::value::analyze_values;
 use enf_core::{IndexSet, MechOutput, Mechanism, Notice, V};
+use enf_flowchart::graph::NodeId;
 use enf_flowchart::interp::ExecValue;
 use enf_flowchart::program::FlowchartProgram;
 use enf_surveillance::mechanism::Surveillance;
@@ -36,15 +38,35 @@ pub enum Analysis {
     /// keeping its guarantee: certified ⟹ the dynamic mechanism would
     /// never violate.
     ValueRefined,
+    /// The self-composition analysis ([`crate::relational`]): per-variable
+    /// *agreement* facts for two runs whose inputs agree exactly on `J`,
+    /// refined by the interval facts. Certifies programs whose disallowed
+    /// inputs provably cancel out (`y := h - h`) that every one-run taint
+    /// analysis must reject. Certified ⟹ noninterference w.r.t. `J`:
+    /// `J`-equal input pairs execute in lockstep, so they release equal
+    /// values and have identical divergence behaviour.
+    Relational,
 }
 
 impl Analysis {
-    fn facts(self, fc: &enf_flowchart::graph::Flowchart) -> FlowFacts {
-        match self {
+    /// The static halt fact (`ȳ ∪ C̄`, or its relational reading) per
+    /// HALT node under this analysis.
+    fn halt_taints(self, fc: &enf_flowchart::graph::Flowchart) -> Vec<(NodeId, IndexSet)> {
+        let halts = fc.halts();
+        if self == Analysis::Relational {
+            let facts = analyze_relational(fc);
+            return halts
+                .into_iter()
+                .map(|h| (h, facts.halt_disagreement(h)))
+                .collect();
+        }
+        let facts = match self {
             Analysis::Surveillance => analyze(fc, PcDiscipline::Monotone),
             Analysis::Scoped => analyze(fc, PcDiscipline::Scoped),
             Analysis::ValueRefined => analyze_refined(fc, &analyze_values(fc)),
-        }
+            Analysis::Relational => unreachable!("handled above"),
+        };
+        halts.into_iter().map(|h| (h, facts.halt_taint(h))).collect()
     }
 }
 
@@ -86,10 +108,8 @@ pub fn certify(
     allowed: IndexSet,
     analysis: Analysis,
 ) -> Certification {
-    let facts = analysis.facts(fc);
     let mut bad = IndexSet::empty();
-    for h in fc.halts() {
-        let t = facts.halt_taint(h);
+    for (_, t) in analysis.halt_taints(fc) {
         if !t.is_subset(&allowed) {
             bad.union_with(&t.difference(&allowed));
         }
@@ -286,6 +306,65 @@ mod tests {
         assert!(
             !certify(&pp.flowchart, pp.policy.allowed(), Analysis::ValueRefined).is_certified()
         );
+    }
+
+    #[test]
+    fn cancelling_certified_only_by_relational() {
+        // The separating witness for the relational analysis: every
+        // one-run taint analysis (value-refined included) must taint
+        // y := x1 - x1 with {1}; the self-composition proves both runs
+        // compute 0.
+        let pp = corpus::cancelling();
+        let j = pp.policy.allowed();
+        assert!(!certify(&pp.flowchart, j, Analysis::Surveillance).is_certified());
+        assert!(!certify(&pp.flowchart, j, Analysis::Scoped).is_certified());
+        assert!(!certify(&pp.flowchart, j, Analysis::ValueRefined).is_certified());
+        assert!(certify(&pp.flowchart, j, Analysis::Relational).is_certified());
+    }
+
+    #[test]
+    fn relational_rejects_the_two_path_leak() {
+        let pp = corpus::two_path_leak();
+        match certify(&pp.flowchart, pp.policy.allowed(), Analysis::Relational) {
+            Certification::Rejected { taint } => assert_eq!(taint, IndexSet::single(1)),
+            Certification::Certified => panic!("two_path_leak wrongly certified"),
+        }
+    }
+
+    #[test]
+    fn relational_dominates_value_refined_on_corpus() {
+        // The relational analysis only ever removes disagreement sources
+        // relative to the value-refined taint, so it keeps every
+        // certification.
+        for pp in corpus::all() {
+            let j = pp.policy.allowed();
+            if certify(&pp.flowchart, j, Analysis::ValueRefined).is_certified() {
+                assert!(
+                    certify(&pp.flowchart, j, Analysis::Relational).is_certified(),
+                    "{}: relational analysis lost a certification",
+                    pp.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn relational_certified_implies_sound_on_grid() {
+        // Certified ⟹ noninterference: exhaustively check soundness of the
+        // bare program for every relationally-certified corpus entry.
+        use enf_flowchart::program::FlowchartProgram;
+        for pp in corpus::all() {
+            if certify(&pp.flowchart, pp.policy.allowed(), Analysis::Relational).is_certified() {
+                let p = FlowchartProgram::with_fuel(pp.flowchart.clone(), 10_000);
+                let g = Grid::hypercube(pp.policy.arity(), -2..=2);
+                assert!(
+                    check_soundness(&enf_core::Identity::new(&p), &pp.policy, &g, false)
+                        .is_sound(),
+                    "relational certification unsound on {}",
+                    pp.name
+                );
+            }
+        }
     }
 
     #[test]

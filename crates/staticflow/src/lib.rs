@@ -40,6 +40,8 @@ pub mod dataflow;
 pub mod equiv;
 pub mod framework;
 pub mod lint;
+pub mod refute;
+pub mod relational;
 pub mod search;
 pub mod transform;
 pub mod value;
@@ -49,4 +51,6 @@ pub use dataflow::{analyze, analyze_reference, analyze_refined, FlowFacts};
 pub use equiv::equivalent_on;
 pub use framework::{solve, DataflowProblem, Direction, Solution};
 pub use lint::{lint, Lint, LintKind, LintReport};
+pub use refute::{refute, verify, LeakWitness, PairDomain, RelationalVerdict};
+pub use relational::{analyze_relational, analyze_relational_with, RelFacts};
 pub use value::{analyze_values, AbsBool, AbsVal, ValueEnv, ValueFacts};

@@ -20,7 +20,12 @@
 //!   [`Direction::Backward`](crate::framework::Direction) mode);
 //! * `always-violating` — HALTs where a *must*-taint analysis (meet over
 //!   feasible paths, same transfer as the dynamic mechanism) proves every
-//!   run reaching them violates the policy.
+//!   run reaching them violates the policy;
+//! * `provable-leak` — the program *demonstrably* leaks: the relational
+//!   certifier ([`crate::relational`]) rejects and the bounded witness
+//!   search ([`mod@crate::refute`]) finds a replay-validated pair of
+//!   `J`-agreeing inputs with different released outcomes, rendered as a
+//!   two-event carrier chain (one event per run).
 //!
 //! [`lint`] produces a [`LintReport`] renderable for humans
 //! ([`LintReport::render`]) or as JSON ([`LintReport::to_json`]); the
@@ -51,6 +56,9 @@ pub enum LintKind {
     AlwaysViolating,
     /// A HALT whose static taint releases inputs outside the policy.
     TaintLeak,
+    /// A replay-validated pair of `J`-agreeing runs with different
+    /// released outcomes: the program provably leaks.
+    ProvableLeak,
 }
 
 impl LintKind {
@@ -62,6 +70,7 @@ impl LintKind {
             LintKind::DeadAssignment => "dead-assignment",
             LintKind::AlwaysViolating => "always-violating",
             LintKind::TaintLeak => "taint-leak",
+            LintKind::ProvableLeak => "provable-leak",
         }
     }
 }
@@ -474,11 +483,82 @@ pub fn lint(fc: &Flowchart, allowed: &IndexSet) -> LintReport {
         }
     }
 
+    if let Some(l) = provable_leak(fc, allowed) {
+        lints.push(l);
+    }
+
     lints.sort_by_key(|l| (l.site.0, l.kind));
     LintReport {
         allowed: *allowed,
         lints,
     }
+}
+
+/// Search bound for the [`LintKind::ProvableLeak`] lint: the per-input
+/// range of the refutation grid and the largest pair count worth
+/// enumerating inside a lint pass.
+const REFUTE_SPAN: enf_core::V = 2;
+const REFUTE_FUEL: u64 = 10_000;
+const REFUTE_MAX_PAIRS: usize = 1 << 20;
+
+/// Runs the relational certify-then-refute pipeline and renders a found
+/// witness pair as a two-event carrier chain (one event per run). Programs
+/// whose pair domain exceeds the search bound produce no finding.
+fn provable_leak(fc: &Flowchart, allowed: &IndexSet) -> Option<Lint> {
+    use crate::refute::{verify, PairDomain, RelationalVerdict};
+    use enf_core::{EvalConfig, Grid, InputDomain};
+    use enf_flowchart::interp::{run, ExecConfig, ExecValue, Outcome};
+
+    let grid = Grid::hypercube(fc.arity(), -REFUTE_SPAN..=REFUTE_SPAN);
+    let pairs = PairDomain::new(&grid);
+    if !pairs.len_checked().is_some_and(|n| n <= REFUTE_MAX_PAIRS) {
+        return None;
+    }
+    let verdict = verify(fc, *allowed, &grid, REFUTE_FUEL, &EvalConfig::default());
+    let RelationalVerdict::Leak { witness } = verdict else {
+        return None;
+    };
+    // The disagreeing denied inputs are the demonstrated leak channel.
+    let mut offending = IndexSet::empty();
+    for i in 1..=fc.arity() {
+        if !allowed.contains(i) && witness.a[i - 1] != witness.b[i - 1] {
+            offending.union_with(&IndexSet::single(i));
+        }
+    }
+    // One chain event per run, anchored at the halt that run reaches (a
+    // diverging run is anchored at START, where it is still executing).
+    let cfg = ExecConfig::with_fuel(REFUTE_FUEL);
+    let mut site = fc.start();
+    let mut chain = Vec::with_capacity(2);
+    for (step, label, inputs, out) in [(0, "a", &witness.a, &witness.out_a), (1, "b", &witness.b, &witness.out_b)] {
+        let (at, what) = match run(fc, inputs, &cfg) {
+            Outcome::Halted(h) => (
+                h.halt,
+                format!("run {label} on {inputs:?} halts with y = {out}"),
+            ),
+            Outcome::OutOfFuel => (fc.start(), format!("run {label} on {inputs:?} diverges")),
+        };
+        if matches!(out, ExecValue::Value(_)) {
+            site = at;
+        }
+        chain.push(FlowEvent {
+            step,
+            site: at,
+            what,
+            before: IndexSet::empty(),
+            after: offending,
+        });
+    }
+    Some(Lint {
+        kind: LintKind::ProvableLeak,
+        site,
+        message: format!(
+            "inputs agreeing on allow({allowed}) provably release different outcomes: {} vs {}",
+            witness.out_a, witness.out_b
+        ),
+        offending,
+        chain,
+    })
 }
 
 #[cfg(test)]
@@ -504,10 +584,15 @@ mod tests {
     #[test]
     fn taint_leak_reports_chain_in_rpo_order() {
         let r = lints_of("program(2) { r1 := x1; y := r1; }", IndexSet::single(2));
-        // The unconditional leak also fires always-violating at the HALT.
+        // The unconditional leak also fires always-violating at the HALT
+        // and is concrete enough for the refuter to prove.
         assert_eq!(
             kinds(&r),
-            vec![LintKind::AlwaysViolating, LintKind::TaintLeak]
+            vec![
+                LintKind::AlwaysViolating,
+                LintKind::TaintLeak,
+                LintKind::ProvableLeak
+            ]
         );
         let leak = &r.lints[1];
         assert_eq!(leak.offending, IndexSet::single(1));
@@ -621,6 +706,67 @@ mod tests {
     fn json_escapes_control_and_quote_characters() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn provable_leak_renders_the_witness_pair() {
+        let r = lints_of(
+            "program(2) { if x1 > 0 { y := 1; } else { y := 2; } }",
+            IndexSet::single(2),
+        );
+        let leaks: Vec<&Lint> = r
+            .lints
+            .iter()
+            .filter(|l| l.kind == LintKind::ProvableLeak)
+            .collect();
+        assert_eq!(leaks.len(), 1, "{r:?}");
+        let l = leaks[0];
+        assert_eq!(l.offending, IndexSet::single(1));
+        assert_eq!(l.chain.len(), 2);
+        assert!(l.chain[0].what.starts_with("run a on"), "{:?}", l.chain);
+        assert!(l.chain[1].what.starts_with("run b on"), "{:?}", l.chain);
+        let rendered = r.render();
+        assert!(rendered.contains("provable-leak"), "{rendered}");
+        assert!(
+            rendered.contains("provably release different outcomes"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn provable_leak_absent_when_relational_certifies() {
+        // cancelling: rejected by every one-run analysis, certified
+        // relationally — taint lints may fire elsewhere but no leak proof
+        // must be claimed.
+        let r = lints_of("program(1) { y := x1 - x1; }", IndexSet::empty());
+        assert!(!kinds(&r).contains(&LintKind::ProvableLeak), "{r:?}");
+    }
+
+    #[test]
+    fn provable_leak_absent_when_no_witness_on_grid() {
+        // Rejected statically but constant on the searched [-2, 2] grid.
+        let r = lints_of("program(1) { y := x1 / 3; }", IndexSet::empty());
+        assert!(kinds(&r).contains(&LintKind::TaintLeak), "{r:?}");
+        assert!(!kinds(&r).contains(&LintKind::ProvableLeak), "{r:?}");
+    }
+
+    #[test]
+    fn provable_leak_reports_divergence_difference() {
+        let r = lints_of(
+            "program(1) { while x1 > 0 { r1 := r1 + 1; } y := 0; }",
+            IndexSet::empty(),
+        );
+        let leaks: Vec<&Lint> = r
+            .lints
+            .iter()
+            .filter(|l| l.kind == LintKind::ProvableLeak)
+            .collect();
+        assert_eq!(leaks.len(), 1, "{r:?}");
+        assert!(
+            leaks[0].chain.iter().any(|e| e.what.contains("diverges")),
+            "{:?}",
+            leaks[0].chain
+        );
     }
 
     #[test]

@@ -1,0 +1,349 @@
+//! Bounded leak refutation: a deterministic search for a *witness pair*.
+//!
+//! Certification ([`mod@crate::certify`]) can only answer "certified" or
+//! "don't know" — a rejection names a suspicious taint, not a proof that
+//! the program actually leaks. This module decides the third case on a
+//! finite domain: it enumerates **pairs** of inputs that agree exactly on
+//! `J` and looks for one whose two runs release different values (or show
+//! different divergence behaviour). A hit is a constructive refutation of
+//! soundness — precisely a [`Witness`](enf_core::soundness) in the sense
+//! of `check_soundness`, but found by the static layer and replayable on
+//! demand.
+//!
+//! The search is driven through [`enf_core::par::find_first`] over a
+//! [`PairDomain`], so the reported witness is the least-index pair in
+//! enumeration order — bit-identical for any thread count, the same
+//! determinism contract the rest of the workspace's parallel sweeps keep.
+//!
+//! [`verify`] combines both layers into the three-valued verdict
+//! [`RelationalVerdict`]: `Certified` (relational analysis proves
+//! noninterference), `Leak` (replay-validated witness pair), or `Unknown`
+//! (rejected but no counterexample on the searched domain — on an
+//! exhaustively enumerated grid this means the program *is* sound there,
+//! which is what makes the verdict differentially honest against
+//! `check_soundness`).
+
+use crate::certify::{certify, Analysis, Certification};
+use enf_core::par::find_first;
+use enf_core::{EvalConfig, IndexSet, InputDomain, V};
+use enf_flowchart::graph::Flowchart;
+use enf_flowchart::interp::{run, ExecConfig, ExecValue, Outcome};
+
+/// The product domain `D × D`: pair index `i·|D| + j` decodes to the
+/// concatenation of tuples `i` and `j` of the base domain.
+///
+/// This is the self-composition view at the domain level: one enumeration
+/// index per *pair of runs*, so the parallel engine's first-match contract
+/// applies to pairs directly.
+pub struct PairDomain<'a> {
+    base: &'a dyn InputDomain,
+}
+
+impl<'a> PairDomain<'a> {
+    /// Wraps a base domain.
+    pub fn new(base: &'a dyn InputDomain) -> Self {
+        PairDomain { base }
+    }
+}
+
+impl InputDomain for PairDomain<'_> {
+    fn arity(&self) -> usize {
+        self.base.arity() * 2
+    }
+
+    fn len(&self) -> usize {
+        self.len_checked().expect("pair domain size overflows usize")
+    }
+
+    fn len_checked(&self) -> Option<usize> {
+        let n = self.base.len_checked()?;
+        n.checked_mul(n)
+    }
+
+    fn iter_inputs(&self) -> Box<dyn Iterator<Item = Vec<V>> + '_> {
+        Box::new(self.base.iter_inputs().flat_map(move |a| {
+            self.base.iter_inputs().map(move |b| {
+                let mut t = a.clone();
+                t.extend_from_slice(&b);
+                t
+            })
+        }))
+    }
+
+    fn nth_input(&self, idx: usize, buf: &mut Vec<V>) {
+        let n = self.base.len();
+        let (i, j) = (idx / n, idx % n);
+        self.base.nth_input(i, buf);
+        let mut second = Vec::with_capacity(self.base.arity());
+        self.base.nth_input(j, &mut second);
+        buf.extend_from_slice(&second);
+    }
+
+    fn visit_range(
+        &self,
+        range: std::ops::Range<usize>,
+        visit: &mut dyn FnMut(usize, &[V]) -> bool,
+    ) {
+        let mut buf = Vec::new();
+        for idx in range {
+            self.nth_input(idx, &mut buf);
+            if !visit(idx, &buf) {
+                return;
+            }
+        }
+    }
+}
+
+/// A replay-validated counterexample to soundness under `allow(J)`: two
+/// inputs agreeing on `J` with observably different outcomes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeakWitness {
+    /// First run's inputs.
+    pub a: Vec<V>,
+    /// Second run's inputs (equal to `a` on every index in `J`).
+    pub b: Vec<V>,
+    /// First run's released outcome (`Diverged` = out of fuel).
+    pub out_a: ExecValue,
+    /// Second run's released outcome.
+    pub out_b: ExecValue,
+}
+
+impl LeakWitness {
+    /// Re-runs both executions and checks every part of the claim: the
+    /// inputs agree on `J`, differ somewhere, and the recorded outcomes
+    /// are reproduced and distinct.
+    pub fn replays(&self, fc: &Flowchart, allowed: IndexSet, fuel: u64) -> bool {
+        let agree = allowed
+            .iter()
+            .all(|i| self.a.get(i - 1) == self.b.get(i - 1));
+        let cfg = ExecConfig::with_fuel(fuel);
+        let out_a = released(&run(fc, &self.a, &cfg));
+        let out_b = released(&run(fc, &self.b, &cfg));
+        agree && self.a != self.b && out_a == self.out_a && out_b == self.out_b && out_a != out_b
+    }
+}
+
+/// The observable of one run under the totalized semantics: the released
+/// value, or `Diverged` when the fuel budget runs out.
+fn released(outcome: &Outcome) -> ExecValue {
+    match outcome {
+        Outcome::Halted(h) => ExecValue::Value(h.y),
+        Outcome::OutOfFuel => ExecValue::Diverged,
+    }
+}
+
+/// Searches `domain × domain` for the least-index pair of `J`-agreeing
+/// inputs with different released outcomes.
+///
+/// Runs with budget `fuel` that do not halt count as the distinct
+/// observable `Diverged`, so divergence leaks (one run halts, the other
+/// does not) are found too. Returns `None` when no pair on the domain
+/// leaks — on an exhaustive grid that is a soundness proof for the grid.
+pub fn refute(
+    fc: &Flowchart,
+    allowed: IndexSet,
+    domain: &dyn InputDomain,
+    fuel: u64,
+    config: &EvalConfig,
+) -> Option<LeakWitness> {
+    let k = fc.arity();
+    let pairs = PairDomain::new(domain);
+    let cfg = ExecConfig::with_fuel(fuel);
+    find_first(&pairs, config, |_, pair| {
+        let (a, b) = pair.split_at(k);
+        if a == b || !allowed.iter().all(|i| a.get(i - 1) == b.get(i - 1)) {
+            return None;
+        }
+        let out_a = released(&run(fc, a, &cfg));
+        let out_b = released(&run(fc, b, &cfg));
+        (out_a != out_b).then(|| LeakWitness {
+            a: a.to_vec(),
+            b: b.to_vec(),
+            out_a,
+            out_b,
+        })
+    })
+    .map(|(_, w)| w)
+}
+
+/// The three-valued outcome of relational verification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelationalVerdict {
+    /// The relational analysis proves noninterference w.r.t. `J` — for
+    /// *all* inputs, not just the searched domain.
+    Certified,
+    /// A concrete, replay-validated counterexample: the program leaks.
+    Leak {
+        /// The witness pair.
+        witness: LeakWitness,
+    },
+    /// Certification failed but no counterexample exists on the searched
+    /// domain (at the given fuel): sound there, undecided beyond it.
+    Unknown {
+        /// The static disagreement the certifier could not discharge.
+        taint: IndexSet,
+    },
+}
+
+impl RelationalVerdict {
+    /// One-word tag (`certified` / `leak` / `unknown`), the stable CLI
+    /// vocabulary.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RelationalVerdict::Certified => "certified",
+            RelationalVerdict::Leak { .. } => "leak",
+            RelationalVerdict::Unknown { .. } => "unknown",
+        }
+    }
+}
+
+/// Certify-then-refute: the complete three-valued verifier.
+///
+/// A `Leak` verdict is always replay-validated before being returned; a
+/// witness that fails replay (impossible unless the interpreter is
+/// nondeterministic) degrades to `Unknown` rather than report a false
+/// proof.
+pub fn verify(
+    fc: &Flowchart,
+    allowed: IndexSet,
+    domain: &dyn InputDomain,
+    fuel: u64,
+    config: &EvalConfig,
+) -> RelationalVerdict {
+    match certify(fc, allowed, Analysis::Relational) {
+        Certification::Certified => RelationalVerdict::Certified,
+        Certification::Rejected { taint } => match refute(fc, allowed, domain, fuel, config) {
+            Some(witness) if witness.replays(fc, allowed, fuel) => {
+                RelationalVerdict::Leak { witness }
+            }
+            _ => RelationalVerdict::Unknown { taint },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use enf_core::Grid;
+    use enf_flowchart::parse;
+
+    const FUEL: u64 = 10_000;
+
+    fn grid(k: usize) -> Grid {
+        Grid::hypercube(k, -2..=2)
+    }
+
+    fn verdict(src: &str, allowed: IndexSet) -> RelationalVerdict {
+        let fc = parse(src).unwrap();
+        let g = grid(fc.arity());
+        verify(&fc, allowed, &g, FUEL, &EvalConfig::default())
+    }
+
+    #[test]
+    fn pair_domain_enumerates_the_square() {
+        let g = Grid::hypercube(1, 0..=2);
+        let p = PairDomain::new(&g);
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.len(), 9);
+        let all: Vec<_> = p.iter_inputs().collect();
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[1], vec![0, 1]);
+        assert_eq!(all[3], vec![1, 0]);
+        // nth_input agrees with the iterator at every index.
+        let mut buf = Vec::new();
+        for (idx, tuple) in all.iter().enumerate() {
+            p.nth_input(idx, &mut buf);
+            assert_eq!(&buf, tuple, "index {idx}");
+        }
+    }
+
+    #[test]
+    fn cancelling_is_certified() {
+        assert_eq!(
+            verdict("program(1) { y := x1 - x1; }", IndexSet::empty()),
+            RelationalVerdict::Certified
+        );
+    }
+
+    #[test]
+    fn two_path_leak_yields_least_witness() {
+        let v = verdict(
+            "program(2) { if x1 > 0 { y := 1; } else { y := 2; } }",
+            IndexSet::single(2),
+        );
+        match v {
+            RelationalVerdict::Leak { witness } => {
+                // Least index on the -2..=2 square: a = [-2, -2] (index 0)
+                // paired with the first J-agreeing b whose outcome differs,
+                // b = [1, -2].
+                assert_eq!(witness.a, vec![-2, -2]);
+                assert_eq!(witness.b, vec![1, -2]);
+                assert_eq!(witness.out_a, ExecValue::Value(2));
+                assert_eq!(witness.out_b, ExecValue::Value(1));
+            }
+            other => panic!("expected leak, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn divergence_difference_is_a_leak() {
+        // Halts iff x1 <= 0: a divergence channel, observable as
+        // Value vs Diverged.
+        let v = verdict(
+            "program(1) { while x1 > 0 { r1 := r1 + 1; } y := 0; }",
+            IndexSet::empty(),
+        );
+        match v {
+            RelationalVerdict::Leak { witness } => {
+                assert!(
+                    matches!(witness.out_a, ExecValue::Value(_))
+                        != matches!(witness.out_b, ExecValue::Value(_)),
+                    "expected one halting and one diverging run: {witness:?}"
+                );
+            }
+            other => panic!("expected divergence leak, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_when_grid_too_small_to_leak() {
+        // y := x1 / 3 leaks in general but is constant 0 on [-2, 2]:
+        // rejected statically, no witness on the grid.
+        let v = verdict("program(1) { y := x1 / 3; }", IndexSet::empty());
+        match v {
+            RelationalVerdict::Unknown { taint } => assert_eq!(taint, IndexSet::single(1)),
+            other => panic!("expected unknown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn witness_is_identical_for_every_thread_count() {
+        let fc = parse("program(2) { y := x1 * x2; }").unwrap();
+        let g = grid(2);
+        let baseline = refute(&fc, IndexSet::single(2), &g, FUEL, &EvalConfig::default());
+        assert!(baseline.is_some());
+        for t in 1..=8 {
+            let cfg = EvalConfig::with_threads(t).seq_threshold(0);
+            assert_eq!(
+                refute(&fc, IndexSet::single(2), &g, FUEL, &cfg),
+                baseline,
+                "threads = {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn leak_witnesses_replay() {
+        for (src, j) in [
+            ("program(2) { if x1 > 0 { y := 1; } else { y := 2; } }", 2),
+            ("program(2) { y := x1 + x2; }", 2),
+        ] {
+            let fc = parse(src).unwrap();
+            let allowed = IndexSet::single(j);
+            let g = grid(2);
+            let w = refute(&fc, allowed, &g, FUEL, &EvalConfig::default()).expect("leak");
+            assert!(w.replays(&fc, allowed, FUEL), "{src}: {w:?}");
+            assert!(!w.replays(&fc, allowed.union(&IndexSet::single(1)), FUEL));
+        }
+    }
+}

@@ -6,7 +6,8 @@
 //! enforce trace     <file.fc> --input 3,4 [--allow 2] [--json] [--timed] [--highwater]
 //! enforce check     <file.fc> --allow 2 --span 3 [--timed] [--highwater] [--threads N]
 //!                   [--deadline SECS] [--budget N] [--checkpoint FILE] [--resume FILE] [--block N]
-//! enforce certify   <file.fc> --allow 2 [--scoped | --value]
+//! enforce certify   <file.fc> --allow 2 [--scoped | --value | --relational]
+//! enforce refute    <file.fc> --allow 2 [--span S] [--threads N] [--json]
 //! enforce lint      <file.fc> --allow 2 [--json]
 //! enforce explain   <file.fc> --allow 2 --input 3,4
 //! enforce improve   <file.fc> --allow 2 --span 3 [--rounds N]
@@ -94,7 +95,8 @@ fn usage() -> &'static str {
        trace      per-step taint trace       --input a,b [--allow J] [--json] [--timed] [--highwater]\n\
        check      soundness over a grid      --allow J --span S [--timed] [--highwater] [--threads N]\n\
        \x20                                  [--deadline SECS] [--budget N] [--checkpoint F] [--resume F] [--block N]\n\
-       certify    static certification       --allow J [--scoped | --value]\n\
+       certify    static certification       --allow J [--scoped | --value | --relational]\n\
+       refute     leak witness search        --allow J [--span S] [--threads N] [--fuel N] [--json]\n\
        lint       static diagnostics         --allow J [--json]\n\
        explain    why a run violates         --allow J --input a,b\n\
        improve    transform search           --allow J --span S [--rounds N]\n\
@@ -109,6 +111,13 @@ fn usage() -> &'static str {
      and SIGINT: an interrupted sweep reports partial coverage and exits 1.\n\
      --checkpoint F persists progress every --block inputs (default 4096);\n\
      --resume F continues a previous sweep from its last checkpoint.\n\
+     certify picks the analysis: surveillance abstraction (default),\n\
+     --scoped (Denning-style regions), --value (interval-refined), or\n\
+     --relational (self-composition agreement; flags are exclusive).\n\
+     refute runs the relational certifier and, on rejection, searches\n\
+     [-S, S]^k x [-S, S]^k (--span S, default 3) for a pair of J-agreeing\n\
+     inputs with different released outcomes; the least-index witness is\n\
+     deterministic for every --threads count.\n\
      exit codes: 0 ok, 1 violation/refuted/unknown, 2 usage, 3 internal."
 }
 
@@ -445,17 +454,98 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
         }
         "certify" => {
             let allow = parse_allow(args.value("allow")?, arity)?;
-            let analysis = match (args.has("scoped"), args.has("value")) {
-                (true, true) => {
-                    return Err("--scoped and --value are exclusive".to_string().into())
+            let analysis = match (
+                args.has("scoped"),
+                args.has("value"),
+                args.has("relational"),
+            ) {
+                (false, false, false) => Analysis::Surveillance,
+                (true, false, false) => Analysis::Scoped,
+                (false, true, false) => Analysis::ValueRefined,
+                (false, false, true) => Analysis::Relational,
+                _ => {
+                    return Err("--scoped, --value and --relational are exclusive"
+                        .to_string()
+                        .into())
                 }
-                (true, false) => Analysis::Scoped,
-                (false, true) => Analysis::ValueRefined,
-                (false, false) => Analysis::Surveillance,
             };
             let verdict = certify(&fc, allow, analysis);
             let _ = writeln!(out, "{verdict:?}");
             if !verdict.is_certified() {
+                code = EXIT_VIOLATION;
+            }
+        }
+        "refute" => {
+            let allow = parse_allow(args.value("allow")?, arity)?;
+            let span: i64 = match args.flag("span") {
+                Some(Some(v)) => v.parse().map_err(|_| "bad --span".to_string())?,
+                Some(None) => return Err("--span needs a value".to_string().into()),
+                None => 3,
+            };
+            let eval = match args.flag("threads") {
+                Some(Some(v)) => {
+                    let n: usize = v.parse().map_err(|_| "bad --threads".to_string())?;
+                    EvalConfig::with_threads(n)
+                }
+                Some(None) => return Err("--threads needs a value".to_string().into()),
+                None => EvalConfig::default(),
+            };
+            use enforcement::flowchart::interp::ExecValue;
+            use enforcement::staticflow::refute::{verify, RelationalVerdict};
+            let grid = Grid::hypercube(arity, -span..=span);
+            let verdict = verify(&fc, allow, &grid, fuel, &eval);
+            let json_out = |v: &ExecValue| match v {
+                ExecValue::Value(n) => n.to_string(),
+                ExecValue::Diverged => "null".to_string(),
+            };
+            if args.has("json") {
+                let _ = writeln!(out, "{{");
+                let _ = writeln!(out, "  \"verdict\": \"{}\",", verdict.tag());
+                let _ = write!(out, "  \"allowed\": {}", json_set(&allow));
+                match &verdict {
+                    RelationalVerdict::Certified => {}
+                    RelationalVerdict::Leak { witness } => {
+                        let _ = write!(
+                            out,
+                            ",\n  \"witness\": {{\"a\": {:?}, \"b\": {:?}, \
+                             \"out_a\": {}, \"out_b\": {}}}",
+                            witness.a,
+                            witness.b,
+                            json_out(&witness.out_a),
+                            json_out(&witness.out_b)
+                        );
+                    }
+                    RelationalVerdict::Unknown { taint } => {
+                        let _ = write!(out, ",\n  \"taint\": {}", json_set(taint));
+                    }
+                }
+                let _ = writeln!(out, "\n}}");
+            } else {
+                match &verdict {
+                    RelationalVerdict::Certified => {
+                        let _ = writeln!(
+                            out,
+                            "certified: the relational analysis proves noninterference for allow({allow})"
+                        );
+                    }
+                    RelationalVerdict::Leak { witness } => {
+                        let _ = writeln!(
+                            out,
+                            "leak: inputs agreeing on allow({allow}) release different outcomes"
+                        );
+                        let _ = writeln!(out, "  run a: {:?} -> {}", witness.a, witness.out_a);
+                        let _ = writeln!(out, "  run b: {:?} -> {}", witness.b, witness.out_b);
+                    }
+                    RelationalVerdict::Unknown { taint } => {
+                        let _ = writeln!(
+                            out,
+                            "unknown: rejected statically (suspect taint {taint}) but no \
+                             witness pair on [-{span}, {span}]^{arity}"
+                        );
+                    }
+                }
+            }
+            if !matches!(verdict, RelationalVerdict::Certified) {
                 code = EXIT_VIOLATION;
             }
         }

@@ -441,6 +441,132 @@ fn usage_errors_exit_2() {
     assert!(err.contains("--deadline"), "{err}");
 }
 
+const CANCELLING: &str = "program(1) { y := x1 - x1; }";
+const TWO_PATH_LEAK: &str = "program(2) { if x1 > 0 { y := 1; } else { y := 2; } }";
+
+#[test]
+fn usage_lists_every_subcommand_and_flag() {
+    // Golden assertion: the usage text must keep naming every subcommand
+    // and the certify/refute analysis flags, so it cannot drift behind the
+    // implementation again.
+    let (code, _, err) = enforce(&[], "");
+    assert_eq!(code, 2);
+    for cmd in [
+        "run",
+        "surveil",
+        "trace",
+        "check",
+        "certify",
+        "refute",
+        "lint",
+        "explain",
+        "improve",
+        "instrument",
+        "dot",
+    ] {
+        assert!(
+            err.lines().any(|l| l.trim_start().starts_with(cmd)),
+            "usage text lost the `{cmd}` subcommand:\n{err}"
+        );
+    }
+    for flag in [
+        "--scoped", "--value", "--relational", "--span", "--threads", "--json", "--timed",
+        "--highwater", "--deadline", "--budget", "--checkpoint", "--resume", "--fuel",
+    ] {
+        assert!(err.contains(flag), "usage text lost `{flag}`:\n{err}");
+    }
+    assert!(err.contains("exit codes"), "{err}");
+}
+
+#[test]
+fn certify_relational_beats_value_refined() {
+    // cancelling: every one-run analysis rejects, the relational one
+    // certifies.
+    for flags in [&[][..], &["--scoped"][..], &["--value"][..]] {
+        let mut args = vec!["certify", "-", "--allow", ""];
+        args.extend_from_slice(flags);
+        let (code, out, _) = enforce(&args, CANCELLING);
+        assert_eq!(code, 1, "{flags:?}: {out}");
+        assert!(out.contains("Rejected"), "{out}");
+    }
+    let (code, out, _) = enforce(&["certify", "-", "--allow", "", "--relational"], CANCELLING);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("Certified"), "{out}");
+    // The analysis flags stay mutually exclusive.
+    let (code, _, err) = enforce(
+        &["certify", "-", "--allow", "", "--relational", "--value"],
+        CANCELLING,
+    );
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("exclusive"), "{err}");
+}
+
+#[test]
+fn refute_finds_a_witness_pair() {
+    let (code, out, _) = enforce(&["refute", "-", "--allow", "2"], TWO_PATH_LEAK);
+    assert_eq!(code, 1, "a proven leak exits 1\n{out}");
+    assert!(out.contains("leak: inputs agreeing on allow({2})"), "{out}");
+    assert!(out.contains("run a: [-3, -3] -> 2"), "{out}");
+    assert!(out.contains("run b: [1, -3] -> 1"), "{out}");
+}
+
+#[test]
+fn refute_certifies_cancelling() {
+    let (code, out, _) = enforce(&["refute", "-", "--allow", ""], CANCELLING);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("certified"), "{out}");
+}
+
+#[test]
+fn refute_unknown_when_grid_hides_the_leak() {
+    // y := x1 / 9 is constant on the default [-3, 3] grid: statically
+    // rejected, no witness.
+    let (code, out, _) = enforce(
+        &["refute", "-", "--allow", ""],
+        "program(1) { y := x1 / 9; }",
+    );
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("unknown"), "{out}");
+    assert!(out.contains("taint {1}"), "{out}");
+    // A wider grid exposes it.
+    let (code, out, _) = enforce(
+        &["refute", "-", "--allow", "", "--span", "9"],
+        "program(1) { y := x1 / 9; }",
+    );
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("leak"), "{out}");
+}
+
+#[test]
+fn refute_json_carries_the_witness() {
+    let (code, out, _) = enforce(&["refute", "-", "--allow", "2", "--json"], TWO_PATH_LEAK);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("\"verdict\": \"leak\""), "{out}");
+    assert!(out.contains("\"allowed\": [2]"), "{out}");
+    assert!(
+        out.contains("\"witness\": {\"a\": [-3, -3], \"b\": [1, -3], \"out_a\": 2, \"out_b\": 1}"),
+        "{out}"
+    );
+    let (code, out, _) = enforce(&["refute", "-", "--allow", "", "--json"], CANCELLING);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("\"verdict\": \"certified\""), "{out}");
+    assert!(!out.contains("witness"), "{out}");
+}
+
+#[test]
+fn refute_witness_is_thread_count_independent() {
+    let mut outputs = Vec::new();
+    for t in ["1", "2", "7"] {
+        let (code, out, _) = enforce(
+            &["refute", "-", "--allow", "2", "--threads", t],
+            TWO_PATH_LEAK,
+        );
+        assert_eq!(code, 1, "{out}");
+        outputs.push(out);
+    }
+    assert!(outputs.windows(2).all(|w| w[0] == w[1]), "{outputs:?}");
+}
+
 #[test]
 fn sound_check_exits_zero() {
     let (code, out, _) = enforce(

@@ -1,0 +1,84 @@
+//! Snapshot tests for `enforce refute` output — human and JSON — over the
+//! `.fc` programs in `examples/programs/`. The verdict vocabulary and
+//! witness rendering are part of the tool's interface: changes must show
+//! up in review as golden-file diffs, not slip through silently.
+//!
+//! To accept intentional wording changes, re-run with
+//! `UPDATE_SNAPSHOTS=1 cargo test --test refute_snapshots` and commit the
+//! regenerated files under `tests/snapshots/`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// (program file, allow spec, expected exit code) per snapshot case.
+const CASES: &[(&str, &str, i32)] = &[
+    ("cancelling", "", 0),
+    ("two_path_leak", "2", 1),
+];
+
+fn repo_file(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn run_refute(program: &str, allow: &str, json: bool) -> (i32, String) {
+    let mut args = vec![
+        "refute".to_string(),
+        repo_file(&format!("examples/programs/{program}.fc"))
+            .to_string_lossy()
+            .into_owned(),
+        "--allow".to_string(),
+        allow.to_string(),
+    ];
+    if json {
+        args.push("--json".to_string());
+    }
+    let out = Command::new(env!("CARGO_BIN_EXE_enforce"))
+        .args(&args)
+        .output()
+        .expect("spawn enforce");
+    assert!(
+        out.stderr.is_empty(),
+        "enforce refute errored on {program}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        out.status.code().expect("exit code"),
+        String::from_utf8(out.stdout).expect("utf-8 output"),
+    )
+}
+
+fn check_snapshot(name: &str, actual: &str) {
+    let path = repo_file(&format!("tests/snapshots/{name}"));
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(&path, actual).expect("write snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); run with UPDATE_SNAPSHOTS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "snapshot mismatch for {name}; run with UPDATE_SNAPSHOTS=1 to accept"
+    );
+}
+
+#[test]
+fn human_output_matches_snapshots() {
+    for (program, allow, code) in CASES {
+        let (got, out) = run_refute(program, allow, false);
+        assert_eq!(got, *code, "exit code drifted for {program}:\n{out}");
+        check_snapshot(&format!("refute_{program}.txt"), &out);
+    }
+}
+
+#[test]
+fn json_output_matches_snapshots() {
+    for (program, allow, code) in CASES {
+        let (got, out) = run_refute(program, allow, true);
+        assert_eq!(got, *code, "exit code drifted for {program}:\n{out}");
+        check_snapshot(&format!("refute_{program}.json"), &out);
+    }
+}

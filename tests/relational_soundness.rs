@@ -1,0 +1,95 @@
+//! Acceptance properties for the three-valued relational verifier: the
+//! verdict never contradicts the exhaustive soundness oracle on the same
+//! grid, every `Leak` witness replays, and the least-index witness is
+//! bit-identical at every thread count.
+
+use enforcement::core::{EvalConfig, Identity, IndexSet};
+use enforcement::flowchart::generate::{random_flowchart, GenConfig};
+use enforcement::prelude::*;
+use enforcement::staticflow::{refute, verify, RelationalVerdict};
+use proptest::prelude::*;
+
+/// Shared fuel bound: the verifier and the oracle must observe the same
+/// totalized semantics, or divergence leaks would classify differently.
+const FUEL: u64 = 10_000;
+
+fn policy_from_mask(mask: u8) -> IndexSet {
+    let mut j = IndexSet::empty();
+    if mask & 1 != 0 {
+        j.insert(1);
+    }
+    if mask & 2 != 0 {
+        j.insert(2);
+    }
+    j
+}
+
+/// Forced-parallel configuration with exactly `t` workers.
+fn par(t: usize) -> EvalConfig {
+    EvalConfig::with_threads(t).seq_threshold(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The three-valued verdict agrees with `check_soundness` run on the
+    /// same grid with the same fuel: `Certified` and `Unknown` imply the
+    /// grid is sound, `Leak` implies it is not and the witness replays.
+    #[test]
+    fn verdict_never_contradicts_the_exhaustive_oracle(
+        seed in 0u64..20_000,
+        mask in 0u8..4,
+    ) {
+        let fc = random_flowchart(seed, &GenConfig::default());
+        let allowed = policy_from_mask(mask);
+        let g = Grid::hypercube(fc.arity(), -2..=2);
+        let verdict = verify(&fc, allowed, &g, FUEL, &EvalConfig::default());
+        let oracle = check_soundness(
+            &Identity::new(FlowchartProgram::with_fuel(fc.clone(), FUEL)),
+            &Allow::from_set(fc.arity(), allowed),
+            &g,
+            false,
+        );
+        match verdict {
+            RelationalVerdict::Certified | RelationalVerdict::Unknown { .. } => {
+                prop_assert!(
+                    oracle.is_sound(),
+                    "seed {}, J = {}: verdict claimed grid-soundness, oracle found {:?}",
+                    seed, allowed, oracle.witness()
+                );
+            }
+            RelationalVerdict::Leak { witness } => {
+                prop_assert!(
+                    !oracle.is_sound(),
+                    "seed {}, J = {}: Leak verdict but the oracle says sound",
+                    seed, allowed
+                );
+                prop_assert!(
+                    witness.replays(&fc, allowed, FUEL),
+                    "seed {}, J = {}: witness {:?} failed replay",
+                    seed, allowed, witness
+                );
+            }
+        }
+    }
+
+    /// `find_first` semantics carry over: the refuter returns the same
+    /// least-index witness pair for every worker count 1..=8.
+    #[test]
+    fn witness_is_bit_identical_at_every_thread_count(
+        seed in 0u64..20_000,
+        mask in 0u8..4,
+    ) {
+        let fc = random_flowchart(seed, &GenConfig::default());
+        let allowed = policy_from_mask(mask);
+        let g = Grid::hypercube(fc.arity(), -2..=2);
+        let reference = refute(&fc, allowed, &g, FUEL, &par(1));
+        for t in 2..=8usize {
+            let w = refute(&fc, allowed, &g, FUEL, &par(t));
+            prop_assert_eq!(
+                &w, &reference,
+                "seed {}, J = {}, threads {}: witness drifted", seed, allowed, t
+            );
+        }
+    }
+}
