@@ -12,15 +12,22 @@
 //! which is the generic `Stepper` driving a `NullMonitor`. The
 //! acceptance bar is ≤5% overhead; `exp_all` records the same
 //! comparison in `BENCH_results.json`.
+//!
+//! The `bytecode_vm` group prices the compiled hot path: the
+//! register-bytecode VM (and its fused surveillance twin) against the
+//! stepper, bar ≥5× steps/s; `exp_all` records the same comparison under
+//! the `"bytecode"` key.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use enf_core::{IndexSet, Mechanism};
+use enf_flowchart::bytecode::Compiled;
 use enf_flowchart::generate::loop_program;
 use enf_flowchart::interp::{run, ExecConfig};
 use enf_flowchart::program::FlowchartProgram;
 use enf_surveillance::dynamic::{run_surveillance, SurvConfig};
 use enf_surveillance::instrument;
 use enf_surveillance::mechanism::{HighWater, Surveillance};
+use enf_surveillance::run_surveillance_vm;
 use std::hint::black_box;
 
 fn bench_overhead(c: &mut Criterion) {
@@ -64,6 +71,32 @@ fn bench_overhead(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("stepper_null", iters), &fc, |b, fc| {
             b.iter(|| black_box(run(fc, &[0], &cfg)))
         });
+    }
+    group.finish();
+
+    // Compiled hot path: the register-bytecode VM against the stepper it
+    // replaces as the default `enforce` engine (acceptance bar ≥5×), plus
+    // the fused surveillance VM against the monitor-driven stepper.
+    let mut group = c.benchmark_group("bytecode_vm");
+    for iters in [100i64, 1000, 10_000] {
+        let fc = loop_program(iters, 2);
+        let compiled = Compiled::new(&fc);
+        let cfg = ExecConfig::default();
+        group.bench_with_input(BenchmarkId::new("stepper", iters), &fc, |b, fc| {
+            b.iter(|| black_box(run(fc, &[0], &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("vm", iters), &compiled, |b, compiled| {
+            b.iter(|| black_box(compiled.run(&[0], &cfg)))
+        });
+        let scfg = SurvConfig::surveillance(IndexSet::single(1));
+        group.bench_with_input(BenchmarkId::new("surveillance_ast", iters), &fc, |b, fc| {
+            b.iter(|| black_box(run_surveillance(fc, &[0], &scfg)))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("surveillance_vm", iters),
+            &compiled,
+            |b, compiled| b.iter(|| black_box(run_surveillance_vm(compiled, &[0], &scfg))),
+        );
     }
     group.finish();
 

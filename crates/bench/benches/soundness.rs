@@ -3,12 +3,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use enf_core::{
-    check_soundness, check_soundness_with, Allow, EvalConfig, FnMechanism, Grid, IndexSet,
-    InputDomain, Join, MechOutput, Mechanism, Notice,
+    check_soundness, check_soundness_classes_with, check_soundness_with, Allow, EvalConfig,
+    FnMechanism, Grid, IndexSet, InputDomain, Join, MechOutput, Mechanism, Notice,
 };
 use enf_flowchart::parse;
 use enf_flowchart::program::FlowchartProgram;
 use enf_surveillance::mechanism::Surveillance;
+use enf_surveillance::VmSurveillance;
 use std::hint::black_box;
 
 fn bench_soundness(c: &mut Criterion) {
@@ -38,6 +39,27 @@ fn bench_soundness(c: &mut Criterion) {
     });
     group.bench_with_input(BenchmarkId::new("par", g.len()), &g, |b, g| {
         b.iter(|| black_box(check_soundness_with(&m, &policy, g, false, &par)))
+    });
+    group.finish();
+
+    // Equivalence-class evaluator vs the generic sweep, one worker on both
+    // sides (acceptance bar ≥10× tuples/s on the compiled hot path); the
+    // VM-backed mechanism row compounds both compiled layers.
+    let span = 127i64;
+    let g = Grid::hypercube(2, -span..=span);
+    let vm = VmSurveillance::new(
+        FlowchartProgram::new(parse("program(2) { y := x1; if x2 == 0 { y := 0; } }").unwrap()),
+        IndexSet::single(2),
+    );
+    let mut group = c.benchmark_group("class_eval");
+    group.bench_with_input(BenchmarkId::new("generic_sweep", g.len()), &g, |b, g| {
+        b.iter(|| black_box(check_soundness_with(&m, &policy, g, false, &seq)))
+    });
+    group.bench_with_input(BenchmarkId::new("class_eval_ast", g.len()), &g, |b, g| {
+        b.iter(|| black_box(check_soundness_classes_with(&m, &policy, g, false, &seq)))
+    });
+    group.bench_with_input(BenchmarkId::new("class_eval_vm", g.len()), &g, |b, g| {
+        b.iter(|| black_box(check_soundness_classes_with(&vm, &policy, g, false, &seq)))
     });
     group.finish();
 

@@ -2,15 +2,19 @@
 //! records. `--markdown` emits GitHub-flavored markdown instead of the
 //! aligned terminal form. Also measures checker throughput (sequential vs
 //! parallel engine), the stepper-vs-seed-loop interpreter overhead, the
-//! checkpointed-sweep overhead (bar ≤3%), and the relational-proof vs
-//! pair-sweep cost, writing all four to `BENCH_results.json`
-//! (`{"throughput": [...], "stepper_overhead": [...],
-//! "checkpoint_overhead": [...], "relational": [...]}`); skip with
-//! `--no-bench`.
+//! checkpointed-sweep overhead (bar ≤3%), the relational-proof vs
+//! pair-sweep cost, the bytecode-VM vs stepper speedup (bar ≥5×), and the
+//! class-evaluator vs generic-sweep speedup (bar ≥10×), writing all six
+//! to `BENCH_results.json` (`{"throughput": [...],
+//! "stepper_overhead": [...], "checkpoint_overhead": [...],
+//! "relational": [...], "bytecode": [...], "class_eval": [...]}`); skip
+//! with `--no-bench`, or pass `--quick` for the small-size CI smoke run
+//! (same code paths, sub-minute, numbers not publication-grade).
 
 fn main() {
     let markdown = std::env::args().any(|a| a == "--markdown");
     let bench = !std::env::args().any(|a| a == "--no-bench");
+    let quick = std::env::args().any(|a| a == "--quick");
     let tables = enf_bench::experiments::run_all();
     let mut failures = 0;
     for t in &tables {
@@ -30,7 +34,11 @@ fn main() {
         failures
     );
     if bench {
-        let rows = enf_bench::throughput::measure_all();
+        let rows = if quick {
+            enf_bench::throughput::measure_all_sized(63)
+        } else {
+            enf_bench::throughput::measure_all()
+        };
         for r in &rows {
             println!(
                 "{:<16} {:>9} tuples  seq {:>10.0} t/s  par({} threads) {:>10.0} t/s  speedup {:.2}x",
@@ -42,7 +50,7 @@ fn main() {
                 r.speedup()
             );
         }
-        let overhead = enf_bench::stepper::measure(20);
+        let overhead = enf_bench::stepper::measure(if quick { 3 } else { 20 });
         for r in &overhead {
             println!(
                 "{:<16} {:>9} steps   seed {:>12.9}s  stepper {:>12.9}s  overhead {:>+6.2}%",
@@ -53,7 +61,11 @@ fn main() {
                 r.overhead() * 100.0
             );
         }
-        let ckpt = enf_bench::checkpoint::measure(20);
+        let ckpt = if quick {
+            enf_bench::checkpoint::measure_sized(3, &[128])
+        } else {
+            enf_bench::checkpoint::measure(20)
+        };
         for r in &ckpt {
             println!(
                 "{:<16} {:>9} tuples  plain {:>10.6}s  checkpointed(block {}) {:>10.6}s  overhead {:>+6.2}%",
@@ -65,7 +77,11 @@ fn main() {
                 r.overhead * 100.0
             );
         }
-        let rel = enf_bench::relational::measure();
+        let rel = if quick {
+            enf_bench::relational::measure_sized(&[1, 2])
+        } else {
+            enf_bench::relational::measure()
+        };
         for r in &rel {
             println!(
                 "relational span {:>2} {:>9} pairs   analysis {:>12.9}s  sweep {:>10.6}s  ratio {:.0}x",
@@ -76,12 +92,41 @@ fn main() {
                 r.ratio()
             );
         }
+        let bytecode = if quick {
+            enf_bench::vmspeed::measure_bytecode(3, &[100, 1_000])
+        } else {
+            enf_bench::vmspeed::measure_bytecode(20, &[1_000, 10_000, 100_000])
+        };
+        for r in &bytecode {
+            println!(
+                "{:<10}/{:<13} {:>9} steps   stepper {:>10.0} steps/s  vm {:>12.0} steps/s  speedup {:.2}x",
+                r.program,
+                r.engine,
+                r.steps,
+                r.stepper_steps_per_sec(),
+                r.vm_steps_per_sec(),
+                r.speedup()
+            );
+        }
+        let class_eval = enf_bench::vmspeed::measure_class_eval(if quick { 63 } else { 511 });
+        for r in &class_eval {
+            println!(
+                "{:<16} {:>9} tuples  generic {:>10.0} t/s  classes {:>12.0} t/s  speedup {:.2}x",
+                r.sweep,
+                r.tuples,
+                r.generic_tuples_per_sec(),
+                r.classes_tuples_per_sec(),
+                r.speedup()
+            );
+        }
         let json = format!(
-            "{{\n\"throughput\": {},\n\"stepper_overhead\": {},\n\"checkpoint_overhead\": {},\n\"relational\": {}\n}}\n",
+            "{{\n\"throughput\": {},\n\"stepper_overhead\": {},\n\"checkpoint_overhead\": {},\n\"relational\": {},\n\"bytecode\": {},\n\"class_eval\": {}\n}}\n",
             enf_bench::throughput::to_json(&rows),
             enf_bench::stepper::to_json(&overhead),
             enf_bench::checkpoint::to_json(&ckpt),
-            enf_bench::relational::to_json(&rel)
+            enf_bench::relational::to_json(&rel),
+            enf_bench::vmspeed::bytecode_to_json(&bytecode),
+            enf_bench::vmspeed::class_eval_to_json(&class_eval)
         );
         match std::fs::write("BENCH_results.json", &json) {
             Ok(()) => println!("wrote BENCH_results.json"),

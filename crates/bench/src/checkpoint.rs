@@ -89,8 +89,14 @@ fn paired_rounds<RA, RB>(
 /// case for checkpoint volume: every class survives to every
 /// serialization).
 pub fn measure(rounds: u32) -> Vec<CheckpointRow> {
+    measure_sized(rounds, &[512, 1024])
+}
+
+/// [`measure`] on caller-chosen grid half-widths — small halves back the
+/// `exp_all --quick` CI smoke mode.
+pub fn measure_sized(rounds: u32, halves: &[i64]) -> Vec<CheckpointRow> {
     let mut rows = Vec::new();
-    for half in [512i64, 1024] {
+    for &half in halves {
         let grid = Grid::hypercube(2, -half..=half);
         let mech = FnMechanism::new(2, |a: &[V]| MechOutput::Value(a[0]));
         let policy = Allow::new(2, [1]);

@@ -17,5 +17,6 @@ pub mod relational;
 pub mod report;
 pub mod stepper;
 pub mod throughput;
+pub mod vmspeed;
 
 pub use report::Table;

@@ -42,13 +42,19 @@ fn time<R>(f: impl FnOnce() -> R) -> f64 {
 /// Measures the relational fixed point against the exhaustive pair sweep
 /// at growing grid spans.
 pub fn measure() -> Vec<RelationalRow> {
+    measure_sized(&[1, 2, 4, 8])
+}
+
+/// [`measure`] at caller-chosen spans — short lists back the
+/// `exp_all --quick` CI smoke mode.
+pub fn measure_sized(spans: &[i64]) -> Vec<RelationalRow> {
     // Sound for allow(2), so the refuter visits every pair: the sweep's
     // worst case, and exactly the work the one-off proof makes redundant.
     let fc = parse("program(2) { y := x2 * x2 + x2; }").unwrap();
     let allowed = IndexSet::single(2);
     let cfg = EvalConfig::default();
     let mut rows = Vec::new();
-    for span in [1i64, 2, 4, 8] {
+    for &span in spans {
         let g = Grid::hypercube(2, -span..=span);
         let pairs = g.len() * g.len();
         rows.push(RelationalRow {

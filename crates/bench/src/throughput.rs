@@ -55,10 +55,15 @@ fn time<R>(f: impl FnOnce() -> R) -> f64 {
 
 /// Measures every engine-backed checker on a ~10^6-tuple grid.
 pub fn measure_all() -> Vec<ThroughputRow> {
+    measure_all_sized(511)
+}
+
+/// [`measure_all`] on a `[-span, span]^2` grid — smaller spans back the
+/// `exp_all --quick` CI smoke mode.
+pub fn measure_all_sized(span: i64) -> Vec<ThroughputRow> {
     let seq = EvalConfig::with_threads(1);
     let par = EvalConfig::default().seq_threshold(0);
     let threads = par.resolved_threads();
-    let span = 511i64;
     let g = Grid::hypercube(2, -span..=span);
     let tuples = g.len();
     let policy = Allow::new(2, [2]);

@@ -26,8 +26,8 @@ use crate::notice::Notice;
 use crate::par::{try_partition_fold_range, CancelToken, EvalConfig};
 use crate::policy::Policy;
 use crate::soundness::{
-    least_conflict, merge_class_partial, record_input, ClassState, Occurrence, SoundnessReport,
-    Witness,
+    decode_witness, least_conflict, merge_class_partial, record_input, ClassState, Occurrence,
+    SoundnessReport,
 };
 use crate::value::V;
 use std::collections::HashMap;
@@ -357,11 +357,14 @@ where
                 ),
             });
         }
-        for (view, idx, input, out) in ckpt.classes.iter().cloned() {
+        // The serialized `input` column is redundant with `idx` (it is
+        // re-derived from the domain on every write); only index and
+        // output feed the resumed class state.
+        for (view, idx, _input, out) in ckpt.classes.iter().cloned() {
             merged.insert(
                 view,
                 ClassState {
-                    rep: Occurrence { idx, input, out },
+                    rep: Occurrence { idx, out },
                     conflict: None,
                 },
             );
@@ -388,7 +391,7 @@ where
                 }) else {
                     return false;
                 };
-                record_input(&mut seen, idx, a, view, out, ctx.cutoff());
+                record_input(&mut seen, idx, view, out, ctx.cutoff());
                 true
             });
             seen
@@ -420,12 +423,7 @@ where
                 return Ok(Coverage::refuted(
                     checked,
                     total,
-                    SoundnessReport::Unsound(Witness {
-                        a: rep.input,
-                        b: conflict.input,
-                        out_a: rep.out,
-                        out_b: conflict.out,
-                    }),
+                    SoundnessReport::Unsound(decode_witness(domain, rep, conflict)),
                 ));
             }
         }
@@ -434,13 +432,15 @@ where
         }
 
         cursor = span.end;
+        let mut decode_buf = Vec::new();
         let mut classes: Vec<ClassRow<M::Out, P::View>> = merged
             .iter()
             .map(|(view, state)| {
+                domain.nth_input(state.rep.idx, &mut decode_buf);
                 (
                     view.clone(),
                     state.rep.idx,
-                    state.rep.input.clone(),
+                    decode_buf.clone(),
                     state.rep.out.clone(),
                 )
             })

@@ -80,8 +80,8 @@ pub use policy::{Allow, FnPolicy, Policy};
 pub use program::{FnProgram, Program};
 pub use quantitative::{measure_leak, LeakReport};
 pub use soundness::{
-    check_protection, check_protection_with, check_soundness, check_soundness_with,
-    try_check_protection, try_check_protection_with, try_check_soundness, try_check_soundness_with,
-    SoundnessReport,
+    check_protection, check_protection_with, check_soundness, check_soundness_classes,
+    check_soundness_classes_with, check_soundness_with, try_check_protection,
+    try_check_protection_with, try_check_soundness, try_check_soundness_with, SoundnessReport,
 };
 pub use value::V;

@@ -198,6 +198,11 @@ where
 /// The shared witness-first pattern of `check_protection` and the static
 /// equivalence checker: scan for the first offending tuple, in enumeration
 /// order, with cooperative early exit across workers.
+///
+/// With a single worker (one thread, or a domain under the sequential
+/// threshold) the scan takes a dedicated fast path: an in-order visit that
+/// stops at the first hit, with no shared [`Cutoff`] and no atomic
+/// operations on the per-tuple path.
 pub fn find_first<T, F>(
     domain: &dyn InputDomain,
     config: &EvalConfig,
@@ -207,6 +212,18 @@ where
     T: Send,
     F: Fn(usize, &[V]) -> Option<T> + Sync,
 {
+    let len = domain.len();
+    if config.workers_for(len) <= 1 {
+        let mut found: Option<(usize, T)> = None;
+        domain.visit_range(0..len, &mut |idx, a| match test(idx, a) {
+            Some(payload) => {
+                found = Some((idx, payload));
+                false
+            }
+            None => true,
+        });
+        return found;
+    }
     partition_fold(domain, config, |range, cutoff| {
         let mut found: Option<(usize, T)> = None;
         domain.visit_range(range, &mut |idx, a| {
@@ -715,6 +732,30 @@ mod tests {
     fn find_first_none_when_absent() {
         let g = Grid::hypercube(2, 0..=9);
         assert!(find_first(&g, &par_cfg(4), |_, a| (a[0] > 100).then_some(())).is_none());
+    }
+
+    #[test]
+    fn find_first_sequential_fast_path_matches_parallel() {
+        let g = Grid::hypercube(3, 0..=9);
+        let test = |_: usize, a: &[V]| (a[0] >= 5 && a[2] == 7).then(|| a.to_vec());
+        // seq_cfg and a large seq_threshold both select the fast path; both
+        // must agree with the parallel scan, witness and index alike.
+        let par = find_first(&g, &par_cfg(4), test);
+        assert_eq!(find_first(&g, &seq_cfg(), test), par);
+        assert_eq!(
+            find_first(&g, &EvalConfig::with_threads(8), test),
+            par,
+            "domain below DEFAULT_SEQ_THRESHOLD must use the fast path"
+        );
+        assert_eq!(par.map(|(idx, _)| idx), Some(507));
+        // The fast path stops at the first hit like the cutoff does.
+        let visits = std::sync::atomic::AtomicUsize::new(0);
+        let counted = find_first(&g, &seq_cfg(), |idx, _| {
+            visits.fetch_add(1, Ordering::Relaxed);
+            (idx == 507).then_some(())
+        });
+        assert_eq!(counted.map(|(idx, ())| idx), Some(507));
+        assert_eq!(visits.load(Ordering::Relaxed), 508);
     }
 
     #[test]

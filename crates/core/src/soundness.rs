@@ -15,11 +15,11 @@
 //! more. Checking over a sampled sub-domain yields a sound *refuter* (a
 //! found witness is a real leak) but not a verifier.
 
-use crate::domain::InputDomain;
+use crate::domain::{Grid, InputDomain};
 use crate::error::{Coverage, EnfError, Verdict};
 use crate::mechanism::{MechOutput, Mechanism};
 use crate::par::{find_first, partition_fold, try_find_first, CancelToken, Cutoff, EvalConfig};
-use crate::policy::Policy;
+use crate::policy::{Allow, Policy};
 use crate::program::Program;
 use crate::value::V;
 use std::collections::hash_map::Entry;
@@ -112,14 +112,16 @@ where
     )
 }
 
-/// Occurrence of an input tuple during the scan: its enumeration index, the
-/// tuple, and the mechanism's output on it.
+/// Occurrence of an input tuple during the scan: its enumeration index and
+/// the mechanism's output on it. The tuple itself is *not* stored — it is
+/// recovered from the index via [`InputDomain::nth_input`] only when a
+/// witness or checkpoint materializes it, so the hot loop allocates
+/// nothing per class.
 ///
 /// `pub(crate)` so the checkpointed sweep ([`crate::checkpoint`]) can
 /// persist and restore class state.
 pub(crate) struct Occurrence<O> {
     pub(crate) idx: usize,
-    pub(crate) input: Vec<V>,
     pub(crate) out: MechOutput<O>,
 }
 
@@ -136,7 +138,6 @@ pub(crate) struct ClassState<O> {
 pub(crate) fn record_input<W, O>(
     seen: &mut HashMap<W, ClassState<O>>,
     idx: usize,
-    a: &[V],
     view: W,
     out: MechOutput<O>,
     cutoff: &Cutoff,
@@ -147,25 +148,37 @@ pub(crate) fn record_input<W, O>(
     match seen.entry(view) {
         Entry::Vacant(e) => {
             e.insert(ClassState {
-                rep: Occurrence {
-                    idx,
-                    input: a.to_vec(),
-                    out,
-                },
+                rep: Occurrence { idx, out },
                 conflict: None,
             });
         }
         Entry::Occupied(mut e) => {
             let state = e.get_mut();
             if state.conflict.is_none() && state.rep.out != out {
-                state.conflict = Some(Occurrence {
-                    idx,
-                    input: a.to_vec(),
-                    out,
-                });
+                state.conflict = Some(Occurrence { idx, out });
                 cutoff.propose(idx);
             }
         }
+    }
+}
+
+/// Materializes a witness from a `(representative, conflict)` pair by
+/// decoding the stored enumeration indices — one scratch buffer, two
+/// decodes, the only input allocations of an entire unsound sweep.
+pub(crate) fn decode_witness<O>(
+    domain: &dyn InputDomain,
+    rep: Occurrence<O>,
+    conflict: Occurrence<O>,
+) -> Witness<O> {
+    let mut buf = Vec::new();
+    domain.nth_input(rep.idx, &mut buf);
+    let a = buf.clone();
+    domain.nth_input(conflict.idx, &mut buf);
+    Witness {
+        a,
+        b: buf,
+        out_a: rep.out,
+        out_b: conflict.out,
     }
 }
 
@@ -272,7 +285,7 @@ where
             if collapse_notices {
                 out = out.collapse_notice();
             }
-            record_input(&mut seen, idx, a, view, out, cutoff);
+            record_input(&mut seen, idx, view, out, cutoff);
             true
         });
         seen
@@ -290,12 +303,311 @@ where
     // class the sequential scan would have seen.
     let (classes, witness) = least_conflict(merged);
     match witness {
-        Some((rep, conflict)) => SoundnessReport::Unsound(Witness {
-            a: rep.input,
-            b: conflict.input,
-            out_a: rep.out,
-            out_b: conflict.out,
-        }),
+        Some((rep, conflict)) => SoundnessReport::Unsound(decode_witness(domain, rep, conflict)),
+        None => SoundnessReport::Sound {
+            inputs: domain.len(),
+            classes,
+        },
+    }
+}
+
+/// Largest class count for which workers use a flat slot table; beyond it
+/// they fall back to hashing class indices. 2^16 slots keep a per-worker
+/// table within a few megabytes for any output type.
+const FLAT_CLASS_LIMIT: u128 = 1 << 16;
+
+/// The equivalence-class arithmetic of an [`Allow`] policy over a [`Grid`]:
+/// since `Allow(J)`'s view is the projection onto the allowed coordinates,
+/// every class is itself a sub-grid, and a tuple's class is a mixed-radix
+/// number over the allowed coordinates — no view vector, no hashing.
+struct ClassLayout {
+    /// `(tuple position, range start, span)` per allowed coordinate,
+    /// ascending — the same order [`Allow::filter`] projects in.
+    coords: Vec<(usize, V, u128)>,
+    /// Total class count, `None` if it overflows `u128`.
+    count: Option<u128>,
+}
+
+impl ClassLayout {
+    fn new(policy: &Allow, domain: &Grid) -> Self {
+        let mut coords = Vec::new();
+        let mut count: Option<u128> = Some(1);
+        for i in policy.allowed().iter() {
+            let r = &domain.ranges()[i - 1];
+            let span = (*r.end() as i128 - *r.start() as i128) as u128 + 1;
+            count = count.and_then(|c| c.checked_mul(span));
+            coords.push((i - 1, *r.start(), span));
+        }
+        ClassLayout { coords, count }
+    }
+
+    /// The class index of `a`: injective on policy views, so two tuples
+    /// share a class index iff [`Allow::filter`] maps them to the same
+    /// view.
+    #[inline]
+    fn class_of(&self, a: &[V]) -> u128 {
+        let mut ci: u128 = 0;
+        for &(pos, start, span) in &self.coords {
+            ci = ci * span + (a[pos] as i128 - start as i128) as u128;
+        }
+        ci
+    }
+}
+
+/// Per-class state of the class evaluator: the flat-indexed twin of
+/// [`ClassState`], with occurrences stored as `(index, output)` pairs.
+struct ClassSlot<O> {
+    rep_idx: usize,
+    rep_out: MechOutput<O>,
+    conflict: Option<(usize, MechOutput<O>)>,
+}
+
+/// A worker's class table: dense when the class count is small enough,
+/// index-hashed otherwise. Either way no per-tuple view vector exists.
+enum ClassTable<O> {
+    Flat(Vec<Option<ClassSlot<O>>>),
+    Hashed(HashMap<u128, ClassSlot<O>>),
+}
+
+impl<O: PartialEq> ClassTable<O> {
+    fn new(count: Option<u128>) -> Self {
+        match count {
+            Some(n) if n <= FLAT_CLASS_LIMIT => {
+                let mut slots = Vec::new();
+                slots.resize_with(n as usize, || None);
+                ClassTable::Flat(slots)
+            }
+            _ => ClassTable::Hashed(HashMap::new()),
+        }
+    }
+
+    /// [`record_input`] on a class index: first occurrence becomes the
+    /// representative, first disagreeing occurrence the conflict. Shares
+    /// the cutoff with the other workers of a parallel sweep.
+    #[inline]
+    fn record(&mut self, ci: u128, idx: usize, out: MechOutput<O>, cutoff: &Cutoff) {
+        if self.record_seq(ci, idx, out) {
+            cutoff.propose(idx);
+        }
+    }
+
+    /// Cutoff-free [`ClassTable::record`]: returns `true` when this
+    /// occurrence became its class's conflict. An in-order sequential scan
+    /// can then stop immediately — the first conflict it meets is the
+    /// least-index conflict.
+    #[inline]
+    fn record_seq(&mut self, ci: u128, idx: usize, out: MechOutput<O>) -> bool {
+        let slot = match self {
+            ClassTable::Flat(slots) => &mut slots[ci as usize],
+            ClassTable::Hashed(map) => match map.entry(ci) {
+                Entry::Vacant(e) => {
+                    e.insert(ClassSlot {
+                        rep_idx: idx,
+                        rep_out: out,
+                        conflict: None,
+                    });
+                    return false;
+                }
+                Entry::Occupied(e) => {
+                    let s = e.into_mut();
+                    if s.conflict.is_none() && s.rep_out != out {
+                        s.conflict = Some((idx, out));
+                        return true;
+                    }
+                    return false;
+                }
+            },
+        };
+        match slot {
+            None => {
+                *slot = Some(ClassSlot {
+                    rep_idx: idx,
+                    rep_out: out,
+                    conflict: None,
+                });
+                false
+            }
+            Some(s) => {
+                if s.conflict.is_none() && s.rep_out != out {
+                    s.conflict = Some((idx, out));
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// [`merge_class_partial`] on class indices; `partial` must come from
+    /// the next range in order.
+    fn merge(&mut self, partial: ClassTable<O>) {
+        fn merge_into<O: PartialEq>(m: &mut ClassSlot<O>, p: ClassSlot<O>) {
+            let candidate = if p.rep_out != m.rep_out {
+                Some((p.rep_idx, p.rep_out))
+            } else {
+                p.conflict
+            };
+            if let Some(c) = candidate {
+                if m.conflict.as_ref().is_none_or(|mc| c.0 < mc.0) {
+                    m.conflict = Some(c);
+                }
+            }
+        }
+        match (self, partial) {
+            (ClassTable::Flat(merged), ClassTable::Flat(parts)) => {
+                for (m, p) in merged.iter_mut().zip(parts) {
+                    match (m, p) {
+                        (m @ None, p) => *m = p,
+                        (Some(m), Some(p)) => merge_into(m, p),
+                        (Some(_), None) => {}
+                    }
+                }
+            }
+            (ClassTable::Hashed(merged), ClassTable::Hashed(parts)) => {
+                for (ci, p) in parts {
+                    match merged.entry(ci) {
+                        Entry::Vacant(e) => {
+                            e.insert(p);
+                        }
+                        Entry::Occupied(mut e) => merge_into(e.get_mut(), p),
+                    }
+                }
+            }
+            _ => unreachable!("workers share one table shape"),
+        }
+    }
+
+    fn classes(&self) -> usize {
+        match self {
+            ClassTable::Flat(slots) => slots.iter().flatten().count(),
+            ClassTable::Hashed(map) => map.len(),
+        }
+    }
+
+    /// The least-index conflict with its class representative.
+    fn least_conflict(self) -> Option<(Occurrence<O>, Occurrence<O>)> {
+        let pick = |s: ClassSlot<O>| {
+            s.conflict.map(|(idx, out)| {
+                (
+                    Occurrence {
+                        idx: s.rep_idx,
+                        out: s.rep_out,
+                    },
+                    Occurrence { idx, out },
+                )
+            })
+        };
+        match self {
+            ClassTable::Flat(slots) => slots
+                .into_iter()
+                .flatten()
+                .filter_map(pick)
+                .min_by_key(|(_, c)| c.idx),
+            ClassTable::Hashed(map) => map
+                .into_values()
+                .filter_map(pick)
+                .min_by_key(|(_, c)| c.idx),
+        }
+    }
+}
+
+/// [`check_soundness`] specialized to [`Allow`] policies over a [`Grid`]:
+/// the view-keyed hash map becomes mixed-radix class arithmetic over the
+/// allowed coordinates. Same verdict, same witness, same class count —
+/// differentially pinned against the generic sweep at every thread count —
+/// at a fraction of the cost per tuple (no view vector, no hashing, no
+/// per-class allocation).
+///
+/// Note `M::Out` only needs `PartialEq`, not `Eq + Hash`: outputs are
+/// never used as map keys here.
+pub fn check_soundness_classes<M>(
+    mechanism: &M,
+    policy: &Allow,
+    domain: &Grid,
+    collapse_notices: bool,
+) -> SoundnessReport<M::Out>
+where
+    M: Mechanism + Sync,
+    M::Out: PartialEq + Send,
+{
+    check_soundness_classes_with(
+        mechanism,
+        policy,
+        domain,
+        collapse_notices,
+        &EvalConfig::default(),
+    )
+}
+
+/// Like [`check_soundness_classes`] but with an explicit evaluation
+/// configuration.
+pub fn check_soundness_classes_with<M>(
+    mechanism: &M,
+    policy: &Allow,
+    domain: &Grid,
+    collapse_notices: bool,
+    config: &EvalConfig,
+) -> SoundnessReport<M::Out>
+where
+    M: Mechanism + Sync,
+    M::Out: PartialEq + Send,
+{
+    assert_soundness_arities(mechanism.arity(), policy.arity(), domain.arity());
+    let layout = ClassLayout::new(policy, domain);
+    let len = domain.len();
+
+    // Sequential fast path: an in-order scan meets the least-index
+    // conflict first, so there is no cutoff to share and no atomics to
+    // load — stop at the first conflict, exactly like the merged parallel
+    // result.
+    if config.workers_for(len) <= 1 {
+        let mut seen: ClassTable<M::Out> = ClassTable::new(layout.count);
+        domain.visit_range(0..len, &mut |idx, a| {
+            let mut out = mechanism.run(a);
+            if collapse_notices {
+                out = out.collapse_notice();
+            }
+            !seen.record_seq(layout.class_of(a), idx, out)
+        });
+        let classes = seen.classes();
+        return match seen.least_conflict() {
+            Some((rep, conflict)) => {
+                SoundnessReport::Unsound(decode_witness(domain, rep, conflict))
+            }
+            None => SoundnessReport::Sound {
+                inputs: len,
+                classes,
+            },
+        };
+    }
+
+    let partials = partition_fold(domain, config, |range, cutoff| {
+        let mut seen: ClassTable<M::Out> = ClassTable::new(layout.count);
+        domain.visit_range(range, &mut |idx, a| {
+            if cutoff.passed(idx) {
+                return false;
+            }
+            let mut out = mechanism.run(a);
+            if collapse_notices {
+                out = out.collapse_notice();
+            }
+            seen.record(layout.class_of(a), idx, out, cutoff);
+            true
+        });
+        seen
+    });
+
+    // Deterministic reduction: merge in range order, so each class's
+    // representative is its globally first occurrence and each conflict
+    // is the least index disagreeing with that representative.
+    let mut merged: ClassTable<M::Out> = ClassTable::new(layout.count);
+    for partial in partials {
+        merged.merge(partial);
+    }
+
+    let classes = merged.classes();
+    match merged.least_conflict() {
+        Some((rep, conflict)) => SoundnessReport::Unsound(decode_witness(domain, rep, conflict)),
         None => SoundnessReport::Sound {
             inputs: domain.len(),
             classes,
@@ -376,7 +688,7 @@ where
             }) else {
                 return false;
             };
-            record_input(&mut seen, idx, a, view, out, ctx.cutoff());
+            record_input(&mut seen, idx, view, out, ctx.cutoff());
             true
         });
         seen
@@ -402,12 +714,7 @@ where
         Some((rep, conflict)) => Coverage::refuted(
             checked,
             total,
-            SoundnessReport::Unsound(Witness {
-                a: rep.input,
-                b: conflict.input,
-                out_a: rep.out,
-                out_b: conflict.out,
-            }),
+            SoundnessReport::Unsound(decode_witness(domain, rep, conflict)),
         ),
         None if complete => Coverage::confirmed(
             total,
@@ -655,5 +962,88 @@ mod tests {
         let m: Plug<V> = Plug::new(2);
         let g = Grid::hypercube(2, 0..=1);
         let _ = check_soundness(&m, &Allow::none(3), &g, false);
+    }
+
+    /// Every class-evaluator report — verdict, class count, witness tuples
+    /// and outputs — must equal the generic sweep's, at every thread count.
+    fn assert_classes_match<M>(m: &M, policy: &Allow, g: &Grid, collapse: bool)
+    where
+        M: Mechanism + Sync,
+        M::Out: Eq + std::hash::Hash + Send + std::fmt::Debug,
+    {
+        for threads in [1, 2, 3, 8] {
+            let cfg = EvalConfig::with_threads(threads).seq_threshold(0);
+            let generic = check_soundness_with(m, policy, g, collapse, &cfg);
+            let classes = check_soundness_classes_with(m, policy, g, collapse, &cfg);
+            assert_eq!(generic, classes, "thread count {threads}");
+        }
+    }
+
+    #[test]
+    fn class_evaluator_matches_generic_sweep_when_sound() {
+        let m = FnMechanism::new(2, |a: &[V]| MechOutput::Value(a[0]));
+        let g = Grid::hypercube(2, 0..=2);
+        assert_classes_match(&m, &Allow::new(2, [1]), &g, false);
+        assert_classes_match(&m, &Allow::all(2), &g, false);
+        let plug: Plug<V> = Plug::new(2);
+        assert_classes_match(&plug, &Allow::none(2), &g, false);
+    }
+
+    #[test]
+    fn class_evaluator_matches_generic_sweep_when_unsound() {
+        let q = FnProgram::new(2, |a: &[V]| a[1] * 3);
+        let m = Identity::new(q);
+        let g = Grid::hypercube(2, -2..=2);
+        assert_classes_match(&m, &Allow::new(2, [1]), &g, false);
+        assert_classes_match(&m, &Allow::none(2), &g, false);
+        // Asymmetric ranges exercise the mixed-radix class arithmetic.
+        let g2 = Grid::new(vec![-1..=3, 0..=6]);
+        assert_classes_match(&m, &Allow::new(2, [1]), &g2, false);
+    }
+
+    #[test]
+    fn class_evaluator_collapses_notices_like_generic_sweep() {
+        let m = FnMechanism::new(1, |a: &[V]| {
+            MechOutput::<V>::Violation(if a[0] == 0 {
+                Notice::new(1, "denied (x was zero)")
+            } else {
+                Notice::new(1, "denied (x was nonzero)")
+            })
+        });
+        let g = Grid::hypercube(1, 0..=3);
+        assert_classes_match(&m, &Allow::none(1), &g, false);
+        assert_classes_match(&m, &Allow::none(1), &g, true);
+    }
+
+    #[test]
+    fn class_evaluator_hashed_fallback_matches_generic_sweep() {
+        // A wide first coordinate pushes the class count of allow(1) past
+        // FLAT_CLASS_LIMIT, forcing the hashed table; verdicts, class
+        // counts and witnesses must not change.
+        let wide = Grid::new(vec![0..=((1 << 17) - 1), 0..=1]);
+        let policy = Allow::new(2, [1]);
+        assert!(ClassLayout::new(&policy, &wide)
+            .count
+            .is_some_and(|c| c > FLAT_CLASS_LIMIT));
+        // Sound: the output reads only the allowed coordinate.
+        let sound_m = FnMechanism::new(2, |a: &[V]| MechOutput::Value(a[0] & 0xff));
+        assert_eq!(
+            check_soundness(&sound_m, &policy, &wide, false),
+            check_soundness_classes(&sound_m, &policy, &wide, false),
+        );
+        // Unsound: the output also reads the denied coordinate.
+        let leaky_m = FnMechanism::new(2, |a: &[V]| MechOutput::Value((a[0] & 0xff) ^ a[1]));
+        let generic = check_soundness(&leaky_m, &policy, &wide, false);
+        let classes = check_soundness_classes(&leaky_m, &policy, &wide, false);
+        assert_eq!(generic, classes);
+        assert!(!classes.is_sound());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn class_evaluator_arity_mismatch_panics() {
+        let m: Plug<V> = Plug::new(2);
+        let g = Grid::hypercube(2, 0..=1);
+        let _ = check_soundness_classes(&m, &Allow::none(3), &g, false);
     }
 }

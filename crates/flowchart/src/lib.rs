@@ -17,6 +17,9 @@
 //! * [`parser`] — a small textual DSL for writing flowcharts;
 //! * [`interp`] — the interpreter, counting executed boxes as the paper's
 //!   observable "number of steps";
+//! * [`bytecode`] — a register-bytecode compiler and VM with
+//!   interpreter-exact semantics: the fast engine behind exhaustive
+//!   sweeps, also able to drive any [`stepper::Monitor`];
 //! * [`stepper`] — the generic small-step engine behind every executor:
 //!   one fixed walk of the graph, parameterized by a [`stepper::Monitor`]
 //!   (plain interpretation, taint disciplines, event streams, and their
@@ -51,6 +54,7 @@
 pub mod analysis;
 pub mod ast;
 pub mod builder;
+pub mod bytecode;
 pub mod corpus;
 pub mod dot;
 pub mod generate;
@@ -64,6 +68,7 @@ pub mod stepper;
 pub mod structured;
 
 pub use ast::{CmpOp, Expr, Pred, Var};
+pub use bytecode::Compiled;
 pub use graph::{Flowchart, Node, NodeId, Succ};
 pub use interp::{run, run_traced, ExecConfig, ExecValue, Outcome};
 pub use parser::parse;

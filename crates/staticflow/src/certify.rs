@@ -66,7 +66,10 @@ impl Analysis {
             Analysis::ValueRefined => analyze_refined(fc, &analyze_values(fc)),
             Analysis::Relational => unreachable!("handled above"),
         };
-        halts.into_iter().map(|h| (h, facts.halt_taint(h))).collect()
+        halts
+            .into_iter()
+            .map(|h| (h, facts.halt_taint(h)))
+            .collect()
     }
 }
 
@@ -358,8 +361,7 @@ mod tests {
                 let p = FlowchartProgram::with_fuel(pp.flowchart.clone(), 10_000);
                 let g = Grid::hypercube(pp.policy.arity(), -2..=2);
                 assert!(
-                    check_soundness(&enf_core::Identity::new(&p), &pp.policy, &g, false)
-                        .is_sound(),
+                    check_soundness(&enf_core::Identity::new(&p), &pp.policy, &g, false).is_sound(),
                     "relational certification unsound on {}",
                     pp.name
                 );

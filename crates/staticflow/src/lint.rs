@@ -511,7 +511,7 @@ fn provable_leak(fc: &Flowchart, allowed: &IndexSet) -> Option<Lint> {
 
     let grid = Grid::hypercube(fc.arity(), -REFUTE_SPAN..=REFUTE_SPAN);
     let pairs = PairDomain::new(&grid);
-    if !pairs.len_checked().is_some_and(|n| n <= REFUTE_MAX_PAIRS) {
+    if pairs.len_checked().is_none_or(|n| n > REFUTE_MAX_PAIRS) {
         return None;
     }
     let verdict = verify(fc, *allowed, &grid, REFUTE_FUEL, &EvalConfig::default());
@@ -530,7 +530,10 @@ fn provable_leak(fc: &Flowchart, allowed: &IndexSet) -> Option<Lint> {
     let cfg = ExecConfig::with_fuel(REFUTE_FUEL);
     let mut site = fc.start();
     let mut chain = Vec::with_capacity(2);
-    for (step, label, inputs, out) in [(0, "a", &witness.a, &witness.out_a), (1, "b", &witness.b, &witness.out_b)] {
+    for (step, label, inputs, out) in [
+        (0, "a", &witness.a, &witness.out_a),
+        (1, "b", &witness.b, &witness.out_b),
+    ] {
         let (at, what) = match run(fc, inputs, &cfg) {
             Outcome::Halted(h) => (
                 h.halt,

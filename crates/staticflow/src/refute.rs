@@ -52,7 +52,8 @@ impl InputDomain for PairDomain<'_> {
     }
 
     fn len(&self) -> usize {
-        self.len_checked().expect("pair domain size overflows usize")
+        self.len_checked()
+            .expect("pair domain size overflows usize")
     }
 
     fn len_checked(&self) -> Option<usize> {

@@ -351,10 +351,10 @@ mod tests {
     #[test]
     fn self_comparison_predicates_do_not_split_control() {
         // x1 == x1 decides the same way in both runs.
-        assert!(halts_disagreement(
-            "program(1) { if x1 == x1 { y := 1; } else { y := 2; } }"
-        )
-        .is_empty());
+        assert!(
+            halts_disagreement("program(1) { if x1 == x1 { y := 1; } else { y := 2; } }")
+                .is_empty()
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@
 //!   paper's reference \[2\]) compiled down to `allow(J)` per clearance;
 //! * [`monitor`] — the disciplines above as pluggable observers on the
 //!   shared `enf_flowchart` stepper, plus the structured per-step
-//!   [`monitor::TraceEvent`] stream behind `explain` and `enforce trace`.
+//!   [`monitor::TraceEvent`] stream behind `explain` and `enforce trace`;
+//! * [`vm`] — the same disciplines fused onto the register-bytecode VM
+//!   (`enf_flowchart::bytecode`): per-instruction precompiled taint
+//!   sources, bit-identical verdicts, an order of magnitude faster.
 
 #![warn(missing_docs)]
 
@@ -43,6 +46,7 @@ pub mod mls;
 pub mod monitor;
 pub mod state;
 pub mod timed;
+pub mod vm;
 
 pub use dynamic::{run_reference, run_surveillance, CheckAt, Style, SurvConfig, SurvOutcome};
 pub use explain::{explain, Explanation, FlowEvent};
@@ -51,3 +55,4 @@ pub use mechanism::{HighWater, Surveillance};
 pub use monitor::{run_trace, EventMonitor, TaintMonitor, TraceEvent, TraceKind};
 pub use state::TaintState;
 pub use timed::TimedMechanism;
+pub use vm::{explain_vm, run_surveillance_vm, run_trace_vm, VmSurveillance};

@@ -11,7 +11,7 @@ use enf_core::{IndexSet, MechOutput, Mechanism, Notice, V};
 use enf_flowchart::interp::ExecValue;
 use enf_flowchart::program::FlowchartProgram;
 
-fn to_mech_output(out: SurvOutcome) -> MechOutput<ExecValue> {
+pub(crate) fn to_mech_output(out: SurvOutcome) -> MechOutput<ExecValue> {
     match out {
         SurvOutcome::Accepted { y, .. } => MechOutput::Value(ExecValue::Value(y)),
         SurvOutcome::Violation { .. } => MechOutput::Violation(Notice::lambda()),

@@ -1,0 +1,448 @@
+//! The surveillance disciplines on the register-bytecode VM.
+//!
+//! [`run_surveillance_vm`] is a fused value-and-taint loop over a
+//! [`Compiled`] program: per instruction the compiler has already resolved
+//! which slots the expression or predicate reads
+//! ([`Compiled::reads`]), so transformation (2)/(3) becomes a union of
+//! precomputed bitmask sources — no AST walk, no `vars()` allocation, no
+//! variable-name dispatch. All four `Style` × `CheckAt` configurations run
+//! on the one loop and are pinned bit-identical (verdict, violation site,
+//! step count) to [`run_surveillance`](crate::dynamic::run_surveillance) by differential tests here and in
+//! `tests/bytecode_differential.rs`.
+//!
+//! [`run_trace_vm`] and [`explain_vm`] reuse the AST monitors unchanged —
+//! the VM drives them through [`Compiled::run_monitored`], which delivers
+//! the exact [`Monitor`](enf_flowchart::stepper::Monitor) hook sequence of
+//! the stepper — so the event stream and carrier chains are byte-identical
+//! to their AST-engine counterparts.
+
+use crate::dynamic::{CheckAt, Style, SurvConfig, SurvOutcome};
+use crate::explain::Explanation;
+use crate::mechanism::to_mech_output;
+use crate::monitor::{EventMonitor, TaintMonitor, TraceEvent};
+use enf_core::{IndexSet, MechOutput, Mechanism, V};
+use enf_flowchart::bytecode::{Compiled, Inst, Operand};
+use enf_flowchart::graph::NodeId;
+use enf_flowchart::interp::ExecValue;
+use enf_flowchart::program::FlowchartProgram;
+use std::sync::Arc;
+
+/// Register/taint state up to this size lives on the run's stack frame
+/// instead of the heap — covers every corpus program and the generated
+/// benchmark families. Kept small because the buffers are zero-initialized
+/// on every call and sweeps make one call per tuple.
+const STACK_SLOTS: usize = 16;
+
+/// Runs a compiled flowchart under the surveillance discipline: the fused
+/// bytecode twin of [`run_surveillance`](crate::dynamic::run_surveillance), bit-identical in verdict,
+/// violation site and step count.
+pub fn run_surveillance_vm(compiled: &Compiled, inputs: &[V], cfg: &SurvConfig) -> SurvOutcome {
+    let arity = compiled.arity();
+    assert_eq!(
+        inputs.len(),
+        arity,
+        "flowchart takes {} inputs, got {}",
+        arity,
+        inputs.len()
+    );
+    let slot_count = compiled.slot_count();
+    let out_slot = compiled.out_slot() as usize;
+    // Exhaustive sweeps call this once per tuple, so the per-run state
+    // lives on the stack for typical programs; only unusually
+    // register-heavy programs pay for a heap allocation.
+    let mut slots_buf = [0 as V; STACK_SLOTS];
+    let mut slots_heap: Vec<V>;
+    let slots: &mut [V] = if slot_count <= STACK_SLOTS {
+        &mut slots_buf[..slot_count]
+    } else {
+        slots_heap = vec![0 as V; slot_count];
+        &mut slots_heap
+    };
+    slots[..arity].copy_from_slice(inputs);
+    // Transformation (1): x̄i = {i}, every other surveillance variable (and
+    // C̄) empty.
+    let mut taints_buf = [IndexSet::empty(); STACK_SLOTS];
+    let mut taints_heap: Vec<IndexSet>;
+    let taints: &mut [IndexSet] = if slot_count <= STACK_SLOTS {
+        &mut taints_buf[..slot_count]
+    } else {
+        taints_heap = vec![IndexSet::empty(); slot_count];
+        &mut taints_heap
+    };
+    for (i, t) in taints.iter_mut().take(arity).enumerate() {
+        *t = IndexSet::single(i + 1);
+    }
+    let mut pc_taint = IndexSet::empty();
+    let mut stack: Vec<V> = Vec::with_capacity(compiled.stack_capacity());
+    let accumulate = cfg.style == Style::Accumulate;
+    let every_decision = cfg.check == CheckAt::EveryDecision;
+    let fuel = cfg.fuel;
+    let allowed = cfg.allowed;
+    let insts = compiled.insts();
+    let mut pc = 0usize;
+    let mut steps: u64 = 0;
+    // Transformation (2) for one assignment: v̄ ← sources ∪ C̄ (∪ v̄ for the
+    // high-water discipline), then the value update. The fused instruction
+    // forms name their source slots directly, so only the rare RPN forms
+    // consult the compile-time read sets.
+    macro_rules! assign {
+        ($dst:expr, $v:expr, $next:expr, $t:expr) => {{
+            let mut t = $t;
+            if accumulate {
+                t.union_with(&taints[$dst as usize]);
+            }
+            taints[$dst as usize] = t;
+            slots[$dst as usize] = $v;
+            pc = $next as usize;
+        }};
+    }
+    while steps < fuel {
+        steps += 1;
+        match insts[pc] {
+            Inst::Jump { next } => pc = next as usize,
+            Inst::AssignConst { dst, value, next } => assign!(dst, value, next, pc_taint),
+            Inst::AssignCopy { dst, src, next } => {
+                let v = slots[src as usize];
+                assign!(dst, v, next, pc_taint.union(&taints[src as usize]));
+            }
+            Inst::AssignBin {
+                dst,
+                op,
+                a,
+                b,
+                next,
+            } => {
+                let mut t = pc_taint;
+                if let Operand::Slot(s) = a {
+                    t.union_with(&taints[s as usize]);
+                }
+                if let Operand::Slot(s) = b {
+                    t.union_with(&taints[s as usize]);
+                }
+                let v = op.apply(a.value(slots), b.value(slots));
+                assign!(dst, v, next, t);
+            }
+            Inst::AssignCode { dst, code, next } => {
+                let mut t = pc_taint;
+                for &s in compiled.reads(pc) {
+                    t.union_with(&taints[s as usize]);
+                }
+                let v = compiled.eval_code(code, slots, &mut stack);
+                assign!(dst, v, next, t);
+            }
+            Inst::CmpBr {
+                op,
+                a,
+                b,
+                then_,
+                else_,
+            } => {
+                // Transformation (3): C̄ ← C̄ ∪ w̄1 ∪ … ∪ w̄s.
+                if let Operand::Slot(s) = a {
+                    pc_taint.union_with(&taints[s as usize]);
+                }
+                if let Operand::Slot(s) = b {
+                    pc_taint.union_with(&taints[s as usize]);
+                }
+                if every_decision && !pc_taint.is_subset(&allowed) {
+                    // Theorem 3′: abort before the disallowed test is taken.
+                    return SurvOutcome::Violation {
+                        site: NodeId(pc),
+                        taint: pc_taint,
+                        steps,
+                    };
+                }
+                pc = if op.apply(a.value(slots), b.value(slots)) {
+                    then_ as usize
+                } else {
+                    else_ as usize
+                };
+            }
+            Inst::PredBr { code, then_, else_ } => {
+                for &s in compiled.reads(pc) {
+                    pc_taint.union_with(&taints[s as usize]);
+                }
+                if every_decision && !pc_taint.is_subset(&allowed) {
+                    return SurvOutcome::Violation {
+                        site: NodeId(pc),
+                        taint: pc_taint,
+                        steps,
+                    };
+                }
+                pc = if compiled.eval_code(code, slots, &mut stack) != 0 {
+                    then_ as usize
+                } else {
+                    else_ as usize
+                };
+            }
+            Inst::Halt => {
+                // Transformation (4): release y only if ȳ ∪ C̄ ⊆ J.
+                let t = taints[out_slot].union(&pc_taint);
+                if t.is_subset(&cfg.allowed) {
+                    return SurvOutcome::Accepted {
+                        y: slots[out_slot],
+                        steps,
+                    };
+                }
+                return SurvOutcome::Violation {
+                    site: NodeId(pc),
+                    taint: t,
+                    steps,
+                };
+            }
+        }
+    }
+    SurvOutcome::OutOfFuel
+}
+
+/// [`run_trace`](crate::monitor::run_trace) on the VM: the compiled
+/// program drives the unchanged taint-and-event monitor pair, so verdict
+/// and event stream match the AST engine exactly.
+pub fn run_trace_vm(
+    compiled: &Compiled,
+    inputs: &[V],
+    cfg: &SurvConfig,
+) -> (SurvOutcome, Vec<TraceEvent>) {
+    let fc = compiled.flowchart();
+    compiled.run_monitored(
+        inputs,
+        cfg.fuel,
+        &mut enf_flowchart::stepper::Pair(
+            TaintMonitor::new(fc, *cfg),
+            EventMonitor::new(fc, cfg.style),
+        ),
+    )
+}
+
+/// [`explain`](crate::explain::explain) on the VM: same outcome, same
+/// carrier chain, compiled execution.
+pub fn explain_vm(compiled: &Compiled, inputs: &[V], cfg: &SurvConfig) -> Explanation {
+    let (out, events) = run_trace_vm(compiled, inputs, cfg);
+    let (accepted, offending) = match out {
+        SurvOutcome::Accepted { .. } => (true, IndexSet::empty()),
+        SurvOutcome::Violation { taint, .. } => (false, taint.difference(&cfg.allowed)),
+        SurvOutcome::OutOfFuel => (false, IndexSet::empty()),
+    };
+    Explanation {
+        accepted,
+        offending,
+        events: events.iter().filter_map(TraceEvent::flow_event).collect(),
+    }
+}
+
+/// The surveillance mechanism running on the bytecode VM: a drop-in
+/// replacement for [`Surveillance`](crate::mechanism::Surveillance) /
+/// [`HighWater`](crate::mechanism::HighWater) that compiles the program
+/// once and sweeps compiled.
+#[derive(Clone, Debug)]
+pub struct VmSurveillance {
+    compiled: Arc<Compiled>,
+    cfg: SurvConfig,
+}
+
+impl VmSurveillance {
+    /// Theorem 3's M on the VM: check at HALT.
+    pub fn new(program: FlowchartProgram, allowed: IndexSet) -> Self {
+        let cfg = SurvConfig::surveillance(allowed).with_fuel(program.fuel());
+        VmSurveillance {
+            compiled: Arc::new(Compiled::new(program.flowchart())),
+            cfg,
+        }
+    }
+
+    /// Theorem 3′'s M′ on the VM: additionally check at every decision.
+    pub fn timed(program: FlowchartProgram, allowed: IndexSet) -> Self {
+        let cfg = SurvConfig::timed(allowed).with_fuel(program.fuel());
+        VmSurveillance {
+            compiled: Arc::new(Compiled::new(program.flowchart())),
+            cfg,
+        }
+    }
+
+    /// The high-water-mark M_h on the VM: taints never shrink.
+    pub fn highwater(program: FlowchartProgram, allowed: IndexSet) -> Self {
+        let cfg = SurvConfig::highwater(allowed).with_fuel(program.fuel());
+        VmSurveillance {
+            compiled: Arc::new(Compiled::new(program.flowchart())),
+            cfg,
+        }
+    }
+
+    /// Wraps an already-compiled program under `cfg`.
+    pub fn from_compiled(compiled: Arc<Compiled>, cfg: SurvConfig) -> Self {
+        VmSurveillance { compiled, cfg }
+    }
+
+    /// The compiled program.
+    pub fn compiled(&self) -> &Compiled {
+        &self.compiled
+    }
+
+    /// The run configuration.
+    pub fn config(&self) -> &SurvConfig {
+        &self.cfg
+    }
+
+    /// Runs and returns the full surveillance outcome.
+    pub fn run_detailed(&self, input: &[V]) -> SurvOutcome {
+        run_surveillance_vm(&self.compiled, input, &self.cfg)
+    }
+}
+
+impl Mechanism for VmSurveillance {
+    type Out = ExecValue;
+
+    fn arity(&self) -> usize {
+        self.compiled.arity()
+    }
+
+    fn run(&self, input: &[V]) -> MechOutput<ExecValue> {
+        to_mech_output(self.run_detailed(input))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamic::run_surveillance;
+    use crate::explain::explain;
+    use crate::mechanism::Surveillance;
+    use crate::monitor::run_trace;
+    use enf_flowchart::corpus;
+    use enf_flowchart::generate::{random_flowchart, GenConfig};
+    use enf_flowchart::graph::Flowchart;
+    use enf_flowchart::parse;
+
+    /// All four `Style` × `CheckAt` configurations over one allowed set.
+    fn four_configs(allowed: IndexSet) -> [SurvConfig; 4] {
+        let accumulate_timed = SurvConfig {
+            allowed,
+            style: Style::Accumulate,
+            check: CheckAt::EveryDecision,
+            fuel: 1_000_000,
+        };
+        [
+            SurvConfig::surveillance(allowed),
+            SurvConfig::timed(allowed),
+            SurvConfig::highwater(allowed),
+            accumulate_timed,
+        ]
+    }
+
+    fn assert_all_configs_match(fc: &Flowchart, inputs: &[V], fuel: u64, ctx: &str) {
+        let compiled = Compiled::new(fc);
+        for allowed in [
+            IndexSet::empty(),
+            IndexSet::single(1),
+            IndexSet::full(fc.arity()),
+        ] {
+            for cfg in four_configs(allowed) {
+                let cfg = cfg.with_fuel(fuel);
+                let ast = run_surveillance(fc, inputs, &cfg);
+                let vm = run_surveillance_vm(&compiled, inputs, &cfg);
+                assert_eq!(ast, vm, "{ctx}: cfg {cfg:?}, inputs {inputs:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_programs_match_ast_engine_on_all_configs() {
+        for pp in corpus::all() {
+            let k = pp.flowchart.arity();
+            let inputs: Vec<Vec<V>> = match k {
+                1 => (-2..=2).map(|a| vec![a]).collect(),
+                _ => (-2..=2)
+                    .flat_map(|a| (-2..=2).map(move |b| vec![a, b]))
+                    .collect(),
+            };
+            for a in inputs {
+                assert_all_configs_match(&pp.flowchart, &a, 2_000, pp.name);
+            }
+        }
+    }
+
+    #[test]
+    fn random_programs_match_ast_engine_on_all_configs() {
+        let gen = GenConfig::default();
+        for seed in 200..260u64 {
+            let fc = random_flowchart(seed, &gen);
+            for a in -2..=2 {
+                for b in -2..=2 {
+                    assert_all_configs_match(&fc, &[a, b], 10_000, &format!("seed {seed}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fuel_edges_match_including_zero() {
+        let fc = parse("program(1) { while x1 != 0 { x1 := x1 - 1; } y := 1; }").unwrap();
+        for fuel in 0..25 {
+            assert_all_configs_match(&fc, &[3], fuel, "fuel sweep");
+        }
+    }
+
+    #[test]
+    fn trace_vm_produces_identical_event_stream() {
+        let fc = parse("program(2) { y := x1; if x2 == 0 { y := 0; } }").unwrap();
+        let compiled = Compiled::new(&fc);
+        for cfg in four_configs(IndexSet::single(2)) {
+            for a in [[9, 0], [9, 5], [0, 0]] {
+                let ast = run_trace(&fc, &a, &cfg);
+                let vm = run_trace_vm(&compiled, &a, &cfg);
+                assert_eq!(ast, vm, "cfg {cfg:?}, inputs {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn explain_vm_matches_ast_explain() {
+        let gen = GenConfig::default();
+        for seed in 300..320u64 {
+            let fc = random_flowchart(seed, &gen);
+            let compiled = Compiled::new(&fc);
+            for cfg in four_configs(IndexSet::single(2)) {
+                for a in [[-1, 1], [0, 0], [2, -2]] {
+                    assert_eq!(
+                        explain(&fc, &a, &cfg),
+                        explain_vm(&compiled, &a, &cfg),
+                        "seed {seed}, cfg {cfg:?}, inputs {a:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vm_mechanism_matches_ast_mechanism() {
+        let fc = parse("program(2) { y := x2; if x2 == 0 { y := 0; } }").unwrap();
+        let p = FlowchartProgram::new(fc);
+        let ast = Surveillance::new(p.clone(), IndexSet::single(2));
+        let vm = VmSurveillance::new(p, IndexSet::single(2));
+        assert_eq!(Mechanism::arity(&vm), 2);
+        for a in -3..=3 {
+            for b in -3..=3 {
+                assert_eq!(ast.run(&[a, b]), vm.run(&[a, b]), "at ({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn vm_violation_site_matches_instrumented_node_ids() {
+        let fc = parse("program(1) { y := x1; }").unwrap();
+        let compiled = Compiled::new(&fc);
+        let ast = run_surveillance(&fc, &[3], &SurvConfig::surveillance(IndexSet::empty()));
+        let vm = run_surveillance_vm(
+            &compiled,
+            &[3],
+            &SurvConfig::surveillance(IndexSet::empty()),
+        );
+        assert_eq!(ast, vm);
+        match vm {
+            SurvOutcome::Violation { site, .. } => {
+                assert!(matches!(fc.node(site), enf_flowchart::graph::Node::Halt));
+            }
+            other => panic!("expected violation, got {other:?}"),
+        }
+    }
+}

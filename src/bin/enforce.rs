@@ -3,9 +3,10 @@
 //! ```text
 //! enforce run       <file.fc> --input 3,4 [--fuel N]
 //! enforce surveil   <file.fc> --allow 2 --input 3,4 [--timed] [--highwater]
-//! enforce trace     <file.fc> --input 3,4 [--allow 2] [--json] [--timed] [--highwater]
-//! enforce check     <file.fc> --allow 2 --span 3 [--timed] [--highwater] [--threads N]
+//! enforce trace     <file.fc> --input 3,4 [--allow 2] [--json] [--timed] [--highwater] [--engine ast|vm]
+//! enforce check     <file.fc> --allow 2 --span 3 [--timed] [--highwater] [--threads N] [--engine ast|vm]
 //!                   [--deadline SECS] [--budget N] [--checkpoint FILE] [--resume FILE] [--block N]
+//! enforce compile   <file.fc> [--dump]
 //! enforce certify   <file.fc> --allow 2 [--scoped | --value | --relational]
 //! enforce refute    <file.fc> --allow 2 [--span S] [--threads N] [--json]
 //! enforce lint      <file.fc> --allow 2 [--json]
@@ -33,6 +34,7 @@ use enforcement::core::{
     try_check_soundness_with, CancelToken, Coverage, EnfError, EvalConfig, Identity, Mechanism,
     Verdict,
 };
+use enforcement::flowchart::bytecode::Compiled;
 use enforcement::flowchart::dot::{to_dot, to_dot_decorated, NodeDecor};
 use enforcement::flowchart::interp::ExecValue;
 use enforcement::flowchart::pretty::flowchart_to_string;
@@ -43,6 +45,7 @@ use enforcement::staticflow::search::improve;
 use enforcement::surveillance::dynamic::SurvConfig;
 use enforcement::surveillance::explain;
 use enforcement::surveillance::instrument::instrument_with;
+use enforcement::surveillance::VmSurveillance;
 use std::io::Read as _;
 use std::process::ExitCode;
 
@@ -92,9 +95,10 @@ fn usage() -> &'static str {
      commands:\n\
        run        execute the program        --input a,b [--fuel N]\n\
        surveil    run under surveillance     --allow J --input a,b [--timed] [--highwater]\n\
-       trace      per-step taint trace       --input a,b [--allow J] [--json] [--timed] [--highwater]\n\
-       check      soundness over a grid      --allow J --span S [--timed] [--highwater] [--threads N]\n\
+       trace      per-step taint trace       --input a,b [--allow J] [--json] [--timed] [--highwater] [--engine ast|vm]\n\
+       check      soundness over a grid      --allow J --span S [--timed] [--highwater] [--threads N] [--engine ast|vm]\n\
        \x20                                  [--deadline SECS] [--budget N] [--checkpoint F] [--resume F] [--block N]\n\
+       compile    lower to register bytecode [--dump]\n\
        certify    static certification       --allow J [--scoped | --value | --relational]\n\
        refute     leak witness search        --allow J [--span S] [--threads N] [--fuel N] [--json]\n\
        lint       static diagnostics         --allow J [--json]\n\
@@ -118,6 +122,11 @@ fn usage() -> &'static str {
      [-S, S]^k x [-S, S]^k (--span S, default 3) for a pair of J-agreeing\n\
      inputs with different released outcomes; the least-index witness is\n\
      deterministic for every --threads count.\n\
+     trace and check run on the register-bytecode VM by default\n\
+     (--engine vm); --engine ast selects the flowchart stepper. The two\n\
+     engines are bit-identical: same events, verdicts and witnesses.\n\
+     compile prints the lowered program's summary line; --dump prints the\n\
+     full instruction listing.\n\
      exit codes: 0 ok, 1 violation/refuted/unknown, 2 usage, 3 internal."
 }
 
@@ -277,7 +286,11 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
             let cfg = base_config(&args, allow).with_fuel(fuel);
             use enforcement::surveillance::dynamic::SurvOutcome;
             use enforcement::surveillance::monitor::{run_trace, TraceKind};
-            let (verdict, events) = run_trace(&fc, &input, &cfg);
+            use enforcement::surveillance::run_trace_vm;
+            let (verdict, events) = match parse_engine(&args)? {
+                Engine::Ast => run_trace(&fc, &input, &cfg),
+                Engine::Vm => run_trace_vm(&Compiled::new(&fc), &input, &cfg),
+            };
             if args.has("json") {
                 for e in &events {
                     let _ = writeln!(out, "{}", e.to_json_line());
@@ -397,11 +410,14 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
                 };
                 // The fingerprint salt ties a checkpoint to this exact
                 // sweep: program text, policy, grid, fuel, and variant.
+                // The engine is deliberately absent from the salt — the
+                // two engines are bit-identical, so checkpoints are
+                // interchangeable between them.
                 let salt = check_salt(&src, allow, span, fuel, args.has("highwater"));
-                if args.has("highwater") {
-                    let m = HighWater::new(program, allow);
-                    checkpointed_soundness(
-                        &m,
+                let engine = parse_engine(&args)?;
+                match (engine, args.has("highwater")) {
+                    (Engine::Vm, true) => checkpointed_soundness(
+                        &VmSurveillance::highwater(program, allow),
                         &policy,
                         &grid,
                         &eval,
@@ -410,11 +426,9 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
                         block,
                         resume_path.as_deref(),
                         checkpoint_path.as_deref(),
-                    )?
-                } else {
-                    let m = Surveillance::new(program, allow);
-                    checkpointed_soundness(
-                        &m,
+                    )?,
+                    (Engine::Vm, false) => checkpointed_soundness(
+                        &VmSurveillance::new(program, allow),
                         &policy,
                         &grid,
                         &eval,
@@ -423,17 +437,66 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
                         block,
                         resume_path.as_deref(),
                         checkpoint_path.as_deref(),
-                    )?
+                    )?,
+                    (Engine::Ast, true) => checkpointed_soundness(
+                        &HighWater::new(program, allow),
+                        &policy,
+                        &grid,
+                        &eval,
+                        &ctl,
+                        salt,
+                        block,
+                        resume_path.as_deref(),
+                        checkpoint_path.as_deref(),
+                    )?,
+                    (Engine::Ast, false) => checkpointed_soundness(
+                        &Surveillance::new(program, allow),
+                        &policy,
+                        &grid,
+                        &eval,
+                        &ctl,
+                        salt,
+                        block,
+                        resume_path.as_deref(),
+                        checkpoint_path.as_deref(),
+                    )?,
                 }
             } else if args.has("timed") {
+                // The M′-with-observable-time wrapper runs the stepper
+                // directly; --engine does not apply to it.
                 let m = TimedMechanism::new(program.flowchart().clone(), allow).with_fuel(fuel);
                 guarded_soundness(&Identity::new(&m), &policy, &grid, &eval, &ctl)?
-            } else if args.has("highwater") {
-                let m = HighWater::new(program, allow);
-                guarded_soundness(&m, &policy, &grid, &eval, &ctl)?
             } else {
-                let m = Surveillance::new(program, allow);
-                guarded_soundness(&m, &policy, &grid, &eval, &ctl)?
+                match (parse_engine(&args)?, args.has("highwater")) {
+                    (Engine::Vm, true) => guarded_soundness(
+                        &VmSurveillance::highwater(program, allow),
+                        &policy,
+                        &grid,
+                        &eval,
+                        &ctl,
+                    )?,
+                    (Engine::Vm, false) => guarded_soundness(
+                        &VmSurveillance::new(program, allow),
+                        &policy,
+                        &grid,
+                        &eval,
+                        &ctl,
+                    )?,
+                    (Engine::Ast, true) => guarded_soundness(
+                        &HighWater::new(program, allow),
+                        &policy,
+                        &grid,
+                        &eval,
+                        &ctl,
+                    )?,
+                    (Engine::Ast, false) => guarded_soundness(
+                        &Surveillance::new(program, allow),
+                        &policy,
+                        &grid,
+                        &eval,
+                        &ctl,
+                    )?,
+                }
             };
             let _ = match coverage.verdict {
                 Verdict::Confirmed => writeln!(out, "sound over {} inputs", coverage.total),
@@ -450,6 +513,16 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
             };
             if coverage.verdict != Verdict::Confirmed {
                 code = EXIT_VIOLATION;
+            }
+        }
+        "compile" => {
+            let compiled = Compiled::new(&fc);
+            if args.has("dump") {
+                out.push_str(&compiled.listing());
+            } else {
+                let listing = compiled.listing();
+                let summary = listing.lines().next().unwrap_or_default();
+                let _ = writeln!(out, "{summary}");
             }
         }
         "certify" => {
@@ -681,6 +754,28 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
         }
     }
     Ok((out, code))
+}
+
+/// Which executor runs the dynamic disciplines: the flowchart stepper
+/// (`ast`) or the register-bytecode VM (`vm`, the default). The engines
+/// are differentially pinned bit-identical, so the choice only affects
+/// speed.
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    Ast,
+    Vm,
+}
+
+fn parse_engine(args: &Args) -> Result<Engine, String> {
+    match args.flag("engine") {
+        None => Ok(Engine::Vm),
+        Some(Some(v)) => match v.as_str() {
+            "ast" => Ok(Engine::Ast),
+            "vm" => Ok(Engine::Vm),
+            other => Err(format!("bad --engine `{other}` (expected ast or vm)")),
+        },
+        Some(None) => Err("--engine needs a value (ast or vm)".to_string()),
+    }
 }
 
 /// `--allow J` where omission means "every index" — pure observation.

@@ -456,6 +456,7 @@ fn usage_lists_every_subcommand_and_flag() {
         "surveil",
         "trace",
         "check",
+        "compile",
         "certify",
         "refute",
         "lint",
@@ -470,8 +471,21 @@ fn usage_lists_every_subcommand_and_flag() {
         );
     }
     for flag in [
-        "--scoped", "--value", "--relational", "--span", "--threads", "--json", "--timed",
-        "--highwater", "--deadline", "--budget", "--checkpoint", "--resume", "--fuel",
+        "--scoped",
+        "--value",
+        "--relational",
+        "--span",
+        "--threads",
+        "--json",
+        "--timed",
+        "--highwater",
+        "--deadline",
+        "--budget",
+        "--checkpoint",
+        "--resume",
+        "--fuel",
+        "--engine",
+        "--dump",
     ] {
         assert!(err.contains(flag), "usage text lost `{flag}`:\n{err}");
     }
@@ -565,6 +579,66 @@ fn refute_witness_is_thread_count_independent() {
         outputs.push(out);
     }
     assert!(outputs.windows(2).all(|w| w[0] == w[1]), "{outputs:?}");
+}
+
+#[test]
+fn compile_dump_is_a_stable_listing() {
+    // Golden snapshot of the bytecode lowering for the forgetting program:
+    // slot layout, fused compare-and-branch, instruction indices = node ids.
+    let (code, out, _) = enforce(&["compile", "-", "--dump"], FORGETTING);
+    assert_eq!(code, 0);
+    assert_eq!(
+        out,
+        "bytecode: 5 insts, 3 slots (arity 2)\n\
+         slots: s0=x1 s1=x2 s2=y\n\
+         n0: start -> n1\n\
+         n1: s2 := s0 -> n2\n\
+         n2: if s1 == 0 -> n3 else n4\n\
+         n3: s2 := 0 -> n4\n\
+         n4: halt\n"
+    );
+    // Without --dump only the summary line is printed.
+    let (code, out, _) = enforce(&["compile", "-"], FORGETTING);
+    assert_eq!(code, 0);
+    assert_eq!(out, "bytecode: 5 insts, 3 slots (arity 2)\n");
+}
+
+#[test]
+fn trace_engines_are_bit_identical() {
+    for extra in [&[][..], &["--json"][..], &["--highwater"][..]] {
+        let mut vm_args = vec!["trace", "-", "--allow", "2", "--input", "7,5"];
+        vm_args.extend_from_slice(extra);
+        let mut ast_args = vm_args.clone();
+        vm_args.extend_from_slice(&["--engine", "vm"]);
+        ast_args.extend_from_slice(&["--engine", "ast"]);
+        let (vm_code, vm_out, _) = enforce(&vm_args, FORGETTING);
+        let (ast_code, ast_out, _) = enforce(&ast_args, FORGETTING);
+        assert_eq!(vm_code, ast_code, "{extra:?}");
+        assert_eq!(vm_out, ast_out, "{extra:?}");
+    }
+}
+
+#[test]
+fn check_engines_agree_and_bad_engine_is_usage_error() {
+    for extra in [&[][..], &["--highwater"][..]] {
+        let mut vm_args = vec!["check", "-", "--allow", "2", "--span", "3"];
+        vm_args.extend_from_slice(extra);
+        let mut ast_args = vm_args.clone();
+        vm_args.extend_from_slice(&["--engine", "vm"]);
+        ast_args.extend_from_slice(&["--engine", "ast"]);
+        let (vm_code, vm_out, _) = enforce(&vm_args, FORGETTING);
+        let (ast_code, ast_out, _) = enforce(&ast_args, FORGETTING);
+        assert_eq!(vm_code, ast_code, "{extra:?}");
+        assert_eq!(vm_out, ast_out, "{extra:?}");
+    }
+    let (code, _, err) = enforce(
+        &[
+            "check", "-", "--allow", "2", "--span", "3", "--engine", "jit",
+        ],
+        FORGETTING,
+    );
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("bad --engine"), "{err}");
 }
 
 #[test]

@@ -11,15 +11,19 @@
 use std::path::{Path, PathBuf};
 
 /// The executor layer: every module that steps a `Flowchart` over a store.
+/// The bytecode VM and its fused surveillance twin are executors too —
+/// their dispatch is a fuel-bounded `while`, not another `loop {` fork.
 const EXECUTOR_SOURCES: &[&str] = &[
     "crates/flowchart/src/interp.rs",
     "crates/flowchart/src/stepper.rs",
+    "crates/flowchart/src/bytecode.rs",
     "crates/surveillance/src/dynamic.rs",
     "crates/surveillance/src/monitor.rs",
     "crates/surveillance/src/explain.rs",
     "crates/surveillance/src/highwater.rs",
     "crates/surveillance/src/instrument.rs",
     "crates/surveillance/src/mls.rs",
+    "crates/surveillance/src/vm.rs",
 ];
 
 fn repo_root() -> PathBuf {

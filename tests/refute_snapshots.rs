@@ -11,10 +11,7 @@ use std::path::PathBuf;
 use std::process::Command;
 
 /// (program file, allow spec, expected exit code) per snapshot case.
-const CASES: &[(&str, &str, i32)] = &[
-    ("cancelling", "", 0),
-    ("two_path_leak", "2", 1),
-];
+const CASES: &[(&str, &str, i32)] = &[("cancelling", "", 0), ("two_path_leak", "2", 1)];
 
 fn repo_file(rel: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
