@@ -1,0 +1,44 @@
+//! Dynamic-policy certification scaling: the schedule dataflow fixed
+//! point and its exhaustive schedule-enumeration oracle as the slot
+//! count (and so the schedule space) grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enf_bench::schedule_eval::slot_chain;
+use enf_core::{check_soundness_scheduled, Allow, EvalConfig, Grid, IndexSet};
+use enf_flowchart::program::FlowchartProgram;
+use enf_static::schedule::{analyze_schedules, certify_dynamic};
+use std::hint::black_box;
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_eval");
+    for slots in [1usize, 2, 3] {
+        let fc = slot_chain(slots);
+        group.bench_with_input(
+            BenchmarkId::new("analyze_schedules", slots),
+            &fc,
+            |b, fc| b.iter(|| black_box(analyze_schedules(fc, IndexSet::EMPTY))),
+        );
+        group.bench_with_input(BenchmarkId::new("certify_dynamic", slots), &fc, |b, fc| {
+            b.iter(|| black_box(certify_dynamic(fc, IndexSet::EMPTY)))
+        });
+        let subject = FlowchartProgram::new(fc);
+        let grid = Grid::hypercube(2, -1..=1);
+        let initial = Allow::none(2);
+        let cfg = EvalConfig::default();
+        group.bench_with_input(
+            BenchmarkId::new("scheduled_oracle", slots),
+            &subject,
+            |b, subject| {
+                b.iter(|| {
+                    black_box(check_soundness_scheduled(
+                        subject, &initial, &grid, &cfg, None,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule);
+criterion_main!(benches);

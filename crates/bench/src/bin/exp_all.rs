@@ -4,12 +4,14 @@
 //! parallel engine), the stepper-vs-seed-loop interpreter overhead, the
 //! checkpointed-sweep overhead (bar ≤3%), the relational-proof vs
 //! pair-sweep cost, the bytecode-VM vs stepper speedup (bar ≥5×), and the
-//! class-evaluator vs generic-sweep speedup (bar ≥10×), writing all six
-//! to `BENCH_results.json` (`{"throughput": [...],
+//! class-evaluator vs generic-sweep speedup (bar ≥10×), and the
+//! dynamic-policy certificate vs bounded-schedule-sweep cost, writing
+//! all seven to `BENCH_results.json` (`{"throughput": [...],
 //! "stepper_overhead": [...], "checkpoint_overhead": [...],
-//! "relational": [...], "bytecode": [...], "class_eval": [...]}`); skip
-//! with `--no-bench`, or pass `--quick` for the small-size CI smoke run
-//! (same code paths, sub-minute, numbers not publication-grade).
+//! "relational": [...], "bytecode": [...], "class_eval": [...],
+//! "schedule": [...]}`); skip with `--no-bench`, or pass `--quick` for
+//! the small-size CI smoke run (same code paths, sub-minute, numbers
+//! not publication-grade).
 
 fn main() {
     let markdown = std::env::args().any(|a| a == "--markdown");
@@ -119,14 +121,31 @@ fn main() {
                 r.speedup()
             );
         }
+        let sched = if quick {
+            enf_bench::schedule_eval::measure_sized(&[1, 2])
+        } else {
+            enf_bench::schedule_eval::measure()
+        };
+        for r in &sched {
+            println!(
+                "schedule slots {:>2} {:>6} schedules x {:>5} inputs  certificate {:>12.9}s  sweep {:>10.6}s  ratio {:.0}x",
+                r.slots,
+                r.schedules,
+                r.inputs,
+                r.analysis_secs,
+                r.oracle_secs,
+                r.ratio()
+            );
+        }
         let json = format!(
-            "{{\n\"throughput\": {},\n\"stepper_overhead\": {},\n\"checkpoint_overhead\": {},\n\"relational\": {},\n\"bytecode\": {},\n\"class_eval\": {}\n}}\n",
+            "{{\n\"throughput\": {},\n\"stepper_overhead\": {},\n\"checkpoint_overhead\": {},\n\"relational\": {},\n\"bytecode\": {},\n\"class_eval\": {},\n\"schedule\": {}\n}}\n",
             enf_bench::throughput::to_json(&rows),
             enf_bench::stepper::to_json(&overhead),
             enf_bench::checkpoint::to_json(&ckpt),
             enf_bench::relational::to_json(&rel),
             enf_bench::vmspeed::bytecode_to_json(&bytecode),
-            enf_bench::vmspeed::class_eval_to_json(&class_eval)
+            enf_bench::vmspeed::class_eval_to_json(&class_eval),
+            enf_bench::schedule_eval::to_json(&sched)
         );
         match std::fs::write("BENCH_results.json", &json) {
             Ok(()) => println!("wrote BENCH_results.json"),

@@ -15,6 +15,7 @@ pub mod checkpoint;
 pub mod experiments;
 pub mod relational;
 pub mod report;
+pub mod schedule_eval;
 pub mod stepper;
 pub mod throughput;
 pub mod vmspeed;

@@ -67,6 +67,14 @@ pub fn run_seed_loop(fc: &Flowchart, inputs: &[V], fuel: u64) -> SeedOutcome {
                 std::hint::black_box(&trace);
                 return Some((store.output(), steps));
             }
+            // Policy boxes touch labels, not the store: one counted step,
+            // exactly as the stepper engine treats them.
+            Node::SetPolicy { .. } | Node::Declassify { .. } => {
+                at = match fc.succ(at) {
+                    Succ::One(n) => n,
+                    _ => unreachable!("validated policy box has one successor"),
+                };
+            }
         }
     }
 }

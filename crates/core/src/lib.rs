@@ -59,6 +59,7 @@ pub mod par;
 pub mod policy;
 pub mod program;
 pub mod quantitative;
+pub mod schedule;
 pub mod soundness;
 pub mod value;
 
@@ -79,6 +80,10 @@ pub use par::{CancelToken, EvalConfig};
 pub use policy::{Allow, FnPolicy, Policy};
 pub use program::{FnProgram, Program};
 pub use quantitative::{measure_leak, LeakReport};
+pub use schedule::{
+    check_soundness_scheduled, validate_scheduled_witness, Schedule, ScheduledObs,
+    ScheduledProgram, ScheduledReport, ScheduledWitness,
+};
 pub use soundness::{
     check_protection, check_protection_with, check_soundness, check_soundness_classes,
     check_soundness_classes_with, check_soundness_with, try_check_protection,

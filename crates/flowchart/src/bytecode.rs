@@ -217,6 +217,13 @@ pub enum Inst {
         /// Branch target otherwise.
         else_: u32,
     },
+    /// A `setpolicy` or `declassify` box: value-wise a fallthrough (the
+    /// store is untouched), but policy-aware engines dispatch on the
+    /// source [`Node`] at this index to update their label state.
+    Policy {
+        /// Next instruction.
+        next: u32,
+    },
     /// Return `slots[out]`.
     Halt,
 }
@@ -270,6 +277,9 @@ impl Compiled {
                     let (then_, else_) = cond_succ(&succ);
                     c.lower_decision(pred, then_, else_)
                 }
+                Node::SetPolicy { .. } | Node::Declassify { .. } => Inst::Policy {
+                    next: one_succ(&succ),
+                },
                 Node::Halt => Inst::Halt,
             };
             let start = c.read_pool.len() as u32;
@@ -673,6 +683,7 @@ impl Compiled {
                         else_ as usize
                     };
                 }
+                Inst::Policy { next } => pc = next as usize,
                 Inst::Halt => {
                     return Outcome::Halted(Halted {
                         y: slots[self.out_slot as usize],
@@ -735,6 +746,18 @@ impl Compiled {
                         else_ as usize
                     };
                 }
+                Inst::Policy { next } => {
+                    match node {
+                        Node::SetPolicy { spec } => {
+                            monitor.on_setpolicy(steps, at, *spec, &store);
+                        }
+                        Node::Declassify { var, from, to } => {
+                            monitor.on_declassify(steps, at, *var, *from, *to, &store);
+                        }
+                        _ => unreachable!("policy instruction at non-policy node {at}"),
+                    }
+                    pc = next as usize;
+                }
                 Inst::Halt => return monitor.on_halt(steps, at, &store),
             }
         }
@@ -793,6 +816,14 @@ impl Compiled {
                 Inst::PredBr { code, then_, else_ } => {
                     format!("if [{}] -> n{then_} else n{else_}", self.code_str(code))
                 }
+                Inst::Policy { next } => match self.fc.node(NodeId(i)) {
+                    Node::SetPolicy { spec } => format!("setpolicy {spec} -> n{next}"),
+                    Node::Declassify { var, from, to } => format!(
+                        "{} -> n{next}",
+                        crate::pretty::declassify_to_string(*var, from, to)
+                    ),
+                    _ => unreachable!("policy instruction at non-policy node n{i}"),
+                },
                 Inst::Halt => "halt".to_string(),
             };
             let _ = writeln!(s, "n{i}: {body}");

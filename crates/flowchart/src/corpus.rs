@@ -293,6 +293,31 @@ pub fn two_path_leak() -> PaperProgram {
     }
 }
 
+/// A mid-run policy *upgrade*: the program copies the denied input while
+/// the initial policy still forbids it, then installs `allow(1)` before any
+/// release.
+///
+/// Every fixed-policy analysis must reject (a `setpolicy` box voids the
+/// whole-run `allow(J)` assumption), yet for every schedule the released
+/// value is governed by the *final* policy, which allows `x1` — the
+/// separating witness for `Analysis::DynamicPolicy` in `enf-static`, and
+/// the scheduled soundness oracle proves it sound exhaustively.
+pub fn policy_upgrade() -> PaperProgram {
+    PaperProgram {
+        name: "policy_upgrade",
+        locus: "Section 5 extension, dynamic policies",
+        flowchart: must(
+            "program(2) {
+                r1 := x1;
+                setpolicy allow(1);
+                y := r1;
+            }",
+        ),
+        policy: Allow::none(2),
+        claim: "sound under every schedule; only the policy-schedule certifier accepts",
+    }
+}
+
 /// Every paper program, for table-driven experiments.
 pub fn all() -> Vec<PaperProgram> {
     vec![
@@ -309,6 +334,7 @@ pub fn all() -> Vec<PaperProgram> {
         constant_guard(),
         cancelling(),
         two_path_leak(),
+        policy_upgrade(),
     ]
 }
 

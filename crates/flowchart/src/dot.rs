@@ -40,6 +40,10 @@ pub fn to_dot_decorated(fc: &Flowchart, name: &str, decor: &[NodeDecor]) -> Stri
             Node::Start => ("START".to_string(), "oval"),
             Node::Assign { var, expr } => (format!("{var} := {}", expr_to_string(expr)), "box"),
             Node::Decision { pred } => (pred_to_string(pred), "diamond"),
+            Node::SetPolicy { spec } => (format!("setpolicy {spec}"), "house"),
+            Node::Declassify { var, from, to } => {
+                (crate::pretty::declassify_to_string(*var, from, to), "house")
+            }
             Node::Halt => ("HALT".to_string(), "oval"),
         };
         let d = decor.get(id.0).unwrap_or(&none);

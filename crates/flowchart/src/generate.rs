@@ -173,6 +173,51 @@ pub fn random_flowchart(seed: u64, cfg: &GenConfig) -> Flowchart {
     lower(&random_structured(seed, cfg)).expect("generated program must lower")
 }
 
+/// A random subset of `{1, …, arity}`.
+fn gen_index_set(rng: &mut SplitMix, arity: usize) -> enf_core::IndexSet {
+    enf_core::IndexSet::from_bits((rng.below(1 << arity)) << 1)
+}
+
+/// A random policy statement: a concrete `setpolicy`, a slot box
+/// (`setpolicy p1` / `p2`), or a `declassify` relabel of a random
+/// variable.
+fn gen_policy_stmt(rng: &mut SplitMix, cfg: &GenConfig) -> Stmt {
+    use crate::graph::PolicySpec;
+    match rng.below(4) {
+        0 => Stmt::SetPolicy(PolicySpec::Slot(rng.below(2) as usize + 1)),
+        1 | 2 => Stmt::SetPolicy(PolicySpec::Concrete(gen_index_set(rng, cfg.arity))),
+        _ => Stmt::Declassify(
+            gen_var(rng, cfg, true),
+            gen_index_set(rng, cfg.arity),
+            gen_index_set(rng, cfg.arity),
+        ),
+    }
+}
+
+/// Generates a random terminating *dynamic-policy* program: the program
+/// of [`random_structured`] with one to three random policy boxes
+/// (`setpolicy allow(…)`, slot boxes, `declassify` relabels) spliced in
+/// at random top-level positions. Policy boxes never touch the store, so
+/// termination is unaffected.
+pub fn random_policy_structured(seed: u64, cfg: &GenConfig) -> StructuredProgram {
+    let mut sp = random_structured(seed, cfg);
+    // A distinct stream, so the base program is the same as
+    // `random_structured(seed, cfg)` with the boxes deleted.
+    let mut rng = SplitMix::new(seed ^ 0xd1f7_c0de_5eed_0001);
+    let boxes = rng.below(3) as usize + 1;
+    for _ in 0..boxes {
+        let at = rng.below(sp.body.len() as u64 + 1) as usize;
+        let stmt = gen_policy_stmt(&mut rng, cfg);
+        sp.body.insert(at, stmt);
+    }
+    sp
+}
+
+/// Generates and lowers a random terminating dynamic-policy flowchart.
+pub fn random_policy_flowchart(seed: u64, cfg: &GenConfig) -> Flowchart {
+    lower(&random_policy_structured(seed, cfg)).expect("generated program must lower")
+}
+
 /// A straight-line chain of `n` register increments ending in `y := r1` —
 /// the scaling family for interpreter/instrumentation overhead benches.
 pub fn chain(n: usize) -> Flowchart {

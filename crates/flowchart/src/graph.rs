@@ -8,6 +8,7 @@
 //! assumes a validated graph.
 
 use crate::ast::{Expr, Pred, Var};
+use enf_core::IndexSet;
 use std::fmt;
 
 /// Identifier of a node within one flowchart.
@@ -17,6 +18,37 @@ pub struct NodeId(pub usize);
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "n{}", self.0)
+    }
+}
+
+/// The policy a `setpolicy` box installs: either a concrete allowed set
+/// written in the program text, or a symbolic slot bound by an external
+/// [schedule](enf_core::Schedule) at run/analysis time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PolicySpec {
+    /// `setpolicy allow(i1, …, im);` — the allowed set is fixed in the
+    /// program text.
+    Concrete(IndexSet),
+    /// `setpolicy p<n>;` — slot `n` (1-based) of the governing schedule;
+    /// an unbound slot resolves to `allow()` (most restrictive).
+    Slot(usize),
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicySpec::Concrete(s) => {
+                write!(f, "allow(")?;
+                for (n, i) in s.iter().enumerate() {
+                    if n > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{i}")?;
+                }
+                write!(f, ")")
+            }
+            PolicySpec::Slot(n) => write!(f, "p{n}"),
+        }
     }
 }
 
@@ -36,6 +68,23 @@ pub enum Node {
     Decision {
         /// The predicate tested.
         pred: Pred,
+    },
+    /// Policy-change box `setpolicy P;`: the active policy becomes `P`
+    /// for the remainder of the run (until the next policy box).
+    SetPolicy {
+        /// The policy installed on traversal.
+        spec: PolicySpec,
+    },
+    /// Declassification edge `declassify(v: A ~> B);`: the taint of `v`
+    /// is relabeled `t ↦ (t \ A) ∪ B` on traversal; the store is
+    /// untouched.
+    Declassify {
+        /// The relabeled variable.
+        var: Var,
+        /// Source indices sanctioned for release.
+        from: IndexSet,
+        /// Replacement indices (may be empty: full release).
+        to: IndexSet,
     },
     /// A HALT box; the value of `y` on arrival is the program's output.
     Halt,
@@ -76,6 +125,10 @@ pub enum GraphError {
     BadInputIndex(NodeId, usize),
     /// A register index is 0.
     BadRegIndex(NodeId),
+    /// A policy index set mentions an index of 0 or above the arity.
+    BadPolicyIndex(NodeId, usize),
+    /// A policy slot index is 0.
+    BadSlotIndex(NodeId),
 }
 
 impl fmt::Display for GraphError {
@@ -95,6 +148,10 @@ impl fmt::Display for GraphError {
                 write!(f, "node {n} uses input x{i} outside the program arity")
             }
             GraphError::BadRegIndex(n) => write!(f, "node {n} uses register r0"),
+            GraphError::BadPolicyIndex(n, i) => {
+                write!(f, "node {n} names input x{i} outside the program arity")
+            }
+            GraphError::BadSlotIndex(n) => write!(f, "node {n} uses policy slot p0"),
         }
     }
 }
@@ -210,6 +267,32 @@ impl Flowchart {
         max
     }
 
+    /// The policy slots mentioned by `setpolicy` boxes, ascending and
+    /// deduplicated. Empty for programs whose policy boxes are all
+    /// concrete (or absent).
+    pub fn policy_slots(&self) -> Vec<usize> {
+        let mut slots: Vec<usize> = self
+            .nodes
+            .iter()
+            .filter_map(|n| match n {
+                Node::SetPolicy {
+                    spec: PolicySpec::Slot(s),
+                } => Some(*s),
+                _ => None,
+            })
+            .collect();
+        slots.sort_unstable();
+        slots.dedup();
+        slots
+    }
+
+    /// Whether the program contains any `setpolicy` or `declassify` box.
+    pub fn has_policy_nodes(&self) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| matches!(n, Node::SetPolicy { .. } | Node::Declassify { .. }))
+    }
+
     /// Forward successors of a node as a list.
     pub fn succ_list(&self, id: NodeId) -> Vec<NodeId> {
         match self.succ(id) {
@@ -236,6 +319,8 @@ impl Flowchart {
                 (Node::Start, Succ::One(_))
                     | (Node::Assign { .. }, Succ::One(_))
                     | (Node::Decision { .. }, Succ::Cond { .. })
+                    | (Node::SetPolicy { .. }, Succ::One(_))
+                    | (Node::Declassify { .. }, Succ::One(_))
                     | (Node::Halt, Succ::None)
             );
             if !shape_ok {
@@ -253,6 +338,7 @@ impl Flowchart {
                     v
                 }
                 Node::Decision { pred } => pred.vars(),
+                Node::Declassify { var, .. } => vec![*var],
                 _ => Vec::new(),
             };
             for v in vars {
@@ -263,6 +349,26 @@ impl Flowchart {
                     Var::Reg(0) => return Err(GraphError::BadRegIndex(id)),
                     _ => {}
                 }
+            }
+            // Policy index sets may only name real inputs; slots are
+            // 1-based like registers.
+            match node {
+                Node::SetPolicy {
+                    spec: PolicySpec::Concrete(s),
+                } => {
+                    if let Some(i) = s.iter().find(|&i| i > self.arity) {
+                        return Err(GraphError::BadPolicyIndex(id, i));
+                    }
+                }
+                Node::SetPolicy {
+                    spec: PolicySpec::Slot(0),
+                } => return Err(GraphError::BadSlotIndex(id)),
+                Node::Declassify { from, to, .. } => {
+                    if let Some(i) = from.union(to).iter().find(|&i| i > self.arity) {
+                        return Err(GraphError::BadPolicyIndex(id, i));
+                    }
+                }
+                _ => {}
             }
             // Assignments to inputs are allowed by the paper's definition
             // (inputs are initialized registers); nothing to check.

@@ -64,6 +64,7 @@ pub mod parser;
 pub mod pretty;
 pub mod program;
 pub mod restructure;
+pub mod scheduled;
 pub mod stepper;
 pub mod structured;
 
@@ -73,5 +74,6 @@ pub use graph::{Flowchart, Node, NodeId, Succ};
 pub use interp::{run, run_traced, ExecConfig, ExecValue, Outcome};
 pub use parser::parse;
 pub use program::FlowchartProgram;
+pub use scheduled::ScheduleMonitor;
 pub use stepper::{Fleet, Monitor, NullMonitor, Pair, Stepper, TraceMonitor};
 pub use structured::{lower, Stmt, StructuredProgram};

@@ -8,8 +8,12 @@
 //! stmt      ::= var ":=" expr ";"
 //!             | "if" pred block ("else" block)?
 //!             | "while" pred block
+//!             | "setpolicy" policy ";"
+//!             | "declassify" "(" var ":" ints "~>" ints? ")" ";"
 //!             | "halt" ";"
 //!             | "skip" ";"
+//! policy    ::= "allow" "(" ints? ")" | "p" INT
+//! ints      ::= INT ("," INT)*
 //! var       ::= "x" INT | "r" INT | "y"
 //! expr      ::= term (("+" | "-") term)*
 //! term      ::= factor (("*" | "/" | "%") factor)*
@@ -25,9 +29,9 @@
 //! Line comments start with `//`.
 
 use crate::ast::{CmpOp, Expr, Pred, Var};
-use crate::graph::Flowchart;
+use crate::graph::{Flowchart, PolicySpec};
 use crate::structured::{lower, Stmt, StructuredProgram};
-use enf_core::V;
+use enf_core::{IndexSet, V};
 use std::fmt;
 
 /// A parse error with position information.
@@ -128,6 +132,14 @@ impl<'a> Lexer<'a> {
             b':' if two(self) == Some(b'=') => {
                 self.pos += 2;
                 Tok::Sym(":=")
+            }
+            b':' => {
+                self.pos += 1;
+                Tok::Sym(":")
+            }
+            b'~' if two(self) == Some(b'>') => {
+                self.pos += 2;
+                Tok::Sym("~>")
             }
             b'=' if two(self) == Some(b'=') => {
                 self.pos += 2;
@@ -350,6 +362,29 @@ impl Parser {
                 let body = self.block()?;
                 Ok(Stmt::While(pred, body))
             }
+            Some(Tok::Ident(s)) if s == "setpolicy" => {
+                self.at += 1;
+                let spec = self.policy_spec()?;
+                self.expect_sym(";")?;
+                Ok(Stmt::SetPolicy(spec))
+            }
+            Some(Tok::Ident(s)) if s == "declassify" => {
+                self.at += 1;
+                self.expect_sym("(")?;
+                let var = match self.bump() {
+                    Some(Tok::Ident(s)) => self
+                        .ident_to_var(&s)
+                        .ok_or_else(|| self.error(format!("unknown variable `{s}`")))?,
+                    other => return Err(self.error(format!("expected variable, found {other:?}"))),
+                };
+                self.expect_sym(":")?;
+                let from = self.index_list(false)?;
+                self.expect_sym("~>")?;
+                let to = self.index_list(true)?;
+                self.expect_sym(")")?;
+                self.expect_sym(";")?;
+                Ok(Stmt::Declassify(var, from, to))
+            }
             Some(Tok::Ident(s)) if s == "halt" => {
                 self.at += 1;
                 self.expect_sym(";")?;
@@ -372,6 +407,56 @@ impl Parser {
                 Ok(Stmt::Assign(var, e))
             }
             other => Err(self.error(format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    /// One input index for a policy set: positive and representable.
+    fn policy_index(&mut self) -> Result<usize, ParseError> {
+        let n = self.expect_int()?;
+        if n < 1 || n > IndexSet::MAX_INDEX as V {
+            return Err(self.error("policy index out of range"));
+        }
+        Ok(n as usize)
+    }
+
+    /// A comma-separated index list; empty allowed only when
+    /// `may_be_empty` (the list then ends at the lookahead `~>` or `)`).
+    fn index_list(&mut self, may_be_empty: bool) -> Result<IndexSet, ParseError> {
+        let mut set = IndexSet::empty();
+        if may_be_empty && !matches!(self.peek(), Some(Tok::Int(_))) {
+            return Ok(set);
+        }
+        set.insert(self.policy_index()?);
+        while self.eat_sym(",") {
+            set.insert(self.policy_index()?);
+        }
+        Ok(set)
+    }
+
+    /// `allow(i1, …, im)` or a symbolic slot `p<n>`.
+    fn policy_spec(&mut self) -> Result<PolicySpec, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(ref s)) if s == "allow" => {
+                self.expect_sym("(")?;
+                let set = if self.eat_sym(")") {
+                    IndexSet::empty()
+                } else {
+                    let set = self.index_list(false)?;
+                    self.expect_sym(")")?;
+                    set
+                };
+                Ok(PolicySpec::Concrete(set))
+            }
+            Some(Tok::Ident(ref s)) if s.starts_with('p') => {
+                let slot: usize = s[1..]
+                    .parse()
+                    .map_err(|_| self.error(format!("unknown policy `{s}`")))?;
+                if slot == 0 {
+                    return Err(self.error("policy slot p0 is invalid"));
+                }
+                Ok(PolicySpec::Slot(slot))
+            }
+            other => Err(self.error(format!("expected policy, found {other:?}"))),
         }
     }
 

@@ -4,9 +4,35 @@
 //! they can be re-parsed); whole flowcharts print as a node listing, since
 //! an arbitrary graph need not be re-structurable into the DSL.
 
-use crate::ast::{Expr, Pred};
+use crate::ast::{Expr, Pred, Var};
 use crate::graph::{Flowchart, Node, Succ};
+use enf_core::IndexSet;
 use std::fmt::Write as _;
+
+/// Renders an index set as the parser's bare comma list (`1, 3`).
+fn index_list(s: &IndexSet) -> String {
+    let mut out = String::new();
+    for (n, i) in s.iter().enumerate() {
+        if n > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{i}");
+    }
+    out
+}
+
+/// Renders a `declassify` statement body in concrete syntax.
+pub fn declassify_to_string(var: Var, from: &IndexSet, to: &IndexSet) -> String {
+    if to.is_empty() {
+        format!("declassify({var}: {} ~>)", index_list(from))
+    } else {
+        format!(
+            "declassify({var}: {} ~> {})",
+            index_list(from),
+            index_list(to)
+        )
+    }
+}
 
 /// Renders an expression in concrete syntax (fully parenthesized where
 /// precedence demands it).
@@ -99,6 +125,8 @@ pub fn flowchart_to_string(fc: &Flowchart) -> String {
             Node::Start => "START".to_string(),
             Node::Assign { var, expr } => format!("{var} := {}", expr_to_string(expr)),
             Node::Decision { pred } => format!("if {}", pred_to_string(pred)),
+            Node::SetPolicy { spec } => format!("setpolicy {spec}"),
+            Node::Declassify { var, from, to } => declassify_to_string(*var, from, to),
             Node::Halt => "HALT".to_string(),
         };
         let arrows = match succ {
@@ -137,6 +165,12 @@ fn stmt_to_string(st: &crate::structured::Stmt, depth: usize, out: &mut String) 
         }
         Stmt::Skip => {
             let _ = writeln!(out, "{pad}skip;");
+        }
+        Stmt::SetPolicy(spec) => {
+            let _ = writeln!(out, "{pad}setpolicy {spec};");
+        }
+        Stmt::Declassify(v, from, to) => {
+            let _ = writeln!(out, "{pad}{};", declassify_to_string(*v, from, to));
         }
         Stmt::If(p, t, e) => {
             let _ = writeln!(out, "{pad}if {} {{", pred_to_string(p));

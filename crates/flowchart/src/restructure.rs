@@ -143,6 +143,20 @@ impl<'a> Restructurer<'a> {
                         _ => unreachable!("validated assignment"),
                     };
                 }
+                Node::SetPolicy { spec } => {
+                    out.push(Stmt::SetPolicy(*spec));
+                    at = match self.fc.succ(at) {
+                        Succ::One(n) => n,
+                        _ => unreachable!("validated setpolicy"),
+                    };
+                }
+                Node::Declassify { var, from, to } => {
+                    out.push(Stmt::Declassify(*var, *from, *to));
+                    at = match self.fc.succ(at) {
+                        Succ::One(n) => n,
+                        _ => unreachable!("validated declassify"),
+                    };
+                }
                 Node::Decision { pred } => {
                     let (then_, else_) = decision_targets(self.fc, at).expect("decision");
                     let my_loop = &self.loops.body[at.0];

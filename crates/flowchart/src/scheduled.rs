@@ -1,0 +1,251 @@
+//! Flowcharts as scheduled programs — the runtime side of dynamic
+//! policies.
+//!
+//! [`ScheduleMonitor`] is the [`crate::stepper::Monitor`] that gives
+//! `setpolicy` and `declassify` boxes their meaning under an external
+//! [`Schedule`]: the active policy starts at the schedule's initial set,
+//! a concrete `setpolicy allow(…)` box replaces it, a slot box
+//! `setpolicy p{i}` replaces it with the schedule's binding for slot `i`
+//! (`allow()` when unbound), and each `declassify` box appends
+//! `(node id, current value of the variable)` to the declassification
+//! trace. The store is never touched — policy boxes are pure control
+//! events.
+//!
+//! [`FlowchartProgram`] then implements [`enf_core::ScheduledProgram`], so
+//! [`enf_core::check_soundness_scheduled`] can sweep a flowchart over
+//! every bounded schedule.
+
+use crate::ast::Var;
+use crate::graph::NodeId;
+use crate::graph::PolicySpec;
+use crate::interp::{ExecValue, Store};
+use crate::program::FlowchartProgram;
+use crate::stepper::{Monitor, Stepper};
+use enf_core::{IndexSet, Schedule, ScheduledObs, ScheduledProgram, V};
+
+/// Observer that resolves policy boxes against a schedule and records the
+/// declassification trace.
+#[derive(Clone, Debug)]
+pub struct ScheduleMonitor<'s> {
+    schedule: &'s Schedule,
+    active: IndexSet,
+    declass: Vec<(usize, V)>,
+}
+
+impl<'s> ScheduleMonitor<'s> {
+    /// A monitor governed by `schedule`, starting at its initial policy.
+    pub fn new(schedule: &'s Schedule) -> Self {
+        ScheduleMonitor {
+            schedule,
+            active: schedule.initial,
+            declass: Vec::new(),
+        }
+    }
+
+    /// The currently active policy.
+    pub fn active(&self) -> IndexSet {
+        self.active
+    }
+}
+
+impl Monitor for ScheduleMonitor<'_> {
+    type Outcome = ScheduledObs<ExecValue>;
+
+    fn on_setpolicy(&mut self, _step: u64, _at: NodeId, spec: PolicySpec, _store: &Store) {
+        self.active = match spec {
+            PolicySpec::Concrete(s) => s,
+            PolicySpec::Slot(i) => self.schedule.slot(i),
+        };
+    }
+
+    fn on_declassify(
+        &mut self,
+        _step: u64,
+        at: NodeId,
+        var: Var,
+        _from: IndexSet,
+        _to: IndexSet,
+        store: &Store,
+    ) {
+        self.declass.push((at.0, store.get(var)));
+    }
+
+    fn on_halt(&mut self, _step: u64, _at: NodeId, store: &Store) -> Self::Outcome {
+        ScheduledObs {
+            out: ExecValue::Value(store.output()),
+            final_policy: self.active,
+            declass: std::mem::take(&mut self.declass),
+        }
+    }
+
+    fn on_fuel(&mut self, _steps: u64) -> Self::Outcome {
+        ScheduledObs {
+            out: ExecValue::Diverged,
+            final_policy: self.active,
+            declass: std::mem::take(&mut self.declass),
+        }
+    }
+}
+
+impl ScheduledProgram for FlowchartProgram {
+    type Out = ExecValue;
+
+    fn arity(&self) -> usize {
+        self.flowchart().arity()
+    }
+
+    /// The largest slot index any `setpolicy p{i}` box references, so the
+    /// canonical enumeration covers every referenced slot.
+    fn slot_count(&self) -> usize {
+        self.flowchart().policy_slots().last().copied().unwrap_or(0)
+    }
+
+    fn eval_scheduled(&self, input: &[V], schedule: &Schedule) -> ScheduledObs<ExecValue> {
+        let mut monitor = ScheduleMonitor::new(schedule);
+        Stepper::new(self.flowchart())
+            .with_fuel(self.fuel())
+            .run(input, &mut monitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use enf_core::{
+        check_soundness, check_soundness_scheduled, validate_scheduled_witness, Allow, EvalConfig,
+        Grid, Identity, ScheduledReport,
+    };
+
+    fn scheduled(src: &str, initial: &Allow, grid: &Grid) -> ScheduledReport<ExecValue> {
+        let p = FlowchartProgram::new(parse(src).unwrap());
+        check_soundness_scheduled(&p, initial, grid, &EvalConfig::default(), None)
+    }
+
+    #[test]
+    fn fixed_policy_program_matches_classic_checker() {
+        let src = "program(2) { y := x1; }";
+        let grid = Grid::hypercube(2, 0..=2);
+        for policy in [Allow::none(2), Allow::new(2, [1]), Allow::new(2, [2])] {
+            let p = FlowchartProgram::new(parse(src).unwrap());
+            let classic = check_soundness(&Identity::new(p.clone()), &policy, &grid, false);
+            let sched = scheduled(src, &policy, &grid);
+            assert_eq!(classic.is_sound(), sched.is_sound(), "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn mid_run_setpolicy_retroactively_governs_the_output() {
+        // The captured value of x1 is released at HALT under the *final*
+        // policy allow(1) — sound even though the initial policy is
+        // allow(): release-at-HALT semantics.
+        let report = scheduled(
+            "program(2) { r1 := x1; setpolicy allow(1); y := r1; }",
+            &Allow::none(2),
+            &Grid::hypercube(2, 0..=2),
+        );
+        assert!(report.is_sound(), "{report:?}");
+    }
+
+    #[test]
+    fn tightening_policy_mid_run_flags_the_leak() {
+        // Policy drops to allow() before HALT: releasing x1 there leaks.
+        let report = scheduled(
+            "program(1) { setpolicy allow(); y := x1; }",
+            &Allow::all(1),
+            &Grid::hypercube(1, 0..=2),
+        );
+        let w = report.witness().expect("drop to allow() must leak x1");
+        assert_eq!(w.final_policy, IndexSet::EMPTY);
+        let p = FlowchartProgram::new(parse("program(1) { setpolicy allow(); y := x1; }").unwrap());
+        assert!(validate_scheduled_witness(&p, w));
+    }
+
+    #[test]
+    fn slot_program_swept_over_all_bindings() {
+        // Sound only if y respects whatever the schedule binds: y := x1
+        // leaks under the binding p1 = allow().
+        let leaky = scheduled(
+            "program(1) { setpolicy p1; y := x1; }",
+            &Allow::all(1),
+            &Grid::hypercube(1, 0..=2),
+        );
+        let w = leaky.witness().expect("p1 = allow() must leak");
+        assert_eq!(w.schedule_index, 0);
+        assert_eq!(w.schedule.slot(1), IndexSet::EMPTY);
+
+        // A constant program is sound under every binding.
+        let sound = scheduled(
+            "program(1) { setpolicy p1; y := 0; }",
+            &Allow::all(1),
+            &Grid::hypercube(1, 0..=2),
+        );
+        assert_eq!(
+            sound,
+            ScheduledReport::Sound {
+                schedules: 2,
+                inputs: 3
+            }
+        );
+    }
+
+    #[test]
+    fn declassify_sanctions_the_released_value() {
+        // Releasing x1 is unsound under allow()… unless a declassify box
+        // puts its value on the record first.
+        let covered = scheduled(
+            "program(1) { r1 := x1; declassify(r1: 1 ~>); y := r1; }",
+            &Allow::none(1),
+            &Grid::hypercube(1, 0..=2),
+        );
+        assert!(covered.is_sound(), "{covered:?}");
+
+        // Declassifying a *different* value does not cover the output.
+        let uncovered = scheduled(
+            "program(1) { r1 := x1 / 2; declassify(r1: 1 ~>); y := x1; }",
+            &Allow::none(1),
+            &Grid::hypercube(1, 0..=3),
+        );
+        let w = uncovered.witness().expect("x1/2 does not determine x1");
+        assert_eq!((w.a.as_slice(), w.b.as_slice()), (&[0][..], &[1][..]));
+    }
+
+    #[test]
+    fn divergence_is_observable_per_schedule() {
+        // Diverges iff x1 != 0, and divergence is an output value: leaks
+        // x1 != 0 under allow().
+        let p = FlowchartProgram::with_fuel(
+            parse("program(1) { while x1 != 0 { skip; } y := 0; }").unwrap(),
+            50,
+        );
+        let report = check_soundness_scheduled(
+            &p,
+            &Allow::none(1),
+            &Grid::hypercube(1, 0..=2),
+            &EvalConfig::default(),
+            None,
+        );
+        let w = report.witness().expect("divergence leaks x1 != 0");
+        assert_eq!(w.out_a, ExecValue::Value(0));
+        assert_eq!(w.out_b, ExecValue::Diverged);
+    }
+
+    #[test]
+    fn witnesses_stable_across_thread_counts() {
+        let src = "program(2) { setpolicy p1; y := x1 + x2; }";
+        let grid = Grid::hypercube(2, 0..=2);
+        let p = FlowchartProgram::new(parse(src).unwrap());
+        let baseline = check_soundness_scheduled(
+            &p,
+            &Allow::all(2),
+            &grid,
+            &EvalConfig::with_threads(1),
+            None,
+        );
+        for threads in [2, 3, 8] {
+            let cfg = EvalConfig::with_threads(threads).seq_threshold(0);
+            let report = check_soundness_scheduled(&p, &Allow::all(2), &grid, &cfg, None);
+            assert_eq!(report, baseline, "threads={threads}");
+        }
+    }
+}

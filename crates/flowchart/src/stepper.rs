@@ -39,9 +39,9 @@
 //! [`Monitor::on_fuel`], which has exactly that meaning.
 
 use crate::ast::{Expr, Pred, Var};
-use crate::graph::{Flowchart, Node, NodeId, Succ};
+use crate::graph::{Flowchart, Node, NodeId, PolicySpec, Succ};
 use crate::interp::Store;
-use enf_core::V;
+use enf_core::{IndexSet, V};
 
 /// An observer plugged into the [`Stepper`].
 ///
@@ -82,6 +82,26 @@ pub trait Monitor {
     /// selected (only if no monitor aborted).
     fn on_branch(&mut self, step: u64, at: NodeId, pred: &Pred, taken: bool) {
         let _ = (step, at, pred, taken);
+    }
+
+    /// Called at a `setpolicy` box: the active policy becomes `spec`
+    /// (resolved against the governing schedule by the monitor).
+    fn on_setpolicy(&mut self, step: u64, at: NodeId, spec: PolicySpec, store: &Store) {
+        let _ = (step, at, spec, store);
+    }
+
+    /// Called at a `declassify` box: the monitor may relabel `var`'s
+    /// taint `t ↦ (t \ from) ∪ to`. The store is never modified.
+    fn on_declassify(
+        &mut self,
+        step: u64,
+        at: NodeId,
+        var: Var,
+        from: IndexSet,
+        to: IndexSet,
+        store: &Store,
+    ) {
+        let _ = (step, at, var, from, to, store);
     }
 
     /// Called at a HALT box; produces the run's outcome. The release
@@ -172,6 +192,20 @@ impl<'fc> Stepper<'fc> {
                             }
                         }
                         _ => unreachable!("validated decision has two successors"),
+                    };
+                }
+                Node::SetPolicy { spec } => {
+                    monitor.on_setpolicy(steps, at, *spec, &store);
+                    at = match self.fc.succ(at) {
+                        Succ::One(n) => n,
+                        _ => unreachable!("validated setpolicy has one successor"),
+                    };
+                }
+                Node::Declassify { var, from, to } => {
+                    monitor.on_declassify(steps, at, *var, *from, *to, &store);
+                    at = match self.fc.succ(at) {
+                        Succ::One(n) => n,
+                        _ => unreachable!("validated declassify has one successor"),
                     };
                 }
                 Node::Halt => {
@@ -280,6 +314,24 @@ impl<A: Monitor, B: Monitor> Monitor for Pair<A, B> {
         self.1.on_branch(step, at, pred, taken);
     }
 
+    fn on_setpolicy(&mut self, step: u64, at: NodeId, spec: PolicySpec, store: &Store) {
+        self.0.on_setpolicy(step, at, spec, store);
+        self.1.on_setpolicy(step, at, spec, store);
+    }
+
+    fn on_declassify(
+        &mut self,
+        step: u64,
+        at: NodeId,
+        var: Var,
+        from: IndexSet,
+        to: IndexSet,
+        store: &Store,
+    ) {
+        self.0.on_declassify(step, at, var, from, to, store);
+        self.1.on_declassify(step, at, var, from, to, store);
+    }
+
     fn on_halt(&mut self, step: u64, at: NodeId, store: &Store) -> Self::Outcome {
         (
             self.0.on_halt(step, at, store),
@@ -351,6 +403,26 @@ impl<M: Monitor> Monitor for Fleet<M> {
     fn on_branch(&mut self, step: u64, at: NodeId, pred: &Pred, taken: bool) {
         for m in &mut self.0 {
             m.on_branch(step, at, pred, taken);
+        }
+    }
+
+    fn on_setpolicy(&mut self, step: u64, at: NodeId, spec: PolicySpec, store: &Store) {
+        for m in &mut self.0 {
+            m.on_setpolicy(step, at, spec, store);
+        }
+    }
+
+    fn on_declassify(
+        &mut self,
+        step: u64,
+        at: NodeId,
+        var: Var,
+        from: IndexSet,
+        to: IndexSet,
+        store: &Store,
+    ) {
+        for m in &mut self.0 {
+            m.on_declassify(step, at, var, from, to, store);
         }
     }
 

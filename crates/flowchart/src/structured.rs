@@ -7,7 +7,8 @@
 //! builds this AST; the transform library in `enf-static` rewrites it.
 
 use crate::ast::{Expr, Pred, Var};
-use crate::graph::{Flowchart, GraphError, Node, NodeId, Succ};
+use crate::graph::{Flowchart, GraphError, Node, NodeId, PolicySpec, Succ};
+use enf_core::IndexSet;
 
 /// A structured statement.
 #[derive(Clone, PartialEq, Debug)]
@@ -18,6 +19,10 @@ pub enum Stmt {
     If(Pred, Vec<Stmt>, Vec<Stmt>),
     /// `while B { … }`.
     While(Pred, Vec<Stmt>),
+    /// `setpolicy P;` — install a new active policy.
+    SetPolicy(PolicySpec),
+    /// `declassify(v: A ~> B);` — relabel `v`'s taint.
+    Declassify(Var, IndexSet, IndexSet),
     /// Explicit early `halt`.
     Halt,
     /// No-op.
@@ -150,6 +155,27 @@ impl Lowerer {
                     Node::Assign {
                         var: *var,
                         expr: expr.clone(),
+                    },
+                    Succ::None,
+                );
+                Fragment {
+                    entry: Some(id),
+                    exits: vec![Patch::Only(id)],
+                }
+            }
+            Stmt::SetPolicy(spec) => {
+                let id = self.push(Node::SetPolicy { spec: *spec }, Succ::None);
+                Fragment {
+                    entry: Some(id),
+                    exits: vec![Patch::Only(id)],
+                }
+            }
+            Stmt::Declassify(var, from, to) => {
+                let id = self.push(
+                    Node::Declassify {
+                        var: *var,
+                        from: *from,
+                        to: *to,
                     },
                     Succ::None,
                 );

@@ -28,6 +28,9 @@ pub enum CompileError {
     UnsupportedPred(String),
     /// A constant was negative.
     NegativeConstant(i64),
+    /// Policy boxes (`setpolicy`/`declassify`) have no Minsky-machine
+    /// counterpart — the counter machine carries no label runtime.
+    UnsupportedPolicy,
 }
 
 impl fmt::Display for CompileError {
@@ -40,6 +43,9 @@ impl fmt::Display for CompileError {
                 write!(f, "predicate `{p}` is not a zero-test")
             }
             CompileError::NegativeConstant(c) => write!(f, "negative constant {c}"),
+            CompileError::UnsupportedPolicy => {
+                write!(f, "setpolicy/declassify have no Minsky-machine counterpart")
+            }
         }
     }
 }
@@ -295,6 +301,7 @@ fn compile_stmt(asm: &mut Assembler, ctx: &Ctx, s: &Stmt) -> Result<(), CompileE
             asm.halt();
             Ok(())
         }
+        Stmt::SetPolicy(_) | Stmt::Declassify(..) => Err(CompileError::UnsupportedPolicy),
         Stmt::Assign(v, e) => {
             // Special-case the monus decrement `v := v - 1`.
             if let Expr::Sub(a, b) = e {

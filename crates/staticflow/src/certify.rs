@@ -46,6 +46,14 @@ pub enum Analysis {
     /// `J`-equal input pairs execute in lockstep, so they release equal
     /// values and have identical divergence behaviour.
     Relational,
+    /// The policy-schedule analysis ([`crate::schedule`]): taint facts
+    /// paired with the set of policy states reachable at each point, sound
+    /// for **every** schedule of `setpolicy` boxes (slot boxes quantify
+    /// over all bindings) and honoring `declassify` relabels. The only
+    /// analysis that accepts programs with policy boxes; on policy-free
+    /// programs its verdict coincides with [`Analysis::ValueRefined`]. The
+    /// `allowed` argument of [`certify`] is the *initial* policy.
+    DynamicPolicy,
 }
 
 impl Analysis {
@@ -64,7 +72,7 @@ impl Analysis {
             Analysis::Surveillance => analyze(fc, PcDiscipline::Monotone),
             Analysis::Scoped => analyze(fc, PcDiscipline::Scoped),
             Analysis::ValueRefined => analyze_refined(fc, &analyze_values(fc)),
-            Analysis::Relational => unreachable!("handled above"),
+            Analysis::Relational | Analysis::DynamicPolicy => unreachable!("handled by certify"),
         };
         halts
             .into_iter()
@@ -111,6 +119,19 @@ pub fn certify(
     allowed: IndexSet,
     analysis: Analysis,
 ) -> Certification {
+    if analysis == Analysis::DynamicPolicy {
+        return crate::schedule::certify_dynamic(fc, allowed);
+    }
+    if fc.has_policy_nodes() {
+        // The fixed-policy analyses assume `allow(J)` governs the whole
+        // run; a `setpolicy` or `declassify` box voids that assumption, so
+        // certifying here could bless a program whose mid-run policy is
+        // tighter than `J`. Refuse outright — `Analysis::DynamicPolicy` is
+        // the certifier for these programs.
+        return Certification::Rejected {
+            taint: IndexSet::full(fc.arity()),
+        };
+    }
     let mut bad = IndexSet::empty();
     for (_, t) in analysis.halt_taints(fc) {
         if !t.is_subset(&allowed) {

@@ -281,6 +281,14 @@ impl DataflowProblem for MayTaint<'_> {
                     env.pc.union_with(&t);
                 }
             }
+            // Policy changes don't move data; these facts only track
+            // taints. (Which *policy* governs a halt is the schedule
+            // analysis' job — see `crate::schedule`.)
+            Node::SetPolicy { .. } => {}
+            Node::Declassify { var, from, to } => {
+                let t = env.get(*var);
+                env.set(*var, t.difference(from).union(to));
+            }
         }
         Some(env)
     }
@@ -409,6 +417,11 @@ pub fn analyze_reference(fc: &Flowchart, discipline: PcDiscipline) -> FlowFacts 
                         let t = out_env.taint_of_vars(&pred.vars());
                         out_env.pc.union_with(&t);
                     }
+                }
+                Node::SetPolicy { .. } => {}
+                Node::Declassify { var, from, to } => {
+                    let t = out_env.get(*var);
+                    out_env.set(*var, t.difference(from).union(to));
                 }
             }
             for s in fc.succ_list(id) {

@@ -23,6 +23,10 @@
 //!   JSON by `enforce lint`;
 //! * [`mod@certify`] — compile-time certification and the zero-overhead
 //!   [`certify::CertifiedMechanism`];
+//! * [`mod@schedule`] — the policy-schedule certifier: taint facts paired
+//!   with the set of reachable policy states, sound for every `setpolicy`
+//!   schedule and honoring `declassify` relabels
+//!   (`certify::Analysis::DynamicPolicy`);
 //! * [`transform`] — functionally-equivalent rewrites (if-then-else →
 //!   data-flow selection, assignment duplication/sinking, loop unrolling,
 //!   constant folding) whose effect on mechanism completeness the paper
@@ -42,6 +46,7 @@ pub mod framework;
 pub mod lint;
 pub mod refute;
 pub mod relational;
+pub mod schedule;
 pub mod search;
 pub mod transform;
 pub mod value;
@@ -53,4 +58,7 @@ pub use framework::{solve, DataflowProblem, Direction, Solution};
 pub use lint::{lint, Lint, LintKind, LintReport};
 pub use refute::{refute, verify, LeakWitness, PairDomain, RelationalVerdict};
 pub use relational::{analyze_relational, analyze_relational_with, RelFacts};
+pub use schedule::{
+    analyze_schedules, analyze_schedules_with, certify_dynamic, PolicySet, SchedFact, ScheduleFacts,
+};
 pub use value::{analyze_values, AbsBool, AbsVal, ValueEnv, ValueFacts};

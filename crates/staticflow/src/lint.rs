@@ -38,7 +38,7 @@ use enf_core::IndexSet;
 use enf_flowchart::analysis::reachable;
 use enf_flowchart::ast::Var;
 use enf_flowchart::graph::{Flowchart, Node, NodeId};
-use enf_flowchart::pretty::{expr_to_string, pred_to_string};
+use enf_flowchart::pretty::{declassify_to_string, expr_to_string, pred_to_string};
 use enf_surveillance::explain::FlowEvent;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -59,6 +59,9 @@ pub enum LintKind {
     /// A replay-validated pair of `J`-agreeing runs with different
     /// released outcomes: the program provably leaks.
     ProvableLeak,
+    /// A `setpolicy` box that installs the only policy state that can be
+    /// active on entry to it — removing the box changes nothing.
+    RedundantPolicyChange,
 }
 
 impl LintKind {
@@ -71,6 +74,7 @@ impl LintKind {
             LintKind::AlwaysViolating => "always-violating",
             LintKind::TaintLeak => "taint-leak",
             LintKind::ProvableLeak => "provable-leak",
+            LintKind::RedundantPolicyChange => "redundant-policy-change",
         }
     }
 }
@@ -215,6 +219,8 @@ fn describe(fc: &Flowchart, n: NodeId) -> String {
         Node::Halt => "HALT".to_string(),
         Node::Assign { var, expr } => format!("assignment {var} := {}", expr_to_string(expr)),
         Node::Decision { pred } => format!("decision on {}", pred_to_string(pred)),
+        Node::SetPolicy { spec } => format!("setpolicy {spec}"),
+        Node::Declassify { var, from, to } => declassify_to_string(*var, from, to),
     }
 }
 
@@ -263,6 +269,9 @@ impl DataflowProblem for Liveness {
                 live.extend(pred.vars());
             }
             Node::Start | Node::Halt => {}
+            // Policy boxes read labels, not values. A declassified variable
+            // still holds its value afterwards, so liveness is unchanged.
+            Node::SetPolicy { .. } | Node::Declassify { .. } => {}
         }
         Some(live)
     }
@@ -322,6 +331,13 @@ impl DataflowProblem for MustTaint<'_> {
                 let t = env.taint_of_vars(&pred.vars());
                 env.pc.union_with(&t);
             }
+            Node::SetPolicy { .. } => {}
+            Node::Declassify { var, from, to } => {
+                // The relabel is deterministic, so the must-taint transfer
+                // mirrors the dynamic one exactly.
+                let t = env.get(*var);
+                env.set(*var, t.difference(from).union(to));
+            }
         }
         Some(Some(env))
     }
@@ -378,6 +394,12 @@ pub fn lint(fc: &Flowchart, allowed: &IndexSet) -> LintReport {
     let graph_reach = reachable(fc);
     let liveness = solve(fc, &Liveness);
     let must = solve(fc, &MustTaint { values: &values });
+    // Dynamic-policy programs are judged against the set of reachable
+    // policy states, not the initial policy, so HALT leak lints come from
+    // the schedule analysis instead of the fixed-policy facts.
+    let sched = fc
+        .has_policy_nodes()
+        .then(|| crate::schedule::analyze_schedules_with(fc, *allowed, &values));
 
     let mut lints: Vec<Lint> = Vec::new();
 
@@ -443,6 +465,28 @@ pub fn lint(fc: &Flowchart, allowed: &IndexSet) -> LintReport {
                     });
                 }
             }
+            Node::Halt if sched.is_some() => {
+                // Dynamic policies: a release leaks when some reachable
+                // policy state at this HALT denies part of its taint.
+                let sf = sched.as_ref().expect("guarded by is_some");
+                let t = sf.halt_taint(n);
+                let policies = sf.policies_at(n);
+                if !policies.admits(&t) {
+                    let offending = policies.excess(&t);
+                    let chain = static_chain(fc, &refined, &values, &offending);
+                    lints.push(Lint {
+                        kind: LintKind::TaintLeak,
+                        site: n,
+                        message: format!(
+                            "HALT may release inputs {} denied by a reachable policy \
+                             state in {} (static taint {})",
+                            offending, policies, t
+                        ),
+                        offending,
+                        chain,
+                    });
+                }
+            }
             Node::Halt => {
                 // always-violating: the must-taint at this HALT already
                 // exceeds the policy, so every run reaching it is aborted.
@@ -479,11 +523,15 @@ pub fn lint(fc: &Flowchart, allowed: &IndexSet) -> LintReport {
                     });
                 }
             }
-            Node::Start => {}
+            Node::Start | Node::SetPolicy { .. } | Node::Declassify { .. } => {}
         }
     }
 
-    if let Some(l) = provable_leak(fc, allowed) {
+    if let Some(sf) = &sched {
+        lints.extend(redundant_policy_changes(fc, sf, &values));
+    } else if let Some(l) = provable_leak(fc, allowed) {
+        // The relational refuter's observation model is fixed-policy, so
+        // the provable-leak lint only applies to policy-free programs.
         lints.push(l);
     }
 
@@ -492,6 +540,45 @@ pub fn lint(fc: &Flowchart, allowed: &IndexSet) -> LintReport {
         allowed: *allowed,
         lints,
     }
+}
+
+/// The `redundant-policy-change` lint: a reachable concrete `setpolicy`
+/// box whose installed policy is already the *only* policy state that can
+/// be active on entry — for every schedule and every path, the box is a
+/// no-op. Slot boxes never fire (their binding is schedule-dependent), and
+/// neither does a box reachable under two different states, even if one of
+/// them matches.
+fn redundant_policy_changes(
+    fc: &Flowchart,
+    facts: &crate::schedule::ScheduleFacts,
+    values: &ValueFacts,
+) -> Vec<Lint> {
+    use crate::schedule::PolicySet;
+    use enf_flowchart::graph::PolicySpec;
+    let mut out = Vec::new();
+    for (n, node, _) in fc.iter() {
+        let Node::SetPolicy {
+            spec: PolicySpec::Concrete(s),
+        } = node
+        else {
+            continue;
+        };
+        if !values.reachable(n) {
+            continue;
+        }
+        if facts.policies_at(n) == &PolicySet::just(*s) {
+            out.push(Lint {
+                kind: LintKind::RedundantPolicyChange,
+                site: n,
+                message: format!(
+                    "setpolicy allow({s}) is redundant: allow({s}) is already the only policy state on every path here"
+                ),
+                offending: IndexSet::empty(),
+                chain: Vec::new(),
+            });
+        }
+    }
+    out
 }
 
 /// Search bound for the [`LintKind::ProvableLeak`] lint: the per-input
@@ -769,6 +856,74 @@ mod tests {
             leaks[0].chain.iter().any(|e| e.what.contains("diverges")),
             "{:?}",
             leaks[0].chain
+        );
+    }
+
+    #[test]
+    fn redundant_policy_change_flags_the_noop_box() {
+        // The second setpolicy re-installs the state the first one already
+        // made the only possibility.
+        let r = lints_of(
+            "program(1) { setpolicy allow(1); r1 := x1; setpolicy allow(1); y := r1; }",
+            IndexSet::empty(),
+        );
+        let redundant: Vec<&Lint> = r
+            .lints
+            .iter()
+            .filter(|l| l.kind == LintKind::RedundantPolicyChange)
+            .collect();
+        assert_eq!(redundant.len(), 1, "{r:?}");
+        assert!(
+            redundant[0].message.contains("redundant"),
+            "{}",
+            redundant[0].message
+        );
+    }
+
+    #[test]
+    fn initial_policy_makes_the_first_box_redundant() {
+        // With the lint's allowed set as the initial policy, a setpolicy
+        // re-installing it is a no-op too.
+        let r = lints_of(
+            "program(1) { setpolicy allow(1); y := x1; }",
+            IndexSet::single(1),
+        );
+        assert!(
+            kinds(&r).contains(&LintKind::RedundantPolicyChange),
+            "{r:?}"
+        );
+    }
+
+    #[test]
+    fn policy_change_not_redundant_when_states_differ() {
+        let programs = [
+            // Actually changes the policy.
+            "program(1) { setpolicy allow(1); y := x1; setpolicy allow(); }",
+            // Reachable under two states (initial allow() on the else path).
+            "program(2) { if x2 == 0 { setpolicy allow(1); } setpolicy allow(1); y := 0; }",
+        ];
+        for src in programs {
+            let r = lints_of(src, IndexSet::empty());
+            let redundant = r
+                .lints
+                .iter()
+                .filter(|l| l.kind == LintKind::RedundantPolicyChange)
+                .count();
+            // The first program's boxes both change state; the second's
+            // inner box is reachable under {allow(), allow(1)}.
+            assert_eq!(redundant, 0, "{src}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn slot_boxes_are_never_redundant() {
+        let r = lints_of(
+            "program(1) { setpolicy p1; y := 0; setpolicy p1; }",
+            IndexSet::empty(),
+        );
+        assert!(
+            !kinds(&r).contains(&LintKind::RedundantPolicyChange),
+            "{r:?}"
         );
     }
 

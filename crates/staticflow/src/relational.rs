@@ -273,6 +273,11 @@ impl DataflowProblem for RelAgree<'_> {
                 let s = pred_sources(&env, venv, pred);
                 env.pc.union_with(&s);
             }
+            // Policy boxes don't move data. Ignoring declassify's relabel
+            // only *over*-approximates disagreement (a relabel can never
+            // make two runs' stores differ), which keeps "provably
+            // non-interfering" sound.
+            Node::SetPolicy { .. } | Node::Declassify { .. } => {}
         }
         Some(env)
     }

@@ -119,6 +119,8 @@ fn prop_block(stmts: &[Stmt], env: &mut Option<Env>, changed: &mut bool) -> Vec<
                 out.push(Stmt::Halt);
                 *env = None;
             }
+            // Policy boxes don't touch the store: keep them, keep the facts.
+            Stmt::SetPolicy(_) | Stmt::Declassify(..) => out.push(s.clone()),
             Stmt::Assign(v, e) => {
                 let e2 = subst_expr(e, live, changed);
                 match e2 {

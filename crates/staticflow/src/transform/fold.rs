@@ -182,6 +182,8 @@ fn fold_block(stmts: &[Stmt], changed: &mut bool) -> Vec<Stmt> {
             Stmt::Skip => {
                 *changed = true; // Dropping a skip is itself a change…
             }
+            // Policy boxes have no value content to fold.
+            Stmt::SetPolicy(_) | Stmt::Declassify(..) => out.push(s.clone()),
         }
     }
     out

@@ -494,6 +494,8 @@ impl DataflowProblem for ValueProblem {
                 let expected = edge == 0;
                 env.refine(pred, expected).map(Some)
             }
+            // Policy boxes don't touch the store.
+            Node::SetPolicy { .. } | Node::Declassify { .. } => Some(Some(env.clone())),
         }
     }
 }

@@ -23,8 +23,8 @@
 
 use crate::monitor::TaintMonitor;
 use crate::state::TaintState;
-use enf_core::{IndexSet, V};
-use enf_flowchart::graph::{Flowchart, Node, NodeId, Succ};
+use enf_core::{IndexSet, Schedule, V};
+use enf_flowchart::graph::{Flowchart, Node, NodeId, PolicySpec, Succ};
 use enf_flowchart::interp::Store;
 use enf_flowchart::stepper::Stepper;
 
@@ -159,6 +159,21 @@ pub fn run_surveillance(fc: &Flowchart, inputs: &[V], cfg: &SurvConfig) -> SurvO
         .run(inputs, &mut TaintMonitor::new(fc, *cfg))
 }
 
+/// Runs a flowchart under the surveillance discipline with an external
+/// policy schedule resolving `setpolicy p{i}` slot boxes. The schedule's
+/// initial policy replaces `cfg.allowed` as the starting active set.
+pub fn run_surveillance_scheduled(
+    fc: &Flowchart,
+    inputs: &[V],
+    cfg: &SurvConfig,
+    schedule: &Schedule,
+) -> SurvOutcome {
+    Stepper::new(fc).with_fuel(cfg.fuel).run(
+        inputs,
+        &mut TaintMonitor::new(fc, *cfg).with_schedule(schedule.clone()),
+    )
+}
+
 /// The seed's hand-rolled surveillance loop, kept verbatim as the
 /// differential oracle for the stepper-based engine.
 ///
@@ -170,6 +185,7 @@ pub fn run_surveillance(fc: &Flowchart, inputs: &[V], cfg: &SurvConfig) -> SurvO
 pub fn run_reference(fc: &Flowchart, inputs: &[V], cfg: &SurvConfig) -> SurvOutcome {
     let mut store = Store::init(fc, inputs);
     let mut taints = TaintState::init(fc.arity(), fc.max_reg());
+    let mut allowed = cfg.allowed;
     let mut at = fc.start();
     let mut steps: u64 = 0;
     loop {
@@ -203,7 +219,7 @@ pub fn run_reference(fc: &Flowchart, inputs: &[V], cfg: &SurvConfig) -> SurvOutc
                 // Transformation (3): C̄ ← C̄ ∪ w̄1 ∪ … ∪ w̄s.
                 let t = taints.pred_taint(pred);
                 taints.pc.union_with(&t);
-                if cfg.check == CheckAt::EveryDecision && !taints.pc.is_subset(&cfg.allowed) {
+                if cfg.check == CheckAt::EveryDecision && !taints.pc.is_subset(&allowed) {
                     // Theorem 3′: abort before the disallowed test is taken.
                     return SurvOutcome::Violation {
                         site: at,
@@ -223,10 +239,31 @@ pub fn run_reference(fc: &Flowchart, inputs: &[V], cfg: &SurvConfig) -> SurvOutc
                     _ => unreachable!("validated decision"),
                 };
             }
+            Node::SetPolicy { spec } => {
+                // The active allowed set is replaced; slot boxes resolve to
+                // allow() here (this reference loop has no schedule).
+                allowed = match spec {
+                    PolicySpec::Concrete(s) => *s,
+                    PolicySpec::Slot(_) => IndexSet::empty(),
+                };
+                at = match fc.succ(at) {
+                    Succ::One(n) => n,
+                    _ => unreachable!("validated setpolicy"),
+                };
+            }
+            Node::Declassify { var, from, to } => {
+                // Relabel v̄ ← (v̄ \ A) ∪ B; the store is untouched.
+                let t = taints.get(*var);
+                taints.set(*var, t.difference(from).union(to));
+                at = match fc.succ(at) {
+                    Succ::One(n) => n,
+                    _ => unreachable!("validated declassify"),
+                };
+            }
             Node::Halt => {
                 // Transformation (4): release y only if ȳ ∪ C̄ ⊆ J.
                 let t = taints.halt_taint();
-                if t.is_subset(&cfg.allowed) {
+                if t.is_subset(&allowed) {
                     return SurvOutcome::Accepted {
                         y: store.output(),
                         steps,

@@ -28,7 +28,7 @@ use enf_core::Program;
 use enf_core::{IndexSet, MechOutput, Mechanism, Notice, Timed, TimedProgram, V};
 use enf_flowchart::ast::{bor_all, Expr, Pred, Var};
 use enf_flowchart::builder::Builder;
-use enf_flowchart::graph::{Flowchart, Node, NodeId, Succ};
+use enf_flowchart::graph::{Flowchart, Node, NodeId, PolicySpec, Succ};
 use enf_flowchart::interp::{run, ExecConfig, ExecValue, Outcome};
 use enf_flowchart::program::FlowchartProgram;
 use std::collections::HashSet;
@@ -60,6 +60,13 @@ impl RegLayout {
     /// The register holding the program counter's `C̄`.
     pub fn pc(&self) -> Var {
         Var::Reg(self.orig_regs + self.arity + self.orig_regs + 2)
+    }
+
+    /// The register holding the active allowed mask `J̄`. Only materialized
+    /// for dynamic-policy programs (ones with `setpolicy`/`declassify`
+    /// boxes); fixed-policy instrumentation bakes `J` into constants.
+    pub fn policy(&self) -> Var {
+        Var::Reg(self.orig_regs + self.arity + self.orig_regs + 3)
     }
 }
 
@@ -96,6 +103,22 @@ fn subset_check(arity: usize, taint: Expr, allowed: IndexSet) -> Pred {
     )
 }
 
+/// The subset check `t ⊆ J̄` with the allowed set in a register:
+/// `(t & (FULL − J̄)) == 0`. `FULL − J̄` is the complement within
+/// `{1, …, k}` — sound because `J̄` only ever holds masks ⊆ FULL.
+fn subset_check_dyn(arity: usize, taint: Expr, policy_reg: Var) -> Pred {
+    Pred::eq(
+        Expr::BAnd(
+            Box::new(taint),
+            Box::new(Expr::Sub(
+                Box::new(mask_const(IndexSet::full(arity))),
+                Box::new(Expr::Var(policy_reg)),
+            )),
+        ),
+        Expr::c(0),
+    )
+}
+
 /// Applies the paper's transformations (1)–(4) to `fc` for the policy
 /// `allow(J)`; `timed` additionally applies the Theorem 3′ decision guard.
 ///
@@ -124,6 +147,17 @@ pub fn instrument_with(
         orig_regs: fc.max_reg(),
         arity: fc.arity(),
     };
+    // Dynamic-policy programs carry the allowed set in register `J̄`;
+    // fixed-policy programs keep the paper's constant-mask construction,
+    // byte for byte.
+    let dynamic = fc.has_policy_nodes();
+    let check = |taint: Expr| {
+        if dynamic {
+            subset_check_dyn(fc.arity(), taint, layout.policy())
+        } else {
+            subset_check(fc.arity(), taint, allowed)
+        }
+    };
     let mut b = Builder::new(fc.arity());
     let mut violation_halts = HashSet::new();
 
@@ -148,14 +182,24 @@ pub fn instrument_with(
         match node {
             Node::Start => {
                 // Transformation (1): x̄i ← {i}; other surveillance
-                // variables start at 0 = ∅ by the language semantics.
+                // variables start at 0 = ∅ by the language semantics. A
+                // dynamic-policy program additionally seeds J̄ with the
+                // initial allowed set.
                 let mut prev: Option<NodeId> = None;
                 let mut first: Option<NodeId> = None;
-                for i in 1..=fc.arity() {
-                    let a = b.assign(
-                        layout.taint_of(Var::Input(i)),
-                        mask_const(IndexSet::single(i)),
-                    );
+                let mut inits: Vec<(Var, Expr)> = (1..=fc.arity())
+                    .map(|i| {
+                        (
+                            layout.taint_of(Var::Input(i)),
+                            mask_const(IndexSet::single(i)),
+                        )
+                    })
+                    .collect();
+                if dynamic {
+                    inits.push((layout.policy(), mask_const(allowed)));
+                }
+                for (var, expr) in inits {
+                    let a = b.assign(var, expr);
                     if let Some(p) = prev {
                         b.wire(p, a);
                     } else {
@@ -195,8 +239,7 @@ pub fn instrument_with(
                 let dec = b.decision(pred.clone());
                 if timed {
                     // Theorem 3′ guard: abort before testing if C̄ ⊄ J.
-                    let guard =
-                        b.decision(subset_check(fc.arity(), Expr::Var(layout.pc()), allowed));
+                    let guard = b.decision(check(Expr::Var(layout.pc())));
                     b.wire(upd, guard);
                     b.wire_cond(guard, dec, viol);
                 } else {
@@ -207,17 +250,39 @@ pub fn instrument_with(
             }
             Node::Halt => {
                 // Transformation (4): release y only if (ȳ | C̄) ⊆ J.
-                let check = b.decision(subset_check(
-                    fc.arity(),
-                    Expr::BOr(
-                        Box::new(Expr::Var(layout.taint_of(Var::Out))),
-                        Box::new(Expr::Var(layout.pc())),
-                    ),
-                    allowed,
-                ));
+                let chk = b.decision(check(Expr::BOr(
+                    Box::new(Expr::Var(layout.taint_of(Var::Out))),
+                    Box::new(Expr::Var(layout.pc())),
+                )));
                 let ok = b.halt();
-                b.wire_cond(check, ok, viol);
-                entry[id.0] = check;
+                b.wire_cond(chk, ok, viol);
+                entry[id.0] = chk;
+            }
+            Node::SetPolicy { spec } => {
+                // `setpolicy` compiles to one assignment into J̄. Unbound
+                // slots resolve to allow() — the most restrictive reading,
+                // matching the unscheduled dynamic monitor.
+                let mask = match spec {
+                    PolicySpec::Concrete(s) => *s,
+                    PolicySpec::Slot(_) => IndexSet::empty(),
+                };
+                let a = b.assign(layout.policy(), mask_const(mask));
+                entry[id.0] = a;
+                tail[id.0] = Some(a);
+            }
+            Node::Declassify { var, from, to } => {
+                // `declassify(v: A ~> B)` relabels: v̄ ← (v̄ \ A) ∪ B.
+                let keep = IndexSet::full(fc.arity()).difference(from);
+                let rhs = Expr::BOr(
+                    Box::new(Expr::BAnd(
+                        Box::new(Expr::Var(layout.taint_of(*var))),
+                        Box::new(mask_const(keep)),
+                    )),
+                    Box::new(mask_const(*to)),
+                );
+                let a = b.assign(layout.taint_of(*var), rhs);
+                entry[id.0] = a;
+                tail[id.0] = Some(a);
             }
         }
     }
@@ -238,7 +303,9 @@ pub fn instrument_with(
                     b.wire(tail[id.0].expect("start tail"), entry[next.0]);
                 }
             }
-            (Node::Assign { .. }, Succ::One(next)) => {
+            (Node::Assign { .. }, Succ::One(next))
+            | (Node::SetPolicy { .. }, Succ::One(next))
+            | (Node::Declassify { .. }, Succ::One(next)) => {
                 b.wire(tail[id.0].expect("assign tail"), entry[next.0]);
             }
             (Node::Decision { .. }, Succ::Cond { then_, else_ }) => {
@@ -579,6 +646,51 @@ mod tests {
         // On this program every run is meta-clean: decisions test only x2
         // and taint registers hold input-independent constants.
         assert_eq!(released, g.iter_inputs().count());
+    }
+
+    #[test]
+    fn dynamic_policy_instrumented_agrees_with_monitor() {
+        // setpolicy/declassify programs: the literal construction must track
+        // the dynamic monitor box for box (unbound slots read allow()).
+        let programs = [
+            "program(2) { r1 := x1; setpolicy allow(1); y := r1; }",
+            "program(2) { setpolicy allow(1, 2); y := x1 + x2; setpolicy allow(); }",
+            "program(2) { r1 := x1; declassify(r1: 1 ~>); y := r1 + x2; }",
+            "program(2) { r1 := x1 + x2; declassify(r1: 1 ~> 2); y := r1; }",
+            "program(2) { setpolicy p1; y := x1; }",
+            "program(2) { if x2 == 0 { setpolicy allow(1); } y := x1; }",
+        ];
+        for src in programs {
+            let fc = parse(src).unwrap();
+            for j in [IndexSet::empty(), IndexSet::single(1), IndexSet::full(2)] {
+                let inst = instrument(&fc, j, false);
+                let cfg = SurvConfig::surveillance(j);
+                let g = Grid::hypercube(2, -1..=2);
+                for a in g.iter_inputs() {
+                    let dynamic = match run_surveillance(&fc, &a, &cfg) {
+                        SurvOutcome::Accepted { y, .. } => MechOutput::Value(ExecValue::Value(y)),
+                        SurvOutcome::Violation { .. } => MechOutput::Violation(Notice::lambda()),
+                        SurvOutcome::OutOfFuel => MechOutput::Value(ExecValue::Diverged),
+                    };
+                    assert_eq!(inst.run_mech(&a), dynamic, "{src}: J = {j}, input {a:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn policy_free_instrumentation_is_unchanged_by_dynamic_support() {
+        // The J̄ register is only materialized for programs with policy
+        // boxes; a policy-free program's instrumented graph must not
+        // mention it.
+        let fc = parse("program(2) { if x1 == 0 { y := x2; } else { y := 1; } }").unwrap();
+        let m = instrument(&fc, IndexSet::single(2), false);
+        let policy_reg = m.layout().policy();
+        for (_, node, _) in m.flowchart().iter() {
+            if let Node::Assign { var, .. } = node {
+                assert_ne!(*var, policy_reg, "policy register leaked into static path");
+            }
+        }
     }
 
     #[test]

@@ -16,21 +16,30 @@
 use crate::dynamic::{CheckAt, Style, SurvConfig, SurvOutcome};
 use crate::explain::FlowEvent;
 use crate::state::TaintState;
-use enf_core::{IndexSet, V};
+use enf_core::{IndexSet, Schedule, V};
 use enf_flowchart::ast::{Expr, Pred, Var};
-use enf_flowchart::graph::{Flowchart, Node, NodeId};
+use enf_flowchart::graph::{Flowchart, Node, NodeId, PolicySpec};
 use enf_flowchart::interp::Store;
-use enf_flowchart::pretty::{expr_to_string, pred_to_string};
+use enf_flowchart::pretty::{declassify_to_string, expr_to_string, pred_to_string};
 use enf_flowchart::stepper::{Monitor, Pair, Stepper};
 
 /// The surveillance mechanism as a pluggable monitor.
 ///
 /// Carries the taint state and the policy; the stepper carries the walk.
 /// [`crate::dynamic::run_surveillance`] is the stepper with this monitor.
+///
+/// The *active* allowed set starts at `cfg.allowed` and is replaced by
+/// every `setpolicy` box the run traverses: concrete boxes carry their own
+/// set, slot boxes resolve against the governing [`Schedule`] (attach one
+/// with [`TaintMonitor::with_schedule`]; without one, slots read as
+/// `allow()`, the most restrictive choice). `declassify(v: A ~> B)` boxes
+/// relabel `v̄ ← (v̄ \ A) ∪ B` — the store is untouched.
 #[derive(Clone, Debug)]
 pub struct TaintMonitor {
     cfg: SurvConfig,
     taints: TaintState,
+    active: IndexSet,
+    schedule: Option<Schedule>,
 }
 
 impl TaintMonitor {
@@ -40,12 +49,30 @@ impl TaintMonitor {
         TaintMonitor {
             cfg,
             taints: TaintState::init(fc.arity(), fc.max_reg()),
+            active: cfg.allowed,
+            schedule: None,
         }
+    }
+
+    /// Attaches the schedule that resolves `setpolicy p{i}` slot boxes.
+    /// The schedule's initial policy replaces `cfg.allowed` as the
+    /// starting active set.
+    #[must_use]
+    pub fn with_schedule(mut self, schedule: Schedule) -> Self {
+        self.active = schedule.initial;
+        self.schedule = Some(schedule);
+        self
     }
 
     /// The current taint state (e.g. for rendering).
     pub fn taints(&self) -> &TaintState {
         &self.taints
+    }
+
+    /// The currently active allowed set (`cfg.allowed` until the first
+    /// `setpolicy` box).
+    pub fn active(&self) -> IndexSet {
+        self.active
     }
 }
 
@@ -72,8 +99,7 @@ impl Monitor for TaintMonitor {
         // Transformation (3): C̄ ← C̄ ∪ w̄1 ∪ … ∪ w̄s.
         let t = self.taints.pred_taint(pred);
         self.taints.pc.union_with(&t);
-        if self.cfg.check == CheckAt::EveryDecision && !self.taints.pc.is_subset(&self.cfg.allowed)
-        {
+        if self.cfg.check == CheckAt::EveryDecision && !self.taints.pc.is_subset(&self.active) {
             // Theorem 3′: abort before the disallowed test is taken.
             return Some(SurvOutcome::Violation {
                 site: at,
@@ -84,10 +110,35 @@ impl Monitor for TaintMonitor {
         None
     }
 
+    fn on_setpolicy(&mut self, _step: u64, _at: NodeId, spec: PolicySpec, _store: &Store) {
+        self.active = match spec {
+            PolicySpec::Concrete(s) => s,
+            PolicySpec::Slot(i) => self
+                .schedule
+                .as_ref()
+                .map(|s| s.slot(i))
+                .unwrap_or(IndexSet::EMPTY),
+        };
+    }
+
+    fn on_declassify(
+        &mut self,
+        _step: u64,
+        _at: NodeId,
+        var: Var,
+        from: IndexSet,
+        to: IndexSet,
+        _store: &Store,
+    ) {
+        let t = self.taints.get(var);
+        self.taints.set(var, t.difference(&from).union(&to));
+    }
+
     fn on_halt(&mut self, step: u64, at: NodeId, store: &Store) -> Self::Outcome {
-        // Transformation (4): release y only if ȳ ∪ C̄ ⊆ J.
+        // Transformation (4): release y only if ȳ ∪ C̄ ⊆ J — J being the
+        // *currently active* allowed set.
         let t = self.taints.halt_taint();
-        if t.is_subset(&self.cfg.allowed) {
+        if t.is_subset(&self.active) {
             SurvOutcome::Accepted {
                 y: store.output(),
                 steps: step,
@@ -132,6 +183,23 @@ pub enum TraceKind {
         /// `C̄` after.
         after: IndexSet,
     },
+    /// A `setpolicy` box. `active` is the allowed set after the change —
+    /// `None` for a slot box, whose binding the event stream (a pure
+    /// observer with no schedule) cannot know.
+    SetPolicy {
+        /// The new active allowed set, if statically known.
+        active: Option<IndexSet>,
+    },
+    /// A `declassify` box: the variable's taint before and after the
+    /// relabel `v̄ ← (v̄ \ A) ∪ B`.
+    Declassify {
+        /// The relabeled variable.
+        var: Var,
+        /// Its taint before.
+        before: IndexSet,
+        /// Its taint after.
+        after: IndexSet,
+    },
     /// A HALT box; `released` is the release-check set `ȳ ∪ C̄`.
     Halt {
         /// The set the release check inspects.
@@ -161,10 +229,10 @@ impl TraceEvent {
     /// the carrier chain never needs.
     pub fn flow_event(&self) -> Option<FlowEvent> {
         let (before, after) = match &self.kind {
-            TraceKind::Assign { before, after, .. } | TraceKind::Branch { before, after, .. } => {
-                (*before, *after)
-            }
-            TraceKind::Start | TraceKind::Halt { .. } => return None,
+            TraceKind::Assign { before, after, .. }
+            | TraceKind::Branch { before, after, .. }
+            | TraceKind::Declassify { before, after, .. } => (*before, *after),
+            TraceKind::Start | TraceKind::SetPolicy { .. } | TraceKind::Halt { .. } => return None,
         };
         (after != before).then(|| FlowEvent {
             step: self.step,
@@ -201,6 +269,18 @@ impl TraceEvent {
                     Some(t) => t.to_string(),
                     None => "null".to_string(),
                 },
+                json_set(before),
+                json_set(after)
+            ),
+            TraceKind::SetPolicy { active } => format!(
+                "\"kind\": \"setpolicy\", \"active\": {}}}",
+                match active {
+                    Some(s) => json_set(s),
+                    None => "null".to_string(),
+                }
+            ),
+            TraceKind::Declassify { var, before, after } => format!(
+                "\"kind\": \"declassify\", \"var\": \"{var}\", \"before\": {}, \"after\": {}}}",
                 json_set(before),
                 json_set(after)
             ),
@@ -326,6 +406,42 @@ impl Monitor for EventMonitor {
         {
             *slot = Some(taken);
         }
+    }
+
+    fn on_setpolicy(&mut self, step: u64, at: NodeId, spec: PolicySpec, _store: &Store) {
+        self.events.push(TraceEvent {
+            step,
+            node: at,
+            what: format!("setpolicy {spec}"),
+            pc: self.taints.pc,
+            kind: TraceKind::SetPolicy {
+                active: match spec {
+                    PolicySpec::Concrete(s) => Some(s),
+                    PolicySpec::Slot(_) => None,
+                },
+            },
+        });
+    }
+
+    fn on_declassify(
+        &mut self,
+        step: u64,
+        at: NodeId,
+        var: Var,
+        from: IndexSet,
+        to: IndexSet,
+        _store: &Store,
+    ) {
+        let before = self.taints.get(var);
+        let after = before.difference(&from).union(&to);
+        self.taints.set(var, after);
+        self.events.push(TraceEvent {
+            step,
+            node: at,
+            what: declassify_to_string(var, &from, &to),
+            pc: self.taints.pc,
+            kind: TraceKind::Declassify { var, before, after },
+        });
     }
 
     fn on_halt(&mut self, step: u64, at: NodeId, _store: &Store) -> Self::Outcome {

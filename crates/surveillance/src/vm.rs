@@ -22,7 +22,7 @@ use crate::mechanism::to_mech_output;
 use crate::monitor::{EventMonitor, TaintMonitor, TraceEvent};
 use enf_core::{IndexSet, MechOutput, Mechanism, V};
 use enf_flowchart::bytecode::{Compiled, Inst, Operand};
-use enf_flowchart::graph::NodeId;
+use enf_flowchart::graph::{Node, NodeId, PolicySpec};
 use enf_flowchart::interp::ExecValue;
 use enf_flowchart::program::FlowchartProgram;
 use std::sync::Arc;
@@ -77,7 +77,7 @@ pub fn run_surveillance_vm(compiled: &Compiled, inputs: &[V], cfg: &SurvConfig) 
     let accumulate = cfg.style == Style::Accumulate;
     let every_decision = cfg.check == CheckAt::EveryDecision;
     let fuel = cfg.fuel;
-    let allowed = cfg.allowed;
+    let mut allowed = cfg.allowed;
     let insts = compiled.insts();
     let mut pc = 0usize;
     let mut steps: u64 = 0;
@@ -175,10 +175,30 @@ pub fn run_surveillance_vm(compiled: &Compiled, inputs: &[V], cfg: &SurvConfig) 
                     else_ as usize
                 };
             }
+            Inst::Policy { next } => {
+                // Policy boxes keep no operands in the instruction (the
+                // inst index is the node id); consult the source node.
+                match compiled.flowchart().node(NodeId(pc)) {
+                    Node::SetPolicy { spec } => {
+                        // Slot boxes resolve to allow() — this fused loop,
+                        // like `run_surveillance`, runs unscheduled.
+                        allowed = match spec {
+                            PolicySpec::Concrete(s) => *s,
+                            PolicySpec::Slot(_) => IndexSet::empty(),
+                        };
+                    }
+                    Node::Declassify { var, from, to } => {
+                        let slot = compiled.slot_of(*var) as usize;
+                        taints[slot] = taints[slot].difference(from).union(to);
+                    }
+                    other => unreachable!("Inst::Policy compiled from {other:?}"),
+                }
+                pc = next as usize;
+            }
             Inst::Halt => {
                 // Transformation (4): release y only if ȳ ∪ C̄ ⊆ J.
                 let t = taints[out_slot].union(&pc_taint);
-                if t.is_subset(&cfg.allowed) {
+                if t.is_subset(&allowed) {
                     return SurvOutcome::Accepted {
                         y: slots[out_slot],
                         steps,

@@ -12,9 +12,10 @@
 use enf_core::par::find_first;
 use enf_core::{EvalConfig, Grid, IndexSet, InputDomain, V};
 use enf_flowchart::generate::{random_flowchart, GenConfig};
+use enf_flowchart::graph::PolicySpec;
 use enf_flowchart::graph::{Flowchart, Node, Succ};
 use enf_flowchart::interp::Store;
-use enf_flowchart::pretty::{expr_to_string, pred_to_string};
+use enf_flowchart::pretty::{declassify_to_string, expr_to_string, pred_to_string};
 use enf_surveillance::dynamic::{
     run_reference, run_surveillance, CheckAt, Style, SurvConfig, SurvOutcome,
 };
@@ -61,6 +62,7 @@ fn explain_reference(fc: &Flowchart, inputs: &[V], cfg: &SurvConfig) -> Explanat
     let mut taints = TaintState::init(fc.arity(), fc.max_reg());
     let mut at = fc.start();
     let mut steps: u64 = 0;
+    let mut allowed = cfg.allowed;
     let mut events: Vec<FlowEvent> = Vec::new();
     loop {
         if steps >= cfg.fuel {
@@ -114,10 +116,10 @@ fn explain_reference(fc: &Flowchart, inputs: &[V], cfg: &SurvConfig) -> Explanat
                         after: taints.pc,
                     });
                 }
-                if cfg.check == CheckAt::EveryDecision && !taints.pc.is_subset(&cfg.allowed) {
+                if cfg.check == CheckAt::EveryDecision && !taints.pc.is_subset(&allowed) {
                     return Explanation {
                         accepted: false,
-                        offending: taints.pc.difference(&cfg.allowed),
+                        offending: taints.pc.difference(&allowed),
                         events,
                     };
                 }
@@ -135,7 +137,7 @@ fn explain_reference(fc: &Flowchart, inputs: &[V], cfg: &SurvConfig) -> Explanat
             }
             Node::Halt => {
                 let t = taints.halt_taint();
-                if t.is_subset(&cfg.allowed) {
+                if t.is_subset(&allowed) {
                     return Explanation {
                         accepted: true,
                         offending: IndexSet::empty(),
@@ -144,8 +146,36 @@ fn explain_reference(fc: &Flowchart, inputs: &[V], cfg: &SurvConfig) -> Explanat
                 }
                 return Explanation {
                     accepted: false,
-                    offending: t.difference(&cfg.allowed),
+                    offending: t.difference(&allowed),
                     events,
+                };
+            }
+            Node::SetPolicy { spec } => {
+                allowed = match spec {
+                    PolicySpec::Concrete(s) => *s,
+                    PolicySpec::Slot(_) => IndexSet::empty(),
+                };
+                at = match fc.succ(at) {
+                    Succ::One(n) => n,
+                    _ => unreachable!("validated setpolicy"),
+                };
+            }
+            Node::Declassify { var, from, to } => {
+                let before = taints.get(*var);
+                let after = before.difference(from).union(to);
+                if after != before {
+                    events.push(FlowEvent {
+                        step: steps,
+                        site: at,
+                        what: declassify_to_string(*var, from, to),
+                        before,
+                        after,
+                    });
+                }
+                taints.set(*var, after);
+                at = match fc.succ(at) {
+                    Succ::One(n) => n,
+                    _ => unreachable!("validated declassify"),
                 };
             }
         }

@@ -6,8 +6,9 @@
 //! enforce trace     <file.fc> --input 3,4 [--allow 2] [--json] [--timed] [--highwater] [--engine ast|vm]
 //! enforce check     <file.fc> --allow 2 --span 3 [--timed] [--highwater] [--threads N] [--engine ast|vm]
 //!                   [--deadline SECS] [--budget N] [--checkpoint FILE] [--resume FILE] [--block N]
+//!                   [--schedules K]
 //! enforce compile   <file.fc> [--dump]
-//! enforce certify   <file.fc> --allow 2 [--scoped | --value | --relational]
+//! enforce certify   <file.fc> --allow 2 [--scoped | --value | --relational | --dynamic]
 //! enforce refute    <file.fc> --allow 2 [--span S] [--threads N] [--json]
 //! enforce lint      <file.fc> --allow 2 [--json]
 //! enforce explain   <file.fc> --allow 2 --input 3,4
@@ -31,8 +32,8 @@ use enforcement::core::checkpoint::{
 };
 use enforcement::core::json::Json;
 use enforcement::core::{
-    try_check_soundness_with, CancelToken, Coverage, EnfError, EvalConfig, Identity, Mechanism,
-    Verdict,
+    check_soundness_scheduled, try_check_soundness_with, validate_scheduled_witness, CancelToken,
+    Coverage, EnfError, EvalConfig, Identity, Mechanism, ScheduledReport, Verdict,
 };
 use enforcement::flowchart::bytecode::Compiled;
 use enforcement::flowchart::dot::{to_dot, to_dot_decorated, NodeDecor};
@@ -98,8 +99,9 @@ fn usage() -> &'static str {
        trace      per-step taint trace       --input a,b [--allow J] [--json] [--timed] [--highwater] [--engine ast|vm]\n\
        check      soundness over a grid      --allow J --span S [--timed] [--highwater] [--threads N] [--engine ast|vm]\n\
        \x20                                  [--deadline SECS] [--budget N] [--checkpoint F] [--resume F] [--block N]\n\
+       \x20                                  [--schedules K]\n\
        compile    lower to register bytecode [--dump]\n\
-       certify    static certification       --allow J [--scoped | --value | --relational]\n\
+       certify    static certification       --allow J [--scoped | --value | --relational | --dynamic]\n\
        refute     leak witness search        --allow J [--span S] [--threads N] [--fuel N] [--json]\n\
        lint       static diagnostics         --allow J [--json]\n\
        explain    why a run violates         --allow J --input a,b\n\
@@ -116,12 +118,20 @@ fn usage() -> &'static str {
      --checkpoint F persists progress every --block inputs (default 4096);\n\
      --resume F continues a previous sweep from its last checkpoint.\n\
      certify picks the analysis: surveillance abstraction (default),\n\
-     --scoped (Denning-style regions), --value (interval-refined), or\n\
-     --relational (self-composition agreement; flags are exclusive).\n\
+     --scoped (Denning-style regions), --value (interval-refined),\n\
+     --relational (self-composition agreement), or --dynamic (the\n\
+     policy-schedule certifier — the only analysis that accepts programs\n\
+     with setpolicy/declassify boxes; flags are exclusive).\n\
+     check --schedules K runs the scheduled oracle instead of the fixed\n\
+     sweep: soundness is checked under every bounded policy schedule (at\n\
+     most K of the canonical enumeration); a failing schedule is reported\n\
+     with its replay-validated witness pair.\n\
      refute runs the relational certifier and, on rejection, searches\n\
      [-S, S]^k x [-S, S]^k (--span S, default 3) for a pair of J-agreeing\n\
      inputs with different released outcomes; the least-index witness is\n\
-     deterministic for every --threads count.\n\
+     deterministic for every --threads count. On programs with policy\n\
+     boxes refute runs the --dynamic certifier instead and searches for a\n\
+     replay-validated scheduled witness (input pair + schedule).\n\
      trace and check run on the register-bytecode VM by default\n\
      (--engine vm); --engine ast selects the flowchart stepper. The two\n\
      engines are bit-identical: same events, verdicts and witnesses.\n\
@@ -338,6 +348,22 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
                                 None => "(vetoed)",
                             }
                         ),
+                        TraceKind::SetPolicy { active } => writeln!(
+                            out,
+                            "step {:>3} at {}: {}  now allowing {}",
+                            e.step,
+                            e.node,
+                            e.what,
+                            match active {
+                                Some(s) => format!("{s}"),
+                                None => "(schedule slot)".to_string(),
+                            }
+                        ),
+                        TraceKind::Declassify { before, after, .. } => writeln!(
+                            out,
+                            "step {:>3} at {}: {} [{before} -> {after}]  pc {}",
+                            e.step, e.node, e.what, e.pc
+                        ),
                         TraceKind::Halt { released } => writeln!(
                             out,
                             "step {:>3} at {}: HALT  releases {released}",
@@ -382,6 +408,57 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
             install_sigint(&ctl);
             let grid = Grid::hypercube(arity, -span..=span);
             let policy = Allow::from_set(arity, allow);
+            if args.has("schedules") {
+                // Scheduled oracle: quantify over every bounded policy
+                // schedule (capped at K) instead of the fixed policy.
+                let cap: usize = args
+                    .value("schedules")?
+                    .parse()
+                    .ok()
+                    .filter(|k: &usize| *k > 0)
+                    .ok_or_else(|| "bad --schedules (need a positive schedule cap)".to_string())?;
+                if args.has("timed")
+                    || args.has("highwater")
+                    || args.has("checkpoint")
+                    || args.has("resume")
+                    || args.has("engine")
+                {
+                    return Err("--schedules runs the scheduled oracle on the stepper; it \
+                                cannot be combined with --timed, --highwater, --engine, \
+                                --checkpoint or --resume"
+                        .to_string()
+                        .into());
+                }
+                let program = FlowchartProgram::with_fuel(fc, fuel);
+                let report = check_soundness_scheduled(&program, &policy, &grid, &eval, Some(cap));
+                match &report {
+                    ScheduledReport::Sound { schedules, inputs } => {
+                        let _ = writeln!(
+                            out,
+                            "sound over {inputs} inputs under {schedules} schedule{}",
+                            if *schedules == 1 { "" } else { "s" }
+                        );
+                    }
+                    ScheduledReport::Unsound(w) => {
+                        let validated = validate_scheduled_witness(&program, w);
+                        let _ = writeln!(
+                            out,
+                            "UNSOUND under schedule #{} ({})",
+                            w.schedule_index, w.schedule
+                        );
+                        let _ = writeln!(out, "  run a: {:?} -> {}", w.a, w.out_a);
+                        let _ = writeln!(out, "  run b: {:?} -> {}", w.b, w.out_b);
+                        let _ = writeln!(
+                            out,
+                            "  final policy allow({}); witness replay {}",
+                            w.final_policy,
+                            if validated { "validated" } else { "FAILED" }
+                        );
+                        code = EXIT_VIOLATION;
+                    }
+                }
+                return Ok((out, code));
+            }
             let program = FlowchartProgram::with_fuel(fc, fuel);
             let checkpoint_path = args.flag("checkpoint").cloned().flatten();
             let resume_path = args.flag("resume").cloned().flatten();
@@ -531,15 +608,19 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
                 args.has("scoped"),
                 args.has("value"),
                 args.has("relational"),
+                args.has("dynamic"),
             ) {
-                (false, false, false) => Analysis::Surveillance,
-                (true, false, false) => Analysis::Scoped,
-                (false, true, false) => Analysis::ValueRefined,
-                (false, false, true) => Analysis::Relational,
+                (false, false, false, false) => Analysis::Surveillance,
+                (true, false, false, false) => Analysis::Scoped,
+                (false, true, false, false) => Analysis::ValueRefined,
+                (false, false, true, false) => Analysis::Relational,
+                (false, false, false, true) => Analysis::DynamicPolicy,
                 _ => {
-                    return Err("--scoped, --value and --relational are exclusive"
-                        .to_string()
-                        .into())
+                    return Err(
+                        "--scoped, --value, --relational and --dynamic are exclusive"
+                            .to_string()
+                            .into(),
+                    )
                 }
             };
             let verdict = certify(&fc, allow, analysis);
@@ -566,6 +647,96 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
             use enforcement::flowchart::interp::ExecValue;
             use enforcement::staticflow::refute::{verify, RelationalVerdict};
             let grid = Grid::hypercube(arity, -span..=span);
+            if fc.has_policy_nodes() {
+                // Dynamic-policy programs: the relational analysis cannot
+                // model policy boxes, so refutation runs the policy-schedule
+                // certifier and, on rejection, searches for a replay-
+                // validated scheduled witness (input pair + schedule).
+                use enforcement::staticflow::Certification;
+                let cert = certify(&fc, allow, Analysis::DynamicPolicy);
+                let suspect = match &cert {
+                    Certification::Certified => None,
+                    Certification::Rejected { taint } => Some(*taint),
+                };
+                let witness = match suspect {
+                    None => None,
+                    Some(_) => {
+                        let program = FlowchartProgram::with_fuel(fc.clone(), fuel);
+                        let policy = Allow::from_set(arity, allow);
+                        check_soundness_scheduled(&program, &policy, &grid, &eval, None)
+                            .witness()
+                            .filter(|w| validate_scheduled_witness(&program, *w))
+                            .cloned()
+                    }
+                };
+                let tag = match (&suspect, &witness) {
+                    (None, _) => "certified",
+                    (Some(_), Some(_)) => "leak",
+                    (Some(_), None) => "unknown",
+                };
+                if args.has("json") {
+                    let _ = writeln!(out, "{{");
+                    let _ = writeln!(out, "  \"verdict\": \"{tag}\",");
+                    let _ = write!(out, "  \"initial\": {}", json_set(&allow));
+                    if let Some(w) = &witness {
+                        let slots: Vec<String> = w.schedule.slots.iter().map(json_set).collect();
+                        let _ = write!(
+                            out,
+                            ",\n  \"witness\": {{\"schedule_index\": {}, \
+                             \"schedule\": {{\"initial\": {}, \"slots\": [{}]}}, \
+                             \"final_policy\": {}, \"a\": {:?}, \"b\": {:?}, \
+                             \"out_a\": {}, \"out_b\": {}, \"validated\": true}}",
+                            w.schedule_index,
+                            json_set(&w.schedule.initial),
+                            slots.join(", "),
+                            json_set(&w.final_policy),
+                            w.a,
+                            w.b,
+                            json_exec(&w.out_a),
+                            json_exec(&w.out_b)
+                        );
+                    } else if let Some(taint) = suspect {
+                        let _ = write!(out, ",\n  \"taint\": {}", json_set(&taint));
+                    }
+                    let _ = writeln!(out, "\n}}");
+                } else {
+                    match (&suspect, &witness) {
+                        (None, _) => {
+                            let _ = writeln!(
+                                out,
+                                "certified: the policy-schedule analysis proves soundness \
+                                 under every schedule from allow({allow})"
+                            );
+                        }
+                        (Some(_), Some(w)) => {
+                            let _ = writeln!(
+                                out,
+                                "leak under schedule #{} ({}): inputs agreeing on the final \
+                                 policy's view release different outcomes",
+                                w.schedule_index, w.schedule
+                            );
+                            let _ = writeln!(out, "  run a: {:?} -> {}", w.a, w.out_a);
+                            let _ = writeln!(out, "  run b: {:?} -> {}", w.b, w.out_b);
+                            let _ = writeln!(
+                                out,
+                                "  final policy allow({}); witness replay validated",
+                                w.final_policy
+                            );
+                        }
+                        (Some(taint), None) => {
+                            let _ = writeln!(
+                                out,
+                                "unknown: rejected statically (suspect taint {taint}) but no \
+                                 scheduled witness on [-{span}, {span}]^{arity}"
+                            );
+                        }
+                    }
+                }
+                if tag != "certified" {
+                    code = EXIT_VIOLATION;
+                }
+                return Ok((out, code));
+            }
             let verdict = verify(&fc, allow, &grid, fuel, &eval);
             let json_out = |v: &ExecValue| match v {
                 ExecValue::Value(n) => n.to_string(),
@@ -704,6 +875,13 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
                         TraceKind::Branch { before, after, .. } => {
                             Some(format!("pc {before} -> {after}"))
                         }
+                        TraceKind::SetPolicy { active } => Some(match active {
+                            Some(s) => format!("now allowing {s}"),
+                            None => "schedule slot".to_string(),
+                        }),
+                        TraceKind::Declassify { before, after, .. } => {
+                            Some(format!("{before} -> {after}"))
+                        }
                         TraceKind::Halt { released } => Some(format!("releases {released}")),
                     };
                 }
@@ -790,6 +968,13 @@ fn parse_allow_or_full(args: &Args, arity: usize) -> Result<IndexSet, String> {
 fn json_set(set: &IndexSet) -> String {
     let items: Vec<String> = set.iter().map(|i| i.to_string()).collect();
     format!("[{}]", items.join(", "))
+}
+
+fn json_exec(v: &ExecValue) -> String {
+    match v {
+        ExecValue::Value(n) => n.to_string(),
+        ExecValue::Diverged => "null".to_string(),
+    }
 }
 
 fn base_config(args: &Args, allow: IndexSet) -> SurvConfig {

@@ -474,6 +474,8 @@ fn usage_lists_every_subcommand_and_flag() {
         "--scoped",
         "--value",
         "--relational",
+        "--dynamic",
+        "--schedules",
         "--span",
         "--threads",
         "--json",
@@ -649,4 +651,174 @@ fn sound_check_exits_zero() {
     );
     assert_eq!(code, 0, "{out}");
     assert!(out.contains("sound"), "{out}");
+}
+
+// ---- dynamic policies: certify --dynamic, check --schedules, scheduled refute ----
+
+/// Mid-run upgrade: the captured x1 is released at HALT under the final
+/// policy allow(1) — sound under every schedule, but only the schedule
+/// certifier can see it.
+const POLICY_UPGRADE: &str = "program(2) { r1 := x1; setpolicy allow(1); y := r1; }";
+
+/// Mid-run tightening: the policy drops to allow() before x1 is released.
+const POLICY_DROP: &str = "program(1) { setpolicy allow(); y := x1; }";
+
+#[test]
+fn certify_dynamic_accepts_what_every_fixed_analysis_rejects() {
+    for flags in [
+        &[][..],
+        &["--scoped"][..],
+        &["--value"][..],
+        &["--relational"][..],
+    ] {
+        let mut args = vec!["certify", "-", "--allow", ""];
+        args.extend_from_slice(flags);
+        let (code, out, _) = enforce(&args, POLICY_UPGRADE);
+        assert_eq!(code, 1, "fixed-policy {flags:?} must reject\n{out}");
+        assert!(out.contains("Rejected"), "{out}");
+    }
+    let (code, out, _) = enforce(
+        &["certify", "-", "--allow", "", "--dynamic"],
+        POLICY_UPGRADE,
+    );
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("Certified"), "{out}");
+    // Tightening mid-run is rejected even dynamically.
+    let (code, out, _) = enforce(&["certify", "-", "--allow", "1", "--dynamic"], POLICY_DROP);
+    assert_eq!(code, 1, "{out}");
+    // The analysis flags stay exclusive.
+    let (code, _, err) = enforce(
+        &["certify", "-", "--allow", "", "--dynamic", "--value"],
+        POLICY_UPGRADE,
+    );
+    assert_eq!(code, 2, "flag conflicts are usage errors\n{err}");
+}
+
+#[test]
+fn check_schedules_sweeps_every_bounded_schedule() {
+    // A constant release is sound under both bindings of the slot.
+    let (code, out, _) = enforce(
+        &[
+            "check",
+            "-",
+            "--allow",
+            "1",
+            "--span",
+            "2",
+            "--schedules",
+            "16",
+        ],
+        "program(1) { setpolicy p1; y := 0; }",
+    );
+    assert_eq!(code, 0, "{out}");
+    assert!(
+        out.contains("sound over 5 inputs under 2 schedules"),
+        "{out}"
+    );
+    // Releasing x1 leaks under the binding p1 = allow(); the witness is
+    // replay-validated before it is reported.
+    let (code, out, _) = enforce(
+        &[
+            "check",
+            "-",
+            "--allow",
+            "1",
+            "--span",
+            "2",
+            "--schedules",
+            "16",
+        ],
+        "program(1) { setpolicy p1; y := x1; }",
+    );
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("UNSOUND under schedule #0"), "{out}");
+    assert!(out.contains("p1 = {}"), "{out}");
+    assert!(out.contains("witness replay validated"), "{out}");
+}
+
+#[test]
+fn check_schedules_flag_hygiene() {
+    let (code, _, err) = enforce(
+        &[
+            "check",
+            "-",
+            "--allow",
+            "1",
+            "--span",
+            "2",
+            "--schedules",
+            "0",
+        ],
+        POLICY_DROP,
+    );
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("bad --schedules"), "{err}");
+    for conflict in ["--timed", "--highwater"] {
+        let (code, _, err) = enforce(
+            &[
+                "check",
+                "-",
+                "--allow",
+                "1",
+                "--span",
+                "2",
+                "--schedules",
+                "4",
+                conflict,
+            ],
+            POLICY_DROP,
+        );
+        assert_eq!(
+            code, 2,
+            "{conflict} with --schedules must be a usage error\n{err}"
+        );
+    }
+}
+
+#[test]
+fn refute_produces_a_replay_validated_scheduled_witness() {
+    // Certified dynamic-policy program: refute exits 0.
+    let (code, out, _) = enforce(&["refute", "-", "--allow", ""], POLICY_UPGRADE);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("certified"), "{out}");
+    assert!(out.contains("every schedule"), "{out}");
+    // Tightening program: a scheduled witness (input pair + schedule),
+    // validated by replay before printing.
+    let (code, out, _) = enforce(&["refute", "-", "--allow", "1"], POLICY_DROP);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("leak under schedule #0"), "{out}");
+    assert!(out.contains("run a:"), "{out}");
+    assert!(out.contains("run b:"), "{out}");
+    assert!(out.contains("witness replay validated"), "{out}");
+}
+
+#[test]
+fn refute_json_carries_the_scheduled_witness() {
+    let (code, out, _) = enforce(&["refute", "-", "--allow", "1", "--json"], POLICY_DROP);
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("\"verdict\": \"leak\""), "{out}");
+    assert!(out.contains("\"schedule_index\": 0"), "{out}");
+    assert!(out.contains("\"final_policy\": []"), "{out}");
+    assert!(out.contains("\"validated\": true"), "{out}");
+    let (code, out, _) = enforce(&["refute", "-", "--allow", "", "--json"], POLICY_UPGRADE);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("\"verdict\": \"certified\""), "{out}");
+}
+
+#[test]
+fn trace_renders_policy_boxes() {
+    let (code, out, _) = enforce(
+        &["trace", "-", "--allow", "", "--input", "7,5"],
+        POLICY_UPGRADE,
+    );
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("setpolicy allow(1)"), "{out}");
+    assert!(out.contains("now allowing {1}"), "{out}");
+    let (code, out, _) = enforce(
+        &["trace", "-", "--allow", "", "--input", "7,5", "--json"],
+        POLICY_UPGRADE,
+    );
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("\"kind\": \"setpolicy\""), "{out}");
+    assert!(out.contains("\"active\": [1]"), "{out}");
 }

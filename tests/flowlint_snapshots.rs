@@ -16,6 +16,7 @@ const CASES: &[(&str, &str)] = &[
     ("constant_guard", "2"),
     ("implicit_copy", ""),
     ("dead_store", "2"),
+    ("policy_dance", ""),
 ];
 
 fn repo_file(rel: &str) -> PathBuf {

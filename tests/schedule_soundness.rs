@@ -1,0 +1,185 @@
+//! Acceptance properties for the policy-schedule certifier
+//! (`Analysis::DynamicPolicy`).
+//!
+//! The soundness bar: a program the certifier accepts is never found
+//! unsound by the exhaustive bounded-schedule oracle
+//! (`check_soundness_scheduled`) — swept over the paper corpus and over
+//! hundreds of random dynamic-policy programs, at every thread count
+//! 1–8. The degeneration bar: on policy-free programs the certifier
+//! returns exactly the `Analysis::ValueRefined` verdict, and the
+//! scheduled oracle returns exactly the classic `check_soundness`
+//! verdict (same witness pair, schedule index 0).
+
+use enforcement::core::{
+    check_soundness, check_soundness_scheduled, validate_scheduled_witness, Allow, EvalConfig,
+    Grid, Identity, IndexSet, ScheduledReport,
+};
+use enforcement::flowchart::corpus;
+use enforcement::flowchart::generate::{random_flowchart, random_policy_flowchart, GenConfig};
+use enforcement::prelude::FlowchartProgram;
+use enforcement::staticflow::certify::{certify, Analysis, Certification};
+use proptest::prelude::*;
+
+/// Forced-parallel configuration with exactly `t` workers.
+fn par(t: usize) -> EvalConfig {
+    EvalConfig::with_threads(t).seq_threshold(0)
+}
+
+/// Every initial policy over `arity` inputs.
+fn all_policies(arity: usize) -> impl Iterator<Item = IndexSet> {
+    (0u64..(1 << arity)).map(|mask| IndexSet::from_bits(mask << 1))
+}
+
+/// Certified(DynamicPolicy) ⟹ sound under every bounded schedule, on
+/// every corpus program, every initial policy, threads 1–8. Also pins the
+/// certification gap the corpus `policy_upgrade` program exists for: the
+/// schedule certifier accepts it while every fixed-policy analysis
+/// rejects it.
+#[test]
+fn corpus_certified_dynamic_is_schedule_sound() {
+    let mut dynamic_only = 0usize;
+    for pp in corpus::all() {
+        let arity = pp.flowchart.arity();
+        for j in all_policies(arity) {
+            let verdict = certify(&pp.flowchart, j, Analysis::DynamicPolicy);
+            if verdict != Certification::Certified {
+                continue;
+            }
+            if pp.flowchart.has_policy_nodes() {
+                for a in [
+                    Analysis::Surveillance,
+                    Analysis::Scoped,
+                    Analysis::ValueRefined,
+                    Analysis::Relational,
+                ] {
+                    assert!(
+                        !certify(&pp.flowchart, j, a).is_certified(),
+                        "{}: fixed-policy {a:?} must refuse policy boxes",
+                        pp.name
+                    );
+                }
+                dynamic_only += 1;
+            }
+            let p = FlowchartProgram::new(pp.flowchart.clone());
+            let policy = Allow::from_set(arity, j);
+            // Naturals keep the timing_constant program terminating.
+            let g = Grid::hypercube(arity, 0..=3);
+            for t in 1..=8usize {
+                let report = check_soundness_scheduled(&p, &policy, &g, &par(t), None);
+                assert!(
+                    report.is_sound(),
+                    "{} under allow({j}), threads {t}: certified but the scheduled \
+                     oracle refutes: {:?}",
+                    pp.name,
+                    report.witness()
+                );
+            }
+        }
+    }
+    assert!(
+        dynamic_only > 0,
+        "the corpus must contain a program only the schedule certifier accepts"
+    );
+}
+
+/// The same soundness bar over ≥400 random dynamic-policy programs: no
+/// certified program is refuted by the exhaustive schedule sweep, at any
+/// thread count. Rejected programs exercise the refutation side — when
+/// the oracle finds a leak, the witness must replay-validate.
+#[test]
+fn random_policy_programs_certified_dynamic_never_leak() {
+    let cfg = GenConfig::default();
+    let g = Grid::hypercube(cfg.arity, -1..=1);
+    let mut certified = 0usize;
+    let mut witnesses = 0usize;
+    for seed in 0..440u64 {
+        let fc = random_policy_flowchart(seed, &cfg);
+        for j in all_policies(cfg.arity) {
+            let p = FlowchartProgram::with_fuel(fc.clone(), 100_000);
+            let policy = Allow::from_set(cfg.arity, j);
+            if certify(&fc, j, Analysis::DynamicPolicy).is_certified() {
+                certified += 1;
+                for t in 1..=8usize {
+                    let report = check_soundness_scheduled(&p, &policy, &g, &par(t), None);
+                    assert!(
+                        report.is_sound(),
+                        "seed {seed} under allow({j}), threads {t}: certified but \
+                         refuted: {:?}",
+                        report.witness()
+                    );
+                }
+            } else if witnesses < 40 {
+                // Refutation side, sampled: any witness the oracle produces
+                // must replay against the subject.
+                let report =
+                    check_soundness_scheduled(&p, &policy, &g, &EvalConfig::default(), None);
+                if let ScheduledReport::Unsound(w) = &report {
+                    assert!(
+                        validate_scheduled_witness(&p, w),
+                        "seed {seed} under allow({j}): witness does not replay: {w:?}"
+                    );
+                    witnesses += 1;
+                }
+            }
+        }
+    }
+    assert!(
+        certified >= 100,
+        "sweep must exercise certified programs, got {certified}"
+    );
+    assert!(
+        witnesses >= 40,
+        "sweep must exercise replay-validated witnesses, got {witnesses}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Degeneration, analysis side: on policy-free programs the schedule
+    /// certifier is exactly the value-refined certifier — same verdict,
+    /// same rejection taint.
+    #[test]
+    fn policy_free_certification_degenerates_to_value_refined(
+        seed in 0u64..20_000,
+        mask in 0u64..4,
+    ) {
+        let fc = random_flowchart(seed, &GenConfig::default());
+        let j = IndexSet::from_bits(mask << 1);
+        let dynamic = certify(&fc, j, Analysis::DynamicPolicy);
+        let refined = certify(&fc, j, Analysis::ValueRefined);
+        prop_assert_eq!(dynamic, refined, "seed {}, J = {}", seed, j);
+    }
+
+    /// Degeneration, oracle side: with no policy boxes there is exactly
+    /// one schedule (the fixed initial policy) and the scheduled oracle
+    /// agrees with the classic checker — verdict and witness pair.
+    #[test]
+    fn policy_free_oracle_degenerates_to_check_soundness(
+        seed in 0u64..20_000,
+        mask in 0u64..4,
+    ) {
+        let fc = random_flowchart(seed, &GenConfig::default());
+        let j = IndexSet::from_bits(mask << 1);
+        let p = FlowchartProgram::new(fc);
+        let policy = Allow::from_set(2, j);
+        let g = Grid::hypercube(2, -2..=2);
+        let classic = check_soundness(&Identity::new(p.clone()), &policy, &g, false);
+        let sched =
+            check_soundness_scheduled(&p, &policy, &g, &EvalConfig::default(), None);
+        prop_assert_eq!(
+            classic.is_sound(),
+            sched.is_sound(),
+            "seed {}, J = {}",
+            seed,
+            j
+        );
+        if let (Some(cw), Some(sw)) = (classic.witness(), sched.witness()) {
+            prop_assert_eq!(&cw.a, &sw.a);
+            prop_assert_eq!(&cw.b, &sw.b);
+            prop_assert_eq!(sw.schedule_index, 0);
+            prop_assert_eq!(sw.schedule.slots.len(), 0);
+            prop_assert!(validate_scheduled_witness(&p, sw));
+        }
+    }
+}
