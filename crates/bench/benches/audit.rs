@@ -1,0 +1,53 @@
+//! Typed-pipeline overhead: the `enf_policy` embedding (monitored run +
+//! verified mint + capability-gated release + two hash-chained audit
+//! records) against the raw surveillance-VM call it wraps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use enf_core::IndexSet;
+use enf_flowchart::bytecode::Compiled;
+use enf_flowchart::generate::loop_program;
+use enf_policy::{AuditLog, Capability, Enforcer, RunVerdict, Sink, Tainted};
+use enf_surveillance::dynamic::SurvConfig;
+use enf_surveillance::vm::run_surveillance_vm;
+use std::hint::black_box;
+
+fn bench_audit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("audit_overhead");
+    let allow = IndexSet::single(1);
+    let input = vec![0];
+    for iters in [1_000, 10_000] {
+        let fc = loop_program(iters, 4);
+        let cfg = SurvConfig::surveillance(allow).with_fuel(100_000_000);
+        group.bench_with_input(BenchmarkId::new("raw_vm", iters), &fc, |b, fc| {
+            b.iter(|| black_box(run_surveillance_vm(&Compiled::new(fc), &input, &cfg)))
+        });
+        let enforcer = Enforcer::new(fc, allow)
+            .expect("valid policy")
+            .with_fuel(100_000_000);
+        group.bench_with_input(
+            BenchmarkId::new("typed_pipeline", iters),
+            &enforcer,
+            |b, enforcer| {
+                let mut log = AuditLog::in_memory();
+                let mut cap = Some(Capability::issue("bench", &mut log).expect("issue"));
+                b.iter(|| {
+                    let v = match enforcer
+                        .surveil(Tainted::new(input.clone()), &mut log)
+                        .expect("arity matches")
+                    {
+                        RunVerdict::Released(v) => v,
+                        RunVerdict::Refused(r) => unreachable!("accepted: {r:?}"),
+                    };
+                    let mut sink = Sink::new(cap.take().expect("capability"), &mut log);
+                    let y = sink.release(v).expect("release");
+                    cap = Some(sink.into_capability());
+                    black_box(y)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_audit);
+criterion_main!(benches);

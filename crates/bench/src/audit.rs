@@ -1,0 +1,162 @@
+//! Typed-pipeline overhead: the `enf_policy` embedding (arity check,
+//! `Tainted` → monitored run → `Verified` mint → capability-gated `Sink`
+//! release, with two hash-chained audit records per run) against the raw
+//! engine call it wraps.
+//!
+//! The acceptance bar is ≤5% overhead on monitor-dominated runs: the
+//! typed surface adds bookkeeping per *run*, not per *step*, so a loop of
+//! a few hundred thousand steps must price the engine, not the wrapper.
+//! `exp_all` records the rows in the `"audit"` field of
+//! `BENCH_results.json`; the matching Criterion group lives in
+//! `benches/audit.rs` (`audit_overhead`).
+
+use enf_core::{IndexSet, V};
+use enf_flowchart::bytecode::Compiled;
+use enf_flowchart::generate::loop_program;
+use enf_policy::{AuditLog, Capability, Enforcer, RunVerdict, Sink, Tainted};
+use enf_surveillance::dynamic::SurvConfig;
+use enf_surveillance::vm::run_surveillance_vm;
+use std::time::Instant;
+
+/// One loop-size's raw-engine-vs-typed-pipeline measurement.
+#[derive(Clone, Debug)]
+pub struct AuditRow {
+    /// Loop iteration count of the subject program.
+    pub iters: V,
+    /// Executed boxes per monitored run.
+    pub steps: u64,
+    /// Runs timed on each side.
+    pub reps: usize,
+    /// Raw `run_surveillance_vm` wall-clock seconds (all reps).
+    pub raw_secs: f64,
+    /// Typed `Enforcer::surveil` + `Sink::release` wall-clock seconds
+    /// (all reps, audit records included).
+    pub typed_secs: f64,
+}
+
+impl AuditRow {
+    /// Fractional overhead of the typed pipeline over the raw call
+    /// (0.05 = 5%).
+    pub fn overhead(&self) -> f64 {
+        self.typed_secs / self.raw_secs.max(1e-12) - 1.0
+    }
+}
+
+const FUEL: u64 = 100_000_000;
+
+fn time<R>(f: impl FnMut() -> R, reps: usize) -> f64 {
+    let mut f = f;
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Measures the typed-pipeline overhead at the publication sizes.
+pub fn measure(reps: usize) -> Vec<AuditRow> {
+    measure_sized(reps, &[10_000, 100_000])
+}
+
+/// [`measure`] at caller-chosen loop sizes — short lists back the
+/// `exp_all --quick` CI smoke mode.
+pub fn measure_sized(reps: usize, iter_counts: &[V]) -> Vec<AuditRow> {
+    let allow = IndexSet::single(1);
+    let input = vec![0];
+    let mut rows = Vec::new();
+    for &iters in iter_counts {
+        let fc = loop_program(iters, 4);
+        let cfg = SurvConfig::surveillance(allow).with_fuel(FUEL);
+
+        // The raw path is exactly what Enforcer::surveil runs inside:
+        // compile, then execute under the surveillance monitor.
+        let raw_secs = time(
+            || run_surveillance_vm(&Compiled::new(&fc), &input, &cfg),
+            reps,
+        );
+        let steps = match run_surveillance_vm(&Compiled::new(&fc), &input, &cfg) {
+            enf_surveillance::dynamic::SurvOutcome::Accepted { steps, .. } => steps,
+            other => unreachable!("loop program accepted: {other:?}"),
+        };
+
+        let enforcer = Enforcer::new(fc, allow)
+            .expect("valid policy")
+            .with_fuel(FUEL);
+        let mut log = AuditLog::in_memory();
+        let mut cap = Some(Capability::issue("bench", &mut log).expect("issue"));
+        let typed_secs = time(
+            || {
+                let verdict = enforcer
+                    .surveil(Tainted::new(input.clone()), &mut log)
+                    .expect("arity matches");
+                let v = match verdict {
+                    RunVerdict::Released(v) => v,
+                    RunVerdict::Refused(r) => unreachable!("loop program accepted: {r:?}"),
+                };
+                let mut sink = Sink::new(cap.take().expect("capability"), &mut log);
+                let y = sink.release(v).expect("release");
+                cap = Some(sink.into_capability());
+                y
+            },
+            reps,
+        );
+
+        rows.push(AuditRow {
+            iters,
+            steps,
+            reps,
+            raw_secs,
+            typed_secs,
+        });
+    }
+    rows
+}
+
+/// Serializes rows as a JSON array (no external dependencies).
+pub fn to_json(rows: &[AuditRow]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"iters\": {}, \"steps\": {}, \"reps\": {}, \
+             \"raw_secs\": {:.9}, \"typed_secs\": {:.9}, \
+             \"overhead\": {:.4}}}{}\n",
+            r.iters,
+            r.steps,
+            r.reps,
+            r.raw_secs,
+            r.typed_secs,
+            r.overhead(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape() {
+        let rows = vec![AuditRow {
+            iters: 100,
+            steps: 703,
+            reps: 3,
+            raw_secs: 0.001,
+            typed_secs: 0.00102,
+        }];
+        let j = to_json(&rows);
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert!(j.contains("\"iters\": 100"));
+        assert!(j.contains("\"overhead\": 0.0200"));
+    }
+
+    #[test]
+    fn typed_pipeline_measures_and_releases() {
+        let rows = measure_sized(3, &[100]);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].steps > 100);
+        assert!(rows[0].raw_secs > 0.0 && rows[0].typed_secs > 0.0);
+    }
+}

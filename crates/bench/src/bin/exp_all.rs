@@ -5,11 +5,12 @@
 //! checkpointed-sweep overhead (bar ≤3%), the relational-proof vs
 //! pair-sweep cost, the bytecode-VM vs stepper speedup (bar ≥5×), and the
 //! class-evaluator vs generic-sweep speedup (bar ≥10×), and the
-//! dynamic-policy certificate vs bounded-schedule-sweep cost, writing
-//! all seven to `BENCH_results.json` (`{"throughput": [...],
+//! dynamic-policy certificate vs bounded-schedule-sweep cost, and the
+//! typed-pipeline (audit-trail) overhead (bar ≤5%), writing
+//! all eight to `BENCH_results.json` (`{"throughput": [...],
 //! "stepper_overhead": [...], "checkpoint_overhead": [...],
 //! "relational": [...], "bytecode": [...], "class_eval": [...],
-//! "schedule": [...]}`); skip with `--no-bench`, or pass `--quick` for
+//! "schedule": [...], "audit": [...]}`); skip with `--no-bench`, or pass `--quick` for
 //! the small-size CI smoke run (same code paths, sub-minute, numbers
 //! not publication-grade).
 
@@ -137,15 +138,31 @@ fn main() {
                 r.ratio()
             );
         }
+        let audit = if quick {
+            enf_bench::audit::measure_sized(3, &[10_000])
+        } else {
+            enf_bench::audit::measure(20)
+        };
+        for r in &audit {
+            println!(
+                "audit iters {:>7} {:>9} steps   raw {:>12.9}s  typed {:>12.9}s  overhead {:>+6.2}%",
+                r.iters,
+                r.steps,
+                r.raw_secs,
+                r.typed_secs,
+                r.overhead() * 100.0
+            );
+        }
         let json = format!(
-            "{{\n\"throughput\": {},\n\"stepper_overhead\": {},\n\"checkpoint_overhead\": {},\n\"relational\": {},\n\"bytecode\": {},\n\"class_eval\": {},\n\"schedule\": {}\n}}\n",
+            "{{\n\"throughput\": {},\n\"stepper_overhead\": {},\n\"checkpoint_overhead\": {},\n\"relational\": {},\n\"bytecode\": {},\n\"class_eval\": {},\n\"schedule\": {},\n\"audit\": {}\n}}\n",
             enf_bench::throughput::to_json(&rows),
             enf_bench::stepper::to_json(&overhead),
             enf_bench::checkpoint::to_json(&ckpt),
             enf_bench::relational::to_json(&rel),
             enf_bench::vmspeed::bytecode_to_json(&bytecode),
             enf_bench::vmspeed::class_eval_to_json(&class_eval),
-            enf_bench::schedule_eval::to_json(&sched)
+            enf_bench::schedule_eval::to_json(&sched),
+            enf_bench::audit::to_json(&audit)
         );
         match std::fs::write("BENCH_results.json", &json) {
             Ok(()) => println!("wrote BENCH_results.json"),

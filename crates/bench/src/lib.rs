@@ -2,7 +2,7 @@
 //!
 //! The paper has no numbered tables or figures — its evaluation is a set
 //! of worked examples, theorems and quantitative claims. DESIGN.md maps
-//! each to an experiment id (E1–E19, plus extensions X1–X4); this crate implements them as
+//! each to an experiment id (E1–E22, plus extensions X1–X5); this crate implements them as
 //! functions returning [`report::Table`]s, exposes one binary per
 //! experiment family (`exp_*`), and an `exp_all` binary that regenerates
 //! the data behind EXPERIMENTS.md. Criterion benches under `benches/`
@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod checkpoint;
 pub mod experiments;
 pub mod relational;

@@ -269,16 +269,25 @@ where
     }
 }
 
-/// Writes a checkpoint document to `path` atomically: the bytes land in a
-/// sibling temporary file which is then renamed over the target, so a kill
-/// mid-write leaves the previous checkpoint intact.
-pub fn write_checkpoint_file(path: &Path, json: &Json) -> Result<(), EnfError> {
+/// Writes `text` to `path` atomically: the bytes land in a sibling
+/// temporary file which is then renamed over the target, so a kill
+/// mid-write leaves the previous contents intact. This is the persistence
+/// discipline every durable artifact in the workspace shares — checkpoint
+/// documents here, and the `enf_policy` audit trail.
+pub fn atomic_write_text(path: &Path, text: &str) -> Result<(), EnfError> {
     let reason = |what: &str, e: std::io::Error| EnfError::Checkpoint {
         reason: format!("{what} {}: {e}", path.display()),
     };
     let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, json.render()).map_err(|e| reason("cannot write", e))?;
+    std::fs::write(&tmp, text).map_err(|e| reason("cannot write", e))?;
     std::fs::rename(&tmp, path).map_err(|e| reason("cannot rename into", e))
+}
+
+/// Writes a checkpoint document to `path` atomically via
+/// [`atomic_write_text`], so a kill mid-write leaves the previous
+/// checkpoint intact.
+pub fn write_checkpoint_file(path: &Path, json: &Json) -> Result<(), EnfError> {
+    atomic_write_text(path, &json.render())
 }
 
 /// Reads and parses a checkpoint document from `path`.

@@ -77,6 +77,18 @@ pub enum Verdict {
     Unknown,
 }
 
+impl Verdict {
+    /// Machine-readable lowercase tag, stable across releases — audit
+    /// records and JSON reports key on it.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Verdict::Confirmed => "confirmed",
+            Verdict::Refuted => "refuted",
+            Verdict::Unknown => "unknown",
+        }
+    }
+}
+
 /// A sweep result carrying its coverage: how much of the domain was
 /// checked, the verdict, and the underlying report when one exists.
 ///

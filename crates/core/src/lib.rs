@@ -63,6 +63,7 @@ pub mod schedule;
 pub mod soundness;
 pub mod value;
 
+pub use checkpoint::{atomic_write_text, fingerprint};
 pub use completeness::{
     acceptance_set, acceptance_set_with, compare, compare_with, try_acceptance_set_with,
     try_compare_with, CompletenessReport, MechOrdering,
@@ -72,6 +73,7 @@ pub use error::{Coverage, EnfError, Verdict};
 pub use indexset::IndexSet;
 pub use integrity::{check_preservation, PreservationReport};
 pub use join::{Join, JoinAll};
+pub use json::Json;
 pub use maximal::MaximalMechanism;
 pub use mechanism::{FnMechanism, Identity, MechOutput, Mechanism, Plug};
 pub use notice::Notice;

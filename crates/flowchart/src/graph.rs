@@ -293,6 +293,16 @@ impl Flowchart {
             .any(|n| matches!(n, Node::SetPolicy { .. } | Node::Declassify { .. }))
     }
 
+    /// A stable fingerprint of the program: FNV-1a over its canonical
+    /// pretty-printed source. Two flowcharts that print identically — same
+    /// boxes, same order, same expressions — share a fingerprint, so audit
+    /// records and caches can name a program without embedding its text.
+    pub fn fingerprint(&self) -> u64 {
+        let src = crate::pretty::flowchart_to_string(self);
+        let words: Vec<u64> = src.bytes().map(u64::from).collect();
+        enf_core::fingerprint(&words)
+    }
+
     /// Forward successors of a node as a list.
     pub fn succ_list(&self, id: NodeId) -> Vec<NodeId> {
         match self.succ(id) {

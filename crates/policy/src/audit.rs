@@ -1,0 +1,469 @@
+//! The tamper-evident audit trail: deterministic, hash-chained JSONL.
+//!
+//! Every capability grant, certification, attestation, refusal, sweep and
+//! release in the typed pipeline appends one record to an [`AuditLog`].
+//! Records are canonical [`enf_core::json`] objects rendered on a single
+//! line, and each record carries
+//!
+//! * `seq` — its position in the log (dense from 0),
+//! * `prev` — the hash of the preceding record (a genesis constant for
+//!   record 0), and
+//! * `hash` — the FNV-1a fingerprint of the record's own canonical
+//!   rendering *without* the `hash` field, chained through `prev`.
+//!
+//! Because the writer is deterministic (no timestamps, no randomness, and
+//! the engine's verdicts are bit-identical for every thread count), a
+//! pipeline run twice produces byte-identical logs — and because every
+//! record's hash covers its predecessor's, any edit, deletion, insertion
+//! or reordering breaks the chain at or before the tampered record.
+//! [`verify_chain`] replays the whole chain and reports the first break.
+//!
+//! Persistence reuses the checkpoint codec's atomic discipline
+//! ([`enf_core::atomic_write_text`]: write a sibling temporary file, then
+//! rename over the target), so a crash mid-append leaves the previous
+//! intact log on disk, never a torn one.
+
+use enf_core::{atomic_write_text, EnfError, Json};
+use std::path::PathBuf;
+
+/// `prev` of the first record: the FNV-1a fingerprint of the empty word
+/// sequence, rendered like every other hash.
+pub const GENESIS: u64 = fingerprint_bytes("");
+
+/// FNV-1a over a string's bytes, via the same [`enf_core::fingerprint`]
+/// primitive the checkpoint format uses.
+const fn fingerprint_bytes(s: &str) -> u64 {
+    // `enf_core::fingerprint` folds u64 words; replicate its byte folding
+    // here so hashing a rendered record needs no intermediate Vec.
+    let bytes = s.as_bytes();
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        i += 1;
+    }
+    hash
+}
+
+/// The chain hash of a record: FNV-1a over its canonical rendering with
+/// the `hash` field absent. `prev` is part of the rendering, so the hash
+/// transitively covers the whole log prefix.
+fn chain_hash(body_render: &str) -> u64 {
+    fingerprint_bytes(body_render)
+}
+
+/// 16-digit lowercase hex, the wire form of every hash in the log.
+pub fn hash_hex(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+/// When a file-backed log writes its bytes out.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FlushPolicy {
+    /// Persist after every appended record (atomic tmp+rename each time).
+    /// The durable default: the on-disk log is always a complete,
+    /// verifiable chain ending at most one record behind the writer.
+    EveryRecord,
+    /// Persist only on [`AuditLog::persist`] (and best-effort on drop).
+    /// For batch embedders that release many values per transaction.
+    Manual,
+}
+
+/// An append-only, hash-chained audit log.
+///
+/// In-memory by default; [`AuditLog::create`] / [`AuditLog::resume`]
+/// attach a JSONL file persisted with the atomic tmp+rename discipline.
+/// Records are appended only by the typed pipeline (grants, attestations,
+/// refusals, sweeps, releases) and by [`AuditLog::note`]; there is no way
+/// to append an arbitrary record with a forged chain position.
+#[derive(Debug)]
+pub struct AuditLog {
+    lines: Vec<String>,
+    head: u64,
+    path: Option<PathBuf>,
+    flush: FlushPolicy,
+    dirty: bool,
+}
+
+impl AuditLog {
+    /// A fresh in-memory log (no file attached).
+    pub fn in_memory() -> AuditLog {
+        AuditLog {
+            lines: Vec::new(),
+            head: GENESIS,
+            path: None,
+            flush: FlushPolicy::EveryRecord,
+            dirty: false,
+        }
+    }
+
+    /// A fresh file-backed log at `path`, persisted per `flush`. The file
+    /// is created (or truncated) immediately so a zero-record run still
+    /// leaves a verifiable empty log behind.
+    pub fn create(path: impl Into<PathBuf>, flush: FlushPolicy) -> Result<AuditLog, EnfError> {
+        let mut log = AuditLog::in_memory();
+        log.path = Some(path.into());
+        log.flush = flush;
+        log.persist()?;
+        Ok(log)
+    }
+
+    /// Reopens an existing log at `path` and continues its chain. The
+    /// existing contents are verified first; a tampered or torn log is
+    /// refused — appending to a broken chain would launder the break. A
+    /// missing file starts an empty log.
+    pub fn resume(path: impl Into<PathBuf>, flush: FlushPolicy) -> Result<AuditLog, EnfError> {
+        let path = path.into();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => {
+                return Err(EnfError::Checkpoint {
+                    reason: format!("cannot read audit log {}: {e}", path.display()),
+                })
+            }
+        };
+        match verify_chain(&text) {
+            ChainVerdict::Intact { records, head } => {
+                let lines = text.lines().map(str::to_string).collect::<Vec<_>>();
+                debug_assert_eq!(lines.len(), records);
+                Ok(AuditLog {
+                    lines,
+                    head,
+                    path: Some(path),
+                    flush,
+                    dirty: false,
+                })
+            }
+            ChainVerdict::Tampered { line, reason, .. } => Err(EnfError::Checkpoint {
+                reason: format!(
+                    "audit log {} fails verification at record {line}: {reason}",
+                    path.display()
+                ),
+            }),
+        }
+    }
+
+    /// Number of records in the log.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the log has no records yet.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The chain head: the hash of the last record ([`GENESIS`] when
+    /// empty).
+    pub fn head(&self) -> u64 {
+        self.head
+    }
+
+    /// The full JSONL rendering — one canonical record per line, trailing
+    /// newline after the last (an empty log renders as the empty string).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for line in &self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The rendered records, one canonical JSON line each.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Appends a record. `fields` follow `seq`/`prev`/`kind` in the
+    /// rendered object; the chain hash is computed and appended last.
+    pub(crate) fn append(
+        &mut self,
+        kind: &str,
+        fields: Vec<(String, Json)>,
+    ) -> Result<(), EnfError> {
+        let mut obj = vec![
+            ("seq".to_string(), Json::Int(self.lines.len() as i128)),
+            ("prev".to_string(), Json::Str(hash_hex(self.head))),
+            ("kind".to_string(), Json::Str(kind.to_string())),
+        ];
+        obj.extend(fields);
+        let body = Json::Obj(obj.clone()).render();
+        let hash = chain_hash(&body);
+        obj.push(("hash".to_string(), Json::Str(hash_hex(hash))));
+        self.lines.push(Json::Obj(obj).render());
+        self.head = hash;
+        self.dirty = true;
+        if self.flush == FlushPolicy::EveryRecord {
+            self.persist()?;
+        }
+        Ok(())
+    }
+
+    /// An embedder annotation record (`kind: "note"`). The only
+    /// caller-authored record kind; everything else is appended by the
+    /// pipeline itself.
+    pub fn note(&mut self, message: &str) -> Result<(), EnfError> {
+        self.append(
+            "note",
+            vec![("message".to_string(), Json::Str(message.to_string()))],
+        )
+    }
+
+    /// Writes the log to its file (atomic tmp+rename). A no-op for
+    /// in-memory logs.
+    pub fn persist(&mut self) -> Result<(), EnfError> {
+        if let Some(path) = &self.path {
+            atomic_write_text(path, &self.render())?;
+        }
+        self.dirty = false;
+        Ok(())
+    }
+}
+
+impl Drop for AuditLog {
+    fn drop(&mut self) {
+        // Best effort: a Manual-flush log dropped without persist() should
+        // not silently lose its tail. Errors are unreportable here.
+        if self.dirty && self.path.is_some() {
+            let _ = self.persist();
+        }
+    }
+}
+
+/// Outcome of replaying an audit log's hash chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChainVerdict {
+    /// Every record parses canonically and the chain closes.
+    Intact {
+        /// Number of verified records.
+        records: usize,
+        /// The chain head (hash of the last record, [`GENESIS`] if none).
+        head: u64,
+    },
+    /// The chain breaks: some record is missing, altered, reordered,
+    /// malformed, or the file ends mid-record.
+    Tampered {
+        /// Records verified intact before the break.
+        intact: usize,
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// What failed.
+        reason: String,
+    },
+}
+
+impl ChainVerdict {
+    /// Whether the whole log verified.
+    pub fn is_intact(&self) -> bool {
+        matches!(self, ChainVerdict::Intact { .. })
+    }
+}
+
+/// Replays an audit log's hash chain from the raw file text.
+///
+/// A record verifies only if it is the *canonical* rendering of its
+/// parsed content (so whitespace-preserving edits are caught), its `seq`
+/// is its line position, its `prev` equals the running chain head, and
+/// its `hash` recomputes from the body. The scan stops at the first
+/// failure; everything before it is reported intact.
+pub fn verify_chain(text: &str) -> ChainVerdict {
+    let mut head = GENESIS;
+    let mut intact = 0usize;
+    let mut rest = text;
+    while !rest.is_empty() {
+        let line_no = intact + 1;
+        let tampered = |reason: String| ChainVerdict::Tampered {
+            intact,
+            line: line_no,
+            reason,
+        };
+        let (line, tail) = match rest.split_once('\n') {
+            Some((line, tail)) => (line, tail),
+            None => {
+                return tampered(format!(
+                    "truncated record: {} trailing bytes with no newline",
+                    rest.len()
+                ))
+            }
+        };
+        let parsed = match enf_core::json::parse(line) {
+            Ok(parsed) => parsed,
+            Err(e) => return tampered(format!("malformed JSON: {e}")),
+        };
+        let fields = match &parsed {
+            Json::Obj(fields) => fields,
+            _ => return tampered("record is not an object".to_string()),
+        };
+        if parsed.render() != line {
+            return tampered("record is not in canonical form".to_string());
+        }
+        match fields.last() {
+            Some((key, _)) if key == "hash" => {}
+            _ => return tampered("missing hash field".to_string()),
+        }
+        let seq = parsed.get("seq").and_then(Json::as_usize);
+        if seq != Some(intact) {
+            return tampered(format!(
+                "sequence break: expected seq {intact}, found {}",
+                match seq {
+                    Some(s) => s.to_string(),
+                    None => "none".to_string(),
+                }
+            ));
+        }
+        let prev = parsed.get("prev").and_then(Json::as_str).unwrap_or("");
+        if prev != hash_hex(head) {
+            return tampered(format!(
+                "chain break: prev {prev} does not match head {}",
+                hash_hex(head)
+            ));
+        }
+        let body = Json::Obj(fields[..fields.len() - 1].to_vec()).render();
+        let expected = chain_hash(&body);
+        let stored = parsed.get("hash").and_then(Json::as_str).unwrap_or("");
+        if stored != hash_hex(expected) {
+            return tampered(format!(
+                "hash mismatch: stored {stored}, recomputed {}",
+                hash_hex(expected)
+            ));
+        }
+        head = expected;
+        intact += 1;
+        rest = tail;
+    }
+    ChainVerdict::Intact {
+        records: intact,
+        head,
+    }
+}
+
+/// Renders an [`enf_core::IndexSet`] as a JSON array of indices, the
+/// audit wire form of a policy or taint set.
+pub(crate) fn indexset_json(set: &enf_core::IndexSet) -> Json {
+    Json::Arr(set.iter().map(|i| Json::Int(i as i128)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AuditLog {
+        let mut log = AuditLog::in_memory();
+        log.note("first").unwrap();
+        log.note("second").unwrap();
+        log.note("third").unwrap();
+        log
+    }
+
+    #[test]
+    fn chain_verifies_and_is_deterministic() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.render(), b.render());
+        match verify_chain(&a.render()) {
+            ChainVerdict::Intact { records, head } => {
+                assert_eq!(records, 3);
+                assert_eq!(head, a.head());
+            }
+            tampered => panic!("intact log flagged: {tampered:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_log_is_intact() {
+        assert_eq!(
+            verify_chain(""),
+            ChainVerdict::Intact {
+                records: 0,
+                head: GENESIS
+            }
+        );
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let text = sample().render();
+        let bytes = text.as_bytes();
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.to_vec();
+            flipped[i] ^= 0x20; // keeps most characters printable
+            if flipped == bytes {
+                continue;
+            }
+            if let Ok(s) = String::from_utf8(flipped) {
+                assert!(
+                    !verify_chain(&s).is_intact(),
+                    "flip at byte {i} went undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deleting_or_swapping_records_breaks_the_chain() {
+        let log = sample();
+        let lines: Vec<&str> = log.lines().iter().map(String::as_str).collect();
+        let drop_middle = format!("{}\n{}\n", lines[0], lines[2]);
+        assert!(!verify_chain(&drop_middle).is_intact());
+        let swapped = format!("{}\n{}\n{}\n", lines[1], lines[0], lines[2]);
+        assert!(!verify_chain(&swapped).is_intact());
+        let truncated_tail = format!("{}\n{}\n", lines[0], lines[1]);
+        // A clean prefix is a valid (shorter) log — truncation of whole
+        // records is only detectable against an external head.
+        assert!(verify_chain(&truncated_tail).is_intact());
+    }
+
+    #[test]
+    fn torn_tail_is_flagged() {
+        let text = sample().render();
+        let torn = &text[..text.len() - 10];
+        match verify_chain(torn) {
+            ChainVerdict::Tampered { intact, line, .. } => {
+                assert_eq!(intact, 2);
+                assert_eq!(line, 3);
+            }
+            other => panic!("torn log verified: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reformatted_record_is_not_canonical() {
+        let log = sample();
+        let lines = log.lines();
+        // Same JSON content, extra whitespace: parses fine, fails the
+        // canonical-form check.
+        let spaced = lines[0].replace(':', ": ");
+        let text = format!("{}\n{}\n{}\n", spaced, lines[1], lines[2]);
+        match verify_chain(&text) {
+            ChainVerdict::Tampered { line, reason, .. } => {
+                assert_eq!(line, 1);
+                assert!(reason.contains("canonical"));
+            }
+            other => panic!("reformatted log verified: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_roundtrip_and_resume() {
+        let dir = std::env::temp_dir().join(format!("enf_policy_audit_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.jsonl");
+        {
+            let mut log = AuditLog::create(&path, FlushPolicy::EveryRecord).unwrap();
+            log.note("persisted").unwrap();
+        }
+        let mut log = AuditLog::resume(&path, FlushPolicy::EveryRecord).unwrap();
+        assert_eq!(log.len(), 1);
+        log.note("appended").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(verify_chain(&text).is_intact());
+        assert_eq!(text.lines().count(), 2);
+        // Tampered file refuses to resume.
+        std::fs::write(&path, text.replace("persisted", "altered")).unwrap();
+        assert!(AuditLog::resume(&path, FlushPolicy::EveryRecord).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

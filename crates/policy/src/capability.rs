@@ -1,0 +1,63 @@
+//! Release authority: sealed `Capability` tokens.
+
+use crate::audit::AuditLog;
+use enf_core::{EnfError, Json};
+
+/// The authority to release verified values through a [`crate::Sink`] to
+/// one named channel.
+///
+/// Capabilities are typed proof objects, not flags: a `Capability` cannot
+/// be constructed from fields, cloned, or deserialized —
+///
+/// ```compile_fail,E0451
+/// let c = enf_policy::Capability { channel: "stdout".to_string() };
+/// ```
+///
+/// ```compile_fail,E0308
+/// // No Clone impl: `c.clone()` only reborrows the reference.
+/// fn dup(c: &enf_policy::Capability) -> enf_policy::Capability { c.clone() }
+/// ```
+///
+/// The one mint is [`Capability::issue`], which **requires an audit log**
+/// and appends a `grant` record before handing the token out. Authority
+/// therefore flows explicitly through the call graph (a library function
+/// that releases data must be *passed* a capability by its caller), and
+/// every capability in existence is named in some audit trail.
+#[derive(Debug)]
+pub struct Capability {
+    channel: String,
+}
+
+impl Capability {
+    /// Mints the capability to release on `channel`, recording the grant.
+    pub fn issue(channel: &str, log: &mut AuditLog) -> Result<Capability, EnfError> {
+        log.append(
+            "grant",
+            vec![("channel".to_string(), Json::Str(channel.to_string()))],
+        )?;
+        Ok(Capability {
+            channel: channel.to_string(),
+        })
+    }
+
+    /// The channel this capability authorizes.
+    pub fn channel(&self) -> &str {
+        &self.channel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audit::verify_chain;
+
+    #[test]
+    fn issue_leaves_a_grant_record() {
+        let mut log = AuditLog::in_memory();
+        let cap = Capability::issue("stdout", &mut log).unwrap();
+        assert_eq!(cap.channel(), "stdout");
+        assert_eq!(log.len(), 1);
+        assert!(log.lines()[0].contains("\"kind\":\"grant\""));
+        assert!(verify_chain(&log.render()).is_intact());
+    }
+}

@@ -1,0 +1,89 @@
+//! The `Evidence` a `Verified` value carries: why the monitor let it out.
+
+use enf_core::{Json, Verdict};
+use enf_static::certify::Analysis;
+
+/// Why a [`crate::Verified`] value was attested — one variant per
+/// monitor-backed path, mirroring the [`crate::proof`] markers. Evidence
+/// is metadata: reading it never reveals the guarded value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Evidence {
+    /// A static certificate: `analysis` certified the program against the
+    /// policy at compile time, so the run was native.
+    Certificate {
+        /// The analysis that certified.
+        analysis: Analysis,
+    },
+    /// A monitored run: the dynamic release check passed after `steps`
+    /// executed boxes.
+    Trace {
+        /// Boxes the monitor executed up to and including the check.
+        steps: u64,
+    },
+    /// An exhaustive soundness sweep confirmed the mechanism over the
+    /// whole domain, then a monitored run released this value.
+    Coverage {
+        /// Inputs checked (equals `total` — only full coverage attests).
+        checked: usize,
+        /// Domain size.
+        total: usize,
+        /// Boxes the attesting monitored run executed.
+        steps: u64,
+    },
+}
+
+impl Evidence {
+    /// Machine-readable evidence kind, stable across releases.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Evidence::Certificate { .. } => "certificate",
+            Evidence::Trace { .. } => "trace",
+            Evidence::Coverage { .. } => "coverage",
+        }
+    }
+
+    /// Boxes the attesting monitored run executed (`None` for static
+    /// certificates, whose runs are native).
+    pub fn steps(&self) -> Option<u64> {
+        match self {
+            Evidence::Certificate { .. } => None,
+            Evidence::Trace { steps } | Evidence::Coverage { steps, .. } => Some(*steps),
+        }
+    }
+
+    /// Audit wire form (a canonical JSON object).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("kind".to_string(), Json::Str(self.kind().to_string()))];
+        match self {
+            Evidence::Certificate { analysis } => {
+                fields.push((
+                    "analysis".to_string(),
+                    Json::Str(analysis.name().to_string()),
+                ));
+            }
+            Evidence::Trace { steps } => {
+                fields.push(("steps".to_string(), Json::Int(i128::from(*steps))));
+            }
+            Evidence::Coverage {
+                checked,
+                total,
+                steps,
+            } => {
+                fields.push(("checked".to_string(), Json::Int(*checked as i128)));
+                fields.push(("total".to_string(), Json::Int(*total as i128)));
+                fields.push(("steps".to_string(), Json::Int(i128::from(*steps))));
+            }
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// The audit wire form of a sweep verdict (shared by the plain,
+/// checkpointed and scheduled sweeps).
+pub(crate) fn sweep_fields(checked: usize, total: usize, verdict: Verdict) -> Vec<(String, Json)> {
+    vec![
+        ("checked".to_string(), Json::Int(checked as i128)),
+        ("total".to_string(), Json::Int(total as i128)),
+        ("verdict".to_string(), Json::Str(verdict.tag().to_string())),
+    ]
+}

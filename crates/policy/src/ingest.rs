@@ -1,0 +1,74 @@
+//! Deserialization into the pipeline: every parser lands in [`Tainted`].
+//!
+//! There is deliberately no path from bytes to [`crate::Verified`] — data
+//! arriving from outside is untrusted by construction, so the ingest
+//! functions only ever mint `Tainted` wrappers. Conversions *between*
+//! tainted shapes (JSON document → input tuple) happen inside this crate,
+//! where monitor code may peek; the taint is preserved end to end.
+
+use crate::tainted::Tainted;
+use enf_core::{Json, V};
+
+/// Parses a JSON document into a tainted value. The text is untrusted, so
+/// the parse lands in [`Tainted`]; convert with [`tuple_from_json`].
+pub fn tainted_json(text: &str) -> Result<Tainted<Json>, String> {
+    enf_core::json::parse(text).map(Tainted::new)
+}
+
+/// Extracts a tainted input tuple from a tainted JSON array of integers.
+/// Taint-preserving: the document never leaves the wrapper.
+pub fn tuple_from_json(doc: &Tainted<Json>) -> Result<Tainted<Vec<V>>, String> {
+    let arr = doc
+        .peek()
+        .as_arr()
+        .ok_or_else(|| "expected a JSON array of integers".to_string())?;
+    let vals = arr
+        .iter()
+        .enumerate()
+        .map(|(i, item)| {
+            item.as_int()
+                .and_then(|n| V::try_from(n).ok())
+                .ok_or_else(|| format!("element {i} is not an integer input"))
+        })
+        .collect::<Result<Vec<V>, String>>()?;
+    Ok(Tainted::new(vals))
+}
+
+/// Parses a comma-separated input tuple (the CLI's `--input` syntax: an
+/// empty string is the empty tuple, elements may carry whitespace).
+pub fn tainted_csv(spec: &str) -> Result<Tainted<Vec<V>>, std::num::ParseIntError> {
+    let vals: Result<Vec<V>, _> = if spec.trim().is_empty() {
+        Ok(Vec::new())
+    } else {
+        spec.split(',').map(|p| p.trim().parse::<V>()).collect()
+    };
+    vals.map(Tainted::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        assert_eq!(tainted_csv("3, 4").unwrap().arity(), 2);
+        assert_eq!(tainted_csv("").unwrap().arity(), 0);
+        assert!(tainted_csv("3,x").is_err());
+    }
+
+    #[test]
+    fn json_tuple_conversion_preserves_taint() {
+        let doc = tainted_json("[1, 2, 3]").unwrap();
+        let tuple = tuple_from_json(&doc).unwrap();
+        assert_eq!(tuple.arity(), 3);
+        assert_eq!(format!("{tuple:?}"), "Tainted(<unverified>)");
+    }
+
+    #[test]
+    fn json_tuple_rejects_non_arrays_and_non_integers() {
+        let doc = tainted_json("{\"a\":1}").unwrap();
+        assert!(tuple_from_json(&doc).is_err());
+        let doc = tainted_json("[1, \"two\"]").unwrap();
+        assert!(tuple_from_json(&doc).unwrap_err().contains("element 1"));
+    }
+}

@@ -1,0 +1,54 @@
+//! Sealed proof disciplines: the `P` in [`crate::Verified<T, P>`].
+//!
+//! Each marker names one monitor-backed path from `Tainted` to
+//! `Verified`. The [`Proof`] trait is sealed — implementing it outside
+//! this crate is a compile error, so no embedding can invent a fourth
+//! path:
+//!
+//! ```compile_fail
+//! struct Forged;
+//! impl enf_policy::proof::Proof for Forged {}
+//! ```
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// A monitor-backed verification discipline. Sealed: only the three
+/// disciplines below exist, and only this crate can attest under them.
+pub trait Proof: sealed::Sealed {
+    /// Machine-readable discipline name used in audit records.
+    const NAME: &'static str;
+}
+
+/// Verified by a static certificate: one of the [`enf_static`] analyses
+/// proved every HALT of the program inside the policy, so the value was
+/// computed by a native (unmonitored) run of a certified program.
+#[derive(Debug)]
+pub enum Certified {}
+
+/// Verified by a monitored run: the surveillance monitor (AST stepper or
+/// bytecode VM) tracked taints through this exact execution and the
+/// release check passed.
+#[derive(Debug)]
+pub enum Monitored {}
+
+/// Verified by an exhaustive sweep: `check_soundness` confirmed the
+/// mechanism sound over the whole declared input domain, and the value
+/// came from a monitored run of that proven-sound mechanism.
+#[derive(Debug)]
+pub enum Swept {}
+
+impl sealed::Sealed for Certified {}
+impl sealed::Sealed for Monitored {}
+impl sealed::Sealed for Swept {}
+
+impl Proof for Certified {
+    const NAME: &'static str = "certified";
+}
+impl Proof for Monitored {
+    const NAME: &'static str = "monitored";
+}
+impl Proof for Swept {
+    const NAME: &'static str = "swept";
+}

@@ -1,0 +1,98 @@
+//! Capability-gated release: the only exit from the typed pipeline.
+
+use crate::audit::{indexset_json, AuditLog};
+use crate::capability::Capability;
+use crate::proof::Proof;
+use crate::verified::Verified;
+use enf_core::{EnfError, Json, V};
+use enf_flowchart::interp::ExecValue;
+
+/// How a released value is rendered into its audit record. Implemented
+/// for the engine's value shapes; embedders releasing their own types
+/// implement it once.
+pub trait Auditable {
+    /// The canonical JSON form recorded on release.
+    fn audit_json(&self) -> Json;
+}
+
+impl Auditable for V {
+    fn audit_json(&self) -> Json {
+        Json::Int(i128::from(*self))
+    }
+}
+
+impl Auditable for ExecValue {
+    fn audit_json(&self) -> Json {
+        match self {
+            ExecValue::Value(v) => Json::Int(i128::from(*v)),
+            ExecValue::Diverged => Json::Null,
+        }
+    }
+}
+
+impl Auditable for String {
+    fn audit_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl<T: Auditable> Auditable for Vec<T> {
+    fn audit_json(&self) -> Json {
+        Json::Arr(self.iter().map(Auditable::audit_json).collect())
+    }
+}
+
+/// A release channel, gated by a [`Capability`] and wired to an audit
+/// log.
+///
+/// `Sink::release` is the **only** way to read the value inside a
+/// [`Verified`]: it consumes the proof object, appends a hash-chained
+/// `release` record (channel, policy, program, proof discipline,
+/// evidence, and the released value itself), and only then hands the raw
+/// value back to the caller. Code without a capability cannot build a
+/// sink; code without a sink cannot read verified data.
+#[derive(Debug)]
+pub struct Sink<'log> {
+    cap: Capability,
+    log: &'log mut AuditLog,
+}
+
+impl<'log> Sink<'log> {
+    /// Builds a sink from the capability authorizing its channel.
+    pub fn new(cap: Capability, log: &'log mut AuditLog) -> Sink<'log> {
+        Sink { cap, log }
+    }
+
+    /// The channel this sink releases to.
+    pub fn channel(&self) -> &str {
+        self.cap.channel()
+    }
+
+    /// Releases a verified value: appends the audit record, then returns
+    /// the raw value. The `Verified` is consumed — release is a move, not
+    /// a peek.
+    pub fn release<T: Auditable, P: Proof>(&mut self, v: Verified<T, P>) -> Result<T, EnfError> {
+        let (value, arity, allow, program, evidence) = v.into_release();
+        self.log.append(
+            "release",
+            vec![
+                (
+                    "channel".to_string(),
+                    Json::Str(self.cap.channel().to_string()),
+                ),
+                ("proof".to_string(), Json::Str(P::NAME.to_string())),
+                ("program".to_string(), Json::Str(format!("{program:016x}"))),
+                ("arity".to_string(), Json::Int(arity as i128)),
+                ("allow".to_string(), indexset_json(&allow)),
+                ("evidence".to_string(), evidence.to_json()),
+                ("value".to_string(), value.audit_json()),
+            ],
+        )?;
+        Ok(value)
+    }
+
+    /// Dissolves the sink, returning its capability for reuse.
+    pub fn into_capability(self) -> Capability {
+        self.cap
+    }
+}

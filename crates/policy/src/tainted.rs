@@ -1,0 +1,71 @@
+//! Untrusted inputs: the `Tainted<T>` entry point of the typed pipeline.
+
+use enf_core::V;
+
+/// A value that entered the system from outside and has not passed any
+/// monitor.
+///
+/// `Tainted<T>` is deliberately opaque: there is no `Deref`, no getter,
+/// and no `map` — the only way anything flows out of it is through a
+/// monitor-backed path on [`crate::Enforcer`] (static certification, a
+/// monitored run, or an exhaustive soundness sweep), each of which
+/// produces a [`crate::Verified`] value carrying its evidence. The
+/// [`crate::ingest`] deserializers land here and nowhere else.
+///
+/// ```compile_fail
+/// // Tainted is opaque: the wrapped value has no public accessor.
+/// let t = enf_policy::Tainted::new(41_i64);
+/// let _: i64 = t.0;
+/// ```
+pub struct Tainted<T> {
+    value: T,
+}
+
+impl<T> Tainted<T> {
+    /// Wraps an untrusted value. Tainting is always safe — it only ever
+    /// *removes* privileges — so the constructor is public.
+    pub fn new(value: T) -> Tainted<T> {
+        Tainted { value }
+    }
+
+    /// Monitor-internal read access. Crate-private: enforcement code may
+    /// inspect tainted data, embedders may not.
+    pub(crate) fn peek(&self) -> &T {
+        &self.value
+    }
+}
+
+impl Tainted<Vec<V>> {
+    /// The arity of a tainted input tuple. Tuple *length* is shape
+    /// metadata the embedder already knows (it sized the request), not
+    /// information about the values, so exposing it is harmless and lets
+    /// callers report arity mismatches before running the monitor.
+    pub fn arity(&self) -> usize {
+        self.value.len()
+    }
+}
+
+impl<T> std::fmt::Debug for Tainted<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never render the value: tainted data must not leak through
+        // logging either.
+        f.write_str("Tainted(<unverified>)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn debug_redacts() {
+        let t = Tainted::new(42);
+        assert_eq!(format!("{t:?}"), "Tainted(<unverified>)");
+    }
+
+    #[test]
+    fn arity_is_visible_for_tuples() {
+        let t = Tainted::new(vec![1 as V, 2, 3]);
+        assert_eq!(t.arity(), 3);
+    }
+}

@@ -1,0 +1,113 @@
+//! Monitor-attested values: `Verified<T, P>`.
+
+use crate::evidence::Evidence;
+use crate::proof::Proof;
+use enf_core::IndexSet;
+use std::marker::PhantomData;
+
+/// A value the monitor has attested against a policy, under the proof
+/// discipline `P`.
+///
+/// `Verified` is unforgeable by construction:
+///
+/// * the only constructor is crate-private — the three monitor-backed
+///   paths on [`crate::Enforcer`] are the only mints;
+/// * it does not implement `Clone`, `Copy`, or any deserialization, so a
+///   verified value cannot be duplicated or conjured from bytes;
+/// * the wrapped value has no accessor — the *only* way to read it is to
+///   move the whole `Verified` through a capability-gated
+///   [`crate::Sink`], which appends a release record to the audit trail
+///   before handing the value back.
+///
+/// What *is* readable is metadata: the policy it was checked against,
+/// the program fingerprint, and the [`Evidence`] for the attestation.
+///
+/// ```compile_fail,E0451
+/// // No public constructor: the fields are private.
+/// use enf_policy::{proof, Evidence, Verified};
+/// let v = Verified::<i64, proof::Monitored> { value: 41 };
+/// ```
+///
+/// ```compile_fail,E0308
+/// // No Clone: a verified value cannot be duplicated into existence —
+/// // `v.clone()` only reborrows the reference.
+/// fn dup(
+///     v: &enf_policy::Verified<i64, enf_policy::proof::Monitored>,
+/// ) -> enf_policy::Verified<i64, enf_policy::proof::Monitored> {
+///     v.clone()
+/// }
+/// ```
+pub struct Verified<T, P: Proof> {
+    value: T,
+    policy_arity: usize,
+    policy_allow: IndexSet,
+    program: u64,
+    evidence: Evidence,
+    _proof: PhantomData<P>,
+}
+
+impl<T, P: Proof> Verified<T, P> {
+    /// The one mint. Crate-private: only the enforcement paths attest.
+    pub(crate) fn attest(
+        value: T,
+        policy_arity: usize,
+        policy_allow: IndexSet,
+        program: u64,
+        evidence: Evidence,
+    ) -> Verified<T, P> {
+        Verified {
+            value,
+            policy_arity,
+            policy_allow,
+            program,
+            evidence,
+            _proof: PhantomData,
+        }
+    }
+
+    /// The evidence behind the attestation (metadata only).
+    pub fn evidence(&self) -> &Evidence {
+        &self.evidence
+    }
+
+    /// The allowed index set of the policy this value was checked
+    /// against.
+    pub fn policy_allow(&self) -> IndexSet {
+        self.policy_allow
+    }
+
+    /// The arity of the policy (and program).
+    pub fn policy_arity(&self) -> usize {
+        self.policy_arity
+    }
+
+    /// The fingerprint of the program that computed the value (see
+    /// `Flowchart::fingerprint`).
+    pub fn program_fingerprint(&self) -> u64 {
+        self.program
+    }
+
+    /// Disassembles for release. Crate-private: [`crate::Sink::release`]
+    /// is the only caller, so every extraction leaves an audit record.
+    pub(crate) fn into_release(self) -> (T, usize, IndexSet, u64, Evidence) {
+        (
+            self.value,
+            self.policy_arity,
+            self.policy_allow,
+            self.program,
+            self.evidence,
+        )
+    }
+}
+
+impl<T, P: Proof> std::fmt::Debug for Verified<T, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Metadata only: the guarded value must not leak through logging
+        // — release through a Sink is the one way out.
+        f.debug_struct("Verified")
+            .field("proof", &P::NAME)
+            .field("policy_allow", &self.policy_allow)
+            .field("evidence", &self.evidence)
+            .finish_non_exhaustive()
+    }
+}

@@ -57,6 +57,28 @@ pub enum Analysis {
 }
 
 impl Analysis {
+    /// Every certifier, in presentation order (the order the CLI and the
+    /// experiment tables use).
+    pub const ALL: [Analysis; 5] = [
+        Analysis::Surveillance,
+        Analysis::Scoped,
+        Analysis::ValueRefined,
+        Analysis::Relational,
+        Analysis::DynamicPolicy,
+    ];
+
+    /// Machine-readable lowercase name, stable across releases — audit
+    /// records and cache keys use it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Analysis::Surveillance => "surveillance",
+            Analysis::Scoped => "scoped",
+            Analysis::ValueRefined => "value_refined",
+            Analysis::Relational => "relational",
+            Analysis::DynamicPolicy => "dynamic_policy",
+        }
+    }
+
     /// The static halt fact (`ȳ ∪ C̄`, or its relational reading) per
     /// HALT node under this analysis.
     fn halt_taints(self, fc: &enf_flowchart::graph::Flowchart) -> Vec<(NodeId, IndexSet)> {
@@ -98,6 +120,14 @@ impl Certification {
     /// Whether the program was certified.
     pub fn is_certified(&self) -> bool {
         matches!(self, Certification::Certified)
+    }
+
+    /// The offending taint of a rejection, `None` when certified.
+    pub fn taint(&self) -> Option<IndexSet> {
+        match self {
+            Certification::Certified => None,
+            Certification::Rejected { taint } => Some(*taint),
+        }
     }
 }
 

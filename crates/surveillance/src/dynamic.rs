@@ -137,6 +137,28 @@ impl SurvOutcome {
     pub fn is_violation(&self) -> bool {
         matches!(self, SurvOutcome::Violation { .. })
     }
+
+    /// Boxes executed before the run ended, when it ended at a check
+    /// (`None` for [`SurvOutcome::OutOfFuel`], whose step count is the
+    /// caller's fuel bound).
+    pub fn steps(&self) -> Option<u64> {
+        match self {
+            SurvOutcome::Accepted { steps, .. } | SurvOutcome::Violation { steps, .. } => {
+                Some(*steps)
+            }
+            SurvOutcome::OutOfFuel => None,
+        }
+    }
+
+    /// Machine-readable lowercase tag, stable across releases — audit
+    /// records and the trace JSONL verdict line key on it.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SurvOutcome::Accepted { .. } => "accepted",
+            SurvOutcome::Violation { .. } => "violation",
+            SurvOutcome::OutOfFuel => "out_of_fuel",
+        }
+    }
 }
 
 /// Runs a flowchart under the surveillance discipline.

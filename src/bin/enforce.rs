@@ -26,27 +26,23 @@
 //! verdict, `2` usage or parse error, `3` internal fault (panicking
 //! subject, corrupt checkpoint).
 
-use enforcement::core::checkpoint::{
-    check_soundness_checkpointed, fingerprint, read_checkpoint_file, write_checkpoint_file,
-    CheckpointCodec, SoundnessCheckpoint,
-};
-use enforcement::core::json::Json;
 use enforcement::core::{
-    check_soundness_scheduled, try_check_soundness_with, validate_scheduled_witness, CancelToken,
-    Coverage, EnfError, EvalConfig, Identity, Mechanism, ScheduledReport, Verdict,
+    check_soundness_scheduled, validate_scheduled_witness, CancelToken, EnfError, EvalConfig,
+    Verdict,
 };
 use enforcement::flowchart::bytecode::Compiled;
 use enforcement::flowchart::dot::{to_dot, to_dot_decorated, NodeDecor};
 use enforcement::flowchart::interp::ExecValue;
 use enforcement::flowchart::pretty::flowchart_to_string;
+use enforcement::policy::audit::hash_hex;
+use enforcement::policy::{check_salt, Discipline, Engine, PolicyError, ScheduledOutcome};
 use enforcement::prelude::*;
-use enforcement::staticflow::certify::{certify, Analysis};
+use enforcement::staticflow::certify::certify;
 use enforcement::staticflow::dataflow::PcDiscipline;
 use enforcement::staticflow::search::improve;
 use enforcement::surveillance::dynamic::SurvConfig;
 use enforcement::surveillance::explain;
 use enforcement::surveillance::instrument::instrument_with;
-use enforcement::surveillance::VmSurveillance;
 use std::io::Read as _;
 use std::process::ExitCode;
 
@@ -108,7 +104,12 @@ fn usage() -> &'static str {
        improve    transform search           --allow J --span S [--rounds N]\n\
        instrument emit the mechanism         --allow J [--timed] [--highwater] [--dot]\n\
        dot        emit Graphviz of program   [--taint [--scoped | --input a,b [--allow J]]]\n\
+       audit      verify an audit trail      audit verify <log.jsonl> [--json]\n\
      J is a comma list of allowed input indices ('' = allow()).\n\
+     surveil, certify and check accept --audit F: every grant, attest,\n\
+     refusal, sweep and release is appended to a hash-chained JSONL trail\n\
+     at F (created or chain-verified and extended); audit verify re-derives\n\
+     the chain and exits 0 intact / 1 tampered.\n\
      trace emits one line per executed box (taint deltas, PC taint, branch\n\
      taken) and a final verdict; --json switches to JSONL. --allow defaults\n\
      to every index (pure observation). dot --taint --input annotates the\n\
@@ -227,6 +228,15 @@ impl From<EnfError> for CliError {
     }
 }
 
+impl From<PolicyError> for CliError {
+    fn from(e: PolicyError) -> Self {
+        match e {
+            PolicyError::Usage(m) => CliError::Usage(m),
+            PolicyError::Engine(e) => CliError::Internal(e.to_string()),
+        }
+    }
+}
+
 /// Exit code for runs that completed and printed a report: `0` when the
 /// outcome is acceptable, `1` for violations and refuted/unknown verdicts.
 const EXIT_OK: u8 = 0;
@@ -247,8 +257,17 @@ fn main() -> ExitCode {
 
 fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
     let args = Args::parse(argv);
-    let [cmd, path] = args.positional.as_slice() else {
-        return Err(format!("expected a command and a file\n{}", usage()).into());
+    let (cmd, path) = match args.positional.as_slice() {
+        [cmd, sub, path] if cmd == "audit" && sub == "verify" => {
+            return audit_verify(path, &args);
+        }
+        [cmd, ..] if cmd == "audit" => {
+            return Err("usage: enforce audit verify <log.jsonl> [--json]"
+                .to_string()
+                .into());
+        }
+        [cmd, path] => (cmd, path),
+        _ => return Err(format!("expected a command and a file\n{}", usage()).into()),
     };
     let src = read_source(path)?;
     let fc = parse(&src).map_err(|e| e.to_string())?;
@@ -268,23 +287,37 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
             let _ = writeln!(out, "y = {} ({} steps)", t.value, t.steps);
         }
         "surveil" => {
+            // Dogfood of the typed pipeline: input enters tainted, the
+            // monitor attests or refuses, the accepted value is released
+            // through a capability-gated sink, and every step lands in
+            // the audit log (in-memory unless --audit names a file).
             let allow = parse_allow(args.value("allow")?, arity)?;
-            let input = parse_input(args.value("input")?, arity)?;
-            let cfg = base_config(&args, allow).with_fuel(fuel);
-            use enforcement::surveillance::dynamic::{run_surveillance, SurvOutcome};
-            match run_surveillance(&fc, &input, &cfg) {
-                SurvOutcome::Accepted { y, steps } => {
+            let input = Tainted::new(parse_input(args.value("input")?, arity)?);
+            let enforcer = Enforcer::new(fc, allow)
+                .map_err(CliError::from)?
+                .with_discipline(parse_discipline(&args))
+                .with_fuel(fuel);
+            let mut log = open_audit(&args)?;
+            let cap = Capability::issue("stdout", &mut log)?;
+            match enforcer.surveil(input, &mut log).map_err(CliError::from)? {
+                RunVerdict::Released(v) => {
+                    let steps = v.evidence().steps().unwrap_or_default();
+                    let y = Sink::new(cap, &mut log).release(v)?;
                     let _ = writeln!(out, "accepted: y = {y} ({steps} steps)");
                 }
-                SurvOutcome::Violation { site, taint, steps } => {
+                RunVerdict::Refused(Refusal::Violation {
+                    site,
+                    taint,
+                    disallowed,
+                    steps,
+                }) => {
                     let _ = writeln!(
                         out,
-                        "violation at {site} after {steps} steps: taint {taint}, disallowed {}",
-                        taint.difference(&allow)
+                        "violation at {site} after {steps} steps: taint {taint}, disallowed {disallowed}"
                     );
                     code = EXIT_VIOLATION;
                 }
-                SurvOutcome::OutOfFuel => {
+                RunVerdict::Refused(Refusal::OutOfFuel { fuel }) => {
                     let _ = writeln!(out, "out of fuel after {fuel} steps");
                     code = EXIT_VIOLATION;
                 }
@@ -406,8 +439,7 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
             };
             let ctl = build_cancel_token(&args)?;
             install_sigint(&ctl);
-            let grid = Grid::hypercube(arity, -span..=span);
-            let policy = Allow::from_set(arity, allow);
+            let mut log = open_audit(&args)?;
             if args.has("schedules") {
                 // Scheduled oracle: quantify over every bounded policy
                 // schedule (capped at K) instead of the fixed policy.
@@ -429,18 +461,24 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
                         .to_string()
                         .into());
                 }
-                let program = FlowchartProgram::with_fuel(fc, fuel);
-                let report = check_soundness_scheduled(&program, &policy, &grid, &eval, Some(cap));
-                match &report {
-                    ScheduledReport::Sound { schedules, inputs } => {
+                let enforcer = Enforcer::new(fc, allow)
+                    .map_err(CliError::from)?
+                    .with_fuel(fuel);
+                match enforcer
+                    .sweep_scheduled(span, &eval, Some(cap), &mut log)
+                    .map_err(CliError::from)?
+                {
+                    ScheduledOutcome::Sound { schedules, inputs } => {
                         let _ = writeln!(
                             out,
                             "sound over {inputs} inputs under {schedules} schedule{}",
-                            if *schedules == 1 { "" } else { "s" }
+                            if schedules == 1 { "" } else { "s" }
                         );
                     }
-                    ScheduledReport::Unsound(w) => {
-                        let validated = validate_scheduled_witness(&program, w);
+                    ScheduledOutcome::Unsound {
+                        witness: w,
+                        validated,
+                    } => {
                         let _ = writeln!(
                             out,
                             "UNSOUND under schedule #{} ({})",
@@ -459,7 +497,6 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
                 }
                 return Ok((out, code));
             }
-            let program = FlowchartProgram::with_fuel(fc, fuel);
             let checkpoint_path = args.flag("checkpoint").cloned().flatten();
             let resume_path = args.flag("resume").cloned().flatten();
             if (args.has("checkpoint") && checkpoint_path.is_none())
@@ -467,7 +504,12 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
             {
                 return Err("--checkpoint/--resume need a file path".to_string().into());
             }
-            let coverage = if checkpoint_path.is_some() || resume_path.is_some() {
+            let enforcer = Enforcer::new(fc, allow)
+                .map_err(CliError::from)?
+                .with_discipline(parse_discipline(&args))
+                .with_engine(parse_engine(&args)?)
+                .with_fuel(fuel);
+            let outcome = if checkpoint_path.is_some() || resume_path.is_some() {
                 if args.has("timed") {
                     return Err(
                         "--timed checks cannot be checkpointed (their output shape has no codec); \
@@ -487,108 +529,40 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
                 };
                 // The fingerprint salt ties a checkpoint to this exact
                 // sweep: program text, policy, grid, fuel, and variant.
-                // The engine is deliberately absent from the salt — the
-                // two engines are bit-identical, so checkpoints are
-                // interchangeable between them.
                 let salt = check_salt(&src, allow, span, fuel, args.has("highwater"));
-                let engine = parse_engine(&args)?;
-                match (engine, args.has("highwater")) {
-                    (Engine::Vm, true) => checkpointed_soundness(
-                        &VmSurveillance::highwater(program, allow),
-                        &policy,
-                        &grid,
+                enforcer
+                    .sweep_checkpointed(
+                        span,
                         &eval,
                         &ctl,
                         salt,
                         block,
-                        resume_path.as_deref(),
-                        checkpoint_path.as_deref(),
-                    )?,
-                    (Engine::Vm, false) => checkpointed_soundness(
-                        &VmSurveillance::new(program, allow),
-                        &policy,
-                        &grid,
-                        &eval,
-                        &ctl,
-                        salt,
-                        block,
-                        resume_path.as_deref(),
-                        checkpoint_path.as_deref(),
-                    )?,
-                    (Engine::Ast, true) => checkpointed_soundness(
-                        &HighWater::new(program, allow),
-                        &policy,
-                        &grid,
-                        &eval,
-                        &ctl,
-                        salt,
-                        block,
-                        resume_path.as_deref(),
-                        checkpoint_path.as_deref(),
-                    )?,
-                    (Engine::Ast, false) => checkpointed_soundness(
-                        &Surveillance::new(program, allow),
-                        &policy,
-                        &grid,
-                        &eval,
-                        &ctl,
-                        salt,
-                        block,
-                        resume_path.as_deref(),
-                        checkpoint_path.as_deref(),
-                    )?,
-                }
-            } else if args.has("timed") {
-                // The M′-with-observable-time wrapper runs the stepper
-                // directly; --engine does not apply to it.
-                let m = TimedMechanism::new(program.flowchart().clone(), allow).with_fuel(fuel);
-                guarded_soundness(&Identity::new(&m), &policy, &grid, &eval, &ctl)?
+                        resume_path.as_deref().map(std::path::Path::new),
+                        checkpoint_path.as_deref().map(std::path::Path::new),
+                        &mut log,
+                    )
+                    .map_err(CliError::from)?
             } else {
-                match (parse_engine(&args)?, args.has("highwater")) {
-                    (Engine::Vm, true) => guarded_soundness(
-                        &VmSurveillance::highwater(program, allow),
-                        &policy,
-                        &grid,
-                        &eval,
-                        &ctl,
-                    )?,
-                    (Engine::Vm, false) => guarded_soundness(
-                        &VmSurveillance::new(program, allow),
-                        &policy,
-                        &grid,
-                        &eval,
-                        &ctl,
-                    )?,
-                    (Engine::Ast, true) => guarded_soundness(
-                        &HighWater::new(program, allow),
-                        &policy,
-                        &grid,
-                        &eval,
-                        &ctl,
-                    )?,
-                    (Engine::Ast, false) => guarded_soundness(
-                        &Surveillance::new(program, allow),
-                        &policy,
-                        &grid,
-                        &eval,
-                        &ctl,
-                    )?,
-                }
+                enforcer
+                    .sweep(span, &eval, &ctl, &mut log)
+                    .map_err(CliError::from)?
             };
-            let _ = match coverage.verdict {
-                Verdict::Confirmed => writeln!(out, "sound over {} inputs", coverage.total),
+            let _ = match outcome.verdict() {
+                Verdict::Confirmed => writeln!(out, "sound over {} inputs", outcome.total()),
                 Verdict::Refuted => writeln!(
                     out,
                     "UNSOUND over {} inputs (conflict within the first {} checked)",
-                    coverage.total, coverage.checked
+                    outcome.total(),
+                    outcome.checked()
                 ),
                 Verdict::Unknown => writeln!(
                     out,
                     "unknown: {} of {} inputs checked before the sweep was cut short",
-                    coverage.checked, coverage.total
+                    outcome.checked(),
+                    outcome.total()
                 ),
             };
-            if coverage.verdict != Verdict::Confirmed {
+            if outcome.verdict() != Verdict::Confirmed {
                 code = EXIT_VIOLATION;
             }
         }
@@ -623,9 +597,13 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
                     )
                 }
             };
-            let verdict = certify(&fc, allow, analysis);
-            let _ = writeln!(out, "{verdict:?}");
-            if !verdict.is_certified() {
+            let mut log = open_audit(&args)?;
+            let enforcer = Enforcer::new(fc, allow).map_err(CliError::from)?;
+            let outcome = enforcer
+                .certify(analysis, &mut log)
+                .map_err(CliError::from)?;
+            let _ = writeln!(out, "{:?}", outcome.certification());
+            if !outcome.is_certified() {
                 code = EXIT_VIOLATION;
             }
         }
@@ -934,16 +912,10 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
     Ok((out, code))
 }
 
-/// Which executor runs the dynamic disciplines: the flowchart stepper
-/// (`ast`) or the register-bytecode VM (`vm`, the default). The engines
-/// are differentially pinned bit-identical, so the choice only affects
-/// speed.
-#[derive(Clone, Copy, PartialEq)]
-enum Engine {
-    Ast,
-    Vm,
-}
-
+/// `--engine` picks the executor for the dynamic disciplines: the
+/// flowchart stepper (`ast`) or the register-bytecode VM (`vm`, the
+/// default). The engines are differentially pinned bit-identical, so the
+/// choice only affects speed.
 fn parse_engine(args: &Args) -> Result<Engine, String> {
     match args.flag("engine") {
         None => Ok(Engine::Vm),
@@ -954,6 +926,71 @@ fn parse_engine(args: &Args) -> Result<Engine, String> {
         },
         Some(None) => Err("--engine needs a value (ast or vm)".to_string()),
     }
+}
+
+/// `--timed` / `--highwater` pick the enforcement discipline; plain
+/// surveillance is the default.
+fn parse_discipline(args: &Args) -> Discipline {
+    if args.has("timed") {
+        Discipline::Timed
+    } else if args.has("highwater") {
+        Discipline::HighWater
+    } else {
+        Discipline::Surveillance
+    }
+}
+
+/// `--audit FILE` appends the run's audit records to a hash-chained
+/// JSONL file (created if absent, chain-verified if present); without
+/// the flag the trail stays in memory for the duration of the run.
+fn open_audit(args: &Args) -> Result<AuditLog, CliError> {
+    match args.flag("audit") {
+        None => Ok(AuditLog::in_memory()),
+        Some(Some(p)) => AuditLog::resume(std::path::Path::new(p), FlushPolicy::EveryRecord)
+            .map_err(|e| CliError::Internal(format!("cannot open audit log `{p}`: {e}"))),
+        Some(None) => Err("--audit needs a file path".to_string().into()),
+    }
+}
+
+/// `enforce audit verify <log.jsonl>`: re-derives the hash chain and
+/// reports the first tampered record, if any. Exit 0 intact, 1 tampered.
+fn audit_verify(path: &str, args: &Args) -> Result<(String, u8), CliError> {
+    use std::fmt::Write as _;
+    let text = read_source(path)?;
+    let verdict = verify_chain(&text);
+    let mut out = String::new();
+    let code = match &verdict {
+        ChainVerdict::Intact { records, head } => {
+            if args.has("json") {
+                let _ = writeln!(
+                    out,
+                    "{{\"verdict\": \"intact\", \"records\": {records}, \"head\": \"{}\"}}",
+                    hash_hex(*head)
+                );
+            } else {
+                let _ = writeln!(out, "intact: {records} records, head {}", hash_hex(*head));
+            }
+            0
+        }
+        ChainVerdict::Tampered {
+            intact,
+            line,
+            reason,
+        } => {
+            if args.has("json") {
+                let _ = writeln!(
+                    out,
+                    "{{\"verdict\": \"tampered\", \"line\": {line}, \"reason\": {reason:?}, \
+                     \"intact_prefix\": {intact}}}"
+                );
+            } else {
+                let _ = writeln!(out, "TAMPERED at record {line}: {reason}");
+                let _ = writeln!(out, "  intact prefix: {intact} records");
+            }
+            EXIT_VIOLATION
+        }
+    };
+    Ok((out, code))
 }
 
 /// `--allow J` where omission means "every index" — pure observation.
@@ -1034,118 +1071,5 @@ fn install_sigint(ctl: &CancelToken) {
         }
         // SAFETY: installs a handler that performs a single atomic store.
         unsafe { signal(SIGINT, on_sigint) };
-    }
-}
-
-/// Runs the fault-tolerant soundness sweep and drops the report detail —
-/// the CLI only prints verdict and coverage.
-fn guarded_soundness<M>(
-    mechanism: &M,
-    policy: &Allow,
-    grid: &Grid,
-    eval: &EvalConfig,
-    ctl: &CancelToken,
-) -> Result<Coverage<()>, CliError>
-where
-    M: Mechanism + Sync,
-    M::Out: Eq + std::hash::Hash + Send,
-{
-    Ok(try_check_soundness_with(mechanism, policy, grid, false, eval, ctl)?.map(|_| ()))
-}
-
-/// Runs the checkpointed soundness sweep, resuming from `resume_path` if
-/// given and persisting progress to `checkpoint_path` if given.
-#[allow(clippy::too_many_arguments)]
-fn checkpointed_soundness<M>(
-    mechanism: &M,
-    policy: &Allow,
-    grid: &Grid,
-    eval: &EvalConfig,
-    ctl: &CancelToken,
-    salt: u64,
-    block: usize,
-    resume_path: Option<&str>,
-    checkpoint_path: Option<&str>,
-) -> Result<Coverage<()>, CliError>
-where
-    M: Mechanism<Out = ExecValue> + Sync,
-{
-    let resume = match resume_path {
-        Some(p) => {
-            let doc = read_checkpoint_file(std::path::Path::new(p))?;
-            Some(SoundnessCheckpoint::from_json(&ExecCodec, &doc)?)
-        }
-        None => None,
-    };
-    let mut sink = |ckpt: &SoundnessCheckpoint<ExecValue, Vec<V>>| match checkpoint_path {
-        Some(p) => write_checkpoint_file(std::path::Path::new(p), &ckpt.to_json(&ExecCodec)),
-        None => Ok(()),
-    };
-    let coverage = check_soundness_checkpointed(
-        mechanism,
-        policy,
-        grid,
-        false,
-        eval,
-        ctl,
-        salt,
-        block,
-        resume.as_ref(),
-        &mut sink,
-    )?;
-    Ok(coverage.map(|_| ()))
-}
-
-/// Fingerprint salt for `enforce check` checkpoints: hashes the program
-/// text and every sweep parameter, so a checkpoint resumed under a
-/// different program, policy, grid, fuel, or mechanism variant is
-/// rejected instead of silently merged.
-fn check_salt(src: &str, allow: IndexSet, span: i64, fuel: u64, highwater: bool) -> u64 {
-    let mut words: Vec<u64> = src.bytes().map(u64::from).collect();
-    words.extend(allow.iter().map(|i| i as u64));
-    words.push(u64::MAX); // separator between the index list and params
-    words.push(span as u64);
-    words.push(fuel);
-    words.push(u64::from(highwater));
-    fingerprint(&words)
-}
-
-/// Checkpoint codec for the dynamic mechanisms' output shape:
-/// [`ExecValue`] outputs and `Vec<V>` policy views.
-struct ExecCodec;
-
-impl CheckpointCodec<ExecValue, Vec<V>> for ExecCodec {
-    fn encode_out(&self, out: &ExecValue) -> Json {
-        match out {
-            ExecValue::Value(v) => Json::Int(i128::from(*v)),
-            ExecValue::Diverged => Json::Null,
-        }
-    }
-
-    fn decode_out(&self, json: &Json) -> Result<ExecValue, String> {
-        match json {
-            Json::Null => Ok(ExecValue::Diverged),
-            _ => json
-                .as_int()
-                .and_then(|n| V::try_from(n).ok())
-                .map(ExecValue::Value)
-                .ok_or_else(|| "expected integer output or null".to_string()),
-        }
-    }
-
-    fn encode_view(&self, view: &Vec<V>) -> Json {
-        Json::Arr(view.iter().map(|v| Json::Int(i128::from(*v))).collect())
-    }
-
-    fn decode_view(&self, json: &Json) -> Result<Vec<V>, String> {
-        json.as_arr()
-            .ok_or_else(|| "expected view array".to_string())?
-            .iter()
-            .map(|item| {
-                item.as_int()
-                    .and_then(|n| V::try_from(n).ok())
-                    .ok_or_else(|| "expected integer view element".to_string())
-            })
-            .collect()
     }
 }

@@ -30,6 +30,10 @@
 //!   high-water-mark baseline.
 //! * [`staticflow`] — static certification and the transform
 //!   library of Examples 7–9, plus the heuristic search Theorem 4 caps.
+//! * [`policy`] — the typed embedding surface: untrusted data
+//!   enters as `Tainted`, only monitor-backed paths mint `Verified`, and
+//!   releases flow through capability-gated sinks into a tamper-evident
+//!   audit trail.
 //! * [`minsky`] — Fenton's data-mark machine and the
 //!   negative-inference leak (Example 1).
 //! * [`filesys`] — the Example 2 file system with its
@@ -67,17 +71,34 @@ pub use enf_core as core;
 pub use enf_filesys as filesys;
 pub use enf_flowchart as flowchart;
 pub use enf_minsky as minsky;
+pub use enf_policy as policy;
 pub use enf_static as staticflow;
 pub use enf_surveillance as surveillance;
 
 /// The items most programs need, re-exported flat.
+///
+/// One `use enforcement::prelude::*;` covers the whole embedding surface:
+/// the formal framework (programs, policies, mechanisms, soundness
+/// checking and its verdict types), the flowchart language, the dynamic
+/// and static enforcement engines with their verdict/witness types, and
+/// the typed `enf_policy` pipeline (`Tainted` → `Verified` → `Sink` with
+/// the audit trail).
 pub mod prelude {
     pub use enf_core::{
-        check_protection, check_soundness, compare, Allow, FnMechanism, FnPolicy, FnProgram, Grid,
-        IndexSet, InputDomain, Join, MaximalMechanism, MechOrdering, MechOutput, Mechanism, Notice,
-        Policy, Program, Timed, TimedProgram, WithTime, V,
+        check_protection, check_soundness, check_soundness_scheduled, compare,
+        try_check_soundness_with, validate_scheduled_witness, Allow, CancelToken, Coverage,
+        EnfError, EvalConfig, FnMechanism, FnPolicy, FnProgram, Grid, IndexSet, InputDomain, Join,
+        MaximalMechanism, MechOrdering, MechOutput, Mechanism, Notice, Policy, Program, Schedule,
+        ScheduledReport, ScheduledWitness, Timed, TimedProgram, Verdict, WithTime, V,
     };
     pub use enf_flowchart::{parse, Flowchart, FlowchartProgram};
+    pub use enf_policy::{
+        verify_chain, AuditLog, Capability, ChainVerdict, Enforcer, Evidence, FlushPolicy, Refusal,
+        RunVerdict, Sink, Tainted, Verified,
+    };
+    pub use enf_static::{
+        certify, refute, verify, Analysis, Certification, LeakWitness, RelationalVerdict,
+    };
     pub use enf_surveillance::{instrument, HighWater, Surveillance, TimedMechanism};
 }
 
@@ -91,5 +112,40 @@ mod tests {
         let p = FlowchartProgram::new(fc);
         let m = Surveillance::new(p, IndexSet::single(1));
         assert!(m.run(&[3]).is_value());
+    }
+
+    #[test]
+    fn prelude_covers_the_whole_embedding_surface() {
+        // One `use` suffices for the typed pipeline, the certifiers, the
+        // relational refuter, and the scheduled oracle — no reaching into
+        // sub-crates.
+        let fc = parse("program(1) { y := x1; }").unwrap();
+        assert!(certify(&fc, IndexSet::single(1), Analysis::Surveillance).is_certified());
+        let verdict = verify(
+            &fc,
+            IndexSet::single(1),
+            &Grid::hypercube(1, -1..=1),
+            100,
+            &EvalConfig::default(),
+        );
+        assert!(matches!(verdict, RelationalVerdict::Certified));
+        let report = check_soundness_scheduled(
+            &FlowchartProgram::new(fc.clone()),
+            &Allow::new(1, [1]),
+            &Grid::hypercube(1, -1..=1),
+            &EvalConfig::default(),
+            Some(2),
+        );
+        assert!(matches!(report, ScheduledReport::Sound { .. }));
+        let mut log = AuditLog::in_memory();
+        let enforcer = Enforcer::new(fc, IndexSet::single(1)).unwrap();
+        let cap = Capability::issue("test", &mut log).unwrap();
+        match enforcer.surveil(Tainted::new(vec![3]), &mut log).unwrap() {
+            RunVerdict::Released(v) => {
+                assert_eq!(Sink::new(cap, &mut log).release(v).unwrap(), 3);
+            }
+            RunVerdict::Refused(r) => panic!("refused: {r:?}"),
+        }
+        assert!(verify_chain(&log.render()).is_intact());
     }
 }

@@ -1,0 +1,103 @@
+//! Property tests for the audit trail: determinism across thread counts
+//! and tamper-evidence under torn writes.
+//!
+//! (a) The audit records an enforcement run appends are *byte-identical*
+//!     for every `EvalConfig` thread count 1–8 — the trail contains only
+//!     engine verdicts, never scheduling accidents.
+//! (b) Chaos torn-append: truncating a valid trail at *any* byte offset
+//!     never yields a verifier-accepted log unless the truncation lands
+//!     exactly on a record boundary — a kill mid-append is always either
+//!     invisible (the record never made it) or detected.
+
+use enf_flowchart::generate::{random_flowchart, GenConfig};
+use enforcement::policy::Discipline;
+use enforcement::prelude::*;
+use proptest::prelude::*;
+
+fn policy_from_mask(mask: u8) -> IndexSet {
+    let mut set = IndexSet::empty();
+    if mask & 1 != 0 {
+        set.insert(1);
+    }
+    if mask & 2 != 0 {
+        set.insert(2);
+    }
+    set
+}
+
+fn discipline_from(tag: u8) -> Discipline {
+    match tag % 3 {
+        0 => Discipline::Surveillance,
+        1 => Discipline::Timed,
+        _ => Discipline::HighWater,
+    }
+}
+
+/// Runs a surveil + sweep through the typed pipeline and returns the
+/// rendered audit trail.
+fn enforcement_trail(seed: u64, mask: u8, disc: u8, threads: usize) -> String {
+    let fc = random_flowchart(seed, &GenConfig::default());
+    let allow = policy_from_mask(mask);
+    let mut log = AuditLog::in_memory();
+    let enforcer = Enforcer::new(fc, allow)
+        .expect("valid policy")
+        .with_discipline(discipline_from(disc));
+    let cap = Capability::issue("stdout", &mut log).expect("issue capability");
+    if let RunVerdict::Released(v) = enforcer
+        .surveil(Tainted::new(vec![1, -1]), &mut log)
+        .expect("arity matches")
+    {
+        let _ = Sink::new(cap, &mut log).release(v).expect("release");
+    }
+    let eval = EvalConfig::with_threads(threads).seq_threshold(0);
+    let outcome = enforcer
+        .sweep(1, &eval, &CancelToken::new(), &mut log)
+        .expect("sweep runs");
+    let _ = outcome.verdict();
+    log.render()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// (a) Thread-count determinism: the trail for 1 worker is the trail
+    /// for t workers, byte for byte, across programs, policies and
+    /// disciplines.
+    #[test]
+    fn audit_trail_is_identical_for_threads_1_to_8(
+        seed in 0u64..2000,
+        mask in 0u8..4,
+        disc in 0u8..3,
+        threads in 2usize..=8,
+    ) {
+        let base = enforcement_trail(seed, mask, disc, 1);
+        let trail = enforcement_trail(seed, mask, disc, threads);
+        prop_assert_eq!(&base, &trail, "threads={} diverged", threads);
+        prop_assert!(verify_chain(&base).is_intact());
+    }
+
+    /// (b) Torn-append chaos: for every byte offset, the truncated trail
+    /// is accepted by the verifier iff it is a whole-record prefix.
+    #[test]
+    fn torn_appends_never_verify(seed in 0u64..2000, mask in 0u8..4, disc in 0u8..3) {
+        let trail = enforcement_trail(seed, mask, disc, 1);
+        prop_assert!(trail.len() > 2, "trail unexpectedly empty");
+        let boundaries: Vec<usize> = std::iter::once(0)
+            .chain(trail.char_indices().filter(|(_, c)| *c == '\n').map(|(i, _)| i + 1))
+            .collect();
+        for cut in 0..=trail.len() {
+            let torn = &trail[..cut];
+            let accepted = verify_chain(torn).is_intact();
+            let whole_records = boundaries.contains(&cut);
+            prop_assert_eq!(
+                accepted,
+                whole_records,
+                "cut at byte {} of {}: accepted={} but whole-record prefix={}",
+                cut,
+                trail.len(),
+                accepted,
+                whole_records
+            );
+        }
+    }
+}

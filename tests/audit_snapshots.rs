@@ -1,0 +1,150 @@
+//! Golden snapshots for `enforce audit verify` and the audit trail
+//! itself.
+//!
+//! A fixed `enforce surveil --audit F` run must produce a byte-identical
+//! hash-chained trail (no timestamps, no randomness), so the trail *file*
+//! is snapshotted alongside the verifier's txt and json output for both
+//! an intact and a tampered log.
+//!
+//! To accept intentional format changes, re-run with
+//! `UPDATE_SNAPSHOTS=1 cargo test --test audit_snapshots` and commit the
+//! regenerated files under `tests/snapshots/`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn repo_file(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn temp_log(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("enforce-audit-{}-{tag}.jsonl", std::process::id()))
+}
+
+fn enforce(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_enforce"))
+        .args(args)
+        .output()
+        .expect("spawn enforce");
+    (
+        String::from_utf8(out.stdout).expect("utf-8 stdout"),
+        String::from_utf8(out.stderr).expect("utf-8 stderr"),
+        out.status.code().expect("exit code"),
+    )
+}
+
+fn check_snapshot(name: &str, actual: &str) {
+    let path = repo_file(&format!("tests/snapshots/{name}.txt"));
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(&path, actual).expect("write snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); run with UPDATE_SNAPSHOTS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "snapshot mismatch for {name}; run with UPDATE_SNAPSHOTS=1 to accept"
+    );
+}
+
+/// Renders a verify run path-free: stdout plus exit code.
+fn verify_snapshot(log: &std::path::Path, json: bool) -> String {
+    let log_s = log.to_str().expect("utf8 temp path");
+    let mut args = vec!["audit", "verify", log_s];
+    if json {
+        args.push("--json");
+    }
+    let (stdout, stderr, code) = enforce(&args);
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+    format!("{stdout}-- exit {code}\n")
+}
+
+#[test]
+fn audit_trail_and_verifier_are_pinned() {
+    let log = temp_log("pinned");
+    let _ = std::fs::remove_file(&log);
+    let program = repo_file("examples/programs/forgetting.fc");
+    let (stdout, stderr, code) = enforce(&[
+        "surveil",
+        program.to_str().expect("utf8 path"),
+        "--allow",
+        "2",
+        "--input",
+        "9,0",
+        "--audit",
+        log.to_str().expect("utf8 temp path"),
+    ]);
+    assert!(stderr.is_empty(), "unexpected stderr: {stderr}");
+    assert_eq!(code, 0, "surveil failed: {stdout}");
+
+    // The trail itself is deterministic: grant, attest, release records
+    // chained by content hashes with no timestamps.
+    let trail = std::fs::read_to_string(&log).expect("read audit log");
+    check_snapshot("audit_trail_surveil", &trail);
+
+    check_snapshot("audit_verify_intact", &verify_snapshot(&log, false));
+    check_snapshot("audit_verify_intact_json", &verify_snapshot(&log, true));
+
+    // Flip bytes inside a record: the verifier must name the first
+    // tampered record and the intact prefix, and exit 1.
+    let tampered = trail.replacen("\"kind\":\"release\"", "\"kind\":\"relaese\"", 1);
+    assert_ne!(tampered, trail, "tamper target not found in trail");
+    std::fs::write(&log, tampered).expect("write tampered log");
+
+    check_snapshot("audit_verify_tampered", &verify_snapshot(&log, false));
+    check_snapshot("audit_verify_tampered_json", &verify_snapshot(&log, true));
+
+    let _ = std::fs::remove_file(&log);
+}
+
+#[test]
+fn audit_verify_usage_errors_exit_2() {
+    let (_, stderr, code) = enforce(&["audit"]);
+    assert_eq!(code, 2);
+    assert!(
+        stderr.contains("usage: enforce audit verify"),
+        "stderr: {stderr}"
+    );
+
+    let (_, stderr, code) = enforce(&["audit", "polish", "x.jsonl"]);
+    assert_eq!(code, 2);
+    assert!(
+        stderr.contains("usage: enforce audit verify"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn resuming_a_tampered_audit_log_is_refused() {
+    let log = temp_log("refuse");
+    let program = repo_file("examples/programs/forgetting.fc");
+    let prog_s = program.to_str().expect("utf8 path");
+    let log_s = log.to_str().expect("utf8 temp path");
+    let _ = std::fs::remove_file(&log);
+    let (_, _, code) = enforce(&[
+        "surveil", prog_s, "--allow", "2", "--input", "9,0", "--audit", log_s,
+    ]);
+    assert_eq!(code, 0);
+
+    // A second run appends to the verified chain…
+    let (_, _, code) = enforce(&[
+        "surveil", prog_s, "--allow", "2", "--input", "9,0", "--audit", log_s,
+    ]);
+    assert_eq!(code, 0);
+    let trail = std::fs::read_to_string(&log).expect("read audit log");
+    assert_eq!(verify_snapshot(&log, false).lines().count(), 2);
+
+    // …but a tampered chain is refused outright (internal error, exit 3).
+    std::fs::write(&log, trail.replacen("\"seq\":0", "\"seq\":7", 1)).expect("tamper");
+    let (_, stderr, code) = enforce(&[
+        "surveil", prog_s, "--allow", "2", "--input", "9,0", "--audit", log_s,
+    ]);
+    assert_eq!(code, 3, "stderr: {stderr}");
+    assert!(stderr.contains("cannot open audit log"), "stderr: {stderr}");
+
+    let _ = std::fs::remove_file(&log);
+}

@@ -1,0 +1,174 @@
+//! Golden snapshots pinning `enforce surveil`, `enforce certify` and
+//! `enforce check` output across the typed-pipeline refactor.
+//!
+//! These files were generated from the pre-refactor CLI (which called the
+//! engine crates directly); the commands now run through the
+//! `enf_policy` typed pipeline (`Tainted` → `Verified` → `Sink`), and the
+//! snapshots prove the rebuild is bit-identical — stdout *and* exit code.
+//!
+//! To accept intentional format changes, re-run with
+//! `UPDATE_SNAPSHOTS=1 cargo test --test typed_pipeline_snapshots` and
+//! commit the regenerated files under `tests/snapshots/`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// (snapshot name, program file, extra args) per case.
+const CASES: &[(&str, &str, &[&str])] = &[
+    // surveil: accept, violation, timed veto, high-water, empty allow.
+    (
+        "pipeline_surveil_forgetting_accept",
+        "forgetting",
+        &["surveil", "--allow", "2", "--input", "9,0"],
+    ),
+    (
+        "pipeline_surveil_forgetting_violation",
+        "forgetting",
+        &["surveil", "--allow", "2", "--input", "9,5"],
+    ),
+    (
+        "pipeline_surveil_forgetting_timed",
+        "forgetting",
+        &["surveil", "--allow", "2", "--input", "9,5", "--timed"],
+    ),
+    (
+        "pipeline_surveil_forgetting_highwater",
+        "forgetting",
+        &["surveil", "--allow", "2", "--input", "9,0", "--highwater"],
+    ),
+    (
+        "pipeline_surveil_implicit_copy",
+        "implicit_copy",
+        &["surveil", "--allow", "", "--input", "1"],
+    ),
+    (
+        "pipeline_surveil_policy_dance",
+        "policy_dance",
+        &["surveil", "--allow", "2", "--input", "3,4"],
+    ),
+    // certify: every analysis, certified and rejected.
+    (
+        "pipeline_certify_forgetting",
+        "forgetting",
+        &["certify", "--allow", "2"],
+    ),
+    (
+        "pipeline_certify_constant_guard_default",
+        "constant_guard",
+        &["certify", "--allow", "2"],
+    ),
+    (
+        "pipeline_certify_constant_guard_scoped",
+        "constant_guard",
+        &["certify", "--allow", "2", "--scoped"],
+    ),
+    (
+        "pipeline_certify_constant_guard_value",
+        "constant_guard",
+        &["certify", "--allow", "2", "--value"],
+    ),
+    (
+        "pipeline_certify_cancelling_relational",
+        "cancelling",
+        &["certify", "--allow", "", "--relational"],
+    ),
+    (
+        "pipeline_certify_two_path_leak_relational",
+        "two_path_leak",
+        &["certify", "--allow", "", "--relational"],
+    ),
+    (
+        "pipeline_certify_policy_dance_dynamic",
+        "policy_dance",
+        &["certify", "--allow", "2", "--dynamic"],
+    ),
+    // check: sound, unsound, timed, high-water, ast engine, budget cut,
+    // scheduled oracle.
+    (
+        "pipeline_check_forgetting_sound",
+        "forgetting",
+        &["check", "--allow", "2", "--span", "3"],
+    ),
+    (
+        "pipeline_check_forgetting_timed",
+        "forgetting",
+        &["check", "--allow", "2", "--span", "3", "--timed"],
+    ),
+    (
+        "pipeline_check_forgetting_highwater",
+        "forgetting",
+        &["check", "--allow", "2", "--span", "3", "--highwater"],
+    ),
+    (
+        "pipeline_check_forgetting_ast",
+        "forgetting",
+        &["check", "--allow", "2", "--span", "2", "--engine", "ast"],
+    ),
+    (
+        "pipeline_check_two_path_leak_unsound",
+        "two_path_leak",
+        &["check", "--allow", "", "--span", "2"],
+    ),
+    (
+        "pipeline_check_forgetting_budget",
+        "forgetting",
+        &["check", "--allow", "2", "--span", "3", "--budget", "10"],
+    ),
+    (
+        "pipeline_check_policy_dance_scheduled",
+        "policy_dance",
+        &["check", "--allow", "2", "--span", "2", "--schedules", "64"],
+    ),
+];
+
+fn repo_file(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// Runs one case and renders stdout plus the exit code as the snapshot
+/// body, so the pinned contract covers both.
+fn run_case(program: &str, args: &[&str]) -> String {
+    let file = repo_file(&format!("examples/programs/{program}.fc"));
+    let mut argv: Vec<String> = vec![args[0].to_string(), file.to_string_lossy().into_owned()];
+    argv.extend(args[1..].iter().map(|s| s.to_string()));
+    let out = Command::new(env!("CARGO_BIN_EXE_enforce"))
+        .args(&argv)
+        .output()
+        .expect("spawn enforce");
+    assert!(
+        out.stderr.is_empty(),
+        "unexpected stderr for {program} {args:?}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    format!(
+        "{}-- exit {}\n",
+        String::from_utf8(out.stdout).expect("utf-8 output"),
+        out.status.code().expect("exit code")
+    )
+}
+
+fn check_snapshot(name: &str, actual: &str) {
+    let path = repo_file(&format!("tests/snapshots/{name}.txt"));
+    if std::env::var_os("UPDATE_SNAPSHOTS").is_some() {
+        std::fs::write(&path, actual).expect("write snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); run with UPDATE_SNAPSHOTS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "snapshot mismatch for {name}; run with UPDATE_SNAPSHOTS=1 to accept"
+    );
+}
+
+#[test]
+fn surveil_certify_check_match_pre_refactor_goldens() {
+    for (name, program, args) in CASES {
+        let out = run_case(program, args);
+        check_snapshot(name, &out);
+    }
+}
