@@ -1,4 +1,4 @@
-//! Runs every experiment (E1–E19) and prints the tables EXPERIMENTS.md
+//! Runs every experiment (E1–E23) and prints the tables EXPERIMENTS.md
 //! records. `--markdown` emits GitHub-flavored markdown instead of the
 //! aligned terminal form. Also measures checker throughput (sequential vs
 //! parallel engine), the stepper-vs-seed-loop interpreter overhead, the
@@ -6,13 +6,14 @@
 //! pair-sweep cost, the bytecode-VM vs stepper speedup (bar ≥5×), and the
 //! class-evaluator vs generic-sweep speedup (bar ≥10×), and the
 //! dynamic-policy certificate vs bounded-schedule-sweep cost, and the
-//! typed-pipeline (audit-trail) overhead (bar ≤5%), writing
-//! all eight to `BENCH_results.json` (`{"throughput": [...],
+//! typed-pipeline (audit-trail) overhead (bar ≤5%), and the
+//! enforcement-service load (fault-free vs chaos-proxied throughput),
+//! writing all nine to `BENCH_results.json` (`{"throughput": [...],
 //! "stepper_overhead": [...], "checkpoint_overhead": [...],
 //! "relational": [...], "bytecode": [...], "class_eval": [...],
-//! "schedule": [...], "audit": [...]}`); skip with `--no-bench`, or pass `--quick` for
-//! the small-size CI smoke run (same code paths, sub-minute, numbers
-//! not publication-grade).
+//! "schedule": [...], "audit": [...], "serve": [...]}`); skip with
+//! `--no-bench`, or pass `--quick` for the small-size CI smoke run (same
+//! code paths, sub-minute, numbers not publication-grade).
 
 fn main() {
     let markdown = std::env::args().any(|a| a == "--markdown");
@@ -153,8 +154,25 @@ fn main() {
                 r.overhead() * 100.0
             );
         }
+        let serve = if quick {
+            enf_bench::serve_eval::measure_sized(24)
+        } else {
+            enf_bench::serve_eval::measure()
+        };
+        for r in &serve {
+            println!(
+                "serve {:<10} {:>5} jobs   {:>10.6}s  {:>8.1} jobs/s  quarantined {:>2}  replayed {:>3}  cache hits {:>3}",
+                r.scenario,
+                r.jobs,
+                r.secs,
+                r.jobs_per_sec(),
+                r.quarantined,
+                r.replayed,
+                r.cache_hits
+            );
+        }
         let json = format!(
-            "{{\n\"throughput\": {},\n\"stepper_overhead\": {},\n\"checkpoint_overhead\": {},\n\"relational\": {},\n\"bytecode\": {},\n\"class_eval\": {},\n\"schedule\": {},\n\"audit\": {}\n}}\n",
+            "{{\n\"throughput\": {},\n\"stepper_overhead\": {},\n\"checkpoint_overhead\": {},\n\"relational\": {},\n\"bytecode\": {},\n\"class_eval\": {},\n\"schedule\": {},\n\"audit\": {},\n\"serve\": {}\n}}\n",
             enf_bench::throughput::to_json(&rows),
             enf_bench::stepper::to_json(&overhead),
             enf_bench::checkpoint::to_json(&ckpt),
@@ -162,7 +180,8 @@ fn main() {
             enf_bench::vmspeed::bytecode_to_json(&bytecode),
             enf_bench::vmspeed::class_eval_to_json(&class_eval),
             enf_bench::schedule_eval::to_json(&sched),
-            enf_bench::audit::to_json(&audit)
+            enf_bench::audit::to_json(&audit),
+            enf_bench::serve_eval::to_json(&serve)
         );
         match std::fs::write("BENCH_results.json", &json) {
             Ok(()) => println!("wrote BENCH_results.json"),

@@ -83,6 +83,63 @@ impl FaultPlan {
     pub fn fuel_budget(&self, bound: usize) -> usize {
         self.pick(0x6675_656c, bound)
     }
+
+    /// The transport fault (if any) a fault-injecting proxy applies to the
+    /// `frame`-th frame of the `conn`-th proxied connection. Roughly one
+    /// frame in four misbehaves; the rest deliver unmolested — enough
+    /// pressure to exercise every retry path without starving throughput.
+    pub fn frame_fault(&self, conn: u64, frame: u64) -> FrameFault {
+        let salt = 0x6672_616d_u64 // "fram"
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(conn.wrapping_mul(0x1_0001))
+            .wrapping_add(frame);
+        match self.pick(salt, 16) {
+            0 => FrameFault::Drop,
+            1 => {
+                // Cut the frame somewhere strictly inside its length
+                // prefix + payload; the receiver sees a truncated stream.
+                FrameFault::Truncate(self.pick(salt ^ 0x7472, 64) + 1)
+            }
+            2 | 3 => FrameFault::Delay(self.pick(salt ^ 0x646c, 20) as u64 + 1),
+            _ => FrameFault::Deliver,
+        }
+    }
+
+    /// Whether the worker executing the `job`-th accepted job is killed
+    /// mid-run (roughly one job in eight). The server must quarantine and
+    /// replace the worker; the client sees a structured panic frame.
+    pub fn worker_kill(&self, job: u64) -> bool {
+        self.pick(0x6b69_6c6c ^ job.wrapping_mul(0x9e37_79b9), 8) == 0
+    }
+
+    /// The checkpoint block index after which the server process is killed
+    /// during a long `check` job, or `None` for a run allowed to finish.
+    /// `blocks` is the number of checkpoint blocks the job will write.
+    pub fn server_kill_block(&self, blocks: u64) -> Option<u64> {
+        let draw = self.pick(0x7372_7665, (blocks as usize) * 2 + 1);
+        // Half the probability mass is "never"; the rest picks a block.
+        if draw <= blocks as usize {
+            None
+        } else {
+            Some((draw - blocks as usize - 1) as u64)
+        }
+    }
+}
+
+/// What a fault-injecting proxy does to one client→server frame. Derived
+/// deterministically per `(connection, frame)` by [`FaultPlan::frame_fault`],
+/// so a chaos run is a one-number repro.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FrameFault {
+    /// Forward the frame unchanged.
+    Deliver,
+    /// Swallow the frame entirely (the request never reaches the server;
+    /// the client must time out and retry).
+    Drop,
+    /// Forward only the first `n` bytes, then sever the connection.
+    Truncate(usize),
+    /// Forward intact after `ms` milliseconds of added latency.
+    Delay(u64),
 }
 
 /// A mechanism that panics on one designated input tuple and otherwise
@@ -221,6 +278,35 @@ mod tests {
         assert_eq!((p1, c1), (p2, c2));
         assert!(p1 < 1000);
         assert!(c1 <= 1000);
+    }
+
+    #[test]
+    fn proxy_derivations_are_deterministic_and_in_range() {
+        let plan = FaultPlan::new(0xC0FFEE);
+        for conn in 0..4u64 {
+            for frame in 0..64u64 {
+                let a = plan.frame_fault(conn, frame);
+                let b = FaultPlan::new(0xC0FFEE).frame_fault(conn, frame);
+                assert_eq!(a, b);
+                if let FrameFault::Truncate(n) = a {
+                    assert!((1..=64).contains(&n));
+                }
+                if let FrameFault::Delay(ms) = a {
+                    assert!((1..=20).contains(&ms));
+                }
+            }
+        }
+        // The mix must actually contain faults *and* deliveries.
+        let faults: Vec<FrameFault> = (0..256).map(|f| plan.frame_fault(0, f)).collect();
+        assert!(faults.contains(&FrameFault::Deliver));
+        assert!(faults.iter().any(|f| *f != FrameFault::Deliver));
+        assert!((0..64).any(|j| plan.worker_kill(j)));
+        assert!((0..64).any(|j| !plan.worker_kill(j)));
+        let kill = plan.server_kill_block(10);
+        assert_eq!(kill, FaultPlan::new(0xC0FFEE).server_kill_block(10));
+        if let Some(b) = kill {
+            assert!(b < 10);
+        }
     }
 
     #[test]

@@ -83,12 +83,13 @@ pub use policy::{Allow, FnPolicy, Policy};
 pub use program::{FnProgram, Program};
 pub use quantitative::{measure_leak, LeakReport};
 pub use schedule::{
-    check_soundness_scheduled, validate_scheduled_witness, Schedule, ScheduledObs,
-    ScheduledProgram, ScheduledReport, ScheduledWitness,
+    check_soundness_scheduled, try_check_soundness_scheduled, validate_scheduled_witness, Schedule,
+    ScheduledObs, ScheduledProgram, ScheduledReport, ScheduledWitness,
 };
 pub use soundness::{
     check_protection, check_protection_with, check_soundness, check_soundness_classes,
     check_soundness_classes_with, check_soundness_with, try_check_protection,
-    try_check_protection_with, try_check_soundness, try_check_soundness_with, SoundnessReport,
+    try_check_protection_with, try_check_soundness, try_check_soundness_classes,
+    try_check_soundness_classes_with, try_check_soundness_with, SoundnessReport,
 };
 pub use value::V;

@@ -37,8 +37,9 @@
 //! reported witness is the least-schedule-index one for every thread count.
 
 use crate::domain::{Grid, InputDomain};
+use crate::error::{Coverage, EnfError};
 use crate::indexset::IndexSet;
-use crate::par::{find_first, EvalConfig};
+use crate::par::{find_first, try_find_first, CancelToken, EvalConfig};
 use crate::policy::{Allow, Policy};
 use crate::value::V;
 use std::collections::HashMap;
@@ -351,6 +352,97 @@ pub fn check_soundness_scheduled<S: ScheduledProgram>(
     }
 }
 
+/// Fault-tolerant [`check_soundness_scheduled`]: the bounded-schedule
+/// sweep under the cancellation and quarantine discipline of
+/// [`crate::try_check_soundness`]. Coverage counts *schedules*, not
+/// inputs: `checked` is the contiguous prefix of the canonical schedule
+/// enumeration that was fully swept.
+///
+/// * `Refuted` with `Some(Unsound(w))` — a genuine leak; under a
+///   deterministic cut (index limit) it is the least-schedule-index one
+///   for every thread count.
+/// * `Confirmed` with `Some(Sound { .. })` — every schedule swept clean;
+///   the **only** way this function reports soundness.
+/// * `Unknown` — the token fired before any schedule failed; nothing is
+///   claimed.
+/// * `Err(SubjectPanicked)` — the subject panicked while sweeping a
+///   schedule with index below any failing one (`input_index` is the
+///   schedule index).
+///
+/// # Panics
+///
+/// Panics under the same arity/overflow conditions as
+/// [`check_soundness_scheduled`].
+pub fn try_check_soundness_scheduled<S: ScheduledProgram>(
+    subject: &S,
+    initial: &Allow,
+    domain: &dyn InputDomain,
+    config: &EvalConfig,
+    max_schedules: Option<usize>,
+    ctl: &CancelToken,
+) -> Result<Coverage<ScheduledReport<S::Out>>, EnfError> {
+    let arity = subject.arity();
+    assert_eq!(
+        arity,
+        initial.arity(),
+        "subject arity {arity} does not match policy arity {}",
+        initial.arity()
+    );
+    assert_eq!(
+        arity,
+        domain.arity(),
+        "domain arity {} does not match subject arity {arity}",
+        domain.arity()
+    );
+
+    let slots = subject.slot_count();
+    let total = Schedule::count(arity, slots).unwrap_or(u128::MAX);
+    let capped = match max_schedules {
+        Some(cap) => total.min(cap as u128),
+        None => total,
+    };
+    let count = usize::try_from(capped).unwrap_or_else(|_| {
+        panic!("schedule count {capped} overflows usize; pass a max_schedules cap")
+    });
+    assert!(count > 0, "schedule enumeration is empty");
+    let init_set = initial.allowed();
+
+    let sched_domain = Grid::new(vec![0..=(count - 1) as V]);
+    let coverage = try_find_first(&sched_domain, config, ctl, |idx, a| {
+        let schedule = Schedule::nth(init_set, arity, slots, a[0] as u128);
+        check_one_schedule(subject, &schedule, domain)
+            .map(|(p, rep, c, out_a, out_b)| (idx, schedule, p, rep, c, out_a, out_b))
+    })?;
+
+    let mut mapped = coverage.map(
+        |(_, (schedule_index, schedule, final_policy, rep, c, out_a, out_b))| {
+            let mut buf = Vec::new();
+            domain.nth_input(rep, &mut buf);
+            let a = buf.clone();
+            domain.nth_input(c, &mut buf);
+            ScheduledReport::Unsound(ScheduledWitness {
+                schedule_index,
+                schedule,
+                final_policy,
+                a,
+                b: buf,
+                out_a,
+                out_b,
+            })
+        },
+    );
+    // `try_find_first` confirms with an empty report (absence of a witness
+    // is its evidence); a confirmed schedule sweep carries the full Sound
+    // report like the plain entry point.
+    if mapped.verdict == crate::error::Verdict::Confirmed {
+        mapped.report = Some(ScheduledReport::Sound {
+            schedules: count,
+            inputs: domain.len(),
+        });
+    }
+    Ok(mapped)
+}
+
 /// Replays a scheduled witness against the subject, confirming it is a
 /// real leak: the two runs end with the anchored final policy reachable,
 /// agree on the anchored view and trace, and disagree on output.
@@ -658,5 +750,110 @@ mod tests {
         let mut bad = w.clone();
         bad.out_b = bad.out_a;
         assert!(!validate_scheduled_witness(&subject, &bad));
+    }
+
+    #[test]
+    fn try_scheduled_matches_plain_every_thread_count() {
+        let grid = Grid::hypercube(1, 0..=3);
+        for leaky in [false, true] {
+            let subject = FnScheduled {
+                arity: 1,
+                slots: 1,
+                run: move |a: &[V], s: &Schedule| {
+                    let p = s.slot(1);
+                    let out = if p.contains(1) || leaky { a[0] } else { 0 };
+                    fixed_obs(out, p)
+                },
+            };
+            let plain = check_soundness_scheduled(
+                &subject,
+                &Allow::none(1),
+                &grid,
+                &EvalConfig::default(),
+                None,
+            );
+            for t in [1usize, 2, 8] {
+                let cfg = EvalConfig::with_threads(t).seq_threshold(0);
+                let r = try_check_soundness_scheduled(
+                    &subject,
+                    &Allow::none(1),
+                    &grid,
+                    &cfg,
+                    None,
+                    &CancelToken::new(),
+                )
+                .expect("no faults injected");
+                assert!(r.is_complete() || leaky, "threads={t}");
+                assert_eq!(r.report.as_ref(), Some(&plain), "leaky={leaky} threads={t}");
+                if !leaky {
+                    assert_eq!(r.verdict, crate::error::Verdict::Confirmed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_scheduled_index_limit_reports_unknown() {
+        // Leak only at schedule index 1; cap evaluation at index 1 so the
+        // failing schedule is never swept — Unknown, nothing claimed.
+        let subject = FnScheduled {
+            arity: 1,
+            slots: 1,
+            run: |a: &[V], s: &Schedule| {
+                let p = s.slot(1);
+                if p.contains(1) {
+                    fixed_obs(a[0], IndexSet::EMPTY)
+                } else {
+                    fixed_obs(0, IndexSet::EMPTY)
+                }
+            },
+        };
+        let grid = Grid::hypercube(1, 0..=2);
+        for t in [1usize, 2, 4] {
+            let cfg = EvalConfig::with_threads(t).seq_threshold(0);
+            let ctl = CancelToken::new().with_index_limit(1);
+            let r =
+                try_check_soundness_scheduled(&subject, &Allow::none(1), &grid, &cfg, None, &ctl)
+                    .expect("no faults injected");
+            assert_eq!(r.verdict, crate::error::Verdict::Unknown, "threads={t}");
+            assert_eq!((r.checked, r.total), (1, 2), "threads={t}");
+            assert!(r.report.is_none());
+        }
+    }
+
+    #[test]
+    fn try_scheduled_quarantines_panicking_subject() {
+        crate::chaos::silence_chaos_panics();
+        // Panic while sweeping schedule index 2 (binding p1 = {} of a
+        // 2-slot arity-1 subject is index 0; the trigger fires on the
+        // schedule whose first slot is {1}).
+        let subject = FnScheduled {
+            arity: 1,
+            slots: 1,
+            run: |_: &[V], s: &Schedule| {
+                if s.slot(1).contains(1) {
+                    panic!("{}: scheduled subject fault", crate::chaos::CHAOS_MARKER);
+                }
+                fixed_obs(0, s.initial)
+            },
+        };
+        let grid = Grid::hypercube(1, 0..=2);
+        for t in [1usize, 2, 4] {
+            let cfg = EvalConfig::with_threads(t).seq_threshold(0);
+            let r = try_check_soundness_scheduled(
+                &subject,
+                &Allow::none(1),
+                &grid,
+                &cfg,
+                None,
+                &CancelToken::new(),
+            );
+            match r {
+                Err(crate::error::EnfError::SubjectPanicked { input_index, .. }) => {
+                    assert_eq!(input_index, 1, "threads={t}")
+                }
+                other => panic!("expected quarantine, got {other:?} (threads={t})"),
+            }
+        }
     }
 }

@@ -615,6 +615,110 @@ where
     }
 }
 
+/// Fault-tolerant [`check_soundness_classes`]: the mixed-radix class
+/// evaluator under the same cancellation and quarantine discipline as
+/// [`try_check_soundness`]. This closes the fail-closed gap where server
+/// deadlines only reached the generic sweep — the fast path now honors
+/// the [`CancelToken`] too.
+pub fn try_check_soundness_classes<M>(
+    mechanism: &M,
+    policy: &Allow,
+    domain: &Grid,
+    collapse_notices: bool,
+    ctl: &CancelToken,
+) -> Result<Coverage<SoundnessReport<M::Out>>, EnfError>
+where
+    M: Mechanism + Sync,
+    M::Out: PartialEq + Send,
+{
+    try_check_soundness_classes_with(
+        mechanism,
+        policy,
+        domain,
+        collapse_notices,
+        &EvalConfig::default(),
+        ctl,
+    )
+}
+
+/// Like [`try_check_soundness_classes`] but with an explicit evaluation
+/// configuration.
+///
+/// Verdict semantics match [`try_check_soundness_with`] exactly: `Refuted`
+/// carries the same least-index witness the plain class evaluator reports,
+/// `Confirmed` requires full coverage with nothing quarantined, `Unknown`
+/// means the token fired before any conflict, and a subject panicking at
+/// an index below every conflict surfaces as `Err(SubjectPanicked)`.
+pub fn try_check_soundness_classes_with<M>(
+    mechanism: &M,
+    policy: &Allow,
+    domain: &Grid,
+    collapse_notices: bool,
+    config: &EvalConfig,
+    ctl: &CancelToken,
+) -> Result<Coverage<SoundnessReport<M::Out>>, EnfError>
+where
+    M: Mechanism + Sync,
+    M::Out: PartialEq + Send,
+{
+    assert_soundness_arities(mechanism.arity(), policy.arity(), domain.arity());
+    let layout = ClassLayout::new(policy, domain);
+    let total = domain.len();
+    let partials = crate::par::try_partition_fold(domain, config, ctl, |range, ctx| {
+        let mut seen: ClassTable<M::Out> = ClassTable::new(layout.count);
+        domain.visit_range(range, &mut |idx, a| {
+            if ctx.cutoff().passed(idx) || ctx.stop_requested(idx) {
+                return false;
+            }
+            let Some(out) = ctx.guard(idx, || {
+                let mut out = mechanism.run(a);
+                if collapse_notices {
+                    out = out.collapse_notice();
+                }
+                out
+            }) else {
+                return false;
+            };
+            seen.record(layout.class_of(a), idx, out, ctx.cutoff());
+            true
+        });
+        seen
+    });
+
+    let complete = partials.complete;
+    let checked = partials.checked;
+    let quarantine = partials.resolve_quarantine(None).err();
+    let mut merged: ClassTable<M::Out> = ClassTable::new(layout.count);
+    for partial in partials.parts {
+        merged.merge(partial);
+    }
+    let classes = merged.classes();
+    let witness = merged.least_conflict();
+    // Order events by input index, exactly as the sequential scan would
+    // encounter them: a conflict below the quarantined index wins, a
+    // quarantine below the conflict is the error.
+    if let Some(err @ EnfError::SubjectPanicked { input_index, .. }) = quarantine {
+        if witness.as_ref().is_none_or(|(_, c)| input_index < c.idx) {
+            return Err(err);
+        }
+    }
+    Ok(match witness {
+        Some((rep, conflict)) => Coverage::refuted(
+            checked,
+            total,
+            SoundnessReport::Unsound(decode_witness(domain, rep, conflict)),
+        ),
+        None if complete => Coverage::confirmed(
+            total,
+            SoundnessReport::Sound {
+                inputs: total,
+                classes,
+            },
+        ),
+        None => Coverage::unknown(checked, total),
+    })
+}
+
 /// Fault-tolerant [`check_soundness`]: a panicking mechanism or policy is
 /// quarantined ([`EnfError::SubjectPanicked`]) instead of unwinding, and
 /// the sweep honors the cancellation token, reporting partial coverage.
@@ -1045,5 +1149,113 @@ mod tests {
         let m: Plug<V> = Plug::new(2);
         let g = Grid::hypercube(2, 0..=1);
         let _ = check_soundness_classes(&m, &Allow::none(3), &g, false);
+    }
+
+    #[test]
+    fn try_classes_matches_plain_classes_every_thread_count() {
+        let g = Grid::hypercube(2, -2..=2);
+        for leaky in [false, true] {
+            let m = FnMechanism::new(2, move |a: &[V]| {
+                MechOutput::Value(if leaky { a[0] + a[1] } else { a[0] })
+            });
+            let policy = Allow::new(2, [1]);
+            let plain = check_soundness_classes(&m, &policy, &g, false);
+            for t in [1usize, 2, 4, 8] {
+                let cfg = EvalConfig::with_threads(t).seq_threshold(0);
+                let r = try_check_soundness_classes_with(
+                    &m,
+                    &policy,
+                    &g,
+                    false,
+                    &cfg,
+                    &CancelToken::new(),
+                )
+                .expect("no faults injected");
+                if leaky {
+                    assert_eq!(r.verdict, Verdict::Refuted, "threads={t}");
+                } else {
+                    assert!(is_established(&r), "threads={t}");
+                }
+                assert_eq!(r.report.as_ref(), Some(&plain), "threads={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn try_classes_index_limit_is_deterministic() {
+        // Sound mechanism, limit strictly inside the domain: Unknown with
+        // exactly `limit` checked, identical for every thread count.
+        let m = FnMechanism::new(2, |a: &[V]| MechOutput::Value(a[0]));
+        let policy = Allow::new(2, [1]);
+        let g = Grid::hypercube(2, -2..=2);
+        let limit = 7;
+        for t in [1usize, 2, 4, 8] {
+            let cfg = EvalConfig::with_threads(t).seq_threshold(0);
+            let ctl = CancelToken::new().with_index_limit(limit);
+            let r = try_check_soundness_classes_with(&m, &policy, &g, false, &cfg, &ctl)
+                .expect("no faults injected");
+            assert_eq!(r.verdict, Verdict::Unknown, "threads={t}");
+            assert_eq!(r.checked, limit, "threads={t}");
+            assert!(!is_established(&r));
+        }
+    }
+
+    #[test]
+    fn try_classes_quarantines_panicking_mechanism() {
+        crate::chaos::silence_chaos_panics();
+        let g = Grid::hypercube(1, 0..=9);
+        let m = crate::chaos::PanicOn::at_index(
+            FnMechanism::new(1, |a: &[V]| MechOutput::Value(a[0] % 2)),
+            &g,
+            Some(5),
+        );
+        for t in [1usize, 2, 4] {
+            let cfg = EvalConfig::with_threads(t).seq_threshold(0);
+            let r = try_check_soundness_classes_with(
+                &m,
+                &Allow::all(1),
+                &g,
+                false,
+                &cfg,
+                &CancelToken::new(),
+            );
+            match r {
+                Err(EnfError::SubjectPanicked { input_index, .. }) => {
+                    assert_eq!(input_index, 5, "threads={t}")
+                }
+                other => panic!("expected quarantine, got {other:?} (threads={t})"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_classes_conflict_below_panic_still_refutes() {
+        crate::chaos::silence_chaos_panics();
+        // Leak is decided at index 1 (under allow() all inputs share one
+        // class, and outputs 0 then 1 conflict); the panic at index 8 is
+        // moot.
+        let g = Grid::hypercube(1, 0..=9);
+        let m = crate::chaos::PanicOn::at_index(
+            FnMechanism::new(1, |a: &[V]| MechOutput::Value(a[0])),
+            &g,
+            Some(8),
+        );
+        for t in [1usize, 2, 4] {
+            let cfg = EvalConfig::with_threads(t).seq_threshold(0);
+            let r = try_check_soundness_classes_with(
+                &m,
+                &Allow::none(1),
+                &g,
+                false,
+                &cfg,
+                &CancelToken::new(),
+            )
+            .expect("conflict precedes the fault");
+            assert_eq!(r.verdict, Verdict::Refuted, "threads={t}");
+            let Some(SoundnessReport::Unsound(w)) = r.report else {
+                panic!("refuted without witness");
+            };
+            assert_eq!((w.a.as_slice(), w.b.as_slice()), (&[0][..], &[1][..]));
+        }
     }
 }

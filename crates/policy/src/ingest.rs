@@ -5,55 +5,192 @@
 //! functions only ever mint `Tainted` wrappers. Conversions *between*
 //! tainted shapes (JSON document → input tuple) happen inside this crate,
 //! where monitor code may peek; the taint is preserved end to end.
+//!
+//! This module is the server's untrusted input path, so it is hardened
+//! fail-closed: malformed, oversized, or non-UTF-8 input returns a
+//! structured [`IngestError`] — never a panic, never an unbounded
+//! allocation. Raw socket bytes enter through [`tainted_json_bytes`] /
+//! [`tainted_csv_bytes`], which bound the input *before* decoding it.
 
 use crate::tainted::Tainted;
 use enf_core::{Json, V};
+use std::fmt;
+
+/// Largest document (bytes) the ingest path will even look at. Anything
+/// larger is rejected up front with [`IngestError::Oversized`], before
+/// UTF-8 validation or parsing touch it.
+pub const MAX_INGEST_BYTES: usize = 1 << 20;
+
+/// Largest input tuple the ingest path will mint. Real programs have a
+/// handful of inputs; a million-element tuple is an attack, not a request.
+pub const MAX_TUPLE_ARITY: usize = 4096;
+
+/// Why untrusted input was refused at the ingest boundary.
+///
+/// Every variant is a *refusal*, not a fault: the input never becomes a
+/// [`Tainted`] value, and the caller can render the reason to the client
+/// without leaking anything but the offending position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum IngestError {
+    /// The document exceeds [`MAX_INGEST_BYTES`] (or a caller-supplied
+    /// bound); it was rejected before being decoded.
+    Oversized {
+        /// The enforced limit in bytes.
+        limit: usize,
+        /// The document's actual size in bytes.
+        actual: usize,
+    },
+    /// The bytes are not valid UTF-8.
+    NotUtf8 {
+        /// Length of the valid prefix, in bytes.
+        valid_up_to: usize,
+    },
+    /// The text failed to parse (JSON syntax error, bad integer literal).
+    Syntax {
+        /// Parser-provided description.
+        detail: String,
+    },
+    /// A tuple document was not a JSON array.
+    NotAnArray,
+    /// Tuple element `index` is not a representable integer input.
+    BadElement {
+        /// Zero-based element position.
+        index: usize,
+    },
+    /// The tuple has more than [`MAX_TUPLE_ARITY`] elements.
+    TooManyElements {
+        /// The enforced element limit.
+        limit: usize,
+        /// The tuple's actual element count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Oversized { limit, actual } => {
+                write!(f, "input is {actual} bytes, limit is {limit}")
+            }
+            IngestError::NotUtf8 { valid_up_to } => {
+                write!(
+                    f,
+                    "input is not valid UTF-8 (valid up to byte {valid_up_to})"
+                )
+            }
+            IngestError::Syntax { detail } => write!(f, "malformed input: {detail}"),
+            IngestError::NotAnArray => write!(f, "expected a JSON array of integers"),
+            IngestError::BadElement { index } => {
+                write!(f, "element {index} is not an integer input")
+            }
+            IngestError::TooManyElements { limit, actual } => {
+                write!(f, "tuple has {actual} elements, limit is {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Rejects oversized documents before anything decodes them.
+fn check_size(len: usize) -> Result<(), IngestError> {
+    if len > MAX_INGEST_BYTES {
+        Err(IngestError::Oversized {
+            limit: MAX_INGEST_BYTES,
+            actual: len,
+        })
+    } else {
+        Ok(())
+    }
+}
 
 /// Parses a JSON document into a tainted value. The text is untrusted, so
 /// the parse lands in [`Tainted`]; convert with [`tuple_from_json`].
-pub fn tainted_json(text: &str) -> Result<Tainted<Json>, String> {
-    enf_core::json::parse(text).map(Tainted::new)
+pub fn tainted_json(text: &str) -> Result<Tainted<Json>, IngestError> {
+    check_size(text.len())?;
+    enf_core::json::parse(text)
+        .map(Tainted::new)
+        .map_err(|detail| IngestError::Syntax { detail })
+}
+
+/// [`tainted_json`] on raw bytes — the wire-facing entry point. Size is
+/// checked before UTF-8 validation, UTF-8 before parsing; the first
+/// violated bound names the refusal.
+pub fn tainted_json_bytes(bytes: &[u8]) -> Result<Tainted<Json>, IngestError> {
+    check_size(bytes.len())?;
+    let text = std::str::from_utf8(bytes).map_err(|e| IngestError::NotUtf8 {
+        valid_up_to: e.valid_up_to(),
+    })?;
+    tainted_json(text)
 }
 
 /// Extracts a tainted input tuple from a tainted JSON array of integers.
 /// Taint-preserving: the document never leaves the wrapper.
-pub fn tuple_from_json(doc: &Tainted<Json>) -> Result<Tainted<Vec<V>>, String> {
-    let arr = doc
-        .peek()
-        .as_arr()
-        .ok_or_else(|| "expected a JSON array of integers".to_string())?;
+pub fn tuple_from_json(doc: &Tainted<Json>) -> Result<Tainted<Vec<V>>, IngestError> {
+    let arr = doc.peek().as_arr().ok_or(IngestError::NotAnArray)?;
+    if arr.len() > MAX_TUPLE_ARITY {
+        return Err(IngestError::TooManyElements {
+            limit: MAX_TUPLE_ARITY,
+            actual: arr.len(),
+        });
+    }
     let vals = arr
         .iter()
         .enumerate()
         .map(|(i, item)| {
             item.as_int()
                 .and_then(|n| V::try_from(n).ok())
-                .ok_or_else(|| format!("element {i} is not an integer input"))
+                .ok_or(IngestError::BadElement { index: i })
         })
-        .collect::<Result<Vec<V>, String>>()?;
+        .collect::<Result<Vec<V>, IngestError>>()?;
     Ok(Tainted::new(vals))
 }
 
 /// Parses a comma-separated input tuple (the CLI's `--input` syntax: an
 /// empty string is the empty tuple, elements may carry whitespace).
-pub fn tainted_csv(spec: &str) -> Result<Tainted<Vec<V>>, std::num::ParseIntError> {
-    let vals: Result<Vec<V>, _> = if spec.trim().is_empty() {
-        Ok(Vec::new())
-    } else {
-        spec.split(',').map(|p| p.trim().parse::<V>()).collect()
-    };
-    vals.map(Tainted::new)
+pub fn tainted_csv(spec: &str) -> Result<Tainted<Vec<V>>, IngestError> {
+    check_size(spec.len())?;
+    if spec.trim().is_empty() {
+        return Ok(Tainted::new(Vec::new()));
+    }
+    let mut vals = Vec::new();
+    for (i, part) in spec.split(',').enumerate() {
+        if vals.len() >= MAX_TUPLE_ARITY {
+            return Err(IngestError::TooManyElements {
+                limit: MAX_TUPLE_ARITY,
+                actual: spec.split(',').count(),
+            });
+        }
+        let v = part.trim().parse::<V>().map_err(|_| IngestError::Syntax {
+            detail: format!("element {i} is not an integer: {:?}", part.trim()),
+        })?;
+        vals.push(v);
+    }
+    Ok(Tainted::new(vals))
+}
+
+/// [`tainted_csv`] on raw bytes — the wire-facing entry point.
+pub fn tainted_csv_bytes(bytes: &[u8]) -> Result<Tainted<Vec<V>>, IngestError> {
+    check_size(bytes.len())?;
+    let text = std::str::from_utf8(bytes).map_err(|e| IngestError::NotUtf8 {
+        valid_up_to: e.valid_up_to(),
+    })?;
+    tainted_csv(text)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn csv_roundtrip() {
         assert_eq!(tainted_csv("3, 4").unwrap().arity(), 2);
         assert_eq!(tainted_csv("").unwrap().arity(), 0);
-        assert!(tainted_csv("3,x").is_err());
+        assert!(matches!(
+            tainted_csv("3,x"),
+            Err(IngestError::Syntax { .. })
+        ));
     }
 
     #[test]
@@ -67,8 +204,112 @@ mod tests {
     #[test]
     fn json_tuple_rejects_non_arrays_and_non_integers() {
         let doc = tainted_json("{\"a\":1}").unwrap();
-        assert!(tuple_from_json(&doc).is_err());
+        assert_eq!(tuple_from_json(&doc).unwrap_err(), IngestError::NotAnArray);
         let doc = tainted_json("[1, \"two\"]").unwrap();
-        assert!(tuple_from_json(&doc).unwrap_err().contains("element 1"));
+        assert_eq!(
+            tuple_from_json(&doc).unwrap_err(),
+            IngestError::BadElement { index: 1 }
+        );
+    }
+
+    #[test]
+    fn oversized_input_is_rejected_before_parsing() {
+        let big = "9".repeat(MAX_INGEST_BYTES + 1);
+        assert!(matches!(
+            tainted_csv(&big),
+            Err(IngestError::Oversized { .. })
+        ));
+        assert!(matches!(
+            tainted_json(&big),
+            Err(IngestError::Oversized { .. })
+        ));
+        assert!(matches!(
+            tainted_json_bytes(big.as_bytes()),
+            Err(IngestError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn non_utf8_bytes_are_refused_with_position() {
+        let bytes = [b'[', b'1', 0xFF, b']'];
+        assert_eq!(
+            tainted_json_bytes(&bytes).unwrap_err(),
+            IngestError::NotUtf8 { valid_up_to: 2 }
+        );
+        assert_eq!(
+            tainted_csv_bytes(&bytes).unwrap_err(),
+            IngestError::NotUtf8 { valid_up_to: 2 }
+        );
+    }
+
+    #[test]
+    fn huge_tuples_are_refused() {
+        let spec = vec!["1"; MAX_TUPLE_ARITY + 1].join(",");
+        assert!(matches!(
+            tainted_csv(&spec),
+            Err(IngestError::TooManyElements { .. })
+        ));
+        let json = format!("[{}]", vec!["1"; MAX_TUPLE_ARITY + 1].join(","));
+        let doc = tainted_json(&json).unwrap();
+        assert_eq!(
+            tuple_from_json(&doc).unwrap_err(),
+            IngestError::TooManyElements {
+                limit: MAX_TUPLE_ARITY,
+                actual: MAX_TUPLE_ARITY + 1
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_integers_are_bad_elements_not_panics() {
+        // i128 values outside V's range must refuse, not wrap or panic.
+        let doc = tainted_json("[99999999999999999999999999]");
+        // The hand-rolled parser may refuse at syntax level or the
+        // conversion at element level; either way it's a structured error.
+        match doc {
+            Ok(d) => assert!(tuple_from_json(&d).is_err()),
+            Err(e) => assert!(matches!(e, IngestError::Syntax { .. })),
+        }
+    }
+
+    proptest! {
+        /// Random byte soup: the wire-facing entry points must return a
+        /// structured error or a valid tainted value — never panic.
+        #[test]
+        fn byte_soup_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+            match tainted_json_bytes(&bytes) {
+                Ok(doc) => { let _ = tuple_from_json(&doc); }
+                Err(e) => { let _ = e.to_string(); }
+            }
+            match tainted_csv_bytes(&bytes) {
+                Ok(t) => prop_assert!(t.arity() <= MAX_TUPLE_ARITY),
+                Err(e) => { let _ = e.to_string(); }
+            }
+        }
+
+        /// Printable-garbage strings through the str entry points: same
+        /// contract, exercising the parser deeper than raw bytes (which
+        /// usually fail UTF-8 first).
+        #[test]
+        fn string_soup_never_panics(s in "\\PC*") {
+            match tainted_json(&s) {
+                Ok(doc) => { let _ = tuple_from_json(&doc); }
+                Err(e) => { let _ = e.to_string(); }
+            }
+            let _ = tainted_csv(&s);
+        }
+
+        /// Well-formed integer arrays round-trip: bytes → JSON → tuple
+        /// preserves every element (within V's range).
+        #[test]
+        fn integer_arrays_roundtrip(vals in proptest::collection::vec(any::<i32>(), 0..16)) {
+            let json = format!(
+                "[{}]",
+                vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+            );
+            let doc = tainted_json_bytes(json.as_bytes()).expect("valid json");
+            let tuple = tuple_from_json(&doc).expect("valid tuple");
+            prop_assert_eq!(tuple.arity(), vals.len());
+        }
     }
 }

@@ -92,7 +92,9 @@ pub use enforcer::{
     RunVerdict, ScheduledOutcome, SoundnessWarrant, SweepOutcome,
 };
 pub use evidence::Evidence;
-pub use ingest::{tainted_csv, tainted_json, tuple_from_json};
+pub use ingest::{
+    tainted_csv, tainted_csv_bytes, tainted_json, tainted_json_bytes, tuple_from_json, IngestError,
+};
 pub use sink::{Auditable, Sink};
 pub use tainted::Tainted;
 pub use verified::Verified;

@@ -1,0 +1,1116 @@
+//! The policy server: supervised workers, admission control, drain.
+//!
+//! One [`serve`] call runs the whole service: an accept loop feeding
+//! per-connection reader threads, a bounded job queue, and a pool of
+//! worker threads executing jobs under `catch_unwind`. The supervision
+//! tree is flat and explicit:
+//!
+//! ```text
+//! serve() ── accept thread ── connection threads (one per socket)
+//!    │                              │ admission: claim key → quota → queue
+//!    ├── worker pool  ◀── bounded ──┘
+//!    │     └─ catch_unwind per job; panic ⇒ quarantine + replace
+//!    └── supervisor loop: respawns dead workers until drain
+//! ```
+//!
+//! **Admission control.** A request is shed — with a retryable,
+//! `Retry-After`-carrying frame — when the job queue is full or its
+//! tenant is at quota. Shedding happens *before* any work; an admitted
+//! job always produces exactly one reply frame.
+//!
+//! **Crash recovery.** `check`/`refute` jobs sweep through
+//! [`Enforcer::sweep_checkpointed`] when the server has a state
+//! directory, keyed by [`check_salt`] so a checkpoint can never resume a
+//! different sweep. The engine writes its progress records into a scratch
+//! log; the tenant's durable trail records *only decisive verdicts*, so
+//! an interrupted-and-resumed job leaves exactly the records an
+//! uninterrupted run would have — crash recovery is audit-exact.
+//!
+//! **Degradation is observable.** [`ServerStats`] counts everything the
+//! service survived; [`ServerStats::degraded`] is the exit-code contract:
+//! a drain that replaced workers or hit internal faults exits 1, a clean
+//! drain exits 0.
+
+use crate::cache::{JobClaim, JobTable, VerdictCache};
+use crate::protocol::{
+    read_frame, reply_err, reply_ok, write_frame, ErrorKind, FrameError, Op, Request,
+};
+use crate::tenant::{lock, TenantStore};
+use enf_core::chaos::CHAOS_MARKER;
+use enf_core::{
+    try_check_soundness_with, Allow, CancelToken, EvalConfig, Grid, Identity, Json, MechOutput,
+    Program, SoundnessReport, Verdict,
+};
+use enf_flowchart::{ExecValue, Flowchart, FlowchartProgram};
+use enf_policy::{
+    check_salt, AuditLog, CertifyOutcome, Enforcer, PolicyError, Refusal, RunVerdict, Sink, Tainted,
+};
+use enf_static::certify::Analysis;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// How long a reader sleeps between polls while idle (and the shutdown
+/// reaction latency of an idle connection).
+const POLL_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Polls a mid-frame stall this many times before declaring the frame
+/// torn (≈5 s at [`POLL_TIMEOUT`]).
+const STALL_LIMIT: u32 = 200;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded job-queue depth; a full queue sheds.
+    pub queue: usize,
+    /// Per-tenant in-flight job quota; an over-quota tenant is shed.
+    pub tenant_quota: usize,
+    /// Durable state root (tenant audit trails + job checkpoints). `None`
+    /// keeps everything in memory.
+    pub state_dir: Option<PathBuf>,
+    /// Verdict-cache capacity (0 disables).
+    pub cache_capacity: usize,
+    /// Fuel bound applied when a request does not override it.
+    pub default_fuel: u64,
+    /// The `Retry-After` hint (milliseconds) attached to shed frames.
+    pub retry_after_ms: u64,
+    /// Honor chaos directives in requests (fault-injection testing only).
+    pub chaos: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: 4,
+            queue: 64,
+            tenant_quota: 8,
+            state_dir: None,
+            cache_capacity: 1024,
+            default_fuel: 10_000,
+            retry_after_ms: 25,
+            chaos: false,
+        }
+    }
+}
+
+/// Everything the service survived, reported at drain.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Successful replies sent (including replays and cache hits).
+    pub served: u64,
+    /// Requests shed by admission control (queue full or tenant quota).
+    pub shed: u64,
+    /// Malformed requests rejected with usage frames.
+    pub usage_errors: u64,
+    /// Internal faults reported to clients.
+    pub internal_errors: u64,
+    /// Worker panics contained by the supervisor.
+    pub quarantined: u64,
+    /// Replacement workers spawned after quarantines.
+    pub workers_replaced: u64,
+    /// Sweep verdicts answered from the content-addressed cache.
+    pub cache_hits: u64,
+    /// Check jobs resumed from an on-disk checkpoint.
+    pub resumed: u64,
+    /// Replies replayed for idempotent retries of completed jobs.
+    pub replayed: u64,
+}
+
+impl ServerStats {
+    /// Whether the service degraded during its life: it kept serving, but
+    /// only by containing faults. Drives the exit-code contract (0 clean,
+    /// 1 degraded).
+    pub fn degraded(&self) -> bool {
+        self.quarantined > 0 || self.internal_errors > 0
+    }
+
+    /// Renders the stats as a JSON document (the drain report).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("served".to_string(), Json::Int(i128::from(self.served))),
+            ("shed".to_string(), Json::Int(i128::from(self.shed))),
+            (
+                "usage_errors".to_string(),
+                Json::Int(i128::from(self.usage_errors)),
+            ),
+            (
+                "internal_errors".to_string(),
+                Json::Int(i128::from(self.internal_errors)),
+            ),
+            (
+                "quarantined".to_string(),
+                Json::Int(i128::from(self.quarantined)),
+            ),
+            (
+                "workers_replaced".to_string(),
+                Json::Int(i128::from(self.workers_replaced)),
+            ),
+            (
+                "cache_hits".to_string(),
+                Json::Int(i128::from(self.cache_hits)),
+            ),
+            ("resumed".to_string(), Json::Int(i128::from(self.resumed))),
+            ("replayed".to_string(), Json::Int(i128::from(self.replayed))),
+            ("degraded".to_string(), Json::Bool(self.degraded())),
+        ])
+    }
+}
+
+/// Live counters, aggregated into [`ServerStats`] at drain.
+#[derive(Default)]
+struct Counters {
+    served: AtomicU64,
+    shed: AtomicU64,
+    usage_errors: AtomicU64,
+    internal_errors: AtomicU64,
+    quarantined: AtomicU64,
+    workers_replaced: AtomicU64,
+    cache_hits: AtomicU64,
+    resumed: AtomicU64,
+    replayed: AtomicU64,
+}
+
+impl Counters {
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            served: self.served.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            usage_errors: self.usage_errors.load(Ordering::Relaxed),
+            internal_errors: self.internal_errors.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            workers_replaced: self.workers_replaced.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            resumed: self.resumed.load(Ordering::Relaxed),
+            replayed: self.replayed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A byte-stream connection the server can poll. Implemented for TCP and
+/// Unix-domain streams.
+pub trait Conn: Read + io::Write + Send {
+    /// Sets the read timeout used by the polling frame reader.
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        TcpStream::set_read_timeout(self, timeout)
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        UnixStream::set_read_timeout(self, timeout)
+    }
+}
+
+/// The server's transport listener: TCP or (on Unix) a domain socket.
+pub enum Listener {
+    /// A TCP listener.
+    Tcp(TcpListener),
+    /// A Unix-domain-socket listener.
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Binds a TCP listener.
+    pub fn bind_tcp(addr: impl ToSocketAddrs) -> io::Result<Listener> {
+        Ok(Listener::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// Binds a Unix-domain-socket listener, replacing a stale socket file.
+    #[cfg(unix)]
+    pub fn bind_unix(path: impl Into<PathBuf>) -> io::Result<Listener> {
+        let path = path.into();
+        let _ = std::fs::remove_file(&path);
+        Ok(Listener::Unix(UnixListener::bind(path)?))
+    }
+
+    /// The bound address, for logging.
+    pub fn local_addr_string(&self) -> String {
+        match self {
+            Listener::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "<unknown>".to_string()),
+            #[cfg(unix)]
+            Listener::Unix(l) => l
+                .local_addr()
+                .ok()
+                .and_then(|a| a.as_pathname().map(|p| p.display().to_string()))
+                .unwrap_or_else(|| "<unix>".to_string()),
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            #[cfg(unix)]
+            Listener::Unix(l) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn accept_conn(&self) -> io::Result<Box<dyn Conn>> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true).ok();
+                Ok(Box::new(s))
+            }
+            #[cfg(unix)]
+            Listener::Unix(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Box::new(s))
+            }
+        }
+    }
+}
+
+/// One admitted job: the request plus the channel its single reply frame
+/// travels back on.
+struct Job {
+    req: Request,
+    reply_tx: mpsc::Sender<Json>,
+}
+
+/// State shared by every thread of one server instance.
+struct Shared {
+    cfg: ServerConfig,
+    tenants: TenantStore,
+    cache: VerdictCache,
+    jobs: JobTable,
+    counters: Counters,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Runs the service until `shutdown` is raised, then drains: the accept
+/// loop stops, open connections finish their in-flight request, queued
+/// jobs complete, workers join. Returns the life's [`ServerStats`].
+pub fn serve(listener: Listener, cfg: ServerConfig, shutdown: Arc<AtomicBool>) -> ServerStats {
+    let shared = Arc::new(Shared {
+        tenants: TenantStore::new(cfg.state_dir.clone(), cfg.tenant_quota),
+        cache: VerdictCache::new(cfg.cache_capacity),
+        jobs: JobTable::new(),
+        counters: Counters::default(),
+        shutdown: Arc::clone(&shutdown),
+        cfg,
+    });
+    let (job_tx, job_rx) = mpsc::sync_channel::<Job>(shared.cfg.queue.max(1));
+    let job_rx = Arc::new(Mutex::new(job_rx));
+    let (death_tx, death_rx) = mpsc::channel::<()>();
+
+    let mut workers = Vec::new();
+    for i in 0..shared.cfg.workers.max(1) {
+        if let Some(h) = spawn_worker(i, &shared, &job_rx, &death_tx) {
+            workers.push(h);
+        } else {
+            Counters::bump(&shared.counters.internal_errors);
+        }
+    }
+
+    // Accept loop: nonblocking polls so the shutdown flag is honored.
+    let conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let conn_threads = Arc::clone(&conn_threads);
+        thread::Builder::new()
+            .name("enf-serve-accept".to_string())
+            .spawn(move || {
+                if listener.set_nonblocking(true).is_err() {
+                    Counters::bump(&shared.counters.internal_errors);
+                    return;
+                }
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    match listener.accept_conn() {
+                        Ok(conn) => {
+                            let conn_shared = Arc::clone(&shared);
+                            let job_tx = job_tx.clone();
+                            let spawned = thread::Builder::new()
+                                .name("enf-serve-conn".to_string())
+                                .spawn(move || handle_conn(conn, &conn_shared, &job_tx));
+                            match spawned {
+                                Ok(h) => lock(&conn_threads).push(h),
+                                Err(_) => Counters::bump(&shared.counters.internal_errors),
+                            }
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(_) => thread::sleep(Duration::from_millis(5)),
+                    }
+                }
+                // job_tx (the last non-connection sender) drops here.
+            })
+            .ok()
+    };
+
+    // Supervisor: replace quarantined workers until drain begins.
+    while !shutdown.load(Ordering::SeqCst) {
+        match death_rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(()) => {
+                Counters::bump(&shared.counters.workers_replaced);
+                let idx = workers.len();
+                if let Some(h) = spawn_worker(idx, &shared, &job_rx, &death_tx) {
+                    workers.push(h);
+                } else {
+                    Counters::bump(&shared.counters.internal_errors);
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+
+    // Drain: acceptor exits (dropping its job_tx), connections finish and
+    // drop theirs, the closed channel retires the workers.
+    if let Some(h) = acceptor {
+        let _ = h.join();
+    }
+    loop {
+        let h = lock(&conn_threads).pop();
+        match h {
+            Some(h) => {
+                let _ = h.join();
+            }
+            None => break,
+        }
+    }
+    for h in workers {
+        let _ = h.join();
+    }
+    shared.counters.snapshot()
+}
+
+fn spawn_worker(
+    index: usize,
+    shared: &Arc<Shared>,
+    job_rx: &Arc<Mutex<Receiver<Job>>>,
+    death_tx: &mpsc::Sender<()>,
+) -> Option<thread::JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    let job_rx = Arc::clone(job_rx);
+    let death_tx = death_tx.clone();
+    thread::Builder::new()
+        .name(format!("enf-serve-worker-{index}"))
+        .spawn(move || loop {
+            // Hold the receiver lock only for the dequeue itself.
+            let job = {
+                let rx = lock(&job_rx);
+                rx.recv()
+            };
+            let Ok(job) = job else {
+                return; // queue closed: drain complete
+            };
+            let key = job.req.job_key();
+            let tenant = job.req.tenant.clone();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute(&shared, &job.req)
+            }));
+            shared.tenants.release(&tenant);
+            match outcome {
+                Ok(reply) => {
+                    if is_terminal(&reply) {
+                        shared.jobs.complete(&tenant, &key, reply.clone());
+                    } else {
+                        shared.jobs.abort(&tenant, &key);
+                    }
+                    let _ = job.reply_tx.send(reply);
+                }
+                Err(_) => {
+                    // Quarantine: this worker retires; the supervisor
+                    // spawns a replacement. The claim is released so a
+                    // retry can re-run the job.
+                    Counters::bump(&shared.counters.quarantined);
+                    shared.jobs.abort(&tenant, &key);
+                    let reply = reply_err(
+                        &key,
+                        ErrorKind::Panicked,
+                        "worker panicked mid-job; it was quarantined and replaced",
+                        Some(shared.cfg.retry_after_ms),
+                    );
+                    let _ = job.reply_tx.send(reply);
+                    let _ = death_tx.send(());
+                    return;
+                }
+            }
+        })
+        .ok()
+}
+
+/// Whether a reply should be recorded for idempotent replay. Partial
+/// (`unknown`) sweeps stay claimable so a resubmission resumes from the
+/// checkpoint instead of replaying the partial answer.
+fn is_terminal(reply: &Json) -> bool {
+    if !crate::protocol::reply_is_ok(reply) {
+        return false;
+    }
+    !matches!(reply.get("verdict").and_then(Json::as_str), Some("unknown"))
+}
+
+/// One connection: read frames, admit, forward replies, until EOF, a torn
+/// frame, or drain.
+fn handle_conn(mut conn: Box<dyn Conn>, shared: &Shared, job_tx: &SyncSender<Job>) {
+    if conn.set_read_timeout(Some(POLL_TIMEOUT)).is_err() {
+        return;
+    }
+    loop {
+        match read_frame_polled(&mut *conn, &shared.shutdown) {
+            Ok(Some(doc)) => {
+                let reply = dispatch(shared, job_tx, &doc);
+                if write_frame(&mut conn, &reply).is_err() {
+                    return;
+                }
+            }
+            Ok(None) => return, // clean EOF, or idle at drain
+            Err(_) => return,   // torn frame: sever, client retries
+        }
+    }
+}
+
+/// Admission control and routing for one request frame. Always returns
+/// exactly one reply document.
+fn dispatch(shared: &Shared, job_tx: &SyncSender<Job>, doc: &Json) -> Json {
+    let req = match Request::from_json(doc) {
+        Ok(req) => req,
+        Err(detail) => {
+            Counters::bump(&shared.counters.usage_errors);
+            return reply_err("", ErrorKind::Usage, &detail, None);
+        }
+    };
+    let key = req.job_key();
+    let draining = shared.shutdown.load(Ordering::SeqCst);
+    if req.op == Op::Ping {
+        Counters::bump(&shared.counters.served);
+        return reply_ok(
+            &key,
+            vec![
+                ("pong".to_string(), Json::Bool(true)),
+                ("draining".to_string(), Json::Bool(draining)),
+            ],
+        );
+    }
+    if draining {
+        return reply_err(
+            &key,
+            ErrorKind::Draining,
+            "server is draining for shutdown",
+            Some(shared.cfg.retry_after_ms),
+        );
+    }
+    match shared.jobs.claim(&req.tenant, &key) {
+        JobClaim::Done(reply) => {
+            Counters::bump(&shared.counters.replayed);
+            Counters::bump(&shared.counters.served);
+            return mark_replayed(reply);
+        }
+        JobClaim::Running => {
+            return reply_err(
+                &key,
+                ErrorKind::InProgress,
+                "job is already running under this key",
+                Some(shared.cfg.retry_after_ms),
+            );
+        }
+        JobClaim::Fresh => {}
+    }
+    match shared.tenants.try_admit(&req.tenant) {
+        Ok(true) => {}
+        Ok(false) => {
+            shared.jobs.abort(&req.tenant, &key);
+            Counters::bump(&shared.counters.shed);
+            return reply_err(
+                &key,
+                ErrorKind::Overloaded,
+                "tenant is over its in-flight quota",
+                Some(shared.cfg.retry_after_ms),
+            );
+        }
+        Err(e) => {
+            shared.jobs.abort(&req.tenant, &key);
+            Counters::bump(&shared.counters.internal_errors);
+            return reply_err(&key, ErrorKind::Internal, &e.to_string(), None);
+        }
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let tenant = req.tenant.clone();
+    match job_tx.try_send(Job { req, reply_tx }) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            shared.tenants.release(&tenant);
+            shared.jobs.abort(&tenant, &key);
+            Counters::bump(&shared.counters.shed);
+            return reply_err(
+                &key,
+                ErrorKind::Overloaded,
+                "job queue is full",
+                Some(shared.cfg.retry_after_ms),
+            );
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.tenants.release(&tenant);
+            shared.jobs.abort(&tenant, &key);
+            return reply_err(
+                &key,
+                ErrorKind::Draining,
+                "server is draining for shutdown",
+                Some(shared.cfg.retry_after_ms),
+            );
+        }
+    }
+    match reply_rx.recv() {
+        Ok(reply) => {
+            if crate::protocol::reply_is_ok(&reply) {
+                Counters::bump(&shared.counters.served);
+            }
+            reply
+        }
+        Err(_) => {
+            Counters::bump(&shared.counters.internal_errors);
+            reply_err(
+                &key,
+                ErrorKind::Internal,
+                "worker reply channel broke",
+                None,
+            )
+        }
+    }
+}
+
+fn mark_replayed(reply: Json) -> Json {
+    match reply {
+        Json::Obj(mut fields) => {
+            fields.push(("replayed".to_string(), Json::Bool(true)));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
+}
+
+/// Executes one admitted job on a worker thread. Runs under
+/// `catch_unwind`; a panic here quarantines the worker.
+fn execute(shared: &Shared, req: &Request) -> Json {
+    if shared.cfg.chaos && req.chaos.as_deref() == Some("panic") {
+        panic!("{CHAOS_MARKER}: chaos directive killed this worker mid-job");
+    }
+    let key = req.job_key();
+    let fuel = if req.fuel > 0 {
+        req.fuel
+    } else {
+        shared.cfg.default_fuel
+    };
+    let fc = match enf_flowchart::parse(&req.program) {
+        Ok(fc) => fc,
+        Err(e) => {
+            Counters::bump(&shared.counters.usage_errors);
+            return reply_err(&key, ErrorKind::Usage, &format!("parse error: {e}"), None);
+        }
+    };
+    // `refute` hunts for a leak witness against the *unprotected* program
+    // (the identity mechanism over the raw flowchart); every other op goes
+    // through the enforcer's monitor, whose refusals are the point.
+    if req.op == Op::Refute {
+        return run_refute(shared, req, &key, fc, fuel);
+    }
+    let enforcer = match Enforcer::new(fc, req.allow) {
+        Ok(e) => e.with_fuel(fuel),
+        Err(e) => {
+            Counters::bump(&shared.counters.usage_errors);
+            return reply_err(&key, ErrorKind::Usage, &e.to_string(), None);
+        }
+    };
+    match req.op {
+        Op::Ping => reply_ok(&key, vec![("pong".to_string(), Json::Bool(true))]),
+        Op::Surveil => run_surveil(shared, req, &key, &enforcer),
+        Op::Certify => run_certify(shared, req, &key, &enforcer),
+        // `Refute` returned above; only plain checks reach this arm.
+        Op::Check | Op::Refute => run_sweep(shared, req, &key, &enforcer, fuel),
+    }
+}
+
+fn policy_reply(shared: &Shared, key: &str, e: PolicyError) -> Json {
+    match e {
+        PolicyError::Usage(detail) => {
+            Counters::bump(&shared.counters.usage_errors);
+            reply_err(key, ErrorKind::Usage, &detail, None)
+        }
+        PolicyError::Engine(err) => {
+            Counters::bump(&shared.counters.internal_errors);
+            reply_err(key, ErrorKind::Internal, &err.to_string(), None)
+        }
+    }
+}
+
+fn indexset_str(set: &enf_core::IndexSet) -> String {
+    set.iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// One monitored run, released through the tenant's capability sink.
+fn run_surveil(shared: &Shared, req: &Request, key: &str, enforcer: &Enforcer) -> Json {
+    let tenant = match shared.tenants.get(&req.tenant) {
+        Ok(t) => t,
+        Err(e) => return policy_reply(shared, key, e),
+    };
+    let mut t = lock(&tenant);
+    let input = Tainted::new(req.input.clone());
+    let verdict = match enforcer.surveil(input, &mut t.log) {
+        Ok(v) => v,
+        Err(e) => return policy_reply(shared, key, e),
+    };
+    match verdict {
+        RunVerdict::Released(v) => {
+            let cap = match t.take_capability(&format!("serve:{}", req.tenant)) {
+                Ok(cap) => cap,
+                Err(e) => return policy_reply(shared, key, e),
+            };
+            let mut sink = Sink::new(cap, &mut t.log);
+            let released = sink.release(v);
+            let cap = sink.into_capability();
+            t.cap = Some(cap);
+            match released {
+                Ok(value) => reply_ok(
+                    key,
+                    vec![
+                        ("verdict".to_string(), Json::Str("released".to_string())),
+                        ("value".to_string(), Json::Int(i128::from(value))),
+                    ],
+                ),
+                Err(e) => {
+                    Counters::bump(&shared.counters.internal_errors);
+                    reply_err(key, ErrorKind::Internal, &e.to_string(), None)
+                }
+            }
+        }
+        RunVerdict::Refused(Refusal::Violation {
+            site,
+            taint,
+            disallowed,
+            steps,
+        }) => reply_ok(
+            key,
+            vec![
+                ("verdict".to_string(), Json::Str("refused".to_string())),
+                ("reason".to_string(), Json::Str("violation".to_string())),
+                ("site".to_string(), Json::Str(format!("{site:?}"))),
+                ("taint".to_string(), Json::Str(indexset_str(&taint))),
+                (
+                    "disallowed".to_string(),
+                    Json::Str(indexset_str(&disallowed)),
+                ),
+                ("steps".to_string(), Json::Int(i128::from(steps))),
+            ],
+        ),
+        RunVerdict::Refused(Refusal::OutOfFuel { fuel }) => reply_ok(
+            key,
+            vec![
+                ("verdict".to_string(), Json::Str("refused".to_string())),
+                ("reason".to_string(), Json::Str("out_of_fuel".to_string())),
+                ("fuel".to_string(), Json::Int(i128::from(fuel))),
+            ],
+        ),
+    }
+}
+
+/// Static certification; a certified program with an input also runs it
+/// natively and releases the attested result.
+fn run_certify(shared: &Shared, req: &Request, key: &str, enforcer: &Enforcer) -> Json {
+    let tenant = match shared.tenants.get(&req.tenant) {
+        Ok(t) => t,
+        Err(e) => return policy_reply(shared, key, e),
+    };
+    let mut t = lock(&tenant);
+    let outcome = match enforcer.certify(Analysis::Surveillance, &mut t.log) {
+        Ok(o) => o,
+        Err(e) => return policy_reply(shared, key, e),
+    };
+    match outcome {
+        CertifyOutcome::Certified(cert) => {
+            let mut fields = vec![("verdict".to_string(), Json::Str("certified".to_string()))];
+            if !req.input.is_empty() {
+                let run = cert.run(Tainted::new(req.input.clone()), &mut t.log);
+                let verified = match run {
+                    Ok(v) => v,
+                    Err(e) => return policy_reply(shared, key, e),
+                };
+                let cap = match t.take_capability(&format!("serve:{}", req.tenant)) {
+                    Ok(cap) => cap,
+                    Err(e) => return policy_reply(shared, key, e),
+                };
+                let mut sink = Sink::new(cap, &mut t.log);
+                let released = sink.release(verified);
+                let cap = sink.into_capability();
+                t.cap = Some(cap);
+                match released {
+                    Ok(value) => {
+                        fields.push(("value".to_string(), Json::Str(value.to_string())));
+                    }
+                    Err(e) => {
+                        Counters::bump(&shared.counters.internal_errors);
+                        return reply_err(key, ErrorKind::Internal, &e.to_string(), None);
+                    }
+                }
+            }
+            reply_ok(key, fields)
+        }
+        CertifyOutcome::Rejected { taint } => reply_ok(
+            key,
+            vec![
+                ("verdict".to_string(), Json::Str("rejected".to_string())),
+                ("taint".to_string(), Json::Str(indexset_str(&taint))),
+            ],
+        ),
+    }
+}
+
+/// An exhaustive sweep: cache-checked, checkpoint-recoverable, and
+/// audit-exact — the tenant trail records only decisive verdicts.
+fn run_sweep(shared: &Shared, req: &Request, key: &str, enforcer: &Enforcer, fuel: u64) -> Json {
+    let salt = check_salt(&req.program, req.allow, req.span, fuel, false);
+    if let Some(cached) = shared.cache.lookup(salt) {
+        Counters::bump(&shared.counters.cache_hits);
+        return cached_reply(key, &cached);
+    }
+    // Touch the namespace first so the tenant directory exists for
+    // checkpoints, and so a fresh tenant's trail starts at its genesis.
+    let tenant = match shared.tenants.get(&req.tenant) {
+        Ok(t) => t,
+        Err(e) => return policy_reply(shared, key, e),
+    };
+    let mut ctl = CancelToken::new();
+    if let Some(ms) = req.deadline_ms {
+        ctl = ctl.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(budget) = req.budget {
+        ctl = ctl.with_index_limit(budget);
+    }
+    let eval = EvalConfig::new();
+    let ckpt = shared.tenants.checkpoint_path(&req.tenant, salt);
+    let resume = ckpt.clone().filter(|p| p.exists());
+    let resumed = resume.is_some();
+    if resumed {
+        Counters::bump(&shared.counters.resumed);
+    }
+    // Engine progress records go to a scratch log; only the decisive
+    // verdict is recorded on the tenant's durable trail below. This is
+    // what makes an interrupted-and-resumed job audit-exact.
+    let mut scratch = AuditLog::in_memory();
+    let outcome = if ckpt.is_some() {
+        enforcer.sweep_checkpointed(
+            req.span,
+            &eval,
+            &ctl,
+            salt,
+            req.block,
+            resume.as_deref(),
+            ckpt.as_deref(),
+            &mut scratch,
+        )
+    } else {
+        enforcer.sweep(req.span, &eval, &ctl, &mut scratch)
+    };
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => return policy_reply(shared, key, e),
+    };
+    let (checked, total, verdict) = (outcome.checked(), outcome.total(), outcome.verdict());
+    let tag = verdict.tag().to_string();
+    if matches!(verdict, Verdict::Confirmed | Verdict::Refuted) {
+        if let Some(p) = &ckpt {
+            let _ = std::fs::remove_file(p);
+        }
+        let note = format!(
+            "serve sweep salt={salt:016x} span={} verdict={tag} total={total}",
+            req.span
+        );
+        let mut t = lock(&tenant);
+        if let Err(e) = t.log.note(&note) {
+            Counters::bump(&shared.counters.internal_errors);
+            return reply_err(key, ErrorKind::Internal, &e.to_string(), None);
+        }
+        shared.cache.insert(
+            salt,
+            Json::Obj(vec![
+                ("verdict".to_string(), Json::Str(tag.clone())),
+                ("checked".to_string(), Json::Int(checked as i128)),
+                ("total".to_string(), Json::Int(total as i128)),
+            ]),
+        );
+    }
+    reply_ok(
+        key,
+        vec![
+            ("verdict".to_string(), Json::Str(tag)),
+            ("checked".to_string(), Json::Int(checked as i128)),
+            ("total".to_string(), Json::Int(total as i128)),
+            ("cached".to_string(), Json::Bool(false)),
+            ("resumed".to_string(), Json::Bool(resumed)),
+        ],
+    )
+}
+
+/// Witness search against the *unprotected* program.
+///
+/// `check` asks whether the surveillance monitor is a sound mechanism — a
+/// monitor that consistently refuses a leaky run is sound, so a leaky
+/// program under a good monitor still confirms. `refute` asks the prior
+/// question: does the raw program leak at all? It sweeps the identity
+/// mechanism over the bare flowchart, so a leak surfaces as the paper's
+/// unsoundness witness — two inputs the policy view cannot distinguish
+/// whose outputs differ — which is reported back to the caller.
+fn run_refute(shared: &Shared, req: &Request, key: &str, fc: Flowchart, fuel: u64) -> Json {
+    // Distinct cache domain from `check`: the two ops sweep different
+    // mechanisms over the same (program, allow, span, fuel) tuple.
+    let salt = check_salt(&req.program, req.allow, req.span, fuel, false) ^ 0x7265_6675_7465_7221; // "refute!"
+    if let Some(cached) = shared.cache.lookup(salt) {
+        Counters::bump(&shared.counters.cache_hits);
+        return cached_reply(key, &cached);
+    }
+    let program = FlowchartProgram::with_fuel(fc, fuel);
+    let arity = program.arity();
+    if let Some(bad) = req.allow.iter().find(|&i| i == 0 || i > arity) {
+        Counters::bump(&shared.counters.usage_errors);
+        return reply_err(
+            key,
+            ErrorKind::Usage,
+            &format!("allow index {bad} out of range for arity {arity}"),
+            None,
+        );
+    }
+    let tenant = match shared.tenants.get(&req.tenant) {
+        Ok(t) => t,
+        Err(e) => return policy_reply(shared, key, e),
+    };
+    let policy = Allow::from_set(arity, req.allow);
+    let grid = Grid::hypercube(arity, -req.span..=req.span);
+    let mut ctl = CancelToken::new();
+    if let Some(ms) = req.deadline_ms {
+        ctl = ctl.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(budget) = req.budget {
+        ctl = ctl.with_index_limit(budget);
+    }
+    let cov = match try_check_soundness_with(
+        &Identity::new(program),
+        &policy,
+        &grid,
+        false,
+        &EvalConfig::new(),
+        &ctl,
+    ) {
+        Ok(c) => c,
+        Err(e) => {
+            Counters::bump(&shared.counters.internal_errors);
+            return reply_err(key, ErrorKind::Internal, &e.to_string(), None);
+        }
+    };
+    let tag = cov.verdict.tag().to_string();
+    let mut fields = vec![
+        ("verdict".to_string(), Json::Str(tag.clone())),
+        ("checked".to_string(), Json::Int(cov.checked as i128)),
+        ("total".to_string(), Json::Int(cov.total as i128)),
+        (
+            "leak".to_string(),
+            Json::Bool(cov.verdict == Verdict::Refuted),
+        ),
+    ];
+    if let Some(SoundnessReport::Unsound(w)) = &cov.report {
+        fields.push(("witness_a".to_string(), int_array(&w.a)));
+        fields.push(("witness_b".to_string(), int_array(&w.b)));
+        fields.push(("out_a".to_string(), Json::Str(mech_out_str(&w.out_a))));
+        fields.push(("out_b".to_string(), Json::Str(mech_out_str(&w.out_b))));
+    }
+    if matches!(cov.verdict, Verdict::Confirmed | Verdict::Refuted) {
+        let note = format!(
+            "serve refute salt={salt:016x} span={} verdict={tag} total={}",
+            req.span, cov.total
+        );
+        let mut t = lock(&tenant);
+        if let Err(e) = t.log.note(&note) {
+            Counters::bump(&shared.counters.internal_errors);
+            return reply_err(key, ErrorKind::Internal, &e.to_string(), None);
+        }
+        shared.cache.insert(salt, Json::Obj(fields.clone()));
+    }
+    fields.push(("cached".to_string(), Json::Bool(false)));
+    fields.push(("resumed".to_string(), Json::Bool(false)));
+    reply_ok(key, fields)
+}
+
+fn int_array(values: &[enf_core::V]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::Int(i128::from(v))).collect())
+}
+
+fn mech_out_str(out: &MechOutput<ExecValue>) -> String {
+    match out {
+        MechOutput::Value(v) => v.to_string(),
+        MechOutput::Violation(_) => "violation".to_string(),
+    }
+}
+
+/// Rebuilds a reply from a cached verdict document: the stored decisive
+/// fields, restamped `cached: true`.
+fn cached_reply(key: &str, cached: &Json) -> Json {
+    let mut fields = match cached {
+        Json::Obj(f) => f.clone(),
+        other => vec![("verdict".to_string(), other.clone())],
+    };
+    fields.push(("cached".to_string(), Json::Bool(true)));
+    fields.push(("resumed".to_string(), Json::Bool(false)));
+    reply_ok(key, fields)
+}
+
+/// [`read_frame`] over a polling socket: idle timeouts are polls (so the
+/// shutdown flag is honored between frames), but a frame, once begun, is
+/// given [`STALL_LIMIT`] polls to arrive whole before being declared torn.
+fn read_frame_polled(
+    conn: &mut dyn Conn,
+    shutdown: &AtomicBool,
+) -> Result<Option<Json>, FrameError> {
+    match read_framed_bytes(conn, shutdown)? {
+        Some(framed) => read_frame(&mut io::Cursor::new(framed)),
+        None => Ok(None),
+    }
+}
+
+/// Reads one whole frame's raw bytes (length prefix included) with the
+/// same polling discipline as `read_frame_polled`. The chaos proxy uses
+/// this to forward or mutilate frames byte-exactly.
+pub fn read_framed_bytes(
+    conn: &mut dyn Conn,
+    shutdown: &AtomicBool,
+) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut buffered: Vec<u8> = Vec::new();
+    let mut len_buf = [0u8; 4];
+    // Phase 1: the length prefix. Zero bytes so far means an idle
+    // connection; shutdown aborts it cleanly.
+    let mut filled = 0usize;
+    let mut stalls = 0u32;
+    while filled < 4 {
+        match conn.read(&mut len_buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 {
+                    Ok(None)
+                } else {
+                    Err(FrameError::Truncated)
+                };
+            }
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if filled == 0 {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return Ok(None);
+                    }
+                } else {
+                    stalls += 1;
+                    if stalls > STALL_LIMIT {
+                        return Err(FrameError::Truncated);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let declared = u32::from_be_bytes(len_buf) as usize;
+    if declared > crate::protocol::MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized { declared });
+    }
+    // Phase 2: the payload. The frame has begun; stalls are bounded.
+    buffered.resize(declared, 0);
+    let mut filled = 0usize;
+    let mut stalls = 0u32;
+    while filled < declared {
+        match conn.read(&mut buffered[filled..]) {
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                stalls += 1;
+                if stalls > STALL_LIMIT {
+                    return Err(FrameError::Truncated);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let mut framed = Vec::with_capacity(4 + declared);
+    framed.extend_from_slice(&len_buf);
+    framed.extend_from_slice(&buffered);
+    Ok(Some(framed))
+}
+
+/// A spawned in-process server, for tests, benches, and the CLI.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: thread::JoinHandle<ServerStats>,
+}
+
+impl ServerHandle {
+    /// Binds `127.0.0.1:0` and runs [`serve`] on a background thread.
+    pub fn spawn(cfg: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&shutdown);
+        let thread = thread::Builder::new()
+            .name("enf-serve-main".to_string())
+            .spawn(move || serve(Listener::Tcp(listener), cfg, flag))?;
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            thread,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shutdown flag (shared with the running server).
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Raises the shutdown flag, waits for the drain, and returns the
+    /// life's stats.
+    pub fn stop(self) -> ServerStats {
+        self.shutdown.store(true, Ordering::SeqCst);
+        match self.thread.join() {
+            Ok(stats) => stats,
+            Err(_) => ServerStats {
+                internal_errors: 1,
+                ..ServerStats::default()
+            },
+        }
+    }
+}

@@ -1,0 +1,420 @@
+//! End-to-end service tests: supervision, admission, idempotency,
+//! checkpoint recovery, and drain — all over real sockets.
+
+use enf_core::Json;
+use enf_serve::{parse_allow, Client, ClientConfig, Op, Request, ServerConfig, ServerHandle};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A program that releases only its first input: sound for allow {1}.
+const SOUND: &str = "program(2) { y := x1 * 2; }";
+/// A program that releases its second input: a leak for allow {1}.
+const LEAKY: &str = "program(2) { y := x2; }";
+/// A program that never halts: every run exhausts the fuel bound.
+const DIVERGING: &str = "program(2) { while true { y := y + 1; } }";
+
+fn quick_client(addr: &str) -> Client {
+    Client::with_config(
+        addr,
+        ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            io_timeout: Duration::from_secs(5),
+            max_attempts: 6,
+            base_backoff_ms: 2,
+            max_backoff_ms: 50,
+            seed: 42,
+        },
+    )
+}
+
+fn base_request(op: Op, program: &str) -> Request {
+    Request {
+        op,
+        tenant: "default".to_string(),
+        job: String::new(),
+        program: program.to_string(),
+        allow: parse_allow("1").unwrap(),
+        input: vec![],
+        span: 2,
+        deadline_ms: None,
+        budget: None,
+        block: 64,
+        fuel: 0,
+        chaos: None,
+    }
+}
+
+fn str_field<'a>(doc: &'a Json, name: &str) -> &'a str {
+    doc.get(name).and_then(Json::as_str).unwrap_or("")
+}
+
+fn int_field(doc: &Json, name: &str) -> i128 {
+    doc.get(name).and_then(Json::as_int).unwrap_or(-1)
+}
+
+/// One request, one reply, no retries: a raw frame exchange over a fresh
+/// connection, for observing retryable error frames a retrying [`Client`]
+/// would consume.
+fn raw_exchange(addr: &str, req: &Request) -> Json {
+    let mut conn = std::net::TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    enf_serve::write_frame(&mut conn, &req.to_json()).unwrap();
+    enf_serve::read_frame(&mut conn).unwrap().unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "enf-serve-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn ping_surveil_certify_end_to_end() {
+    let server = ServerHandle::spawn(ServerConfig::default()).unwrap();
+    let client = quick_client(&server.addr().to_string());
+
+    let pong = client.request(&base_request(Op::Ping, "")).unwrap();
+    assert!(enf_serve::reply_is_ok(&pong));
+
+    // A monitored run that releases.
+    let mut ok = base_request(Op::Surveil, SOUND);
+    ok.input = vec![21, 999];
+    let reply = client.request(&ok).unwrap();
+    assert_eq!(str_field(&reply, "verdict"), "released");
+    assert_eq!(int_field(&reply, "value"), 42);
+
+    // A monitored run that refuses: x2 flows to y but only x1 is allowed.
+    let mut bad = base_request(Op::Surveil, LEAKY);
+    bad.input = vec![1, 7];
+    let reply = client.request(&bad).unwrap();
+    assert_eq!(str_field(&reply, "verdict"), "refused");
+    assert_eq!(str_field(&reply, "reason"), "violation");
+    assert_eq!(str_field(&reply, "disallowed"), "2");
+
+    // Static certification, certified side and rejected side.
+    let mut cert = base_request(Op::Certify, SOUND);
+    cert.input = vec![10, 0];
+    let reply = client.request(&cert).unwrap();
+    assert_eq!(str_field(&reply, "verdict"), "certified");
+    assert_eq!(str_field(&reply, "value"), "20");
+    let reply = client.request(&base_request(Op::Certify, LEAKY)).unwrap();
+    assert_eq!(str_field(&reply, "verdict"), "rejected");
+
+    let stats = server.stop();
+    assert!(!stats.degraded(), "clean life: {stats:?}");
+    assert!(stats.served >= 5);
+}
+
+#[test]
+fn check_and_refute_report_verdicts_and_cache() {
+    let server = ServerHandle::spawn(ServerConfig::default()).unwrap();
+    let client = quick_client(&server.addr().to_string());
+
+    // Same sweep under two distinct job keys: the second is a cache hit.
+    let mut first = base_request(Op::Check, SOUND);
+    first.job = "job-a".to_string();
+    let reply = client.request(&first).unwrap();
+    assert_eq!(str_field(&reply, "verdict"), "confirmed");
+    assert_eq!(reply.get("cached"), Some(&Json::Bool(false)));
+    let total = int_field(&reply, "total");
+    assert_eq!(total, 25, "span 2, arity 2: 5^2 inputs");
+
+    let mut second = base_request(Op::Check, SOUND);
+    second.job = "job-b".to_string();
+    let reply = client.request(&second).unwrap();
+    assert_eq!(str_field(&reply, "verdict"), "confirmed");
+    assert_eq!(reply.get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(int_field(&reply, "total"), total);
+
+    // The refuter's view of a leaky program: a witness pair with equal
+    // policy views and distinguishable outputs.
+    let reply = client.request(&base_request(Op::Refute, LEAKY)).unwrap();
+    assert_eq!(str_field(&reply, "verdict"), "refuted");
+    assert_eq!(reply.get("leak"), Some(&Json::Bool(true)));
+    let a = reply.get("witness_a").and_then(Json::as_arr).unwrap();
+    let b = reply.get("witness_b").and_then(Json::as_arr).unwrap();
+    assert_eq!(a[0], b[0], "witness pair agrees on the allowed input");
+    assert_ne!(a[1], b[1], "and differs on the disallowed one");
+    assert_ne!(str_field(&reply, "out_a"), str_field(&reply, "out_b"));
+
+    // The refuter's view of a sound program: no witness exists.
+    let reply = client.request(&base_request(Op::Refute, SOUND)).unwrap();
+    assert_eq!(str_field(&reply, "verdict"), "confirmed");
+    assert_eq!(reply.get("leak"), Some(&Json::Bool(false)));
+
+    let stats = server.stop();
+    assert_eq!(stats.cache_hits, 1);
+    assert!(!stats.degraded());
+}
+
+#[test]
+fn idempotent_retry_replays_without_rerunning() {
+    let state = temp_dir("replay");
+    let server = ServerHandle::spawn(ServerConfig {
+        state_dir: Some(state.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let client = quick_client(&server.addr().to_string());
+
+    let mut req = base_request(Op::Surveil, SOUND);
+    req.tenant = "acme".to_string();
+    req.job = "release-once".to_string();
+    req.input = vec![5, 0];
+    let first = client.request(&req).unwrap();
+    assert_eq!(int_field(&first, "value"), 10);
+
+    let audit_path = state.join("acme").join("audit.log");
+    let trail_after_first = std::fs::read_to_string(&audit_path).unwrap();
+
+    // The blind retry replays the recorded reply; the audit trail gains
+    // no records — the release happened exactly once.
+    let second = client.request(&req).unwrap();
+    assert_eq!(int_field(&second, "value"), 10);
+    assert_eq!(second.get("replayed"), Some(&Json::Bool(true)));
+    let trail_after_second = std::fs::read_to_string(&audit_path).unwrap();
+    assert_eq!(trail_after_first, trail_after_second);
+
+    let stats = server.stop();
+    assert_eq!(stats.replayed, 1);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn panicking_worker_is_quarantined_and_replaced() {
+    let server = ServerHandle::spawn(ServerConfig {
+        workers: 2,
+        chaos: true,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    // One raw attempt (no retries): the chaos directive kills the worker
+    // and the caller still gets a structured, retryable frame.
+    let mut kill = base_request(Op::Check, SOUND);
+    kill.chaos = Some("panic".to_string());
+    let reply = raw_exchange(&addr, &kill);
+    assert!(!enf_serve::reply_is_ok(&reply));
+    assert_eq!(str_field(&reply, "error"), "panicked");
+    assert_eq!(reply.get("retryable"), Some(&Json::Bool(true)));
+
+    // The pool was repaired: the same sweep (no directive) still runs.
+    let client = quick_client(&addr);
+    let reply = client.request(&base_request(Op::Check, SOUND)).unwrap();
+    assert_eq!(str_field(&reply, "verdict"), "confirmed");
+
+    let stats = server.stop();
+    assert_eq!(stats.quarantined, 1);
+    assert!(stats.workers_replaced >= 1);
+    assert!(stats.degraded(), "a quarantine is a degraded life");
+}
+
+#[test]
+fn overload_is_shed_with_retry_after() {
+    let server = ServerHandle::spawn(ServerConfig {
+        workers: 1,
+        queue: 1,
+        tenant_quota: 1,
+        retry_after_ms: 33,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    // Occupy the only worker: a sweep with far more work than its deadline
+    // allows — 129^2 inputs, every one burning the full fuel bound — so it
+    // holds the worker until the deadline cancels it. The fuel is sized so
+    // the engine's wall-clock poll (every 256 inputs) lands soon after the
+    // deadline rather than minutes after it.
+    let mut slow = base_request(Op::Check, DIVERGING);
+    slow.job = "slow".to_string();
+    slow.fuel = 125_000;
+    slow.span = 64;
+    slow.deadline_ms = Some(1_500);
+    let occupant = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let one_shot = Client::with_config(
+                &addr,
+                ClientConfig {
+                    max_attempts: 1,
+                    ..ClientConfig::default()
+                },
+            );
+            one_shot.request(&slow).unwrap()
+        })
+    };
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Same tenant, different job: over quota, shed with the hint.
+    let mut second = base_request(Op::Check, SOUND);
+    second.job = "shed-me".to_string();
+    let reply = raw_exchange(&addr, &second);
+    assert!(!enf_serve::reply_is_ok(&reply));
+    assert_eq!(str_field(&reply, "error"), "overloaded");
+    assert_eq!(reply.get("retryable"), Some(&Json::Bool(true)));
+    assert_eq!(int_field(&reply, "retry_after_ms"), 33);
+
+    // A patient client rides the backoff out and eventually succeeds.
+    let patient = Client::with_config(
+        &addr,
+        ClientConfig {
+            max_attempts: 200,
+            base_backoff_ms: 25,
+            max_backoff_ms: 200,
+            ..ClientConfig::default()
+        },
+    );
+    let mut third = base_request(Op::Check, SOUND);
+    third.job = "patient".to_string();
+    let reply = patient.request(&third).unwrap();
+    assert_eq!(str_field(&reply, "verdict"), "confirmed");
+
+    let occupied = occupant.join().unwrap();
+    assert_eq!(str_field(&occupied, "verdict"), "unknown");
+
+    let stats = server.stop();
+    assert!(stats.shed >= 1);
+    assert!(!stats.degraded(), "shedding is not degradation: {stats:?}");
+}
+
+#[test]
+fn interrupted_check_resumes_bit_identically() {
+    // Control: the same job on a pristine server, uninterrupted.
+    let control_state = temp_dir("resume-control");
+    let control = ServerHandle::spawn(ServerConfig {
+        state_dir: Some(control_state.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let client = quick_client(&control.addr().to_string());
+    let mut job = base_request(Op::Check, SOUND);
+    job.tenant = "acme".to_string();
+    job.job = "big-sweep".to_string();
+    job.span = 7; // 15^2 = 225 inputs
+    job.block = 32;
+    let control_reply = client.request(&job).unwrap();
+    assert_eq!(str_field(&control_reply, "verdict"), "confirmed");
+    control.stop();
+    let control_trail =
+        std::fs::read_to_string(control_state.join("acme").join("audit.log")).unwrap();
+
+    // Interrupted: a budget-limited first attempt leaves a checkpoint.
+    let state = temp_dir("resume-live");
+    let first_life = ServerHandle::spawn(ServerConfig {
+        state_dir: Some(state.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let client = quick_client(&first_life.addr().to_string());
+    let mut partial = job.clone();
+    partial.budget = Some(64);
+    let reply = client.request(&partial).unwrap();
+    assert_eq!(str_field(&reply, "verdict"), "unknown");
+    assert!(int_field(&reply, "checked") < 225);
+    let ckpts: Vec<_> = std::fs::read_dir(state.join("acme"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+        .collect();
+    assert_eq!(ckpts.len(), 1, "one checkpoint survives the interruption");
+    first_life.stop(); // the "crash": server gone, state dir remains
+
+    // Second life: same state dir, same job, no budget — the sweep
+    // resumes from the checkpoint and completes.
+    let second_life = ServerHandle::spawn(ServerConfig {
+        state_dir: Some(state.clone()),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let client = quick_client(&second_life.addr().to_string());
+    let resumed_reply = client.request(&job).unwrap();
+    assert_eq!(str_field(&resumed_reply, "verdict"), "confirmed");
+    assert_eq!(resumed_reply.get("resumed"), Some(&Json::Bool(true)));
+    assert_eq!(
+        int_field(&resumed_reply, "total"),
+        int_field(&control_reply, "total")
+    );
+    let stats = second_life.stop();
+    assert_eq!(stats.resumed, 1);
+
+    // Audit-exactness: the interrupted-and-resumed trail is byte-identical
+    // to the uninterrupted control trail, and the checkpoint is gone.
+    let resumed_trail = std::fs::read_to_string(state.join("acme").join("audit.log")).unwrap();
+    assert_eq!(control_trail, resumed_trail);
+    assert!(enf_policy::verify_chain(&resumed_trail).is_intact());
+    let leftover: Vec<_> = std::fs::read_dir(state.join("acme"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "ckpt"))
+        .collect();
+    assert!(
+        leftover.is_empty(),
+        "decisive verdict removes the checkpoint"
+    );
+
+    let _ = std::fs::remove_dir_all(&control_state);
+    let _ = std::fs::remove_dir_all(&state);
+}
+
+#[test]
+fn drain_finishes_inflight_work() {
+    let server = ServerHandle::spawn(ServerConfig::default()).unwrap();
+    let addr = server.addr().to_string();
+    let workers: Vec<_> = (0..4)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let client = quick_client(&addr);
+                let mut req = base_request(Op::Check, SOUND);
+                req.job = format!("drain-{i}");
+                req.span = 3;
+                client.request(&req).unwrap()
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(50));
+    let stats = server.stop();
+    for w in workers {
+        let reply = w.join().unwrap();
+        // Every job either completed before the drain or was refused with
+        // a structured draining frame — never silently dropped.
+        if enf_serve::reply_is_ok(&reply) {
+            assert_eq!(str_field(&reply, "verdict"), "confirmed");
+        } else {
+            assert_eq!(str_field(&reply, "error"), "draining");
+        }
+    }
+    assert!(!stats.degraded());
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_roundtrip() {
+    use enf_serve::Listener;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let path = std::env::temp_dir().join(format!("enf-serve-{}.sock", std::process::id()));
+    let listener = Listener::bind_unix(&path).unwrap();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&shutdown);
+    let server =
+        std::thread::spawn(move || enf_serve::serve(listener, ServerConfig::default(), flag));
+
+    let client = quick_client(&format!("unix:{}", path.display()));
+    let mut req = base_request(Op::Surveil, SOUND);
+    req.input = vec![4, 4];
+    let reply = client.request(&req).unwrap();
+    assert_eq!(int_field(&reply, "value"), 8);
+
+    shutdown.store(true, Ordering::SeqCst);
+    let stats = server.join().unwrap();
+    assert!(!stats.degraded());
+    let _ = std::fs::remove_file(&path);
+}

@@ -15,6 +15,11 @@
 //! enforce improve   <file.fc> --allow 2 --span 3 [--rounds N]
 //! enforce instrument <file.fc> --allow 2 [--timed] [--highwater] [--dot]
 //! enforce dot       <file.fc> [--taint [--scoped | --input 3,4 [--allow 2]]]
+//! enforce serve     [--listen H:P | --unix PATH] [--workers N] [--queue N] [--quota N]
+//!                   [--state DIR] [--cache N] [--fuel N] [--retry-after MS] [--chaos]
+//! enforce client    <op> [file.fc|-] --addr H:P|unix:PATH [--tenant T] [--job ID] [--allow J]
+//!                   [--input a,b] [--span S] [--deadline-ms N] [--budget N] [--fuel N]
+//!                   [--attempts N] [--timeout-ms N] [--chaos-kill]
 //! ```
 //!
 //! `<file.fc>` contains a program in the DSL (see the crate docs); `-` reads
@@ -105,6 +110,13 @@ fn usage() -> &'static str {
        instrument emit the mechanism         --allow J [--timed] [--highwater] [--dot]\n\
        dot        emit Graphviz of program   [--taint [--scoped | --input a,b [--allow J]]]\n\
        audit      verify an audit trail      audit verify <log.jsonl> [--json]\n\
+       serve      run the policy server      [--listen H:P | --unix PATH] [--workers N] [--queue N]\n\
+       \x20                                  [--quota N] [--state DIR] [--cache N] [--fuel N]\n\
+       \x20                                  [--retry-after MS] [--chaos]\n\
+       client     send one job to a server   <op> [file.fc|-] --addr H:P|unix:PATH [--tenant T]\n\
+       \x20                                  [--job ID] [--allow J] [--input a,b] [--span S]\n\
+       \x20                                  [--deadline-ms N] [--budget N] [--fuel N]\n\
+       \x20                                  [--attempts N] [--timeout-ms N] [--chaos-kill]\n\
      J is a comma list of allowed input indices ('' = allow()).\n\
      surveil, certify and check accept --audit F: every grant, attest,\n\
      refusal, sweep and release is appended to a hash-chained JSONL trail\n\
@@ -138,6 +150,14 @@ fn usage() -> &'static str {
      engines are bit-identical: same events, verdicts and witnesses.\n\
      compile prints the lowered program's summary line; --dump prints the\n\
      full instruction listing.\n\
+     serve runs the multi-tenant enforcement service in the foreground\n\
+     (default --listen 127.0.0.1:0; the bound address is printed first).\n\
+     SIGTERM or SIGINT drains: in-flight jobs finish, workers join, and\n\
+     the drain report is printed as JSON. Exit 0 is a clean life, exit 1\n\
+     a degraded one (a worker was quarantined or an internal fault was\n\
+     reported). client sends one job (op: ping, surveil, certify, check\n\
+     or refute) with timeouts, Retry-After-honoring backoff and an\n\
+     idempotent --job key, and prints the server's reply as JSON.\n\
      exit codes: 0 ok, 1 violation/refuted/unknown, 2 usage, 3 internal."
 }
 
@@ -266,6 +286,11 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
                 .to_string()
                 .into());
         }
+        [cmd] if cmd == "serve" => return cmd_serve(&args),
+        [cmd, ..] if cmd == "serve" => {
+            return Err("serve takes no positional arguments".to_string().into());
+        }
+        [cmd, ..] if cmd == "client" => return cmd_client(&args),
         [cmd, path] => (cmd, path),
         _ => return Err(format!("expected a command and a file\n{}", usage()).into()),
     };
@@ -988,6 +1013,223 @@ fn audit_verify(path: &str, args: &Args) -> Result<(String, u8), CliError> {
                 let _ = writeln!(out, "  intact prefix: {intact} records");
             }
             EXIT_VIOLATION
+        }
+    };
+    Ok((out, code))
+}
+
+/// Parses an optional numeric flag, leaving `current` untouched when the
+/// flag is absent.
+fn num_flag<T: std::str::FromStr>(args: &Args, name: &str, current: T) -> Result<T, CliError> {
+    match args.flag(name) {
+        Some(Some(v)) => v
+            .parse()
+            .map_err(|_| CliError::Usage(format!("bad --{name} `{v}`"))),
+        Some(None) => Err(CliError::Usage(format!("--{name} needs a value"))),
+        None => Ok(current),
+    }
+}
+
+/// `enforce serve`: the enforcement service in the foreground.
+///
+/// Prints the bound address on the first line (so scripts and tests can
+/// connect to `--listen 127.0.0.1:0`), serves until SIGTERM/SIGINT, then
+/// drains and prints the stats report as JSON. Exit 0 for a clean life,
+/// 1 for a degraded one — the service's own soundness verdict on itself.
+fn cmd_serve(args: &Args) -> Result<(String, u8), CliError> {
+    use enforcement::serve::{serve, Listener, ServerConfig};
+    use std::io::Write as _;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    let mut cfg = ServerConfig::default();
+    cfg.workers = num_flag(args, "workers", cfg.workers)?;
+    cfg.queue = num_flag(args, "queue", cfg.queue)?;
+    cfg.tenant_quota = num_flag(args, "quota", cfg.tenant_quota)?;
+    cfg.cache_capacity = num_flag(args, "cache", cfg.cache_capacity)?;
+    cfg.default_fuel = num_flag(args, "fuel", cfg.default_fuel)?;
+    cfg.retry_after_ms = num_flag(args, "retry-after", cfg.retry_after_ms)?;
+    cfg.chaos = args.has("chaos");
+    if let Some(v) = args.flag("state") {
+        let dir = v
+            .as_deref()
+            .ok_or_else(|| CliError::Usage("--state needs a directory".to_string()))?;
+        cfg.state_dir = Some(std::path::PathBuf::from(dir));
+    }
+    if cfg.workers == 0 || cfg.queue == 0 {
+        return Err(CliError::Usage(
+            "--workers and --queue must be at least 1".to_string(),
+        ));
+    }
+
+    let listener = match (args.flag("unix"), args.flag("listen")) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(
+                "--listen and --unix are exclusive".to_string(),
+            ))
+        }
+        (Some(Some(path)), None) => Listener::bind_unix(path)
+            .map_err(|e| CliError::Internal(format!("binding {path}: {e}")))?,
+        (Some(None), None) => {
+            return Err(CliError::Usage("--unix needs a path".to_string()));
+        }
+        (None, spec) => {
+            let addr = match spec {
+                Some(Some(a)) => a.as_str(),
+                Some(None) => return Err(CliError::Usage("--listen needs host:port".to_string())),
+                None => "127.0.0.1:0",
+            };
+            Listener::bind_tcp(addr)
+                .map_err(|e| CliError::Internal(format!("binding {addr}: {e}")))?
+        }
+    };
+
+    // The bound address goes out *before* the blocking serve loop, so a
+    // caller that asked for port 0 can discover where we actually live.
+    println!(
+        "enforce-serve listening on {}",
+        listener.local_addr_string()
+    );
+    let _ = std::io::stdout().flush();
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    install_shutdown_signals(&shutdown);
+    let stats = serve(listener, cfg, shutdown);
+
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "{}", stats.to_json().render());
+    Ok((out, if stats.degraded() { 1 } else { 0 }))
+}
+
+/// Wires SIGTERM and SIGINT to the server's shutdown flag: either signal
+/// starts a graceful drain.
+fn install_shutdown_signals(flag: &std::sync::Arc<std::sync::atomic::AtomicBool>) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, OnceLock};
+    static SHUTDOWN_FLAG: OnceLock<Arc<AtomicBool>> = OnceLock::new();
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        if let Some(flag) = SHUTDOWN_FLAG.get() {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+    if SHUTDOWN_FLAG.set(Arc::clone(flag)).is_ok() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        // SAFETY: installs a handler that performs a single atomic store.
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// `enforce client`: send one job to a running server and print its reply.
+///
+/// The exit code mirrors the local commands: 0 for released / certified /
+/// confirmed (and pong), 1 for refused / rejected / refuted / unknown,
+/// 2 for usage rejections, 3 for transport exhaustion and server faults.
+fn cmd_client(args: &Args) -> Result<(String, u8), CliError> {
+    use enforcement::serve::{reply_is_ok, Client, ClientConfig, Op, Request};
+
+    let op_str = args.positional.get(1).ok_or_else(|| {
+        CliError::Usage("client needs an op (ping|surveil|certify|check|refute)".to_string())
+    })?;
+    let op = match op_str.as_str() {
+        "ping" => Op::Ping,
+        "surveil" => Op::Surveil,
+        "certify" => Op::Certify,
+        "check" => Op::Check,
+        "refute" => Op::Refute,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown client op `{other}` (want ping|surveil|certify|check|refute)"
+            )))
+        }
+    };
+    let program = match args.positional.get(2) {
+        Some(path) => read_source(path)?,
+        None if op == Op::Ping => String::new(),
+        None => {
+            return Err(CliError::Usage(format!(
+                "client {op_str} needs a program file (or `-` for stdin)"
+            )))
+        }
+    };
+    let addr = args.value("addr")?;
+
+    let allow = enforcement::serve::parse_allow(
+        args.flag("allow").and_then(|v| v.as_deref()).unwrap_or(""),
+    )
+    .map_err(CliError::Usage)?;
+    let input: Vec<V> = match args.flag("input") {
+        Some(Some(spec)) if !spec.trim().is_empty() => spec
+            .split(',')
+            .map(|p| p.trim().parse::<V>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| CliError::Usage(format!("bad --input: {e}")))?,
+        Some(None) => return Err(CliError::Usage("--input needs a value".to_string())),
+        _ => Vec::new(),
+    };
+    let req = Request {
+        op,
+        tenant: args
+            .flag("tenant")
+            .and_then(|v| v.as_deref())
+            .unwrap_or("default")
+            .to_string(),
+        job: args
+            .flag("job")
+            .and_then(|v| v.as_deref())
+            .unwrap_or("")
+            .to_string(),
+        program,
+        allow,
+        input,
+        span: num_flag(args, "span", 3)?,
+        deadline_ms: match args.flag("deadline-ms") {
+            Some(_) => Some(num_flag(args, "deadline-ms", 0u64)?),
+            None => None,
+        },
+        budget: match args.flag("budget") {
+            Some(_) => Some(num_flag(args, "budget", 0usize)?),
+            None => None,
+        },
+        block: num_flag(args, "block", 4096usize)?,
+        fuel: num_flag(args, "fuel", 0u64)?,
+        // Debug facility for fault drills: servers ignore the directive
+        // unless launched with --chaos.
+        chaos: args.has("chaos-kill").then(|| "panic".to_string()),
+    };
+
+    let mut client_cfg = ClientConfig::default();
+    client_cfg.max_attempts = num_flag(args, "attempts", client_cfg.max_attempts)?;
+    let timeout_ms: u64 = num_flag(args, "timeout-ms", 10_000u64)?;
+    client_cfg.io_timeout = std::time::Duration::from_millis(timeout_ms);
+    let client = Client::with_config(addr, client_cfg);
+
+    let reply = client
+        .request(&req)
+        .map_err(|e| CliError::Internal(e.to_string()))?;
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "{}", reply.render());
+    let code = if reply_is_ok(&reply) {
+        match reply
+            .get("verdict")
+            .and_then(enforcement::core::Json::as_str)
+        {
+            None | Some("released" | "certified" | "confirmed") => EXIT_OK,
+            Some(_) => EXIT_VIOLATION,
+        }
+    } else {
+        match reply.get("error").and_then(enforcement::core::Json::as_str) {
+            Some("usage") => 2,
+            _ => 3,
         }
     };
     Ok((out, code))

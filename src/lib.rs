@@ -41,6 +41,10 @@
 //! * [`channels`] — the observability postulate's covert
 //!   channels: timing, tape seeks, page faults, and the n^k → n·k
 //!   password attack.
+//! * [`serve`] — enforcement as a service: a fault-tolerant
+//!   multi-tenant policy server (supervised workers, admission control,
+//!   crash-recoverable jobs) with a retrying client and a deterministic
+//!   fault-injecting proxy.
 //!
 //! # Quickstart
 //!
@@ -72,6 +76,7 @@ pub use enf_filesys as filesys;
 pub use enf_flowchart as flowchart;
 pub use enf_minsky as minsky;
 pub use enf_policy as policy;
+pub use enf_serve as serve;
 pub use enf_static as staticflow;
 pub use enf_surveillance as surveillance;
 

@@ -464,6 +464,9 @@ fn usage_lists_every_subcommand_and_flag() {
         "improve",
         "instrument",
         "dot",
+        "audit",
+        "serve",
+        "client",
     ] {
         assert!(
             err.lines().any(|l| l.trim_start().starts_with(cmd)),
@@ -488,6 +491,22 @@ fn usage_lists_every_subcommand_and_flag() {
         "--fuel",
         "--engine",
         "--dump",
+        "--listen",
+        "--unix",
+        "--workers",
+        "--queue",
+        "--quota",
+        "--state",
+        "--cache",
+        "--retry-after",
+        "--chaos",
+        "--addr",
+        "--tenant",
+        "--job",
+        "--deadline-ms",
+        "--attempts",
+        "--timeout-ms",
+        "--chaos-kill",
     ] {
         assert!(err.contains(flag), "usage text lost `{flag}`:\n{err}");
     }
@@ -821,4 +840,192 @@ fn trace_renders_policy_boxes() {
     assert_eq!(code, 0, "{out}");
     assert!(out.contains("\"kind\": \"setpolicy\""), "{out}");
     assert!(out.contains("\"active\": [1]"), "{out}");
+}
+
+// ---------------------------------------------------------------------------
+// serve / client: the exit-code contract over a live server.
+// ---------------------------------------------------------------------------
+
+/// Spawns `enforce serve --listen 127.0.0.1:0` and returns the child plus
+/// the bound address parsed from the banner line (printed before the
+/// blocking accept loop, so this never races the server coming up).
+#[cfg(unix)]
+fn spawn_server(
+    extra: &[&str],
+) -> (
+    std::process::Child,
+    String,
+    std::io::BufReader<std::process::ChildStdout>,
+) {
+    use std::io::BufRead as _;
+    let mut server = Command::new(env!("CARGO_BIN_EXE_enforce"))
+        .args(["serve", "--listen", "127.0.0.1:0", "--workers", "2"])
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn enforce serve");
+    let mut lines = std::io::BufReader::new(server.stdout.take().expect("stdout piped"));
+    let mut banner = String::new();
+    lines.read_line(&mut banner).expect("read banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("enforce-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .to_string();
+    (server, addr, lines)
+}
+
+#[cfg(unix)]
+fn sigterm_drain(
+    mut server: std::process::Child,
+    mut lines: std::io::BufReader<std::process::ChildStdout>,
+) -> (i32, String) {
+    use std::io::Read as _;
+    let sent = Command::new("kill")
+        .args(["-TERM", &server.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(sent.success());
+    let mut rest = String::new();
+    lines.read_to_string(&mut rest).expect("read drain report");
+    let status = server.wait().expect("wait server");
+    (status.code().unwrap_or(-1), rest)
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_and_client_honor_the_exit_code_contract() {
+    let (server, addr, lines) = spawn_server(&[]);
+
+    // ping: transport round-trip only.
+    let (code, out, err) = enforce(&["client", "ping", "--addr", &addr], "");
+    assert_eq!(code, 0, "{out}{err}");
+    assert!(out.contains("pong"), "{out}");
+
+    let sound = "program(2) { y := x1 * 2; }";
+    let leaky = "program(2) { y := x2; }";
+
+    // check on a sound program: confirmed, exit 0.
+    let (code, out, _) = enforce(
+        &[
+            "client", "check", "-", "--addr", &addr, "--allow", "1", "--span", "2",
+        ],
+        sound,
+    );
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("confirmed"), "{out}");
+
+    // refute on a leaky program: witness pair reported, exit 1.
+    let (code, out, _) = enforce(
+        &[
+            "client", "refute", "-", "--addr", &addr, "--allow", "1", "--span", "2",
+        ],
+        leaky,
+    );
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("refuted"), "{out}");
+    assert!(out.contains("witness_a"), "{out}");
+
+    // surveil: a released run exits 0, a refused one 1.
+    let (code, out, _) = enforce(
+        &[
+            "client", "surveil", "-", "--addr", &addr, "--allow", "1", "--input", "3,4",
+        ],
+        sound,
+    );
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("released"), "{out}");
+    let (code, out, _) = enforce(
+        &[
+            "client", "surveil", "-", "--addr", &addr, "--allow", "1", "--input", "3,4",
+        ],
+        leaky,
+    );
+    assert_eq!(code, 1, "{out}");
+    assert!(out.contains("refused"), "{out}");
+
+    // Usage rejections exit 2 — locally (bad op, missing --addr) and as
+    // server usage frames (allow index beyond the program's arity).
+    let (code, _, err) = enforce(&["client", "bogus", "--addr", &addr], "");
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("unknown client op"), "{err}");
+    let (code, _, err) = enforce(&["client", "ping"], "");
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("--addr"), "{err}");
+    let (code, out, _) = enforce(
+        &[
+            "client", "check", "-", "--addr", &addr, "--allow", "7", "--span", "2",
+        ],
+        sound,
+    );
+    assert_eq!(code, 2, "{out}");
+    assert!(out.contains("usage"), "{out}");
+
+    // A server that never panicked drains clean: exit 0, stats JSON.
+    let (code, report) = sigterm_drain(server, lines);
+    assert_eq!(code, 0, "{report}");
+    assert!(report.contains("\"served\""), "{report}");
+    assert!(report.contains("\"quarantined\":0"), "{report}");
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_exits_1_after_a_quarantine() {
+    // `--chaos` arms the kill directive; one poisoned job panics a worker,
+    // supervision replaces it, and the drained server reports a degraded
+    // life with exit 1.
+    let (server, addr, lines) = spawn_server(&["--chaos"]);
+    // One-shot so the kill directive fires exactly once; the panicked
+    // frame is retryable, so a single attempt exits 3 (gave up).
+    let (code, out, err) = enforce(
+        &[
+            "client",
+            "check",
+            "-",
+            "--addr",
+            &addr,
+            "--allow",
+            "1",
+            "--span",
+            "2",
+            "--job",
+            "poisoned",
+            "--chaos-kill",
+            "--attempts",
+            "1",
+        ],
+        "program(2) { y := x1; }",
+    );
+    assert_eq!(code, 3, "{out}{err}");
+    assert!(err.contains("panicked"), "{err}");
+    // The same job resubmitted without the directive completes normally.
+    let (code, out, err) = enforce(
+        &[
+            "client", "check", "-", "--addr", &addr, "--allow", "1", "--span", "2", "--job",
+            "poisoned",
+        ],
+        "program(2) { y := x1; }",
+    );
+    assert_eq!(code, 0, "{out}{err}");
+    let (code, report) = sigterm_drain(server, lines);
+    assert_eq!(code, 1, "degraded lives exit 1\n{report}");
+    assert!(report.contains("\"quarantined\":1"), "{report}");
+    assert!(report.contains("\"workers_replaced\":1"), "{report}");
+}
+
+#[test]
+fn serve_rejects_usage_errors_before_binding() {
+    let (code, _, err) = enforce(&["serve", "--workers", "0"], "");
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("--workers"), "{err}");
+    let (code, _, err) = enforce(
+        &["serve", "--listen", "127.0.0.1:0", "--unix", "/tmp/x.sock"],
+        "",
+    );
+    assert_eq!(code, 2, "{err}");
+    let (code, _, err) = enforce(&["serve", "extra"], "");
+    assert_eq!(code, 2, "{err}");
+    assert!(err.contains("positional"), "{err}");
 }
