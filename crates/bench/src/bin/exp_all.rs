@@ -1,4 +1,4 @@
-//! Runs every experiment (E1–E23) and prints the tables EXPERIMENTS.md
+//! Runs every experiment (E1–E24) and prints the tables EXPERIMENTS.md
 //! records. `--markdown` emits GitHub-flavored markdown instead of the
 //! aligned terminal form. Also measures checker throughput (sequential vs
 //! parallel engine), the stepper-vs-seed-loop interpreter overhead, the
@@ -6,12 +6,14 @@
 //! pair-sweep cost, the bytecode-VM vs stepper speedup (bar ≥5×), and the
 //! class-evaluator vs generic-sweep speedup (bar ≥10×), and the
 //! dynamic-policy certificate vs bounded-schedule-sweep cost, and the
-//! typed-pipeline (audit-trail) overhead (bar ≤5%), and the
+//! shared multi-clearance lattice sweep vs per-clearance loop (bar ≥3×),
+//! and the typed-pipeline (audit-trail) overhead (bar ≤5%), and the
 //! enforcement-service load (fault-free vs chaos-proxied throughput),
-//! writing all nine to `BENCH_results.json` (`{"throughput": [...],
+//! writing all ten to `BENCH_results.json` (`{"throughput": [...],
 //! "stepper_overhead": [...], "checkpoint_overhead": [...],
 //! "relational": [...], "bytecode": [...], "class_eval": [...],
-//! "schedule": [...], "audit": [...], "serve": [...]}`); skip with
+//! "schedule": [...], "lattice": [...], "audit": [...],
+//! "serve": [...]}`); skip with
 //! `--no-bench`, or pass `--quick` for the small-size CI smoke run (same
 //! code paths, sub-minute, numbers not publication-grade).
 
@@ -139,6 +141,23 @@ fn main() {
                 r.ratio()
             );
         }
+        let lattice = if quick {
+            enf_bench::lattice_eval::measure_sized(&[4, 6])
+        } else {
+            enf_bench::lattice_eval::measure()
+        };
+        for r in &lattice {
+            println!(
+                "lattice side {:>3} {:>6} inputs x {} clearances ({} distinct)  shared {:>10.6}s  loop {:>10.6}s  ratio {:.1}x",
+                r.side,
+                r.inputs,
+                r.clearances,
+                r.distinct,
+                r.shared_secs,
+                r.per_clearance_secs,
+                r.ratio()
+            );
+        }
         let audit = if quick {
             enf_bench::audit::measure_sized(3, &[10_000])
         } else {
@@ -172,7 +191,7 @@ fn main() {
             );
         }
         let json = format!(
-            "{{\n\"throughput\": {},\n\"stepper_overhead\": {},\n\"checkpoint_overhead\": {},\n\"relational\": {},\n\"bytecode\": {},\n\"class_eval\": {},\n\"schedule\": {},\n\"audit\": {},\n\"serve\": {}\n}}\n",
+            "{{\n\"throughput\": {},\n\"stepper_overhead\": {},\n\"checkpoint_overhead\": {},\n\"relational\": {},\n\"bytecode\": {},\n\"class_eval\": {},\n\"schedule\": {},\n\"lattice\": {},\n\"audit\": {},\n\"serve\": {}\n}}\n",
             enf_bench::throughput::to_json(&rows),
             enf_bench::stepper::to_json(&overhead),
             enf_bench::checkpoint::to_json(&ckpt),
@@ -180,6 +199,7 @@ fn main() {
             enf_bench::vmspeed::bytecode_to_json(&bytecode),
             enf_bench::vmspeed::class_eval_to_json(&class_eval),
             enf_bench::schedule_eval::to_json(&sched),
+            enf_bench::lattice_eval::to_json(&lattice),
             enf_bench::audit::to_json(&audit),
             enf_bench::serve_eval::to_json(&serve)
         );

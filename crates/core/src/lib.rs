@@ -50,6 +50,7 @@ pub mod indexset;
 pub mod integrity;
 pub mod join;
 pub mod json;
+pub mod label;
 pub mod lattice;
 pub mod maximal;
 pub mod mechanism;
@@ -74,6 +75,10 @@ pub use indexset::IndexSet;
 pub use integrity::{check_preservation, PreservationReport};
 pub use join::{Join, JoinAll};
 pub use json::Json;
+pub use label::{
+    check_soundness_lattice, check_soundness_lattice_with, Classification, Compartmented,
+    IntransitiveFlow, Label, LatticePolicy, Level,
+};
 pub use maximal::MaximalMechanism;
 pub use mechanism::{FnMechanism, Identity, MechOutput, Mechanism, Plug};
 pub use notice::Notice;

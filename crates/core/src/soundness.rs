@@ -320,16 +320,19 @@ const FLAT_CLASS_LIMIT: u128 = 1 << 16;
 /// since `Allow(J)`'s view is the projection onto the allowed coordinates,
 /// every class is itself a sub-grid, and a tuple's class is a mixed-radix
 /// number over the allowed coordinates — no view vector, no hashing.
-struct ClassLayout {
+///
+/// `pub(crate)` so the shared all-clearance lattice sweep
+/// ([`crate::label`]) can keep one layout per distinct induced policy.
+pub(crate) struct ClassLayout {
     /// `(tuple position, range start, span)` per allowed coordinate,
     /// ascending — the same order [`Allow::filter`] projects in.
     coords: Vec<(usize, V, u128)>,
     /// Total class count, `None` if it overflows `u128`.
-    count: Option<u128>,
+    pub(crate) count: Option<u128>,
 }
 
 impl ClassLayout {
-    fn new(policy: &Allow, domain: &Grid) -> Self {
+    pub(crate) fn new(policy: &Allow, domain: &Grid) -> Self {
         let mut coords = Vec::new();
         let mut count: Option<u128> = Some(1);
         for i in policy.allowed().iter() {
@@ -345,7 +348,7 @@ impl ClassLayout {
     /// share a class index iff [`Allow::filter`] maps them to the same
     /// view.
     #[inline]
-    fn class_of(&self, a: &[V]) -> u128 {
+    pub(crate) fn class_of(&self, a: &[V]) -> u128 {
         let mut ci: u128 = 0;
         for &(pos, start, span) in &self.coords {
             ci = ci * span + (a[pos] as i128 - start as i128) as u128;
@@ -356,7 +359,7 @@ impl ClassLayout {
 
 /// Per-class state of the class evaluator: the flat-indexed twin of
 /// [`ClassState`], with occurrences stored as `(index, output)` pairs.
-struct ClassSlot<O> {
+pub(crate) struct ClassSlot<O> {
     rep_idx: usize,
     rep_out: MechOutput<O>,
     conflict: Option<(usize, MechOutput<O>)>,
@@ -364,13 +367,16 @@ struct ClassSlot<O> {
 
 /// A worker's class table: dense when the class count is small enough,
 /// index-hashed otherwise. Either way no per-tuple view vector exists.
-enum ClassTable<O> {
+///
+/// `pub(crate)` so the shared all-clearance lattice sweep
+/// ([`crate::label`]) can keep one table per distinct induced policy.
+pub(crate) enum ClassTable<O> {
     Flat(Vec<Option<ClassSlot<O>>>),
     Hashed(HashMap<u128, ClassSlot<O>>),
 }
 
 impl<O: PartialEq> ClassTable<O> {
-    fn new(count: Option<u128>) -> Self {
+    pub(crate) fn new(count: Option<u128>) -> Self {
         match count {
             Some(n) if n <= FLAT_CLASS_LIMIT => {
                 let mut slots = Vec::new();
@@ -396,7 +402,7 @@ impl<O: PartialEq> ClassTable<O> {
     /// can then stop immediately — the first conflict it meets is the
     /// least-index conflict.
     #[inline]
-    fn record_seq(&mut self, ci: u128, idx: usize, out: MechOutput<O>) -> bool {
+    pub(crate) fn record_seq(&mut self, ci: u128, idx: usize, out: MechOutput<O>) -> bool {
         let slot = match self {
             ClassTable::Flat(slots) => &mut slots[ci as usize],
             ClassTable::Hashed(map) => match map.entry(ci) {
@@ -440,7 +446,7 @@ impl<O: PartialEq> ClassTable<O> {
 
     /// [`merge_class_partial`] on class indices; `partial` must come from
     /// the next range in order.
-    fn merge(&mut self, partial: ClassTable<O>) {
+    pub(crate) fn merge(&mut self, partial: ClassTable<O>) {
         fn merge_into<O: PartialEq>(m: &mut ClassSlot<O>, p: ClassSlot<O>) {
             let candidate = if p.rep_out != m.rep_out {
                 Some((p.rep_idx, p.rep_out))
@@ -477,7 +483,7 @@ impl<O: PartialEq> ClassTable<O> {
         }
     }
 
-    fn classes(&self) -> usize {
+    pub(crate) fn classes(&self) -> usize {
         match self {
             ClassTable::Flat(slots) => slots.iter().flatten().count(),
             ClassTable::Hashed(map) => map.len(),
@@ -485,7 +491,7 @@ impl<O: PartialEq> ClassTable<O> {
     }
 
     /// The least-index conflict with its class representative.
-    fn least_conflict(self) -> Option<(Occurrence<O>, Occurrence<O>)> {
+    pub(crate) fn least_conflict(self) -> Option<(Occurrence<O>, Occurrence<O>)> {
         let pick = |s: ClassSlot<O>| {
             s.conflict.map(|(idx, out)| {
                 (

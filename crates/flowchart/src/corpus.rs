@@ -318,6 +318,47 @@ pub fn policy_upgrade() -> PaperProgram {
     }
 }
 
+/// Source of the password-check release gadget, labels included; shared
+/// by [`password_release`] and [`password_release_labeled`].
+const PASSWORD_RELEASE_SRC: &str = "program(2)
+    labels {
+        x1: secret;
+        x2: unclassified;
+        flow secret ~> unclassified;
+    }
+    {
+        r1 := ite(x1 == x2, 1, 0);
+        declassify(r1: 1 ~>);
+        y := r1;
+    }";
+
+/// The canonical *intransitive* release: compare a secret password `x1`
+/// against a public guess `x2` and publish only the one-bit verdict
+/// through a sanctioned `declassify` box.
+///
+/// Under the transitive reduction a public observer's policy is
+/// `allow(2)` and the verdict bit carries `x1`, so **every** transitive
+/// analysis (surveillance, scoped, value-refined, relational) must
+/// reject. The `labels` section declares a `secret ⇝ unclassified`
+/// release edge; the lattice certifier checks that a `declassify` box
+/// mediates every carrying path and certifies — the separating witness
+/// for `Analysis::LatticeCertified` in `enf-static`. The exhaustive
+/// lattice oracle agrees: `J_c` under `⇝*` contains both inputs.
+pub fn password_release() -> PaperProgram {
+    PaperProgram {
+        name: "password_release",
+        locus: "intransitive noninterference extension (Eggert et al.)",
+        flowchart: must(PASSWORD_RELEASE_SRC),
+        policy: Allow::new(2, [2]),
+        claim: "all transitive analyses reject; the lattice certifier accepts via the sanctioned release edge",
+    }
+}
+
+/// [`password_release`] with its label declarations intact.
+pub fn password_release_labeled() -> crate::parser::LabeledProgram {
+    crate::parser::parse_labeled(PASSWORD_RELEASE_SRC).expect("corpus program failed to parse")
+}
+
 /// Every paper program, for table-driven experiments.
 pub fn all() -> Vec<PaperProgram> {
     vec![
@@ -335,6 +376,7 @@ pub fn all() -> Vec<PaperProgram> {
         cancelling(),
         two_path_leak(),
         policy_upgrade(),
+        password_release(),
     ]
 }
 
@@ -463,6 +505,19 @@ mod tests {
             assert_eq!(p.eval_value(&[1, x2]), 1);
             assert_eq!(p.eval_value(&[0, x2]), 2);
         }
+    }
+
+    #[test]
+    fn password_release_publishes_only_the_verdict_bit() {
+        let p = FlowchartProgram::new(password_release().flowchart);
+        for x1 in -2..=2 {
+            for x2 in -2..=2 {
+                assert_eq!(p.eval_value(&[x1, x2]), (x1 == x2) as enf_core::V);
+            }
+        }
+        let lp = password_release_labeled();
+        assert_eq!(lp.classification.label(1), &enf_core::label::Level::Secret);
+        assert!(!lp.flow.is_transitive());
     }
 
     #[test]

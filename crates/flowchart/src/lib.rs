@@ -72,7 +72,7 @@ pub use ast::{CmpOp, Expr, Pred, Var};
 pub use bytecode::Compiled;
 pub use graph::{Flowchart, Node, NodeId, Succ};
 pub use interp::{run, run_traced, ExecConfig, ExecValue, Outcome};
-pub use parser::parse;
+pub use parser::{parse, parse_labeled, LabeledProgram};
 pub use program::FlowchartProgram;
 pub use scheduled::ScheduleMonitor;
 pub use stepper::{Fleet, Monitor, NullMonitor, Pair, Stepper, TraceMonitor};

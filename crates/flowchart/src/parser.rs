@@ -3,7 +3,11 @@
 //! Grammar (statements end in `;`, blocks in braces):
 //!
 //! ```text
-//! program   ::= "program" "(" INT ")" block
+//! program   ::= "program" "(" INT ")" labels? block
+//! labels    ::= "labels" "{" (labeling | flowdecl)* "}"
+//! labeling  ::= "x" INT ":" LEVEL ";"
+//! flowdecl  ::= "flow" LEVEL "~>" LEVEL ";"
+//! LEVEL     ::= "unclassified" | "confidential" | "secret" | "topsecret"
 //! block     ::= "{" stmt* "}"
 //! stmt      ::= var ":=" expr ";"
 //!             | "if" pred block ("else" block)?
@@ -31,8 +35,27 @@
 use crate::ast::{CmpOp, Expr, Pred, Var};
 use crate::graph::{Flowchart, PolicySpec};
 use crate::structured::{lower, Stmt, StructuredProgram};
+use enf_core::label::{Classification, IntransitiveFlow, Level};
 use enf_core::{IndexSet, V};
 use std::fmt;
+
+/// A parsed flowchart together with the label declarations of its
+/// optional `labels { … }` section: the per-input [`Classification`]
+/// (defaulting every undeclared input to `unclassified`) and the
+/// intransitive release edges (`flow secret ~> unclassified;`).
+///
+/// The [`Flowchart`] itself is unchanged by the section — labels are a
+/// policy-side artifact, so fingerprints, pretty-printing and every
+/// analysis over the graph are oblivious to them.
+#[derive(Clone, Debug)]
+pub struct LabeledProgram {
+    /// The lowered program graph.
+    pub flowchart: Flowchart,
+    /// Input labeling from the `labels` section.
+    pub classification: Classification<Level>,
+    /// Sanctioned release edges from the `flow` declarations.
+    pub flow: IntransitiveFlow<Level>,
+}
 
 /// A parse error with position information.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -312,7 +335,7 @@ impl Parser {
         }
     }
 
-    fn program(&mut self) -> Result<StructuredProgram, ParseError> {
+    fn program(&mut self) -> Result<(StructuredProgram, ParsedLabels), ParseError> {
         match self.bump() {
             Some(Tok::Ident(ref s)) if s == "program" => {}
             other => return Err(self.error(format!("expected `program`, found {other:?}"))),
@@ -323,11 +346,66 @@ impl Parser {
             return Err(self.error("arity out of range"));
         }
         self.expect_sym(")")?;
+        let labels = self.labels_section(k as usize)?;
         let body = self.block()?;
         if self.peek().is_some() {
             return Err(self.error("trailing input after program"));
         }
-        Ok(StructuredProgram::new(k as usize, body))
+        Ok((StructuredProgram::new(k as usize, body), labels))
+    }
+
+    /// The optional `labels { … }` section between the arity and the
+    /// body: per-input level declarations (`x1: secret;`, defaulting to
+    /// `unclassified`) and release edges (`flow secret ~> unclassified;`).
+    fn labels_section(&mut self, k: usize) -> Result<ParsedLabels, ParseError> {
+        let mut labels = vec![Level::Unclassified; k];
+        let mut declared = vec![false; k];
+        let mut edges = Vec::new();
+        if !matches!(self.peek(), Some(Tok::Ident(s)) if s == "labels") {
+            return Ok(ParsedLabels { labels, edges });
+        }
+        self.at += 1;
+        self.expect_sym("{")?;
+        while !self.eat_sym("}") {
+            match self.bump() {
+                Some(Tok::Ident(ref s)) if s == "flow" => {
+                    let from = self.level_name()?;
+                    self.expect_sym("~>")?;
+                    let to = self.level_name()?;
+                    self.expect_sym(";")?;
+                    edges.push((from, to));
+                }
+                Some(Tok::Ident(ref s)) => {
+                    let Some(Var::Input(i)) = self.ident_to_var(s) else {
+                        return Err(self.error(format!(
+                            "labels section expects `x<i>: LEVEL;` or `flow LEVEL ~> LEVEL;`, found `{s}`"
+                        )));
+                    };
+                    if i > k {
+                        return Err(self.error(format!("label for x{i} exceeds arity {k}")));
+                    }
+                    if declared[i - 1] {
+                        return Err(self.error(format!("duplicate label for x{i}")));
+                    }
+                    declared[i - 1] = true;
+                    self.expect_sym(":")?;
+                    labels[i - 1] = self.level_name()?;
+                    self.expect_sym(";")?;
+                }
+                other => return Err(self.error(format!("expected label entry, found {other:?}"))),
+            }
+        }
+        Ok(ParsedLabels { labels, edges })
+    }
+
+    /// A classification level by its lowercase name.
+    fn level_name(&mut self) -> Result<Level, ParseError> {
+        match self.bump() {
+            Some(Tok::Ident(ref s)) => {
+                Level::parse_name(s).ok_or_else(|| self.error(format!("unknown level `{s}`")))
+            }
+            other => Err(self.error(format!("expected level name, found {other:?}"))),
+        }
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
@@ -610,8 +688,13 @@ impl Parser {
     }
 }
 
-/// Parses the DSL into a structured program.
-pub fn parse_structured(src: &str) -> Result<StructuredProgram, ParseError> {
+/// Raw label declarations collected by the parser.
+struct ParsedLabels {
+    labels: Vec<Level>,
+    edges: Vec<(Level, Level)>,
+}
+
+fn parse_full(src: &str) -> Result<(StructuredProgram, ParsedLabels), ParseError> {
     let mut lex = Lexer::new(src);
     let mut toks = Vec::new();
     while let Some(t) = lex.next()? {
@@ -623,6 +706,43 @@ pub fn parse_structured(src: &str) -> Result<StructuredProgram, ParseError> {
         src_len: src.len(),
     };
     p.program()
+}
+
+/// Parses the DSL into a structured program, ignoring any `labels`
+/// section.
+pub fn parse_structured(src: &str) -> Result<StructuredProgram, ParseError> {
+    parse_full(src).map(|(sp, _)| sp)
+}
+
+/// Parses the DSL, lowers to a validated flowchart, and keeps the label
+/// declarations.
+///
+/// # Examples
+///
+/// ```
+/// use enf_core::label::Level;
+///
+/// let lp = enf_flowchart::parse_labeled(
+///     "program(2)
+///      labels { x1: secret; flow secret ~> unclassified; }
+///      { y := x1 + x2; }",
+/// )
+/// .unwrap();
+/// assert_eq!(lp.classification.label(1), &Level::Secret);
+/// assert_eq!(lp.classification.label(2), &Level::Unclassified);
+/// assert_eq!(lp.flow.edges().len(), 1);
+/// ```
+pub fn parse_labeled(src: &str) -> Result<LabeledProgram, ParseError> {
+    let (sp, raw) = parse_full(src)?;
+    let flowchart = lower(&sp).map_err(|e| ParseError {
+        offset: 0,
+        message: format!("lowering failed: {e}"),
+    })?;
+    Ok(LabeledProgram {
+        flowchart,
+        classification: Classification::new(raw.labels),
+        flow: IntransitiveFlow::new(raw.edges),
+    })
 }
 
 /// Parses the DSL and lowers to a validated flowchart.
@@ -679,6 +799,71 @@ mod tests {
         let src = "program(1) { y := ite(x1 == 1, 1, 2); }";
         assert_eq!(eval(src, &[1]), 1);
         assert_eq!(eval(src, &[5]), 2);
+    }
+
+    #[test]
+    fn labels_section_parses_and_defaults() {
+        let lp = parse_labeled(
+            "program(3)
+             labels {
+                 x1: secret;
+                 x3: confidential;
+                 flow secret ~> unclassified;
+             }
+             { y := x1 + x2 + x3; }",
+        )
+        .unwrap();
+        assert_eq!(lp.classification.label(1), &Level::Secret);
+        assert_eq!(lp.classification.label(2), &Level::Unclassified);
+        assert_eq!(lp.classification.label(3), &Level::Confidential);
+        assert_eq!(lp.flow.edges(), &[(Level::Secret, Level::Unclassified)][..]);
+        // The plain parser accepts the same source, ignoring labels.
+        assert_eq!(
+            lp.flowchart,
+            parse(
+                "program(3)
+             labels {
+                 x1: secret;
+                 x3: confidential;
+                 flow secret ~> unclassified;
+             }
+             { y := x1 + x2 + x3; }",
+            )
+            .unwrap()
+        );
+    }
+
+    #[test]
+    fn unlabeled_program_is_all_public() {
+        let lp = parse_labeled("program(2) { y := x1; }").unwrap();
+        assert_eq!(lp.classification.label(1), &Level::Unclassified);
+        assert_eq!(lp.classification.label(2), &Level::Unclassified);
+        assert!(lp.flow.is_transitive());
+    }
+
+    #[test]
+    fn labels_section_rejects_bad_entries() {
+        for (src, what) in [
+            (
+                "program(1) labels { x2: secret; } { y := 0; }",
+                "exceeds arity",
+            ),
+            (
+                "program(1) labels { x1: secret; x1: secret; } { y := 0; }",
+                "duplicate label",
+            ),
+            (
+                "program(1) labels { x1: classified; } { y := 0; }",
+                "unknown level",
+            ),
+            (
+                "program(1) labels { r1: secret; } { y := 0; }",
+                "labels section expects",
+            ),
+        ] {
+            let err = parse_labeled(src).unwrap_err();
+            assert!(err.message.contains(what), "{src}: {}", err.message);
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ use enf_core::checkpoint::{
     check_soundness_checkpointed, read_checkpoint_file, write_checkpoint_file, CheckpointCodec,
     SoundnessCheckpoint,
 };
+use enf_core::label::{Classification, IntransitiveFlow, Level};
 use enf_core::{
     check_soundness_scheduled, fingerprint, try_check_soundness_with, validate_scheduled_witness,
     Allow, CancelToken, Coverage, EnfError, EvalConfig, Grid, Identity, IndexSet, Json, Mechanism,
@@ -35,7 +36,7 @@ use enf_core::{
 };
 use enf_flowchart::bytecode::Compiled;
 use enf_flowchart::interp::ExecValue;
-use enf_flowchart::{Flowchart, FlowchartProgram, NodeId};
+use enf_flowchart::{Flowchart, FlowchartProgram, LabeledProgram, NodeId};
 use enf_static::certify::{certify, Analysis, Certification};
 use enf_surveillance::dynamic::{run_surveillance, SurvConfig, SurvOutcome};
 use enf_surveillance::vm::run_surveillance_vm;
@@ -335,6 +336,17 @@ pub struct Enforcer {
     engine: Engine,
     fuel: u64,
     fingerprint: u64,
+    lattice: Option<LatticeBinding>,
+}
+
+/// The label-policy side of a lattice-bound [`Enforcer`]: the labeling,
+/// the (possibly intransitive) flow relation, and the clearance the
+/// policy is reduced at.
+#[derive(Clone, Debug)]
+struct LatticeBinding {
+    classification: Classification<Level>,
+    flow: IntransitiveFlow<Level>,
+    clearance: Level,
 }
 
 impl Enforcer {
@@ -356,7 +368,39 @@ impl Enforcer {
             engine: Engine::default(),
             fuel: 1_000_000,
             fingerprint,
+            lattice: None,
         })
+    }
+
+    /// Binds a labeled program to its lattice policy at a clearance.
+    ///
+    /// The fixed-clearance reduction `J_c = { i : label(i) ⇝* c }` becomes
+    /// the enforcer's allow-set, so every dynamic path (surveil, sweep)
+    /// monitors against the induced policy, and [`Verified`] values carry
+    /// it. The static path gains [`Enforcer::certify_lattice`], which runs
+    /// the intransitive-flow certifier against the full labeling instead
+    /// of the reduction.
+    pub fn new_lattice(program: LabeledProgram, clearance: Level) -> Result<Enforcer, PolicyError> {
+        let LabeledProgram {
+            flowchart,
+            classification,
+            flow,
+        } = program;
+        if classification.arity() != flowchart.arity() {
+            return Err(PolicyError::Usage(format!(
+                "labeling covers {} inputs but the program takes {}",
+                classification.arity(),
+                flowchart.arity()
+            )));
+        }
+        let allow = classification.readable_allow(&flow, &clearance);
+        let mut e = Enforcer::new(flowchart, allow)?;
+        e.lattice = Some(LatticeBinding {
+            classification,
+            flow,
+            clearance,
+        });
+        Ok(e)
     }
 
     /// Selects the dynamic discipline (default: plain surveillance).
@@ -405,6 +449,12 @@ impl Enforcer {
     /// The bound program's fingerprint (see `Flowchart::fingerprint`).
     pub fn program_fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// The clearance of a lattice-bound enforcer
+    /// ([`Enforcer::new_lattice`]), `None` for a plain allow-set binding.
+    pub fn clearance(&self) -> Option<Level> {
+        self.lattice.as_ref().map(|l| l.clearance)
     }
 
     fn program(&self) -> FlowchartProgram {
@@ -574,6 +624,85 @@ impl Enforcer {
             Certification::Certified => CertifyOutcome::Certified(Certificate {
                 enforcer: self,
                 analysis,
+            }),
+            Certification::Rejected { taint } => CertifyOutcome::Rejected { taint },
+        })
+    }
+
+    /// The lattice static path: runs the intransitive-flow certifier
+    /// against the full labeling bound by [`Enforcer::new_lattice`] (not
+    /// just the fixed-clearance reduction — sanctioned `declassify` boxes
+    /// can certify programs every transitive analysis rejects). Records
+    /// the labeling, flow edges, clearance and verdict in the audit trail;
+    /// a certified program yields a [`Certificate`] whose runs attest
+    /// under [`crate::proof::Certified`] with the `lattice` analysis.
+    pub fn certify_lattice(&self, log: &mut AuditLog) -> Result<CertifyOutcome<'_>, PolicyError> {
+        let Some(binding) = &self.lattice else {
+            return Err(PolicyError::Usage(
+                "certify_lattice needs a lattice binding (Enforcer::new_lattice)".to_string(),
+            ));
+        };
+        let cert = enf_static::label::certify_lattice(
+            &self.fc,
+            &binding.classification,
+            &binding.flow,
+            &binding.clearance,
+        );
+        let mut fields = self.base_fields();
+        fields.push((
+            "analysis".to_string(),
+            Json::Str(Analysis::LatticeCertified.name().to_string()),
+        ));
+        fields.push((
+            "labels".to_string(),
+            Json::Arr(
+                binding
+                    .classification
+                    .labels()
+                    .iter()
+                    .map(|l| Json::Str(l.name().to_string()))
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "flow".to_string(),
+            Json::Arr(
+                binding
+                    .flow
+                    .edges()
+                    .iter()
+                    .map(|(a, b)| {
+                        Json::Arr(vec![
+                            Json::Str(a.name().to_string()),
+                            Json::Str(b.name().to_string()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        fields.push((
+            "clearance".to_string(),
+            Json::Str(binding.clearance.name().to_string()),
+        ));
+        fields.push((
+            "verdict".to_string(),
+            Json::Str(
+                if cert.is_certified() {
+                    "certified"
+                } else {
+                    "rejected"
+                }
+                .to_string(),
+            ),
+        ));
+        if let Some(taint) = cert.taint() {
+            fields.push(("taint".to_string(), indexset_json(&taint)));
+        }
+        log.append("certify", fields)?;
+        Ok(match cert {
+            Certification::Certified => CertifyOutcome::Certified(Certificate {
+                enforcer: self,
+                analysis: Analysis::LatticeCertified,
             }),
             Certification::Rejected { taint } => CertifyOutcome::Rejected { taint },
         })
@@ -1085,6 +1214,62 @@ mod tests {
         if outcome.verdict() != Verdict::Confirmed {
             assert!(outcome.warrant().is_none());
         }
+    }
+
+    #[test]
+    fn lattice_certificate_releases_the_declared_bit() {
+        // The full lattice pipeline: password_release binds at clearance
+        // unclassified, the intransitive certifier accepts the sanctioned
+        // one-bit release, and the certificate mints a Verified value the
+        // sink can let out.
+        let lp = enf_flowchart::corpus::password_release_labeled();
+        let e = Enforcer::new_lattice(lp, Level::Unclassified).unwrap();
+        assert_eq!(e.clearance(), Some(Level::Unclassified));
+        // The induced reduction closes over the release edge: both inputs
+        // are readable at the bottom clearance.
+        assert_eq!(e.allow(), IndexSet::from_iter([1, 2]));
+        let mut log = AuditLog::in_memory();
+        let cert = match e.certify_lattice(&mut log).unwrap() {
+            CertifyOutcome::Certified(c) => c,
+            CertifyOutcome::Rejected { taint } => panic!("rejected with taint {taint}"),
+        };
+        assert_eq!(cert.analysis(), Analysis::LatticeCertified);
+        let v = cert.run(Tainted::new(vec![7, 7]), &mut log).unwrap();
+        let cap = Capability::issue("test", &mut log).unwrap();
+        let y = Sink::new(cap, &mut log).release(v).unwrap();
+        assert_eq!(y, ExecValue::Value(1));
+        assert!(verify_chain(&log.render()).is_intact());
+        assert!(log.lines()[0].contains("\"analysis\":\"lattice\""));
+        assert!(log.lines()[0].contains("\"clearance\":\"unclassified\""));
+    }
+
+    #[test]
+    fn lattice_rejection_names_the_unmediated_index() {
+        // Same program without the release edge: the declassify box is
+        // unsanctioned, so certification fails and no certificate exists.
+        let lp = enf_flowchart::parse_labeled(
+            "program(2)
+             labels { x1: secret; }
+             { r1 := ite(x1 == x2, 1, 0); declassify(r1: 1 ~>); y := r1; }",
+        )
+        .unwrap();
+        let e = Enforcer::new_lattice(lp, Level::Unclassified).unwrap();
+        assert_eq!(e.allow(), IndexSet::from_iter([2]));
+        let mut log = AuditLog::in_memory();
+        match e.certify_lattice(&mut log).unwrap() {
+            CertifyOutcome::Rejected { taint } => assert_eq!(taint, IndexSet::from_iter([1])),
+            CertifyOutcome::Certified(_) => panic!("unsanctioned release certified"),
+        }
+    }
+
+    #[test]
+    fn certify_lattice_without_binding_is_usage() {
+        let e = enforcer(LEAKY, &[1, 2]);
+        let mut log = AuditLog::in_memory();
+        assert!(matches!(
+            e.certify_lattice(&mut log),
+            Err(PolicyError::Usage(_))
+        ));
     }
 
     #[test]

@@ -54,17 +54,30 @@ pub enum Analysis {
     /// programs its verdict coincides with [`Analysis::ValueRefined`]. The
     /// `allowed` argument of [`certify`] is the *initial* policy.
     DynamicPolicy,
+    /// The lattice certifier ([`crate::label`]): the sanction-gated,
+    /// value-refined may-taint analysis under which a `declassify` box
+    /// relabels only when the policy's flow relation sanctions the step.
+    /// [`certify`] runs it at the fixed-clearance reduction of `allow(J)`
+    /// — allowed inputs `Unclassified`, denied inputs `Secret`, clearance
+    /// `Unclassified`, no release edges — so on policy-free programs it
+    /// coincides with [`Analysis::ValueRefined`], and unlike the other
+    /// fixed-policy analyses it analyzes `declassify`/`setpolicy`
+    /// programs instead of refusing them. The full intransitive surface
+    /// (labels and `~>` edges from a `labels { … }` section) enters
+    /// through [`crate::label::certify_lattice`] directly.
+    LatticeCertified,
 }
 
 impl Analysis {
     /// Every certifier, in presentation order (the order the CLI and the
     /// experiment tables use).
-    pub const ALL: [Analysis; 5] = [
+    pub const ALL: [Analysis; 6] = [
         Analysis::Surveillance,
         Analysis::Scoped,
         Analysis::ValueRefined,
         Analysis::Relational,
         Analysis::DynamicPolicy,
+        Analysis::LatticeCertified,
     ];
 
     /// Machine-readable lowercase name, stable across releases — audit
@@ -76,6 +89,7 @@ impl Analysis {
             Analysis::ValueRefined => "value_refined",
             Analysis::Relational => "relational",
             Analysis::DynamicPolicy => "dynamic_policy",
+            Analysis::LatticeCertified => "lattice",
         }
     }
 
@@ -94,7 +108,9 @@ impl Analysis {
             Analysis::Surveillance => analyze(fc, PcDiscipline::Monotone),
             Analysis::Scoped => analyze(fc, PcDiscipline::Scoped),
             Analysis::ValueRefined => analyze_refined(fc, &analyze_values(fc)),
-            Analysis::Relational | Analysis::DynamicPolicy => unreachable!("handled by certify"),
+            Analysis::Relational | Analysis::DynamicPolicy | Analysis::LatticeCertified => {
+                unreachable!("handled by certify")
+            }
         };
         halts
             .into_iter()
@@ -151,6 +167,31 @@ pub fn certify(
 ) -> Certification {
     if analysis == Analysis::DynamicPolicy {
         return crate::schedule::certify_dynamic(fc, allowed);
+    }
+    if analysis == Analysis::LatticeCertified {
+        // The fixed-clearance reduction: J becomes a two-point labeling
+        // with no release edges, judged at the public clearance. Routed
+        // before the policy-node refusal below — sanction gating and the
+        // schedule component make the lattice certifier meaningful on
+        // declassify/setpolicy programs.
+        use enf_core::label::{Classification, IntransitiveFlow, Level};
+        let labeling = Classification::new(
+            (1..=fc.arity())
+                .map(|i| {
+                    if allowed.contains(i) {
+                        Level::Unclassified
+                    } else {
+                        Level::Secret
+                    }
+                })
+                .collect(),
+        );
+        return crate::label::certify_lattice(
+            fc,
+            &labeling,
+            &IntransitiveFlow::transitive(),
+            &Level::Unclassified,
+        );
     }
     if fc.has_policy_nodes() {
         // The fixed-policy analyses assume `allow(J)` governs the whole
@@ -460,6 +501,55 @@ mod tests {
             }
         }
         assert!(certified_seen > 0);
+    }
+
+    #[test]
+    fn lattice_coincides_with_value_refined_on_policy_free_corpus() {
+        // The two-point reduction of the lattice certifier is exactly the
+        // value-refined analysis when no declassify/setpolicy box fires.
+        for pp in corpus::all() {
+            if pp.flowchart.has_policy_nodes() {
+                continue;
+            }
+            let j = pp.policy.allowed();
+            assert_eq!(
+                certify(&pp.flowchart, j, Analysis::LatticeCertified),
+                certify(&pp.flowchart, j, Analysis::ValueRefined),
+                "{}",
+                pp.name
+            );
+        }
+    }
+
+    #[test]
+    fn password_release_separates_lattice_from_transitive_analyses() {
+        // The headline separation: the intransitive certifier accepts the
+        // declared one-bit release, every fixed transitive analysis
+        // rejects the program outright.
+        let lp = corpus::password_release_labeled();
+        assert!(crate::label::certify_lattice(
+            &lp.flowchart,
+            &lp.classification,
+            &lp.flow,
+            &enf_core::label::Level::Unclassified
+        )
+        .is_certified());
+        let j = corpus::password_release().policy.allowed();
+        for a in [
+            Analysis::Surveillance,
+            Analysis::Scoped,
+            Analysis::ValueRefined,
+            Analysis::Relational,
+        ] {
+            assert!(
+                !certify(&lp.flowchart, j, a).is_certified(),
+                "{} certified the declassify program",
+                a.name()
+            );
+        }
+        // Without the release edge (the plain allow-set reduction), the
+        // box is unsanctioned and the lattice certifier rejects too.
+        assert!(!certify(&lp.flowchart, j, Analysis::LatticeCertified).is_certified());
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //! * [`mod@lint`] — the `flowlint` diagnostics pass: structured lints with
 //!   node locations and carrier chains, rendered human-readably or as
 //!   JSON by `enforce lint`;
+//! * [`mod@label`] — the lattice generalization: a label-join dataflow
+//!   over any [`enf_core::label::Label`] lattice (the taint analyses are
+//!   its two-point instance) and the unwinding-style
+//!   [`label::certify_lattice`] pass, under which a high value reaches a
+//!   lower sink only through a sanctioned `declassify` box on every
+//!   carrying path (`certify::Analysis::LatticeCertified`);
 //! * [`mod@certify`] — compile-time certification and the zero-overhead
 //!   [`certify::CertifiedMechanism`];
 //! * [`mod@schedule`] — the policy-schedule certifier: taint facts paired
@@ -43,6 +49,7 @@ pub mod certify;
 pub mod dataflow;
 pub mod equiv;
 pub mod framework;
+pub mod label;
 pub mod lint;
 pub mod refute;
 pub mod relational;
@@ -55,7 +62,8 @@ pub use certify::{certify, Analysis, Certification, CertifiedMechanism};
 pub use dataflow::{analyze, analyze_reference, analyze_refined, FlowFacts};
 pub use equiv::equivalent_on;
 pub use framework::{solve, DataflowProblem, Direction, Solution};
-pub use lint::{lint, Lint, LintKind, LintReport};
+pub use label::{analyze_labels, certify_lattice, LabelEnv, LabelFacts};
+pub use lint::{lint, lint_labeled, Lint, LintKind, LintReport};
 pub use refute::{refute, verify, LeakWitness, PairDomain, RelationalVerdict};
 pub use relational::{analyze_relational, analyze_relational_with, RelFacts};
 pub use schedule::{

@@ -21,6 +21,8 @@
 //! * `always-violating` — HALTs where a *must*-taint analysis (meet over
 //!   feasible paths, same transfer as the dynamic mechanism) proves every
 //!   run reaching them violates the policy;
+//! * `unused-declassify` — a reachable `declassify` box whose variable can
+//!   never carry the `from` indices it claims to launder;
 //! * `provable-leak` — the program *demonstrably* leaks: the relational
 //!   certifier ([`crate::relational`]) rejects and the bounded witness
 //!   search ([`mod@crate::refute`]) finds a replay-validated pair of
@@ -29,11 +31,14 @@
 //!
 //! [`lint`] produces a [`LintReport`] renderable for humans
 //! ([`LintReport::render`]) or as JSON ([`LintReport::to_json`]); the
-//! `enforce lint` subcommand exposes both.
+//! `enforce lint` subcommand exposes both. [`lint_labeled`] runs the same
+//! pass against a label policy at a clearance, rendering label names into
+//! every taint finding and its carrier chain.
 
 use crate::dataflow::{analyze_refined, TaintEnv};
 use crate::framework::{reverse_postorder, solve, DataflowProblem, Direction};
 use crate::value::{analyze_values, AbsBool, ValueFacts};
+use enf_core::label::{Classification, IntransitiveFlow, Level};
 use enf_core::IndexSet;
 use enf_flowchart::analysis::reachable;
 use enf_flowchart::ast::Var;
@@ -62,6 +67,10 @@ pub enum LintKind {
     /// A `setpolicy` box that installs the only policy state that can be
     /// active on entry to it — removing the box changes nothing.
     RedundantPolicyChange,
+    /// A reachable `declassify` box that can never launder anything: the
+    /// may-taint of its variable on entry is already disjoint from the
+    /// `from` set, so the relabel removes nothing on any run.
+    UnusedDeclassify,
 }
 
 impl LintKind {
@@ -75,6 +84,7 @@ impl LintKind {
             LintKind::TaintLeak => "taint-leak",
             LintKind::ProvableLeak => "provable-leak",
             LintKind::RedundantPolicyChange => "redundant-policy-change",
+            LintKind::UnusedDeclassify => "unused-declassify",
         }
     }
 }
@@ -523,7 +533,28 @@ pub fn lint(fc: &Flowchart, allowed: &IndexSet) -> LintReport {
                     });
                 }
             }
-            Node::Start | Node::SetPolicy { .. } | Node::Declassify { .. } => {}
+            // unused-declassify: the box's variable can never carry a
+            // `from` index here (the may-taint over-approximates every
+            // run's taint), so the relabel launders nothing.
+            Node::Declassify { var, from, .. } => {
+                let t = refined.at_entry[n.0].get(*var);
+                if t.intersection(from).is_empty() {
+                    lints.push(Lint {
+                        kind: LintKind::UnusedDeclassify,
+                        site: n,
+                        message: format!(
+                            "{} is unused: {var} can only carry taint {} here, \
+                             which never meets the declassified set {}",
+                            describe(fc, n),
+                            t,
+                            from
+                        ),
+                        offending: IndexSet::empty(),
+                        chain: Vec::new(),
+                    });
+                }
+            }
+            Node::Start | Node::SetPolicy { .. } => {}
         }
     }
 
@@ -540,6 +571,43 @@ pub fn lint(fc: &Flowchart, allowed: &IndexSet) -> LintReport {
         allowed: *allowed,
         lints,
     }
+}
+
+/// Renders the labels of an index set as `x1: secret, x3: topsecret`.
+fn label_list(classification: &Classification<Level>, set: &IndexSet) -> String {
+    set.iter()
+        .map(|i| format!("x{i}: {}", classification.label(i).name()))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// [`lint`] over a labeled program: the allow-set is the clearance's
+/// induced `J_c = { i : label(i) ⇝* c }`, and every taint finding renders
+/// the *label names* of its carriers — the message gains the labels of
+/// the offending indices, and each carrier-chain event names the labels
+/// it carries past that point.
+pub fn lint_labeled(
+    fc: &Flowchart,
+    classification: &Classification<Level>,
+    flow: &IntransitiveFlow<Level>,
+    clearance: &Level,
+) -> LintReport {
+    let allowed = classification.readable_allow(flow, clearance);
+    let mut report = lint(fc, &allowed);
+    for l in &mut report.lints {
+        if !l.offending.is_empty() {
+            use std::fmt::Write as _;
+            let _ = write!(l.message, " [{}]", label_list(classification, &l.offending));
+        }
+        for e in &mut l.chain {
+            let carried = e.after.intersection(&l.offending);
+            if !carried.is_empty() {
+                use std::fmt::Write as _;
+                let _ = write!(e.what, " [{}]", label_list(classification, &carried));
+            }
+        }
+    }
+    report
 }
 
 /// The `redundant-policy-change` lint: a reachable concrete `setpolicy`
@@ -925,6 +993,89 @@ mod tests {
             !kinds(&r).contains(&LintKind::RedundantPolicyChange),
             "{r:?}"
         );
+    }
+
+    #[test]
+    fn unused_declassify_flags_the_pointless_box() {
+        // r1 only ever carries x1, but the box claims to launder x2.
+        let r = lints_of(
+            "program(2) { r1 := x1; declassify(r1: 2 ~>); y := r1; }",
+            IndexSet::full(2),
+        );
+        let unused: Vec<&Lint> = r
+            .lints
+            .iter()
+            .filter(|l| l.kind == LintKind::UnusedDeclassify)
+            .collect();
+        assert_eq!(unused.len(), 1, "{r:?}");
+        assert!(
+            unused[0].message.contains("never meets"),
+            "{}",
+            unused[0].message
+        );
+        // A box that can launder is not flagged.
+        let ok = lints_of(
+            "program(2) { r1 := x1; declassify(r1: 1 ~>); y := r1; }",
+            IndexSet::full(2),
+        );
+        assert!(!kinds(&ok).contains(&LintKind::UnusedDeclassify), "{ok:?}");
+    }
+
+    #[test]
+    fn unused_declassify_respects_value_refinement() {
+        // The x1-carrying arm is provably dead, so the box never sees
+        // taint {1} and is flagged.
+        let r = lints_of(
+            "program(2) { r1 := 0; if r1 == 0 { r2 := x2; } else { r2 := x1; } \
+             declassify(r2: 1 ~>); y := r2; }",
+            IndexSet::full(2),
+        );
+        assert!(kinds(&r).contains(&LintKind::UnusedDeclassify), "{r:?}");
+    }
+
+    #[test]
+    fn labeled_lint_renders_label_names() {
+        use enf_core::label::{Classification, IntransitiveFlow, Level};
+        let fc = parse("program(2) { r1 := x1; y := r1 + x2; }").unwrap();
+        let c = Classification::new(vec![Level::Secret, Level::Unclassified]);
+        let r = lint_labeled(
+            &fc,
+            &c,
+            &IntransitiveFlow::transitive(),
+            &Level::Unclassified,
+        );
+        // The induced allow at the bottom clearance is {2}; x1 leaks.
+        assert_eq!(r.allowed, IndexSet::single(2));
+        let leak = r
+            .lints
+            .iter()
+            .find(|l| l.kind == LintKind::TaintLeak)
+            .expect("taint leak");
+        assert!(leak.message.contains("x1: secret"), "{}", leak.message);
+        assert!(
+            leak.chain.iter().any(|e| e.what.contains("[x1: secret]")),
+            "{:?}",
+            leak.chain
+        );
+        // A clearance above every label induces the full allow: no leak.
+        let clean = lint_labeled(&fc, &c, &IntransitiveFlow::transitive(), &Level::Secret);
+        assert!(!kinds(&clean).contains(&LintKind::TaintLeak), "{clean:?}");
+    }
+
+    #[test]
+    fn labeled_lint_honors_release_edges() {
+        use enf_core::label::Level;
+        let lp = enf_flowchart::corpus::password_release_labeled();
+        let r = lint_labeled(
+            &lp.flowchart,
+            &lp.classification,
+            &lp.flow,
+            &Level::Unclassified,
+        );
+        // The edge closes the induced allow over secret ~> unclassified,
+        // so the fixed-policy taint lints see allow(1, 2) and stay quiet.
+        assert_eq!(r.allowed, IndexSet::full(2));
+        assert!(!kinds(&r).contains(&LintKind::TaintLeak), "{r:?}");
     }
 
     #[test]

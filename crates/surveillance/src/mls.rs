@@ -13,133 +13,23 @@
 //! compiles to the paper's mechanism, and every soundness and completeness
 //! result carries over. The tests check the reduction and the monotonicity
 //! the lattice adds: a higher clearance never sees fewer outputs.
+//!
+//! The label vocabulary itself ([`Label`], [`Level`], [`Compartmented`],
+//! [`Classification`]) now lives in [`enf_core::label`] so static analyses
+//! can use labels without a surveillance dependency; this module re-exports
+//! it from the old paths and keeps the surveillance-specific runners.
 
 use crate::dynamic::{SurvConfig, SurvOutcome};
 use crate::mechanism::Surveillance;
 use crate::monitor::TaintMonitor;
-use enf_core::{Allow, IndexSet, V};
+use enf_core::V;
 use enf_flowchart::graph::Flowchart;
 use enf_flowchart::program::FlowchartProgram;
 use enf_flowchart::stepper::{Fleet, Stepper};
 
-/// A security label: an element of a join-semilattice with a bottom.
-pub trait Label: Clone + Eq + std::fmt::Debug {
-    /// The least label (public).
-    fn bottom() -> Self;
+pub use enf_core::label::{Classification, Compartmented, Label, Level};
 
-    /// Least upper bound.
-    #[must_use]
-    fn join(&self, other: &Self) -> Self;
-
-    /// The flow ordering `self ⊑ other`.
-    fn flows_to(&self, other: &Self) -> bool;
-}
-
-/// The classic totally-ordered hierarchy.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Hash)]
-pub enum Level {
-    /// Public.
-    Unclassified,
-    /// Confidential.
-    Confidential,
-    /// Secret.
-    Secret,
-    /// Top secret.
-    TopSecret,
-}
-
-impl Label for Level {
-    fn bottom() -> Self {
-        Level::Unclassified
-    }
-
-    fn join(&self, other: &Self) -> Self {
-        *self.max(other)
-    }
-
-    fn flows_to(&self, other: &Self) -> bool {
-        self <= other
-    }
-}
-
-/// Level plus a compartment set — the standard *non-total* military
-/// lattice: `(l1, C1) ⊑ (l2, C2)` iff `l1 ≤ l2` and `C1 ⊆ C2`.
-#[derive(Clone, PartialEq, Eq, Debug, Hash)]
-pub struct Compartmented {
-    /// Hierarchical level.
-    pub level: Level,
-    /// Need-to-know compartments (reusing [`IndexSet`] as a small set).
-    pub compartments: IndexSet,
-}
-
-impl Compartmented {
-    /// Builds a label.
-    pub fn new(level: Level, compartments: impl IntoIterator<Item = usize>) -> Self {
-        Compartmented {
-            level,
-            compartments: compartments.into_iter().collect(),
-        }
-    }
-}
-
-impl Label for Compartmented {
-    fn bottom() -> Self {
-        Compartmented {
-            level: Level::Unclassified,
-            compartments: IndexSet::empty(),
-        }
-    }
-
-    fn join(&self, other: &Self) -> Self {
-        Compartmented {
-            level: self.level.join(&other.level),
-            compartments: self.compartments.union(&other.compartments),
-        }
-    }
-
-    fn flows_to(&self, other: &Self) -> bool {
-        self.level.flows_to(&other.level) && self.compartments.is_subset(&other.compartments)
-    }
-}
-
-/// A labeling of a `k`-input program.
-#[derive(Clone, Debug)]
-pub struct Classification<L: Label> {
-    labels: Vec<L>,
-}
-
-impl<L: Label> Classification<L> {
-    /// One label per input, in order.
-    pub fn new(labels: Vec<L>) -> Self {
-        Classification { labels }
-    }
-
-    /// Number of inputs.
-    pub fn arity(&self) -> usize {
-        self.labels.len()
-    }
-
-    /// The label of input `i` (1-based).
-    pub fn label(&self, i: usize) -> &L {
-        &self.labels[i - 1]
-    }
-
-    /// The paper-facing reduction: the allow-set an observer with
-    /// `clearance` induces, `J_c = { i : label(i) ⊑ c }`.
-    pub fn induced_allow(&self, clearance: &L) -> IndexSet {
-        self.labels
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.flows_to(clearance))
-            .map(|(i, _)| i + 1)
-            .collect()
-    }
-
-    /// The induced `allow(J_c)` policy.
-    pub fn induced_policy(&self, clearance: &L) -> Allow {
-        Allow::from_set(self.arity(), self.induced_allow(clearance))
-    }
-}
+use enf_core::label::LatticePolicy;
 
 /// Runs the program *once* and checks the induced `allow(J_c)` policy of
 /// every clearance in that single pass: a [`Fleet`] of taint monitors
@@ -179,10 +69,46 @@ pub fn mls_surveillance<L: Label>(
     Surveillance::new(program, classification.induced_allow(clearance))
 }
 
+/// The surveillance mechanism for a full [`LatticePolicy`] — labeling,
+/// intransitive release edges, and clearance — via the fixed-clearance
+/// reduction `J_c = { i : label(i) ⇝* c }`. With no release edges this is
+/// exactly [`mls_surveillance`]; each edge can only *widen* the monitored
+/// allow-set, so the judge stays sound for the intransitive oracle.
+pub fn lattice_surveillance<L: Label>(
+    program: FlowchartProgram,
+    policy: &LatticePolicy<L>,
+) -> Surveillance {
+    Surveillance::new(program, policy.induced())
+}
+
+/// Like [`run_all_clearances`], but judging against the intransitive
+/// reduction of a labeling plus release edges: one concrete execution,
+/// one taint-monitor fleet, one verdict per clearance against
+/// `allow({ i : label(i) ⇝* c })`.
+pub fn run_all_clearances_lattice<L: Label>(
+    fc: &Flowchart,
+    inputs: &[V],
+    classification: &Classification<L>,
+    flow: &enf_core::label::IntransitiveFlow<L>,
+    clearances: &[L],
+) -> Vec<SurvOutcome> {
+    let monitors = clearances
+        .iter()
+        .map(|c| {
+            TaintMonitor::new(
+                fc,
+                SurvConfig::surveillance(classification.readable_allow(flow, c)),
+            )
+        })
+        .collect();
+    Stepper::new(fc).run(inputs, &mut Fleet(monitors))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use enf_core::{check_soundness, compare, Grid, InputDomain, Mechanism as _};
+    use enf_core::label::IntransitiveFlow;
+    use enf_core::{check_soundness, compare, Grid, IndexSet, InputDomain, Mechanism as _};
     use enf_flowchart::parse;
 
     fn two_input_program() -> FlowchartProgram {
@@ -321,6 +247,59 @@ mod tests {
                     "acceptance not monotone: {fleet:?}"
                 );
                 seen_accept = accepted;
+            }
+        }
+    }
+
+    #[test]
+    fn lattice_surveillance_widens_with_release_edges() {
+        // y := x1 with x1 Secret: a public observer's monitor rejects —
+        // unless a Secret ⇝ Unclassified release edge widens J_c.
+        let c = Classification::new(vec![Level::Secret, Level::Unclassified]);
+        let fc = parse("program(2) { y := x1; }").unwrap();
+        let g = Grid::hypercube(2, -1..=1);
+        let closed = lattice_surveillance(
+            FlowchartProgram::new(fc.clone()),
+            &LatticePolicy::new(
+                c.clone(),
+                IntransitiveFlow::transitive(),
+                Level::Unclassified,
+            ),
+        );
+        let released = lattice_surveillance(
+            FlowchartProgram::new(fc.clone()),
+            &LatticePolicy::new(
+                c.clone(),
+                IntransitiveFlow::new([(Level::Secret, Level::Unclassified)]),
+                Level::Unclassified,
+            ),
+        );
+        for a in g.iter_inputs() {
+            assert!(matches!(closed.run(&a), enf_core::MechOutput::Violation(_)));
+            assert_eq!(
+                released.run(&a),
+                enf_core::MechOutput::Value(enf_flowchart::ExecValue::Value(a[0]))
+            );
+        }
+    }
+
+    #[test]
+    fn lattice_fleet_matches_per_clearance_reduction() {
+        use crate::dynamic::run_surveillance;
+        let c = Classification::new(vec![Level::Secret, Level::Confidential]);
+        let flow = IntransitiveFlow::new([(Level::Secret, Level::Confidential)]);
+        let fc = parse("program(2) { y := x1; if x2 == 0 { y := 0; } }").unwrap();
+        let levels = [
+            Level::Unclassified,
+            Level::Confidential,
+            Level::Secret,
+            Level::TopSecret,
+        ];
+        for a in Grid::hypercube(2, -2..=2).iter_inputs() {
+            let fleet = run_all_clearances_lattice(&fc, &a, &c, &flow, &levels);
+            for (clearance, got) in levels.iter().zip(&fleet) {
+                let cfg = SurvConfig::surveillance(c.readable_allow(&flow, clearance));
+                assert_eq!(got, &run_surveillance(&fc, &a, &cfg), "at {clearance:?}");
             }
         }
     }

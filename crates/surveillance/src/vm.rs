@@ -288,6 +288,18 @@ impl VmSurveillance {
         }
     }
 
+    /// The VM judge for a lattice policy: monitors against the policy's
+    /// fixed-clearance reduction `J_c = { i : label(i) ⇝* c }`
+    /// ([`enf_core::label::LatticePolicy::induced`]), so the VM and the
+    /// AST monitor ([`crate::mls::lattice_surveillance`]) enforce the same
+    /// induced allow-set and stay differentially pinned.
+    pub fn lattice<L: enf_core::label::Label>(
+        program: FlowchartProgram,
+        policy: &enf_core::label::LatticePolicy<L>,
+    ) -> Self {
+        VmSurveillance::new(program, policy.induced())
+    }
+
     /// Wraps an already-compiled program under `cfg`.
     pub fn from_compiled(compiled: Arc<Compiled>, cfg: SurvConfig) -> Self {
         VmSurveillance { compiled, cfg }
@@ -443,6 +455,34 @@ mod tests {
         for a in -3..=3 {
             for b in -3..=3 {
                 assert_eq!(ast.run(&[a, b]), vm.run(&[a, b]), "at ({a}, {b})");
+            }
+        }
+    }
+
+    #[test]
+    fn vm_lattice_judge_matches_ast_judge_on_the_reduction() {
+        use crate::mls::lattice_surveillance;
+        use enf_core::label::{Classification, IntransitiveFlow, LatticePolicy, Level};
+        let fc = parse("program(2) { if x1 == 0 { y := x2; } else { y := x1; } }").unwrap();
+        let labeling = Classification::new(vec![Level::Secret, Level::Unclassified]);
+        for flow in [
+            IntransitiveFlow::transitive(),
+            IntransitiveFlow::new(vec![(Level::Secret, Level::Unclassified)]),
+        ] {
+            for clearance in Level::ALL {
+                let policy = LatticePolicy::new(labeling.clone(), flow.clone(), clearance);
+                let p = FlowchartProgram::new(fc.clone());
+                let ast = lattice_surveillance(p.clone(), &policy);
+                let vm = VmSurveillance::lattice(p, &policy);
+                for a in -2..=2 {
+                    for b in -2..=2 {
+                        assert_eq!(
+                            ast.run(&[a, b]),
+                            vm.run(&[a, b]),
+                            "at ({a}, {b}), clearance {clearance:?}"
+                        );
+                    }
+                }
             }
         }
     }

@@ -9,8 +9,9 @@
 //!                   [--schedules K]
 //! enforce compile   <file.fc> [--dump]
 //! enforce certify   <file.fc> --allow 2 [--scoped | --value | --relational | --dynamic]
+//!                   | --lattice [--clearance LEVEL]
 //! enforce refute    <file.fc> --allow 2 [--span S] [--threads N] [--json]
-//! enforce lint      <file.fc> --allow 2 [--json]
+//! enforce lint      <file.fc> --allow 2 [--json] | --lattice [--clearance LEVEL] [--json]
 //! enforce explain   <file.fc> --allow 2 --input 3,4
 //! enforce improve   <file.fc> --allow 2 --span 3 [--rounds N]
 //! enforce instrument <file.fc> --allow 2 [--timed] [--highwater] [--dot]
@@ -103,8 +104,9 @@ fn usage() -> &'static str {
        \x20                                  [--schedules K]\n\
        compile    lower to register bytecode [--dump]\n\
        certify    static certification       --allow J [--scoped | --value | --relational | --dynamic]\n\
+       \x20                                  | --lattice [--clearance LEVEL]\n\
        refute     leak witness search        --allow J [--span S] [--threads N] [--fuel N] [--json]\n\
-       lint       static diagnostics         --allow J [--json]\n\
+       lint       static diagnostics         --allow J [--json] | --lattice [--clearance LEVEL]\n\
        explain    why a run violates         --allow J --input a,b\n\
        improve    transform search           --allow J --span S [--rounds N]\n\
        instrument emit the mechanism         --allow J [--timed] [--highwater] [--dot]\n\
@@ -132,9 +134,15 @@ fn usage() -> &'static str {
      --resume F continues a previous sweep from its last checkpoint.\n\
      certify picks the analysis: surveillance abstraction (default),\n\
      --scoped (Denning-style regions), --value (interval-refined),\n\
-     --relational (self-composition agreement), or --dynamic (the\n\
-     policy-schedule certifier — the only analysis that accepts programs\n\
-     with setpolicy/declassify boxes; flags are exclusive).\n\
+     --relational (self-composition agreement), --dynamic (the\n\
+     policy-schedule certifier), or --lattice (the intransitive-flow\n\
+     certifier; flags are exclusive). --lattice ignores --allow and reads\n\
+     the program's labels { xN: LEVEL; flow A ~> B; } section instead,\n\
+     judging halts at --clearance LEVEL (default unclassified; levels:\n\
+     unclassified|confidential|secret|topsecret). A declassify box then\n\
+     launders only flows the ~> edges sanction. lint --lattice lints\n\
+     against the clearance's induced policy and renders label names in\n\
+     every taint finding and carrier chain.\n\
      check --schedules K runs the scheduled oracle instead of the fixed\n\
      sweep: soundness is checked under every bounded policy schedule (at\n\
      most K of the canonical enumeration); a failing schedule is reported\n\
@@ -602,31 +610,53 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
             }
         }
         "certify" => {
-            let allow = parse_allow(args.value("allow")?, arity)?;
-            let analysis = match (
+            let exclusive = [
                 args.has("scoped"),
                 args.has("value"),
                 args.has("relational"),
                 args.has("dynamic"),
-            ) {
-                (false, false, false, false) => Analysis::Surveillance,
-                (true, false, false, false) => Analysis::Scoped,
-                (false, true, false, false) => Analysis::ValueRefined,
-                (false, false, true, false) => Analysis::Relational,
-                (false, false, false, true) => Analysis::DynamicPolicy,
-                _ => {
-                    return Err(
-                        "--scoped, --value, --relational and --dynamic are exclusive"
-                            .to_string()
-                            .into(),
-                    )
-                }
-            };
+                args.has("lattice"),
+            ];
+            if exclusive.iter().filter(|b| **b).count() > 1 {
+                return Err(
+                    "--scoped, --value, --relational, --dynamic and --lattice are exclusive"
+                        .to_string()
+                        .into(),
+                );
+            }
             let mut log = open_audit(&args)?;
-            let enforcer = Enforcer::new(fc, allow).map_err(CliError::from)?;
-            let outcome = enforcer
-                .certify(analysis, &mut log)
-                .map_err(CliError::from)?;
+            let enforcer;
+            let outcome = if args.has("lattice") {
+                // The lattice path reads the policy from the program's
+                // labels section, not from --allow.
+                use enforcement::core::label::Level;
+                let clearance = match args.flag("clearance") {
+                    Some(Some(v)) => Level::parse_name(v).ok_or_else(|| {
+                        format!(
+                            "unknown clearance `{v}` \
+                             (want unclassified|confidential|secret|topsecret)"
+                        )
+                    })?,
+                    Some(None) => return Err("--clearance needs a value".to_string().into()),
+                    None => Level::Unclassified,
+                };
+                let lp = enforcement::flowchart::parse_labeled(&src).map_err(|e| e.to_string())?;
+                enforcer = Enforcer::new_lattice(lp, clearance).map_err(CliError::from)?;
+                enforcer.certify_lattice(&mut log).map_err(CliError::from)?
+            } else {
+                let allow = parse_allow(args.value("allow")?, arity)?;
+                let analysis = match exclusive {
+                    [true, ..] => Analysis::Scoped,
+                    [_, true, ..] => Analysis::ValueRefined,
+                    [_, _, true, ..] => Analysis::Relational,
+                    [_, _, _, true, _] => Analysis::DynamicPolicy,
+                    _ => Analysis::Surveillance,
+                };
+                enforcer = Enforcer::new(fc, allow).map_err(CliError::from)?;
+                enforcer
+                    .certify(analysis, &mut log)
+                    .map_err(CliError::from)?
+            };
             let _ = writeln!(out, "{:?}", outcome.certification());
             if !outcome.is_certified() {
                 code = EXIT_VIOLATION;
@@ -797,8 +827,29 @@ fn run_cli(argv: Vec<String>) -> Result<(String, u8), CliError> {
             }
         }
         "lint" => {
-            let allow = parse_allow(args.value("allow")?, arity)?;
-            let report = enforcement::staticflow::lint::lint(&fc, &allow);
+            let report = if args.has("lattice") {
+                use enforcement::core::label::Level;
+                let clearance = match args.flag("clearance") {
+                    Some(Some(v)) => Level::parse_name(v).ok_or_else(|| {
+                        format!(
+                            "unknown clearance `{v}` \
+                             (want unclassified|confidential|secret|topsecret)"
+                        )
+                    })?,
+                    Some(None) => return Err("--clearance needs a value".to_string().into()),
+                    None => Level::Unclassified,
+                };
+                let lp = enforcement::flowchart::parse_labeled(&src).map_err(|e| e.to_string())?;
+                enforcement::staticflow::lint::lint_labeled(
+                    &lp.flowchart,
+                    &lp.classification,
+                    &lp.flow,
+                    &clearance,
+                )
+            } else {
+                let allow = parse_allow(args.value("allow")?, arity)?;
+                enforcement::staticflow::lint::lint(&fc, &allow)
+            };
             if args.has("json") {
                 out.push_str(&report.to_json());
             } else {

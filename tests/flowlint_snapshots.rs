@@ -17,6 +17,14 @@ const CASES: &[(&str, &str)] = &[
     ("implicit_copy", ""),
     ("dead_store", "2"),
     ("policy_dance", ""),
+    ("unused_declassify", "1,2"),
+];
+
+/// (program file, clearance) per `--lattice` snapshot case; snapshots are
+/// named `<program>_lattice.{txt,json}`.
+const LATTICE_CASES: &[(&str, &str)] = &[
+    ("labeled_leak", "unclassified"),
+    ("password_release", "unclassified"),
 ];
 
 fn repo_file(rel: &str) -> PathBuf {
@@ -24,14 +32,29 @@ fn repo_file(rel: &str) -> PathBuf {
 }
 
 fn run_lint(program: &str, allow: &str, json: bool) -> String {
+    run_lint_args(program, &["--allow".to_string(), allow.to_string()], json)
+}
+
+fn run_lint_lattice(program: &str, clearance: &str, json: bool) -> String {
+    run_lint_args(
+        program,
+        &[
+            "--lattice".to_string(),
+            "--clearance".to_string(),
+            clearance.to_string(),
+        ],
+        json,
+    )
+}
+
+fn run_lint_args(program: &str, extra: &[String], json: bool) -> String {
     let mut args = vec![
         "lint".to_string(),
         repo_file(&format!("examples/programs/{program}.fc"))
             .to_string_lossy()
             .into_owned(),
-        "--allow".to_string(),
-        allow.to_string(),
     ];
+    args.extend(extra.iter().cloned());
     if json {
         args.push("--json".to_string());
     }
@@ -78,5 +101,21 @@ fn json_output_matches_snapshots() {
     for (program, allow) in CASES {
         let out = run_lint(program, allow, true);
         check_snapshot(&format!("{program}.json"), &out);
+    }
+}
+
+#[test]
+fn lattice_human_output_matches_snapshots() {
+    for (program, clearance) in LATTICE_CASES {
+        let out = run_lint_lattice(program, clearance, false);
+        check_snapshot(&format!("{program}_lattice.txt"), &out);
+    }
+}
+
+#[test]
+fn lattice_json_output_matches_snapshots() {
+    for (program, clearance) in LATTICE_CASES {
+        let out = run_lint_lattice(program, clearance, true);
+        check_snapshot(&format!("{program}_lattice.json"), &out);
     }
 }
